@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks for the checker itself: §7.5's claim is
+//! linearity in history length and insensitivity to concurrency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elle_core::{CheckOptions, Checker};
+use elle_dbsim::{DbConfig, IsolationLevel, ObjectKind};
+use elle_gen::{run_workload, GenParams};
+use elle_history::History;
+
+fn history(n_txns: usize, processes: usize, iso: IsolationLevel) -> History {
+    let params = GenParams::paper_perf(n_txns).with_seed(n_txns as u64);
+    let db = DbConfig::new(iso, ObjectKind::ListAppend)
+        .with_processes(processes)
+        .with_seed(n_txns as u64 + processes as u64);
+    run_workload(params, db).expect("history pairs")
+}
+
+fn bench_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elle_check_length");
+    g.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000] {
+        let h = history(n, 20, IsolationLevel::Serializable);
+        g.throughput(Throughput::Elements(h.mop_count() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| Checker::new(CheckOptions::strict_serializable()).check(h))
+        });
+    }
+    g.finish();
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elle_check_concurrency");
+    g.sample_size(10);
+    for procs in [1usize, 10, 100] {
+        let h = history(4_000, procs, IsolationLevel::Serializable);
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &h, |b, h| {
+            b.iter(|| Checker::new(CheckOptions::strict_serializable()).check(h))
+        });
+    }
+    g.finish();
+}
+
+fn bench_anomalous(c: &mut Criterion) {
+    // Checking a history *with* anomalies (cycle search does real work).
+    let mut g = c.benchmark_group("elle_check_anomalous");
+    g.sample_size(10);
+    let h = history(4_000, 20, IsolationLevel::ReadCommitted);
+    g.bench_function("read_committed_4k", |b| {
+        b.iter(|| Checker::new(CheckOptions::strict_serializable()).check(&h))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_length, bench_concurrency, bench_anomalous);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion microbenchmarks for the database simulator: transaction
+//! throughput per isolation level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elle_dbsim::{DbConfig, IsolationLevel, ObjectKind};
+use elle_gen::{run_workload, GenParams};
+
+fn bench_isolation_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dbsim_run_4k_txns");
+    g.sample_size(10);
+    for (label, iso) in [
+        ("read_uncommitted", IsolationLevel::ReadUncommitted),
+        ("read_committed", IsolationLevel::ReadCommitted),
+        ("snapshot_isolation", IsolationLevel::SnapshotIsolation),
+        ("serializable", IsolationLevel::Serializable),
+        ("strict_serializable", IsolationLevel::StrictSerializable),
+    ] {
+        g.throughput(Throughput::Elements(4_000));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &iso, |b, &iso| {
+            b.iter(|| {
+                let params = GenParams::paper_perf(4_000);
+                let db = DbConfig::new(iso, ObjectKind::ListAppend)
+                    .with_processes(16)
+                    .with_seed(3);
+                run_workload(params, db).expect("history pairs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_isolation_levels);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks for the graph substrate: Tarjan SCC, cycle
+//! search, and the interval-order reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elle_graph::{
+    find_cycle_with_single, interval_order_reduction, tarjan_scc, DiGraph, EdgeClass, EdgeMask,
+    Interval,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(n: u32, edges_per_vertex: u32, seed: u64) -> DiGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_vertices(n as usize);
+    for v in 0..n {
+        for _ in 0..edges_per_vertex {
+            let w = rng.gen_range(0..n);
+            let class = match rng.gen_range(0..3) {
+                0 => EdgeClass::Ww,
+                1 => EdgeClass::Wr,
+                _ => EdgeClass::Rw,
+            };
+            g.add_edge(v, w, class);
+        }
+    }
+    g
+}
+
+fn bench_tarjan(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("tarjan_scc");
+    for n in [10_000u32, 100_000] {
+        let g = random_graph(n, 3, 1);
+        grp.throughput(Throughput::Elements(n as u64));
+        grp.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| tarjan_scc(g, EdgeMask::ALL))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_cycle_search(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("g_single_search");
+    let g = random_graph(10_000, 3, 2);
+    let sccs = tarjan_scc(&g, EdgeMask::ALL);
+    let comp = sccs.into_iter().max_by_key(Vec::len).unwrap_or_default();
+    grp.bench_function("largest_component", |b| {
+        b.iter(|| {
+            find_cycle_with_single(
+                &g,
+                &comp,
+                EdgeMask::RW,
+                EdgeMask::WW | EdgeMask::WR,
+                4,
+            )
+        })
+    });
+    grp.finish();
+}
+
+fn bench_interval_reduction(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("interval_order_reduction");
+    for n in [10_000usize, 100_000] {
+        // p-way staggered intervals.
+        let p = 20;
+        let items: Vec<Interval> = (0..n)
+            .map(|i| Interval {
+                invoke: i * 2,
+                complete: Some(i * 2 + p),
+            })
+            .collect();
+        grp.throughput(Throughput::Elements(n as u64));
+        grp.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| interval_order_reduction(items))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tarjan,
+    bench_cycle_search,
+    bench_interval_reduction
+);
+criterion_main!(benches);

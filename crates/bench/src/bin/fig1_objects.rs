@@ -1,0 +1,78 @@
+//! Figure 1: the object/datatype table, demonstrated live.
+//!
+//! Prints each object's initial version and write semantics, then runs a
+//! two-write-one-read demo through the simulator to show the version the
+//! paper's table predicts.
+
+use elle_dbsim::{DbConfig, IsolationLevel, ObjectKind, SimDb};
+use elle_history::{Mop, ProcessId};
+
+fn demo(kind: ObjectKind, writes: [Mop; 2]) -> String {
+    let mut queue = vec![
+        vec![writes[0].clone()],
+        vec![writes[1].clone()],
+        vec![Mop::read(0)],
+    ]
+    .into_iter();
+    let mut source = |_p: ProcessId| queue.next();
+    let cfg = DbConfig::new(IsolationLevel::StrictSerializable, kind).with_processes(1);
+    let h = SimDb::new(cfg).run_history(&mut source).expect("pairs");
+    match &h.txns().last().unwrap().mops[0] {
+        Mop::Read { value: Some(v), .. } => v.to_string(),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    println!("Figure 1: Example objects");
+    println!();
+    println!(
+        "{:<12} {:<10} {:<8} {:<34} demo: two writes then a read",
+        "Object", "Versions", "x_init", "Write semantics"
+    );
+    let rows = [
+        (
+            "Register",
+            "Any",
+            "nil",
+            "w(xi, a) -> (a, nil)",
+            demo(ObjectKind::Register, [Mop::write(0, 1), Mop::write(0, 2)]),
+        ),
+        (
+            "Counter",
+            "Integers",
+            "0",
+            "w(xi, a) -> (xi + a, nil)",
+            demo(
+                ObjectKind::Counter,
+                [Mop::increment(0, 1), Mop::increment(0, 2)],
+            ),
+        ),
+        (
+            "Set",
+            "Add Sets",
+            "{}",
+            "w(xi, a) -> (xi ∪ {a}, nil)",
+            demo(
+                ObjectKind::Set,
+                [Mop::add_to_set(0, 1), Mop::add_to_set(0, 2)],
+            ),
+        ),
+        (
+            "List",
+            "Lists",
+            "[]",
+            "w([e1..en], a) -> ([e1..en, a], nil)",
+            demo(ObjectKind::ListAppend, [Mop::append(0, 1), Mop::append(0, 2)]),
+        ),
+    ];
+    for (obj, versions, init, semantics, result) in rows {
+        println!("{obj:<12} {versions:<10} {init:<8} {semantics:<34} r(x) = {result}");
+    }
+    println!();
+    println!(
+        "Only list append is traceable: its final version above encodes the\n\
+         entire version history, which is what lets Elle recover ww/wr/rw\n\
+         dependencies (§3 of the paper)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 4: runtime vs history length for Elle and Knossos at various
+//! concurrencies.
+//!
+//! The paper's setup (§7.5): histories from a simulated
+//! serializable-snapshot-isolated database; transactions of 1–5 operations
+//! over 100 keys with 100 appends per key; history lengths up to 100,000
+//! operations; concurrencies c ∈ {1, 5, 10, 20, 40, 100}; Knossos capped
+//! at 100 seconds.
+//!
+//! Defaults here are scaled down so the sweep finishes in minutes; pass
+//! `--full` for the paper-scale sweep and `--budget <secs>` to change the
+//! Knossos cap (default 10 s, paper used 100 s).
+//!
+//! Output: CSV on stdout —
+//! `ops,concurrency,elle_s,elle_anomalies,knossos_s,knossos_outcome`.
+
+use elle_core::{CheckOptions, Checker};
+use elle_dbsim::{DbConfig, IsolationLevel, ObjectKind};
+use elle_gen::{run_workload, GenParams};
+use elle_knossos::{KnossosOptions, KnossosOutcome};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let budget = args
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(if full { 100 } else { 10 });
+
+    // Transaction counts; ~3 mops per txn on average.
+    let lengths: Vec<usize> = if full {
+        vec![1_000, 3_000, 10_000, 33_000, 100_000]
+    } else {
+        vec![300, 1_000, 3_000, 10_000]
+    };
+    let concurrencies: Vec<usize> = vec![1, 5, 10, 20, 40, 100];
+
+    println!("ops,concurrency,elle_s,elle_anomalies,knossos_s,knossos_outcome");
+    for &c in &concurrencies {
+        for &n_txns in &lengths {
+            let params = GenParams::paper_perf(n_txns).with_seed(n_txns as u64 ^ c as u64);
+            let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+                .with_processes(c)
+                .with_seed(7 * c as u64 + n_txns as u64);
+            let h = run_workload(params, db).expect("history pairs");
+            let ops = h.mop_count();
+
+            let t0 = Instant::now();
+            let report = Checker::new(CheckOptions::strict_serializable()).check(&h);
+            let elle_s = t0.elapsed().as_secs_f64();
+
+            let kres = elle_knossos::check(
+                &h,
+                KnossosOptions::default().with_budget(Duration::from_secs(budget)),
+            );
+            let outcome = match kres.outcome {
+                KnossosOutcome::Ok => "ok",
+                KnossosOutcome::Violation => "violation",
+                KnossosOutcome::Unknown => "timeout",
+            };
+            println!(
+                "{ops},{c},{elle_s:.4},{},{:.4},{outcome}",
+                report.anomalies.len(),
+                kres.elapsed.as_secs_f64(),
+            );
+        }
+    }
+}

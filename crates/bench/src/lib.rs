@@ -1,0 +1,1 @@
+//! Bench harness crate; see the binaries in src/bin and benches/.

@@ -1,0 +1,359 @@
+//! The anomaly taxonomy: Adya's phenomena plus Elle's additions.
+
+use elle_graph::EdgeClass;
+use elle_history::{Elem, Key, TxnId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Every anomaly class Elle can report (§4.3, §6, §6.1 of the paper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AnomalyType {
+    // ── Non-cycle anomalies ────────────────────────────────────────────
+    /// Aborted read: a committed transaction observed a version written by
+    /// an aborted transaction (Adya G1a).
+    G1a,
+    /// Intermediate read: a committed transaction observed a non-final
+    /// write of some other transaction (Adya G1b).
+    G1b,
+    /// Dirty update (§4.1.5): a committed write incorporates state from an
+    /// uncommitted (aborted) write.
+    DirtyUpdate,
+    /// Lost update: several committed transactions read the *same* version
+    /// of a key and each subsequently wrote it — at most one of those
+    /// writes can be the version's successor.
+    LostUpdate,
+    /// Garbage read (§6.1): a read observed a value that was never written.
+    GarbageRead,
+    /// Duplicate write (§6.1): the trace of a committed read contains the
+    /// same argument more than once (e.g. a retried append applied twice).
+    DuplicateWrite,
+    /// Internal inconsistency (§6.1): a transaction's read disagrees with
+    /// its own prior reads and writes.
+    Internal,
+    /// Inconsistent observation (§4.2.1): two committed reads of one key
+    /// are incompatible (neither trace is a prefix of the other) — implying
+    /// an aborted read in every interpretation.
+    IncompatibleOrder,
+    /// The inferred version order for a key contains a cycle (§7.4) — the
+    /// per-key ordering assumptions contradict each other. Reported, then
+    /// the key is discarded from dependency inference.
+    CyclicVersionOrder,
+
+    // ── Cycle anomalies over the inferred DSG ─────────────────────────
+    /// Write cycle: a cycle of only `ww` edges (Adya G0).
+    G0,
+    /// Circular information flow: `ww`/`wr` cycle with ≥ 1 `wr` (Adya G1c).
+    G1c,
+    /// Read skew: a cycle with exactly one `rw` anti-dependency.
+    GSingle,
+    /// Write skew &c.: a cycle with two or more `rw` anti-dependencies
+    /// (item-level Adya G2).
+    G2Item,
+
+    // Session (per-process) augmented cycles.
+    /// G0 requiring at least one per-process order edge.
+    G0Process,
+    /// G1c requiring at least one per-process order edge.
+    G1cProcess,
+    /// G-single requiring at least one per-process order edge.
+    GSingleProcess,
+    /// G2-item requiring at least one per-process order edge.
+    G2ItemProcess,
+
+    // Real-time augmented cycles.
+    /// G0 requiring at least one real-time order edge.
+    G0Realtime,
+    /// G1c requiring at least one real-time order edge.
+    G1cRealtime,
+    /// G-single requiring at least one real-time order edge.
+    GSingleRealtime,
+    /// G2-item requiring at least one real-time order edge.
+    G2ItemRealtime,
+
+    /// A cycle in the start-ordered serialization graph requiring at least
+    /// one database-exposed timestamp edge (§5.1's time-precedes order,
+    /// Adya's G-SI family). Only inferred when the system exposes
+    /// transaction timestamps and claims they define its snapshot order.
+    GSI,
+}
+
+impl AnomalyType {
+    /// Is this one of the cycle anomalies?
+    pub fn is_cycle(self) -> bool {
+        use AnomalyType::*;
+        !matches!(
+            self,
+            G1a | G1b
+                | DirtyUpdate
+                | LostUpdate
+                | GarbageRead
+                | DuplicateWrite
+                | Internal
+                | IncompatibleOrder
+                | CyclicVersionOrder
+        )
+    }
+
+    /// For cycle anomalies: the base class with session/realtime stripped.
+    pub fn base(self) -> AnomalyType {
+        use AnomalyType::*;
+        match self {
+            G0 | G0Process | G0Realtime => G0,
+            G1c | G1cProcess | G1cRealtime => G1c,
+            GSingle | GSingleProcess | GSingleRealtime => GSingle,
+            G2Item | G2ItemProcess | G2ItemRealtime => G2Item,
+            other => other,
+        }
+    }
+
+    /// Short name used in reports (matching the paper's vocabulary).
+    pub fn name(self) -> &'static str {
+        use AnomalyType::*;
+        match self {
+            G1a => "G1a (aborted read)",
+            G1b => "G1b (intermediate read)",
+            DirtyUpdate => "dirty update",
+            LostUpdate => "lost update",
+            GarbageRead => "garbage read",
+            DuplicateWrite => "duplicate write",
+            Internal => "internal inconsistency",
+            IncompatibleOrder => "incompatible order",
+            CyclicVersionOrder => "cyclic version order",
+            G0 => "G0 (write cycle)",
+            G1c => "G1c (circular information flow)",
+            GSingle => "G-single (read skew)",
+            G2Item => "G2-item (anti-dependency cycle)",
+            G0Process => "G0-process",
+            G1cProcess => "G1c-process",
+            GSingleProcess => "G-single-process",
+            G2ItemProcess => "G2-item-process",
+            G0Realtime => "G0-realtime",
+            G1cRealtime => "G1c-realtime",
+            GSingleRealtime => "G-single-realtime",
+            G2ItemRealtime => "G2-item-realtime",
+            GSI => "G-SI (start-ordered cycle)",
+        }
+    }
+}
+
+impl fmt::Display for AnomalyType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The concrete evidence for one dependency edge inside a reported cycle.
+///
+/// Witnesses let [`crate::explain`] render Figure-2-style justifications
+/// ("T1 < T2, because T1 did not observe T2's append of 8 to 255").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Witness {
+    /// List ww: `from` appended `prev`, `to` appended `next` directly after.
+    WwList {
+        /// Key involved.
+        key: Key,
+        /// Element appended by the predecessor.
+        prev: Elem,
+        /// Element appended by the successor.
+        next: Elem,
+    },
+    /// List wr: `to` observed `from`'s append of `elem` (as the final
+    /// element of its read).
+    WrList {
+        /// Key involved.
+        key: Key,
+        /// Element whose append produced the version read.
+        elem: Elem,
+    },
+    /// List rw: `from` read a version not containing `to`'s append of
+    /// `next` (which is the version's successor).
+    RwList {
+        /// Key involved.
+        key: Key,
+        /// Final element of the version `from` read; `None` = initial `[]`.
+        read_last: Option<Elem>,
+        /// The first element `from` failed to observe.
+        next: Elem,
+    },
+    /// Register ww: version `prev` was overwritten by `next`.
+    WwReg {
+        /// Key involved.
+        key: Key,
+        /// Overwritten value; `None` = initial nil.
+        prev: Option<Elem>,
+        /// Overwriting value.
+        next: Elem,
+    },
+    /// Register wr: `to` read the value `from` wrote.
+    WrReg {
+        /// Key involved.
+        key: Key,
+        /// Value written and read.
+        elem: Elem,
+    },
+    /// Register rw: `from` read a version that `to`'s write replaced.
+    RwReg {
+        /// Key involved.
+        key: Key,
+        /// Value `from` read; `None` = nil.
+        read: Option<Elem>,
+        /// Value `to` wrote.
+        next: Elem,
+    },
+    /// Set wr: `to` observed `from`'s add of `elem`.
+    WrSet {
+        /// Key involved.
+        key: Key,
+        /// Element added and observed.
+        elem: Elem,
+    },
+    /// Set rw: `from`'s read did not contain `to`'s (committed) add.
+    RwSet {
+        /// Key involved.
+        key: Key,
+        /// Element `from` failed to observe.
+        elem: Elem,
+    },
+    /// Read-read: `from` observed a strictly earlier state than `to`.
+    Rr {
+        /// Key involved.
+        key: Key,
+    },
+    /// Session order: both ran on one process, `from` first.
+    Process {
+        /// The shared process.
+        process: elle_history::ProcessId,
+    },
+    /// Real-time order: `from` completed before `to` was invoked.
+    Realtime {
+        /// Completion event index of `from`.
+        complete: usize,
+        /// Invocation event index of `to`.
+        invoke: usize,
+    },
+    /// Time-precedes order (§5.1): `from`'s database commit timestamp
+    /// precedes `to`'s start timestamp.
+    Timestamp {
+        /// `from`'s commit timestamp.
+        commit: u64,
+        /// `to`'s start timestamp.
+        start: u64,
+    },
+}
+
+impl Witness {
+    /// The edge class this witness substantiates.
+    pub fn class(&self) -> EdgeClass {
+        match self {
+            Witness::WwList { .. } | Witness::WwReg { .. } => EdgeClass::Ww,
+            Witness::WrList { .. } | Witness::WrReg { .. } | Witness::WrSet { .. } => EdgeClass::Wr,
+            Witness::RwList { .. } | Witness::RwReg { .. } | Witness::RwSet { .. } => EdgeClass::Rw,
+            Witness::Rr { .. } => EdgeClass::Rr,
+            Witness::Process { .. } => EdgeClass::Process,
+            Witness::Realtime { .. } => EdgeClass::Realtime,
+            Witness::Timestamp { .. } => EdgeClass::Timestamp,
+        }
+    }
+}
+
+/// One step of a reported cycle: `from < to` because `witness`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleStep {
+    /// Predecessor transaction.
+    pub from: TxnId,
+    /// Successor transaction.
+    pub to: TxnId,
+    /// The class the step is *presented* as (one of the witness classes).
+    pub class: EdgeClass,
+    /// Evidence for the dependency.
+    pub witness: Witness,
+}
+
+/// A reported anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Anomaly {
+    /// The anomaly's class.
+    pub typ: AnomalyType,
+    /// Transactions involved (cycle order for cycle anomalies).
+    pub txns: Vec<TxnId>,
+    /// The key chiefly involved, when the anomaly is key-local.
+    pub key: Option<Key>,
+    /// Cycle steps with witnesses (cycle anomalies only).
+    pub steps: Vec<CycleStep>,
+    /// Human-readable justification (Figure 2 style).
+    pub explanation: String,
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.typ)?;
+        f.write_str(&self.explanation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_predicate() {
+        assert!(AnomalyType::G0.is_cycle());
+        assert!(AnomalyType::GSingleRealtime.is_cycle());
+        assert!(!AnomalyType::G1a.is_cycle());
+        assert!(!AnomalyType::Internal.is_cycle());
+    }
+
+    #[test]
+    fn base_strips_augmentation() {
+        assert_eq!(AnomalyType::G0Realtime.base(), AnomalyType::G0);
+        assert_eq!(AnomalyType::GSingleProcess.base(), AnomalyType::GSingle);
+        assert_eq!(AnomalyType::G2Item.base(), AnomalyType::G2Item);
+        assert_eq!(AnomalyType::G1a.base(), AnomalyType::G1a);
+    }
+
+    #[test]
+    fn witness_classes() {
+        use elle_history::ProcessId;
+        assert_eq!(
+            Witness::WwList {
+                key: Key(1),
+                prev: Elem(1),
+                next: Elem(2)
+            }
+            .class(),
+            EdgeClass::Ww
+        );
+        assert_eq!(
+            Witness::RwReg {
+                key: Key(1),
+                read: None,
+                next: Elem(2)
+            }
+            .class(),
+            EdgeClass::Rw
+        );
+        assert_eq!(
+            Witness::Process {
+                process: ProcessId(1)
+            }
+            .class(),
+            EdgeClass::Process
+        );
+        assert_eq!(
+            Witness::Realtime {
+                complete: 0,
+                invoke: 1
+            }
+            .class(),
+            EdgeClass::Realtime
+        );
+    }
+
+    #[test]
+    fn names_are_paper_vocabulary() {
+        assert!(AnomalyType::GSingle.name().contains("read skew"));
+        assert!(AnomalyType::G1a.name().contains("aborted read"));
+    }
+}

@@ -1,0 +1,510 @@
+//! The top-level checker: orchestrates the per-datatype analyses, assembles
+//! the IDSG, runs cycle search, and reasons about consistency models.
+
+use crate::anomaly::{Anomaly, AnomalyType};
+use crate::counter;
+use crate::cycle_search::{find_cycle_anomalies, CycleSearchOptions};
+use crate::deps::DepGraph;
+use crate::list_append;
+use crate::models::{strongest_satisfiable, violated_models, ConsistencyModel};
+use crate::observation::{DataType, ElemIndex, KeyTypes};
+use crate::orders;
+use crate::rw_register::{self, RegisterOptions};
+use crate::set_add;
+use elle_history::History;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// The isolation level the database claims; [`Report::ok`] is judged
+    /// against it.
+    pub expected: ConsistencyModel,
+    /// Derive session-order edges and search for `-process` cycles.
+    pub process_edges: bool,
+    /// Derive real-time edges and search for `-realtime` cycles.
+    pub realtime_edges: bool,
+    /// Derive time-precedes edges from database-exposed transaction
+    /// timestamps and search the start-ordered serialization graph (§5.1).
+    pub timestamp_edges: bool,
+    /// Register-mode version-order inference assumptions.
+    pub registers: RegisterOptions,
+    /// Cap on reported cycles per anomaly type.
+    pub max_cycles_per_type: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions::strict_serializable()
+    }
+}
+
+impl CheckOptions {
+    fn base(expected: ConsistencyModel) -> Self {
+        CheckOptions {
+            expected,
+            process_edges: false,
+            realtime_edges: false,
+            timestamp_edges: false,
+            registers: RegisterOptions::default(),
+            max_cycles_per_type: 4,
+        }
+    }
+
+    /// Expect strict serializability: all edge sources enabled.
+    pub fn strict_serializable() -> Self {
+        CheckOptions {
+            process_edges: true,
+            realtime_edges: true,
+            ..CheckOptions::base(ConsistencyModel::StrictSerializable)
+        }
+    }
+
+    /// Expect serializability (no session / real-time obligations).
+    pub fn serializable() -> Self {
+        CheckOptions::base(ConsistencyModel::Serializable)
+    }
+
+    /// Expect snapshot isolation.
+    pub fn snapshot_isolation() -> Self {
+        CheckOptions::base(ConsistencyModel::SnapshotIsolation)
+    }
+
+    /// Expect repeatable read.
+    pub fn repeatable_read() -> Self {
+        CheckOptions::base(ConsistencyModel::RepeatableRead)
+    }
+
+    /// Expect read committed.
+    pub fn read_committed() -> Self {
+        CheckOptions::base(ConsistencyModel::ReadCommitted)
+    }
+
+    /// Expect read uncommitted.
+    pub fn read_uncommitted() -> Self {
+        CheckOptions::base(ConsistencyModel::ReadUncommitted)
+    }
+
+    /// Builder-style: toggle session edges.
+    pub fn with_process_edges(mut self, on: bool) -> Self {
+        self.process_edges = on;
+        self
+    }
+
+    /// Builder-style: toggle real-time edges.
+    pub fn with_realtime_edges(mut self, on: bool) -> Self {
+        self.realtime_edges = on;
+        self
+    }
+
+    /// Builder-style: toggle database-timestamp edges (§5.1).
+    pub fn with_timestamp_edges(mut self, on: bool) -> Self {
+        self.timestamp_edges = on;
+        self
+    }
+
+    /// Builder-style: register inference assumptions.
+    pub fn with_registers(mut self, r: RegisterOptions) -> Self {
+        self.registers = r;
+        self
+    }
+
+    /// Builder-style: cycle cap per anomaly type.
+    pub fn with_max_cycles(mut self, n: usize) -> Self {
+        self.max_cycles_per_type = n;
+        self
+    }
+}
+
+/// Statistics gathered during a check.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Transactions in the history.
+    pub txns: usize,
+    /// Micro-operations in the history.
+    pub mops: usize,
+    /// Committed / aborted / indeterminate counts.
+    pub committed: usize,
+    /// Aborted transactions.
+    pub aborted: usize,
+    /// Indeterminate transactions.
+    pub indeterminate: usize,
+    /// Distinct IDSG edges by class label.
+    pub edges: BTreeMap<String, usize>,
+    /// Element-carrying writes by may-have-committed transactions.
+    pub committed_writes: usize,
+    /// Of those, how many were observed by at least one committed read —
+    /// the paper's §3 caveat: unobserved writes leave the tail of each
+    /// version order unknown, so a low fraction means weak coverage.
+    pub observed_writes: usize,
+}
+
+/// The result of checking a history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Everything found, ordered by type then size.
+    pub anomalies: Vec<Anomaly>,
+    /// Count per anomaly type.
+    pub anomaly_counts: BTreeMap<AnomalyType, usize>,
+    /// Models ruled out by the anomalies.
+    pub violated: BTreeSet<ConsistencyModel>,
+    /// The frontier of models still tenable.
+    pub strongest_satisfiable: Vec<ConsistencyModel>,
+    /// The model the check was judged against.
+    pub expected: ConsistencyModel,
+    /// Workload statistics.
+    pub stats: CheckStats,
+    /// Non-fatal oddities (key type conflicts, etc.).
+    pub warnings: Vec<String>,
+}
+
+impl Report {
+    /// Did the history satisfy the expected model?
+    pub fn ok(&self) -> bool {
+        !self.violated.contains(&self.expected)
+    }
+
+    /// Anomalies of a given type.
+    pub fn of_type(&self, t: AnomalyType) -> impl Iterator<Item = &Anomaly> + '_ {
+        self.anomalies.iter().filter(move |a| a.typ == t)
+    }
+
+    /// The distinct anomaly types found.
+    pub fn types(&self) -> Vec<AnomalyType> {
+        self.anomaly_counts.keys().copied().collect()
+    }
+
+    /// Render a human-readable summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "checked {} txns ({} ok / {} failed / {} info), {} mops",
+            self.stats.txns,
+            self.stats.committed,
+            self.stats.aborted,
+            self.stats.indeterminate,
+            self.stats.mops
+        );
+        if self.anomalies.is_empty() {
+            let _ = writeln!(s, "no anomalies found; {} holds", self.expected);
+        } else {
+            let _ = writeln!(s, "anomalies:");
+            for (t, n) in &self.anomaly_counts {
+                let _ = writeln!(s, "  {t}: {n}");
+            }
+            let frontier: Vec<String> = self
+                .strongest_satisfiable
+                .iter()
+                .map(|m| m.to_string())
+                .collect();
+            let _ = writeln!(
+                s,
+                "strongest tenable model(s): {}",
+                if frontier.is_empty() {
+                    "none".to_string()
+                } else {
+                    frontier.join(", ")
+                }
+            );
+            let _ = writeln!(
+                s,
+                "expected {}: {}",
+                self.expected,
+                if self.ok() { "holds" } else { "VIOLATED" }
+            );
+        }
+        s
+    }
+}
+
+/// The Elle checker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checker {
+    opts: CheckOptions,
+}
+
+impl Checker {
+    /// A checker with the given options.
+    pub fn new(opts: CheckOptions) -> Self {
+        Checker { opts }
+    }
+
+    /// Check a history, producing a [`Report`].
+    pub fn check(&self, history: &History) -> Report {
+        let opts = self.opts;
+        let kt = KeyTypes::infer(history);
+        let elems = ElemIndex::build(history);
+
+        let mut warnings = Vec::new();
+        for k in &kt.conflicts {
+            warnings.push(format!(
+                "key {k} is used as more than one datatype; its inferences are unreliable"
+            ));
+        }
+
+        let mut anomalies: Vec<Anomaly> = Vec::new();
+        let mut deps = DepGraph::with_txns(history.len());
+
+        let list_keys = kt.keys_of(DataType::List);
+        if !list_keys.is_empty() {
+            let a = list_append::analyze(history, &elems, &list_keys);
+            anomalies.extend(a.anomalies);
+            deps.merge(a.deps);
+        }
+        let reg_keys = kt.keys_of(DataType::Register);
+        if !reg_keys.is_empty() {
+            let a = rw_register::analyze(history, &elems, &reg_keys, opts.registers);
+            anomalies.extend(a.anomalies);
+            deps.merge(a.deps);
+        }
+        let set_keys = kt.keys_of(DataType::Set);
+        if !set_keys.is_empty() {
+            let a = set_add::analyze(history, &elems, &set_keys);
+            anomalies.extend(a.anomalies);
+            deps.merge(a.deps);
+        }
+        let counter_keys = kt.keys_of(DataType::Counter);
+        if !counter_keys.is_empty() {
+            let a = counter::analyze(history, &counter_keys);
+            anomalies.extend(a.anomalies);
+            deps.merge(a.deps);
+        }
+
+        if opts.process_edges {
+            orders::add_process_edges(&mut deps, history);
+        }
+        if opts.realtime_edges {
+            orders::add_realtime_edges(&mut deps, history);
+        }
+        if opts.timestamp_edges {
+            orders::add_timestamp_edges(&mut deps, history);
+        }
+
+        let cycles = find_cycle_anomalies(
+            &deps,
+            history,
+            CycleSearchOptions {
+                process_edges: opts.process_edges,
+                realtime_edges: opts.realtime_edges,
+                timestamp_edges: opts.timestamp_edges,
+                max_per_type: opts.max_cycles_per_type,
+            },
+        );
+        anomalies.extend(cycles);
+        anomalies.sort_by(|a, b| a.typ.cmp(&b.typ).then(a.txns.cmp(&b.txns)));
+
+        let mut anomaly_counts: BTreeMap<AnomalyType, usize> = BTreeMap::new();
+        for a in &anomalies {
+            *anomaly_counts.entry(a.typ).or_insert(0) += 1;
+        }
+        let typs: Vec<AnomalyType> = anomaly_counts.keys().copied().collect();
+        let violated = violated_models(typs.iter());
+        let strongest = strongest_satisfiable(typs.iter());
+
+        let mut edges: BTreeMap<String, usize> = BTreeMap::new();
+        for (c, n) in deps.class_counts() {
+            edges.insert(c.label().to_string(), n);
+        }
+
+        // Observation coverage: which committed writes were ever read?
+        let mut observed: rustc_hash::FxHashSet<(elle_history::Key, elle_history::Elem)> =
+            rustc_hash::FxHashSet::default();
+        for t in history.committed() {
+            for (_, key, v) in t.observed_reads() {
+                match v {
+                    elle_history::ReadValue::List(es) => {
+                        observed.extend(es.iter().map(|e| (key, *e)));
+                    }
+                    elle_history::ReadValue::Register(Some(e)) => {
+                        observed.insert((key, *e));
+                    }
+                    elle_history::ReadValue::Set(es) => {
+                        observed.extend(es.iter().map(|e| (key, *e)));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut committed_writes = 0usize;
+        let mut observed_writes = 0usize;
+        for t in history.txns() {
+            if !t.status.may_have_committed() {
+                continue;
+            }
+            for (_, key, e) in t.elem_writes() {
+                committed_writes += 1;
+                if observed.contains(&(key, e)) {
+                    observed_writes += 1;
+                }
+            }
+        }
+
+        let stats = CheckStats {
+            txns: history.len(),
+            mops: history.mop_count(),
+            committed: history
+                .txns()
+                .iter()
+                .filter(|t| t.status.is_committed())
+                .count(),
+            aborted: history
+                .txns()
+                .iter()
+                .filter(|t| t.status.is_aborted())
+                .count(),
+            indeterminate: history
+                .txns()
+                .iter()
+                .filter(|t| !t.status.is_committed() && !t.status.is_aborted())
+                .count(),
+            edges,
+            committed_writes,
+            observed_writes,
+        };
+
+        Report {
+            anomalies,
+            anomaly_counts,
+            violated,
+            strongest_satisfiable: strongest,
+            expected: opts.expected,
+            stats,
+            warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_history::HistoryBuilder;
+
+    #[test]
+    fn clean_history_ok() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 2).read_list(1, [1, 2]).commit();
+        b.txn(2).read_list(1, [1, 2]).commit();
+        let r = Checker::new(CheckOptions::strict_serializable()).check(&b.build());
+        assert!(r.ok(), "{}", r.summary());
+        assert!(r.anomalies.is_empty());
+        assert_eq!(
+            r.strongest_satisfiable,
+            vec![ConsistencyModel::StrictSerializable]
+        );
+        assert!(r.stats.edges.contains_key("ww"));
+    }
+
+    #[test]
+    fn paper_tidb_g_single_detected_end_to_end() {
+        // §7.1's trio plus seed appends.
+        let mut b = HistoryBuilder::new();
+        b.txn(9).append(34, 2).commit();
+        b.txn(9).append(34, 1).commit();
+        b.txn(0)
+            .read_list(34, [2, 1])
+            .append(36, 5)
+            .append(34, 4)
+            .at(4, Some(20))
+            .commit();
+        b.txn(1).append(34, 5).at(5, Some(19)).commit();
+        b.txn(2).read_list(34, [2, 1, 5, 4]).at(21, Some(22)).commit();
+        let r = Checker::new(CheckOptions::snapshot_isolation()).check(&b.build());
+        assert!(!r.ok(), "{}", r.summary());
+        assert!(r.anomaly_counts.contains_key(&AnomalyType::GSingle));
+        let a = r.of_type(AnomalyType::GSingle).next().unwrap();
+        assert!(a.explanation.contains("did not observe"), "{}", a.explanation);
+    }
+
+    #[test]
+    fn realtime_violation_needs_realtime_edges() {
+        // T0 writes, completes; T1 then reads the initial state — stale.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(1)).commit();
+        b.txn(1).read_list(1, []).at(2, Some(3)).commit();
+        b.txn(2).read_list(1, [1]).at(4, Some(5)).commit();
+        let h = b.build();
+        let strict = Checker::new(CheckOptions::strict_serializable()).check(&h);
+        assert!(!strict.ok(), "{}", strict.summary());
+        assert!(strict
+            .anomaly_counts
+            .contains_key(&AnomalyType::GSingleRealtime));
+        // Plain serializability is satisfied: the same history passes.
+        let ser = Checker::new(CheckOptions::serializable()).check(&h);
+        assert!(ser.ok(), "{}", ser.summary());
+    }
+
+    #[test]
+    fn process_violation() {
+        // One process observes, then un-observes, a write.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(9)).commit();
+        b.txn(1).read_list(1, [1]).at(1, Some(2)).commit(); // p1 sees 1
+        b.txn(1).read_list(1, []).at(10, Some(11)).commit(); // p1 unsees
+        b.txn(2).append(1, 2).at(12, Some(13)).commit();
+        b.txn(3).read_list(1, [1, 2]).at(14, Some(15)).commit();
+        let h = b.build();
+        let opts = CheckOptions::serializable()
+            .with_process_edges(true)
+            .with_realtime_edges(false);
+        let r = Checker::new(opts).check(&h);
+        assert!(r
+            .anomaly_counts
+            .keys()
+            .any(|t| matches!(t, AnomalyType::GSingleProcess | AnomalyType::G1cProcess)),
+            "{}",
+            r.summary());
+    }
+
+    #[test]
+    fn mixed_datatypes_merge_into_one_graph() {
+        let mut b = HistoryBuilder::new();
+        // List cycle half…
+        b.txn(0).append(1, 1).read_register(2, Some(7)).commit();
+        // …register half: t1 writes 7 but reads list [1] from t0? Build a
+        // wr cycle: t0 -> t1 via list, t1 -> t0 via register.
+        b.txn(1).write(2, 7).read_list(1, [1]).commit();
+        let r = Checker::new(CheckOptions::serializable()).check(&b.build());
+        assert!(!r.ok(), "{}", r.summary());
+        assert!(r.anomaly_counts.contains_key(&AnomalyType::G1c));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        let r = Checker::new(CheckOptions::default()).check(&b.build());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"expected\""));
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stats.txns, 1);
+    }
+
+    #[test]
+    fn warnings_on_type_conflicts() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).write(1, 2).commit();
+        let r = Checker::new(CheckOptions::default()).check(&b.build());
+        assert_eq!(r.warnings.len(), 1);
+    }
+
+    #[test]
+    fn expected_model_gates_ok() {
+        // Write skew: legal under SI, illegal under serializable.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(2, 2).commit();
+        b.txn(2).read_list(1, [1]).read_list(2, []).append(3, 1).commit();
+        b.txn(3).read_list(2, [2]).read_list(1, []).append(4, 1).commit();
+        b.txn(4).read_list(3, [1]).read_list(4, [1]).commit();
+        let h = b.build();
+        let si = Checker::new(CheckOptions::snapshot_isolation()).check(&h);
+        let ser = Checker::new(CheckOptions::serializable()).check(&h);
+        assert!(si.ok(), "{}", si.summary());
+        assert!(!ser.ok(), "{}", ser.summary());
+        assert!(ser.anomaly_counts.contains_key(&AnomalyType::G2Item));
+    }
+}

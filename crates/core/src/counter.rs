@@ -1,0 +1,231 @@
+//! Counter analysis (§3 of the paper) — deliberately modest.
+//!
+//! Counters are traceability's worst case: any non-trivial increment
+//! history is non-recoverable, because we cannot tell *which* increment
+//! produced a given value. What survives:
+//!
+//! * **rr ordering**: when every increment is positive, versions are
+//!   monotonically increasing, so committed reads order by value;
+//! * **bounds checking**: a read below 0 or above the sum of all positive
+//!   increments can never have been produced — a garbage read;
+//! * **internal consistency**: within one transaction, a read must equal
+//!   the previous read plus the transaction's own increments since.
+
+use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::deps::DepGraph;
+use elle_history::{History, Key, Mop, ReadValue, TxnId, TxnStatus};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Result of the counter analysis.
+#[derive(Debug, Default)]
+pub struct CounterAnalysis {
+    /// Inferred dependency edges (`rr` only).
+    pub deps: DepGraph,
+    /// Non-cycle anomalies.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// Run the analysis over the counter keys.
+pub fn analyze(history: &History, counter_keys: &[Key]) -> CounterAnalysis {
+    let mut out = CounterAnalysis {
+        deps: DepGraph::with_txns(history.len()),
+        ..Default::default()
+    };
+    let key_set: FxHashSet<Key> = counter_keys.iter().copied().collect();
+
+    check_internal(history, &key_set, &mut out);
+
+    // Sum of positive increments and positivity per key (over txns that may
+    // have committed — aborted increments can't contribute to versions).
+    let mut all_positive: FxHashMap<Key, bool> = FxHashMap::default();
+    let mut max_sum: FxHashMap<Key, i64> = FxHashMap::default();
+    let mut reads_by_key: FxHashMap<Key, Vec<(TxnId, i64)>> = FxHashMap::default();
+    for t in history.txns() {
+        for m in &t.mops {
+            match m {
+                Mop::Increment { key, amount } if key_set.contains(key) => {
+                    let pos = all_positive.entry(*key).or_insert(true);
+                    *pos = *pos && *amount > 0;
+                    if t.status.may_have_committed() && *amount > 0 {
+                        *max_sum.entry(*key).or_insert(0) += amount;
+                    }
+                }
+                Mop::Read {
+                    key,
+                    value: Some(ReadValue::Counter(v)),
+                } if key_set.contains(key) && t.status == TxnStatus::Committed => {
+                    reads_by_key.entry(*key).or_default().push((t.id, *v));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut keys: Vec<Key> = reads_by_key.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        if !all_positive.get(&key).copied().unwrap_or(true) {
+            // Mixed-sign increments: no ordering or bounds inference.
+            continue;
+        }
+        let bound = max_sum.get(&key).copied().unwrap_or(0);
+        let mut reads = reads_by_key[&key].clone();
+        for (t, v) in &reads {
+            if *v < 0 || *v > bound {
+                out.anomalies.push(Anomaly {
+                    typ: AnomalyType::GarbageRead,
+                    txns: vec![*t],
+                    key: Some(key),
+                    steps: vec![],
+                    explanation: format!(
+                        "{}\n  read {v} of counter {key}, outside the reachable range \
+                         [0, {bound}]",
+                        history.get(*t).to_notation()
+                    ),
+                });
+            }
+        }
+        // rr chain over distinct observed values.
+        reads.sort_by_key(|(_, v)| *v);
+        reads.dedup();
+        for w in reads.windows(2) {
+            let ((ta, va), (tb, vb)) = (w[0], w[1]);
+            if va < vb && ta != tb {
+                out.deps.add(ta, tb, Witness::Rr { key });
+            }
+        }
+    }
+    out
+}
+
+/// Internal consistency: read = previous read + own increments since.
+fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut CounterAnalysis) {
+    for t in history.txns() {
+        let mut base: FxHashMap<Key, i64> = FxHashMap::default(); // last read
+        let mut delta: FxHashMap<Key, i64> = FxHashMap::default(); // own incs since
+        for m in &t.mops {
+            match m {
+                Mop::Increment { key, amount } if key_set.contains(key) => {
+                    *delta.entry(*key).or_insert(0) += amount;
+                }
+                Mop::Read {
+                    key,
+                    value: Some(ReadValue::Counter(v)),
+                } if key_set.contains(key) => {
+                    if let Some(prev) = base.get(key) {
+                        let expected = prev + delta.get(key).copied().unwrap_or(0);
+                        if *v != expected {
+                            out.anomalies.push(Anomaly {
+                                typ: AnomalyType::Internal,
+                                txns: vec![t.id],
+                                key: Some(*key),
+                                steps: vec![],
+                                explanation: format!(
+                                    "{}\n  read {v} of counter {key}, but prior operations \
+                                     imply {expected}",
+                                    t.to_notation()
+                                ),
+                            });
+                        }
+                    }
+                    base.insert(*key, *v);
+                    delta.insert(*key, 0);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{DataType, KeyTypes};
+    use elle_graph::EdgeClass;
+    use elle_history::HistoryBuilder;
+
+    fn run(h: &History) -> CounterAnalysis {
+        let kt = KeyTypes::infer(h);
+        analyze(h, &kt.keys_of(DataType::Counter))
+    }
+
+    fn types(a: &CounterAnalysis) -> Vec<AnomalyType> {
+        let mut t: Vec<AnomalyType> = a.anomalies.iter().map(|x| x.typ).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    #[test]
+    fn rr_ordering_by_value() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).increment(1, 1).commit();
+        b.txn(1).increment(1, 1).commit();
+        let t2 = b.txn(2).read_counter(1, 1).commit();
+        let t3 = b.txn(3).read_counter(1, 2).commit();
+        let a = run(&b.build());
+        assert!(a.deps.graph.edge_mask(t2.0, t3.0).contains(EdgeClass::Rr));
+        assert!(!a.deps.graph.edge_mask(t3.0, t2.0).contains(EdgeClass::Rr));
+    }
+
+    #[test]
+    fn out_of_range_read_is_garbage() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).increment(1, 2).commit();
+        b.txn(1).read_counter(1, 5).commit();
+        b.txn(2).read_counter(1, -1).commit();
+        let a = run(&b.build());
+        assert_eq!(
+            a.anomalies
+                .iter()
+                .filter(|x| x.typ == AnomalyType::GarbageRead)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn aborted_increments_do_not_raise_bound() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).increment(1, 2).commit();
+        b.txn(1).increment(1, 10).abort();
+        b.txn(2).read_counter(1, 12).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::GarbageRead));
+    }
+
+    #[test]
+    fn mixed_sign_disables_inference() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).increment(1, 5).commit();
+        b.txn(1).increment(1, -3).commit();
+        b.txn(2).read_counter(1, 99).commit();
+        let a = run(&b.build());
+        assert!(a.anomalies.is_empty());
+        assert_eq!(a.deps.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn internal_inconsistency() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0)
+            .read_counter(1, 0)
+            .increment(1, 2)
+            .read_counter(1, 5)
+            .commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::Internal));
+    }
+
+    #[test]
+    fn internal_consistency_holds() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0)
+            .read_counter(1, 0)
+            .increment(1, 2)
+            .read_counter(1, 2)
+            .commit();
+        let a = run(&b.build());
+        assert!(a.anomalies.is_empty(), "{:?}", a.anomalies);
+    }
+}

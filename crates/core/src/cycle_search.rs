@@ -1,0 +1,651 @@
+//! Orchestrates the per-class cycle searches over the IDSG (§6).
+//!
+//! Strategy, per the paper:
+//!
+//! 1. find strongly connected components with Tarjan's algorithm;
+//! 2. within each component, BFS for a short cycle under each anomaly
+//!    class's edge restriction (G0: `ww`; G1c: ≥1 `wr` among `ww`/`wr`;
+//!    G-single: exactly one `rw`; G2-item: ≥1 `rw`);
+//! 3. optionally re-run with session and real-time edges admitted,
+//!    classifying cycles that *need* those edges as `-process` /
+//!    `-realtime` variants.
+//!
+//! Each found cycle is *presented*: for every step we pick a witness class,
+//! preferring value dependencies (`ww` > `wr` > `rr`) over `rw`, and those
+//! over session/real-time orders, so a cycle is never classified stronger
+//! than its evidence.
+
+use crate::anomaly::{Anomaly, AnomalyType, CycleStep};
+use crate::deps::DepGraph;
+use crate::explain::explain_cycle;
+use elle_graph::{find_cycle, find_cycle_with_single, tarjan_scc, CycleSpec, EdgeClass, EdgeMask};
+use elle_history::{History, TxnId};
+use rustc_hash::FxHashSet;
+
+/// Cycle-search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleSearchOptions {
+    /// Admit per-process (session) edges.
+    pub process_edges: bool,
+    /// Admit real-time edges.
+    pub realtime_edges: bool,
+    /// Admit database-timestamp (time-precedes) edges — §5.1's
+    /// start-ordered serialization graph.
+    pub timestamp_edges: bool,
+    /// Cap on reported cycles per anomaly type.
+    pub max_per_type: usize,
+}
+
+impl Default for CycleSearchOptions {
+    fn default() -> Self {
+        CycleSearchOptions {
+            process_edges: true,
+            realtime_edges: true,
+            timestamp_edges: false,
+            max_per_type: 4,
+        }
+    }
+}
+
+/// Presentation preference: value dependencies first, then anti-deps, then
+/// derived orders. See module docs.
+const PREFERENCE: [EdgeClass; 8] = [
+    EdgeClass::Ww,
+    EdgeClass::Wr,
+    EdgeClass::Rr,
+    EdgeClass::Version,
+    EdgeClass::Rw,
+    EdgeClass::Process,
+    EdgeClass::Realtime,
+    EdgeClass::Timestamp,
+];
+
+/// The value-dependency mask (no anti-dependencies).
+const INFO_FLOW: EdgeMask = EdgeMask(
+    EdgeMask::WW.0 | EdgeMask::WR.0 | EdgeMask::RR.0 | EdgeMask::VERSION.0,
+);
+
+/// Find and classify all cycle anomalies.
+pub fn find_cycle_anomalies(
+    deps: &DepGraph,
+    history: &History,
+    opts: CycleSearchOptions,
+) -> Vec<Anomaly> {
+    let mut out: Vec<Anomaly> = Vec::new();
+    let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+
+    // Augmentation levels, weakest evidence first so that base anomalies
+    // are discovered (and deduplicated) before augmented ones.
+    let mut levels: Vec<EdgeMask> = vec![EdgeMask::NONE];
+    let mut extras = EdgeMask::NONE;
+    if opts.process_edges {
+        extras = extras.union(EdgeMask::PROCESS);
+        levels.push(extras);
+    }
+    if opts.realtime_edges {
+        extras = extras.union(EdgeMask::REALTIME);
+        levels.push(extras);
+    }
+    if opts.timestamp_edges {
+        extras = extras.union(EdgeMask::TIMESTAMP);
+        levels.push(extras);
+    }
+
+    for extra in levels {
+        // G0: write cycles.
+        collect(
+            deps,
+            history,
+            EdgeMask::WW.union(extra),
+            None,
+            opts,
+            &mut seen,
+            &mut out,
+        );
+        // G1c: information-flow cycles (≥ 1 wr / rr).
+        collect(
+            deps,
+            history,
+            INFO_FLOW.union(extra),
+            Some(EdgeMask::WR.union(EdgeMask::RR)),
+            opts,
+            &mut seen,
+            &mut out,
+        );
+        // G-single: exactly one rw among information flow.
+        collect(
+            deps,
+            history,
+            INFO_FLOW.union(EdgeMask::RW).union(extra),
+            Some(EdgeMask::RW),
+            opts,
+            &mut seen,
+            &mut out,
+        );
+        // G2-item: at least one rw, rw allowed everywhere.
+        collect_g2(deps, history, INFO_FLOW.union(EdgeMask::RW).union(extra), opts, &mut seen, &mut out);
+    }
+
+    // Cap per type (keep shortest cycles — they make the best witnesses).
+    out.sort_by_key(|a| (a.typ, a.txns.len()));
+    let mut counts: rustc_hash::FxHashMap<AnomalyType, usize> = rustc_hash::FxHashMap::default();
+    out.retain(|a| {
+        let c = counts.entry(a.typ).or_insert(0);
+        *c += 1;
+        *c <= opts.max_per_type
+    });
+    out
+}
+
+/// Search for cycles in the `allowed` subgraph. With `single = Some(m)`,
+/// cycles must traverse exactly one edge presented from `m` first
+/// (G1c / G-single shape); with `None`, any cycle (G0 shape).
+#[allow(clippy::too_many_arguments)]
+fn collect(
+    deps: &DepGraph,
+    history: &History,
+    allowed: EdgeMask,
+    single: Option<EdgeMask>,
+    opts: CycleSearchOptions,
+    seen: &mut FxHashSet<Vec<u32>>,
+    out: &mut Vec<Anomaly>,
+) {
+    for scc in tarjan_scc(&deps.graph, allowed) {
+        let cycles: Vec<Vec<u32>> = match single {
+            None => find_cycle(&deps.graph, &scc, CycleSpec::uniform(allowed))
+                .into_iter()
+                .collect(),
+            Some(m) => {
+                // Remaining edges must avoid the single class (for
+                // "exactly one"), except when the class is wr/rr where
+                // repetition is harmless (G1c allows many wr).
+                let rest = if m.intersects(EdgeMask::RW) {
+                    EdgeMask(allowed.0 & !EdgeMask::RW.0)
+                } else {
+                    allowed
+                };
+                find_cycle_with_single(&deps.graph, &scc, m, rest, opts.max_per_type)
+            }
+        };
+        for cyc in cycles {
+            push_classified(deps, history, &cyc, allowed, seen, out);
+        }
+    }
+}
+
+/// The G2 search: one forced rw first edge, rw permitted in the remainder.
+fn collect_g2(
+    deps: &DepGraph,
+    history: &History,
+    allowed: EdgeMask,
+    opts: CycleSearchOptions,
+    seen: &mut FxHashSet<Vec<u32>>,
+    out: &mut Vec<Anomaly>,
+) {
+    for scc in tarjan_scc(&deps.graph, allowed) {
+        for cyc in find_cycle_with_single(
+            &deps.graph,
+            &scc,
+            EdgeMask::RW,
+            allowed,
+            opts.max_per_type,
+        ) {
+            push_classified(deps, history, &cyc, allowed, seen, out);
+        }
+    }
+}
+
+/// Present, classify, deduplicate, and record one cycle.
+fn push_classified(
+    deps: &DepGraph,
+    history: &History,
+    cyc: &[u32],
+    allowed: EdgeMask,
+    seen: &mut FxHashSet<Vec<u32>>,
+    out: &mut Vec<Anomaly>,
+) {
+    let key = canonical(cyc);
+    if !seen.insert(key) {
+        return;
+    }
+    let mut steps: Vec<CycleStep> = Vec::with_capacity(cyc.len());
+    for i in 0..cyc.len() {
+        let from = TxnId(cyc[i]);
+        let to = TxnId(cyc[(i + 1) % cyc.len()]);
+        let Some(w) = deps.present(from, to, allowed, &PREFERENCE) else {
+            // Should not happen: the search follows real edges.
+            return;
+        };
+        steps.push(CycleStep {
+            from,
+            to,
+            class: w.class(),
+            witness: w.clone(),
+        });
+    }
+    let Some(typ) = classify(&steps) else {
+        // A start-ordered cycle with ≥ 2 anti-dependencies: legal under
+        // snapshot isolation (write skew with start edges), and timestamp
+        // edges are not value dependencies, so it witnesses nothing.
+        return;
+    };
+    let explanation = explain_cycle(history, &steps);
+    out.push(Anomaly {
+        typ,
+        txns: steps.iter().map(|s| s.from).collect(),
+        key: steps.iter().find_map(|s| key_of(&s.witness)),
+        steps,
+        explanation,
+    });
+}
+
+fn key_of(w: &crate::anomaly::Witness) -> Option<elle_history::Key> {
+    use crate::anomaly::Witness::*;
+    match w {
+        WwList { key, .. } | WrList { key, .. } | RwList { key, .. } | WwReg { key, .. }
+        | WrReg { key, .. } | RwReg { key, .. } | WrSet { key, .. } | RwSet { key, .. }
+        | Rr { key } => Some(*key),
+        Process { .. } | Realtime { .. } | Timestamp { .. } => None,
+    }
+}
+
+/// Classify a presented cycle by the edges it *needs*. Returns `None` for
+/// cycles that witness no proscribed phenomenon (start-ordered cycles with
+/// two or more anti-dependencies — Adya's SI permits those).
+fn classify(steps: &[CycleStep]) -> Option<AnomalyType> {
+    let mut rw = 0usize;
+    let mut wr = 0usize;
+    let mut proc = 0usize;
+    let mut rt = 0usize;
+    let mut ts = 0usize;
+    for s in steps {
+        match s.class {
+            EdgeClass::Rw => rw += 1,
+            EdgeClass::Wr | EdgeClass::Rr | EdgeClass::Version => wr += 1,
+            EdgeClass::Process => proc += 1,
+            EdgeClass::Realtime => rt += 1,
+            EdgeClass::Timestamp => ts += 1,
+            EdgeClass::Ww => {}
+        }
+    }
+    // A cycle that needs a database-timestamp edge lives in the
+    // start-ordered serialization graph. SI proscribes such cycles only
+    // when they carry at most one anti-dependency (G-SIa / G-SIb).
+    if ts > 0 {
+        return (rw <= 1).then_some(AnomalyType::GSI);
+    }
+    let base = if rw == 0 {
+        if wr == 0 {
+            AnomalyType::G0
+        } else {
+            AnomalyType::G1c
+        }
+    } else if rw == 1 {
+        AnomalyType::GSingle
+    } else {
+        AnomalyType::G2Item
+    };
+    Some(match (rt > 0, proc > 0, base) {
+        (true, _, AnomalyType::G0) => AnomalyType::G0Realtime,
+        (true, _, AnomalyType::G1c) => AnomalyType::G1cRealtime,
+        (true, _, AnomalyType::GSingle) => AnomalyType::GSingleRealtime,
+        (true, _, AnomalyType::G2Item) => AnomalyType::G2ItemRealtime,
+        (false, true, AnomalyType::G0) => AnomalyType::G0Process,
+        (false, true, AnomalyType::G1c) => AnomalyType::G1cProcess,
+        (false, true, AnomalyType::GSingle) => AnomalyType::GSingleProcess,
+        (false, true, AnomalyType::G2Item) => AnomalyType::G2ItemProcess,
+        (false, false, b) => b,
+        (_, _, b) => b,
+    })
+}
+
+/// Rotation-canonical form for deduplication.
+fn canonical(cyc: &[u32]) -> Vec<u32> {
+    if cyc.is_empty() {
+        return vec![];
+    }
+    let min_pos = cyc
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, v)| **v)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut v = Vec::with_capacity(cyc.len());
+    for i in 0..cyc.len() {
+        v.push(cyc[(min_pos + i) % cyc.len()]);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::Witness;
+    use elle_history::{Elem, HistoryBuilder, Key, ProcessId};
+
+    fn history(n: usize) -> History {
+        let mut b = HistoryBuilder::new();
+        for i in 0..n {
+            b.txn(i as u32).append(1, i as u64 + 1).commit();
+        }
+        b.build()
+    }
+
+    fn ww(k: u64, p: u64, n: u64) -> Witness {
+        Witness::WwList {
+            key: Key(k),
+            prev: Elem(p),
+            next: Elem(n),
+        }
+    }
+
+    #[test]
+    fn classifies_g0() {
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        d.add(TxnId(1), TxnId(0), ww(1, 2, 1));
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::G0);
+        assert_eq!(found[0].steps.len(), 2);
+        assert!(found[0].explanation.contains("a contradiction!"));
+    }
+
+    #[test]
+    fn classifies_g1c() {
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        d.add(
+            TxnId(1),
+            TxnId(0),
+            Witness::WrList {
+                key: Key(1),
+                elem: Elem(2),
+            },
+        );
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::G1c);
+    }
+
+    #[test]
+    fn classifies_g_single() {
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        d.add(
+            TxnId(1),
+            TxnId(0),
+            Witness::RwList {
+                key: Key(1),
+                read_last: Some(Elem(1)),
+                next: Elem(2),
+            },
+        );
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::GSingle);
+    }
+
+    #[test]
+    fn classifies_g2_item() {
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::RwList {
+                key: Key(1),
+                read_last: None,
+                next: Elem(2),
+            },
+        );
+        d.add(
+            TxnId(1),
+            TxnId(0),
+            Witness::RwList {
+                key: Key(2),
+                read_last: None,
+                next: Elem(1),
+            },
+        );
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::G2Item);
+    }
+
+    #[test]
+    fn prefers_stronger_classification() {
+        // Edge carries both ww and rw: cycle should present as G0, the
+        // strongest interpretation.
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        d.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::RwList {
+                key: Key(1),
+                read_last: None,
+                next: Elem(2),
+            },
+        );
+        d.add(TxnId(1), TxnId(0), ww(1, 2, 1));
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found[0].typ, AnomalyType::G0);
+    }
+
+    #[test]
+    fn realtime_cycle_classified_as_realtime_variant() {
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::RwList {
+                key: Key(1),
+                read_last: None,
+                next: Elem(2),
+            },
+        );
+        d.add(
+            TxnId(1),
+            TxnId(0),
+            Witness::Realtime {
+                complete: 0,
+                invoke: 1,
+            },
+        );
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::GSingleRealtime);
+    }
+
+    #[test]
+    fn process_cycle_classified_as_process_variant() {
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::RwList {
+                key: Key(1),
+                read_last: None,
+                next: Elem(2),
+            },
+        );
+        d.add(
+            TxnId(1),
+            TxnId(0),
+            Witness::Process {
+                process: ProcessId(0),
+            },
+        );
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::GSingleProcess);
+    }
+
+    #[test]
+    fn disabled_extras_hide_augmented_cycles() {
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::RwList {
+                key: Key(1),
+                read_last: None,
+                next: Elem(2),
+            },
+        );
+        d.add(
+            TxnId(1),
+            TxnId(0),
+            Witness::Realtime {
+                complete: 0,
+                invoke: 1,
+            },
+        );
+        let opts = CycleSearchOptions {
+            realtime_edges: false,
+            ..Default::default()
+        };
+        assert!(find_cycle_anomalies(&d, &h, opts).is_empty());
+    }
+
+    #[test]
+    fn max_per_type_caps_output() {
+        // Five disjoint 2-cycles of ww.
+        let h = history(10);
+        let mut d = DepGraph::with_txns(10);
+        for i in 0..5u32 {
+            let (a, b) = (2 * i, 2 * i + 1);
+            d.add(TxnId(a), TxnId(b), ww(i as u64, 1, 2));
+            d.add(TxnId(b), TxnId(a), ww(i as u64, 2, 1));
+        }
+        let opts = CycleSearchOptions {
+            max_per_type: 2,
+            ..Default::default()
+        };
+        let found = find_cycle_anomalies(&d, &h, opts);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn rr_edges_participate_at_g1c_tier() {
+        // A set-style rr edge closing an information-flow cycle.
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::WrSet {
+                key: Key(1),
+                elem: Elem(1),
+            },
+        );
+        d.add(TxnId(1), TxnId(0), Witness::Rr { key: Key(1) });
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::G1c);
+    }
+
+    #[test]
+    fn realtime_beats_process_in_classification() {
+        // A cycle needing both a process and a realtime edge is a
+        // realtime violation (process order is real-time within a client).
+        let h = history(3);
+        let mut d = DepGraph::with_txns(3);
+        d.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::RwList {
+                key: Key(1),
+                read_last: None,
+                next: Elem(2),
+            },
+        );
+        d.add(
+            TxnId(1),
+            TxnId(2),
+            Witness::Process {
+                process: ProcessId(0),
+            },
+        );
+        d.add(
+            TxnId(2),
+            TxnId(0),
+            Witness::Realtime {
+                complete: 1,
+                invoke: 2,
+            },
+        );
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::GSingleRealtime);
+    }
+
+    #[test]
+    fn three_rw_cycle_is_g2() {
+        let h = history(3);
+        let mut d = DepGraph::with_txns(3);
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 0)] {
+            d.add(
+                TxnId(a),
+                TxnId(b),
+                Witness::RwList {
+                    key: Key(a as u64),
+                    read_last: None,
+                    next: Elem(b as u64),
+                },
+            );
+        }
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].typ, AnomalyType::G2Item);
+        assert_eq!(found[0].steps.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_cycles_all_reported() {
+        let h = history(4);
+        let mut d = DepGraph::with_txns(4);
+        d.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        d.add(TxnId(1), TxnId(0), ww(1, 2, 1));
+        d.add(
+            TxnId(2),
+            TxnId(3),
+            Witness::RwList {
+                key: Key(2),
+                read_last: None,
+                next: Elem(1),
+            },
+        );
+        d.add(TxnId(3), TxnId(2), ww(2, 1, 2));
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let mut types: Vec<AnomalyType> = found.iter().map(|a| a.typ).collect();
+        types.sort_unstable();
+        assert_eq!(types, vec![AnomalyType::G0, AnomalyType::GSingle]);
+    }
+
+    #[test]
+    fn anomaly_key_is_taken_from_witnesses() {
+        let h = history(2);
+        let mut d = DepGraph::with_txns(2);
+        d.add(TxnId(0), TxnId(1), ww(7, 1, 2));
+        d.add(TxnId(1), TxnId(0), ww(7, 2, 1));
+        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        assert_eq!(found[0].key, Some(Key(7)));
+    }
+
+    #[test]
+    fn canonical_rotation() {
+        assert_eq!(canonical(&[3, 1, 2]), vec![1, 2, 3]);
+        assert_eq!(canonical(&[1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(canonical(&[2, 3, 1]), vec![1, 2, 3]);
+        assert!(canonical(&[]).is_empty());
+    }
+}

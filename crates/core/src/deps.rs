@@ -1,0 +1,208 @@
+//! The inferred dependency graph (IDSG) with per-edge witnesses.
+
+use crate::anomaly::Witness;
+use elle_graph::{DiGraph, EdgeClass, EdgeMask};
+use elle_history::TxnId;
+use rustc_hash::FxHashMap;
+
+/// The Inferred Direct Serialization Graph of §4.3.2, over observed
+/// transactions, each edge annotated with the evidence that produced it.
+#[derive(Debug, Default)]
+pub struct DepGraph {
+    /// Vertex `i` is transaction `TxnId(i)`.
+    pub graph: DiGraph,
+    witnesses: FxHashMap<(u32, u32), Vec<Witness>>,
+}
+
+impl DepGraph {
+    /// A graph able to hold `n` transactions.
+    pub fn with_txns(n: usize) -> Self {
+        DepGraph {
+            graph: DiGraph::with_vertices(n),
+            witnesses: FxHashMap::default(),
+        }
+    }
+
+    /// Add a dependency `from < to` substantiated by `witness`.
+    ///
+    /// Self-dependencies are dropped: Adya's serialization graphs assume
+    /// `Ti ≠ Tj` (§4.1.4, footnote 3 of the paper).
+    pub fn add(&mut self, from: TxnId, to: TxnId, witness: Witness) {
+        if from == to {
+            return;
+        }
+        let (a, b) = (from.0, to.0);
+        self.graph.add_edge(a, b, witness.class());
+        self.witnesses.entry((a, b)).or_default().push(witness);
+    }
+
+    /// All witnesses on edge `(from, to)`.
+    pub fn witnesses(&self, from: TxnId, to: TxnId) -> &[Witness] {
+        self.witnesses
+            .get(&(from.0, to.0))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// A witness on `(from, to)` of a specific class, if one exists.
+    pub fn witness_of_class(&self, from: TxnId, to: TxnId, class: EdgeClass) -> Option<&Witness> {
+        self.witnesses(from, to).iter().find(|w| w.class() == class)
+    }
+
+    /// Pick a witness for presenting edge `(from, to)`, preferring classes
+    /// earlier in `preference` (restricted to `allowed`).
+    pub fn present(
+        &self,
+        from: TxnId,
+        to: TxnId,
+        allowed: EdgeMask,
+        preference: &[EdgeClass],
+    ) -> Option<&Witness> {
+        let ws = self.witnesses(from, to);
+        for &c in preference {
+            if !allowed.contains(c) {
+                continue;
+            }
+            if let Some(w) = ws.iter().find(|w| w.class() == c) {
+                return Some(w);
+            }
+        }
+        // Fall back to any allowed witness.
+        ws.iter().find(|w| allowed.contains(w.class()))
+    }
+
+    /// Count of edges per class (for report statistics).
+    pub fn class_counts(&self) -> FxHashMap<EdgeClass, usize> {
+        let mut counts: FxHashMap<EdgeClass, usize> = FxHashMap::default();
+        for ws in self.witnesses.values() {
+            let mut classes: Vec<EdgeClass> = ws.iter().map(|w| w.class()).collect();
+            classes.sort_by_key(|c| *c as u8);
+            classes.dedup();
+            for c in classes {
+                *counts.entry(c).or_default() += 1;
+            }
+        }
+        counts
+    }
+
+    /// Merge another dependency graph into this one (used to combine the
+    /// per-datatype inferences into a single IDSG).
+    pub fn merge(&mut self, other: DepGraph) {
+        for ((a, b), ws) in other.witnesses {
+            for w in ws {
+                self.graph.add_edge(a, b, w.class());
+                self.witnesses.entry((a, b)).or_default().push(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_history::{Elem, Key, ProcessId};
+
+    fn ww(k: u64, p: u64, n: u64) -> Witness {
+        Witness::WwList {
+            key: Key(k),
+            prev: Elem(p),
+            next: Elem(n),
+        }
+    }
+
+    #[test]
+    fn self_edges_dropped() {
+        let mut g = DepGraph::with_txns(2);
+        g.add(TxnId(0), TxnId(0), ww(1, 1, 2));
+        assert_eq!(g.graph.edge_count(), 0);
+        assert!(g.witnesses(TxnId(0), TxnId(0)).is_empty());
+    }
+
+    #[test]
+    fn witnesses_accumulate() {
+        let mut g = DepGraph::with_txns(2);
+        g.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        g.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::WrList {
+                key: Key(1),
+                elem: Elem(2),
+            },
+        );
+        assert_eq!(g.witnesses(TxnId(0), TxnId(1)).len(), 2);
+        assert!(g
+            .witness_of_class(TxnId(0), TxnId(1), EdgeClass::Wr)
+            .is_some());
+        assert!(g
+            .witness_of_class(TxnId(0), TxnId(1), EdgeClass::Rw)
+            .is_none());
+        assert_eq!(
+            g.graph.edge_mask(0, 1),
+            EdgeMask::WW | EdgeMask::WR
+        );
+    }
+
+    #[test]
+    fn presentation_prefers_order() {
+        let mut g = DepGraph::with_txns(2);
+        g.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::RwList {
+                key: Key(1),
+                read_last: None,
+                next: Elem(2),
+            },
+        );
+        g.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        let w = g
+            .present(
+                TxnId(0),
+                TxnId(1),
+                EdgeMask::ALL,
+                &[EdgeClass::Ww, EdgeClass::Rw],
+            )
+            .unwrap();
+        assert_eq!(w.class(), EdgeClass::Ww);
+        // Restrict to rw only:
+        let w = g
+            .present(TxnId(0), TxnId(1), EdgeMask::RW, &[EdgeClass::Ww, EdgeClass::Rw])
+            .unwrap();
+        assert_eq!(w.class(), EdgeClass::Rw);
+    }
+
+    #[test]
+    fn merge_combines_edges() {
+        let mut a = DepGraph::with_txns(3);
+        a.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        let mut b = DepGraph::with_txns(3);
+        b.add(
+            TxnId(1),
+            TxnId(2),
+            Witness::Process {
+                process: ProcessId(0),
+            },
+        );
+        a.merge(b);
+        assert_eq!(a.graph.edge_count(), 2);
+        assert_eq!(a.witnesses(TxnId(1), TxnId(2)).len(), 1);
+    }
+
+    #[test]
+    fn class_counts() {
+        let mut g = DepGraph::with_txns(3);
+        g.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        g.add(TxnId(1), TxnId(2), ww(1, 2, 3));
+        g.add(
+            TxnId(0),
+            TxnId(1),
+            Witness::WrList {
+                key: Key(1),
+                elem: Elem(2),
+            },
+        );
+        let c = g.class_counts();
+        assert_eq!(c.get(&EdgeClass::Ww), Some(&2));
+        assert_eq!(c.get(&EdgeClass::Wr), Some(&1));
+    }
+}

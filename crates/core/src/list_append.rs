@@ -1,0 +1,782 @@
+//! The list-append analysis — Elle's most powerful mode (§3, §4 of the
+//! paper).
+//!
+//! Append-only lists are **traceable**: a read of `[1, 2, 3]` proves the
+//! object went through versions `[] → [1] → [1, 2] → [1, 2, 3]` in exactly
+//! that order. With unique append arguments they are also **recoverable**:
+//! each element maps to the one transaction that appended it. Together
+//! these let us reconstruct, per key, a prefix of the version order `≪x`,
+//! and from it *all three* Adya dependencies:
+//!
+//! * `wr`: the writer of a read value's final element → the reader,
+//! * `ww`: writers of consecutive elements of the version order,
+//! * `rw`: a reader of prefix `v` → the writer of the next element.
+//!
+//! Non-cycle anomalies (aborted/intermediate reads, dirty updates, lost
+//! updates, garbage, duplicates, internal inconsistency, incompatible
+//! orders) are detected directly from element provenance.
+
+use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::deps::DepGraph;
+use crate::observation::ElemIndex;
+use elle_history::{Elem, History, Key, Mop, ReadValue, Transaction, TxnId, TxnStatus};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Result of the list-append analysis: dependency edges plus the non-cycle
+/// anomalies found along the way.
+#[derive(Debug, Default)]
+pub struct ListAppendAnalysis {
+    /// Inferred dependency edges (merged into the IDSG by the checker).
+    pub deps: DepGraph,
+    /// Non-cycle anomalies.
+    pub anomalies: Vec<Anomaly>,
+    /// Inferred version order per key: the trace of the longest committed
+    /// read (§4.3.2's `x_f`).
+    pub version_orders: FxHashMap<Key, Vec<Elem>>,
+}
+
+/// One committed read occurrence.
+#[derive(Debug, Clone)]
+struct ReadOcc<'h> {
+    txn: &'h Transaction,
+    mop: usize,
+    value: &'h [Elem],
+}
+
+/// Render a list value compactly for explanations: `[1 2 3 … (29 total)]`.
+fn show_list(v: &[Elem]) -> String {
+    const HEAD: usize = 10;
+    let mut s = String::from("[");
+    for (i, e) in v.iter().take(HEAD).enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&e.to_string());
+    }
+    if v.len() > HEAD {
+        s.push_str(&format!(" … ({} total)", v.len()));
+    }
+    s.push(']');
+    s
+}
+
+/// Run the analysis over every list key of the history.
+pub fn analyze(history: &History, elems: &ElemIndex, list_keys: &[Key]) -> ListAppendAnalysis {
+    let mut out = ListAppendAnalysis {
+        deps: DepGraph::with_txns(history.len()),
+        ..Default::default()
+    };
+    let key_set: FxHashSet<Key> = list_keys.iter().copied().collect();
+
+    check_internal(history, &key_set, &mut out);
+
+    // Appends per (txn, key), in program order — used for G1b and wr.
+    let appends_of = index_appends(history, &key_set);
+
+    // Committed reads per key.
+    let mut reads_by_key: FxHashMap<Key, Vec<ReadOcc<'_>>> = FxHashMap::default();
+    for t in history.txns() {
+        if t.status != TxnStatus::Committed {
+            continue;
+        }
+        for (i, m) in t.mops.iter().enumerate() {
+            if let Mop::Read {
+                key,
+                value: Some(ReadValue::List(v)),
+            } = m
+            {
+                if key_set.contains(key) {
+                    reads_by_key.entry(*key).or_default().push(ReadOcc {
+                        txn: t,
+                        mop: i,
+                        value: v,
+                    });
+                }
+            }
+        }
+    }
+
+    // Duplicate writes detected at write level poison recoverability.
+    let mut poisoned: FxHashSet<Key> = FxHashSet::default();
+    for (k, e, txns) in &elems.duplicates {
+        if !key_set.contains(k) {
+            continue;
+        }
+        poisoned.insert(*k);
+        out.anomalies.push(Anomaly {
+            typ: AnomalyType::DuplicateWrite,
+            txns: txns.clone(),
+            key: Some(*k),
+            steps: vec![],
+            explanation: format!(
+                "element {e} was appended to key {k} by more than one write ({}); \
+                 versions of {k} are not recoverable",
+                txns.iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+
+    let mut keys: Vec<Key> = reads_by_key.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let occs = &reads_by_key[&key];
+        analyze_key(history, elems, &appends_of, key, occs, poisoned.contains(&key), &mut out);
+    }
+    out
+}
+
+/// Ordered appends per (txn, key).
+fn index_appends(
+    history: &History,
+    key_set: &FxHashSet<Key>,
+) -> FxHashMap<(TxnId, Key), Vec<Elem>> {
+    let mut appends: FxHashMap<(TxnId, Key), Vec<Elem>> = FxHashMap::default();
+    for t in history.txns() {
+        for m in &t.mops {
+            if let Mop::Append { key, elem } = m {
+                if key_set.contains(key) {
+                    appends.entry((t.id, *key)).or_default().push(*elem);
+                }
+            }
+        }
+    }
+    appends
+}
+
+/// Internal consistency (§6.1): each transaction's reads must agree with
+/// its own prior reads and appends. Model: expected value = `known prefix
+/// (if any) ++ own appends since`.
+fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut ListAppendAnalysis) {
+    #[derive(Default, Clone)]
+    struct St {
+        known: Option<Vec<Elem>>,
+        appended: Vec<Elem>,
+    }
+    for t in history.txns() {
+        let mut states: FxHashMap<Key, St> = FxHashMap::default();
+        for m in &t.mops {
+            match m {
+                Mop::Append { key, elem } if key_set.contains(key) => {
+                    states.entry(*key).or_default().appended.push(*elem);
+                }
+                Mop::Read {
+                    key,
+                    value: Some(ReadValue::List(v)),
+                } if key_set.contains(key) => {
+                    let st = states.entry(*key).or_default();
+                    let ok = match &st.known {
+                        Some(prefix) => {
+                            v.len() == prefix.len() + st.appended.len()
+                                && v[..prefix.len()] == prefix[..]
+                                && v[prefix.len()..] == st.appended[..]
+                        }
+                        None => {
+                            v.len() >= st.appended.len()
+                                && v[v.len() - st.appended.len()..] == st.appended[..]
+                        }
+                    };
+                    if !ok {
+                        let expected = match &st.known {
+                            Some(p) => {
+                                let mut e = p.clone();
+                                e.extend(&st.appended);
+                                show_list(&e)
+                            }
+                            None => format!(
+                                "a value ending in [{}]",
+                                st.appended
+                                    .iter()
+                                    .map(|e| e.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(" ")
+                            ),
+                        };
+                        out.anomalies.push(Anomaly {
+                            typ: AnomalyType::Internal,
+                            txns: vec![t.id],
+                            key: Some(*key),
+                            steps: vec![],
+                            explanation: format!(
+                                "{}\n  read of key {key} returned {}, but the \
+                                 transaction's own operations imply {expected}",
+                                t.to_notation(),
+                                show_list(v),
+                            ),
+                        });
+                    }
+                    // Trust the read for subsequent expectations.
+                    st.known = Some(v.clone());
+                    st.appended.clear();
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_key(
+    history: &History,
+    elems: &ElemIndex,
+    appends_of: &FxHashMap<(TxnId, Key), Vec<Elem>>,
+    key: Key,
+    occs: &[ReadOcc<'_>],
+    mut poisoned: bool,
+    out: &mut ListAppendAnalysis,
+) {
+    // ── Pass A (always valid): duplicates within reads and garbage
+    //    elements. Both poison recoverability for this key. ─────────────
+    let mut garbage_reported: FxHashSet<Elem> = FxHashSet::default();
+    for occ in occs {
+        let mut seen: FxHashSet<Elem> = FxHashSet::default();
+        for e in occ.value {
+            if !seen.insert(*e) {
+                poisoned = true;
+                out.anomalies.push(Anomaly {
+                    typ: AnomalyType::DuplicateWrite,
+                    txns: vec![occ.txn.id],
+                    key: Some(key),
+                    steps: vec![],
+                    explanation: format!(
+                        "{}\n  the read of key {key} contains element {e} more than once",
+                        occ.txn.to_notation()
+                    ),
+                });
+                break;
+            }
+        }
+        for e in occ.value {
+            if elems.writer(key, *e).is_none() && garbage_reported.insert(*e) {
+                poisoned = true;
+                out.anomalies.push(Anomaly {
+                    typ: AnomalyType::GarbageRead,
+                    txns: vec![occ.txn.id],
+                    key: Some(key),
+                    steps: vec![],
+                    explanation: format!(
+                        "{}\n  the read of key {key} observed element {e}, which no \
+                         transaction ever appended",
+                        occ.txn.to_notation()
+                    ),
+                });
+            }
+        }
+    }
+
+    // ── Pass B: provenance checks (G1a, G1b, dirty updates). These rely
+    //    on recoverability — the element → writer map must be a bijection
+    //    — so they are skipped for poisoned keys (§4.2.3). ───────────────
+    let mut dirty_reported: FxHashSet<Elem> = FxHashSet::default();
+    let mut g1a_reported: FxHashSet<(TxnId, Elem)> = FxHashSet::default();
+    let mut g1b_reported: FxHashSet<(TxnId, Elem)> = FxHashSet::default();
+
+    for occ in occs.iter().filter(|_| !poisoned) {
+        let mut saw_aborted: Option<(usize, Elem, TxnId)> = None;
+        for (j, e) in occ.value.iter().enumerate() {
+            let Some(w) = elems.writer(key, *e) else {
+                continue; // reported as garbage in pass A
+            };
+
+            // G1a: committed read observes an aborted write.
+            if w.status == TxnStatus::Aborted && g1a_reported.insert((occ.txn.id, *e)) {
+                out.anomalies.push(Anomaly {
+                    typ: AnomalyType::G1a,
+                    txns: vec![occ.txn.id, w.txn],
+                    key: Some(key),
+                    steps: vec![],
+                    explanation: format!(
+                        "{}\n  observed element {e} of key {key}, which was appended by \
+                         aborted transaction {}",
+                        occ.txn.to_notation(),
+                        history.get(w.txn).to_notation()
+                    ),
+                });
+            }
+
+            // Dirty update: committed data layered over an aborted write.
+            match (w.status, saw_aborted) {
+                (TxnStatus::Aborted, None) => saw_aborted = Some((j, *e, w.txn)),
+                (TxnStatus::Committed | TxnStatus::Indeterminate, Some((_, ae, awriter))) => {
+                    if dirty_reported.insert(ae) {
+                        out.anomalies.push(Anomaly {
+                            typ: AnomalyType::DirtyUpdate,
+                            txns: vec![awriter, w.txn],
+                            key: Some(key),
+                            steps: vec![],
+                            explanation: format!(
+                                "the trace of key {key} contains element {ae} from aborted \
+                                 transaction {awriter}, later built upon by {}'s append of {e}",
+                                w.txn
+                            ),
+                        });
+                    }
+                    saw_aborted = None;
+                }
+                _ => {}
+            }
+
+            // G1b: an intermediate write must be immediately followed by
+            // the same writer's next append, else the read exposed an
+            // intermediate version.
+            if w.txn != occ.txn.id && !w.final_for_key {
+                let writer_appends = &appends_of[&(w.txn, key)];
+                let pos = writer_appends
+                    .iter()
+                    .position(|x| x == e)
+                    .expect("writer index consistent");
+                let expected_next = writer_appends.get(pos + 1);
+                let actual_next = occ.value.get(j + 1);
+                if expected_next != actual_next && g1b_reported.insert((occ.txn.id, *e)) {
+                    out.anomalies.push(Anomaly {
+                        typ: AnomalyType::G1b,
+                        txns: vec![occ.txn.id, w.txn],
+                        key: Some(key),
+                        steps: vec![],
+                        explanation: format!(
+                            "{}\n  observed element {e} of key {key}, an intermediate \
+                             append of {} (its next append {} is not the following element)",
+                            occ.txn.to_notation(),
+                            history.get(w.txn).to_notation(),
+                            expected_next.map_or("<none>".to_string(), |e| e.to_string()),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // ── Version order: the longest committed read is x_f. ─────────────
+    let longest = occs
+        .iter()
+        .max_by_key(|o| o.value.len())
+        .expect("at least one read per key in map");
+    let longest_v = longest.value;
+
+    // Prefix compatibility of every other read.
+    let mut compatible: Vec<&ReadOcc<'_>> = Vec::with_capacity(occs.len());
+    for occ in occs {
+        if occ.value.len() <= longest_v.len() && occ.value[..] == longest_v[..occ.value.len()] {
+            compatible.push(occ);
+        } else {
+            out.anomalies.push(Anomaly {
+                typ: AnomalyType::IncompatibleOrder,
+                txns: vec![occ.txn.id, longest.txn.id],
+                key: Some(key),
+                steps: vec![],
+                explanation: format!(
+                    "{}\n{}\n  both committed reads of key {key} cannot lie on one \
+                     version order: {} is not a prefix of {}",
+                    occ.txn.to_notation(),
+                    longest.txn.to_notation(),
+                    show_list(occ.value),
+                    show_list(longest_v)
+                ),
+            });
+        }
+    }
+
+    // ── Lost updates: distinct committed txns that read the same version
+    //    of `key` and then append to it. ────────────────────────────────
+    let mut rmw_groups: FxHashMap<&[Elem], Vec<TxnId>> = FxHashMap::default();
+    for occ in occs {
+        // First read of the key in this txn, before any own append.
+        let first_touch = occ
+            .txn
+            .mops
+            .iter()
+            .position(|m| m.key() == key)
+            .expect("occ touches key");
+        if first_touch != occ.mop {
+            continue;
+        }
+        let appends_after = occ.txn.mops[occ.mop..]
+            .iter()
+            .any(|m| matches!(m, Mop::Append { key: k, .. } if *k == key));
+        if appends_after {
+            let group = rmw_groups.entry(occ.value).or_default();
+            if !group.contains(&occ.txn.id) {
+                group.push(occ.txn.id);
+            }
+        }
+    }
+    let mut groups: Vec<(&[Elem], Vec<TxnId>)> = rmw_groups
+        .into_iter()
+        .filter(|(_, g)| g.len() >= 2)
+        .collect();
+    groups.sort_by_key(|(v, _)| v.len());
+    for (v, mut group) in groups {
+        group.sort_unstable();
+        out.anomalies.push(Anomaly {
+            typ: AnomalyType::LostUpdate,
+            txns: group.clone(),
+            key: Some(key),
+            steps: vec![],
+            explanation: format!(
+                "transactions {} all read version {} of key {key} and then appended \
+                 to it; at most one of those appends can directly follow that version",
+                group
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                show_list(v),
+            ),
+        });
+    }
+
+    if poisoned {
+        // Recoverability is broken for this key: skip dependency edges.
+        return;
+    }
+    out.version_orders.insert(key, longest_v.to_vec());
+
+    // ── ww edges: consecutive elements of the version order. ──────────
+    for pair in longest_v.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let (wa, wb) = (
+            elems.writer(key, a).expect("no garbage in clean key"),
+            elems.writer(key, b).expect("no garbage in clean key"),
+        );
+        out.deps.add(
+            wa.txn,
+            wb.txn,
+            Witness::WwList {
+                key,
+                prev: a,
+                next: b,
+            },
+        );
+    }
+
+    // ── wr and rw edges per compatible committed read. ─────────────────
+    for occ in &compatible {
+        let reader = occ.txn.id;
+        // Strip trailing own appends: the externally-visible prefix.
+        let own: FxHashSet<Elem> = appends_of
+            .get(&(reader, key))
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        let mut ext_len = occ.value.len();
+        while ext_len > 0 && own.contains(&occ.value[ext_len - 1]) {
+            ext_len -= 1;
+        }
+        let ext = &occ.value[..ext_len];
+
+        // wr: the version `ext` was produced by the append of its last
+        // element.
+        if let Some(last) = ext.last() {
+            let w = elems.writer(key, *last).expect("clean key");
+            out.deps.add(
+                w.txn,
+                reader,
+                Witness::WrList {
+                    key,
+                    elem: *last,
+                },
+            );
+        }
+
+        // rw: the version directly after the one this read observed.
+        if occ.value.len() < longest_v.len() {
+            let next = longest_v[occ.value.len()];
+            let w = elems.writer(key, next).expect("clean key");
+            out.deps.add(
+                reader,
+                w.txn,
+                Witness::RwList {
+                    key,
+                    read_last: occ.value.last().copied(),
+                    next,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{DataType, KeyTypes};
+    use elle_graph::EdgeMask;
+    use elle_history::HistoryBuilder;
+
+    fn run(h: &History) -> ListAppendAnalysis {
+        let elems = ElemIndex::build(h);
+        let kt = KeyTypes::infer(h);
+        analyze(h, &elems, &kt.keys_of(DataType::List))
+    }
+
+    fn types(a: &ListAppendAnalysis) -> Vec<AnomalyType> {
+        let mut t: Vec<AnomalyType> = a.anomalies.iter().map(|x| x.typ).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    #[test]
+    fn clean_history_has_no_anomalies() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 2).read_list(1, [1, 2]).commit();
+        b.txn(2).read_list(1, [1, 2]).commit();
+        let a = run(&b.build());
+        assert!(a.anomalies.is_empty(), "{:?}", a.anomalies);
+        assert_eq!(a.version_orders[&Key(1)], vec![Elem(1), Elem(2)]);
+    }
+
+    #[test]
+    fn infers_ww_wr_rw_edges() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).append(1, 1).commit(); // writer of 1
+        let t1 = b.txn(1).append(1, 2).commit(); // writer of 2
+        let t2 = b.txn(2).read_list(1, [1]).commit(); // reads [1]
+        let t3 = b.txn(3).read_list(1, [1, 2]).commit(); // reads [1,2]
+        let a = run(&b.build());
+        // ww: t0 -> t1 (1 before 2)
+        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(elle_graph::EdgeClass::Ww));
+        // wr: t0 -> t2 (t2 read version [1]); t1 -> t3.
+        assert!(a.deps.graph.edge_mask(t0.0, t2.0).contains(elle_graph::EdgeClass::Wr));
+        assert!(a.deps.graph.edge_mask(t1.0, t3.0).contains(elle_graph::EdgeClass::Wr));
+        // rw: t2 -> t1 (t2 missed 2).
+        assert!(a.deps.graph.edge_mask(t2.0, t1.0).contains(elle_graph::EdgeClass::Rw));
+        // No rw out of t3 (read the longest version).
+        assert_eq!(
+            a.deps
+                .graph
+                .out_neighbors_masked(t3.0, EdgeMask::RW)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn empty_read_gets_rw_to_first_writer() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).read_list(1, []).commit();
+        let t1 = b.txn(1).append(1, 5).commit();
+        b.txn(2).read_list(1, [5]).commit();
+        let a = run(&b.build());
+        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(elle_graph::EdgeClass::Rw));
+    }
+
+    #[test]
+    fn g1a_aborted_read() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).abort();
+        b.txn(1).read_list(1, [1]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::G1a));
+    }
+
+    #[test]
+    fn g1b_intermediate_read() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).append(1, 2).commit();
+        b.txn(1).read_list(1, [1]).commit(); // saw only the intermediate
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::G1b));
+    }
+
+    #[test]
+    fn g1b_not_fired_for_contiguous_block() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).append(1, 2).commit();
+        b.txn(1).read_list(1, [1, 2]).commit();
+        let a = run(&b.build());
+        assert!(a.anomalies.is_empty(), "{:?}", a.anomalies);
+    }
+
+    #[test]
+    fn g1b_fired_when_interleaved() {
+        // Writer's appends 1,2 separated by a foreign element 9 — the
+        // version after "1" was exposed.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).append(1, 2).commit();
+        b.txn(1).append(1, 9).commit();
+        b.txn(2).read_list(1, [1, 9, 2]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::G1b));
+    }
+
+    #[test]
+    fn dirty_update_detected() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).abort();
+        b.txn(1).append(1, 2).commit();
+        b.txn(2).read_list(1, [1, 2]).commit();
+        let a = run(&b.build());
+        let t = types(&a);
+        assert!(t.contains(&AnomalyType::DirtyUpdate), "{t:?}");
+        // The read also observed aborted data directly:
+        assert!(t.contains(&AnomalyType::G1a));
+    }
+
+    #[test]
+    fn incompatible_order() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 2).commit();
+        b.txn(2).read_list(1, [1, 2]).commit();
+        b.txn(3).read_list(1, [2, 1]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::IncompatibleOrder));
+    }
+
+    #[test]
+    fn garbage_read() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).read_list(1, [42]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::GarbageRead));
+        // Key is poisoned: no version order.
+        assert!(!a.version_orders.contains_key(&Key(1)));
+    }
+
+    #[test]
+    fn duplicate_in_read() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).read_list(1, [1, 1]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::DuplicateWrite));
+    }
+
+    #[test]
+    fn duplicate_across_writes() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 1).commit();
+        b.txn(2).read_list(1, [1]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::DuplicateWrite));
+        assert!(!a.version_orders.contains_key(&Key(1)));
+    }
+
+    #[test]
+    fn provenance_checks_require_recoverability() {
+        // Element 7 is appended by both an aborted and a committed txn; a
+        // read observing 7 must NOT be called an aborted read, because the
+        // writer mapping is ambiguous (§4.2.3). Only the duplicate is
+        // reported.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 7).abort();
+        b.txn(1).append(1, 7).commit();
+        b.txn(2).read_list(1, [7]).commit();
+        let a = run(&b.build());
+        let t = types(&a);
+        assert!(t.contains(&AnomalyType::DuplicateWrite), "{t:?}");
+        assert!(!t.contains(&AnomalyType::G1a), "{t:?}");
+        assert!(!t.contains(&AnomalyType::G1b), "{t:?}");
+        assert!(!t.contains(&AnomalyType::DirtyUpdate), "{t:?}");
+    }
+
+    #[test]
+    fn internal_inconsistency_fauna_style() {
+        // §7.3: T1: append(0, 6), r(0, nil) — fails to observe own write.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(0, 6).read_list(0, []).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::Internal));
+    }
+
+    #[test]
+    fn internal_consistency_respects_prior_read() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        // Reads [1], appends 2, then must read [1, 2].
+        b.txn(1)
+            .read_list(1, [1])
+            .append(1, 2)
+            .read_list(1, [1])
+            .commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::Internal));
+    }
+
+    #[test]
+    fn own_reads_generate_no_self_edges() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).append(1, 1).read_list(1, [1]).commit();
+        let a = run(&b.build());
+        assert_eq!(a.deps.graph.out_edges(t0.0).len(), 0);
+        assert!(a.anomalies.is_empty(), "{:?}", a.anomalies);
+    }
+
+    #[test]
+    fn wr_strips_own_suffix() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).append(1, 1).commit();
+        // t1 appends 2 then reads [1, 2]: externally it depends on t0.
+        let t1 = b.txn(1).append(1, 2).read_list(1, [1, 2]).commit();
+        let a = run(&b.build());
+        assert!(a
+            .deps
+            .graph
+            .edge_mask(t0.0, t1.0)
+            .contains(elle_graph::EdgeClass::Wr));
+    }
+
+    #[test]
+    fn lost_update_detected() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).read_list(1, [1]).append(1, 2).commit();
+        b.txn(2).read_list(1, [1]).append(1, 3).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::LostUpdate));
+    }
+
+    #[test]
+    fn no_lost_update_when_reads_differ() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).read_list(1, [1]).append(1, 2).commit();
+        b.txn(2).read_list(1, [1, 2]).append(1, 3).commit();
+        let a = run(&b.build());
+        assert!(!types(&a).contains(&AnomalyType::LostUpdate));
+    }
+
+    #[test]
+    fn indeterminate_writers_participate_in_edges() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).append(1, 1).indeterminate();
+        let t1 = b.txn(1).read_list(1, [1]).commit();
+        let a = run(&b.build());
+        // The info txn's append was observed: wr edge exists, no G1a.
+        assert!(a
+            .deps
+            .graph
+            .edge_mask(t0.0, t1.0)
+            .contains(elle_graph::EdgeClass::Wr));
+        assert!(a.anomalies.is_empty());
+    }
+
+    #[test]
+    fn paper_tidb_example_builds_g_single_edges() {
+        // §7.1: T1: r(34,[2,1]), append(36,5), append(34,4)
+        //       T2: append(34,5)    T3: r(34,[2,1,5,4])
+        let mut b = HistoryBuilder::new();
+        let seed0 = b.txn(9).append(34, 2).commit();
+        let seed1 = b.txn(9).append(34, 1).commit();
+        let t1 = b
+            .txn(0)
+            .read_list(34, [2, 1])
+            .append(36, 5)
+            .append(34, 4)
+            .commit();
+        let t2 = b.txn(1).append(34, 5).commit();
+        let t3 = b.txn(2).read_list(34, [2, 1, 5, 4]).commit();
+        let a = run(&b.build());
+        let g = &a.deps.graph;
+        // T2 rw-depends on T1 (T1 did not observe 5).
+        assert!(g.edge_mask(t1.0, t2.0).contains(elle_graph::EdgeClass::Rw));
+        // T1 ww-depends on T2 (4 follows 5).
+        assert!(g.edge_mask(t2.0, t1.0).contains(elle_graph::EdgeClass::Ww));
+        // T3 wr-depends on T1 (read version ending in 4).
+        assert!(g.edge_mask(t1.0, t3.0).contains(elle_graph::EdgeClass::Wr));
+        let _ = (seed0, seed1);
+    }
+}

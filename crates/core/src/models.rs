@@ -1,0 +1,319 @@
+//! The consistency-model lattice: which isolation levels an anomaly rules
+//! out, and which remain tenable.
+//!
+//! Following Adya's correspondence (§2 of the paper): G0 is proscribed by
+//! everything at or above read-uncommitted (PL-1); G1 by read-committed
+//! (PL-2); G2-item by repeatable read (PL-2.99); read skew (G-single) and
+//! lost update additionally by snapshot isolation; cycles that *need*
+//! session or real-time edges only rule out strong-session / strict
+//! variants (§5.1).
+//!
+//! We interpret models purely through the anomalies they proscribe (the
+//! "anomaly interpretation"); under that reading serializability implies
+//! snapshot isolation's guarantees, since G2 ⊇ G-single.
+
+use crate::AnomalyType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An isolation / consistency model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ConsistencyModel {
+    /// Adya PL-1: proscribes G0.
+    ReadUncommitted,
+    /// Adya PL-2: additionally proscribes G1 {a, b, c} and dirty updates.
+    ReadCommitted,
+    /// Monotonic atomic view: transactions observe each other atomically.
+    MonotonicAtomicView,
+    /// Adya PL-2.99: additionally proscribes item anti-dependency cycles.
+    RepeatableRead,
+    /// Berenson et al. snapshot isolation: proscribes G1, G-single, lost
+    /// update; permits write skew.
+    SnapshotIsolation,
+    /// Snapshot isolation plus per-session monotonicity (§5.1; Daudjee &amp; Salem).
+    StrongSessionSnapshotIsolation,
+    /// Snapshot isolation whose start/commit order respects real time.
+    StrongSnapshotIsolation,
+    /// Adya PL-3: proscribes G1 and G2.
+    Serializable,
+    /// Serializable plus per-session order.
+    StrongSessionSerializable,
+    /// Serializable plus real-time order (strict-1SR / linearizable).
+    StrictSerializable,
+}
+
+impl ConsistencyModel {
+    /// Every model, weakest-ish first.
+    pub const ALL: [ConsistencyModel; 10] = [
+        ConsistencyModel::ReadUncommitted,
+        ConsistencyModel::ReadCommitted,
+        ConsistencyModel::MonotonicAtomicView,
+        ConsistencyModel::RepeatableRead,
+        ConsistencyModel::SnapshotIsolation,
+        ConsistencyModel::StrongSessionSnapshotIsolation,
+        ConsistencyModel::StrongSnapshotIsolation,
+        ConsistencyModel::Serializable,
+        ConsistencyModel::StrongSessionSerializable,
+        ConsistencyModel::StrictSerializable,
+    ];
+
+    /// The models this one *directly* implies (is stronger than).
+    /// The full implication relation is the transitive closure.
+    pub fn directly_implies(self) -> &'static [ConsistencyModel] {
+        use ConsistencyModel::*;
+        match self {
+            StrictSerializable => &[StrongSessionSerializable, StrongSnapshotIsolation],
+            StrongSessionSerializable => &[Serializable, StrongSessionSnapshotIsolation],
+            Serializable => &[RepeatableRead, SnapshotIsolation],
+            StrongSnapshotIsolation => &[StrongSessionSnapshotIsolation],
+            StrongSessionSnapshotIsolation => &[SnapshotIsolation],
+            SnapshotIsolation => &[MonotonicAtomicView],
+            RepeatableRead => &[ReadCommitted],
+            MonotonicAtomicView => &[ReadCommitted],
+            ReadCommitted => &[ReadUncommitted],
+            ReadUncommitted => &[],
+        }
+    }
+
+    /// Does `self` imply `other` (transitively)?
+    pub fn implies(self, other: ConsistencyModel) -> bool {
+        if self == other {
+            return true;
+        }
+        let mut stack = vec![self];
+        let mut seen = BTreeSet::new();
+        while let Some(m) = stack.pop() {
+            for &n in m.directly_implies() {
+                if n == other {
+                    return true;
+                }
+                if seen.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        false
+    }
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        use ConsistencyModel::*;
+        match self {
+            ReadUncommitted => "read-uncommitted",
+            ReadCommitted => "read-committed",
+            MonotonicAtomicView => "monotonic-atomic-view",
+            RepeatableRead => "repeatable-read",
+            SnapshotIsolation => "snapshot-isolation",
+            StrongSessionSnapshotIsolation => "strong-session-snapshot-isolation",
+            StrongSnapshotIsolation => "strong-snapshot-isolation",
+            Serializable => "serializable",
+            StrongSessionSerializable => "strong-session-serializable",
+            StrictSerializable => "strict-serializable",
+        }
+    }
+}
+
+impl fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The *weakest* models an anomaly directly rules out. Everything implying
+/// one of these is ruled out transitively (see [`violated_models`]).
+///
+/// Informational anomalies that indicate broken domain assumptions rather
+/// than a particular isolation violation (cyclic version orders — which the
+/// paper reports and then discards) return the empty slice.
+pub fn directly_violated(a: AnomalyType) -> &'static [ConsistencyModel] {
+    use AnomalyType::*;
+    use ConsistencyModel::*;
+    match a {
+        // Write cycles break even PL-1.
+        G0 => &[ReadUncommitted],
+        // G1 class: read-committed.
+        G1a | G1b | G1c | DirtyUpdate | IncompatibleOrder => &[ReadCommitted],
+        // Domain-assumption violations: nothing that claims to be a
+        // database should do these; treat as PL-1 violations.
+        GarbageRead | DuplicateWrite => &[ReadUncommitted],
+        // Internal inconsistency covers both own-write invisibility and
+        // fuzzy (non-repeatable) reads within one transaction. The latter
+        // is legal under read committed, so internal anomalies rule out
+        // the atomic-view models and repeatable read, not PL-1/PL-2.
+        Internal => &[MonotonicAtomicView, RepeatableRead],
+        // Reported-then-discarded (ordering assumptions contradicted).
+        CyclicVersionOrder => &[],
+        // Anti-dependency anomalies.
+        GSingle => &[SnapshotIsolation, RepeatableRead],
+        LostUpdate => &[SnapshotIsolation, RepeatableRead],
+        G2Item => &[RepeatableRead, Serializable],
+        // Session-augmented cycles only rule out strong-session models.
+        G0Process | G1cProcess | G2ItemProcess => &[StrongSessionSerializable],
+        GSingleProcess => &[StrongSessionSerializable, StrongSessionSnapshotIsolation],
+        // Real-time-augmented cycles only rule out strict/strong models.
+        G0Realtime | G1cRealtime | G2ItemRealtime => &[StrictSerializable],
+        GSingleRealtime => &[StrictSerializable, StrongSnapshotIsolation],
+        // A start-ordered serialization graph cycle contradicts the
+        // database's claim that its exposed timestamps define a snapshot
+        // order — Adya's G-SI, proscribed by snapshot isolation.
+        GSI => &[SnapshotIsolation],
+    }
+}
+
+/// All models ruled out by the given anomalies: the upward closure (under
+/// implication) of their directly-violated models.
+pub fn violated_models<'a, I>(anomalies: I) -> BTreeSet<ConsistencyModel>
+where
+    I: IntoIterator<Item = &'a AnomalyType>,
+{
+    let mut direct: BTreeSet<ConsistencyModel> = BTreeSet::new();
+    for a in anomalies {
+        direct.extend(directly_violated(*a));
+    }
+    ConsistencyModel::ALL
+        .into_iter()
+        .filter(|m| direct.iter().any(|v| m.implies(*v)))
+        .collect()
+}
+
+/// The maximal models *not* ruled out: the frontier of what the database
+/// might still satisfy.
+pub fn strongest_satisfiable<'a, I>(anomalies: I) -> Vec<ConsistencyModel>
+where
+    I: IntoIterator<Item = &'a AnomalyType>,
+{
+    let violated = violated_models(anomalies);
+    let ok: Vec<ConsistencyModel> = ConsistencyModel::ALL
+        .into_iter()
+        .filter(|m| !violated.contains(m))
+        .collect();
+    ok.iter()
+        .copied()
+        .filter(|m| {
+            !ok.iter()
+                .any(|other| *other != *m && other.implies(*m))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AnomalyType::*;
+    use ConsistencyModel::*;
+
+    #[test]
+    fn implication_basics() {
+        assert!(StrictSerializable.implies(Serializable));
+        assert!(StrictSerializable.implies(ReadUncommitted));
+        assert!(Serializable.implies(SnapshotIsolation));
+        assert!(Serializable.implies(ReadCommitted));
+        assert!(!SnapshotIsolation.implies(Serializable));
+        assert!(!ReadCommitted.implies(RepeatableRead));
+        assert!(SnapshotIsolation.implies(SnapshotIsolation));
+    }
+
+    #[test]
+    fn g0_violates_everything() {
+        let v = violated_models([G0].iter());
+        assert_eq!(v.len(), ConsistencyModel::ALL.len());
+        assert!(strongest_satisfiable([G0].iter()).is_empty());
+    }
+
+    #[test]
+    fn g1_spares_read_uncommitted() {
+        let v = violated_models([G1a].iter());
+        assert!(!v.contains(&ReadUncommitted));
+        assert!(v.contains(&ReadCommitted));
+        assert!(v.contains(&StrictSerializable));
+        assert_eq!(strongest_satisfiable([G1a].iter()), vec![ReadUncommitted]);
+    }
+
+    #[test]
+    fn g2_item_spares_snapshot_isolation() {
+        // Write skew is legal under SI.
+        let v = violated_models([G2Item].iter());
+        assert!(!v.contains(&SnapshotIsolation));
+        assert!(v.contains(&RepeatableRead));
+        assert!(v.contains(&Serializable));
+        assert!(v.contains(&StrictSerializable));
+        let strongest = strongest_satisfiable([G2Item].iter());
+        assert!(strongest.contains(&StrongSnapshotIsolation));
+    }
+
+    #[test]
+    fn g_single_rules_out_si_but_not_read_committed() {
+        let v = violated_models([GSingle].iter());
+        assert!(v.contains(&SnapshotIsolation));
+        assert!(v.contains(&Serializable));
+        assert!(!v.contains(&ReadCommitted));
+        assert!(!v.contains(&MonotonicAtomicView));
+    }
+
+    #[test]
+    fn realtime_cycle_only_kills_strict_models() {
+        let v = violated_models([G2ItemRealtime].iter());
+        assert_eq!(v, [StrictSerializable].into_iter().collect());
+        let strongest = strongest_satisfiable([G2ItemRealtime].iter());
+        assert_eq!(
+            strongest,
+            vec![StrongSnapshotIsolation, StrongSessionSerializable]
+        );
+    }
+
+    #[test]
+    fn process_cycle_kills_session_models() {
+        let v = violated_models([GSingleProcess].iter());
+        assert!(v.contains(&StrongSessionSerializable));
+        assert!(v.contains(&StrictSerializable));
+        assert!(v.contains(&StrongSessionSnapshotIsolation));
+        assert!(v.contains(&StrongSnapshotIsolation));
+        assert!(!v.contains(&Serializable));
+        assert!(!v.contains(&SnapshotIsolation));
+    }
+
+    #[test]
+    fn internal_spares_read_committed_but_kills_si() {
+        let v = violated_models([Internal].iter());
+        assert!(!v.contains(&ReadCommitted));
+        assert!(!v.contains(&ReadUncommitted));
+        assert!(v.contains(&MonotonicAtomicView));
+        assert!(v.contains(&SnapshotIsolation));
+        assert!(v.contains(&Serializable));
+        assert!(v.contains(&StrictSerializable));
+    }
+
+    #[test]
+    fn cyclic_version_order_is_informational() {
+        assert!(violated_models([CyclicVersionOrder].iter()).is_empty());
+        let strongest = strongest_satisfiable([CyclicVersionOrder].iter());
+        assert_eq!(strongest, vec![StrictSerializable]);
+    }
+
+    #[test]
+    fn no_anomalies_means_everything_tenable() {
+        let strongest = strongest_satisfiable([].iter());
+        assert_eq!(strongest, vec![StrictSerializable]);
+    }
+
+    #[test]
+    fn lost_update_spares_read_committed() {
+        let v = violated_models([LostUpdate].iter());
+        assert!(!v.contains(&ReadCommitted));
+        assert!(v.contains(&SnapshotIsolation));
+        assert!(v.contains(&RepeatableRead));
+    }
+
+    #[test]
+    fn all_models_reachable_from_strict_serializable() {
+        for m in ConsistencyModel::ALL {
+            assert!(
+                StrictSerializable.implies(m),
+                "strict-serializable should imply {m}"
+            );
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Indexes over an observation: key typing and the element → writer map
+//! that recoverability (§4.2.3) depends on.
+
+use elle_history::{Elem, History, Key, Mop, TxnId, TxnStatus};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// The datatype a key is used as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Append-only list (traceable).
+    List,
+    /// Read-write register.
+    Register,
+    /// Counter.
+    Counter,
+    /// Grow-only set.
+    Set,
+}
+
+/// A single write occurrence: which transaction, where in it, and whether
+/// it is that transaction's *final* write to the key (final writes install
+/// versions; earlier ones are intermediate — §4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRef {
+    /// The writing transaction.
+    pub txn: TxnId,
+    /// Micro-op position within the transaction.
+    pub mop: usize,
+    /// Is this the transaction's last write to this key?
+    pub final_for_key: bool,
+    /// The writer's observed status.
+    pub status: TxnStatus,
+}
+
+/// How each key is used, with conflicts detected.
+#[derive(Debug, Default)]
+pub struct KeyTypes {
+    types: FxHashMap<Key, DataType>,
+    /// Keys used as more than one datatype (malformed workloads).
+    pub conflicts: Vec<Key>,
+}
+
+impl KeyTypes {
+    /// Infer key types from write and observed-read shapes.
+    pub fn infer(history: &History) -> KeyTypes {
+        use elle_history::ReadValue;
+        let mut kt = KeyTypes::default();
+        let note = |key: Key, ty: DataType, kt: &mut KeyTypes| {
+            match kt.types.insert(key, ty) {
+                Some(prev) if prev != ty
+                    && !kt.conflicts.contains(&key) => {
+                        kt.conflicts.push(key);
+                    }
+                _ => {}
+            }
+        };
+        for t in history.txns() {
+            for m in &t.mops {
+                match m {
+                    Mop::Append { key, .. } => note(*key, DataType::List, &mut kt),
+                    Mop::Write { key, .. } => note(*key, DataType::Register, &mut kt),
+                    Mop::Increment { key, .. } => note(*key, DataType::Counter, &mut kt),
+                    Mop::AddToSet { key, .. } => note(*key, DataType::Set, &mut kt),
+                    Mop::Read { key, value } => match value {
+                        Some(ReadValue::List(_)) => note(*key, DataType::List, &mut kt),
+                        Some(ReadValue::Register(_)) => note(*key, DataType::Register, &mut kt),
+                        Some(ReadValue::Counter(_)) => note(*key, DataType::Counter, &mut kt),
+                        Some(ReadValue::Set(_)) => note(*key, DataType::Set, &mut kt),
+                        None => {}
+                    },
+                }
+            }
+        }
+        kt
+    }
+
+    /// The inferred type of `key`, if any operation touched it decisively.
+    pub fn get(&self, key: Key) -> Option<DataType> {
+        self.types.get(&key).copied()
+    }
+
+    /// All keys of a given type.
+    pub fn keys_of(&self, ty: DataType) -> Vec<Key> {
+        let mut ks: Vec<Key> = self
+            .types
+            .iter()
+            .filter_map(|(k, t)| (*t == ty).then_some(*k))
+            .collect();
+        ks.sort_unstable();
+        ks
+    }
+}
+
+/// The element → writer index for element-carrying writes (appends,
+/// register writes, set adds).
+///
+/// Recoverability (§4.2.3): a version is recoverable when exactly one
+/// observed write could have produced it. Duplicate `(key, element)` writes
+/// destroy recoverability for that key; they are recorded and the affected
+/// keys excluded from dependency inference.
+#[derive(Debug, Default)]
+pub struct ElemIndex {
+    writers: FxHashMap<(Key, Elem), WriteRef>,
+    /// `(key, elem)` pairs written more than once, with all writers.
+    pub duplicates: Vec<(Key, Elem, Vec<TxnId>)>,
+}
+
+impl ElemIndex {
+    /// Build the index over every element-carrying write in the history.
+    pub fn build(history: &History) -> ElemIndex {
+        let mut idx = ElemIndex::default();
+        let mut dup_map: FxHashMap<(Key, Elem), Vec<TxnId>> = FxHashMap::default();
+
+        for t in history.txns() {
+            // Last write position per key, to mark final writes.
+            let mut last_write: FxHashMap<Key, usize> = FxHashMap::default();
+            for (i, m) in t.mops.iter().enumerate() {
+                if m.is_write() {
+                    last_write.insert(m.key(), i);
+                }
+            }
+            for (i, k, e) in t.elem_writes() {
+                let wref = WriteRef {
+                    txn: t.id,
+                    mop: i,
+                    final_for_key: last_write.get(&k) == Some(&i),
+                    status: t.status,
+                };
+                match idx.writers.insert((k, e), wref) {
+                    None => {}
+                    Some(prev) => {
+                        dup_map
+                            .entry((k, e))
+                            .or_insert_with(|| vec![prev.txn])
+                            .push(t.id);
+                    }
+                }
+            }
+        }
+        let mut dups: Vec<(Key, Elem, Vec<TxnId>)> = dup_map
+            .into_iter()
+            .map(|((k, e), txns)| (k, e, txns))
+            .collect();
+        dups.sort_unstable_by_key(|(k, e, _)| (*k, *e));
+        idx.duplicates = dups;
+        idx
+    }
+
+    /// The unique writer of `(key, elem)`, if recorded.
+    ///
+    /// When duplicates exist the last writer won the map slot; callers must
+    /// consult [`ElemIndex::duplicates`] / [`ElemIndex::key_is_recoverable`]
+    /// before trusting this for inference.
+    pub fn writer(&self, key: Key, elem: Elem) -> Option<WriteRef> {
+        self.writers.get(&(key, elem)).copied()
+    }
+
+    /// Is inference on `key` safe (no duplicate writes observed)?
+    pub fn key_is_recoverable(&self, key: Key) -> bool {
+        !self.duplicates.iter().any(|(k, _, _)| *k == key)
+    }
+
+    /// Number of indexed writes.
+    pub fn len(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.writers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_history::HistoryBuilder;
+
+    #[test]
+    fn infers_types_from_writes_and_reads() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0)
+            .append(1, 1)
+            .write(2, 1)
+            .increment(3, 1)
+            .add_to_set(4, 1)
+            .commit();
+        b.txn(1).read_list(5, [1]).commit();
+        let h = b.build();
+        let kt = KeyTypes::infer(&h);
+        assert_eq!(kt.get(Key(1)), Some(DataType::List));
+        assert_eq!(kt.get(Key(2)), Some(DataType::Register));
+        assert_eq!(kt.get(Key(3)), Some(DataType::Counter));
+        assert_eq!(kt.get(Key(4)), Some(DataType::Set));
+        assert_eq!(kt.get(Key(5)), Some(DataType::List));
+        assert_eq!(kt.get(Key(9)), None);
+        assert!(kt.conflicts.is_empty());
+        assert_eq!(kt.keys_of(DataType::List), vec![Key(1), Key(5)]);
+    }
+
+    #[test]
+    fn detects_type_conflicts() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).write(1, 2).commit();
+        let h = b.build();
+        let kt = KeyTypes::infer(&h);
+        assert_eq!(kt.conflicts, vec![Key(1)]);
+    }
+
+    #[test]
+    fn unresolved_reads_do_not_type_keys() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).read(7).commit();
+        let h = b.build();
+        assert_eq!(KeyTypes::infer(&h).get(Key(7)), None);
+    }
+
+    #[test]
+    fn elem_index_marks_final_writes() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).append(1, 2).append(2, 3).commit();
+        let h = b.build();
+        let idx = ElemIndex::build(&h);
+        assert!(!idx.writer(Key(1), Elem(1)).unwrap().final_for_key);
+        assert!(idx.writer(Key(1), Elem(2)).unwrap().final_for_key);
+        assert!(idx.writer(Key(2), Elem(3)).unwrap().final_for_key);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn elem_index_records_status() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).abort();
+        b.txn(1).append(1, 2).indeterminate();
+        let h = b.build();
+        let idx = ElemIndex::build(&h);
+        assert_eq!(idx.writer(Key(1), Elem(1)).unwrap().status, TxnStatus::Aborted);
+        assert_eq!(
+            idx.writer(Key(1), Elem(2)).unwrap().status,
+            TxnStatus::Indeterminate
+        );
+    }
+
+    #[test]
+    fn duplicates_break_recoverability() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 7).commit();
+        b.txn(1).append(1, 7).commit();
+        b.txn(2).append(2, 9).commit();
+        let h = b.build();
+        let idx = ElemIndex::build(&h);
+        assert!(!idx.key_is_recoverable(Key(1)));
+        assert!(idx.key_is_recoverable(Key(2)));
+        assert_eq!(idx.duplicates.len(), 1);
+        assert_eq!(idx.duplicates[0].0, Key(1));
+        assert_eq!(idx.duplicates[0].2, vec![TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn register_and_set_writes_indexed_too() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(1, 5).add_to_set(2, 6).commit();
+        let h = b.build();
+        let idx = ElemIndex::build(&h);
+        assert!(idx.writer(Key(1), Elem(5)).is_some());
+        assert!(idx.writer(Key(2), Elem(6)).is_some());
+    }
+}

@@ -1,0 +1,203 @@
+//! Transaction dependencies from the concurrency structure of the history
+//! (§5.1 of the paper): per-process (session) order and real-time order.
+
+use crate::anomaly::Witness;
+use crate::deps::DepGraph;
+use elle_graph::{interval_order_reduction, Interval};
+use elle_history::{History, ProcessId, TxnStatus};
+use rustc_hash::FxHashMap;
+
+/// Add session-order edges: consecutive committed transactions of the same
+/// process. "Each process should (independently) observe a logically
+/// monotonic view of the database."
+pub fn add_process_edges(deps: &mut DepGraph, history: &History) {
+    let mut last_of: FxHashMap<ProcessId, elle_history::TxnId> = FxHashMap::default();
+    for t in history.txns() {
+        if t.status != TxnStatus::Committed {
+            continue;
+        }
+        if let Some(prev) = last_of.insert(t.process, t.id) {
+            deps.add(
+                prev,
+                t.id,
+                Witness::Process {
+                    process: t.process,
+                },
+            );
+        }
+    }
+}
+
+/// Add real-time order edges between committed transactions: `T1 < T2` iff
+/// T1's completion precedes T2's invocation. Only the transitive reduction
+/// is materialized (computable in `O(n · p)`, §5.1), which preserves all
+/// cycles: any realtime edge skipped is implied by a kept path.
+pub fn add_realtime_edges(deps: &mut DepGraph, history: &History) {
+    // Build intervals for committed transactions only; remember the mapping
+    // back to transaction ids.
+    let committed: Vec<&elle_history::Transaction> = history.committed().collect();
+    let intervals: Vec<Interval> = committed
+        .iter()
+        .map(|t| Interval {
+            invoke: t.invoke_index,
+            complete: t.complete_index,
+        })
+        .collect();
+    for (a, b) in interval_order_reduction(&intervals) {
+        let (ta, tb) = (committed[a as usize], committed[b as usize]);
+        deps.add(
+            ta.id,
+            tb.id,
+            Witness::Realtime {
+                complete: ta.complete_index.expect("reduced edges have completions"),
+                invoke: tb.invoke_index,
+            },
+        );
+    }
+}
+
+/// Add time-precedes edges (§5.1) between committed transactions carrying
+/// database-exposed timestamps: `T1 < T2` iff `commit(T1) < start(T2)`.
+/// As with real time, only the transitive reduction is materialized.
+pub fn add_timestamp_edges(deps: &mut DepGraph, history: &History) {
+    let stamped: Vec<&elle_history::Transaction> = history
+        .committed()
+        .filter(|t| t.timestamps.is_some())
+        .collect();
+    let intervals: Vec<Interval> = stamped
+        .iter()
+        .map(|t| {
+            let (start, commit) = t.timestamps.expect("filtered");
+            Interval {
+                invoke: start as usize,
+                complete: Some(commit as usize),
+            }
+        })
+        .collect();
+    for (a, b) in interval_order_reduction(&intervals) {
+        let (ta, tb) = (stamped[a as usize], stamped[b as usize]);
+        deps.add(
+            ta.id,
+            tb.id,
+            Witness::Timestamp {
+                commit: ta.timestamps.expect("filtered").1,
+                start: tb.timestamps.expect("filtered").0,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_graph::{EdgeClass, EdgeMask};
+    use elle_history::{HistoryBuilder, TxnId};
+
+    #[test]
+    fn process_edges_chain_same_process() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 2).commit();
+        b.txn(0).append(1, 3).commit();
+        let h = b.build();
+        let mut d = DepGraph::with_txns(h.len());
+        add_process_edges(&mut d, &h);
+        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::PROCESS);
+        assert_eq!(d.graph.edge_mask(0, 1), EdgeMask::NONE);
+        assert_eq!(d.graph.edge_mask(1, 2), EdgeMask::NONE);
+    }
+
+    #[test]
+    fn process_edges_skip_uncommitted() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(0).append(1, 2).abort();
+        b.txn(0).append(1, 3).commit();
+        let h = b.build();
+        let mut d = DepGraph::with_txns(h.len());
+        add_process_edges(&mut d, &h);
+        // Chain links committed txns 0 and 2, skipping the aborted 1.
+        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::PROCESS);
+        assert_eq!(d.graph.edge_mask(0, 1), EdgeMask::NONE);
+    }
+
+    #[test]
+    fn realtime_edges_reduce() {
+        let mut b = HistoryBuilder::new();
+        // Three strictly sequential txns on different processes.
+        b.txn(0).append(1, 1).at(0, Some(1)).commit();
+        b.txn(1).append(1, 2).at(2, Some(3)).commit();
+        b.txn(2).append(1, 3).at(4, Some(5)).commit();
+        let h = b.build();
+        let mut d = DepGraph::with_txns(h.len());
+        add_realtime_edges(&mut d, &h);
+        // Reduction keeps 0→1 and 1→2 but not 0→2.
+        assert_eq!(d.graph.edge_mask(0, 1), EdgeMask::REALTIME);
+        assert_eq!(d.graph.edge_mask(1, 2), EdgeMask::REALTIME);
+        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::NONE);
+        // Witness carries the indices.
+        match d.witness_of_class(TxnId(0), TxnId(1), EdgeClass::Realtime) {
+            Some(Witness::Realtime { complete, invoke }) => {
+                assert_eq!((*complete, *invoke), (1, 2));
+            }
+            other => panic!("unexpected witness {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_txns_get_no_realtime_edges() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(10)).commit();
+        b.txn(1).append(1, 2).at(1, Some(9)).commit();
+        let h = b.build();
+        let mut d = DepGraph::with_txns(h.len());
+        add_realtime_edges(&mut d, &h);
+        assert_eq!(d.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn timestamp_edges_follow_commit_before_start() {
+        let mut b = HistoryBuilder::new();
+        // Concurrent in real time, ordered by database timestamps.
+        b.txn(0).append(1, 1).at(0, Some(10)).timestamps(1, 2).commit();
+        b.txn(1).append(1, 2).at(1, Some(9)).timestamps(3, 4).commit();
+        b.txn(2).append(1, 3).at(2, Some(8)).commit(); // unstamped
+        let h = b.build();
+        let mut d = DepGraph::with_txns(h.len());
+        add_timestamp_edges(&mut d, &h);
+        assert!(d
+            .graph
+            .edge_mask(0, 1)
+            .contains(EdgeClass::Timestamp));
+        assert_eq!(d.graph.edge_mask(1, 0), EdgeMask::NONE);
+        // Unstamped transactions take no part.
+        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::NONE);
+        assert_eq!(d.graph.edge_mask(2, 1), EdgeMask::NONE);
+    }
+
+    #[test]
+    fn overlapping_timestamps_unordered() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).timestamps(1, 5).commit();
+        b.txn(1).append(1, 2).timestamps(2, 4).commit();
+        let h = b.build();
+        let mut d = DepGraph::with_txns(h.len());
+        add_timestamp_edges(&mut d, &h);
+        assert_eq!(d.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn uncommitted_txns_excluded_from_realtime() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(1)).commit();
+        b.txn(1).append(1, 2).at(2, Some(3)).abort();
+        b.txn(2).append(1, 3).at(4, Some(5)).commit();
+        let h = b.build();
+        let mut d = DepGraph::with_txns(h.len());
+        add_realtime_edges(&mut d, &h);
+        // 0 → 2 directly, since aborted 1 is not part of the order.
+        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::REALTIME);
+        assert_eq!(d.graph.edge_mask(0, 1), EdgeMask::NONE);
+        assert_eq!(d.graph.edge_mask(1, 2), EdgeMask::NONE);
+    }
+}

@@ -1,0 +1,695 @@
+//! Read-write register analysis (§5 of the paper, the Dgraph mode of §7.4).
+//!
+//! Blind register writes "destroy history": a written version carries no
+//! information about its predecessor, so traceability is lost. We instead
+//! infer a *partial* version order per key from small, independently
+//! toggleable assumptions:
+//!
+//! * **initial state**: nil precedes every other version (`xinit` is never
+//!   reachable via any write);
+//! * **within-transaction chains**: reads-then-writes and write-then-write
+//!   sequences inside one committed transaction order their versions
+//!   (writes-follow-reads);
+//! * **sequential keys** (per-process): a process's later transactions see
+//!   versions at least as new as its earlier ones;
+//! * **linearizable keys** (real-time): if T1 completed before T2 began,
+//!   T1's final version of a key precedes T2's first.
+//!
+//! Contradictory orders produce *cyclic version order* anomalies, which are
+//! reported and the key discarded (exactly what the paper describes Elle
+//! doing for Dgraph). Acyclic orders yield `ww`/`wr`/`rw` transaction
+//! dependencies. Edges derived from non-adjacent versions are transitive
+//! over the true order, so any cycle they witness implies a cycle of direct
+//! dependencies — soundness is preserved.
+
+use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::deps::DepGraph;
+use crate::observation::ElemIndex;
+use elle_graph::{tarjan_scc, DiGraph, EdgeClass, EdgeMask, interval_order_reduction, Interval};
+use elle_history::{Elem, History, Key, Mop, ReadValue, Transaction, TxnId, TxnStatus};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A register version: `None` is the initial nil.
+pub type Version = Option<Elem>;
+
+/// Which ordering assumptions to apply (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterOptions {
+    /// nil precedes every written version.
+    pub initial_state: bool,
+    /// Within-transaction read→write / write→write chains order versions.
+    pub writes_follow_reads: bool,
+    /// Per-process monotonicity on each key ("sequentially consistent keys").
+    pub sequential_keys: bool,
+    /// Real-time monotonicity on each key ("linearizable keys").
+    pub linearizable_keys: bool,
+}
+
+impl Default for RegisterOptions {
+    fn default() -> Self {
+        RegisterOptions {
+            initial_state: true,
+            writes_follow_reads: true,
+            sequential_keys: false,
+            linearizable_keys: false,
+        }
+    }
+}
+
+/// Result of the register analysis.
+#[derive(Debug, Default)]
+pub struct RegisterAnalysis {
+    /// Inferred dependency edges.
+    pub deps: DepGraph,
+    /// Non-cycle anomalies (internal, G1a/G1b, garbage, lost update,
+    /// cyclic version orders).
+    pub anomalies: Vec<Anomaly>,
+    /// Keys whose inferred version order was cyclic (discarded).
+    pub cyclic_keys: Vec<Key>,
+}
+
+/// Where a version-order edge came from (for cyclic-order reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VSource {
+    Initial,
+    Chain,
+    Process,
+    Realtime,
+}
+
+impl VSource {
+    fn describe(self) -> &'static str {
+        match self {
+            VSource::Initial => "initial-state",
+            VSource::Chain => "writes-follow-reads",
+            VSource::Process => "sequential-keys",
+            VSource::Realtime => "linearizable-keys",
+        }
+    }
+}
+
+/// Run the analysis over the register keys.
+pub fn analyze(
+    history: &History,
+    elems: &ElemIndex,
+    register_keys: &[Key],
+    opts: RegisterOptions,
+) -> RegisterAnalysis {
+    let mut out = RegisterAnalysis {
+        deps: DepGraph::with_txns(history.len()),
+        ..Default::default()
+    };
+    let key_set: FxHashSet<Key> = register_keys.iter().copied().collect();
+
+    check_internal(history, &key_set, &mut out);
+
+    // Report write-level duplicates (poisons recoverability for the key).
+    let mut poisoned: FxHashSet<Key> = FxHashSet::default();
+    for (k, e, txns) in &elems.duplicates {
+        if !key_set.contains(k) {
+            continue;
+        }
+        poisoned.insert(*k);
+        out.anomalies.push(Anomaly {
+            typ: AnomalyType::DuplicateWrite,
+            txns: txns.clone(),
+            key: Some(*k),
+            steps: vec![],
+            explanation: format!(
+                "value {e} was written to register {k} by more than one transaction; \
+                 versions of {k} are not recoverable"
+            ),
+        });
+    }
+
+    let mut keys: Vec<Key> = register_keys.to_vec();
+    keys.sort_unstable();
+    keys.dedup();
+    for key in keys {
+        analyze_key(history, elems, key, opts, poisoned.contains(&key), &mut out);
+    }
+    out
+}
+
+/// Internal consistency: within one transaction, a read must return the
+/// last value read-or-written to the key.
+fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut RegisterAnalysis) {
+    for t in history.txns() {
+        let mut cur: FxHashMap<Key, Version> = FxHashMap::default();
+        for m in &t.mops {
+            match m {
+                Mop::Write { key, elem } if key_set.contains(key) => {
+                    cur.insert(*key, Some(*elem));
+                }
+                Mop::Read {
+                    key,
+                    value: Some(ReadValue::Register(v)),
+                } if key_set.contains(key) => {
+                    if let Some(prev) = cur.get(key) {
+                        if prev != v {
+                            out.anomalies.push(Anomaly {
+                                typ: AnomalyType::Internal,
+                                txns: vec![t.id],
+                                key: Some(*key),
+                                steps: vec![],
+                                explanation: format!(
+                                    "{}\n  read of register {key} returned {}, but the \
+                                     transaction had just {} {}",
+                                    t.to_notation(),
+                                    show(*v),
+                                    "observed or written",
+                                    show(*prev),
+                                ),
+                            });
+                        }
+                    }
+                    cur.insert(*key, *v);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn show(v: Version) -> String {
+    match v {
+        Some(e) => e.to_string(),
+        None => "nil".to_string(),
+    }
+}
+
+/// The last version a committed transaction left a key at, and the first
+/// version it engaged with — for process/realtime version inference.
+fn first_last_versions(t: &Transaction, key: Key) -> Option<(Version, Version)> {
+    let mut first: Option<Version> = None;
+    let mut last: Option<Version> = None;
+    for m in &t.mops {
+        let v: Option<Version> = match m {
+            Mop::Write { key: k, elem } if *k == key => Some(Some(*elem)),
+            Mop::Read {
+                key: k,
+                value: Some(ReadValue::Register(v)),
+            } if *k == key => Some(*v),
+            _ => None,
+        };
+        if let Some(v) = v {
+            if first.is_none() {
+                first = Some(v);
+            }
+            last = Some(v);
+        }
+    }
+    first.map(|f| (f, last.expect("last set with first")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_key(
+    history: &History,
+    elems: &ElemIndex,
+    key: Key,
+    opts: RegisterOptions,
+    poisoned: bool,
+    out: &mut RegisterAnalysis,
+) {
+    // ── Gather committed reads and all versions. ───────────────────────
+    let mut readers_of: FxHashMap<Version, Vec<TxnId>> = FxHashMap::default();
+    let mut versions: FxHashSet<Version> = FxHashSet::default();
+    let mut touching: Vec<&Transaction> = Vec::new(); // committed, touch key
+
+    for t in history.txns() {
+        let mut touches = false;
+        for m in &t.mops {
+            match m {
+                Mop::Write { key: k, elem } if *k == key => {
+                    versions.insert(Some(*elem));
+                    touches = true;
+                }
+                Mop::Read {
+                    key: k,
+                    value: Some(ReadValue::Register(v)),
+                } if *k == key => {
+                    versions.insert(*v);
+                    touches = true;
+                    if t.status == TxnStatus::Committed {
+                        let rs = readers_of.entry(*v).or_default();
+                        if rs.last() != Some(&t.id) {
+                            rs.push(t.id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if touches && t.status == TxnStatus::Committed {
+            touching.push(t);
+        }
+    }
+    if versions.is_empty() {
+        return;
+    }
+
+    // ── Per-read provenance checks (garbage always; G1a / G1b only when
+    //    the key is recoverable, since they trust the writer map). ───────
+    for (v, readers) in &readers_of {
+        let Some(e) = v else { continue };
+        match elems.writer(key, *e) {
+            None => {
+                for r in readers {
+                    out.anomalies.push(Anomaly {
+                        typ: AnomalyType::GarbageRead,
+                        txns: vec![*r],
+                        key: Some(key),
+                        steps: vec![],
+                        explanation: format!(
+                            "{}\n  read value {e} of register {key}, which no transaction \
+                             ever wrote",
+                            history.get(*r).to_notation()
+                        ),
+                    });
+                }
+            }
+            Some(_) if poisoned => {}
+            Some(w) => {
+                for r in readers {
+                    if w.status == TxnStatus::Aborted {
+                        out.anomalies.push(Anomaly {
+                            typ: AnomalyType::G1a,
+                            txns: vec![*r, w.txn],
+                            key: Some(key),
+                            steps: vec![],
+                            explanation: format!(
+                                "{}\n  read value {e} of register {key}, which was written \
+                                 by aborted transaction {}",
+                                history.get(*r).to_notation(),
+                                w.txn
+                            ),
+                        });
+                    }
+                    if !w.final_for_key && w.txn != *r {
+                        out.anomalies.push(Anomaly {
+                            typ: AnomalyType::G1b,
+                            txns: vec![*r, w.txn],
+                            key: Some(key),
+                            steps: vec![],
+                            explanation: format!(
+                                "{}\n  read value {e} of register {key}, an intermediate \
+                                 write of {}",
+                                history.get(*r).to_notation(),
+                                w.txn
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ── Lost updates: same version read, then written, by ≥ 2 txns. ───
+    let mut rmw: FxHashMap<Version, Vec<TxnId>> = FxHashMap::default();
+    for t in &touching {
+        let mut first_read: Option<(usize, Version)> = None;
+        let mut writes_after = false;
+        for (i, m) in t.mops.iter().enumerate() {
+            match m {
+                Mop::Read {
+                    key: k,
+                    value: Some(ReadValue::Register(v)),
+                } if *k == key && first_read.is_none() => first_read = Some((i, *v)),
+                Mop::Write { key: k, .. } if *k == key => {
+                    if first_read.is_some() {
+                        writes_after = true;
+                    } else {
+                        // Blind write before reading: not an RMW pattern.
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let (Some((_, v)), true) = (first_read, writes_after) {
+            let g = rmw.entry(v).or_default();
+            if !g.contains(&t.id) {
+                g.push(t.id);
+            }
+        }
+    }
+    for (v, mut group) in rmw {
+        if group.len() >= 2 {
+            group.sort_unstable();
+            out.anomalies.push(Anomaly {
+                typ: AnomalyType::LostUpdate,
+                txns: group.clone(),
+                key: Some(key),
+                steps: vec![],
+                explanation: format!(
+                    "transactions {} all read version {} of register {key} and then wrote \
+                     it; at most one write can directly follow that version",
+                    group
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    show(v)
+                ),
+            });
+        }
+    }
+
+    if poisoned {
+        return;
+    }
+
+    // ── Version order edges. ───────────────────────────────────────────
+    let mut vids: FxHashMap<Version, u32> = FxHashMap::default();
+    let mut vlist: Vec<Version> = Vec::new();
+    let id_of = |v: Version, vids: &mut FxHashMap<Version, u32>, vlist: &mut Vec<Version>| {
+        *vids.entry(v).or_insert_with(|| {
+            vlist.push(v);
+            (vlist.len() - 1) as u32
+        })
+    };
+    let mut vedges: Vec<(u32, u32, VSource)> = Vec::new();
+
+    if opts.initial_state {
+        for v in &versions {
+            if v.is_some() {
+                let a = id_of(None, &mut vids, &mut vlist);
+                let b = id_of(*v, &mut vids, &mut vlist);
+                vedges.push((a, b, VSource::Initial));
+            }
+        }
+    }
+
+    if opts.writes_follow_reads {
+        for t in &touching {
+            let mut cur: Option<Version> = None;
+            for m in &t.mops {
+                match m {
+                    Mop::Write { key: k, elem } if *k == key => {
+                        if let Some(prev) = cur {
+                            if prev != Some(*elem) {
+                                let a = id_of(prev, &mut vids, &mut vlist);
+                                let b = id_of(Some(*elem), &mut vids, &mut vlist);
+                                vedges.push((a, b, VSource::Chain));
+                            }
+                        }
+                        cur = Some(Some(*elem));
+                    }
+                    Mop::Read {
+                        key: k,
+                        value: Some(ReadValue::Register(v)),
+                    } if *k == key => {
+                        // Reads do not add edges; they update the cursor.
+                        // (A mismatched read was already reported as
+                        // internal; trust the read for ordering.)
+                        cur = Some(*v);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    if opts.sequential_keys {
+        let mut last_of: FxHashMap<elle_history::ProcessId, Version> = FxHashMap::default();
+        for t in &touching {
+            if let Some((first, last)) = first_last_versions(t, key) {
+                if let Some(prev_last) = last_of.get(&t.process) {
+                    if *prev_last != first {
+                        let a = id_of(*prev_last, &mut vids, &mut vlist);
+                        let b = id_of(first, &mut vids, &mut vlist);
+                        vedges.push((a, b, VSource::Process));
+                    }
+                }
+                last_of.insert(t.process, last);
+            }
+        }
+    }
+
+    if opts.linearizable_keys {
+        let intervals: Vec<Interval> = touching
+            .iter()
+            .map(|t| Interval {
+                invoke: t.invoke_index,
+                complete: t.complete_index,
+            })
+            .collect();
+        for (a, b) in interval_order_reduction(&intervals) {
+            let (ta, tb) = (touching[a as usize], touching[b as usize]);
+            let (_, last_a) = first_last_versions(ta, key).expect("touching");
+            let (first_b, _) = first_last_versions(tb, key).expect("touching");
+            if last_a != first_b {
+                let x = id_of(last_a, &mut vids, &mut vlist);
+                let y = id_of(first_b, &mut vids, &mut vlist);
+                vedges.push((x, y, VSource::Realtime));
+            }
+        }
+    }
+
+    // ── Cycle check on the version graph. ──────────────────────────────
+    let mut vg = DiGraph::with_vertices(vlist.len());
+    for &(a, b, _) in &vedges {
+        vg.add_edge(a, b, EdgeClass::Version);
+    }
+    let sccs = tarjan_scc(&vg, EdgeMask::VERSION);
+    if !sccs.is_empty() {
+        let cyc_versions: Vec<String> = sccs[0].iter().map(|&i| show(vlist[i as usize])).collect();
+        let sources: FxHashSet<&'static str> = vedges
+            .iter()
+            .filter(|(a, b, _)| sccs[0].contains(a) && sccs[0].contains(b))
+            .map(|(_, _, s)| s.describe())
+            .collect();
+        let mut txns: Vec<TxnId> = sccs[0]
+            .iter()
+            .filter_map(|&i| vlist[i as usize].and_then(|e| elems.writer(key, e)).map(|w| w.txn))
+            .collect();
+        txns.sort_unstable();
+        txns.dedup();
+        out.cyclic_keys.push(key);
+        out.anomalies.push(Anomaly {
+            typ: AnomalyType::CyclicVersionOrder,
+            txns,
+            key: Some(key),
+            steps: vec![],
+            explanation: format!(
+                "the inferred version order of register {key} is cyclic over values \
+                 {{{}}} (sources: {}); discarding this key's dependencies",
+                cyc_versions.join(", "),
+                {
+                    let mut s: Vec<&str> = sources.into_iter().collect();
+                    s.sort_unstable();
+                    s.join(", ")
+                }
+            ),
+        });
+        return;
+    }
+
+    // ── wr edges from recoverable reads. ────────────────────────────────
+    for (v, readers) in &readers_of {
+        let Some(e) = v else { continue };
+        let Some(w) = elems.writer(key, *e) else { continue };
+        if w.status == TxnStatus::Aborted {
+            continue;
+        }
+        for r in readers {
+            out.deps.add(
+                w.txn,
+                *r,
+                Witness::WrReg { key, elem: *e },
+            );
+        }
+    }
+
+    // ── ww / rw edges from version-order edges. ─────────────────────────
+    let mut seen_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for &(a, b, _) in &vedges {
+        if !seen_pairs.insert((a, b)) {
+            continue;
+        }
+        let (va, vb) = (vlist[a as usize], vlist[b as usize]);
+        let Some(eb) = vb else { continue };
+        let Some(wb) = elems.writer(key, eb) else { continue };
+        if wb.status == TxnStatus::Aborted {
+            continue;
+        }
+        if let Some(ea) = va {
+            if let Some(wa) = elems.writer(key, ea) {
+                if wa.status != TxnStatus::Aborted {
+                    out.deps.add(
+                        wa.txn,
+                        wb.txn,
+                        Witness::WwReg {
+                            key,
+                            prev: va,
+                            next: eb,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(readers) = readers_of.get(&va) {
+            for r in readers {
+                out.deps.add(
+                    *r,
+                    wb.txn,
+                    Witness::RwReg {
+                        key,
+                        read: va,
+                        next: eb,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{DataType, KeyTypes};
+    use elle_history::HistoryBuilder;
+
+    fn run(h: &History, opts: RegisterOptions) -> RegisterAnalysis {
+        let elems = ElemIndex::build(h);
+        let kt = KeyTypes::infer(h);
+        analyze(h, &elems, &kt.keys_of(DataType::Register), opts)
+    }
+
+    fn types(a: &RegisterAnalysis) -> Vec<AnomalyType> {
+        let mut t: Vec<AnomalyType> = a.anomalies.iter().map(|x| x.typ).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    #[test]
+    fn dgraph_internal_inconsistency() {
+        // §7.4: T1: w(10, 2), r(10, 1)
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(10, 1).commit();
+        b.txn(1).write(10, 2).read_register(10, Some(1)).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(types(&a).contains(&AnomalyType::Internal));
+    }
+
+    #[test]
+    fn wr_edge_from_write_to_reader() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).write(1, 5).commit();
+        let t1 = b.txn(1).read_register(1, Some(5)).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(EdgeClass::Wr));
+    }
+
+    #[test]
+    fn wfr_chain_gives_ww_and_rw() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).write(1, 1).commit();
+        let t1 = b.txn(1).read_register(1, Some(1)).write(1, 2).commit();
+        let t2 = b.txn(2).read_register(1, Some(1)).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        // Chain: 1 < 2, so writer(1)=t0 ww→ writer(2)=t1.
+        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(EdgeClass::Ww));
+        // Reader of 1 (t2) rw→ writer of 2 (t1).
+        assert!(a.deps.graph.edge_mask(t2.0, t1.0).contains(EdgeClass::Rw));
+    }
+
+    #[test]
+    fn initial_state_gives_rw_from_nil_readers() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).read_register(1, None).commit();
+        let t1 = b.txn(1).write(1, 7).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(EdgeClass::Rw));
+    }
+
+    #[test]
+    fn linearizable_keys_detect_stale_nil_reads() {
+        // §7.4: T1 wrote 540=2 and completed well before T2, which read nil.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(540, 2).at(0, Some(1)).commit();
+        b.txn(1).read_register(540, None).at(10, Some(11)).commit();
+        let opts = RegisterOptions {
+            linearizable_keys: true,
+            ..RegisterOptions::default()
+        };
+        let a = run(&b.build(), opts);
+        // Version order: nil < 2 (initial), 2 < nil (realtime) — cyclic.
+        assert!(types(&a).contains(&AnomalyType::CyclicVersionOrder));
+        assert_eq!(a.cyclic_keys, vec![Key(540)]);
+    }
+
+    #[test]
+    fn sequential_keys_order_versions() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).write(1, 1).commit(); // p0
+        let t1 = b.txn(0).write(1, 2).commit(); // p0 again
+        let opts = RegisterOptions {
+            sequential_keys: true,
+            ..RegisterOptions::default()
+        };
+        let a = run(&b.build(), opts);
+        // p0's second txn's version follows its first: ww t0 → t1.
+        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(EdgeClass::Ww));
+    }
+
+    #[test]
+    fn g1a_register() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(1, 9).abort();
+        b.txn(1).read_register(1, Some(9)).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(types(&a).contains(&AnomalyType::G1a));
+    }
+
+    #[test]
+    fn g1b_register_intermediate() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(1, 1).write(1, 2).commit();
+        b.txn(1).read_register(1, Some(1)).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(types(&a).contains(&AnomalyType::G1b));
+    }
+
+    #[test]
+    fn garbage_register_read() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).read_register(1, Some(77)).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(types(&a).contains(&AnomalyType::GarbageRead));
+    }
+
+    #[test]
+    fn lost_update_register() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(1, 1).commit();
+        b.txn(1).read_register(1, Some(1)).write(1, 2).commit();
+        b.txn(2).read_register(1, Some(1)).write(1, 3).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(types(&a).contains(&AnomalyType::LostUpdate));
+    }
+
+    #[test]
+    fn clean_register_history() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(1, 1).commit();
+        b.txn(1).read_register(1, Some(1)).write(1, 2).commit();
+        b.txn(2).read_register(1, Some(2)).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(a.anomalies.is_empty(), "{:?}", a.anomalies);
+        assert!(a.cyclic_keys.is_empty());
+    }
+
+    #[test]
+    fn duplicate_register_writes_poison_key() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(1, 5).commit();
+        b.txn(1).write(1, 5).commit();
+        b.txn(2).read_register(1, Some(5)).commit();
+        let a = run(&b.build(), RegisterOptions::default());
+        assert!(types(&a).contains(&AnomalyType::DuplicateWrite));
+        // No wr edges inferred for the poisoned key.
+        assert_eq!(a.deps.graph.edge_count(), 0);
+    }
+}

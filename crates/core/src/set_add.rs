@@ -1,0 +1,311 @@
+//! Grow-only set analysis (§3 of the paper).
+//!
+//! Sets sit between counters and lists: unique adds make versions
+//! *recoverable* (each element maps to its adder), but sets are order-free,
+//! so write-write dependencies between adders cannot be determined. We
+//! infer, per the paper's `T0…T3` example:
+//!
+//! * `rr`: a read of a proper subset precedes a read of its superset;
+//! * `wr`: the adder of each observed element precedes the reader;
+//! * `rw`: a reader that did *not* observe a committed add precedes the
+//!   adder (the add's version must follow the version read, because adds
+//!   only grow and versions of one key form a chain in clean histories).
+
+use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::deps::DepGraph;
+use crate::observation::ElemIndex;
+use elle_history::{Elem, History, Key, Mop, ReadValue, TxnId, TxnStatus};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeSet;
+
+/// Result of the set analysis.
+#[derive(Debug, Default)]
+pub struct SetAnalysis {
+    /// Inferred dependency edges.
+    pub deps: DepGraph,
+    /// Non-cycle anomalies.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// Run the analysis over the set keys.
+pub fn analyze(history: &History, elems: &ElemIndex, set_keys: &[Key]) -> SetAnalysis {
+    let mut out = SetAnalysis {
+        deps: DepGraph::with_txns(history.len()),
+        ..Default::default()
+    };
+    let key_set: FxHashSet<Key> = set_keys.iter().copied().collect();
+
+    check_internal(history, &key_set, &mut out);
+
+    // Duplicate adds poison recoverability: the element → adder map is no
+    // longer a bijection, so provenance-based inferences are skipped.
+    let mut poisoned: FxHashSet<Key> = FxHashSet::default();
+    for (k, e, txns) in &elems.duplicates {
+        if !key_set.contains(k) {
+            continue;
+        }
+        poisoned.insert(*k);
+        out.anomalies.push(Anomaly {
+            typ: AnomalyType::DuplicateWrite,
+            txns: txns.clone(),
+            key: Some(*k),
+            steps: vec![],
+            explanation: format!(
+                "element {e} was added to set {k} by more than one transaction; \
+                 versions of {k} are not recoverable"
+            ),
+        });
+    }
+
+    // Committed reads per key, and committed adders per key.
+    let mut reads_by_key: FxHashMap<Key, Vec<(TxnId, &BTreeSet<Elem>)>> = FxHashMap::default();
+    let mut ok_adds: FxHashMap<Key, Vec<(TxnId, Elem)>> = FxHashMap::default();
+    for t in history.txns() {
+        for m in &t.mops {
+            match m {
+                Mop::AddToSet { key, elem }
+                    if key_set.contains(key) && t.status == TxnStatus::Committed =>
+                {
+                    ok_adds.entry(*key).or_default().push((t.id, *elem));
+                }
+                Mop::Read {
+                    key,
+                    value: Some(ReadValue::Set(s)),
+                } if key_set.contains(key) && t.status == TxnStatus::Committed => {
+                    reads_by_key.entry(*key).or_default().push((t.id, s));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut keys: Vec<Key> = reads_by_key.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let reads = &reads_by_key[&key];
+        let key_poisoned = poisoned.contains(&key);
+
+        // Element provenance: garbage always; G1a / wr only when the
+        // element → adder map is trustworthy.
+        for (reader, s) in reads {
+            for e in s.iter() {
+                match elems.writer(key, *e) {
+                    None => {
+                        out.anomalies.push(Anomaly {
+                            typ: AnomalyType::GarbageRead,
+                            txns: vec![*reader],
+                            key: Some(key),
+                            steps: vec![],
+                            explanation: format!(
+                                "{}\n  observed element {e} of set {key}, which no \
+                                 transaction ever added",
+                                history.get(*reader).to_notation()
+                            ),
+                        });
+                    }
+                    Some(_) if key_poisoned => {}
+                    Some(w) => {
+                        if w.status == TxnStatus::Aborted {
+                            out.anomalies.push(Anomaly {
+                                typ: AnomalyType::G1a,
+                                txns: vec![*reader, w.txn],
+                                key: Some(key),
+                                steps: vec![],
+                                explanation: format!(
+                                    "{}\n  observed element {e} of set {key}, added by \
+                                     aborted transaction {}",
+                                    history.get(*reader).to_notation(),
+                                    w.txn
+                                ),
+                            });
+                        } else {
+                            out.deps.add(w.txn, *reader, Witness::WrSet { key, elem: *e });
+                        }
+                    }
+                }
+            }
+        }
+
+        // rw edges: committed adds missing from a read.
+        if let Some(adds) = ok_adds.get(&key).filter(|_| !key_poisoned) {
+            for (reader, s) in reads {
+                for (adder, e) in adds {
+                    if !s.contains(e) {
+                        out.deps.add(*reader, *adder, Witness::RwSet { key, elem: *e });
+                    }
+                }
+            }
+        }
+
+        // rr chain + compatibility: committed reads must form a ⊆-chain.
+        let mut sorted: Vec<&(TxnId, &BTreeSet<Elem>)> = reads.iter().collect();
+        sorted.sort_by_key(|(_, s)| s.len());
+        for w in sorted.windows(2) {
+            let ((ta, sa), (tb, sb)) = (w[0], w[1]);
+            if sa.is_subset(sb) {
+                if sa.len() < sb.len() {
+                    out.deps.add(*ta, *tb, Witness::Rr { key });
+                }
+            } else {
+                out.anomalies.push(Anomaly {
+                    typ: AnomalyType::IncompatibleOrder,
+                    txns: vec![*ta, *tb],
+                    key: Some(key),
+                    steps: vec![],
+                    explanation: format!(
+                        "{}\n{}\n  committed reads of set {key} are incomparable \
+                         ({sa:?} vs {sb:?}): they cannot lie on one version order",
+                        history.get(*ta).to_notation(),
+                        history.get(*tb).to_notation()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Internal consistency: a read must contain everything the transaction
+/// previously read plus its own adds.
+fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut SetAnalysis) {
+    for t in history.txns() {
+        let mut expected: FxHashMap<Key, BTreeSet<Elem>> = FxHashMap::default();
+        for m in &t.mops {
+            match m {
+                Mop::AddToSet { key, elem } if key_set.contains(key) => {
+                    expected.entry(*key).or_default().insert(*elem);
+                }
+                Mop::Read {
+                    key,
+                    value: Some(ReadValue::Set(s)),
+                } if key_set.contains(key) => {
+                    let exp = expected.entry(*key).or_default();
+                    if !exp.is_subset(s) {
+                        let missing: Vec<String> =
+                            exp.difference(s).map(|e| e.to_string()).collect();
+                        out.anomalies.push(Anomaly {
+                            typ: AnomalyType::Internal,
+                            txns: vec![t.id],
+                            key: Some(*key),
+                            steps: vec![],
+                            explanation: format!(
+                                "{}\n  read of set {key} is missing {{{}}} which this \
+                                 transaction itself added or observed",
+                                t.to_notation(),
+                                missing.join(", ")
+                            ),
+                        });
+                    }
+                    *exp = s.clone();
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{DataType, KeyTypes};
+    use elle_graph::EdgeClass;
+    use elle_history::HistoryBuilder;
+
+    fn run(h: &History) -> SetAnalysis {
+        let elems = ElemIndex::build(h);
+        let kt = KeyTypes::infer(h);
+        analyze(h, &elems, &kt.keys_of(DataType::Set))
+    }
+
+    fn types(a: &SetAnalysis) -> Vec<AnomalyType> {
+        let mut t: Vec<AnomalyType> = a.anomalies.iter().map(|x| x.typ).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    #[test]
+    fn paper_example_t0_t3() {
+        // §3: T0 reads {0}; T1 adds 1; T2 adds 2; T3 reads {0,1,2}.
+        let mut b = HistoryBuilder::new();
+        let seed = b.txn(9).add_to_set(1, 0).commit();
+        let t0 = b.txn(0).read_set(1, [0]).commit();
+        let t1 = b.txn(1).add_to_set(1, 1).commit();
+        let t2 = b.txn(2).add_to_set(1, 2).commit();
+        let t3 = b.txn(3).read_set(1, [0, 1, 2]).commit();
+        let a = run(&b.build());
+        let g = &a.deps.graph;
+        // T0 <rr T3.
+        assert!(g.edge_mask(t0.0, t3.0).contains(EdgeClass::Rr));
+        // T1 <wr T3, T2 <wr T3.
+        assert!(g.edge_mask(t1.0, t3.0).contains(EdgeClass::Wr));
+        assert!(g.edge_mask(t2.0, t3.0).contains(EdgeClass::Wr));
+        // T0 <rw T1, T0 <rw T2.
+        assert!(g.edge_mask(t0.0, t1.0).contains(EdgeClass::Rw));
+        assert!(g.edge_mask(t0.0, t2.0).contains(EdgeClass::Rw));
+        // No ww between T1 and T2 (sets are order-free).
+        assert!(!g.edge_mask(t1.0, t2.0).contains(EdgeClass::Ww));
+        assert!(!g.edge_mask(t2.0, t1.0).contains(EdgeClass::Ww));
+        let _ = seed;
+    }
+
+    #[test]
+    fn incomparable_reads_flagged() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).add_to_set(1, 1).commit();
+        b.txn(1).add_to_set(1, 2).commit();
+        b.txn(2).read_set(1, [1]).commit();
+        b.txn(3).read_set(1, [2]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::IncompatibleOrder));
+    }
+
+    #[test]
+    fn internal_missing_own_add() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).add_to_set(1, 1).read_set(1, []).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::Internal));
+    }
+
+    #[test]
+    fn aborted_add_is_g1a() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).add_to_set(1, 1).abort();
+        b.txn(1).read_set(1, [1]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::G1a));
+    }
+
+    #[test]
+    fn garbage_set_read() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).read_set(1, [42]).commit();
+        let a = run(&b.build());
+        assert!(types(&a).contains(&AnomalyType::GarbageRead));
+    }
+
+    #[test]
+    fn duplicate_adds_poison_inference() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).add_to_set(1, 5).abort();
+        b.txn(1).add_to_set(1, 5).commit();
+        b.txn(2).read_set(1, [5]).commit();
+        let a = run(&b.build());
+        let t = types(&a);
+        assert!(t.contains(&AnomalyType::DuplicateWrite), "{t:?}");
+        assert!(!t.contains(&AnomalyType::G1a), "{t:?}");
+        // No wr/rw edges for the poisoned key.
+        assert_eq!(a.deps.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn clean_set_history() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).add_to_set(1, 1).commit();
+        b.txn(1).read_set(1, [1]).add_to_set(1, 2).read_set(1, [1, 2]).commit();
+        b.txn(2).read_set(1, [1, 2]).commit();
+        let a = run(&b.build());
+        assert!(a.anomalies.is_empty(), "{:?}", a.anomalies);
+    }
+}

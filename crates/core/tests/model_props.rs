@@ -1,0 +1,148 @@
+//! Property tests for the consistency-model lattice.
+
+use elle_core::{
+    directly_violated, strongest_satisfiable, violated_models, AnomalyType, ConsistencyModel,
+};
+use proptest::prelude::*;
+
+const ALL_ANOMALIES: [AnomalyType; 23] = [
+    AnomalyType::G1a,
+    AnomalyType::G1b,
+    AnomalyType::DirtyUpdate,
+    AnomalyType::LostUpdate,
+    AnomalyType::GarbageRead,
+    AnomalyType::DuplicateWrite,
+    AnomalyType::Internal,
+    AnomalyType::IncompatibleOrder,
+    AnomalyType::CyclicVersionOrder,
+    AnomalyType::G0,
+    AnomalyType::G1c,
+    AnomalyType::GSingle,
+    AnomalyType::G2Item,
+    AnomalyType::G0Process,
+    AnomalyType::G1cProcess,
+    AnomalyType::GSingleProcess,
+    AnomalyType::G2ItemProcess,
+    AnomalyType::G0Realtime,
+    AnomalyType::G1cRealtime,
+    AnomalyType::GSingleRealtime,
+    AnomalyType::G2ItemRealtime,
+    AnomalyType::Internal,
+    AnomalyType::GSI,
+];
+
+#[test]
+fn implication_is_a_partial_order() {
+    use ConsistencyModel as M;
+    for a in M::ALL {
+        assert!(a.implies(a), "{a} must imply itself");
+        for b in M::ALL {
+            if a != b && a.implies(b) {
+                assert!(!b.implies(a), "antisymmetry violated: {a} <-> {b}");
+            }
+            for c in M::ALL {
+                if a.implies(b) && b.implies(c) {
+                    assert!(a.implies(c), "transitivity violated: {a} -> {b} -> {c}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn strict_serializable_is_top_and_read_uncommitted_is_bottom() {
+    use ConsistencyModel as M;
+    for m in M::ALL {
+        assert!(M::StrictSerializable.implies(m));
+        if m != M::ReadUncommitted {
+            assert!(!M::ReadUncommitted.implies(m), "{m}");
+        }
+    }
+}
+
+#[test]
+fn every_cycle_anomaly_rules_out_strict_serializability() {
+    for a in ALL_ANOMALIES {
+        if a.is_cycle() {
+            let v = violated_models([a].iter());
+            assert!(
+                v.contains(&ConsistencyModel::StrictSerializable),
+                "{a} should rule out strict-serializable"
+            );
+        }
+    }
+}
+
+#[test]
+fn augmented_cycles_never_violate_more_than_base() {
+    // A `-realtime` cycle's violations must be a subset of the base
+    // anomaly's: needing extra edges is weaker evidence.
+    for (base, aug) in [
+        (AnomalyType::G0, AnomalyType::G0Realtime),
+        (AnomalyType::G1c, AnomalyType::G1cRealtime),
+        (AnomalyType::GSingle, AnomalyType::GSingleRealtime),
+        (AnomalyType::G2Item, AnomalyType::G2ItemRealtime),
+        (AnomalyType::G0, AnomalyType::G0Process),
+        (AnomalyType::G1c, AnomalyType::G1cProcess),
+        (AnomalyType::GSingle, AnomalyType::GSingleProcess),
+        (AnomalyType::G2Item, AnomalyType::G2ItemProcess),
+    ] {
+        let vb = violated_models([base].iter());
+        let va = violated_models([aug].iter());
+        assert!(
+            va.is_subset(&vb),
+            "{aug} violates {va:?} which exceeds {base}'s {vb:?}"
+        );
+    }
+}
+
+proptest! {
+    /// The satisfiable frontier is an antichain, disjoint from the
+    /// violated set, and every model is classified one way or the other.
+    #[test]
+    fn frontier_is_consistent(idx in prop::collection::vec(0usize..ALL_ANOMALIES.len(), 0..6)) {
+        let anomalies: Vec<AnomalyType> = idx.iter().map(|i| ALL_ANOMALIES[*i]).collect();
+        let violated = violated_models(anomalies.iter());
+        let frontier = strongest_satisfiable(anomalies.iter());
+        for m in &frontier {
+            prop_assert!(!violated.contains(m));
+            for other in &frontier {
+                if m != other {
+                    prop_assert!(!m.implies(*other) && !other.implies(*m),
+                                 "frontier not an antichain: {} vs {}", m, other);
+                }
+            }
+        }
+        // Upward closure: anything implying a violated model is violated.
+        for m in ConsistencyModel::ALL {
+            for v in &violated {
+                if m.implies(*v) {
+                    prop_assert!(violated.contains(&m));
+                }
+            }
+        }
+    }
+
+    /// Monotonicity: more anomalies never shrink the violated set.
+    #[test]
+    fn violations_are_monotone(a in 0usize..ALL_ANOMALIES.len(),
+                               rest in prop::collection::vec(0usize..ALL_ANOMALIES.len(), 0..5)) {
+        let small: Vec<AnomalyType> = rest.iter().map(|i| ALL_ANOMALIES[*i]).collect();
+        let mut big = small.clone();
+        big.push(ALL_ANOMALIES[a]);
+        let vs = violated_models(small.iter());
+        let vb = violated_models(big.iter());
+        prop_assert!(vs.is_subset(&vb));
+    }
+}
+
+#[test]
+fn directly_violated_covers_every_anomaly() {
+    // Every anomaly type maps to a (possibly empty, for informational
+    // types) set — exercised so a new variant can't be forgotten silently.
+    for a in ALL_ANOMALIES {
+        let _ = directly_violated(a);
+    }
+    assert!(directly_violated(AnomalyType::CyclicVersionOrder).is_empty());
+    assert!(!directly_violated(AnomalyType::G0).is_empty());
+}

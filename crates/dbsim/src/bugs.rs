@@ -1,0 +1,94 @@
+//! Injectable reproductions of the real-world bugs from §7.1–§7.4.
+//!
+//! Each bug recreates the *mechanism* the paper's case studies diagnosed,
+//! at the point in the engine where the real systems diverged. Because
+//! Elle is a black-box checker, reproducing the mechanism reproduces the
+//! observation-level anomaly signature.
+
+/// A deliberately injected implementation bug.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bug {
+    /// **TiDB §7.1** — automated transaction retry: on a first-committer-
+    /// wins (or OCC) conflict at commit, the engine silently re-applies the
+    /// transaction's buffered writes against the new head and reports
+    /// success, never re-validating reads. Produces lost updates, G-single
+    /// read skew, and incompatible orders (when a transaction observed its
+    /// own writes before being retried onto a different base).
+    SilentRetry,
+    /// **YugaByte DB §7.2** — stale read timestamps after leader elections:
+    /// while an "election window" is open, new transactions read from a
+    /// snapshot `lag` commits in the past and skip read validation at
+    /// commit. Writes are still conflict-checked against the *read*
+    /// timestamp, so no writes are lost and no G1/G0/G-single arise —
+    /// only multi-anti-dependency G2-item cycles, matching the paper.
+    StaleReadTimestamp {
+        /// An election occurs every `period` scheduler steps…
+        period: u64,
+        /// …and stays open for `window` steps.
+        window: u64,
+        /// Snapshot staleness, in commits.
+        lag: u64,
+    },
+    /// **FaunaDB §7.3** — index reads miss tentative writes: with
+    /// probability `prob`, a read consults the transaction's snapshot but
+    /// skips its own write buffer, so `append(0, 6); r(0)` can return a
+    /// value without 6: internal inconsistency, under normal operation,
+    /// without faults.
+    IndexMissesOwnWrites {
+        /// Probability a given read is an "index read".
+        prob: f64,
+    },
+    /// **Dgraph §7.4** — reads from freshly migrated shards return nil:
+    /// while a "migration window" is open, reads of keys in the migrating
+    /// shard return the initial state regardless of committed data.
+    /// Register workloads then yield cyclic inferred version orders and
+    /// read skew, matching the paper.
+    FreshShardNilReads {
+        /// A migration occurs every `period` scheduler steps…
+        period: u64,
+        /// …and stays open for `window` steps.
+        window: u64,
+        /// Number of shards (keys hash to `key % shards`).
+        shards: u64,
+    },
+}
+
+impl Bug {
+    /// Is a periodic window (election / migration) open at `step`?
+    pub fn window_active(period: u64, window: u64, step: u64) -> bool {
+        period > 0 && step % period < window
+    }
+
+    /// For [`Bug::FreshShardNilReads`]: the shard currently migrating at
+    /// `step` (rotates each period).
+    pub fn migrating_shard(period: u64, shards: u64, step: u64) -> u64 {
+        if period == 0 || shards == 0 {
+            0
+        } else {
+            (step / period) % shards
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_repeat() {
+        assert!(Bug::window_active(10, 3, 0));
+        assert!(Bug::window_active(10, 3, 2));
+        assert!(!Bug::window_active(10, 3, 3));
+        assert!(!Bug::window_active(10, 3, 9));
+        assert!(Bug::window_active(10, 3, 10));
+        assert!(!Bug::window_active(0, 3, 1));
+    }
+
+    #[test]
+    fn shards_rotate() {
+        assert_eq!(Bug::migrating_shard(10, 4, 0), 0);
+        assert_eq!(Bug::migrating_shard(10, 4, 10), 1);
+        assert_eq!(Bug::migrating_shard(10, 4, 45), 0);
+        assert_eq!(Bug::migrating_shard(0, 4, 5), 0);
+    }
+}

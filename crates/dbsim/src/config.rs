@@ -1,0 +1,191 @@
+//! Simulator configuration.
+
+use crate::bugs::Bug;
+
+/// The isolation level the engine enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationLevel {
+    /// Writes apply in place immediately; reads see uncommitted data.
+    /// Aborts undo writes element-wise, possibly after others built on
+    /// them — the full G1 zoo.
+    ReadUncommitted,
+    /// Reads see the latest committed version at each read; writes are
+    /// buffered and applied at commit without conflict checks.
+    ReadCommitted,
+    /// MVCC snapshot at transaction begin, first-committer-wins on write
+    /// sets. Permits write skew (G2), proscribes G-single and lost update.
+    SnapshotIsolation,
+    /// Snapshot isolation plus commit-time validation of the read set
+    /// (OCC). Read-only transactions may be served from a stale snapshot
+    /// (`stale_readonly_prob`), which preserves serializability but
+    /// violates real-time order.
+    Serializable,
+    /// OCC with full validation and no stale reads: strict serializable.
+    StrictSerializable,
+}
+
+/// The one datatype a simulated database instance serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// Append-only lists (the paper's flagship workload).
+    ListAppend,
+    /// Read-write registers.
+    Register,
+    /// Counters.
+    Counter,
+    /// Grow-only sets.
+    Set,
+}
+
+/// Client-visible fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a commit acknowledgement is lost: the transaction's
+    /// real outcome stands, but the client records `info`.
+    pub info_prob: f64,
+    /// Probability the server spuriously aborts a transaction at commit.
+    pub server_abort_prob: f64,
+    /// Replace the logical process after an `info` outcome (Jepsen crash
+    /// semantics — logical concurrency rises over time, §7).
+    pub crash_on_info: bool,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub const fn none() -> Self {
+        FaultPlan {
+            info_prob: 0.0,
+            server_abort_prob: 0.0,
+            crash_on_info: false,
+        }
+    }
+
+    /// A typical Jepsen-style plan: occasional lost acks with crashes.
+    pub const fn typical() -> Self {
+        FaultPlan {
+            info_prob: 0.05,
+            server_abort_prob: 0.02,
+            crash_on_info: true,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbConfig {
+    /// Isolation level enforced by the engine.
+    pub isolation: IsolationLevel,
+    /// Datatype served.
+    pub kind: ObjectKind,
+    /// Number of initial logical processes (client threads).
+    pub processes: usize,
+    /// RNG seed — full determinism.
+    pub seed: u64,
+    /// Fault injection plan.
+    pub faults: FaultPlan,
+    /// Injected implementation bug, if any (§7.1–§7.4).
+    pub bug: Option<Bug>,
+    /// Under `Serializable`, probability a read-only transaction is served
+    /// from a stale snapshot (serializable but not strict).
+    pub stale_readonly_prob: f64,
+    /// Maximum snapshot staleness, in commits, for stale read-only
+    /// transactions.
+    pub stale_lag: u64,
+    /// Expose the engine's (start, commit) timestamps on the event log
+    /// (§5.1: "Some snapshot-isolated databases expose transaction start
+    /// and commit timestamps to clients").
+    pub expose_timestamps: bool,
+}
+
+impl DbConfig {
+    /// A fault-free, bug-free configuration.
+    pub fn new(isolation: IsolationLevel, kind: ObjectKind) -> Self {
+        DbConfig {
+            isolation,
+            kind,
+            processes: 4,
+            seed: 42,
+            faults: FaultPlan::none(),
+            bug: None,
+            stale_readonly_prob: 0.0,
+            stale_lag: 5,
+            expose_timestamps: false,
+        }
+    }
+
+    /// Set the number of client processes.
+    pub fn with_processes(mut self, n: usize) -> Self {
+        self.processes = n.max(1);
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the fault plan.
+    pub fn with_faults(mut self, f: FaultPlan) -> Self {
+        self.faults = f;
+        self
+    }
+
+    /// Inject a bug.
+    pub fn with_bug(mut self, b: Bug) -> Self {
+        self.bug = Some(b);
+        self
+    }
+
+    /// Enable stale read-only snapshots (Serializable only).
+    pub fn with_stale_readonly(mut self, prob: f64, lag: u64) -> Self {
+        self.stale_readonly_prob = prob;
+        self.stale_lag = lag.max(1);
+        self
+    }
+
+    /// Expose engine timestamps to clients (§5.1).
+    pub fn with_timestamps(mut self, on: bool) -> Self {
+        self.expose_timestamps = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend)
+            .with_processes(9)
+            .with_seed(1)
+            .with_faults(FaultPlan::typical())
+            .with_stale_readonly(0.5, 3);
+        assert_eq!(c.processes, 9);
+        assert_eq!(c.seed, 1);
+        assert!(c.faults.crash_on_info);
+        assert_eq!(c.stale_readonly_prob, 0.5);
+        assert_eq!(c.stale_lag, 3);
+    }
+
+    #[test]
+    fn processes_clamped_to_one() {
+        let c = DbConfig::new(IsolationLevel::ReadCommitted, ObjectKind::Register)
+            .with_processes(0);
+        assert_eq!(c.processes, 1);
+    }
+
+    #[test]
+    fn fault_plans() {
+        assert_eq!(FaultPlan::none().info_prob, 0.0);
+        assert!(FaultPlan::typical().info_prob > 0.0);
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+    }
+}

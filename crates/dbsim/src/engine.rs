@@ -1,0 +1,524 @@
+//! The transaction engine: executes micro-ops and commits under each
+//! isolation level, with bug hooks.
+
+use crate::bugs::Bug;
+use crate::config::{DbConfig, IsolationLevel};
+use crate::store::Store;
+use crate::value::StoredValue;
+use elle_history::{Elem, Key, Mop, ReadValue};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rustc_hash::FxHashMap;
+
+/// Result of executing one micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepResult {
+    /// The micro-op executed; the transaction advanced.
+    Progress,
+    /// The micro-op is waiting on a write lock (read-committed mode);
+    /// retry later. Prolonged blocking indicates deadlock — the caller
+    /// should abort the transaction.
+    Blocked,
+}
+
+/// An in-flight transaction.
+#[derive(Debug)]
+pub(crate) struct TxnCtx {
+    /// Unique token identifying this transaction for lock ownership.
+    pub token: u64,
+    /// Invocation-form micro-ops (reads unresolved).
+    pub invocation: Vec<Mop>,
+    /// Resolved micro-ops (reads carry observed values).
+    pub resolved: Vec<Mop>,
+    /// Next micro-op to execute.
+    pub pos: usize,
+    /// Snapshot timestamp for reads.
+    pub read_ts: u64,
+    /// Timestamp against which write-write conflicts are validated.
+    pub write_conflict_ts: u64,
+    /// Whether the read set is validated at commit.
+    pub validate_reads: bool,
+    /// `(key, version ts observed)` per read.
+    pub read_set: Vec<(Key, u64)>,
+    /// Buffered writes per key, in program order.
+    pub writes: FxHashMap<Key, Vec<Mop>>,
+    /// Keys in first-write order (commit application order).
+    pub write_keys: Vec<Key>,
+    /// Read-uncommitted undo log: `(mop, previous register value)`.
+    pub undo: Vec<(Mop, Option<Elem>)>,
+    /// Commit timestamp assigned by [`Engine::try_commit`]. Read-only
+    /// transactions commit "at" their snapshot.
+    pub commit_ts: Option<u64>,
+}
+
+/// The engine: storage plus the commit clock.
+#[derive(Debug)]
+pub(crate) struct Engine {
+    pub cfg: DbConfig,
+    pub store: Store,
+    /// Last issued commit timestamp.
+    pub clock: u64,
+    /// Per-key write locks (read-committed mode): real RC engines hold row
+    /// write locks until commit, which keeps a transaction's installed
+    /// writes contiguous with the base it observed when writing.
+    locks: FxHashMap<Key, u64>,
+    next_token: u64,
+}
+
+impl Engine {
+    pub fn new(cfg: DbConfig) -> Self {
+        Engine {
+            cfg,
+            store: Store::new(),
+            clock: 0,
+            locks: FxHashMap::default(),
+            next_token: 0,
+        }
+    }
+
+    /// Begin a transaction at scheduler step `step`.
+    pub fn begin(&mut self, mops: Vec<Mop>, step: u64, rng: &mut SmallRng) -> TxnCtx {
+        let start_ts = self.clock;
+        let mut read_ts = start_ts;
+        let mut write_conflict_ts = start_ts;
+        let mut validate_reads = matches!(
+            self.cfg.isolation,
+            IsolationLevel::Serializable | IsolationLevel::StrictSerializable
+        );
+
+        // Serializable (non-strict): read-only transactions may run on a
+        // stale snapshot — serializable, not strict.
+        let read_only = mops.iter().all(Mop::is_read);
+        if self.cfg.isolation == IsolationLevel::Serializable
+            && read_only
+            && self.cfg.stale_readonly_prob > 0.0
+            && rng.gen_bool(self.cfg.stale_readonly_prob)
+        {
+            let lag = rng.gen_range(1..=self.cfg.stale_lag);
+            read_ts = start_ts.saturating_sub(lag);
+            validate_reads = false;
+        }
+
+        // YugaByte-style stale read timestamps during election windows.
+        if let Some(Bug::StaleReadTimestamp {
+            period,
+            window,
+            lag,
+        }) = self.cfg.bug
+        {
+            if Bug::window_active(period, window, step) {
+                read_ts = start_ts.saturating_sub(lag);
+                validate_reads = false;
+                // Writes conflict against the read timestamp: anything
+                // committed since the stale snapshot aborts us, so no
+                // updates are lost (G2-item only; see bugs.rs).
+                write_conflict_ts = read_ts;
+            }
+        }
+
+        let invocation: Vec<Mop> = mops.iter().map(Mop::to_invocation).collect();
+        self.next_token += 1;
+        TxnCtx {
+            token: self.next_token,
+            resolved: invocation.clone(),
+            invocation,
+            pos: 0,
+            read_ts,
+            write_conflict_ts,
+            validate_reads,
+            read_set: Vec::new(),
+            writes: FxHashMap::default(),
+            write_keys: Vec::new(),
+            undo: Vec::new(),
+            commit_ts: None,
+        }
+    }
+
+    /// Execute the next micro-op of `ctx` at scheduler step `step`.
+    pub fn exec_next(&mut self, ctx: &mut TxnCtx, step: u64, rng: &mut SmallRng) -> StepResult {
+        let idx = ctx.pos;
+        let mop = ctx.invocation[idx].clone();
+        match &mop {
+            Mop::Read { key, .. } => {
+                let value = self.read(ctx, *key, step, rng);
+                ctx.resolved[idx] = Mop::Read {
+                    key: *key,
+                    value: Some(value),
+                };
+            }
+            write => {
+                if self.write(ctx, write) == StepResult::Blocked {
+                    return StepResult::Blocked;
+                }
+            }
+        }
+        ctx.pos += 1;
+        StepResult::Progress
+    }
+
+    fn write(&mut self, ctx: &mut TxnCtx, mop: &Mop) -> StepResult {
+        let key = mop.key();
+        if self.cfg.isolation == IsolationLevel::ReadUncommitted {
+            // In-place, immediately visible; remember undo info.
+            let prev_reg = self.store.current(key, self.cfg.kind).register_value();
+            self.store.current_mut(key, self.cfg.kind).apply(mop);
+            ctx.undo.push((mop.clone(), prev_reg));
+        } else {
+            if self.cfg.isolation == IsolationLevel::ReadCommitted {
+                match self.locks.get(&key) {
+                    Some(owner) if *owner != ctx.token => return StepResult::Blocked,
+                    _ => {
+                        self.locks.insert(key, ctx.token);
+                    }
+                }
+            }
+            if !ctx.writes.contains_key(&key) {
+                ctx.write_keys.push(key);
+            }
+            ctx.writes.entry(key).or_default().push(mop.clone());
+        }
+        StepResult::Progress
+    }
+
+    fn read(&mut self, ctx: &mut TxnCtx, key: Key, step: u64, rng: &mut SmallRng) -> ReadValue {
+        let kind = self.cfg.kind;
+        let (mut base_ts, mut base) = match self.cfg.isolation {
+            IsolationLevel::ReadUncommitted => (0, self.store.current(key, kind)),
+            IsolationLevel::ReadCommitted => self.store.latest(key, kind),
+            _ => self.store.snapshot(key, ctx.read_ts, kind),
+        };
+
+        // Dgraph-style fresh-shard nil reads: the migrated shard has no
+        // data at all, so even the transaction's own writes are invisible.
+        let mut fresh_shard = false;
+        if let Some(Bug::FreshShardNilReads {
+            period,
+            window,
+            shards,
+        }) = self.cfg.bug
+        {
+            if Bug::window_active(period, window, step)
+                && key.0 % shards.max(1) == Bug::migrating_shard(period, shards, step)
+            {
+                base_ts = 0;
+                base = StoredValue::initial(kind);
+                fresh_shard = true;
+            }
+        }
+
+        ctx.read_set.push((key, base_ts));
+
+        // Overlay the transaction's own buffered writes — unless this is a
+        // Fauna-style "index read" that misses them.
+        let index_read = matches!(
+            self.cfg.bug,
+            Some(Bug::IndexMissesOwnWrites { prob }) if rng.gen_bool(prob)
+        );
+        if !index_read && !fresh_shard && self.cfg.isolation != IsolationLevel::ReadUncommitted {
+            if let Some(ws) = ctx.writes.get(&key) {
+                for w in ws {
+                    base.apply(w);
+                }
+            }
+        }
+        base.to_read_value()
+    }
+
+    /// Attempt to commit; `true` on success. On failure nothing is applied
+    /// (buffered modes) — the caller must invoke [`Engine::abort`] to undo
+    /// in-place writes under read-uncommitted.
+    pub fn try_commit(&mut self, ctx: &mut TxnCtx) -> bool {
+        let ok = match self.cfg.isolation {
+            IsolationLevel::ReadUncommitted => true, // already applied
+            IsolationLevel::ReadCommitted => {
+                self.apply(ctx);
+                self.release_locks(ctx);
+                true
+            }
+            IsolationLevel::SnapshotIsolation => {
+                if self.write_conflict(ctx) && !self.silent_retry() {
+                    return false;
+                }
+                self.apply(ctx);
+                true
+            }
+            IsolationLevel::Serializable | IsolationLevel::StrictSerializable => {
+                if (self.write_conflict(ctx) || self.read_conflict(ctx)) && !self.silent_retry() {
+                    return false;
+                }
+                self.apply(ctx);
+                true
+            }
+        };
+        if ok {
+            // Writers committed at the clock value `apply` assigned;
+            // read-only transactions logically commit at their snapshot.
+            ctx.commit_ts = Some(if ctx.write_keys.is_empty() {
+                ctx.read_ts
+            } else {
+                self.clock
+            });
+        }
+        ok
+    }
+
+    fn silent_retry(&self) -> bool {
+        matches!(self.cfg.bug, Some(Bug::SilentRetry))
+    }
+
+    fn write_conflict(&self, ctx: &TxnCtx) -> bool {
+        ctx.write_keys
+            .iter()
+            .any(|k| self.store.latest_ts(*k) > ctx.write_conflict_ts)
+    }
+
+    fn read_conflict(&self, ctx: &TxnCtx) -> bool {
+        ctx.validate_reads
+            && ctx
+                .read_set
+                .iter()
+                .any(|(k, seen)| self.store.latest_ts(*k) > *seen)
+    }
+
+    /// Apply buffered writes at a fresh commit timestamp (RMW semantics:
+    /// operations apply to the *current* head, so appends are never
+    /// dropped even when the engine skipped conflict checks).
+    fn apply(&mut self, ctx: &TxnCtx) {
+        if ctx.write_keys.is_empty() {
+            return;
+        }
+        self.clock += 1;
+        let ts = self.clock;
+        for key in &ctx.write_keys {
+            let (_, mut value) = self.store.latest(*key, self.cfg.kind);
+            for w in &ctx.writes[key] {
+                value.apply(w);
+            }
+            self.store.commit(*key, ts, value);
+        }
+    }
+
+    /// Undo a read-uncommitted transaction's in-place writes (reverse
+    /// order, element-wise) and release any write locks. No-op for other
+    /// buffered modes.
+    pub fn abort(&mut self, ctx: &TxnCtx) {
+        self.release_locks(ctx);
+        if self.cfg.isolation != IsolationLevel::ReadUncommitted {
+            return;
+        }
+        for (mop, prev_reg) in ctx.undo.iter().rev() {
+            self.store
+                .current_mut(mop.key(), self.cfg.kind)
+                .unapply(mop, *prev_reg);
+        }
+    }
+
+    fn release_locks(&mut self, ctx: &TxnCtx) {
+        self.locks.retain(|_, owner| *owner != ctx.token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ObjectKind;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    fn engine(iso: IsolationLevel) -> Engine {
+        Engine::new(DbConfig::new(iso, ObjectKind::ListAppend))
+    }
+
+    /// Run a whole transaction to completion at one instant.
+    fn run_txn(e: &mut Engine, mops: Vec<Mop>, rng: &mut SmallRng) -> (bool, Vec<Mop>) {
+        let mut ctx = e.begin(mops, 0, rng);
+        while ctx.pos < ctx.invocation.len() {
+            e.exec_next(&mut ctx, 0, rng);
+        }
+        let ok = e.try_commit(&mut ctx);
+        if !ok {
+            e.abort(&ctx);
+        }
+        (ok, ctx.resolved)
+    }
+
+    #[test]
+    fn serial_appends_and_reads() {
+        let mut e = engine(IsolationLevel::StrictSerializable);
+        let mut r = rng();
+        assert!(run_txn(&mut e, vec![Mop::append(1, 1)], &mut r).0);
+        assert!(run_txn(&mut e, vec![Mop::append(1, 2)], &mut r).0);
+        let (ok, res) = run_txn(&mut e, vec![Mop::read(1)], &mut r);
+        assert!(ok);
+        assert_eq!(res[0], Mop::read_list(1, [1, 2]));
+    }
+
+    #[test]
+    fn snapshot_isolation_reads_stay_at_snapshot() {
+        let mut e = engine(IsolationLevel::SnapshotIsolation);
+        let mut r = rng();
+        run_txn(&mut e, vec![Mop::append(1, 1)], &mut r);
+        // T begins, then T2 commits another append; T still sees [1].
+        let mut ctx = e.begin(vec![Mop::read(1), Mop::read(1)], 0, &mut r);
+        e.exec_next(&mut ctx, 0, &mut r);
+        run_txn(&mut e, vec![Mop::append(1, 2)], &mut r);
+        e.exec_next(&mut ctx, 0, &mut r);
+        assert!(e.try_commit(&mut ctx));
+        assert_eq!(ctx.resolved[0], Mop::read_list(1, [1]));
+        assert_eq!(ctx.resolved[1], Mop::read_list(1, [1]));
+    }
+
+    #[test]
+    fn read_committed_sees_fresh_data_each_read() {
+        let mut e = engine(IsolationLevel::ReadCommitted);
+        let mut r = rng();
+        let mut ctx = e.begin(vec![Mop::read(1), Mop::read(1)], 0, &mut r);
+        e.exec_next(&mut ctx, 0, &mut r);
+        run_txn(&mut e, vec![Mop::append(1, 9)], &mut r);
+        e.exec_next(&mut ctx, 0, &mut r);
+        assert!(e.try_commit(&mut ctx));
+        assert_eq!(ctx.resolved[0], Mop::read_list(1, []));
+        assert_eq!(ctx.resolved[1], Mop::read_list(1, [9]));
+    }
+
+    #[test]
+    fn first_committer_wins_aborts_conflict() {
+        let mut e = engine(IsolationLevel::SnapshotIsolation);
+        let mut r = rng();
+        let mut ctx1 = {
+            let mut c = e.begin(vec![Mop::append(1, 1)], 0, &mut r);
+            e.exec_next(&mut c, 0, &mut r);
+            c
+        };
+        let mut ctx2 = {
+            let mut c = e.begin(vec![Mop::append(1, 2)], 0, &mut r);
+            e.exec_next(&mut c, 0, &mut r);
+            c
+        };
+        assert!(e.try_commit(&mut ctx1));
+        assert!(!e.try_commit(&mut ctx2)); // same key, concurrent: aborted
+        let (_, res) = run_txn(&mut e, vec![Mop::read(1)], &mut r);
+        assert_eq!(res[0], Mop::read_list(1, [1]));
+    }
+
+    #[test]
+    fn snapshot_isolation_permits_write_skew() {
+        let mut e = engine(IsolationLevel::SnapshotIsolation);
+        let mut r = rng();
+        // Two txns read each other's key, write their own: both commit.
+        let mut c1 = e.begin(vec![Mop::read(2), Mop::append(1, 1)], 0, &mut r);
+        let mut c2 = e.begin(vec![Mop::read(1), Mop::append(2, 2)], 0, &mut r);
+        for _ in 0..2 {
+            e.exec_next(&mut c1, 0, &mut r);
+            e.exec_next(&mut c2, 0, &mut r);
+        }
+        assert!(e.try_commit(&mut c1));
+        assert!(e.try_commit(&mut c2));
+    }
+
+    #[test]
+    fn serializable_read_validation_blocks_skew() {
+        let mut e = engine(IsolationLevel::Serializable);
+        let mut r = rng();
+        let mut c1 = e.begin(vec![Mop::read(2), Mop::append(1, 1)], 0, &mut r);
+        let mut c2 = e.begin(vec![Mop::read(1), Mop::append(2, 2)], 0, &mut r);
+        for _ in 0..2 {
+            e.exec_next(&mut c1, 0, &mut r);
+            e.exec_next(&mut c2, 0, &mut r);
+        }
+        assert!(e.try_commit(&mut c1));
+        // c2 read key 1, which c1 just wrote: validation fails.
+        assert!(!e.try_commit(&mut c2));
+    }
+
+    #[test]
+    fn read_uncommitted_shows_dirty_data_and_undoes() {
+        let mut e = engine(IsolationLevel::ReadUncommitted);
+        let mut r = rng();
+        let mut c1 = e.begin(vec![Mop::append(1, 1)], 0, &mut r);
+        e.exec_next(&mut c1, 0, &mut r);
+        // Another txn sees the uncommitted append.
+        let (_, res) = run_txn(&mut e, vec![Mop::read(1)], &mut r);
+        assert_eq!(res[0], Mop::read_list(1, [1]));
+        // Abort removes the element.
+        e.abort(&c1);
+        let (_, res) = run_txn(&mut e, vec![Mop::read(1)], &mut r);
+        assert_eq!(res[0], Mop::read_list(1, []));
+    }
+
+    #[test]
+    fn silent_retry_commits_through_conflicts() {
+        let cfg = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend)
+            .with_bug(Bug::SilentRetry);
+        let mut e = Engine::new(cfg);
+        let mut r = rng();
+        let mut c1 = e.begin(vec![Mop::append(1, 1)], 0, &mut r);
+        let mut c2 = e.begin(vec![Mop::append(1, 2)], 0, &mut r);
+        e.exec_next(&mut c1, 0, &mut r);
+        e.exec_next(&mut c2, 0, &mut r);
+        assert!(e.try_commit(&mut c1));
+        assert!(e.try_commit(&mut c2)); // retried instead of aborted
+        let (_, res) = run_txn(&mut e, vec![Mop::read(1)], &mut r);
+        assert_eq!(res[0], Mop::read_list(1, [1, 2]));
+    }
+
+    #[test]
+    fn stale_read_timestamp_bug_reads_past() {
+        let cfg = DbConfig::new(
+            IsolationLevel::StrictSerializable,
+            ObjectKind::ListAppend,
+        )
+        .with_bug(Bug::StaleReadTimestamp {
+            period: 10,
+            window: 10,
+            lag: 100,
+        });
+        let mut e = Engine::new(cfg);
+        let mut r = rng();
+        run_txn(&mut e, vec![Mop::append(1, 1)], &mut r);
+        // Election window open at step 0: reads lag behind.
+        let (ok, res) = run_txn(&mut e, vec![Mop::read(1)], &mut r);
+        assert!(ok);
+        assert_eq!(res[0], Mop::read_list(1, []));
+    }
+
+    #[test]
+    fn fresh_shard_nil_reads() {
+        let cfg = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::Register)
+            .with_bug(Bug::FreshShardNilReads {
+                period: 10,
+                window: 10,
+                shards: 1,
+            });
+        let mut e = Engine::new(cfg);
+        let mut r = rng();
+        run_txn(&mut e, vec![Mop::write(1, 5)], &mut r);
+        let (_, res) = run_txn(&mut e, vec![Mop::read(1)], &mut r);
+        assert_eq!(res[0], Mop::read_register(1, None));
+    }
+
+    #[test]
+    fn index_reads_miss_own_writes() {
+        let cfg = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend)
+            .with_bug(Bug::IndexMissesOwnWrites { prob: 1.0 });
+        let mut e = Engine::new(cfg);
+        let mut r = rng();
+        let (ok, res) = run_txn(&mut e, vec![Mop::append(0, 6), Mop::read(0)], &mut r);
+        assert!(ok);
+        // §7.3: append(0, 6), r(0, nil)
+        assert_eq!(res[1], Mop::read_list(0, []));
+    }
+
+    #[test]
+    fn read_only_txns_commit_without_clock_advance() {
+        let mut e = engine(IsolationLevel::StrictSerializable);
+        let mut r = rng();
+        run_txn(&mut e, vec![Mop::read(1)], &mut r);
+        assert_eq!(e.clock, 0);
+        run_txn(&mut e, vec![Mop::append(1, 1)], &mut r);
+        assert_eq!(e.clock, 1);
+    }
+}

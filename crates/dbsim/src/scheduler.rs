@@ -1,0 +1,289 @@
+//! The deterministic concurrent scheduler: interleaves logical processes at
+//! micro-op granularity, records the client-observed event log, and injects
+//! client-visible faults.
+
+use crate::config::DbConfig;
+use crate::engine::{Engine, TxnCtx};
+use elle_history::{EventKind, EventLog, History, Mop, PairingError, ProcessId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Supplies transactions for processes to run. Returning `None` stops the
+/// run (in-flight transactions still complete).
+pub trait TxnSource {
+    /// The next transaction for `process`, or `None` when the workload is
+    /// exhausted.
+    fn next_txn(&mut self, process: ProcessId) -> Option<Vec<Mop>>;
+}
+
+impl<F: FnMut(ProcessId) -> Option<Vec<Mop>>> TxnSource for F {
+    fn next_txn(&mut self, process: ProcessId) -> Option<Vec<Mop>> {
+        self(process)
+    }
+}
+
+/// The simulated database: configuration plus a deterministic run loop.
+#[derive(Debug, Clone)]
+pub struct SimDb {
+    cfg: DbConfig,
+}
+
+struct Slot {
+    pid: ProcessId,
+    running: Option<TxnCtx>,
+    /// Consecutive lock-blocked attempts (read-committed mode); beyond a
+    /// threshold the engine declares deadlock and aborts the transaction.
+    blocked: u32,
+}
+
+/// Consecutive blocked scheduling attempts treated as a deadlock.
+const DEADLOCK_THRESHOLD: u32 = 256;
+
+impl SimDb {
+    /// A simulator for the given configuration.
+    pub fn new(cfg: DbConfig) -> Self {
+        SimDb { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// Run the workload to completion, producing the raw event log.
+    pub fn run<S: TxnSource>(&self, source: &mut S) -> EventLog {
+        let cfg = self.cfg;
+        let mut engine = Engine::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut log = EventLog::new();
+        let mut slots: Vec<Slot> = (0..cfg.processes)
+            .map(|i| Slot {
+                pid: ProcessId(i as u32),
+                running: None,
+                blocked: 0,
+            })
+            .collect();
+        let mut next_pid = cfg.processes as u32;
+        let mut exhausted = false;
+        let mut step: u64 = 0;
+
+        loop {
+            // Actionable slots: running, or idle while work remains.
+            let actionable: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.running.is_some() || !exhausted)
+                .map(|(i, _)| i)
+                .collect();
+            if actionable.is_empty() {
+                break;
+            }
+            let slot_idx = actionable[rng.gen_range(0..actionable.len())];
+            let slot = &mut slots[slot_idx];
+
+            match &mut slot.running {
+                None => match source.next_txn(slot.pid) {
+                    None => exhausted = true,
+                    Some(mops) => {
+                        let ctx = engine.begin(mops, step, &mut rng);
+                        let start_ts = cfg.expose_timestamps.then_some(ctx.read_ts);
+                        log.push_at(
+                            slot.pid,
+                            EventKind::Invoke,
+                            ctx.invocation.clone(),
+                            start_ts,
+                        );
+                        slot.running = Some(ctx);
+                    }
+                },
+                Some(ctx) => {
+                    if ctx.pos < ctx.invocation.len() {
+                        match engine.exec_next(ctx, step, &mut rng) {
+                            crate::engine::StepResult::Progress => slot.blocked = 0,
+                            crate::engine::StepResult::Blocked => {
+                                slot.blocked += 1;
+                                if slot.blocked > DEADLOCK_THRESHOLD {
+                                    // Deadlock victim: the server aborts.
+                                    let ctx = slot.running.take().expect("running");
+                                    engine.abort(&ctx);
+                                    log.push(slot.pid, EventKind::Fail, ctx.invocation.clone());
+                                    slot.blocked = 0;
+                                }
+                            }
+                        }
+                    } else {
+                        let mut ctx = slot.running.take().expect("checked running");
+                        let server_abort = cfg.faults.server_abort_prob > 0.0
+                            && rng.gen_bool(cfg.faults.server_abort_prob);
+                        let committed = if server_abort {
+                            engine.abort(&ctx);
+                            false
+                        } else {
+                            let ok = engine.try_commit(&mut ctx);
+                            if !ok {
+                                engine.abort(&ctx);
+                            }
+                            ok
+                        };
+                        let lost_ack = cfg.faults.info_prob > 0.0
+                            && rng.gen_bool(cfg.faults.info_prob);
+                        if lost_ack {
+                            // Outcome stands server-side; client learns
+                            // nothing.
+                            log.push(slot.pid, EventKind::Info, ctx.invocation.clone());
+                            if cfg.faults.crash_on_info {
+                                slot.pid = ProcessId(next_pid);
+                                next_pid += 1;
+                            }
+                        } else if committed {
+                            let commit_ts = if cfg.expose_timestamps {
+                                ctx.commit_ts
+                            } else {
+                                None
+                            };
+                            log.push_at(slot.pid, EventKind::Ok, ctx.resolved.clone(), commit_ts);
+                        } else {
+                            log.push(slot.pid, EventKind::Fail, ctx.invocation.clone());
+                        }
+                    }
+                }
+            }
+            step += 1;
+        }
+        log
+    }
+
+    /// Run and pair into a [`History`].
+    pub fn run_history<S: TxnSource>(&self, source: &mut S) -> Result<History, PairingError> {
+        self.run(source).pair()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FaultPlan, IsolationLevel, ObjectKind};
+    use elle_history::TxnStatus;
+
+    fn counting_source(n: u64) -> impl FnMut(ProcessId) -> Option<Vec<Mop>> {
+        let mut i = 0u64;
+        move |_p| {
+            i += 1;
+            (i <= n).then(|| vec![Mop::append(i % 3, i), Mop::read(i % 3)])
+        }
+    }
+
+    fn cfg(iso: IsolationLevel) -> DbConfig {
+        DbConfig::new(iso, ObjectKind::ListAppend).with_processes(3)
+    }
+
+    #[test]
+    fn produces_paired_history() {
+        let h = SimDb::new(cfg(IsolationLevel::StrictSerializable))
+            .run_history(&mut counting_source(20))
+            .unwrap();
+        assert_eq!(h.len(), 20);
+        assert!(h.txns().iter().all(|t| t.complete_index.is_some()));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = SimDb::new(cfg(IsolationLevel::SnapshotIsolation).with_seed(5))
+            .run(&mut counting_source(50));
+        let b = SimDb::new(cfg(IsolationLevel::SnapshotIsolation).with_seed(5))
+            .run(&mut counting_source(50));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_interleavings() {
+        let a = SimDb::new(cfg(IsolationLevel::SnapshotIsolation).with_seed(1))
+            .run(&mut counting_source(50));
+        let b = SimDb::new(cfg(IsolationLevel::SnapshotIsolation).with_seed(2))
+            .run(&mut counting_source(50));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_process_is_serial() {
+        let h = SimDb::new(
+            cfg(IsolationLevel::StrictSerializable)
+                .with_processes(1)
+                .with_seed(3),
+        )
+        .run_history(&mut counting_source(9))
+        .unwrap();
+        // Every txn commits (no concurrency → no conflicts)…
+        assert!(h.txns().iter().all(|t| t.status == TxnStatus::Committed));
+        // …and each read of key k sees exactly the appends so far.
+        let mut expect: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for t in h.txns() {
+            let (k, e) = match t.mops[0] {
+                Mop::Append { key, elem } => (key.0, elem.0),
+                _ => unreachable!(),
+            };
+            expect.entry(k).or_default().push(e);
+            match &t.mops[1] {
+                Mop::Read {
+                    value: Some(v),
+                    ..
+                } => {
+                    let got: Vec<u64> =
+                        v.as_list().unwrap().iter().map(|e| e.0).collect();
+                    assert_eq!(&got, expect.get(&k).unwrap());
+                }
+                other => panic!("unresolved read {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn info_faults_produce_indeterminate_txns_and_crashes() {
+        let c = cfg(IsolationLevel::SnapshotIsolation)
+            .with_faults(FaultPlan {
+                info_prob: 0.5,
+                server_abort_prob: 0.0,
+                crash_on_info: true,
+            })
+            .with_seed(11);
+        let h = SimDb::new(c).run_history(&mut counting_source(60)).unwrap();
+        let infos = h
+            .txns()
+            .iter()
+            .filter(|t| t.status == TxnStatus::Indeterminate)
+            .count();
+        assert!(infos > 5, "expected many info txns, got {infos}");
+        // Crashed processes are replaced: process ids beyond the initial 3.
+        let max_pid = h.txns().iter().map(|t| t.process.0).max().unwrap();
+        assert!(max_pid >= 3, "expected fresh pids, max was {max_pid}");
+    }
+
+    #[test]
+    fn server_aborts_produce_failed_txns() {
+        let c = cfg(IsolationLevel::SnapshotIsolation)
+            .with_faults(FaultPlan {
+                info_prob: 0.0,
+                server_abort_prob: 0.4,
+                crash_on_info: false,
+            })
+            .with_seed(13);
+        let h = SimDb::new(c).run_history(&mut counting_source(40)).unwrap();
+        assert!(h.txns().iter().any(|t| t.status == TxnStatus::Aborted));
+    }
+
+    #[test]
+    fn concurrent_histories_interleave() {
+        // With several processes, some transactions overlap in real time.
+        let h = SimDb::new(cfg(IsolationLevel::SnapshotIsolation).with_seed(9))
+            .run_history(&mut counting_source(30))
+            .unwrap();
+        let overlapping = h.txns().iter().any(|a| {
+            h.txns().iter().any(|b| {
+                a.id != b.id
+                    && a.invoke_index < b.invoke_index
+                    && b.invoke_index < a.complete_index.unwrap_or(usize::MAX)
+            })
+        });
+        assert!(overlapping, "expected real-time overlap");
+    }
+}

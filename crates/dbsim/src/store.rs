@@ -1,0 +1,136 @@
+//! The versioned store: committed version chains per key, plus the
+//! in-place "current" state used by the read-uncommitted engine.
+
+use crate::config::ObjectKind;
+use crate::value::StoredValue;
+use elle_history::Key;
+use rustc_hash::FxHashMap;
+
+/// MVCC storage. Version timestamps are commit sequence numbers; the chain
+/// for each key is strictly increasing in timestamp.
+#[derive(Debug, Default)]
+pub struct Store {
+    versions: FxHashMap<Key, Vec<(u64, StoredValue)>>,
+    /// In-place mutable state (read-uncommitted engine only).
+    current: FxHashMap<Key, StoredValue>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Latest committed version of `key`: `(commit_ts, value)`.
+    /// Timestamp 0 with the initial value when never written.
+    pub fn latest(&self, key: Key, kind: ObjectKind) -> (u64, StoredValue) {
+        match self.versions.get(&key).and_then(|v| v.last()) {
+            Some((ts, val)) => (*ts, val.clone()),
+            None => (0, StoredValue::initial(kind)),
+        }
+    }
+
+    /// The newest committed version with `commit_ts <= ts`.
+    pub fn snapshot(&self, key: Key, ts: u64, kind: ObjectKind) -> (u64, StoredValue) {
+        match self.versions.get(&key) {
+            None => (0, StoredValue::initial(kind)),
+            Some(chain) => {
+                // Chains are short-ish and append-only; binary search by ts.
+                let idx = chain.partition_point(|(t, _)| *t <= ts);
+                if idx == 0 {
+                    (0, StoredValue::initial(kind))
+                } else {
+                    let (t, v) = &chain[idx - 1];
+                    (*t, v.clone())
+                }
+            }
+        }
+    }
+
+    /// Commit timestamp of the newest version of `key` (0 if unwritten).
+    pub fn latest_ts(&self, key: Key) -> u64 {
+        self.versions
+            .get(&key)
+            .and_then(|v| v.last())
+            .map_or(0, |(ts, _)| *ts)
+    }
+
+    /// Install a new committed version. `ts` must exceed the current
+    /// latest; the engine's global commit counter guarantees this.
+    pub fn commit(&mut self, key: Key, ts: u64, value: StoredValue) {
+        let chain = self.versions.entry(key).or_default();
+        debug_assert!(chain.last().map_or(0, |(t, _)| *t) < ts);
+        chain.push((ts, value));
+    }
+
+    /// Mutable access to the in-place state (read-uncommitted engine).
+    pub fn current_mut(&mut self, key: Key, kind: ObjectKind) -> &mut StoredValue {
+        self.current
+            .entry(key)
+            .or_insert_with(|| StoredValue::initial(kind))
+    }
+
+    /// Read-only view of the in-place state.
+    pub fn current(&self, key: Key, kind: ObjectKind) -> StoredValue {
+        self.current
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| StoredValue::initial(kind))
+    }
+
+    /// Number of keys with at least one committed version.
+    pub fn key_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Total committed versions across keys.
+    pub fn version_count(&self) -> usize {
+        self.versions.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_history::Elem;
+
+    const K: Key = Key(1);
+    const KIND: ObjectKind = ObjectKind::ListAppend;
+
+    fn list(elems: &[u64]) -> StoredValue {
+        StoredValue::List(elems.iter().map(|e| Elem(*e)).collect())
+    }
+
+    #[test]
+    fn unwritten_key_is_initial_at_ts_zero() {
+        let s = Store::new();
+        assert_eq!(s.latest(K, KIND), (0, list(&[])));
+        assert_eq!(s.snapshot(K, 100, KIND), (0, list(&[])));
+        assert_eq!(s.latest_ts(K), 0);
+    }
+
+    #[test]
+    fn snapshot_selects_by_timestamp() {
+        let mut s = Store::new();
+        s.commit(K, 2, list(&[1]));
+        s.commit(K, 5, list(&[1, 2]));
+        s.commit(K, 9, list(&[1, 2, 3]));
+        assert_eq!(s.snapshot(K, 1, KIND), (0, list(&[])));
+        assert_eq!(s.snapshot(K, 2, KIND), (2, list(&[1])));
+        assert_eq!(s.snapshot(K, 7, KIND), (5, list(&[1, 2])));
+        assert_eq!(s.snapshot(K, 9, KIND), (9, list(&[1, 2, 3])));
+        assert_eq!(s.latest(K, KIND), (9, list(&[1, 2, 3])));
+        assert_eq!(s.latest_ts(K), 9);
+        assert_eq!(s.key_count(), 1);
+        assert_eq!(s.version_count(), 3);
+    }
+
+    #[test]
+    fn current_state_is_separate() {
+        let mut s = Store::new();
+        s.current_mut(K, KIND).apply(&elle_history::Mop::append(1, 7));
+        assert_eq!(s.current(K, KIND), list(&[7]));
+        // Committed chain untouched.
+        assert_eq!(s.latest_ts(K), 0);
+    }
+}

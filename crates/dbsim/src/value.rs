@@ -1,0 +1,164 @@
+//! Stored object values for the four datatypes of Figure 1.
+
+use crate::config::ObjectKind;
+use elle_history::{Elem, Mop, ReadValue};
+use std::collections::BTreeSet;
+
+/// The materialized state of one object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoredValue {
+    /// Append-only list.
+    List(Vec<Elem>),
+    /// Register (`None` = initial nil).
+    Register(Option<Elem>),
+    /// Counter.
+    Counter(i64),
+    /// Grow-only set.
+    Set(BTreeSet<Elem>),
+}
+
+impl StoredValue {
+    /// The initial version `x_init` for a datatype (Figure 1: `nil`, `0`,
+    /// `{}`, `[]`).
+    pub fn initial(kind: ObjectKind) -> StoredValue {
+        match kind {
+            ObjectKind::ListAppend => StoredValue::List(Vec::new()),
+            ObjectKind::Register => StoredValue::Register(None),
+            ObjectKind::Counter => StoredValue::Counter(0),
+            ObjectKind::Set => StoredValue::Set(BTreeSet::new()),
+        }
+    }
+
+    /// Apply a write micro-op (Figure 1's write semantics). Panics on a
+    /// read or a kind mismatch — the engine only feeds matching writes.
+    pub fn apply(&mut self, mop: &Mop) {
+        match (self, mop) {
+            (StoredValue::List(v), Mop::Append { elem, .. }) => v.push(*elem),
+            (StoredValue::Register(r), Mop::Write { elem, .. }) => *r = Some(*elem),
+            (StoredValue::Counter(c), Mop::Increment { amount, .. }) => *c += amount,
+            (StoredValue::Set(s), Mop::AddToSet { elem, .. }) => {
+                s.insert(*elem);
+            }
+            (v, m) => panic!("cannot apply {m:?} to {v:?}"),
+        }
+    }
+
+    /// Undo a previously applied write, element-wise. Used by the
+    /// read-uncommitted engine's abort path. `prev_register` supplies the
+    /// overwritten value for registers.
+    pub fn unapply(&mut self, mop: &Mop, prev_register: Option<Elem>) {
+        match (self, mop) {
+            (StoredValue::List(v), Mop::Append { elem, .. }) => {
+                if let Some(pos) = v.iter().rposition(|e| e == elem) {
+                    v.remove(pos);
+                }
+            }
+            (StoredValue::Register(r), Mop::Write { elem, .. }) => {
+                // Restore only if our write is still the visible value.
+                if *r == Some(*elem) {
+                    *r = prev_register;
+                }
+            }
+            (StoredValue::Counter(c), Mop::Increment { amount, .. }) => *c -= amount,
+            (StoredValue::Set(s), Mop::AddToSet { elem, .. }) => {
+                s.remove(elem);
+            }
+            (v, m) => panic!("cannot unapply {m:?} from {v:?}"),
+        }
+    }
+
+    /// The value a read of this version returns.
+    pub fn to_read_value(&self) -> ReadValue {
+        match self {
+            StoredValue::List(v) => ReadValue::List(v.clone()),
+            StoredValue::Register(r) => ReadValue::Register(*r),
+            StoredValue::Counter(c) => ReadValue::Counter(*c),
+            StoredValue::Set(s) => ReadValue::Set(s.clone()),
+        }
+    }
+
+    /// The register's current contents, if this is a register.
+    pub fn register_value(&self) -> Option<Elem> {
+        match self {
+            StoredValue::Register(r) => *r,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_values_match_figure_1() {
+        assert_eq!(
+            StoredValue::initial(ObjectKind::ListAppend),
+            StoredValue::List(vec![])
+        );
+        assert_eq!(
+            StoredValue::initial(ObjectKind::Register),
+            StoredValue::Register(None)
+        );
+        assert_eq!(
+            StoredValue::initial(ObjectKind::Counter),
+            StoredValue::Counter(0)
+        );
+        assert_eq!(
+            StoredValue::initial(ObjectKind::Set),
+            StoredValue::Set(BTreeSet::new())
+        );
+    }
+
+    #[test]
+    fn apply_write_semantics() {
+        let mut l = StoredValue::initial(ObjectKind::ListAppend);
+        l.apply(&Mop::append(1, 5));
+        l.apply(&Mop::append(1, 6));
+        assert_eq!(l.to_read_value(), ReadValue::list([5, 6]));
+
+        let mut r = StoredValue::initial(ObjectKind::Register);
+        r.apply(&Mop::write(1, 9));
+        assert_eq!(r.to_read_value(), ReadValue::Register(Some(Elem(9))));
+        assert_eq!(r.register_value(), Some(Elem(9)));
+
+        let mut c = StoredValue::initial(ObjectKind::Counter);
+        c.apply(&Mop::increment(1, 3));
+        c.apply(&Mop::increment(1, -1));
+        assert_eq!(c.to_read_value(), ReadValue::Counter(2));
+
+        let mut s = StoredValue::initial(ObjectKind::Set);
+        s.apply(&Mop::add_to_set(1, 4));
+        assert_eq!(s.to_read_value(), ReadValue::set([4]));
+    }
+
+    #[test]
+    fn unapply_reverses_element_wise() {
+        let mut l = StoredValue::List(vec![Elem(1), Elem(2), Elem(3)]);
+        l.unapply(&Mop::append(1, 2), None);
+        assert_eq!(l, StoredValue::List(vec![Elem(1), Elem(3)]));
+
+        let mut r = StoredValue::Register(Some(Elem(5)));
+        r.unapply(&Mop::write(1, 5), Some(Elem(2)));
+        assert_eq!(r, StoredValue::Register(Some(Elem(2))));
+        // Not restored when someone else overwrote already.
+        let mut r2 = StoredValue::Register(Some(Elem(7)));
+        r2.unapply(&Mop::write(1, 5), Some(Elem(2)));
+        assert_eq!(r2, StoredValue::Register(Some(Elem(7))));
+
+        let mut c = StoredValue::Counter(5);
+        c.unapply(&Mop::increment(1, 3), None);
+        assert_eq!(c, StoredValue::Counter(2));
+
+        let mut s = StoredValue::Set([Elem(1), Elem(2)].into_iter().collect());
+        s.unapply(&Mop::add_to_set(1, 1), None);
+        assert_eq!(s, StoredValue::Set([Elem(2)].into_iter().collect()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot apply")]
+    fn apply_kind_mismatch_panics() {
+        let mut l = StoredValue::initial(ObjectKind::ListAppend);
+        l.apply(&Mop::write(1, 5));
+    }
+}

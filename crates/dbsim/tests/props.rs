@@ -1,0 +1,241 @@
+//! Property tests for the simulator: determinism, pairing, and
+//! engine-level invariants across random configurations.
+
+use elle_dbsim::{Bug, DbConfig, FaultPlan, IsolationLevel, ObjectKind, SimDb};
+use elle_history::{Mop, ProcessId, ReadValue, TxnStatus};
+use proptest::prelude::*;
+
+fn arb_isolation() -> impl Strategy<Value = IsolationLevel> {
+    prop_oneof![
+        Just(IsolationLevel::ReadUncommitted),
+        Just(IsolationLevel::ReadCommitted),
+        Just(IsolationLevel::SnapshotIsolation),
+        Just(IsolationLevel::Serializable),
+        Just(IsolationLevel::StrictSerializable),
+    ]
+}
+
+fn arb_bug() -> impl Strategy<Value = Option<Bug>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Bug::SilentRetry)),
+        (50u64..500, 10u64..100, 0u64..3).prop_map(|(p, w, l)| {
+            Some(Bug::StaleReadTimestamp {
+                period: p,
+                window: w,
+                lag: l,
+            })
+        }),
+        (0.01f64..0.9).prop_map(|p| Some(Bug::IndexMissesOwnWrites { prob: p })),
+        (50u64..500, 10u64..100, 1u64..6).prop_map(|(p, w, s)| {
+            Some(Bug::FreshShardNilReads {
+                period: p,
+                window: w,
+                shards: s,
+            })
+        }),
+    ]
+}
+
+/// A simple deterministic source: n transactions of append+read.
+fn source(n: u64, keys: u64) -> impl FnMut(ProcessId) -> Option<Vec<Mop>> {
+    let mut i = 0u64;
+    move |_p| {
+        i += 1;
+        (i <= n).then(|| {
+            vec![
+                Mop::append(i % keys, i),
+                Mop::read(i % keys),
+                Mop::read((i + 1) % keys),
+            ]
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identical configs yield byte-identical logs, for every isolation
+    /// level, bug, and fault plan.
+    #[test]
+    fn runs_are_deterministic(iso in arb_isolation(),
+                              bug in arb_bug(),
+                              seed in any::<u64>(),
+                              procs in 1usize..8,
+                              info in 0.0f64..0.3) {
+        let mut cfg = DbConfig::new(iso, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed)
+            .with_faults(FaultPlan { info_prob: info, server_abort_prob: 0.05, crash_on_info: true });
+        if let Some(b) = bug {
+            cfg = cfg.with_bug(b);
+        }
+        let a = SimDb::new(cfg).run(&mut source(60, 4));
+        let b = SimDb::new(cfg).run(&mut source(60, 4));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Logs always pair: one completion per invocation, every transaction
+    /// accounted for.
+    #[test]
+    fn logs_always_pair(iso in arb_isolation(), seed in any::<u64>(), procs in 1usize..8) {
+        let cfg = DbConfig::new(iso, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed)
+            .with_faults(FaultPlan::typical());
+        let h = SimDb::new(cfg).run_history(&mut source(80, 3)).unwrap();
+        prop_assert_eq!(h.len(), 80);
+        for t in h.txns() {
+            // Committed txns have fully resolved reads.
+            if t.status == TxnStatus::Committed {
+                for m in &t.mops {
+                    if let Mop::Read { value, .. } = m {
+                        prop_assert!(value.is_some());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Under strict serializability the committed reads of each key form
+    /// a prefix chain (the engine really is serializable).
+    #[test]
+    fn strict_reads_prefix_compatible(seed in any::<u64>(), procs in 1usize..8) {
+        let cfg = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed);
+        let h = SimDb::new(cfg).run_history(&mut source(80, 2)).unwrap();
+        let mut longest: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for t in h.txns().iter().filter(|t| t.status == TxnStatus::Committed) {
+            for m in &t.mops {
+                if let Mop::Read { key, value: Some(ReadValue::List(v)) } = m {
+                    let v: Vec<u64> = v.iter().map(|e| e.0).collect();
+                    let slot = longest.entry(key.0).or_default();
+                    if v.len() > slot.len() {
+                        prop_assert_eq!(&v[..slot.len()], &slot[..]);
+                        *slot = v;
+                    } else {
+                        prop_assert_eq!(&slot[..v.len()], &v[..]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read-uncommitted aborts really undo: if every transaction aborts,
+    /// the store ends empty (observed via a final read).
+    #[test]
+    fn ru_undo_restores_state(seed in any::<u64>()) {
+        let cfg = DbConfig::new(IsolationLevel::ReadUncommitted, ObjectKind::ListAppend)
+            .with_processes(1)
+            .with_seed(seed)
+            .with_faults(FaultPlan { info_prob: 0.0, server_abort_prob: 1.0, crash_on_info: false });
+        // All writes abort; then a fault-free run reads the key.
+        let mut phase = 0;
+        let mut src = |_p: ProcessId| {
+            phase += 1;
+            match phase {
+                1..=10 => Some(vec![Mop::append(0, phase as u64)]),
+                _ => None,
+            }
+        };
+        let h = SimDb::new(cfg).run_history(&mut src).unwrap();
+        prop_assert!(h.txns().iter().all(|t| t.status == TxnStatus::Aborted));
+        // Continue against the same store is not possible through the
+        // public API (fresh engine per run), so assert through a second
+        // phase inside one run instead:
+        let cfg2 = DbConfig::new(IsolationLevel::ReadUncommitted, ObjectKind::ListAppend)
+            .with_processes(1)
+            .with_seed(seed)
+            .with_faults(FaultPlan { info_prob: 0.0, server_abort_prob: 0.5, crash_on_info: false });
+        let mut phase2 = 0;
+        let mut src2 = |_p: ProcessId| {
+            phase2 += 1;
+            match phase2 {
+                1..=10 => Some(vec![Mop::append(0, phase2 as u64)]),
+                11 => Some(vec![Mop::read(0)]),
+                _ => None,
+            }
+        };
+        let h2 = SimDb::new(cfg2).run_history(&mut src2).unwrap();
+        // The final read (if committed) contains exactly the elements of
+        // committed appends, in order.
+        let committed: Vec<u64> = h2
+            .txns()
+            .iter()
+            .take(10)
+            .filter(|t| t.status == TxnStatus::Committed)
+            .map(|t| match t.mops[0] {
+                Mop::Append { elem, .. } => elem.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        let last = h2.txns().last().unwrap();
+        if last.status == TxnStatus::Committed {
+            if let Mop::Read { value: Some(ReadValue::List(v)), .. } = &last.mops[0] {
+                let got: Vec<u64> = v.iter().map(|e| e.0).collect();
+                prop_assert_eq!(got, committed);
+            }
+        }
+    }
+
+    /// First-committer-wins under SI: no two committed transactions that
+    /// wrote the same key overlap (their [begin, commit] spans in the
+    /// event order are disjoint)… weaker observable proxy: committed
+    /// appends per key appear exactly once in the final longest read.
+    #[test]
+    fn si_committed_appends_all_land(seed in any::<u64>(), procs in 2usize..6) {
+        let cfg = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed);
+        let n = 60u64;
+        let mut i = 0u64;
+        let mut src = move |_p: ProcessId| {
+            i += 1;
+            if i <= n {
+                Some(vec![Mop::append(0, i)])
+            } else if i == n + 1 {
+                Some(vec![Mop::read(0)])
+            } else {
+                None
+            }
+        };
+        let h = SimDb::new(cfg).run_history(&mut src).unwrap();
+        let committed: std::collections::BTreeSet<u64> = h
+            .txns()
+            .iter()
+            .filter(|t| t.status == TxnStatus::Committed)
+            .filter_map(|t| match t.mops.first() {
+                Some(Mop::Append { elem, .. }) => Some(elem.0),
+                _ => None,
+            })
+            .collect();
+        let last = h.txns().iter().rev().find(|t| {
+            t.status == TxnStatus::Committed && matches!(t.mops[0], Mop::Read { .. })
+        });
+        if let Some(t) = last {
+            if let Mop::Read { value: Some(ReadValue::List(v)), .. } = &t.mops[0] {
+                let got: std::collections::BTreeSet<u64> = v.iter().map(|e| e.0).collect();
+                // Everything that committed before the reader began must
+                // be visible (snapshot freshness)…
+                let settled: std::collections::BTreeSet<u64> = h
+                    .txns()
+                    .iter()
+                    .filter(|w| {
+                        w.status == TxnStatus::Committed
+                            && w.complete_index.is_some_and(|c| c < t.invoke_index)
+                    })
+                    .filter_map(|w| match w.mops.first() {
+                        Some(Mop::Append { elem, .. }) => Some(elem.0),
+                        _ => None,
+                    })
+                    .collect();
+                prop_assert!(settled.is_subset(&got),
+                             "missing settled appends: {:?}", settled.difference(&got));
+                // …and nothing beyond the committed set ever appears.
+                prop_assert!(got.is_subset(&committed),
+                             "phantom appends: {:?}", got.difference(&committed));
+            }
+        }
+    }
+}

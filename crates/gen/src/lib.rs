@@ -1,0 +1,323 @@
+//! # elle-gen
+//!
+//! Workload generation in the style of the paper's evaluation (§7):
+//! random transactions of 1–10 micro-operations over a rotating pool of
+//! keys, with unique write arguments — maintaining the **recoverability**
+//! and **traceability** properties Elle's inference relies on:
+//!
+//! > "In all our tests, we generated transactions of varying length
+//! > (typically 1-10 operations) comprised of random reads and writes over
+//! > a handful of objects. We performed anywhere from one to 1024 writes
+//! > per object; fewer writes per object stresses codepaths involved in
+//! > the creation of fresh database objects, and more writes per object
+//! > allows the detection of anomalies over longer time periods."
+//!
+//! [`Workload`] implements [`elle_dbsim::TxnSource`], so it can drive the
+//! simulator directly; [`run_workload`] wires the two together.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use elle_dbsim::{DbConfig, ObjectKind, SimDb, TxnSource};
+use elle_history::{History, Mop, PairingError, ProcessId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenParams {
+    /// Total transactions to generate.
+    pub n_txns: usize,
+    /// Minimum micro-ops per transaction.
+    pub min_txn_len: usize,
+    /// Maximum micro-ops per transaction (inclusive).
+    pub max_txn_len: usize,
+    /// Keys concurrently active ("a handful of objects at any point in
+    /// time" — the paper's performance runs use 100).
+    pub active_keys: usize,
+    /// Writes per key before it retires and a fresh key replaces it
+    /// (1–1024 in the paper).
+    pub writes_per_key: u64,
+    /// Probability a micro-op is a read.
+    pub read_prob: f64,
+    /// Object kind to generate.
+    pub kind: ObjectKind,
+    /// Generator RNG seed (independent of the simulator's).
+    pub seed: u64,
+    /// After the main body, issue one read per active key (a quiescent
+    /// "final read" pass — a standard Jepsen trick that shrinks the
+    /// unobserved tail of each version order, §3: "so long as histories
+    /// are long and include reads every so often, the unknown fraction of
+    /// a version order can be made relatively small").
+    pub final_reads: bool,
+}
+
+impl GenParams {
+    /// The paper's performance-experiment shape (§7.5): 1–5 ops per txn,
+    /// 100 active keys, 100 appends per key.
+    pub fn paper_perf(n_txns: usize) -> Self {
+        GenParams {
+            n_txns,
+            min_txn_len: 1,
+            max_txn_len: 5,
+            active_keys: 100,
+            writes_per_key: 100,
+            read_prob: 0.5,
+            kind: ObjectKind::ListAppend,
+            seed: 0xE11E,
+            final_reads: false,
+        }
+    }
+
+    /// A small contended workload: few keys, high write rate — good at
+    /// provoking anomalies quickly.
+    pub fn contended(n_txns: usize, kind: ObjectKind) -> Self {
+        GenParams {
+            n_txns,
+            min_txn_len: 1,
+            max_txn_len: 4,
+            active_keys: 5,
+            writes_per_key: 64,
+            read_prob: 0.5,
+            kind,
+            seed: 0xE11E,
+            final_reads: false,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style transaction-count override.
+    pub fn with_txns(mut self, n: usize) -> Self {
+        self.n_txns = n;
+        self
+    }
+
+    /// Builder-style: enable the final quiescent read pass.
+    pub fn with_final_reads(mut self, on: bool) -> Self {
+        self.final_reads = on;
+        self
+    }
+}
+
+/// A random transaction source maintaining unique write arguments and key
+/// rotation.
+#[derive(Debug)]
+pub struct Workload {
+    params: GenParams,
+    rng: SmallRng,
+    /// Next unique element.
+    next_elem: u64,
+    /// Next fresh key id.
+    next_key: u64,
+    /// Active keys with their remaining write budget.
+    active: Vec<(u64, u64)>,
+    /// Transactions handed out so far.
+    generated: usize,
+}
+
+impl Workload {
+    /// Create a workload from parameters.
+    pub fn new(params: GenParams) -> Self {
+        let n = params.active_keys.max(1) as u64;
+        Workload {
+            rng: SmallRng::seed_from_u64(params.seed),
+            next_elem: 1,
+            next_key: n,
+            active: (0..n).map(|k| (k, params.writes_per_key.max(1))).collect(),
+            generated: 0,
+            params,
+        }
+    }
+
+    /// The parameters this workload was built from.
+    pub fn params(&self) -> &GenParams {
+        &self.params
+    }
+
+    fn fresh_elem(&mut self) -> u64 {
+        let e = self.next_elem;
+        self.next_elem += 1;
+        e
+    }
+
+    fn gen_mop(&mut self) -> Mop {
+        let slot = self.rng.gen_range(0..self.active.len());
+        let (key, _) = self.active[slot];
+        if self.rng.gen_bool(self.params.read_prob) {
+            Mop::read(key)
+        } else {
+            // Consume write budget; retire exhausted keys.
+            let budget = &mut self.active[slot].1;
+            *budget -= 1;
+            if *budget == 0 {
+                let fresh = self.next_key;
+                self.next_key += 1;
+                self.active[slot] = (fresh, self.params.writes_per_key.max(1));
+            }
+            match self.params.kind {
+                ObjectKind::ListAppend => Mop::append(key, self.fresh_elem()),
+                ObjectKind::Register => Mop::write(key, self.fresh_elem()),
+                ObjectKind::Counter => Mop::increment(key, 1),
+                ObjectKind::Set => Mop::add_to_set(key, self.fresh_elem()),
+            }
+        }
+    }
+
+    /// Generate one transaction (used directly by tests; the simulator
+    /// calls through [`TxnSource`]).
+    pub fn gen_txn(&mut self) -> Vec<Mop> {
+        let len = self
+            .rng
+            .gen_range(self.params.min_txn_len.max(1)..=self.params.max_txn_len.max(1));
+        (0..len).map(|_| self.gen_mop()).collect()
+    }
+}
+
+impl TxnSource for Workload {
+    fn next_txn(&mut self, _process: ProcessId) -> Option<Vec<Mop>> {
+        if self.generated >= self.params.n_txns {
+            // Quiescent final reads: one per still-active key.
+            if self.params.final_reads {
+                let idx = self.generated - self.params.n_txns;
+                if idx < self.active.len() {
+                    self.generated += 1;
+                    return Some(vec![Mop::read(self.active[idx].0)]);
+                }
+            }
+            return None;
+        }
+        self.generated += 1;
+        Some(self.gen_txn())
+    }
+}
+
+/// Generate a workload and run it against a simulated database.
+pub fn run_workload(params: GenParams, db: DbConfig) -> Result<History, PairingError> {
+    let mut w = Workload::new(params);
+    SimDb::new(db).run_history(&mut w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_dbsim::IsolationLevel;
+    use elle_history::duplicate_written_elems;
+
+    #[test]
+    fn unique_write_arguments() {
+        let params = GenParams::contended(200, ObjectKind::ListAppend);
+        let db = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend);
+        let h = run_workload(params, db).unwrap();
+        assert_eq!(h.len(), 200);
+        assert!(duplicate_written_elems(&h).is_empty());
+    }
+
+    #[test]
+    fn txn_lengths_respect_bounds() {
+        let mut w = Workload::new(GenParams {
+            min_txn_len: 2,
+            max_txn_len: 6,
+            ..GenParams::paper_perf(0)
+        });
+        for _ in 0..100 {
+            let t = w.gen_txn();
+            assert!((2..=6).contains(&t.len()), "len {}", t.len());
+        }
+    }
+
+    #[test]
+    fn keys_rotate_after_budget() {
+        let params = GenParams {
+            n_txns: 500,
+            min_txn_len: 1,
+            max_txn_len: 1,
+            active_keys: 2,
+            writes_per_key: 5,
+            read_prob: 0.0,
+            kind: ObjectKind::ListAppend,
+            seed: 1,
+            final_reads: false,
+        };
+        let mut w = Workload::new(params);
+        let mut keys = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            for m in w.gen_txn() {
+                keys.insert(m.key().0);
+            }
+        }
+        // 500 writes at 5 per key across 2 slots → ~100 distinct keys.
+        assert!(keys.len() > 50, "only {} keys", keys.len());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let p = GenParams::paper_perf(50).with_seed(9);
+        let mut a = Workload::new(p);
+        let mut b = Workload::new(p);
+        for _ in 0..50 {
+            assert_eq!(a.gen_txn(), b.gen_txn());
+        }
+    }
+
+    #[test]
+    fn respects_kind() {
+        for (kind, pred) in [
+            (
+                ObjectKind::Register,
+                (|m: &Mop| matches!(m, Mop::Write { .. })) as fn(&Mop) -> bool,
+            ),
+            (ObjectKind::Counter, |m: &Mop| {
+                matches!(m, Mop::Increment { .. })
+            }),
+            (ObjectKind::Set, |m: &Mop| matches!(m, Mop::AddToSet { .. })),
+            (ObjectKind::ListAppend, |m: &Mop| {
+                matches!(m, Mop::Append { .. })
+            }),
+        ] {
+            let mut w = Workload::new(GenParams {
+                read_prob: 0.0,
+                kind,
+                ..GenParams::contended(10, kind)
+            });
+            let t = w.gen_txn();
+            assert!(t.iter().all(pred), "{kind:?}: {t:?}");
+        }
+    }
+
+    #[test]
+    fn final_reads_cover_active_keys() {
+        let params = GenParams {
+            n_txns: 5,
+            active_keys: 3,
+            final_reads: true,
+            ..GenParams::contended(5, ObjectKind::ListAppend)
+        };
+        let mut w = Workload::new(params);
+        let p = ProcessId(0);
+        let mut txns = Vec::new();
+        while let Some(t) = w.next_txn(p) {
+            txns.push(t);
+        }
+        assert_eq!(txns.len(), 5 + 3);
+        for t in &txns[5..] {
+            assert_eq!(t.len(), 1);
+            assert!(t[0].is_read());
+        }
+    }
+
+    #[test]
+    fn source_exhausts_after_n_txns() {
+        let mut w = Workload::new(GenParams::contended(3, ObjectKind::ListAppend));
+        let p = ProcessId(0);
+        assert!(w.next_txn(p).is_some());
+        assert!(w.next_txn(p).is_some());
+        assert!(w.next_txn(p).is_some());
+        assert!(w.next_txn(p).is_none());
+        assert!(w.next_txn(p).is_none());
+    }
+}

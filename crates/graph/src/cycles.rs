@@ -1,0 +1,355 @@
+//! Breadth-first cycle search with edge-class restrictions.
+//!
+//! §6 of the paper: within each strongly connected component we use BFS to
+//! find a *short* cycle, since short witnesses make for readable
+//! counterexamples. Anomaly classes restrict which edges may participate:
+//!
+//! * **G0**: only `ww` edges;
+//! * **G1c**: `ww` and `wr`;
+//! * **G-single**: *exactly one* `rw` edge — "we begin with a node in the
+//!   read-write subgraph, follow exactly one read-write edge, then attempt
+//!   to complete the cycle using only write-write and write-read edges";
+//! * **G2-item**: at least one `rw` edge.
+//!
+//! A cycle is a vertex list `v0, v1, …, vk` with edges `v0→v1, …, vk→v0`.
+
+use crate::{DiGraph, EdgeMask};
+
+/// Which cycles a search should accept.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleSpec {
+    /// Classes allowed on the first edge of the cycle.
+    pub first: EdgeMask,
+    /// Classes allowed on every subsequent edge.
+    pub rest: EdgeMask,
+}
+
+impl CycleSpec {
+    /// A uniform spec: every edge drawn from `mask`.
+    pub fn uniform(mask: EdgeMask) -> Self {
+        CycleSpec {
+            first: mask,
+            rest: mask,
+        }
+    }
+}
+
+/// Shortest cycle through `start`, using only `allowed` edges, confined to
+/// vertices for which `in_scope` is true (pass `None` for the whole graph).
+///
+/// Returns the cycle as a vertex list starting at `start`, or `None`.
+pub fn shortest_cycle_through(
+    g: &DiGraph,
+    start: u32,
+    allowed: EdgeMask,
+    in_scope: Option<&[bool]>,
+) -> Option<Vec<u32>> {
+    let ok = |v: u32| in_scope.is_none_or(|s| s[v as usize]);
+    if !ok(start) {
+        return None;
+    }
+    // Self-loop fast path.
+    if g.edge_mask(start, start).intersects(allowed) {
+        return Some(vec![start]);
+    }
+    bfs_path(g, start, start, allowed, in_scope).map(|mut path| {
+        // bfs_path returns start..=start; drop the trailing start.
+        path.pop();
+        path
+    })
+}
+
+/// BFS from `from` to `to` over `allowed` edges (path of length ≥ 1).
+/// Returns the full vertex path `from, …, to`.
+fn bfs_path(
+    g: &DiGraph,
+    from: u32,
+    to: u32,
+    allowed: EdgeMask,
+    in_scope: Option<&[bool]>,
+) -> Option<Vec<u32>> {
+    let ok = |v: u32| in_scope.is_none_or(|s| s[v as usize]);
+    let n = g.vertex_count();
+    let mut pred: Vec<u32> = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+
+    // Seed with from's successors so a path back to `from` itself works.
+    for w in g.out_neighbors_masked(from, allowed) {
+        if !ok(w) {
+            continue;
+        }
+        if w == to {
+            return Some(vec![from, to]);
+        }
+        if pred[w as usize] == u32::MAX {
+            pred[w as usize] = from;
+            queue.push_back(w);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for w in g.out_neighbors_masked(v, allowed) {
+            if !ok(w) {
+                continue;
+            }
+            if w == to {
+                // Reconstruct.
+                let mut path = vec![to, v];
+                let mut cur = v;
+                while pred[cur as usize] != u32::MAX && pred[cur as usize] != from {
+                    cur = pred[cur as usize];
+                    path.push(cur);
+                }
+                path.push(from);
+                path.reverse();
+                return Some(path);
+            }
+            if pred[w as usize] == u32::MAX && w != from {
+                pred[w as usize] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Find a short cycle within `component` (a set of vertices) under `spec`.
+///
+/// Tries each vertex as a start; returns the first (hence shortest-per-
+/// start, small) cycle found. The first edge must match `spec.first`, the
+/// remainder `spec.rest`.
+pub fn find_cycle(g: &DiGraph, component: &[u32], spec: CycleSpec) -> Option<Vec<u32>> {
+    let n = g.vertex_count();
+    let mut in_scope = vec![false; n];
+    for &v in component {
+        in_scope[v as usize] = true;
+    }
+    let mut best: Option<Vec<u32>> = None;
+    for &v in component {
+        // Try each first edge out of v.
+        for (w, m) in g.out_edges(v) {
+            if !m.intersects(spec.first) || !in_scope[*w as usize] {
+                continue;
+            }
+            let cand = if *w == v {
+                Some(vec![v])
+            } else {
+                bfs_path(g, *w, v, spec.rest, Some(&in_scope)).map(|mut rest| {
+                    // rest = w..=v ; cycle = v, w, ..., (v)
+                    rest.pop(); // drop trailing v
+                    let mut cyc = Vec::with_capacity(rest.len() + 1);
+                    cyc.push(v);
+                    cyc.extend(rest);
+                    cyc
+                })
+            };
+            if let Some(c) = cand {
+                if best.as_ref().is_none_or(|b| c.len() < b.len()) {
+                    best = Some(c);
+                }
+            }
+        }
+        // A length-2 cycle is as short as non-self-loop cycles get; stop early.
+        if best.as_ref().is_some_and(|b| b.len() <= 2) {
+            return best;
+        }
+    }
+    best
+}
+
+/// The G-single style search: a cycle whose **first** edge is drawn from
+/// `single` and whose remaining edges are drawn from `rest` (which should
+/// not include `single`'s class for an "exactly one" guarantee).
+///
+/// Returns up to `limit` distinct cycles (keyed by their vertex sets).
+pub fn find_cycle_with_single(
+    g: &DiGraph,
+    component: &[u32],
+    single: EdgeMask,
+    rest: EdgeMask,
+    limit: usize,
+) -> Vec<Vec<u32>> {
+    let n = g.vertex_count();
+    let mut in_scope = vec![false; n];
+    for &v in component {
+        in_scope[v as usize] = true;
+    }
+    let mut out = Vec::new();
+    let mut seen: rustc_hash::FxHashSet<Vec<u32>> = rustc_hash::FxHashSet::default();
+    for &v in component {
+        if out.len() >= limit {
+            break;
+        }
+        for (w, m) in g.out_edges(v) {
+            if out.len() >= limit {
+                break;
+            }
+            if !m.intersects(single) || !in_scope[*w as usize] {
+                continue;
+            }
+            let cand = if *w == v {
+                // self-loop via the single edge: a 1-cycle
+                Some(vec![v])
+            } else {
+                bfs_path(g, *w, v, rest, Some(&in_scope)).map(|mut path| {
+                    path.pop();
+                    let mut cyc = Vec::with_capacity(path.len() + 1);
+                    cyc.push(v);
+                    cyc.extend(path);
+                    cyc
+                })
+            };
+            if let Some(c) = cand {
+                let mut key = c.clone();
+                key.sort_unstable();
+                if seen.insert(key) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeClass, EdgeMask};
+
+    fn g_from(edges: &[(u32, u32, EdgeClass)]) -> DiGraph {
+        let mut g = DiGraph::default();
+        for &(a, b, c) in edges {
+            g.add_edge(a, b, c);
+        }
+        g
+    }
+
+    #[test]
+    fn finds_two_cycle() {
+        let g = g_from(&[(0, 1, EdgeClass::Ww), (1, 0, EdgeClass::Ww)]);
+        let c = shortest_cycle_through(&g, 0, EdgeMask::WW, None).unwrap();
+        assert_eq!(c, vec![0, 1]);
+    }
+
+    #[test]
+    fn finds_self_loop() {
+        let g = g_from(&[(2, 2, EdgeClass::Ww)]);
+        let c = shortest_cycle_through(&g, 2, EdgeMask::WW, None).unwrap();
+        assert_eq!(c, vec![2]);
+    }
+
+    #[test]
+    fn respects_mask() {
+        let g = g_from(&[(0, 1, EdgeClass::Ww), (1, 0, EdgeClass::Rw)]);
+        assert!(shortest_cycle_through(&g, 0, EdgeMask::WW, None).is_none());
+        assert!(
+            shortest_cycle_through(&g, 0, EdgeMask::WW | EdgeMask::RW, None).is_some()
+        );
+    }
+
+    #[test]
+    fn bfs_finds_shortest() {
+        // Two cycles through 0: length 2 and length 4.
+        let g = g_from(&[
+            (0, 1, EdgeClass::Ww),
+            (1, 0, EdgeClass::Ww),
+            (0, 2, EdgeClass::Ww),
+            (2, 3, EdgeClass::Ww),
+            (3, 0, EdgeClass::Ww),
+        ]);
+        let c = shortest_cycle_through(&g, 0, EdgeMask::WW, None).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn scope_confines_search() {
+        let g = g_from(&[
+            (0, 1, EdgeClass::Ww),
+            (1, 2, EdgeClass::Ww),
+            (2, 0, EdgeClass::Ww),
+        ]);
+        let mut scope = vec![true; 3];
+        scope[2] = false;
+        assert!(shortest_cycle_through(&g, 0, EdgeMask::WW, Some(&scope)).is_none());
+    }
+
+    #[test]
+    fn single_edge_search_exactly_one_rw() {
+        // 0 -rw-> 1 -ww-> 2 -wr-> 0 : a G-single shape.
+        let g = g_from(&[
+            (0, 1, EdgeClass::Rw),
+            (1, 2, EdgeClass::Ww),
+            (2, 0, EdgeClass::Wr),
+        ]);
+        let comp = vec![0, 1, 2];
+        let found = find_cycle_with_single(
+            &g,
+            &comp,
+            EdgeMask::RW,
+            EdgeMask::WW | EdgeMask::WR,
+            10,
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_edge_search_rejects_two_rw() {
+        // Needs two rw edges to close: not G-single.
+        let g = g_from(&[
+            (0, 1, EdgeClass::Rw),
+            (1, 0, EdgeClass::Rw),
+        ]);
+        let comp = vec![0, 1];
+        let found = find_cycle_with_single(
+            &g,
+            &comp,
+            EdgeMask::RW,
+            EdgeMask::WW | EdgeMask::WR,
+            10,
+        );
+        assert!(found.is_empty());
+        // But allowing rw in the rest finds the G2 cycle.
+        let g2 = find_cycle_with_single(
+            &g,
+            &comp,
+            EdgeMask::RW,
+            EdgeMask::WW | EdgeMask::WR | EdgeMask::RW,
+            10,
+        );
+        assert_eq!(g2.len(), 1);
+    }
+
+    #[test]
+    fn find_cycle_uniform() {
+        let g = g_from(&[
+            (0, 1, EdgeClass::Ww),
+            (1, 2, EdgeClass::Ww),
+            (2, 0, EdgeClass::Ww),
+        ]);
+        let c = find_cycle(&g, &[0, 1, 2], CycleSpec::uniform(EdgeMask::WW)).unwrap();
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn find_cycle_none_when_acyclic() {
+        let g = g_from(&[(0, 1, EdgeClass::Ww), (1, 2, EdgeClass::Ww)]);
+        assert!(find_cycle(&g, &[0, 1, 2], CycleSpec::uniform(EdgeMask::WW)).is_none());
+    }
+
+    #[test]
+    fn limit_respected() {
+        // Many G-single cycles sharing structure.
+        let mut edges = Vec::new();
+        for i in 0..10u32 {
+            let a = i * 2;
+            let b = i * 2 + 1;
+            edges.push((a, b, EdgeClass::Rw));
+            edges.push((b, a, EdgeClass::Ww));
+        }
+        let g = g_from(&edges);
+        let comp: Vec<u32> = (0..20).collect();
+        let found =
+            find_cycle_with_single(&g, &comp, EdgeMask::RW, EdgeMask::WW, 3);
+        assert_eq!(found.len(), 3);
+    }
+}

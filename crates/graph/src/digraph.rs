@@ -1,0 +1,338 @@
+//! A compact directed graph with class-labeled edges.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A dependency class an edge may belong to.
+///
+/// The first three are Adya's direct dependencies; the rest are the
+/// additional orders of §5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum EdgeClass {
+    /// Write-write dependency (`ww`): Tj installs the version after Ti's.
+    Ww = 0,
+    /// Write-read dependency (`wr`): Tj read the version Ti installed.
+    Wr = 1,
+    /// Read-write anti-dependency (`rw`): Tj installs the version after the
+    /// one Ti read.
+    Rw = 2,
+    /// Per-process (session) order.
+    Process = 3,
+    /// Real-time order: Ti completed before Tj was invoked.
+    Realtime = 4,
+    /// Version order derived edges (non-traceable datatypes, §5.2).
+    Version = 5,
+    /// Read-read ordering (counters/sets, §3) — not an Adya dependency, but
+    /// usable for cycle detection on less-informative datatypes.
+    Rr = 6,
+    /// Time-precedes order (§5.1): Ti's commit timestamp precedes Tj's
+    /// start timestamp, per database-exposed transaction timestamps —
+    /// the edges of Adya's start-ordered serialization graph.
+    Timestamp = 7,
+}
+
+impl EdgeClass {
+    /// All classes, in discriminant order.
+    pub const ALL: [EdgeClass; 8] = [
+        EdgeClass::Ww,
+        EdgeClass::Wr,
+        EdgeClass::Rw,
+        EdgeClass::Process,
+        EdgeClass::Realtime,
+        EdgeClass::Version,
+        EdgeClass::Rr,
+        EdgeClass::Timestamp,
+    ];
+
+    /// Short label used in explanations and DOT output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeClass::Ww => "ww",
+            EdgeClass::Wr => "wr",
+            EdgeClass::Rw => "rw",
+            EdgeClass::Process => "process",
+            EdgeClass::Realtime => "rt",
+            EdgeClass::Version => "version",
+            EdgeClass::Rr => "rr",
+            EdgeClass::Timestamp => "ts",
+        }
+    }
+}
+
+/// A set of [`EdgeClass`]es, as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct EdgeMask(pub u8);
+
+impl EdgeMask {
+    /// The empty mask.
+    pub const NONE: EdgeMask = EdgeMask(0);
+    /// Every class.
+    pub const ALL: EdgeMask = EdgeMask(0xff);
+    /// `ww` only — G0's cycle universe.
+    pub const WW: EdgeMask = EdgeMask(1 << EdgeClass::Ww as u8);
+    /// `wr` only.
+    pub const WR: EdgeMask = EdgeMask(1 << EdgeClass::Wr as u8);
+    /// `rw` only.
+    pub const RW: EdgeMask = EdgeMask(1 << EdgeClass::Rw as u8);
+    /// `process` only.
+    pub const PROCESS: EdgeMask = EdgeMask(1 << EdgeClass::Process as u8);
+    /// `rt` only.
+    pub const REALTIME: EdgeMask = EdgeMask(1 << EdgeClass::Realtime as u8);
+    /// `version` only.
+    pub const VERSION: EdgeMask = EdgeMask(1 << EdgeClass::Version as u8);
+    /// `rr` only.
+    pub const RR: EdgeMask = EdgeMask(1 << EdgeClass::Rr as u8);
+    /// `ts` only.
+    pub const TIMESTAMP: EdgeMask = EdgeMask(1 << EdgeClass::Timestamp as u8);
+
+    /// A mask holding a single class.
+    pub const fn of(c: EdgeClass) -> EdgeMask {
+        EdgeMask(1 << c as u8)
+    }
+
+    /// Union of two masks.
+    pub const fn union(self, other: EdgeMask) -> EdgeMask {
+        EdgeMask(self.0 | other.0)
+    }
+
+    /// Does this mask contain class `c`?
+    pub const fn contains(self, c: EdgeClass) -> bool {
+        self.0 & (1 << c as u8) != 0
+    }
+
+    /// Do the two masks share any class?
+    pub const fn intersects(self, other: EdgeMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Is the mask empty?
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over the classes present.
+    pub fn iter(self) -> impl Iterator<Item = EdgeClass> {
+        EdgeClass::ALL.into_iter().filter(move |c| self.contains(*c))
+    }
+}
+
+impl std::ops::BitOr for EdgeMask {
+    type Output = EdgeMask;
+    fn bitor(self, rhs: EdgeMask) -> EdgeMask {
+        self.union(rhs)
+    }
+}
+
+impl std::fmt::Display for EdgeMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{}", c.label())?;
+            first = false;
+        }
+        if first {
+            write!(f, "∅")?;
+        }
+        Ok(())
+    }
+}
+
+/// A directed graph over dense `u32` vertices with class-masked edges.
+///
+/// Parallel edges of different classes between the same pair are merged
+/// into one adjacency entry whose mask is the union — cycle searches then
+/// filter by mask.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    /// adjacency: for each vertex, `(dst, mask)` pairs, deduplicated.
+    adj: Vec<Vec<(u32, EdgeMask)>>,
+    /// fast lookup of existing edges for merging.
+    index: FxHashMap<(u32, u32), u32>, // (src,dst) -> position in adj[src]
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// A graph with `n` vertices and no edges.
+    pub fn with_vertices(n: usize) -> Self {
+        DiGraph {
+            adj: vec![Vec::new(); n],
+            index: FxHashMap::default(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of distinct `(src, dst)` edges (classes merged).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Ensure vertex `v` exists.
+    pub fn ensure_vertex(&mut self, v: u32) {
+        if v as usize >= self.adj.len() {
+            self.adj.resize(v as usize + 1, Vec::new());
+        }
+    }
+
+    /// Add an edge of class `c` from `src` to `dst`. Self-loops are allowed
+    /// at this layer; checkers filter them out where the formalism requires
+    /// `Ti ≠ Tj`.
+    pub fn add_edge(&mut self, src: u32, dst: u32, c: EdgeClass) {
+        self.add_edge_mask(src, dst, EdgeMask::of(c));
+    }
+
+    /// Add an edge carrying a whole mask.
+    pub fn add_edge_mask(&mut self, src: u32, dst: u32, m: EdgeMask) {
+        if m.is_empty() {
+            return;
+        }
+        self.ensure_vertex(src.max(dst));
+        match self.index.get(&(src, dst)) {
+            Some(&pos) => {
+                let slot = &mut self.adj[src as usize][pos as usize];
+                slot.1 = slot.1.union(m);
+            }
+            None => {
+                let pos = self.adj[src as usize].len() as u32;
+                self.adj[src as usize].push((dst, m));
+                self.index.insert((src, dst), pos);
+                self.edge_count += 1;
+            }
+        }
+    }
+
+    /// The mask on edge `(src, dst)`, or the empty mask if absent.
+    pub fn edge_mask(&self, src: u32, dst: u32) -> EdgeMask {
+        match self.index.get(&(src, dst)) {
+            Some(&pos) => self.adj[src as usize][pos as usize].1,
+            None => EdgeMask::NONE,
+        }
+    }
+
+    /// Outgoing `(dst, mask)` pairs of `v`.
+    pub fn out_edges(&self, v: u32) -> &[(u32, EdgeMask)] {
+        &self.adj[v as usize]
+    }
+
+    /// Outgoing neighbours reachable via at least one class in `allowed`.
+    pub fn out_neighbors_masked<'a>(
+        &'a self,
+        v: u32,
+        allowed: EdgeMask,
+    ) -> impl Iterator<Item = u32> + 'a {
+        self.adj[v as usize]
+            .iter()
+            .filter(move |(_, m)| m.intersects(allowed))
+            .map(|(d, _)| *d)
+    }
+
+    /// All edges as `(src, dst, mask)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, EdgeMask)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(s, es)| es.iter().map(move |(d, m)| (s as u32, *d, *m)))
+    }
+
+    /// A copy containing only edge classes in `allowed` (vertices kept).
+    pub fn filtered(&self, allowed: EdgeMask) -> DiGraph {
+        let mut g = DiGraph::with_vertices(self.vertex_count());
+        for (s, d, m) in self.edges() {
+            let km = EdgeMask(m.0 & allowed.0);
+            if !km.is_empty() {
+                g.add_edge_mask(s, d, km);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_ops() {
+        let m = EdgeMask::WW | EdgeMask::RW;
+        assert!(m.contains(EdgeClass::Ww));
+        assert!(m.contains(EdgeClass::Rw));
+        assert!(!m.contains(EdgeClass::Wr));
+        assert!(m.intersects(EdgeMask::RW));
+        assert!(!m.intersects(EdgeMask::WR));
+        assert!(!m.is_empty());
+        assert!(EdgeMask::NONE.is_empty());
+        assert_eq!(m.iter().count(), 2);
+        assert_eq!(m.to_string(), "ww+rw");
+        assert_eq!(EdgeMask::NONE.to_string(), "∅");
+    }
+
+    #[test]
+    fn all_classes_have_distinct_bits() {
+        let mut seen = 0u8;
+        for c in EdgeClass::ALL {
+            let bit = EdgeMask::of(c).0;
+            assert_eq!(seen & bit, 0);
+            seen |= bit;
+        }
+        assert_eq!(seen, EdgeMask::ALL.0);
+    }
+
+    #[test]
+    fn merge_parallel_edges() {
+        let mut g = DiGraph::with_vertices(3);
+        g.add_edge(0, 1, EdgeClass::Ww);
+        g.add_edge(0, 1, EdgeClass::Wr);
+        g.add_edge(0, 2, EdgeClass::Rw);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_mask(0, 1), EdgeMask::WW | EdgeMask::WR);
+        assert_eq!(g.edge_mask(0, 2), EdgeMask::RW);
+        assert_eq!(g.edge_mask(1, 0), EdgeMask::NONE);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut g = DiGraph::default();
+        g.add_edge(5, 2, EdgeClass::Ww);
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.out_edges(5).len(), 1);
+    }
+
+    #[test]
+    fn masked_neighbors() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1, EdgeClass::Ww);
+        g.add_edge(0, 2, EdgeClass::Rw);
+        g.add_edge(0, 3, EdgeClass::Wr);
+        let ww_rw: Vec<u32> = g
+            .out_neighbors_masked(0, EdgeMask::WW | EdgeMask::RW)
+            .collect();
+        assert_eq!(ww_rw, vec![1, 2]);
+    }
+
+    #[test]
+    fn filtered_subgraph() {
+        let mut g = DiGraph::with_vertices(3);
+        g.add_edge(0, 1, EdgeClass::Ww);
+        g.add_edge(1, 2, EdgeClass::Rw);
+        g.add_edge(2, 0, EdgeClass::Ww);
+        let ww = g.filtered(EdgeMask::WW);
+        assert_eq!(ww.edge_count(), 2);
+        assert_eq!(ww.edge_mask(1, 2), EdgeMask::NONE);
+        assert_eq!(ww.vertex_count(), 3);
+    }
+
+    #[test]
+    fn empty_mask_edge_is_noop() {
+        let mut g = DiGraph::with_vertices(2);
+        g.add_edge_mask(0, 1, EdgeMask::NONE);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # elle-graph
+//!
+//! Graph substrate for the Elle checker: a compact directed graph whose
+//! edges carry a small bitmask of *dependency classes*, plus the algorithms
+//! §6 of the paper calls for:
+//!
+//! * [Tarjan's strongly-connected components][tarjan] (iterative — histories
+//!   have hundreds of thousands of vertices, so no recursion),
+//! * breadth-first shortest-cycle search restricted to edge classes,
+//!   including the paper's "exactly one read-write edge" search used for
+//!   G-single,
+//! * transitive reduction of interval orders (used for real-time edges,
+//!   §5.1's `O(n · p)` construction),
+//! * DOT export for the Figure-3-style visualizations.
+//!
+//! The crate is independent of Elle's domain types: vertices are dense
+//! `u32` indices; callers map transactions onto them.
+//!
+//! [tarjan]: https://doi.org/10.1137/0201010
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cycles;
+mod digraph;
+mod dot;
+mod reduction;
+mod tarjan;
+
+pub use cycles::{find_cycle, find_cycle_with_single, shortest_cycle_through, CycleSpec};
+pub use digraph::{DiGraph, EdgeClass, EdgeMask};
+pub use dot::to_dot;
+pub use reduction::{
+    interval_order_graph, interval_order_reduction, transitive_closure_reachable, Interval,
+};
+pub use tarjan::{condensation, tarjan_scc};

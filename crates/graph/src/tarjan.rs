@@ -1,0 +1,256 @@
+//! Iterative Tarjan strongly-connected components.
+//!
+//! The paper (§2, §6) leans on Tarjan's linear-time SCC algorithm to make
+//! cycle detection `O(vertices + edges)`. We implement it iteratively: real
+//! histories produce graphs with 10⁵–10⁶ vertices and recursion would
+//! overflow the stack.
+
+use crate::{DiGraph, EdgeMask};
+
+/// Strongly connected components of the subgraph restricted to `allowed`
+/// edge classes. Components are returned in **reverse topological order**
+/// (Tarjan's natural output order) and only components with ≥ 2 vertices or
+/// a self-loop are returned — singletons without self-loops cannot contain
+/// cycles.
+pub fn tarjan_scc(g: &DiGraph, allowed: EdgeMask) -> Vec<Vec<u32>> {
+    let n = g.vertex_count();
+    const UNVISITED: u32 = u32::MAX;
+
+    let mut index_of = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS frames: (vertex, position in its adjacency list).
+    let mut call_stack: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index_of[root as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index_of[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let edges = g.out_edges(v);
+            let mut descended = false;
+            while *pos < edges.len() {
+                let (w, m) = edges[*pos];
+                *pos += 1;
+                if !m.intersects(allowed) {
+                    continue;
+                }
+                let wi = index_of[w as usize];
+                if wi == UNVISITED {
+                    // Descend.
+                    index_of[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(wi);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v is finished.
+            call_stack.pop();
+            if let Some(&(parent, _)) = call_stack.last() {
+                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+            }
+            if lowlink[v as usize] == index_of[v as usize] {
+                // v is an SCC root; pop its component.
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                let cyclic = comp.len() > 1
+                    || g.edge_mask(comp[0], comp[0]).intersects(allowed);
+                if cyclic {
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// The condensation: maps each vertex to its component id (including
+/// singleton components), plus the number of components. Useful for tests
+/// and for callers that need a full partition rather than just the cyclic
+/// components.
+pub fn condensation(g: &DiGraph, allowed: EdgeMask) -> (Vec<u32>, u32) {
+    // Re-run Tarjan but keep every component.
+    let n = g.vertex_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index_of = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp_of = vec![0u32; n];
+    let mut n_comps = 0u32;
+    let mut call_stack: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index_of[root as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index_of[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let edges = g.out_edges(v);
+            let mut descended = false;
+            while *pos < edges.len() {
+                let (w, m) = edges[*pos];
+                *pos += 1;
+                if !m.intersects(allowed) {
+                    continue;
+                }
+                let wi = index_of[w as usize];
+                if wi == UNVISITED {
+                    index_of[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(wi);
+                }
+            }
+            if descended {
+                continue;
+            }
+            call_stack.pop();
+            if let Some(&(parent, _)) = call_stack.last() {
+                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+            }
+            if lowlink[v as usize] == index_of[v as usize] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    comp_of[w as usize] = n_comps;
+                    if w == v {
+                        break;
+                    }
+                }
+                n_comps += 1;
+            }
+        }
+    }
+    (comp_of, n_comps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeClass;
+
+    fn ring(n: u32) -> DiGraph {
+        let mut g = DiGraph::with_vertices(n as usize);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, EdgeClass::Ww);
+        }
+        g
+    }
+
+    #[test]
+    fn single_ring_is_one_scc() {
+        let g = ring(5);
+        let sccs = tarjan_scc(&g, EdgeMask::ALL);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dag_has_no_cyclic_scc() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1, EdgeClass::Ww);
+        g.add_edge(1, 2, EdgeClass::Ww);
+        g.add_edge(0, 3, EdgeClass::Wr);
+        assert!(tarjan_scc(&g, EdgeMask::ALL).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let mut g = DiGraph::with_vertices(2);
+        g.add_edge(1, 1, EdgeClass::Ww);
+        let sccs = tarjan_scc(&g, EdgeMask::ALL);
+        assert_eq!(sccs, vec![vec![1]]);
+    }
+
+    #[test]
+    fn mask_restriction_breaks_cycle() {
+        let mut g = DiGraph::with_vertices(2);
+        g.add_edge(0, 1, EdgeClass::Ww);
+        g.add_edge(1, 0, EdgeClass::Rw);
+        assert_eq!(tarjan_scc(&g, EdgeMask::ALL).len(), 1);
+        assert!(tarjan_scc(&g, EdgeMask::WW).is_empty());
+        assert!(tarjan_scc(&g, EdgeMask::RW).is_empty());
+        assert_eq!(tarjan_scc(&g, EdgeMask::WW | EdgeMask::RW).len(), 1);
+    }
+
+    #[test]
+    fn two_separate_rings() {
+        let mut g = DiGraph::with_vertices(6);
+        for (a, b) in [(0, 1), (1, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(a, b, EdgeClass::Ww);
+        }
+        let mut sccs = tarjan_scc(&g, EdgeMask::ALL);
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn condensation_counts() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1, EdgeClass::Ww);
+        g.add_edge(1, 0, EdgeClass::Ww);
+        g.add_edge(1, 2, EdgeClass::Ww);
+        // vertex 3 isolated
+        let (comp, n) = condensation(&g, EdgeMask::ALL);
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[2], comp[3]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 200k-vertex chain with a back edge: exercises the iterative DFS.
+        let n = 200_000u32;
+        let mut g = DiGraph::with_vertices(n as usize);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, EdgeClass::Ww);
+        }
+        g.add_edge(n - 1, 0, EdgeClass::Ww);
+        let sccs = tarjan_scc(&g, EdgeMask::ALL);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), n as usize);
+    }
+}

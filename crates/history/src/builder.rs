@@ -1,0 +1,255 @@
+//! Ergonomic construction of histories for tests, docs, and examples.
+//!
+//! ```
+//! use elle_history::HistoryBuilder;
+//!
+//! // The paper's TiDB G-single example (§7.1):
+//! let mut b = HistoryBuilder::new();
+//! b.txn(0)
+//!     .read_list(34, [2, 1])
+//!     .append(36, 5)
+//!     .append(34, 4)
+//!     .commit();
+//! b.txn(1).append(34, 5).commit();
+//! b.txn(2).read_list(34, [2, 1, 5, 4]).commit();
+//! let history = b.build();
+//! assert_eq!(history.len(), 3);
+//! ```
+
+use crate::{Elem, History, Key, Mop, ProcessId, ReadValue, Transaction, TxnId, TxnStatus};
+
+/// Builds a [`History`] transaction by transaction.
+///
+/// Invocation/completion indices are synthesized sequentially: each
+/// transaction occupies `[2i, 2i+1]`, so builder-made transactions are
+/// totally ordered in real time in build order. Use [`TxnBuilder::at`] to
+/// override and create concurrency.
+#[derive(Debug, Default)]
+pub struct HistoryBuilder {
+    txns: Vec<Transaction>,
+}
+
+impl HistoryBuilder {
+    /// A new, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a transaction on `process`. Finish it with
+    /// [`TxnBuilder::commit`], [`TxnBuilder::abort`], or
+    /// [`TxnBuilder::indeterminate`].
+    pub fn txn(&mut self, process: u32) -> TxnBuilder<'_> {
+        let seq = self.txns.len();
+        TxnBuilder {
+            owner: self,
+            process: ProcessId(process),
+            mops: Vec::new(),
+            invoke_index: 2 * seq,
+            complete_index: Some(2 * seq + 1),
+            timestamps: None,
+        }
+    }
+
+    /// Finish, producing the history.
+    pub fn build(self) -> History {
+        History::from_txns(self.txns)
+    }
+}
+
+/// In-progress transaction; see [`HistoryBuilder::txn`].
+#[derive(Debug)]
+pub struct TxnBuilder<'a> {
+    owner: &'a mut HistoryBuilder,
+    process: ProcessId,
+    mops: Vec<Mop>,
+    invoke_index: usize,
+    complete_index: Option<usize>,
+    timestamps: Option<(u64, u64)>,
+}
+
+impl TxnBuilder<'_> {
+    /// Override real-time placement (invoke / complete event indices).
+    /// Pass `complete = None` for a transaction that never returned.
+    pub fn at(mut self, invoke: usize, complete: Option<usize>) -> Self {
+        self.invoke_index = invoke;
+        self.complete_index = complete;
+        self
+    }
+
+    /// Attach database-exposed `(start, commit)` timestamps (§5.1).
+    pub fn timestamps(mut self, start: u64, commit: u64) -> Self {
+        self.timestamps = Some((start, commit));
+        self
+    }
+
+    /// Add an arbitrary micro-op.
+    pub fn mop(mut self, m: Mop) -> Self {
+        self.mops.push(m);
+        self
+    }
+
+    /// `append(k, e)`
+    pub fn append(self, key: u64, elem: u64) -> Self {
+        self.mop(Mop::append(key, elem))
+    }
+
+    /// Register write `w(k, e)`
+    pub fn write(self, key: u64, elem: u64) -> Self {
+        self.mop(Mop::write(key, elem))
+    }
+
+    /// Counter `inc(k, amount)`
+    pub fn increment(self, key: u64, amount: i64) -> Self {
+        self.mop(Mop::increment(key, amount))
+    }
+
+    /// `add(k, e)`
+    pub fn add_to_set(self, key: u64, elem: u64) -> Self {
+        self.mop(Mop::add_to_set(key, elem))
+    }
+
+    /// Unobserved read `r(k, ?)`
+    pub fn read(self, key: u64) -> Self {
+        self.mop(Mop::read(key))
+    }
+
+    /// Observed list read `r(k, [..])`
+    pub fn read_list<I: IntoIterator<Item = u64>>(self, key: u64, items: I) -> Self {
+        self.mop(Mop::read_list(key, items))
+    }
+
+    /// Observed register read; `None` reads the initial `nil`.
+    pub fn read_register(self, key: u64, value: Option<u64>) -> Self {
+        self.mop(Mop::read_register(key, value))
+    }
+
+    /// Observed counter read.
+    pub fn read_counter(self, key: u64, value: i64) -> Self {
+        self.mop(Mop::read_counter(key, value))
+    }
+
+    /// Observed set read.
+    pub fn read_set<I: IntoIterator<Item = u64>>(self, key: u64, items: I) -> Self {
+        self.mop(Mop::read_set(key, items))
+    }
+
+    /// Observed read with an explicit [`ReadValue`].
+    pub fn read_value(self, key: u64, value: ReadValue) -> Self {
+        self.mop(Mop::Read {
+            key: Key(key),
+            value: Some(value),
+        })
+    }
+
+    fn finish(self, status: TxnStatus) -> TxnId {
+        let id = TxnId(self.owner.txns.len() as u32);
+        self.owner.txns.push(Transaction {
+            id,
+            process: self.process,
+            mops: self.mops,
+            status,
+            invoke_index: self.invoke_index,
+            complete_index: self.complete_index,
+            timestamps: self.timestamps,
+        });
+        id
+    }
+
+    /// Finish as committed; returns the transaction's id.
+    pub fn commit(self) -> TxnId {
+        self.finish(TxnStatus::Committed)
+    }
+
+    /// Finish as aborted; returns the transaction's id.
+    pub fn abort(self) -> TxnId {
+        self.finish(TxnStatus::Aborted)
+    }
+
+    /// Finish with unknown outcome; returns the transaction's id.
+    pub fn indeterminate(self) -> TxnId {
+        self.finish(TxnStatus::Indeterminate)
+    }
+}
+
+/// Convenience: the written elements of a history must be unique per key for
+/// recoverability; this helper reports `(key, elem)` pairs written more than
+/// once, which generators use as a self-check.
+pub fn duplicate_written_elems(h: &History) -> Vec<(Key, Elem)> {
+    use rustc_hash::FxHashMap;
+    let mut seen: FxHashMap<(Key, Elem), u32> = FxHashMap::default();
+    for t in h.txns() {
+        for (_, k, e) in t.elem_writes() {
+            *seen.entry((k, e)).or_insert(0) += 1;
+        }
+    }
+    let mut dups: Vec<(Key, Elem)> = seen
+        .into_iter()
+        .filter_map(|(ke, n)| (n > 1).then_some(ke))
+        .collect();
+    dups.sort_unstable();
+    dups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_realtime_by_default() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 2).commit();
+        let h = b.build();
+        let (t0, t1) = (h.get(TxnId(0)), h.get(TxnId(1)));
+        assert!(t0.complete_index.unwrap() < t1.invoke_index);
+    }
+
+    #[test]
+    fn at_overrides_placement() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(10)).commit();
+        b.txn(1).append(1, 2).at(5, Some(6)).commit();
+        let h = b.build();
+        // Concurrent: neither strictly precedes the other? T1 is inside T0.
+        let (t0, t1) = (h.get(TxnId(0)), h.get(TxnId(1)));
+        assert!(t0.invoke_index < t1.invoke_index);
+        assert!(t1.complete_index.unwrap() < t0.complete_index.unwrap());
+    }
+
+    #[test]
+    fn never_completed() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, None).indeterminate();
+        let h = b.build();
+        assert_eq!(h.get(TxnId(0)).complete_index, None);
+    }
+
+    #[test]
+    fn all_mop_helpers() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0)
+            .append(1, 1)
+            .write(2, 2)
+            .increment(3, 4)
+            .add_to_set(4, 5)
+            .read(5)
+            .read_list(1, [1])
+            .read_register(2, Some(2))
+            .read_counter(3, 4)
+            .read_set(4, [5])
+            .read_value(1, ReadValue::list([1]))
+            .commit();
+        let h = b.build();
+        assert_eq!(h.get(TxnId(0)).mops.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 7).commit();
+        b.txn(1).append(1, 7).commit();
+        b.txn(2).append(2, 7).commit(); // different key: fine
+        let h = b.build();
+        assert_eq!(duplicate_written_elems(&h), vec![(Key(1), Elem(7))]);
+    }
+}

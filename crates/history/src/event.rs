@@ -1,0 +1,145 @@
+//! The flat event log a test harness records.
+
+use crate::{Mop, ProcessId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of event this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A client submitted a transaction; reads carry no values yet.
+    Invoke,
+    /// The transaction definitely committed.
+    Ok,
+    /// The transaction definitely aborted.
+    Fail,
+    /// The outcome is unknown (timeout / crash / lost response).
+    Info,
+}
+
+impl EventKind {
+    /// Is this a completion (anything but `Invoke`)?
+    pub fn is_completion(self) -> bool {
+        !matches!(self, EventKind::Invoke)
+    }
+}
+
+/// One entry in the event log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Position in the log. Doubles as the real-time order.
+    pub index: usize,
+    /// The logical process performing the transaction.
+    pub process: ProcessId,
+    /// Invoke / Ok / Fail / Info.
+    pub kind: EventKind,
+    /// The transaction body. In completions, reads carry observed values.
+    pub mops: Vec<Mop>,
+    /// Optional wall-clock timestamp in nanoseconds.
+    pub time_ns: Option<u64>,
+}
+
+/// An append-only log of [`Event`]s, in real-time order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event, assigning its index. Returns the index.
+    pub fn push(&mut self, process: ProcessId, kind: EventKind, mops: Vec<Mop>) -> usize {
+        self.push_at(process, kind, mops, None)
+    }
+
+    /// Append an event with an explicit timestamp.
+    pub fn push_at(
+        &mut self,
+        process: ProcessId,
+        kind: EventKind,
+        mops: Vec<Mop>,
+        time_ns: Option<u64>,
+    ) -> usize {
+        let index = self.events.len();
+        self.events.push(Event {
+            index,
+            process,
+            kind,
+            mops,
+            time_ns,
+        });
+        index
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            EventKind::Invoke => "invoke",
+            EventKind::Ok => "ok",
+            EventKind::Fail => "fail",
+            EventKind::Info => "info",
+        };
+        write!(f, "{:>6} {:>4} {:<6} [", self.index, self.process, kind)?;
+        for (i, m) in self.mops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_sequential_indices() {
+        let mut log = EventLog::new();
+        let a = log.push(ProcessId(0), EventKind::Invoke, vec![Mop::read(1)]);
+        let b = log.push(ProcessId(0), EventKind::Ok, vec![Mop::read_list(1, [])]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        assert_eq!(log.events()[1].kind, EventKind::Ok);
+    }
+
+    #[test]
+    fn completion_kinds() {
+        assert!(!EventKind::Invoke.is_completion());
+        assert!(EventKind::Ok.is_completion());
+        assert!(EventKind::Fail.is_completion());
+        assert!(EventKind::Info.is_completion());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let mut log = EventLog::new();
+        log.push(ProcessId(3), EventKind::Invoke, vec![Mop::append(1, 2)]);
+        let s = log.events()[0].to_string();
+        assert!(s.contains("p3"), "{s}");
+        assert!(s.contains("invoke"), "{s}");
+        assert!(s.contains("append(1, 2)"), "{s}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! Keys and elements are plain integers. This is not a loss of generality:
+//! Elle's recoverability requirement (§4.2.3) already demands that write
+//! arguments be *unique*, so a test harness must mint fresh values anyway —
+//! and integers make the hot element→writer indices cheap to build.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database object identifier (Adya's `x`, `y`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Key(pub u64);
+
+/// A written value / list element.
+///
+/// For list-append and set workloads this is the appended element; for
+/// registers it is the written value. Recoverable histories use each element
+/// at most once per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Elem(pub u64);
+
+/// A logical client process.
+///
+/// Jepsen semantics: a process executes transactions one at a time; when a
+/// transaction ends in [`EventKind::Info`](crate::EventKind::Info) the
+/// process is considered crashed and the harness replaces it with a fresh
+/// `ProcessId` — so logical concurrency can grow over time (§7 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ProcessId(pub u32);
+
+/// Index of a transaction within a [`History`](crate::History).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// The transaction id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Self {
+        Key(v)
+    }
+}
+
+impl From<u64> for Elem {
+    fn from(v: u64) -> Self {
+        Elem(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Key(7).to_string(), "7");
+        assert_eq!(Elem(3).to_string(), "3");
+        assert_eq!(ProcessId(2).to_string(), "p2");
+        assert_eq!(TxnId(9).to_string(), "T9");
+    }
+
+    #[test]
+    fn ordering_matches_inner() {
+        assert!(Key(1) < Key(2));
+        assert!(Elem(1) < Elem(2));
+        assert!(TxnId(0) < TxnId(1));
+    }
+
+    #[test]
+    fn txn_id_index() {
+        assert_eq!(TxnId(5).idx(), 5);
+    }
+}

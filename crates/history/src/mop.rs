@@ -1,0 +1,343 @@
+//! Micro-operations: the individual reads and writes inside a transaction.
+//!
+//! These mirror Figure 1 of the paper. Each datatype's *write* carries
+//! increasingly specific information about the previous version:
+//!
+//! | object      | write                | information preserved            |
+//! |-------------|----------------------|----------------------------------|
+//! | register    | blind write          | none ("destroys history")        |
+//! | counter     | increment            | predecessor is value − amount    |
+//! | set         | add unique element   | predecessor lacks the element    |
+//! | list-append | append unique elem   | full version history (traceable) |
+
+use crate::{Elem, Key};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The value returned by a read, when known.
+///
+/// An *observed* read (`r(x) → v`) carries the full version it saw. In an
+/// invocation event, or in an [`Info`](crate::EventKind::Info) completion,
+/// the value is unknown and the read is stored as `Mop::Read { value: None }`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReadValue {
+    /// A list-append object: the entire list, in append order.
+    List(Vec<Elem>),
+    /// A read-write register: `None` is the initial `nil`.
+    Register(Option<Elem>),
+    /// A counter value.
+    Counter(i64),
+    /// A grow-only set.
+    Set(BTreeSet<Elem>),
+}
+
+impl ReadValue {
+    /// Convenience constructor for list values.
+    pub fn list<I: IntoIterator<Item = u64>>(items: I) -> Self {
+        ReadValue::List(items.into_iter().map(Elem).collect())
+    }
+
+    /// Convenience constructor for set values.
+    pub fn set<I: IntoIterator<Item = u64>>(items: I) -> Self {
+        ReadValue::Set(items.into_iter().map(Elem).collect())
+    }
+
+    /// The list contents, if this is a list read.
+    pub fn as_list(&self) -> Option<&[Elem]> {
+        match self {
+            ReadValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The register contents, if this is a register read.
+    pub fn as_register(&self) -> Option<Option<Elem>> {
+        match self {
+            ReadValue::Register(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The counter value, if this is a counter read.
+    pub fn as_counter(&self) -> Option<i64> {
+        match self {
+            ReadValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The set contents, if this is a set read.
+    pub fn as_set(&self) -> Option<&BTreeSet<Elem>> {
+        match self {
+            ReadValue::Set(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A micro-operation: one read or write inside a transaction.
+///
+/// Writes are object-specific (Figure 1 of the paper); reads are universal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mop {
+    /// Append a (unique) element to a list — the traceable object.
+    Append {
+        /// Object appended to.
+        key: Key,
+        /// Element appended; unique per history for recoverability.
+        elem: Elem,
+    },
+    /// Blindly write a register.
+    Write {
+        /// Object written.
+        key: Key,
+        /// Value written; unique per history for recoverability.
+        elem: Elem,
+    },
+    /// Increment a counter by `amount`.
+    Increment {
+        /// Object incremented.
+        key: Key,
+        /// Signed increment amount.
+        amount: i64,
+    },
+    /// Add a (unique) element to a grow-only set.
+    AddToSet {
+        /// Object added to.
+        key: Key,
+        /// Element added; unique per history for recoverability.
+        elem: Elem,
+    },
+    /// Read the current version of an object.
+    ///
+    /// `value` is `None` when unobserved (invocation events, info
+    /// completions, or lost responses).
+    Read {
+        /// Object read.
+        key: Key,
+        /// Observed version, when known.
+        value: Option<ReadValue>,
+    },
+}
+
+impl Mop {
+    /// Shorthand: `append(k, e)`.
+    pub fn append(key: u64, elem: u64) -> Self {
+        Mop::Append {
+            key: Key(key),
+            elem: Elem(elem),
+        }
+    }
+
+    /// Shorthand: register write `w(k, e)`.
+    pub fn write(key: u64, elem: u64) -> Self {
+        Mop::Write {
+            key: Key(key),
+            elem: Elem(elem),
+        }
+    }
+
+    /// Shorthand: counter `inc(k, amount)`.
+    pub fn increment(key: u64, amount: i64) -> Self {
+        Mop::Increment {
+            key: Key(key),
+            amount,
+        }
+    }
+
+    /// Shorthand: `add(k, e)`.
+    pub fn add_to_set(key: u64, elem: u64) -> Self {
+        Mop::AddToSet {
+            key: Key(key),
+            elem: Elem(elem),
+        }
+    }
+
+    /// Shorthand: an unresolved read `r(k, ?)`.
+    pub fn read(key: u64) -> Self {
+        Mop::Read {
+            key: Key(key),
+            value: None,
+        }
+    }
+
+    /// Shorthand: an observed list read `r(k, [..])`.
+    pub fn read_list<I: IntoIterator<Item = u64>>(key: u64, items: I) -> Self {
+        Mop::Read {
+            key: Key(key),
+            value: Some(ReadValue::list(items)),
+        }
+    }
+
+    /// Shorthand: an observed register read. `None` is the initial `nil`.
+    pub fn read_register(key: u64, value: Option<u64>) -> Self {
+        Mop::Read {
+            key: Key(key),
+            value: Some(ReadValue::Register(value.map(Elem))),
+        }
+    }
+
+    /// Shorthand: an observed counter read.
+    pub fn read_counter(key: u64, value: i64) -> Self {
+        Mop::Read {
+            key: Key(key),
+            value: Some(ReadValue::Counter(value)),
+        }
+    }
+
+    /// Shorthand: an observed set read.
+    pub fn read_set<I: IntoIterator<Item = u64>>(key: u64, items: I) -> Self {
+        Mop::Read {
+            key: Key(key),
+            value: Some(ReadValue::set(items)),
+        }
+    }
+
+    /// The key this micro-operation touches.
+    #[inline]
+    pub fn key(&self) -> Key {
+        match self {
+            Mop::Append { key, .. }
+            | Mop::Write { key, .. }
+            | Mop::Increment { key, .. }
+            | Mop::AddToSet { key, .. }
+            | Mop::Read { key, .. } => *key,
+        }
+    }
+
+    /// Is this a read?
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Mop::Read { .. })
+    }
+
+    /// Is this a write of any flavour?
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        !self.is_read()
+    }
+
+    /// The written element, for writes that carry one (append / write / add).
+    #[inline]
+    pub fn written_elem(&self) -> Option<Elem> {
+        match self {
+            Mop::Append { elem, .. } | Mop::Write { elem, .. } | Mop::AddToSet { elem, .. } => {
+                Some(*elem)
+            }
+            _ => None,
+        }
+    }
+
+    /// Strip the observed value from reads, producing the invocation form.
+    pub fn to_invocation(&self) -> Mop {
+        match self {
+            Mop::Read { key, .. } => Mop::Read {
+                key: *key,
+                value: None,
+            },
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ReadValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadValue::List(v) => {
+                write!(f, "[")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            ReadValue::Register(Some(e)) => write!(f, "{e}"),
+            ReadValue::Register(None) => write!(f, "nil"),
+            ReadValue::Counter(v) => write!(f, "{v}"),
+            ReadValue::Set(s) => {
+                write!(f, "{{")?;
+                for (i, e) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Mop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mop::Append { key, elem } => write!(f, "append({key}, {elem})"),
+            Mop::Write { key, elem } => write!(f, "w({key}, {elem})"),
+            Mop::Increment { key, amount } => write!(f, "inc({key}, {amount})"),
+            Mop::AddToSet { key, elem } => write!(f, "add({key}, {elem})"),
+            Mop::Read { key, value: None } => write!(f, "r({key}, ?)"),
+            Mop::Read {
+                key,
+                value: Some(v),
+            } => write!(f, "r({key}, {v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Mop::append(34, 5).to_string(), "append(34, 5)");
+        assert_eq!(
+            Mop::read_list(34, [2, 1, 5, 4]).to_string(),
+            "r(34, [2 1 5 4])"
+        );
+        assert_eq!(Mop::read_register(10, None).to_string(), "r(10, nil)");
+        assert_eq!(Mop::write(10, 2).to_string(), "w(10, 2)");
+        assert_eq!(Mop::read(9).to_string(), "r(9, ?)");
+        assert_eq!(Mop::read_set(1, [0, 1, 2]).to_string(), "r(1, {0 1 2})");
+        assert_eq!(Mop::read_counter(1, -3).to_string(), "r(1, -3)");
+        assert_eq!(Mop::increment(1, 2).to_string(), "inc(1, 2)");
+        assert_eq!(Mop::add_to_set(1, 2).to_string(), "add(1, 2)");
+    }
+
+    #[test]
+    fn key_and_kind_accessors() {
+        assert_eq!(Mop::append(3, 1).key(), Key(3));
+        assert!(Mop::append(3, 1).is_write());
+        assert!(!Mop::append(3, 1).is_read());
+        assert!(Mop::read(3).is_read());
+        assert_eq!(Mop::append(3, 1).written_elem(), Some(Elem(1)));
+        assert_eq!(Mop::increment(3, 1).written_elem(), None);
+        assert_eq!(Mop::read(3).written_elem(), None);
+    }
+
+    #[test]
+    fn invocation_strips_read_values() {
+        let m = Mop::read_list(1, [1, 2]);
+        assert_eq!(m.to_invocation(), Mop::read(1));
+        let w = Mop::append(1, 2);
+        assert_eq!(w.to_invocation(), w);
+    }
+
+    #[test]
+    fn read_value_accessors() {
+        assert_eq!(
+            ReadValue::list([1, 2]).as_list(),
+            Some(&[Elem(1), Elem(2)][..])
+        );
+        assert_eq!(ReadValue::list([1]).as_register(), None);
+        assert_eq!(
+            ReadValue::Register(Some(Elem(2))).as_register(),
+            Some(Some(Elem(2)))
+        );
+        assert_eq!(ReadValue::Counter(7).as_counter(), Some(7));
+        assert!(ReadValue::set([1, 2]).as_set().unwrap().contains(&Elem(2)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Pairing invocations with completions to produce a [`History`].
+//!
+//! Jepsen semantics: a process has at most one outstanding invocation. An
+//! `Ok`/`Fail`/`Info` event on the same process completes it. A process with
+//! an open invocation at the end of the log yields an indeterminate
+//! transaction (we never saw its outcome).
+
+use crate::{Event, EventKind, EventLog, History, Mop, ProcessId, Transaction, TxnId, TxnStatus};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Why an event log failed to pair into a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairingError {
+    /// A completion arrived for a process with no outstanding invocation.
+    CompletionWithoutInvoke {
+        /// Index of the offending event.
+        index: usize,
+        /// Process involved.
+        process: ProcessId,
+    },
+    /// A second invocation arrived while one was outstanding.
+    OverlappingInvoke {
+        /// Index of the offending event.
+        index: usize,
+        /// Process involved.
+        process: ProcessId,
+    },
+    /// A completion's micro-operations do not match its invocation
+    /// (different count, or incompatible operations).
+    MismatchedMops {
+        /// Index of the offending completion.
+        index: usize,
+        /// Process involved.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for PairingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairingError::CompletionWithoutInvoke { index, process } => write!(
+                f,
+                "event {index}: completion on {process} without an outstanding invocation"
+            ),
+            PairingError::OverlappingInvoke { index, process } => write!(
+                f,
+                "event {index}: invocation on {process} while another is outstanding"
+            ),
+            PairingError::MismatchedMops { index, process } => write!(
+                f,
+                "event {index}: completion on {process} does not match its invocation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PairingError {}
+
+/// Is `completion` a plausible completion of `invocation`?
+///
+/// This is the observed-operation compatibility of §4.2.2, restricted to
+/// what the client itself recorded: same operation type, key, and argument;
+/// reads may gain a value.
+fn mops_compatible(invocation: &[Mop], completion: &[Mop]) -> bool {
+    invocation.len() == completion.len()
+        && invocation
+            .iter()
+            .zip(completion)
+            .all(|(i, c)| *i == c.to_invocation())
+}
+
+impl EventLog {
+    /// Pair invocations with completions, producing a [`History`].
+    ///
+    /// Transactions are ordered by invocation index. Open invocations at the
+    /// end of the log become [`TxnStatus::Indeterminate`] transactions with
+    /// no completion index.
+    pub fn pair(&self) -> Result<History, PairingError> {
+        let mut open: FxHashMap<ProcessId, &Event> = FxHashMap::default();
+        let mut txns: Vec<Transaction> = Vec::with_capacity(self.len() / 2 + 1);
+
+        for ev in self.events() {
+            match ev.kind {
+                EventKind::Invoke => {
+                    if open.insert(ev.process, ev).is_some() {
+                        return Err(PairingError::OverlappingInvoke {
+                            index: ev.index,
+                            process: ev.process,
+                        });
+                    }
+                }
+                EventKind::Ok | EventKind::Fail | EventKind::Info => {
+                    let inv = open.remove(&ev.process).ok_or(
+                        PairingError::CompletionWithoutInvoke {
+                            index: ev.index,
+                            process: ev.process,
+                        },
+                    )?;
+                    if !mops_compatible(&inv.mops, &ev.mops) {
+                        return Err(PairingError::MismatchedMops {
+                            index: ev.index,
+                            process: ev.process,
+                        });
+                    }
+                    let status = match ev.kind {
+                        EventKind::Ok => TxnStatus::Committed,
+                        EventKind::Fail => TxnStatus::Aborted,
+                        _ => TxnStatus::Indeterminate,
+                    };
+                    // Database-exposed timestamps travel on the events:
+                    // start on the invocation, commit on an Ok completion.
+                    let timestamps = match (inv.time_ns, ev.time_ns, ev.kind) {
+                        (Some(s), Some(c), EventKind::Ok) => Some((s, c)),
+                        _ => None,
+                    };
+                    txns.push(Transaction {
+                        id: TxnId(0), // re-assigned below
+                        process: ev.process,
+                        mops: ev.mops.clone(),
+                        status,
+                        invoke_index: inv.index,
+                        complete_index: Some(ev.index),
+                        timestamps,
+                    });
+                }
+            }
+        }
+
+        // Open invocations: outcome never observed.
+        for (process, inv) in open {
+            txns.push(Transaction {
+                id: TxnId(0),
+                process,
+                mops: inv.mops.clone(),
+                status: TxnStatus::Indeterminate,
+                invoke_index: inv.index,
+                complete_index: None,
+                timestamps: None,
+            });
+        }
+
+        txns.sort_by_key(|t| t.invoke_index);
+        Ok(History::from_txns(txns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> EventLog {
+        EventLog::new()
+    }
+
+    #[test]
+    fn pairs_simple_ok() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::append(1, 1), Mop::read(1)]);
+        l.push(
+            ProcessId(0),
+            EventKind::Ok,
+            vec![Mop::append(1, 1), Mop::read_list(1, [1])],
+        );
+        let h = l.pair().unwrap();
+        assert_eq!(h.len(), 1);
+        let t = h.get(TxnId(0));
+        assert_eq!(t.status, TxnStatus::Committed);
+        assert_eq!(t.invoke_index, 0);
+        assert_eq!(t.complete_index, Some(1));
+        assert_eq!(t.mops[1], Mop::read_list(1, [1]));
+    }
+
+    #[test]
+    fn interleaved_processes() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::append(1, 1)]);
+        l.push(ProcessId(1), EventKind::Invoke, vec![Mop::append(1, 2)]);
+        l.push(ProcessId(1), EventKind::Ok, vec![Mop::append(1, 2)]);
+        l.push(ProcessId(0), EventKind::Fail, vec![Mop::append(1, 1)]);
+        let h = l.pair().unwrap();
+        assert_eq!(h.len(), 2);
+        // Ordered by invocation.
+        assert_eq!(h.get(TxnId(0)).process, ProcessId(0));
+        assert_eq!(h.get(TxnId(0)).status, TxnStatus::Aborted);
+        assert_eq!(h.get(TxnId(1)).process, ProcessId(1));
+        assert_eq!(h.get(TxnId(1)).status, TxnStatus::Committed);
+    }
+
+    #[test]
+    fn open_invocation_becomes_indeterminate() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::append(1, 1)]);
+        let h = l.pair().unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(TxnId(0)).status, TxnStatus::Indeterminate);
+        assert_eq!(h.get(TxnId(0)).complete_index, None);
+    }
+
+    #[test]
+    fn info_completion_is_indeterminate() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::append(1, 1)]);
+        l.push(ProcessId(0), EventKind::Info, vec![Mop::append(1, 1)]);
+        let h = l.pair().unwrap();
+        assert_eq!(h.get(TxnId(0)).status, TxnStatus::Indeterminate);
+        assert_eq!(h.get(TxnId(0)).complete_index, Some(1));
+    }
+
+    #[test]
+    fn rejects_completion_without_invoke() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Ok, vec![]);
+        assert_eq!(
+            l.pair().unwrap_err(),
+            PairingError::CompletionWithoutInvoke {
+                index: 0,
+                process: ProcessId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_overlapping_invokes() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![]);
+        l.push(ProcessId(0), EventKind::Invoke, vec![]);
+        assert!(matches!(
+            l.pair().unwrap_err(),
+            PairingError::OverlappingInvoke { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_mops() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::append(1, 1)]);
+        l.push(ProcessId(0), EventKind::Ok, vec![Mop::append(1, 2)]);
+        assert!(matches!(
+            l.pair().unwrap_err(),
+            PairingError::MismatchedMops { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn mismatched_len_rejected() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::append(1, 1)]);
+        l.push(
+            ProcessId(0),
+            EventKind::Ok,
+            vec![Mop::append(1, 1), Mop::read(1)],
+        );
+        assert!(matches!(
+            l.pair().unwrap_err(),
+            PairingError::MismatchedMops { .. }
+        ));
+    }
+
+    #[test]
+    fn reads_may_gain_values_but_not_change_key() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::read(1)]);
+        l.push(ProcessId(0), EventKind::Ok, vec![Mop::read_list(2, [1])]);
+        assert!(matches!(
+            l.pair().unwrap_err(),
+            PairingError::MismatchedMops { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PairingError::CompletionWithoutInvoke {
+            index: 3,
+            process: ProcessId(1),
+        };
+        assert!(e.to_string().contains("event 3"));
+    }
+}

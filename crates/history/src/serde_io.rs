@@ -1,0 +1,63 @@
+//! JSON import/export of histories.
+//!
+//! The wire format is the serde representation of [`History`]. It is stable
+//! enough to move histories between the generator, the checker binaries, and
+//! EXPERIMENTS.md artifacts. (Jepsen itself uses EDN; JSON is the closest
+//! widely-supported equivalent and round-trips all our types.)
+
+use crate::History;
+use serde::de::Error as _;
+
+/// Serialize a history to a JSON string.
+pub fn history_to_json(h: &History) -> String {
+    // History's serde impls are plain data; serialization cannot fail.
+    serde_json::to_string(h).expect("history serialization is infallible")
+}
+
+/// Parse a history from JSON.
+pub fn history_from_json(s: &str) -> Result<History, serde_json::Error> {
+    let h: History = serde_json::from_str(s)?;
+    // Ids must match positions; re-derive rather than trusting input.
+    for (i, t) in h.txns().iter().enumerate() {
+        if t.id.idx() != i {
+            return Err(serde_json::Error::custom(format!(
+                "transaction at position {i} carries id {}",
+                t.id
+            )));
+        }
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    #[test]
+    fn round_trip() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0)
+            .append(1, 1)
+            .read_list(1, [1])
+            .read_register(2, None)
+            .read_counter(3, 9)
+            .read_set(4, [1, 2])
+            .commit();
+        b.txn(1).append(1, 2).abort();
+        b.txn(2).append(1, 3).indeterminate();
+        let h = b.build();
+        let json = history_to_json(&h);
+        let h2 = history_from_json(&json).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn rejects_mismatched_ids() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        let h = b.build();
+        let json = history_to_json(&h).replace("\"id\":0", "\"id\":5");
+        assert!(history_from_json(&json).is_err());
+    }
+}

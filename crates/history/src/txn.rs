@@ -1,0 +1,238 @@
+//! Paired transactions and the `History` checkers consume.
+
+use crate::{Elem, Key, Mop, ProcessId, ReadValue, TxnId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The client-known outcome of an observed transaction (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxnStatus {
+    /// Definitely committed (`:ok`).
+    Committed,
+    /// Definitely aborted (`:fail`).
+    Aborted,
+    /// Unknown — the commit request's outcome was never observed (`:info`).
+    Indeterminate,
+}
+
+impl TxnStatus {
+    /// Definitely committed?
+    pub fn is_committed(self) -> bool {
+        matches!(self, TxnStatus::Committed)
+    }
+
+    /// Definitely aborted?
+    pub fn is_aborted(self) -> bool {
+        matches!(self, TxnStatus::Aborted)
+    }
+
+    /// Could this transaction have committed (committed or indeterminate)?
+    pub fn may_have_committed(self) -> bool {
+        !self.is_aborted()
+    }
+}
+
+/// An observed transaction: a list of micro-operations plus outcome and
+/// real-time placement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// This transaction's index in the history.
+    pub id: TxnId,
+    /// The client process that executed it.
+    pub process: ProcessId,
+    /// Micro-operations, in program order. For committed transactions,
+    /// reads carry observed values.
+    pub mops: Vec<Mop>,
+    /// Committed / aborted / indeterminate.
+    pub status: TxnStatus,
+    /// Event-log index of the invocation.
+    pub invoke_index: usize,
+    /// Event-log index of the completion; `None` if never completed
+    /// (an `Info` transaction synthesized at history end has one, a truly
+    /// missing completion does not).
+    pub complete_index: Option<usize>,
+    /// Database-exposed `(start, commit)` timestamps, when the system
+    /// under test reports them (§5.1 of the paper: some snapshot-isolated
+    /// databases expose transaction timestamps to clients). These are the
+    /// database's *logical* clocks, not the harness's wall clock.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timestamps: Option<(u64, u64)>,
+}
+
+impl Transaction {
+    /// Iterate over the observed reads: `(mop position, key, value)`.
+    pub fn observed_reads(&self) -> impl Iterator<Item = (usize, Key, &ReadValue)> + '_ {
+        self.mops.iter().enumerate().filter_map(|(i, m)| match m {
+            Mop::Read {
+                key,
+                value: Some(v),
+            } => Some((i, *key, v)),
+            _ => None,
+        })
+    }
+
+    /// Iterate over writes carrying an element: `(mop position, key, elem)`.
+    pub fn elem_writes(&self) -> impl Iterator<Item = (usize, Key, Elem)> + '_ {
+        self.mops.iter().enumerate().filter_map(|(i, m)| {
+            m.written_elem().map(|e| (i, m.key(), e))
+        })
+    }
+
+    /// Does this transaction write (any flavour) to `key`?
+    pub fn writes_key(&self, key: Key) -> bool {
+        self.mops.iter().any(|m| m.is_write() && m.key() == key)
+    }
+
+    /// Render as the paper writes transactions:
+    /// `T1: append(34, 5), r(34, [2 1 5 4])`.
+    pub fn to_notation(&self) -> String {
+        let mut s = format!("{}: ", self.id);
+        for (i, m) in self.mops.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&m.to_string());
+        }
+        match self.status {
+            TxnStatus::Committed => s.push_str(", c"),
+            TxnStatus::Aborted => s.push_str(", a"),
+            TxnStatus::Indeterminate => s.push_str(", ?"),
+        }
+        s
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_notation())
+    }
+}
+
+/// A complete observation: every transaction executed against the database
+/// (§4.2.1 assumes observations include all transactions).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    txns: Vec<Transaction>,
+}
+
+impl History {
+    /// Build directly from transactions, re-assigning ids by position.
+    pub fn from_txns(mut txns: Vec<Transaction>) -> Self {
+        for (i, t) in txns.iter_mut().enumerate() {
+            t.id = TxnId(i as u32);
+        }
+        History { txns }
+    }
+
+    /// All transactions, in invocation order.
+    pub fn txns(&self) -> &[Transaction] {
+        &self.txns
+    }
+
+    /// Transaction count.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Is the history empty?
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Look a transaction up by id.
+    pub fn get(&self, id: TxnId) -> &Transaction {
+        &self.txns[id.idx()]
+    }
+
+    /// Total number of micro-operations across all transactions.
+    pub fn mop_count(&self) -> usize {
+        self.txns.iter().map(|t| t.mops.len()).sum()
+    }
+
+    /// Committed transactions only.
+    pub fn committed(&self) -> impl Iterator<Item = &Transaction> + '_ {
+        self.txns.iter().filter(|t| t.status.is_committed())
+    }
+
+    /// The distinct keys touched anywhere in the history.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = self
+            .txns
+            .iter()
+            .flat_map(|t| t.mops.iter().map(|m| m.key()))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.txns {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    #[test]
+    fn notation_matches_paper() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0)
+            .append(34, 5)
+            .read_list(34, [2, 1, 5, 4])
+            .commit();
+        let h = b.build();
+        assert_eq!(
+            h.get(TxnId(0)).to_notation(),
+            "T0: append(34, 5), r(34, [2 1 5 4]), c"
+        );
+    }
+
+    #[test]
+    fn aborted_and_indeterminate_notation() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).abort();
+        b.txn(1).append(1, 2).indeterminate();
+        let h = b.build();
+        assert!(h.get(TxnId(0)).to_notation().ends_with(", a"));
+        assert!(h.get(TxnId(1)).to_notation().ends_with(", ?"));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 10).read_list(2, [7]).commit();
+        b.txn(1).append(2, 7).abort();
+        let h = b.build();
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        assert_eq!(h.mop_count(), 3);
+        assert_eq!(h.committed().count(), 1);
+        assert_eq!(h.keys(), vec![Key(1), Key(2)]);
+        let t0 = h.get(TxnId(0));
+        assert!(t0.writes_key(Key(1)));
+        assert!(!t0.writes_key(Key(2)));
+        let reads: Vec<_> = t0.observed_reads().collect();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].1, Key(2));
+        let writes: Vec<_> = t0.elem_writes().collect();
+        assert_eq!(writes, vec![(0, Key(1), Elem(10))]);
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(TxnStatus::Committed.is_committed());
+        assert!(TxnStatus::Committed.may_have_committed());
+        assert!(TxnStatus::Aborted.is_aborted());
+        assert!(!TxnStatus::Aborted.may_have_committed());
+        assert!(TxnStatus::Indeterminate.may_have_committed());
+        assert!(!TxnStatus::Indeterminate.is_committed());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the history model: serde round-trips and
+//! event-log pairing.
+
+use elle_history::{
+    history_from_json, history_to_json, EventKind, EventLog, History, Mop, ProcessId, ReadValue,
+    TxnStatus,
+};
+use proptest::prelude::*;
+
+fn arb_read_value() -> impl Strategy<Value = ReadValue> {
+    prop_oneof![
+        prop::collection::vec(0u64..50, 0..6).prop_map(ReadValue::list),
+        prop::option::of(0u64..50).prop_map(|v| ReadValue::Register(v.map(elle_history::Elem))),
+        (-20i64..20).prop_map(ReadValue::Counter),
+        prop::collection::btree_set(0u64..50, 0..6)
+            .prop_map(|s| ReadValue::set(s.into_iter())),
+    ]
+}
+
+fn arb_mop() -> impl Strategy<Value = Mop> {
+    prop_oneof![
+        (0u64..10, 0u64..100).prop_map(|(k, e)| Mop::append(k, e)),
+        (0u64..10, 0u64..100).prop_map(|(k, e)| Mop::write(k, e)),
+        (0u64..10, -5i64..5).prop_map(|(k, a)| Mop::increment(k, a)),
+        (0u64..10, 0u64..100).prop_map(|(k, e)| Mop::add_to_set(k, e)),
+        (0u64..10).prop_map(Mop::read),
+        (0u64..10, arb_read_value()).prop_map(|(k, v)| Mop::Read {
+            key: elle_history::Key(k),
+            value: Some(v)
+        }),
+    ]
+}
+
+fn arb_txn() -> impl Strategy<Value = (u32, Vec<Mop>, TxnStatus)> {
+    (
+        0u32..6,
+        prop::collection::vec(arb_mop(), 1..8),
+        prop_oneof![
+            Just(TxnStatus::Committed),
+            Just(TxnStatus::Aborted),
+            Just(TxnStatus::Indeterminate),
+        ],
+    )
+}
+
+fn build(txns: Vec<(u32, Vec<Mop>, TxnStatus)>) -> History {
+    let mut b = elle_history::HistoryBuilder::new();
+    for (p, mops, status) in txns {
+        let mut t = b.txn(p);
+        for m in mops {
+            t = t.mop(m);
+        }
+        match status {
+            TxnStatus::Committed => t.commit(),
+            TxnStatus::Aborted => t.abort(),
+            TxnStatus::Indeterminate => t.indeterminate(),
+        };
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn history_json_round_trips(txns in prop::collection::vec(arb_txn(), 0..20)) {
+        let h = build(txns);
+        let json = history_to_json(&h);
+        let back = history_from_json(&json).unwrap();
+        prop_assert_eq!(h, back);
+    }
+
+    /// Building an event log from transactions and pairing it recovers the
+    /// transactions.
+    #[test]
+    fn pairing_round_trips(txns in prop::collection::vec(arb_txn(), 0..20)) {
+        // One process at a time (sequential log), statuses preserved.
+        let mut log = EventLog::new();
+        for (i, (_, mops, status)) in txns.iter().enumerate() {
+            let p = ProcessId(i as u32); // distinct processes: no overlap rules
+            let inv: Vec<Mop> = mops.iter().map(Mop::to_invocation).collect();
+            log.push(p, EventKind::Invoke, inv.clone());
+            match status {
+                TxnStatus::Committed => log.push(p, EventKind::Ok, mops.clone()),
+                TxnStatus::Aborted => log.push(p, EventKind::Fail, inv),
+                TxnStatus::Indeterminate => log.push(p, EventKind::Info, inv),
+            };
+        }
+        let h = log.pair().unwrap();
+        prop_assert_eq!(h.len(), txns.len());
+        for (t, (_, mops, status)) in h.txns().iter().zip(&txns) {
+            prop_assert_eq!(&t.status, status);
+            if *status == TxnStatus::Committed {
+                prop_assert_eq!(&t.mops, mops);
+            }
+        }
+    }
+
+    /// Display/notation never panics and always names the transaction.
+    #[test]
+    fn notation_total(txns in prop::collection::vec(arb_txn(), 1..8)) {
+        let h = build(txns);
+        for t in h.txns() {
+            let s = t.to_notation();
+            prop_assert!(s.starts_with('T'));
+        }
+        let _ = format!("{h}");
+    }
+}

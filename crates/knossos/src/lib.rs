@@ -1,0 +1,556 @@
+//! # elle-knossos
+//!
+//! The baseline the paper compares Elle against (§7.5, Figure 4): a
+//! Knossos-style **strict serializability** checker in the Wing & Gong /
+//! WGL tradition.
+//!
+//! Strict-1SR is linearizability where each operation is a transaction and
+//! the linearizable object is a map (§1 of the paper). The checker searches
+//! for a *linearization*: a total order over committed transactions (with
+//! indeterminate transactions optionally included) such that
+//!
+//! * real-time order is respected: if `T1` completed before `T2` was
+//!   invoked, `T1` linearizes first;
+//! * every transaction's reads match the state produced by its prefix.
+//!
+//! The search is a DFS with memoization on `(applied set, store state)`
+//! pairs — Lowe's refinement of WGL. It remains fundamentally exponential
+//! in concurrency: with `c` concurrent transactions there are up to `c!`
+//! interleavings to consider, which is exactly the blow-up Figure 4 plots.
+//! A configurable time budget bounds runs (the paper used 100 seconds).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use elle_history::{Elem, History, Key, Mop, ReadValue, TxnStatus};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::time::{Duration, Instant};
+
+/// Checker options.
+#[derive(Debug, Clone, Copy)]
+pub struct KnossosOptions {
+    /// Abort the search after this long (paper: 100 s).
+    pub time_budget: Duration,
+    /// Abort after exploring this many states (memory guard).
+    pub max_states: usize,
+}
+
+impl Default for KnossosOptions {
+    fn default() -> Self {
+        KnossosOptions {
+            time_budget: Duration::from_secs(100),
+            max_states: 50_000_000,
+        }
+    }
+}
+
+impl KnossosOptions {
+    /// Set the time budget.
+    pub fn with_budget(mut self, d: Duration) -> Self {
+        self.time_budget = d;
+        self
+    }
+}
+
+/// The verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnossosOutcome {
+    /// A valid linearization exists: strict serializable.
+    Ok,
+    /// No linearization exists: strict serializability is violated.
+    Violation,
+    /// The search exhausted its time or state budget.
+    Unknown,
+}
+
+/// Outcome plus search statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct KnossosResult {
+    /// The verdict.
+    pub outcome: KnossosOutcome,
+    /// Distinct `(applied set, state)` pairs explored.
+    pub states_explored: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Map-of-objects state with an incrementally maintained hash.
+#[derive(Debug, Default)]
+struct MapState {
+    lists: FxHashMap<Key, Vec<Elem>>,
+    registers: FxHashMap<Key, Option<Elem>>,
+    hash: u64,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl MapState {
+    fn list_hash(key: Key, v: &[Elem]) -> u64 {
+        let mut h = splitmix(key.0 ^ 0x11);
+        for e in v {
+            h = splitmix(h ^ e.0);
+        }
+        h
+    }
+
+    fn reg_hash(key: Key, v: Option<Elem>) -> u64 {
+        splitmix(key.0 ^ 0x22 ^ v.map_or(u64::MAX, |e| e.0))
+    }
+
+    fn append(&mut self, key: Key, e: Elem) {
+        let list = self.lists.entry(key).or_default();
+        self.hash ^= Self::list_hash(key, list);
+        list.push(e);
+        let list = &self.lists[&key];
+        self.hash ^= Self::list_hash(key, list);
+    }
+
+    fn unappend(&mut self, key: Key) {
+        let list = self.lists.get_mut(&key).expect("undo of applied append");
+        self.hash ^= Self::list_hash(key, list);
+        list.pop();
+        let list = &self.lists[&key];
+        self.hash ^= Self::list_hash(key, list);
+    }
+
+    fn write_reg(&mut self, key: Key, v: Option<Elem>) -> Option<Elem> {
+        let slot = self.registers.entry(key).or_insert(None);
+        let prev = *slot;
+        self.hash ^= Self::reg_hash(key, prev);
+        *slot = v;
+        self.hash ^= Self::reg_hash(key, v);
+        prev
+    }
+
+    fn list(&self, key: Key) -> &[Elem] {
+        self.lists.get(&key).map_or(&[], |v| v.as_slice())
+    }
+
+    fn register(&self, key: Key) -> Option<Elem> {
+        self.registers.get(&key).copied().flatten()
+    }
+}
+
+/// Undo record for one transaction application.
+enum Undo {
+    Append(Key),
+    Register(Key, Option<Elem>),
+}
+
+/// A candidate transaction in the search.
+struct Cand {
+    mops: Vec<Mop>,
+    /// Must this transaction appear (committed) or may it be dropped
+    /// (indeterminate)?
+    required: bool,
+    invoke: usize,
+    complete: Option<usize>,
+}
+
+/// Check a history for strict serializability.
+pub fn check(history: &History, opts: KnossosOptions) -> KnossosResult {
+    let started = Instant::now();
+
+    // Candidates: committed (required) + indeterminate (optional).
+    let cands: Vec<Cand> = history
+        .txns()
+        .iter()
+        .filter(|t| t.status != TxnStatus::Aborted)
+        .map(|t| Cand {
+            mops: t.mops.clone(),
+            required: t.status == TxnStatus::Committed,
+            invoke: t.invoke_index,
+            complete: t.complete_index,
+        })
+        .collect();
+    let n = cands.len();
+    let required_total = cands.iter().filter(|c| c.required).count();
+
+    // Required txns sorted by completion, for the enabledness frontier:
+    // a txn is enabled only once every required txn completing before its
+    // invocation has been applied.
+    let mut by_complete: Vec<(usize, usize)> = cands
+        .iter()
+        .enumerate()
+        .filter(|&(_i, c)| c.required).map(|(i, c)| (c.complete.expect("ok txns complete"), i))
+        .collect();
+    by_complete.sort_unstable();
+    // preds[i] = number of required txns completing before cands[i].invoke.
+    let preds: Vec<usize> = cands
+        .iter()
+        .map(|c| by_complete.partition_point(|(comp, _)| *comp < c.invoke))
+        .collect();
+    // position of each required txn in by_complete order
+    let mut pos_in_complete: FxHashMap<usize, usize> = FxHashMap::default();
+    for (pos, (_, i)) in by_complete.iter().enumerate() {
+        pos_in_complete.insert(*i, pos);
+    }
+
+    let mut state = MapState::default();
+    let mut applied = vec![false; n];
+    let mut applied_hash: u64 = 0;
+    let mut applied_required = 0usize;
+    // Contiguous prefix of by_complete that is applied (monotone frontier).
+    let mut complete_flags = vec![false; by_complete.len()];
+    let mut frontier = 0usize;
+
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut states = 0usize;
+    let deadline = started + opts.time_budget;
+
+    // Iterative DFS: each frame holds the txn applied to enter it and the
+    // next candidate index to try.
+    type Frame = (Option<(usize, Vec<Undo>)>, usize);
+    let mut stack: Vec<Frame> = vec![(None, 0)];
+    let mut timed_out = false;
+
+    while !stack.is_empty() {
+        if applied_required == required_total {
+            return KnossosResult {
+                outcome: KnossosOutcome::Ok,
+                states_explored: states,
+                elapsed: started.elapsed(),
+            };
+        }
+        if states.is_multiple_of(1024) && (Instant::now() > deadline || states > opts.max_states) {
+            timed_out = true;
+            break;
+        }
+
+        let top = stack.len() - 1;
+        let start = stack[top].1;
+        let mut advanced = false;
+        for i in start..n {
+            if applied[i] {
+                continue;
+            }
+            // Real-time enabledness: all required predecessors applied.
+            if frontier < preds[i] {
+                continue;
+            }
+            // Try to apply txn i.
+            if let Some(undo) = try_apply(&mut state, &cands[i].mops) {
+                // Memoize.
+                applied[i] = true;
+                applied_hash ^= splitmix(i as u64 ^ 0xABCD);
+                let memo = applied_hash ^ state.hash;
+                if !seen.insert(memo) {
+                    // Already explored this configuration.
+                    applied[i] = false;
+                    applied_hash ^= splitmix(i as u64 ^ 0xABCD);
+                    undo_apply(&mut state, undo);
+                    continue;
+                }
+                states += 1;
+                if cands[i].required {
+                    applied_required += 1;
+                    let pos = pos_in_complete[&i];
+                    complete_flags[pos] = true;
+                    while frontier < complete_flags.len() && complete_flags[frontier] {
+                        frontier += 1;
+                    }
+                }
+                // Descend.
+                stack[top].1 = i + 1;
+                stack.push((Some((i, undo)), 0));
+                advanced = true;
+                break;
+            }
+        }
+        if advanced {
+            continue;
+        }
+        // Exhausted this frame: backtrack.
+        let (entry, _) = stack.pop().expect("frame exists");
+        if let Some((i, undo)) = entry {
+            applied[i] = false;
+            applied_hash ^= splitmix(i as u64 ^ 0xABCD);
+            if cands[i].required {
+                applied_required -= 1;
+                let pos = pos_in_complete[&i];
+                complete_flags[pos] = false;
+                frontier = frontier.min(pos);
+            }
+            undo_apply(&mut state, undo);
+        }
+    }
+
+    KnossosResult {
+        outcome: if timed_out {
+            KnossosOutcome::Unknown
+        } else {
+            KnossosOutcome::Violation
+        },
+        states_explored: states,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Apply a transaction if its reads are consistent with `state`; returns
+/// the undo log, or `None` if a read mismatches (the transaction cannot
+/// linearize here).
+fn try_apply(state: &mut MapState, mops: &[Mop]) -> Option<Vec<Undo>> {
+    let mut undo: Vec<Undo> = Vec::new();
+    for m in mops {
+        let ok = match m {
+            Mop::Append { key, elem } => {
+                state.append(*key, *elem);
+                undo.push(Undo::Append(*key));
+                true
+            }
+            Mop::Write { key, elem } => {
+                let prev = state.write_reg(*key, Some(*elem));
+                undo.push(Undo::Register(*key, prev));
+                true
+            }
+            Mop::Read { value: None, .. } => true, // unconstrained
+            Mop::Read {
+                key,
+                value: Some(ReadValue::List(v)),
+            } => state.list(*key) == v.as_slice(),
+            Mop::Read {
+                key,
+                value: Some(ReadValue::Register(v)),
+            } => state.register(*key) == *v,
+            // Counters/sets are not part of the baseline's model (the
+            // paper's comparison uses list histories).
+            _ => false,
+        };
+        if !ok {
+            undo_apply(state, undo);
+            return None;
+        }
+    }
+    Some(undo)
+}
+
+fn undo_apply(state: &mut MapState, undo: Vec<Undo>) {
+    for u in undo.into_iter().rev() {
+        match u {
+            Undo::Append(k) => state.unappend(k),
+            Undo::Register(k, prev) => {
+                state.write_reg(k, prev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_history::HistoryBuilder;
+
+    fn opts() -> KnossosOptions {
+        KnossosOptions::default().with_budget(Duration::from_secs(5))
+    }
+
+    #[test]
+    fn serial_history_ok() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).read_list(1, [1]).append(1, 2).commit();
+        b.txn(2).read_list(1, [1, 2]).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+    }
+
+    #[test]
+    fn concurrent_reorderable_ok() {
+        // Two concurrent appends observed in one order.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(10)).commit();
+        b.txn(1).append(1, 2).at(1, Some(9)).commit();
+        b.txn(2).read_list(1, [2, 1]).at(11, Some(12)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+    }
+
+    #[test]
+    fn realtime_violation_detected() {
+        // T0 completes before T1 begins, yet T1 reads the initial state.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(1)).commit();
+        b.txn(1).read_list(1, []).at(2, Some(3)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Violation);
+    }
+
+    #[test]
+    fn stale_read_ok_when_concurrent() {
+        // Same as above but overlapping: T1 may linearize first.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(5)).commit();
+        b.txn(1).read_list(1, []).at(1, Some(4)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+    }
+
+    #[test]
+    fn read_skew_violation() {
+        // G-single: T2 reads x before T1's append but y after T1's append.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).append(2, 1).at(0, Some(10)).commit();
+        b.txn(1)
+            .read_list(1, [])
+            .read_list(2, [1])
+            .at(1, Some(9))
+            .commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Violation);
+    }
+
+    #[test]
+    fn indeterminate_txns_may_be_dropped() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, None).indeterminate();
+        b.txn(1).read_list(1, []).at(1, Some(2)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+    }
+
+    #[test]
+    fn indeterminate_txns_may_be_kept() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, None).indeterminate();
+        b.txn(1).read_list(1, [1]).at(1, Some(2)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+    }
+
+    #[test]
+    fn aborted_txns_excluded() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 9).abort();
+        b.txn(1).read_list(1, []).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+    }
+
+    #[test]
+    fn aborted_read_is_violation() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 9).abort();
+        b.txn(1).read_list(1, [9]).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Violation);
+    }
+
+    #[test]
+    fn register_histories_supported() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(1, 5).commit();
+        b.txn(1).read_register(1, Some(5)).write(1, 6).commit();
+        b.txn(2).read_register(1, Some(6)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+        // And a violation:
+        let mut b = HistoryBuilder::new();
+        b.txn(0).write(1, 5).at(0, Some(1)).commit();
+        b.txn(1).read_register(1, None).at(2, Some(3)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Violation);
+    }
+
+    #[test]
+    fn timeout_reports_unknown() {
+        // Many concurrent blind appends with an impossible final read far
+        // in the future can take a while; use a zero budget to force
+        // Unknown deterministically.
+        let mut b = HistoryBuilder::new();
+        for i in 0..12u64 {
+            b.txn(i as u32).append(1, i + 1).at(0, Some(100)).commit();
+        }
+        let o = KnossosOptions::default().with_budget(Duration::from_nanos(0));
+        let r = check(&b.build(), o);
+        assert_eq!(r.outcome, KnossosOutcome::Unknown);
+    }
+
+    #[test]
+    fn empty_history_ok() {
+        let r = check(&History::default(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+    }
+
+    #[test]
+    fn long_serial_chain_is_linear_work() {
+        // 500 strictly sequential txns: the realtime frontier admits one
+        // candidate at a time, so the search is linear.
+        let mut b = HistoryBuilder::new();
+        let mut expect = Vec::new();
+        for i in 0..500u64 {
+            expect.push(i + 1);
+            b.txn(0)
+                .append(1, i + 1)
+                .read_list(1, expect.iter().copied())
+                .commit();
+        }
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+        assert!(r.states_explored <= 501, "{} states", r.states_explored);
+    }
+
+    #[test]
+    fn mixed_register_and_list_history() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).write(2, 7).commit();
+        b.txn(1)
+            .read_list(1, [1])
+            .read_register(2, Some(7))
+            .write(2, 8)
+            .commit();
+        b.txn(2).read_register(2, Some(8)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+        // And a contradiction across the two datatypes:
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).write(2, 7).at(0, Some(10)).commit();
+        b.txn(1)
+            .read_list(1, [1]) // saw the append...
+            .read_register(2, None) // ...but not the register write
+            .at(1, Some(9))
+            .commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Violation);
+    }
+
+    #[test]
+    fn realtime_constraint_spans_processes() {
+        // T0 (p0) completes before T1 (p1) invokes; a linearization
+        // putting T1 first is not allowed.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).at(0, Some(1)).commit();
+        b.txn(1).append(1, 2).at(2, Some(3)).commit();
+        b.txn(2).read_list(1, [2, 1]).at(4, Some(5)).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Violation);
+    }
+
+    #[test]
+    fn unconstrained_reads_do_not_constrain() {
+        // A read with no observed value (e.g. from an info txn) is a free
+        // variable.
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).mop(Mop::read(1)).at(2, None).indeterminate();
+        b.txn(2).read_list(1, [1]).commit();
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+    }
+
+    #[test]
+    fn states_counter_reports_work() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..6u64 {
+            b.txn(i as u32).append(1, i + 1).at(0, Some(100)).commit();
+        }
+        let r = check(&b.build(), opts());
+        assert_eq!(r.outcome, KnossosOutcome::Ok);
+        assert!(r.states_explored >= 6);
+        assert!(r.elapsed.as_secs() < 5);
+    }
+}

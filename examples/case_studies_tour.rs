@@ -1,0 +1,90 @@
+//! A tour of the paper's four case studies (§7.1–§7.4) through the public
+//! API: each simulated bug, the check that catches it, and the paper's
+//! reported signature.
+//!
+//! ```sh
+//! cargo run --example case_studies_tour
+//! ```
+
+use elle::prelude::*;
+
+fn workload(kind: ObjectKind, seed: u64) -> GenParams {
+    GenParams {
+        n_txns: 600,
+        min_txn_len: 2,
+        max_txn_len: 5,
+        active_keys: 4,
+        writes_per_key: 128,
+        read_prob: 0.5,
+        kind,
+        seed,
+            final_reads: false,
+        }
+}
+
+fn main() {
+    // §7.1 TiDB: silent retries under claimed snapshot isolation.
+    let h = run_workload(
+        workload(ObjectKind::ListAppend, 1),
+        DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend)
+            .with_processes(8)
+            .with_seed(1)
+            .with_bug(Bug::SilentRetry),
+    )
+    .unwrap();
+    let r = Checker::new(CheckOptions::snapshot_isolation()).check(&h);
+    println!("TiDB (SilentRetry): ok={} types={:?}", r.ok(), r.types());
+
+    // §7.2 YugaByte: stale read timestamps under claimed strict-1SR.
+    let h = run_workload(
+        workload(ObjectKind::ListAppend, 2),
+        DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+            .with_processes(10)
+            .with_seed(2)
+            .with_bug(Bug::StaleReadTimestamp {
+                period: 400,
+                window: 120,
+                lag: 0,
+            }),
+    )
+    .unwrap();
+    let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
+    println!("YugaByte (StaleReadTimestamp): ok={} types={:?}", r.ok(), r.types());
+
+    // §7.3 FaunaDB: index reads missing tentative writes.
+    let h = run_workload(
+        workload(ObjectKind::ListAppend, 3),
+        DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+            .with_processes(6)
+            .with_seed(3)
+            .with_bug(Bug::IndexMissesOwnWrites { prob: 0.25 }),
+    )
+    .unwrap();
+    let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
+    println!("FaunaDB (IndexMissesOwnWrites): ok={} types={:?}", r.ok(), r.types());
+
+    // §7.4 Dgraph: fresh-shard nil reads on registers.
+    let h = run_workload(
+        workload(ObjectKind::Register, 4),
+        DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::Register)
+            .with_processes(8)
+            .with_seed(4)
+            .with_bug(Bug::FreshShardNilReads {
+                period: 300,
+                window: 90,
+                shards: 4,
+            }),
+    )
+    .unwrap();
+    let opts = CheckOptions::snapshot_isolation()
+        .with_process_edges(true)
+        .with_realtime_edges(true)
+        .with_registers(RegisterOptions {
+            initial_state: true,
+            writes_follow_reads: true,
+            sequential_keys: true,
+            linearizable_keys: true,
+        });
+    let r = Checker::new(opts).check(&h);
+    println!("Dgraph (FreshShardNilReads): ok={} types={:?}", r.ok(), r.types());
+}

@@ -1,0 +1,51 @@
+//! Parallel auditing: the simulator run is deterministic and
+//! single-threaded, but histories and the checker are `Send`, so a fleet
+//! of configurations can be audited concurrently — the way a CI matrix
+//! would run Jepsen tests.
+//!
+//! ```sh
+//! cargo run --example stress_threads
+//! ```
+
+use elle::prelude::*;
+
+fn main() {
+    let levels = [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable,
+        IsolationLevel::StrictSerializable,
+    ];
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &level in &levels {
+            for seed in 0..4u64 {
+                handles.push(scope.spawn(move |_| {
+                    let params = GenParams {
+                        n_txns: 800,
+                        min_txn_len: 1,
+                        max_txn_len: 5,
+                        active_keys: 5,
+                        writes_per_key: 64,
+                        read_prob: 0.5,
+                        kind: ObjectKind::ListAppend,
+                        seed,
+            final_reads: false,
+        };
+                    let db = DbConfig::new(level, ObjectKind::ListAppend)
+                        .with_processes(8)
+                        .with_seed(seed);
+                    let h = run_workload(params, db).expect("pairs");
+                    let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
+                    (level, seed, r.ok(), r.types().len())
+                }));
+            }
+        }
+        for h in handles {
+            let (level, seed, ok, kinds) = h.join().expect("no panics");
+            println!("{level:?} seed={seed}: strict-1SR ok={ok} ({kinds} anomaly types)");
+        }
+    })
+    .expect("scope");
+}

@@ -1,0 +1,151 @@
+//! Command-line checker: read a JSON history (as produced by
+//! `elle_history::history_to_json` or any compatible harness), run Elle,
+//! and print the report.
+//!
+//! ```sh
+//! elle-check history.json --model snapshot-isolation --realtime --process
+//! elle-check history.json --json            # machine-readable report
+//! elle-check --demo                         # check a built-in example
+//! ```
+//!
+//! Exit status: 0 when the expected model holds, 1 when violated, 2 on
+//! usage or input errors.
+
+use elle::prelude::*;
+use std::process::ExitCode;
+
+fn parse_model(s: &str) -> Option<ConsistencyModel> {
+    ConsistencyModel::ALL
+        .into_iter()
+        .find(|m| m.name() == s)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: elle-check <history.json> [options]\n\
+         \n\
+         options:\n\
+         --model <name>   expected model (default strict-serializable):\n\
+         {}\n\
+         --process        derive session-order edges\n\
+         --realtime       derive real-time edges\n\
+         --timestamps     derive start-ordered (database timestamp) edges\n\
+         --linearizable-keys  assume per-key linearizability (registers)\n\
+         --sequential-keys    assume per-key sequential consistency\n\
+         --max-cycles <n> cap reported cycles per anomaly type\n\
+         --json           print the full report as JSON\n\
+         --demo           check a built-in anomalous example",
+        ConsistencyModel::ALL
+            .map(|m| format!("                   {}", m.name()))
+            .join("\n")
+    );
+    ExitCode::from(2)
+}
+
+fn demo_history() -> History {
+    // The paper's §7.1 TiDB trio.
+    let mut b = HistoryBuilder::new();
+    b.txn(9).append(34, 2).commit();
+    b.txn(9).append(34, 1).commit();
+    b.txn(0)
+        .read_list(34, [2, 1])
+        .append(36, 5)
+        .append(34, 4)
+        .at(4, Some(20))
+        .commit();
+    b.txn(1).append(34, 5).at(5, Some(19)).commit();
+    b.txn(2).read_list(34, [2, 1, 5, 4]).at(21, Some(22)).commit();
+    b.build()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let mut path: Option<String> = None;
+    let mut opts = CheckOptions::strict_serializable()
+        .with_process_edges(false)
+        .with_realtime_edges(false);
+    let mut registers = RegisterOptions::default();
+    let mut as_json = false;
+    let mut demo = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => {
+                let Some(name) = it.next() else { return usage() };
+                let Some(m) = parse_model(name) else {
+                    eprintln!("unknown model {name:?}");
+                    return usage();
+                };
+                opts.expected = m;
+            }
+            "--process" => opts = opts.with_process_edges(true),
+            "--realtime" => opts = opts.with_realtime_edges(true),
+            "--timestamps" => opts = opts.with_timestamp_edges(true),
+            "--linearizable-keys" => registers.linearizable_keys = true,
+            "--sequential-keys" => registers.sequential_keys = true,
+            "--max-cycles" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                opts = opts.with_max_cycles(n);
+            }
+            "--json" => as_json = true,
+            "--demo" => demo = true,
+            "--help" | "-h" => return usage(),
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unrecognized argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    opts = opts.with_registers(registers);
+
+    let history = if demo {
+        demo_history()
+    } else {
+        let Some(path) = path else { return usage() };
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match elle::history::history_from_json(&raw) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let report = Checker::new(opts).check(&history);
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        print!("{}", report.summary());
+        for w in &report.warnings {
+            println!("warning: {w}");
+        }
+        for a in report.anomalies.iter().take(opts.max_cycles_per_type) {
+            println!("\n{a}");
+        }
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,75 @@
+//! The `elle-check` command-line interface, end to end.
+
+use elle::prelude::*;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elle-check"))
+}
+
+#[test]
+fn demo_flags_violation_with_exit_code_1() {
+    let out = bin()
+        .args(["--demo", "--model", "snapshot-isolation"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("G-single"), "{stdout}");
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+}
+
+#[test]
+fn checks_a_history_file() {
+    // Generate a clean strict-serializable history and write it out.
+    let params = GenParams::contended(100, ObjectKind::ListAppend).with_seed(3);
+    let db = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+        .with_processes(4)
+        .with_seed(3);
+    let h = run_workload(params, db).unwrap();
+    let dir = std::env::temp_dir();
+    let path = dir.join("elle_cli_test_history.json");
+    std::fs::write(&path, elle::history::history_to_json(&h)).unwrap();
+
+    let out = bin()
+        .args([
+            path.to_str().unwrap(),
+            "--model",
+            "strict-serializable",
+            "--process",
+            "--realtime",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no anomalies found"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn json_output_parses_as_report() {
+    let out = bin()
+        .args(["--demo", "--json"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let report: Report = serde_json::from_str(&stdout).expect("valid report JSON");
+    assert!(!report.anomalies.is_empty());
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["--demo", "--model", "no-such-model"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["/nonexistent/file.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

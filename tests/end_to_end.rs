@@ -1,0 +1,145 @@
+//! Facade-level end-to-end flows: export/import, report shape, and the
+//! full generate → simulate → pair → check → explain pipeline.
+
+use elle::prelude::*;
+
+#[test]
+fn full_pipeline_through_json() {
+    // Generate against a buggy database…
+    let params = GenParams::contended(300, ObjectKind::ListAppend).with_seed(4);
+    let db = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend)
+        .with_processes(6)
+        .with_seed(4)
+        .with_bug(Bug::SilentRetry);
+    let h = run_workload(params, db).unwrap();
+
+    // …ship the observation as JSON (as a Jepsen harness would)…
+    let json = elle::history::history_to_json(&h);
+    let h2 = elle::history::history_from_json(&json).unwrap();
+    assert_eq!(h, h2);
+
+    // …and check the imported copy.
+    let r1 = Checker::new(CheckOptions::snapshot_isolation()).check(&h);
+    let r2 = Checker::new(CheckOptions::snapshot_isolation()).check(&h2);
+    assert_eq!(
+        serde_json::to_string(&r1).unwrap(),
+        serde_json::to_string(&r2).unwrap()
+    );
+    assert!(!r1.ok());
+}
+
+#[test]
+fn report_is_json_exportable() {
+    let params = GenParams::contended(200, ObjectKind::ListAppend);
+    let db = DbConfig::new(IsolationLevel::ReadCommitted, ObjectKind::ListAppend)
+        .with_processes(6)
+        .with_seed(9);
+    let h = run_workload(params, db).unwrap();
+    let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
+    let json = serde_json::to_string_pretty(&r).unwrap();
+    assert!(json.contains("anomaly_counts"));
+    let back: Report = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.stats.txns, r.stats.txns);
+    assert_eq!(back.anomalies.len(), r.anomalies.len());
+}
+
+#[test]
+fn explanations_name_real_transactions() {
+    let params = GenParams::contended(400, ObjectKind::ListAppend).with_seed(2);
+    let db = DbConfig::new(IsolationLevel::ReadCommitted, ObjectKind::ListAppend)
+        .with_processes(8)
+        .with_seed(2);
+    let h = run_workload(params, db).unwrap();
+    let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
+    for a in r.anomalies.iter().filter(|a| a.typ.is_cycle()) {
+        // Every cycle step's endpoints appear in the history and the
+        // explanation mentions each transaction by name.
+        assert!(a.steps.len() >= 2);
+        for s in &a.steps {
+            assert!(s.from.idx() < h.len());
+            assert!(s.to.idx() < h.len());
+            assert!(a.explanation.contains(&s.from.to_string()));
+        }
+        // Steps chain into a cycle.
+        for w in a.steps.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(a.steps.last().unwrap().to, a.steps[0].from);
+        assert!(a.explanation.ends_with("a contradiction!\n"));
+    }
+}
+
+#[test]
+fn summary_mentions_expectation_and_counts() {
+    let mut b = HistoryBuilder::new();
+    b.txn(0).append(1, 1).abort();
+    b.txn(1).read_list(1, [1]).commit();
+    let r = Checker::new(CheckOptions::read_committed()).check(&b.build());
+    let s = r.summary();
+    assert!(s.contains("G1a"));
+    assert!(s.contains("read-committed"));
+    assert!(s.contains("VIOLATED"));
+}
+
+#[test]
+fn empty_history_is_trivially_everything() {
+    let r = Checker::new(CheckOptions::strict_serializable()).check(&History::default());
+    assert!(r.ok());
+    assert_eq!(
+        r.strongest_satisfiable,
+        vec![ConsistencyModel::StrictSerializable]
+    );
+}
+
+#[test]
+fn observed_write_coverage_improves_with_final_reads() {
+    // §3: "so long as histories are long and include reads every so
+    // often, the unknown fraction of a version order can be made
+    // relatively small" — the final-read pass shrinks the unobserved tail.
+    let base = GenParams {
+        n_txns: 300,
+        min_txn_len: 1,
+        max_txn_len: 4,
+        active_keys: 4,
+        writes_per_key: 64,
+        read_prob: 0.3,
+        kind: ObjectKind::ListAppend,
+        seed: 8,
+        final_reads: false,
+    };
+    let db = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+        .with_processes(6)
+        .with_seed(8);
+    let without = Checker::new(CheckOptions::strict_serializable())
+        .check(&run_workload(base, db).unwrap());
+    let with = Checker::new(CheckOptions::strict_serializable())
+        .check(&run_workload(base.with_final_reads(true), db).unwrap());
+    assert!(without.stats.committed_writes > 0);
+    let frac = |r: &Report| r.stats.observed_writes as f64 / r.stats.committed_writes as f64;
+    assert!(
+        frac(&with) > frac(&without),
+        "final reads should raise coverage: {} vs {}",
+        frac(&with),
+        frac(&without)
+    );
+    assert!(with.ok() && without.ok());
+}
+
+#[test]
+fn dot_export_of_cycles() {
+    let mut b = HistoryBuilder::new();
+    b.txn(9).append(34, 2).commit();
+    b.txn(9).append(34, 1).commit();
+    b.txn(0)
+        .read_list(34, [2, 1])
+        .append(34, 4)
+        .at(4, Some(20))
+        .commit();
+    b.txn(1).append(34, 5).at(5, Some(19)).commit();
+    b.txn(2).read_list(34, [2, 1, 5, 4]).at(21, Some(22)).commit();
+    let r = Checker::new(CheckOptions::snapshot_isolation()).check(&b.build());
+    let a = r.of_type(AnomalyType::GSingle).next().expect("read skew");
+    let dot = elle::core::explain::cycle_dot(&a.steps);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("rw"));
+}

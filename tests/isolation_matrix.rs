@@ -1,0 +1,296 @@
+//! The isolation matrix: run the simulator at every isolation level and
+//! assert the checker finds exactly the anomaly classes that level
+//! permits — jointly validating the engine and the checker against each
+//! other (if either were wrong, some cell would light up).
+
+use elle::prelude::*;
+
+/// A contended read-modify-write workload that provokes anomalies fast.
+fn run(iso: IsolationLevel, seed: u64, n: usize) -> History {
+    let params = GenParams {
+        n_txns: n,
+        min_txn_len: 2,
+        max_txn_len: 5,
+        active_keys: 4,
+        writes_per_key: 128,
+        read_prob: 0.5,
+        kind: ObjectKind::ListAppend,
+        seed,
+            final_reads: false,
+        };
+    let db = DbConfig::new(iso, ObjectKind::ListAppend)
+        .with_processes(8)
+        .with_seed(seed);
+    run_workload(params, db).expect("histories pair")
+}
+
+fn check(h: &History, opts: CheckOptions) -> Report {
+    Checker::new(opts).check(h)
+}
+
+fn cycle_bases(r: &Report) -> Vec<AnomalyType> {
+    let mut v: Vec<AnomalyType> = r
+        .anomaly_counts
+        .keys()
+        .filter(|t| t.is_cycle())
+        .map(|t| t.base())
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn strict_serializable_is_clean() {
+    for seed in [1, 2, 3] {
+        let h = run(IsolationLevel::StrictSerializable, seed, 400);
+        let r = check(&h, CheckOptions::strict_serializable());
+        assert!(r.ok(), "seed {seed}:\n{}", r.summary());
+        assert!(r.anomalies.is_empty(), "seed {seed}:\n{}", r.summary());
+    }
+}
+
+#[test]
+fn serializable_with_stale_reads_passes_serializable() {
+    for seed in [1, 2, 3] {
+        let params = GenParams {
+            n_txns: 400,
+            min_txn_len: 1,
+            max_txn_len: 4,
+            active_keys: 3,
+            writes_per_key: 128,
+            read_prob: 0.6,
+            kind: ObjectKind::ListAppend,
+            seed,
+            final_reads: false,
+        };
+        let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+            .with_processes(8)
+            .with_seed(seed)
+            .with_stale_readonly(0.8, 6);
+        let h = run_workload(params, db).unwrap();
+        // Plain serializability holds…
+        let r = check(&h, CheckOptions::serializable());
+        assert!(r.ok(), "seed {seed}:\n{}", r.summary());
+        // …and any strict-check finding must be a session- or realtime-
+        // augmented cycle (stale snapshots break both orders, neither of
+        // which plain serializability promises).
+        let strict = check(&h, CheckOptions::strict_serializable());
+        for t in strict.types() {
+            assert!(
+                t.is_cycle() && t != t.base(),
+                "seed {seed}: unexpected {t}\n{}",
+                strict.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn serializable_stale_reads_do_violate_strictness() {
+    // At least one seed must actually exhibit the realtime violation —
+    // otherwise the test above is vacuous.
+    let mut violations = 0;
+    for seed in 1..=8 {
+        let params = GenParams {
+            n_txns: 400,
+            min_txn_len: 1,
+            max_txn_len: 4,
+            active_keys: 3,
+            writes_per_key: 128,
+            read_prob: 0.6,
+            kind: ObjectKind::ListAppend,
+            seed,
+            final_reads: false,
+        };
+        let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+            .with_processes(8)
+            .with_seed(seed)
+            .with_stale_readonly(0.8, 6);
+        let h = run_workload(params, db).unwrap();
+        if !check(&h, CheckOptions::strict_serializable()).ok() {
+            violations += 1;
+        }
+    }
+    assert!(violations > 0, "stale reads never violated strictness");
+}
+
+#[test]
+fn snapshot_isolation_passes_si_shows_write_skew() {
+    let mut saw_g2 = false;
+    for seed in 1..=6 {
+        let h = run(IsolationLevel::SnapshotIsolation, seed, 600);
+        // SI holds, including its strong (session/realtime) variants.
+        let r = check(
+            &h,
+            CheckOptions::snapshot_isolation()
+                .with_process_edges(true)
+                .with_realtime_edges(true),
+        );
+        assert!(r.ok(), "seed {seed}:\n{}", r.summary());
+        // No SI-proscribed anomalies of any kind:
+        for t in r.types() {
+            assert!(
+                !matches!(
+                    t,
+                    AnomalyType::G0
+                        | AnomalyType::G1a
+                        | AnomalyType::G1b
+                        | AnomalyType::G1c
+                        | AnomalyType::GSingle
+                        | AnomalyType::LostUpdate
+                        | AnomalyType::Internal
+                        | AnomalyType::IncompatibleOrder
+                ),
+                "seed {seed}: SI must not show {t}\n{}",
+                r.summary()
+            );
+        }
+        saw_g2 |= cycle_bases(&r).contains(&AnomalyType::G2Item);
+    }
+    assert!(saw_g2, "no write skew in any SI run — workload too tame");
+}
+
+#[test]
+fn read_committed_passes_rc_shows_read_skew() {
+    let mut saw_skew = false;
+    let mut saw_lost_update = false;
+    for seed in 1..=6 {
+        let h = run(IsolationLevel::ReadCommitted, seed, 600);
+        let r = check(&h, CheckOptions::read_committed());
+        assert!(r.ok(), "seed {seed}:\n{}", r.summary());
+        // RC never exposes uncommitted or intermediate data:
+        for t in r.types() {
+            assert!(
+                !matches!(
+                    t,
+                    AnomalyType::G0
+                        | AnomalyType::G1a
+                        | AnomalyType::G1b
+                        | AnomalyType::G1c
+                        | AnomalyType::DirtyUpdate
+                        | AnomalyType::GarbageRead
+                        | AnomalyType::IncompatibleOrder
+                ),
+                "seed {seed}: RC must not show {t}\n{}",
+                r.summary()
+            );
+        }
+        let bases = cycle_bases(&r);
+        saw_skew |= bases.contains(&AnomalyType::GSingle) || bases.contains(&AnomalyType::G2Item);
+        saw_lost_update |= r.anomaly_counts.contains_key(&AnomalyType::LostUpdate);
+    }
+    assert!(saw_skew, "read committed never produced skew");
+    assert!(saw_lost_update, "read committed never produced lost updates");
+}
+
+#[test]
+fn read_uncommitted_shows_g1_zoo() {
+    let mut saw = std::collections::BTreeSet::new();
+    for seed in 1..=8 {
+        let params = GenParams {
+            n_txns: 500,
+            min_txn_len: 2,
+            max_txn_len: 5,
+            active_keys: 3,
+            writes_per_key: 256,
+            read_prob: 0.5,
+            kind: ObjectKind::ListAppend,
+            seed,
+            final_reads: false,
+        };
+        let db = DbConfig::new(IsolationLevel::ReadUncommitted, ObjectKind::ListAppend)
+            .with_processes(8)
+            .with_seed(seed)
+            .with_faults(FaultPlan {
+                info_prob: 0.0,
+                server_abort_prob: 0.2,
+                crash_on_info: false,
+            });
+        let h = run_workload(params, db).unwrap();
+        let r = check(&h, CheckOptions::strict_serializable());
+        saw.extend(r.types());
+    }
+    // The dirty-read family must appear.
+    assert!(
+        saw.contains(&AnomalyType::G1a),
+        "no aborted reads under read-uncommitted; saw {saw:?}"
+    );
+    assert!(
+        saw.contains(&AnomalyType::G1b) || saw.contains(&AnomalyType::DirtyUpdate),
+        "no intermediate reads / dirty updates under read-uncommitted; saw {saw:?}"
+    );
+}
+
+#[test]
+fn faults_do_not_create_false_positives_under_strict_serializability() {
+    // Lost acks and crashes create indeterminate txns and high logical
+    // concurrency, but the engine stays strict-serializable — Elle must
+    // stay silent (soundness under faults).
+    for seed in [7, 17] {
+        let params = GenParams {
+            n_txns: 500,
+            min_txn_len: 1,
+            max_txn_len: 5,
+            active_keys: 5,
+            writes_per_key: 64,
+            read_prob: 0.5,
+            kind: ObjectKind::ListAppend,
+            seed,
+            final_reads: false,
+        };
+        let db = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+            .with_processes(8)
+            .with_seed(seed)
+            .with_faults(FaultPlan {
+                info_prob: 0.15,
+                server_abort_prob: 0.1,
+                crash_on_info: true,
+            });
+        let h = run_workload(params, db).unwrap();
+        let r = check(&h, CheckOptions::strict_serializable());
+        assert!(r.ok(), "seed {seed}:\n{}", r.summary());
+        assert!(r.anomalies.is_empty(), "seed {seed}:\n{}", r.summary());
+    }
+}
+
+#[test]
+fn matrix_over_register_workloads() {
+    // Registers: strict-serializable stays clean; read-committed shows
+    // lost updates (blind overwrites discard concurrent RMWs).
+    let params = GenParams {
+        n_txns: 500,
+        min_txn_len: 2,
+        max_txn_len: 4,
+        active_keys: 3,
+        writes_per_key: 128,
+        read_prob: 0.5,
+        kind: ObjectKind::Register,
+        seed: 5,
+            final_reads: false,
+        };
+    let strict = run_workload(
+        params,
+        DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::Register)
+            .with_processes(8)
+            .with_seed(5),
+    )
+    .unwrap();
+    let r = Checker::new(CheckOptions::strict_serializable()).check(&strict);
+    assert!(r.ok(), "{}", r.summary());
+
+    let mut saw_lost = false;
+    for seed in 1..=6 {
+        let rc = run_workload(
+            params.with_seed(seed),
+            DbConfig::new(IsolationLevel::ReadCommitted, ObjectKind::Register)
+                .with_processes(8)
+                .with_seed(seed),
+        )
+        .unwrap();
+        let r = Checker::new(CheckOptions::read_committed()).check(&rc);
+        assert!(r.ok(), "seed {seed}:\n{}", r.summary());
+        saw_lost |= r.anomaly_counts.contains_key(&AnomalyType::LostUpdate);
+    }
+    assert!(saw_lost, "no register lost updates under read committed");
+}

@@ -1,0 +1,121 @@
+//! End-to-end property tests: the simulator and checker validate each
+//! other across randomized parameters.
+
+use elle::prelude::*;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = (GenParams, u64, usize)> {
+    (
+        1usize..=5,   // max txn len
+        1usize..=6,   // active keys
+        1u64..=128,   // writes per key
+        0.0f64..=0.9, // read prob
+        any::<u64>(), // seed
+        1usize..=8,   // processes
+        50usize..=200,
+    )
+        .prop_map(|(len, keys, wpk, rp, seed, procs, n)| {
+            (
+                GenParams {
+                    n_txns: n,
+                    min_txn_len: 1,
+                    max_txn_len: len,
+                    active_keys: keys,
+                    writes_per_key: wpk,
+                    read_prob: rp,
+                    kind: ObjectKind::ListAppend,
+                    seed,
+            final_reads: false,
+        },
+                seed,
+                procs,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness, jointly: a strict-serializable engine must never trip
+    /// the checker, for any workload shape, seed, or fault plan.
+    #[test]
+    fn strict_serializable_engine_is_never_flagged((params, seed, procs) in arb_params(),
+                                                   faults in prop::bool::ANY) {
+        let db = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed)
+            .with_faults(if faults { FaultPlan::typical() } else { FaultPlan::none() });
+        let h = run_workload(params, db).unwrap();
+        let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
+        prop_assert!(r.ok(), "{}", r.summary());
+        prop_assert!(r.anomalies.is_empty(), "{}", r.summary());
+    }
+
+    /// Snapshot isolation never produces SI-proscribed anomalies.
+    #[test]
+    fn snapshot_isolation_engine_respects_si((params, seed, procs) in arb_params()) {
+        let db = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed);
+        let h = run_workload(params, db).unwrap();
+        let r = Checker::new(
+            CheckOptions::snapshot_isolation()
+                .with_process_edges(true)
+                .with_realtime_edges(true),
+        )
+        .check(&h);
+        prop_assert!(r.ok(), "{}", r.summary());
+    }
+
+    /// Committed reads of one key always form a prefix chain under
+    /// snapshot isolation and stronger (traceability in action).
+    #[test]
+    fn committed_reads_form_prefix_chains((params, seed, procs) in arb_params()) {
+        let db = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed);
+        let h = run_workload(params, db).unwrap();
+        let mut longest: std::collections::HashMap<Key, Vec<Elem>> = Default::default();
+        for t in h.committed() {
+            for (_, k, v) in t.observed_reads() {
+                if let Some(l) = v.as_list() {
+                    let slot = longest.entry(k).or_default();
+                    if l.len() > slot.len() {
+                        *slot = l.to_vec();
+                    }
+                }
+            }
+        }
+        for t in h.committed() {
+            for (_, k, v) in t.observed_reads() {
+                if let Some(l) = v.as_list() {
+                    let lg = &longest[&k];
+                    prop_assert_eq!(&lg[..l.len()], l, "key {} read not a prefix", k);
+                }
+            }
+        }
+    }
+
+    /// The generator never reuses a write argument (recoverability).
+    #[test]
+    fn generator_maintains_recoverability((params, seed, procs) in arb_params()) {
+        let db = DbConfig::new(IsolationLevel::ReadCommitted, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed);
+        let h = run_workload(params, db).unwrap();
+        prop_assert!(elle::history::duplicate_written_elems(&h).is_empty());
+    }
+
+    /// Checking is deterministic: same history, same report.
+    #[test]
+    fn checker_is_deterministic((params, seed, procs) in arb_params()) {
+        let db = DbConfig::new(IsolationLevel::ReadCommitted, ObjectKind::ListAppend)
+            .with_processes(procs)
+            .with_seed(seed);
+        let h = run_workload(params, db).unwrap();
+        let r1 = Checker::new(CheckOptions::strict_serializable()).check(&h);
+        let r2 = Checker::new(CheckOptions::strict_serializable()).check(&h);
+        prop_assert_eq!(serde_json::to_string(&r1).unwrap(),
+                        serde_json::to_string(&r2).unwrap());
+    }
+}
