@@ -44,15 +44,7 @@ fn bench_cycle_search(c: &mut Criterion) {
     let sccs = tarjan_scc(&g, EdgeMask::ALL);
     let comp = sccs.into_iter().max_by_key(Vec::len).unwrap_or_default();
     grp.bench_function("largest_component", |b| {
-        b.iter(|| {
-            find_cycle_with_single(
-                &g,
-                &comp,
-                EdgeMask::RW,
-                EdgeMask::WW | EdgeMask::WR,
-                4,
-            )
-        })
+        b.iter(|| find_cycle_with_single(&g, &comp, EdgeMask::RW, EdgeMask::WW | EdgeMask::WR, 4))
     });
     grp.finish();
 }

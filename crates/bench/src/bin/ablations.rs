@@ -27,8 +27,8 @@ fn contended(kind: ObjectKind, iso: IsolationLevel, seed: u64) -> History {
         read_prob: 0.5,
         kind,
         seed,
-            final_reads: false,
-        };
+        final_reads: false,
+    };
     let db = DbConfig::new(iso, kind).with_processes(8).with_seed(seed);
     run_workload(params, db).expect("history pairs")
 }

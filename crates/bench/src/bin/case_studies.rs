@@ -85,8 +85,8 @@ fn run_scenario(s: &Scenario, seed: u64) -> (History, Report) {
         read_prob: 0.5,
         kind: s.kind,
         seed,
-            final_reads: false,
-        };
+        final_reads: false,
+    };
     let db = DbConfig::new(s.isolation, s.kind)
         .with_processes(8)
         .with_seed(seed)

@@ -63,7 +63,10 @@ fn main() {
             "Lists",
             "[]",
             "w([e1..en], a) -> ([e1..en, a], nil)",
-            demo(ObjectKind::ListAppend, [Mop::append(0, 1), Mop::append(0, 2)]),
+            demo(
+                ObjectKind::ListAppend,
+                [Mop::append(0, 1), Mop::append(0, 2)],
+            ),
         ),
     ];
     for (obj, versions, init, semantics, result) in rows {

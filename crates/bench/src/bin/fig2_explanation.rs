@@ -11,7 +11,11 @@ fn main() {
     // Seed transactions establish the version orders the paper's reads
     // imply: 253 = [1 3 4], 255 = [2 3 4 5 8], 256 = [1 2 4 3].
     let mut b = HistoryBuilder::new();
-    b.txn(9).append(253, 1).append(253, 3).append(253, 4).commit();
+    b.txn(9)
+        .append(253, 1)
+        .append(253, 3)
+        .append(253, 4)
+        .commit();
     b.txn(9)
         .append(255, 2)
         .append(255, 3)
@@ -45,7 +49,10 @@ fn main() {
         .commit();
     // A final observer witnessing that T1's append of 3 to 256 landed
     // after T3's append of 4.
-    b.txn(9).read_list(256, [1, 2, 4, 3]).at(21, Some(22)).commit();
+    b.txn(9)
+        .read_list(256, [1, 2, 4, 3])
+        .at(21, Some(22))
+        .commit();
 
     let history = b.build();
     let report = Checker::new(CheckOptions::strict_serializable()).check(&history);

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Every anomaly class Elle can report (§4.3, §6, §6.1 of the paper).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AnomalyType {
     // ── Non-cycle anomalies ────────────────────────────────────────────
     /// Aborted read: a committed transaction observed a version written by

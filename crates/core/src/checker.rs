@@ -411,12 +411,19 @@ mod tests {
             .at(4, Some(20))
             .commit();
         b.txn(1).append(34, 5).at(5, Some(19)).commit();
-        b.txn(2).read_list(34, [2, 1, 5, 4]).at(21, Some(22)).commit();
+        b.txn(2)
+            .read_list(34, [2, 1, 5, 4])
+            .at(21, Some(22))
+            .commit();
         let r = Checker::new(CheckOptions::snapshot_isolation()).check(&b.build());
         assert!(!r.ok(), "{}", r.summary());
         assert!(r.anomaly_counts.contains_key(&AnomalyType::GSingle));
         let a = r.of_type(AnomalyType::GSingle).next().unwrap();
-        assert!(a.explanation.contains("did not observe"), "{}", a.explanation);
+        assert!(
+            a.explanation.contains("did not observe"),
+            "{}",
+            a.explanation
+        );
     }
 
     #[test]
@@ -451,12 +458,13 @@ mod tests {
             .with_process_edges(true)
             .with_realtime_edges(false);
         let r = Checker::new(opts).check(&h);
-        assert!(r
-            .anomaly_counts
-            .keys()
-            .any(|t| matches!(t, AnomalyType::GSingleProcess | AnomalyType::G1cProcess)),
+        assert!(
+            r.anomaly_counts
+                .keys()
+                .any(|t| matches!(t, AnomalyType::GSingleProcess | AnomalyType::G1cProcess)),
             "{}",
-            r.summary());
+            r.summary()
+        );
     }
 
     #[test]
@@ -497,8 +505,16 @@ mod tests {
         let mut b = HistoryBuilder::new();
         b.txn(0).append(1, 1).commit();
         b.txn(1).append(2, 2).commit();
-        b.txn(2).read_list(1, [1]).read_list(2, []).append(3, 1).commit();
-        b.txn(3).read_list(2, [2]).read_list(1, []).append(4, 1).commit();
+        b.txn(2)
+            .read_list(1, [1])
+            .read_list(2, [])
+            .append(3, 1)
+            .commit();
+        b.txn(3)
+            .read_list(2, [2])
+            .read_list(1, [])
+            .append(4, 1)
+            .commit();
         b.txn(4).read_list(3, [1]).read_list(4, [1]).commit();
         let h = b.build();
         let si = Checker::new(CheckOptions::snapshot_isolation()).check(&h);

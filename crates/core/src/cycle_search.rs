@@ -61,9 +61,8 @@ const PREFERENCE: [EdgeClass; 8] = [
 ];
 
 /// The value-dependency mask (no anti-dependencies).
-const INFO_FLOW: EdgeMask = EdgeMask(
-    EdgeMask::WW.0 | EdgeMask::WR.0 | EdgeMask::RR.0 | EdgeMask::VERSION.0,
-);
+const INFO_FLOW: EdgeMask =
+    EdgeMask(EdgeMask::WW.0 | EdgeMask::WR.0 | EdgeMask::RR.0 | EdgeMask::VERSION.0);
 
 /// Find and classify all cycle anomalies.
 pub fn find_cycle_anomalies(
@@ -123,7 +122,14 @@ pub fn find_cycle_anomalies(
             &mut out,
         );
         // G2-item: at least one rw, rw allowed everywhere.
-        collect_g2(deps, history, INFO_FLOW.union(EdgeMask::RW).union(extra), opts, &mut seen, &mut out);
+        collect_g2(
+            deps,
+            history,
+            INFO_FLOW.union(EdgeMask::RW).union(extra),
+            opts,
+            &mut seen,
+            &mut out,
+        );
     }
 
     // Cap per type (keep shortest cycles — they make the best witnesses).
@@ -183,13 +189,9 @@ fn collect_g2(
     out: &mut Vec<Anomaly>,
 ) {
     for scc in tarjan_scc(&deps.graph, allowed) {
-        for cyc in find_cycle_with_single(
-            &deps.graph,
-            &scc,
-            EdgeMask::RW,
-            allowed,
-            opts.max_per_type,
-        ) {
+        for cyc in
+            find_cycle_with_single(&deps.graph, &scc, EdgeMask::RW, allowed, opts.max_per_type)
+        {
             push_classified(deps, history, &cyc, allowed, seen, out);
         }
     }
@@ -242,8 +244,14 @@ fn push_classified(
 fn key_of(w: &crate::anomaly::Witness) -> Option<elle_history::Key> {
     use crate::anomaly::Witness::*;
     match w {
-        WwList { key, .. } | WrList { key, .. } | RwList { key, .. } | WwReg { key, .. }
-        | WrReg { key, .. } | RwReg { key, .. } | WrSet { key, .. } | RwSet { key, .. }
+        WwList { key, .. }
+        | WrList { key, .. }
+        | RwList { key, .. }
+        | WwReg { key, .. }
+        | WrReg { key, .. }
+        | RwReg { key, .. }
+        | WrSet { key, .. }
+        | RwSet { key, .. }
         | Rr { key } => Some(*key),
         Process { .. } | Realtime { .. } | Timestamp { .. } => None,
     }

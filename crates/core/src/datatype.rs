@@ -1,0 +1,576 @@
+//! The shared per-datatype analysis pipeline.
+//!
+//! The three recoverable datatypes (append-only lists, read-write
+//! registers, grow-only sets) used to carry near-identical copies of
+//! the same passes: write-level duplicate detection, per-read
+//! provenance checks (garbage reads, G1a aborted reads), internal
+//! consistency scaffolding, lost-update grouping, and the assembly of
+//! per-key results into a [`DepGraph`]. This module owns those passes
+//! once; each datatype implements [`DatatypeAnalysis`] and contributes
+//! only its genuinely unique logic (list traceability, register
+//! version-order inference, set subset semantics).
+//!
+//! **Key-partitioned parallelism.** Everything after the cheap serial
+//! passes is per-key independent: a key's element index, version
+//! order, and `wr`/`ww`/`rw` derivation never looks at another key.
+//! The driver therefore fans analysis out over keys on rayon and
+//! merges per-key sinks back **in sorted key order**, so the produced
+//! [`DepGraph`] and anomaly list are byte-identical to a sequential
+//! run — checked by `parallel_matches_sequential` in
+//! `crates/core/tests/datatype_props.rs`.
+
+use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::deps::DepGraph;
+use crate::observation::{DataType, ElemIndex, WriteRef};
+use elle_history::{Elem, History, Key, Mop, Transaction, TxnId, TxnStatus};
+use rayon::prelude::*;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The provenance index the shared passes consult — the element →
+/// writer mapping whose injectivity is exactly the paper's
+/// recoverability property (§4.2.3).
+pub type ProvenanceIndex = ElemIndex;
+
+/// Datatype-specific wording for the shared anomaly messages.
+#[derive(Debug, Clone, Copy)]
+pub struct Vocab {
+    /// The object noun: `"key"`, `"register"`, `"set"`.
+    pub object: &'static str,
+    /// What a written value is called: `"element"` or `"value"`.
+    pub item: &'static str,
+    /// The write verb, past tense: `"appended"`, `"wrote"`, `"added"`.
+    pub wrote: &'static str,
+    /// The write verb, past participle: `"appended"`, `"written"`,
+    /// `"added"`.
+    pub written: &'static str,
+    /// The write verb with preposition: `"appended to"`, `"written
+    /// to"`, `"added to"`.
+    pub wrote_to: &'static str,
+    /// The read-modify-write verb for lost-update messages:
+    /// `"appended to"`, `"wrote"`.
+    pub rmw: &'static str,
+    /// Report garbage once per reader (`true`) or once per element
+    /// (`false`, the list convention).
+    pub garbage_per_reader: bool,
+}
+
+/// Shared read-only context handed to every pass of one datatype run.
+pub struct AnalysisCtx<'h, C> {
+    /// The observation under analysis.
+    pub history: &'h History,
+    /// Element → writer provenance.
+    pub elems: &'h ProvenanceIndex,
+    /// The keys this datatype owns, as a set.
+    pub key_set: FxHashSet<Key>,
+    /// Datatype-specific configuration (e.g. register assumptions).
+    pub config: C,
+}
+
+/// Where one key's analysis deposits its findings. Sinks are merged by
+/// the driver in sorted key order, which is what keeps parallel runs
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct KeySink {
+    /// Non-cycle anomalies found for this key.
+    pub anomalies: Vec<Anomaly>,
+    /// Dependency edges, in discovery order.
+    pub edges: Vec<(TxnId, TxnId, Witness)>,
+    /// The inferred version order, when the datatype recovers one.
+    pub version_order: Option<Vec<Elem>>,
+    /// Set when the key's inferred version order was cyclic and the
+    /// key's dependencies were discarded.
+    pub cyclic: bool,
+}
+
+impl KeySink {
+    /// Record a non-cycle anomaly.
+    pub fn anomaly(&mut self, typ: AnomalyType, txns: Vec<TxnId>, key: Key, explanation: String) {
+        self.anomalies.push(Anomaly {
+            typ,
+            txns,
+            key: Some(key),
+            steps: vec![],
+            explanation,
+        });
+    }
+
+    /// Record a dependency edge.
+    pub fn edge(&mut self, from: TxnId, to: TxnId, witness: Witness) {
+        self.edges.push((from, to, witness));
+    }
+}
+
+/// The merged result of one datatype's run, consumed by the checker.
+#[derive(Debug, Default)]
+pub struct DriverOutput {
+    /// All dependency edges, as an IDSG fragment.
+    pub deps: DepGraph,
+    /// All non-cycle anomalies, in pass order then key order.
+    pub anomalies: Vec<Anomaly>,
+    /// Version orders recovered per key (lists).
+    pub version_orders: FxHashMap<Key, Vec<Elem>>,
+    /// Keys discarded for cyclic inferred version orders (registers).
+    pub cyclic_keys: Vec<Key>,
+}
+
+/// How the driver schedules per-key analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Parallel when there are enough keys to plausibly pay for it.
+    Auto,
+    /// Always sequential (the reference mode property tests compare
+    /// against).
+    Sequential,
+    /// Always parallel, regardless of key count.
+    Parallel,
+}
+
+/// Keys below this count are analyzed inline under
+/// [`Parallelism::Auto`]; thread fan-out costs more than it saves.
+const AUTO_PARALLEL_MIN_KEYS: usize = 8;
+
+/// `ELLE_SEQUENTIAL=1` pins [`Parallelism::Auto`] to sequential — used
+/// to record before/after benchmark numbers and to bisect any
+/// parallelism-related suspicion without rebuilding.
+fn auto_forced_sequential() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var_os("ELLE_SEQUENTIAL").is_some_and(|v| v == "1"))
+}
+
+/// One datatype's contribution to the pipeline: the hooks the shared
+/// driver calls, in order.
+pub trait DatatypeAnalysis {
+    /// Datatype-specific options ([`crate::RegisterOptions`] for
+    /// registers, `()` elsewhere).
+    type Config: Copy + Sync;
+    /// Cross-key immutable auxiliary data built once per run (e.g. the
+    /// per-transaction append index lists use for G1b).
+    type Aux<'h>: Sync;
+    /// Per-key data gathered in one pass over the history.
+    type KeyData<'h>: Send + Sync;
+
+    /// Which [`DataType`] this analysis owns.
+    const DATATYPE: DataType;
+    /// Wording for the shared anomaly messages.
+    const VOCAB: Vocab;
+
+    /// Internal-consistency pass (§6.1): transaction-major, cheap, and
+    /// serial. Implementations usually delegate to [`internal_pass`].
+    fn check_internal(cx: &AnalysisCtx<'_, Self::Config>, sink: &mut KeySink);
+
+    /// Single pass over the history partitioning reads/writes by key.
+    fn gather<'h>(
+        cx: &AnalysisCtx<'h, Self::Config>,
+    ) -> (Self::Aux<'h>, FxHashMap<Key, Self::KeyData<'h>>);
+
+    /// Analyze one key. Runs on a rayon worker; must only write into
+    /// `sink`.
+    fn analyze_key<'h>(
+        cx: &AnalysisCtx<'h, Self::Config>,
+        aux: &Self::Aux<'h>,
+        key: Key,
+        data: &Self::KeyData<'h>,
+        poisoned: bool,
+        sink: &mut KeySink,
+    );
+}
+
+/// Run a datatype's full pipeline with [`Parallelism::Auto`].
+pub fn run<D: DatatypeAnalysis>(
+    history: &History,
+    elems: &ProvenanceIndex,
+    keys: &[Key],
+    config: D::Config,
+) -> DriverOutput {
+    run_mode::<D>(history, elems, keys, config, Parallelism::Auto)
+}
+
+/// Run a datatype's full pipeline with an explicit scheduling mode.
+pub fn run_mode<D: DatatypeAnalysis>(
+    history: &History,
+    elems: &ProvenanceIndex,
+    keys: &[Key],
+    config: D::Config,
+    mode: Parallelism,
+) -> DriverOutput {
+    let cx = AnalysisCtx {
+        history,
+        elems,
+        key_set: keys.iter().copied().collect(),
+        config,
+    };
+    let mut out = DriverOutput {
+        deps: DepGraph::with_txns(history.len()),
+        ..DriverOutput::default()
+    };
+
+    // ── Serial prelude: internal consistency, then write-level
+    //    duplicates (which poison recoverability per key). ─────────────
+    let mut prelude = KeySink::default();
+    D::check_internal(&cx, &mut prelude);
+    out.anomalies.append(&mut prelude.anomalies);
+
+    let v = &D::VOCAB;
+    let mut poisoned: FxHashSet<Key> = FxHashSet::default();
+    for (k, e, txns) in &elems.duplicates {
+        if !cx.key_set.contains(k) {
+            continue;
+        }
+        poisoned.insert(*k);
+        out.anomalies.push(Anomaly {
+            typ: AnomalyType::DuplicateWrite,
+            txns: txns.clone(),
+            key: Some(*k),
+            steps: vec![],
+            explanation: format!(
+                "{item} {e} was {wrote_to} {object} {k} by more than one transaction ({who}); \
+                 versions of {k} are not recoverable",
+                item = v.item,
+                wrote_to = v.wrote_to,
+                object = v.object,
+                who = txns
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+        });
+    }
+
+    // ── Partition by key. ──────────────────────────────────────────────
+    let (aux, data) = D::gather(&cx);
+    let mut keys_sorted: Vec<Key> = data.keys().copied().collect();
+    keys_sorted.sort_unstable();
+
+    let parallel = match mode {
+        Parallelism::Sequential => false,
+        Parallelism::Parallel => true,
+        Parallelism::Auto => {
+            keys_sorted.len() >= AUTO_PARALLEL_MIN_KEYS && !auto_forced_sequential()
+        }
+    };
+    let analyze_one = |key: &Key| {
+        let mut sink = KeySink::default();
+        D::analyze_key(
+            &cx,
+            &aux,
+            *key,
+            &data[key],
+            poisoned.contains(key),
+            &mut sink,
+        );
+        sink
+    };
+    let sinks: Vec<KeySink> = if parallel {
+        keys_sorted.par_iter().map(analyze_one).collect()
+    } else {
+        keys_sorted.iter().map(analyze_one).collect()
+    };
+
+    // ── Deterministic merge: strictly in sorted key order. ────────────
+    for (key, mut sink) in keys_sorted.into_iter().zip(sinks) {
+        out.anomalies.append(&mut sink.anomalies);
+        for (from, to, witness) in sink.edges {
+            out.deps.add(from, to, witness);
+        }
+        if let Some(order) = sink.version_order {
+            out.version_orders.insert(key, order);
+        }
+        if sink.cyclic {
+            out.cyclic_keys.push(key);
+        }
+    }
+    out
+}
+
+// ── Shared passes ───────────────────────────────────────────────────────
+
+/// A datatype's verdict on one internal-consistency step: the message
+/// appended after the transaction's notation when the read disagrees
+/// with the transaction's own prior operations.
+pub struct InternalMismatch {
+    /// Message body, e.g. `"read of key 3 returned [1], but …"`.
+    pub message: String,
+}
+
+/// The shared transaction-major skeleton of the internal-consistency
+/// check: iterate transactions, thread per-key state of type `S`
+/// through each one's micro-ops in program order, and report any
+/// mismatch the datatype's `step` closure detects.
+pub fn internal_pass<C, S: Default>(
+    cx: &AnalysisCtx<'_, C>,
+    sink: &mut KeySink,
+    mut step: impl FnMut(&Transaction, &Mop, Key, &mut S) -> Option<InternalMismatch>,
+) {
+    for t in cx.history.txns() {
+        let mut states: FxHashMap<Key, S> = FxHashMap::default();
+        for m in &t.mops {
+            let key = m.key();
+            if !cx.key_set.contains(&key) {
+                continue;
+            }
+            let state = states.entry(key).or_default();
+            if let Some(mismatch) = step(t, m, key, state) {
+                sink.anomaly(
+                    AnomalyType::Internal,
+                    vec![t.id],
+                    key,
+                    format!("{}\n  {}", t.to_notation(), mismatch.message),
+                );
+            }
+        }
+    }
+}
+
+/// What the shared provenance scan concluded about one observed
+/// element.
+#[derive(Debug, Clone, Copy)]
+pub enum Provenance {
+    /// No transaction ever wrote it (reported as a garbage read).
+    Garbage,
+    /// The key is poisoned; the writer map cannot be trusted.
+    Unusable,
+    /// Written by an aborted transaction (reported as G1a); the write
+    /// exists but must not produce dependency edges.
+    Aborted(WriteRef),
+    /// A trustworthy write.
+    Ok(WriteRef),
+}
+
+/// The shared per-read provenance scan: garbage reads and G1a aborted
+/// reads, with deduplicated reporting and poison gating (§4.2.3: G1a
+/// needs the element → writer bijection; garbage does not).
+#[derive(Debug, Default)]
+pub struct ProvenanceScan {
+    garbage_elems: FxHashSet<Elem>,
+    garbage_pairs: FxHashSet<(TxnId, Elem)>,
+    g1a_seen: FxHashSet<(TxnId, Elem)>,
+}
+
+impl ProvenanceScan {
+    /// A fresh scan (per key).
+    pub fn new() -> Self {
+        ProvenanceScan::default()
+    }
+
+    /// Check whether `elem` is garbage, reporting it (once, per the
+    /// vocab's dedup policy) if so. Usable as a standalone early pass.
+    pub fn garbage<C>(
+        &mut self,
+        cx: &AnalysisCtx<'_, C>,
+        vocab: &Vocab,
+        key: Key,
+        reader: TxnId,
+        elem: Elem,
+        sink: &mut KeySink,
+    ) -> bool {
+        if cx.elems.writer(key, elem).is_some() {
+            return false;
+        }
+        let fresh = if vocab.garbage_per_reader {
+            self.garbage_pairs.insert((reader, elem))
+        } else {
+            self.garbage_elems.insert(elem)
+        };
+        if fresh {
+            sink.anomaly(
+                AnomalyType::GarbageRead,
+                vec![reader],
+                key,
+                format!(
+                    "{}\n  observed {item} {elem} of {object} {key}, which no transaction \
+                     ever {wrote}",
+                    cx.history.get(reader).to_notation(),
+                    item = vocab.item,
+                    object = vocab.object,
+                    wrote = vocab.wrote,
+                ),
+            );
+        }
+        true
+    }
+
+    /// Fully classify one observed element, reporting garbage and G1a
+    /// (deduplicated). `poisoned` keys yield [`Provenance::Unusable`]
+    /// for recovered writes — their provenance checks are skipped, but
+    /// garbage is still reported.
+    #[allow(clippy::too_many_arguments)]
+    pub fn provenance<C>(
+        &mut self,
+        cx: &AnalysisCtx<'_, C>,
+        vocab: &Vocab,
+        key: Key,
+        reader: TxnId,
+        elem: Elem,
+        poisoned: bool,
+        sink: &mut KeySink,
+    ) -> Provenance {
+        let Some(w) = cx.elems.writer(key, elem) else {
+            self.garbage(cx, vocab, key, reader, elem, sink);
+            return Provenance::Garbage;
+        };
+        if poisoned {
+            return Provenance::Unusable;
+        }
+        if w.status == TxnStatus::Aborted {
+            if self.g1a_seen.insert((reader, elem)) {
+                sink.anomaly(
+                    AnomalyType::G1a,
+                    vec![reader, w.txn],
+                    key,
+                    format!(
+                        "{}\n  observed {item} {elem} of {object} {key}, {written} by aborted \
+                         transaction {}",
+                        cx.history.get(reader).to_notation(),
+                        cx.history.get(w.txn).to_notation(),
+                        item = vocab.item,
+                        object = vocab.object,
+                        written = vocab.written,
+                    ),
+                );
+            }
+            return Provenance::Aborted(w);
+        }
+        Provenance::Ok(w)
+    }
+}
+
+/// Shared lost-update reporting: several committed transactions read
+/// the *same* version of a key and then each wrote it — at most one of
+/// those writes can directly follow that version.
+///
+/// `groups` must already be deterministic (sorted by the caller) with
+/// each group's transactions sorted; only groups of two or more
+/// read-modify-writers are reported.
+pub fn report_lost_updates<V>(
+    vocab: &Vocab,
+    key: Key,
+    groups: Vec<(V, Vec<TxnId>)>,
+    render: impl Fn(&V) -> String,
+    sink: &mut KeySink,
+) {
+    for (version, group) in groups {
+        debug_assert!(group.len() >= 2);
+        debug_assert!(group.windows(2).all(|w| w[0] <= w[1]));
+        sink.anomaly(
+            AnomalyType::LostUpdate,
+            group.clone(),
+            key,
+            format!(
+                "transactions {who} all read version {v} of {object} {key} and then \
+                 {rmw} it; at most one of those writes can directly follow that version",
+                who = group
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                v = render(&version),
+                object = vocab.object,
+                rmw = vocab.rmw,
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::KeyTypes;
+    use elle_history::HistoryBuilder;
+
+    #[test]
+    fn provenance_scan_dedups_garbage_per_policy() {
+        let mut b = HistoryBuilder::new();
+        let t0 = b.txn(0).read_list(1, [9]).commit();
+        let t1 = b.txn(1).read_list(1, [9]).commit();
+        let h = b.build();
+        let elems = ElemIndex::build(&h);
+        let cx = AnalysisCtx {
+            history: &h,
+            elems: &elems,
+            key_set: [Key(1)].into_iter().collect(),
+            config: (),
+        };
+        let per_elem = crate::list_append::ListAppend::VOCAB;
+        let mut scan = ProvenanceScan::new();
+        let mut sink = KeySink::default();
+        assert!(scan.garbage(&cx, &per_elem, Key(1), t0, Elem(9), &mut sink));
+        assert!(scan.garbage(&cx, &per_elem, Key(1), t1, Elem(9), &mut sink));
+        assert_eq!(sink.anomalies.len(), 1, "per-element dedup");
+
+        let per_reader = Vocab {
+            garbage_per_reader: true,
+            ..per_elem
+        };
+        let mut scan = ProvenanceScan::new();
+        let mut sink = KeySink::default();
+        scan.garbage(&cx, &per_reader, Key(1), t0, Elem(9), &mut sink);
+        scan.garbage(&cx, &per_reader, Key(1), t1, Elem(9), &mut sink);
+        assert_eq!(sink.anomalies.len(), 2, "per-reader keeps both");
+    }
+
+    #[test]
+    fn provenance_scan_gates_g1a_on_poison() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 7).abort();
+        let t1 = b.txn(1).read_list(1, [7]).commit();
+        let h = b.build();
+        let elems = ElemIndex::build(&h);
+        let cx = AnalysisCtx {
+            history: &h,
+            elems: &elems,
+            key_set: [Key(1)].into_iter().collect(),
+            config: (),
+        };
+        let vocab = crate::list_append::ListAppend::VOCAB;
+        let mut scan = ProvenanceScan::new();
+        let mut sink = KeySink::default();
+        let p = scan.provenance(&cx, &vocab, Key(1), t1, Elem(7), true, &mut sink);
+        assert!(matches!(p, Provenance::Unusable));
+        assert!(sink.anomalies.is_empty());
+        let p = scan.provenance(&cx, &vocab, Key(1), t1, Elem(7), false, &mut sink);
+        assert!(matches!(p, Provenance::Aborted(_)));
+        assert_eq!(sink.anomalies.len(), 1);
+        // Re-checking the same (reader, elem) does not re-report.
+        let _ = scan.provenance(&cx, &vocab, Key(1), t1, Elem(7), false, &mut sink);
+        assert_eq!(sink.anomalies.len(), 1);
+    }
+
+    #[test]
+    fn run_modes_agree_on_a_mixed_history() {
+        // Enough keys to clear the Auto threshold.
+        let mut b = HistoryBuilder::new();
+        for k in 0..16u64 {
+            b.txn(0).append(k, 2 * k + 1).commit();
+            b.txn(1)
+                .append(k, 2 * k + 2)
+                .read_list(k, [2 * k + 1, 2 * k + 2])
+                .commit();
+            b.txn(2).read_list(k, [2 * k + 1]).commit();
+        }
+        let h = b.build();
+        let elems = ElemIndex::build(&h);
+        let kt = KeyTypes::infer(&h);
+        let keys = kt.keys_of(DataType::List);
+        let seq = run_mode::<crate::list_append::ListAppend>(
+            &h,
+            &elems,
+            &keys,
+            (),
+            Parallelism::Sequential,
+        );
+        let par = run_mode::<crate::list_append::ListAppend>(
+            &h,
+            &elems,
+            &keys,
+            (),
+            Parallelism::Parallel,
+        );
+        assert_eq!(seq.anomalies, par.anomalies);
+        assert_eq!(seq.version_orders, par.version_orders);
+        assert_eq!(seq.deps.graph.edge_count(), par.deps.graph.edge_count());
+        for (a, b, m) in seq.deps.graph.edges() {
+            assert_eq!(par.deps.graph.edge_mask(a, b), m);
+        }
+    }
+}

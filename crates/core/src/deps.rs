@@ -136,10 +136,7 @@ mod tests {
         assert!(g
             .witness_of_class(TxnId(0), TxnId(1), EdgeClass::Rw)
             .is_none());
-        assert_eq!(
-            g.graph.edge_mask(0, 1),
-            EdgeMask::WW | EdgeMask::WR
-        );
+        assert_eq!(g.graph.edge_mask(0, 1), EdgeMask::WW | EdgeMask::WR);
     }
 
     #[test]
@@ -166,7 +163,12 @@ mod tests {
         assert_eq!(w.class(), EdgeClass::Ww);
         // Restrict to rw only:
         let w = g
-            .present(TxnId(0), TxnId(1), EdgeMask::RW, &[EdgeClass::Ww, EdgeClass::Rw])
+            .present(
+                TxnId(0),
+                TxnId(1),
+                EdgeMask::RW,
+                &[EdgeClass::Ww, EdgeClass::Rw],
+            )
             .unwrap();
         assert_eq!(w.class(), EdgeClass::Rw);
     }

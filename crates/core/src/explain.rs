@@ -8,9 +8,9 @@ use elle_history::{History, TxnId};
 /// key 255", etc.
 pub fn witness_text(w: &Witness, from: TxnId, to: TxnId) -> String {
     match w {
-        Witness::WwList { key, prev, next } => format!(
-            "{to} appended {next} directly after {from} appended {prev} to key {key}"
-        ),
+        Witness::WwList { key, prev, next } => {
+            format!("{to} appended {next} directly after {from} appended {prev} to key {key}")
+        }
         Witness::WrList { key, elem } => {
             format!("{to} observed {from}'s append of {elem} to key {key}")
         }
@@ -29,9 +29,9 @@ pub fn witness_text(w: &Witness, from: TxnId, to: TxnId) -> String {
             ),
         },
         Witness::WwReg { key, prev, next } => match prev {
-            Some(p) => format!(
-                "{to} overwrote {from}'s write of {p} to register {key} with {next}"
-            ),
+            Some(p) => {
+                format!("{to} overwrote {from}'s write of {p} to register {key} with {next}")
+            }
             None => format!(
                 "{to} wrote {next} over the initial state of register {key}, which \
                  {from} established"
@@ -41,12 +41,10 @@ pub fn witness_text(w: &Witness, from: TxnId, to: TxnId) -> String {
             format!("{to} read {from}'s write of {elem} to register {key}")
         }
         Witness::RwReg { key, read, next } => match read {
-            Some(r) => format!(
-                "{from} read {r} from register {key}, which {to} overwrote with {next}"
-            ),
-            None => format!(
-                "{from} read register {key} as nil, missing {to}'s write of {next}"
-            ),
+            Some(r) => {
+                format!("{from} read {r} from register {key}, which {to} overwrote with {next}")
+            }
+            None => format!("{from} read register {key} as nil, missing {to}'s write of {next}"),
         },
         Witness::WrSet { key, elem } => {
             format!("{to} observed {from}'s add of {elem} to set {key}")
@@ -57,12 +55,12 @@ pub fn witness_text(w: &Witness, from: TxnId, to: TxnId) -> String {
         Witness::Rr { key } => {
             format!("{from} observed an earlier state of key {key} than {to}")
         }
-        Witness::Process { process } => format!(
-            "{from} and {to} both ran on process {process}, and {from} completed first"
-        ),
-        Witness::Realtime { complete, invoke } => format!(
-            "{from} completed (event {complete}) before {to} was invoked (event {invoke})"
-        ),
+        Witness::Process { process } => {
+            format!("{from} and {to} both ran on process {process}, and {from} completed first")
+        }
+        Witness::Realtime { complete, invoke } => {
+            format!("{from} completed (event {complete}) before {to} was invoked (event {invoke})")
+        }
         Witness::Timestamp { commit, start } => format!(
             "{from} committed at database timestamp {commit}, before {to} started at {start}"
         ),
@@ -166,7 +164,10 @@ mod tests {
         assert!(text.contains("However"));
         assert!(text.trim_end().ends_with("a contradiction!"));
         // Paper-style phrasing:
-        assert!(text.contains("observed T0's append of 8 to key 255"), "{text}");
+        assert!(
+            text.contains("observed T0's append of 8 to key 255"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod anomaly;
 mod checker;
 pub mod counter;
 mod cycle_search;
+pub mod datatype;
 mod deps;
 pub mod explain;
 pub mod list_append;
@@ -54,10 +55,9 @@ pub mod set_add;
 pub use anomaly::{Anomaly, AnomalyType, CycleStep, Witness};
 pub use checker::{CheckOptions, CheckStats, Checker, Report};
 pub use cycle_search::{find_cycle_anomalies, CycleSearchOptions};
+pub use datatype::{DatatypeAnalysis, Parallelism, ProvenanceIndex};
 pub use deps::DepGraph;
-pub use models::{
-    directly_violated, strongest_satisfiable, violated_models, ConsistencyModel,
-};
+pub use models::{directly_violated, strongest_satisfiable, violated_models, ConsistencyModel};
 pub use observation::{DataType, ElemIndex, KeyTypes, WriteRef};
 pub use orders::{add_process_edges, add_realtime_edges, add_timestamp_edges};
 pub use rw_register::RegisterOptions;

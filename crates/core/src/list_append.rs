@@ -12,13 +12,18 @@
 //! * `ww`: writers of consecutive elements of the version order,
 //! * `rw`: a reader of prefix `v` → the writer of the next element.
 //!
-//! Non-cycle anomalies (aborted/intermediate reads, dirty updates, lost
-//! updates, garbage, duplicates, internal inconsistency, incompatible
-//! orders) are detected directly from element provenance.
+//! The shared passes (duplicates, garbage, G1a, lost updates, internal
+//! consistency scaffolding) live in [`crate::datatype`]; this module
+//! contributes only what traceability makes possible: the G1b adjacency
+//! test, dirty-update layering, and version-order reconstruction.
 
 use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::datatype::{
+    self, internal_pass, report_lost_updates, AnalysisCtx, DatatypeAnalysis, InternalMismatch,
+    KeySink, Provenance, ProvenanceScan, Vocab,
+};
 use crate::deps::DepGraph;
-use crate::observation::ElemIndex;
+use crate::observation::{DataType, ElemIndex};
 use elle_history::{Elem, History, Key, Mop, ReadValue, Transaction, TxnId, TxnStatus};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -37,10 +42,13 @@ pub struct ListAppendAnalysis {
 
 /// One committed read occurrence.
 #[derive(Debug, Clone)]
-struct ReadOcc<'h> {
-    txn: &'h Transaction,
-    mop: usize,
-    value: &'h [Elem],
+pub struct ReadOcc<'h> {
+    /// The reading transaction.
+    pub txn: &'h Transaction,
+    /// Micro-op position of the read within the transaction.
+    pub mop: usize,
+    /// The observed list value.
+    pub value: &'h [Elem],
 }
 
 /// Render a list value compactly for explanations: `[1 2 3 … (29 total)]`.
@@ -62,111 +70,54 @@ fn show_list(v: &[Elem]) -> String {
 
 /// Run the analysis over every list key of the history.
 pub fn analyze(history: &History, elems: &ElemIndex, list_keys: &[Key]) -> ListAppendAnalysis {
-    let mut out = ListAppendAnalysis {
-        deps: DepGraph::with_txns(history.len()),
-        ..Default::default()
+    let out = datatype::run::<ListAppend>(history, elems, list_keys, ());
+    ListAppendAnalysis {
+        deps: out.deps,
+        anomalies: out.anomalies,
+        version_orders: out.version_orders,
+    }
+}
+
+/// The list-append [`DatatypeAnalysis`].
+pub struct ListAppend;
+
+impl DatatypeAnalysis for ListAppend {
+    type Config = ();
+    /// Ordered appends per `(txn, key)` — used for G1b adjacency and for
+    /// stripping a reader's own trailing appends.
+    type Aux<'h> = FxHashMap<(TxnId, Key), Vec<Elem>>;
+    type KeyData<'h> = Vec<ReadOcc<'h>>;
+
+    const DATATYPE: DataType = DataType::List;
+    const VOCAB: Vocab = Vocab {
+        object: "key",
+        item: "element",
+        wrote: "appended",
+        written: "appended",
+        wrote_to: "appended to",
+        rmw: "appended to",
+        garbage_per_reader: false,
     };
-    let key_set: FxHashSet<Key> = list_keys.iter().copied().collect();
 
-    check_internal(history, &key_set, &mut out);
-
-    // Appends per (txn, key), in program order — used for G1b and wr.
-    let appends_of = index_appends(history, &key_set);
-
-    // Committed reads per key.
-    let mut reads_by_key: FxHashMap<Key, Vec<ReadOcc<'_>>> = FxHashMap::default();
-    for t in history.txns() {
-        if t.status != TxnStatus::Committed {
-            continue;
+    /// Internal consistency (§6.1): each transaction's reads must agree
+    /// with its own prior reads and appends. Model: expected value =
+    /// `known prefix (if any) ++ own appends since`.
+    fn check_internal(cx: &AnalysisCtx<'_, ()>, sink: &mut KeySink) {
+        #[derive(Default)]
+        struct St {
+            known: Option<Vec<Elem>>,
+            appended: Vec<Elem>,
         }
-        for (i, m) in t.mops.iter().enumerate() {
-            if let Mop::Read {
-                key,
-                value: Some(ReadValue::List(v)),
-            } = m
-            {
-                if key_set.contains(key) {
-                    reads_by_key.entry(*key).or_default().push(ReadOcc {
-                        txn: t,
-                        mop: i,
-                        value: v,
-                    });
-                }
-            }
-        }
-    }
-
-    // Duplicate writes detected at write level poison recoverability.
-    let mut poisoned: FxHashSet<Key> = FxHashSet::default();
-    for (k, e, txns) in &elems.duplicates {
-        if !key_set.contains(k) {
-            continue;
-        }
-        poisoned.insert(*k);
-        out.anomalies.push(Anomaly {
-            typ: AnomalyType::DuplicateWrite,
-            txns: txns.clone(),
-            key: Some(*k),
-            steps: vec![],
-            explanation: format!(
-                "element {e} was appended to key {k} by more than one write ({}); \
-                 versions of {k} are not recoverable",
-                txns.iter()
-                    .map(|t| t.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ),
-        });
-    }
-
-    let mut keys: Vec<Key> = reads_by_key.keys().copied().collect();
-    keys.sort_unstable();
-    for key in keys {
-        let occs = &reads_by_key[&key];
-        analyze_key(history, elems, &appends_of, key, occs, poisoned.contains(&key), &mut out);
-    }
-    out
-}
-
-/// Ordered appends per (txn, key).
-fn index_appends(
-    history: &History,
-    key_set: &FxHashSet<Key>,
-) -> FxHashMap<(TxnId, Key), Vec<Elem>> {
-    let mut appends: FxHashMap<(TxnId, Key), Vec<Elem>> = FxHashMap::default();
-    for t in history.txns() {
-        for m in &t.mops {
-            if let Mop::Append { key, elem } = m {
-                if key_set.contains(key) {
-                    appends.entry((t.id, *key)).or_default().push(*elem);
-                }
-            }
-        }
-    }
-    appends
-}
-
-/// Internal consistency (§6.1): each transaction's reads must agree with
-/// its own prior reads and appends. Model: expected value = `known prefix
-/// (if any) ++ own appends since`.
-fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut ListAppendAnalysis) {
-    #[derive(Default, Clone)]
-    struct St {
-        known: Option<Vec<Elem>>,
-        appended: Vec<Elem>,
-    }
-    for t in history.txns() {
-        let mut states: FxHashMap<Key, St> = FxHashMap::default();
-        for m in &t.mops {
+        internal_pass(cx, sink, |_t, m, key, st: &mut St| {
             match m {
-                Mop::Append { key, elem } if key_set.contains(key) => {
-                    states.entry(*key).or_default().appended.push(*elem);
+                Mop::Append { elem, .. } => {
+                    st.appended.push(*elem);
+                    None
                 }
                 Mop::Read {
-                    key,
                     value: Some(ReadValue::List(v)),
-                } if key_set.contains(key) => {
-                    let st = states.entry(*key).or_default();
+                    ..
+                } => {
                     let ok = match &st.known {
                         Some(prefix) => {
                             v.len() == prefix.len() + st.appended.len()
@@ -178,7 +129,7 @@ fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut ListApp
                                 && v[v.len() - st.appended.len()..] == st.appended[..]
                         }
                     };
-                    if !ok {
+                    let mismatch = (!ok).then(|| {
                         let expected = match &st.known {
                             Some(p) => {
                                 let mut e = p.clone();
@@ -194,304 +145,275 @@ fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut ListApp
                                     .join(" ")
                             ),
                         };
-                        out.anomalies.push(Anomaly {
-                            typ: AnomalyType::Internal,
-                            txns: vec![t.id],
-                            key: Some(*key),
-                            steps: vec![],
-                            explanation: format!(
-                                "{}\n  read of key {key} returned {}, but the \
-                                 transaction's own operations imply {expected}",
-                                t.to_notation(),
+                        InternalMismatch {
+                            message: format!(
+                                "read of key {key} returned {}, but the transaction's own \
+                                 operations imply {expected}",
                                 show_list(v),
                             ),
-                        });
-                    }
+                        }
+                    });
                     // Trust the read for subsequent expectations.
                     st.known = Some(v.clone());
                     st.appended.clear();
+                    mismatch
                 }
-                _ => {}
+                _ => None,
             }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn analyze_key(
-    history: &History,
-    elems: &ElemIndex,
-    appends_of: &FxHashMap<(TxnId, Key), Vec<Elem>>,
-    key: Key,
-    occs: &[ReadOcc<'_>],
-    mut poisoned: bool,
-    out: &mut ListAppendAnalysis,
-) {
-    // ── Pass A (always valid): duplicates within reads and garbage
-    //    elements. Both poison recoverability for this key. ─────────────
-    let mut garbage_reported: FxHashSet<Elem> = FxHashSet::default();
-    for occ in occs {
-        let mut seen: FxHashSet<Elem> = FxHashSet::default();
-        for e in occ.value {
-            if !seen.insert(*e) {
-                poisoned = true;
-                out.anomalies.push(Anomaly {
-                    typ: AnomalyType::DuplicateWrite,
-                    txns: vec![occ.txn.id],
-                    key: Some(key),
-                    steps: vec![],
-                    explanation: format!(
-                        "{}\n  the read of key {key} contains element {e} more than once",
-                        occ.txn.to_notation()
-                    ),
-                });
-                break;
-            }
-        }
-        for e in occ.value {
-            if elems.writer(key, *e).is_none() && garbage_reported.insert(*e) {
-                poisoned = true;
-                out.anomalies.push(Anomaly {
-                    typ: AnomalyType::GarbageRead,
-                    txns: vec![occ.txn.id],
-                    key: Some(key),
-                    steps: vec![],
-                    explanation: format!(
-                        "{}\n  the read of key {key} observed element {e}, which no \
-                         transaction ever appended",
-                        occ.txn.to_notation()
-                    ),
-                });
-            }
-        }
-    }
-
-    // ── Pass B: provenance checks (G1a, G1b, dirty updates). These rely
-    //    on recoverability — the element → writer map must be a bijection
-    //    — so they are skipped for poisoned keys (§4.2.3). ───────────────
-    let mut dirty_reported: FxHashSet<Elem> = FxHashSet::default();
-    let mut g1a_reported: FxHashSet<(TxnId, Elem)> = FxHashSet::default();
-    let mut g1b_reported: FxHashSet<(TxnId, Elem)> = FxHashSet::default();
-
-    for occ in occs.iter().filter(|_| !poisoned) {
-        let mut saw_aborted: Option<(usize, Elem, TxnId)> = None;
-        for (j, e) in occ.value.iter().enumerate() {
-            let Some(w) = elems.writer(key, *e) else {
-                continue; // reported as garbage in pass A
-            };
-
-            // G1a: committed read observes an aborted write.
-            if w.status == TxnStatus::Aborted && g1a_reported.insert((occ.txn.id, *e)) {
-                out.anomalies.push(Anomaly {
-                    typ: AnomalyType::G1a,
-                    txns: vec![occ.txn.id, w.txn],
-                    key: Some(key),
-                    steps: vec![],
-                    explanation: format!(
-                        "{}\n  observed element {e} of key {key}, which was appended by \
-                         aborted transaction {}",
-                        occ.txn.to_notation(),
-                        history.get(w.txn).to_notation()
-                    ),
-                });
-            }
-
-            // Dirty update: committed data layered over an aborted write.
-            match (w.status, saw_aborted) {
-                (TxnStatus::Aborted, None) => saw_aborted = Some((j, *e, w.txn)),
-                (TxnStatus::Committed | TxnStatus::Indeterminate, Some((_, ae, awriter))) => {
-                    if dirty_reported.insert(ae) {
-                        out.anomalies.push(Anomaly {
-                            typ: AnomalyType::DirtyUpdate,
-                            txns: vec![awriter, w.txn],
-                            key: Some(key),
-                            steps: vec![],
-                            explanation: format!(
-                                "the trace of key {key} contains element {ae} from aborted \
-                                 transaction {awriter}, later built upon by {}'s append of {e}",
-                                w.txn
-                            ),
-                        });
-                    }
-                    saw_aborted = None;
-                }
-                _ => {}
-            }
-
-            // G1b: an intermediate write must be immediately followed by
-            // the same writer's next append, else the read exposed an
-            // intermediate version.
-            if w.txn != occ.txn.id && !w.final_for_key {
-                let writer_appends = &appends_of[&(w.txn, key)];
-                let pos = writer_appends
-                    .iter()
-                    .position(|x| x == e)
-                    .expect("writer index consistent");
-                let expected_next = writer_appends.get(pos + 1);
-                let actual_next = occ.value.get(j + 1);
-                if expected_next != actual_next && g1b_reported.insert((occ.txn.id, *e)) {
-                    out.anomalies.push(Anomaly {
-                        typ: AnomalyType::G1b,
-                        txns: vec![occ.txn.id, w.txn],
-                        key: Some(key),
-                        steps: vec![],
-                        explanation: format!(
-                            "{}\n  observed element {e} of key {key}, an intermediate \
-                             append of {} (its next append {} is not the following element)",
-                            occ.txn.to_notation(),
-                            history.get(w.txn).to_notation(),
-                            expected_next.map_or("<none>".to_string(), |e| e.to_string()),
-                        ),
-                    });
-                }
-            }
-        }
-    }
-
-    // ── Version order: the longest committed read is x_f. ─────────────
-    let longest = occs
-        .iter()
-        .max_by_key(|o| o.value.len())
-        .expect("at least one read per key in map");
-    let longest_v = longest.value;
-
-    // Prefix compatibility of every other read.
-    let mut compatible: Vec<&ReadOcc<'_>> = Vec::with_capacity(occs.len());
-    for occ in occs {
-        if occ.value.len() <= longest_v.len() && occ.value[..] == longest_v[..occ.value.len()] {
-            compatible.push(occ);
-        } else {
-            out.anomalies.push(Anomaly {
-                typ: AnomalyType::IncompatibleOrder,
-                txns: vec![occ.txn.id, longest.txn.id],
-                key: Some(key),
-                steps: vec![],
-                explanation: format!(
-                    "{}\n{}\n  both committed reads of key {key} cannot lie on one \
-                     version order: {} is not a prefix of {}",
-                    occ.txn.to_notation(),
-                    longest.txn.to_notation(),
-                    show_list(occ.value),
-                    show_list(longest_v)
-                ),
-            });
-        }
-    }
-
-    // ── Lost updates: distinct committed txns that read the same version
-    //    of `key` and then append to it. ────────────────────────────────
-    let mut rmw_groups: FxHashMap<&[Elem], Vec<TxnId>> = FxHashMap::default();
-    for occ in occs {
-        // First read of the key in this txn, before any own append.
-        let first_touch = occ
-            .txn
-            .mops
-            .iter()
-            .position(|m| m.key() == key)
-            .expect("occ touches key");
-        if first_touch != occ.mop {
-            continue;
-        }
-        let appends_after = occ.txn.mops[occ.mop..]
-            .iter()
-            .any(|m| matches!(m, Mop::Append { key: k, .. } if *k == key));
-        if appends_after {
-            let group = rmw_groups.entry(occ.value).or_default();
-            if !group.contains(&occ.txn.id) {
-                group.push(occ.txn.id);
-            }
-        }
-    }
-    let mut groups: Vec<(&[Elem], Vec<TxnId>)> = rmw_groups
-        .into_iter()
-        .filter(|(_, g)| g.len() >= 2)
-        .collect();
-    groups.sort_by_key(|(v, _)| v.len());
-    for (v, mut group) in groups {
-        group.sort_unstable();
-        out.anomalies.push(Anomaly {
-            typ: AnomalyType::LostUpdate,
-            txns: group.clone(),
-            key: Some(key),
-            steps: vec![],
-            explanation: format!(
-                "transactions {} all read version {} of key {key} and then appended \
-                 to it; at most one of those appends can directly follow that version",
-                group
-                    .iter()
-                    .map(|t| t.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", "),
-                show_list(v),
-            ),
         });
     }
 
-    if poisoned {
-        // Recoverability is broken for this key: skip dependency edges.
-        return;
-    }
-    out.version_orders.insert(key, longest_v.to_vec());
-
-    // ── ww edges: consecutive elements of the version order. ──────────
-    for pair in longest_v.windows(2) {
-        let (a, b) = (pair[0], pair[1]);
-        let (wa, wb) = (
-            elems.writer(key, a).expect("no garbage in clean key"),
-            elems.writer(key, b).expect("no garbage in clean key"),
-        );
-        out.deps.add(
-            wa.txn,
-            wb.txn,
-            Witness::WwList {
-                key,
-                prev: a,
-                next: b,
-            },
-        );
-    }
-
-    // ── wr and rw edges per compatible committed read. ─────────────────
-    for occ in &compatible {
-        let reader = occ.txn.id;
-        // Strip trailing own appends: the externally-visible prefix.
-        let own: FxHashSet<Elem> = appends_of
-            .get(&(reader, key))
-            .map(|v| v.iter().copied().collect())
-            .unwrap_or_default();
-        let mut ext_len = occ.value.len();
-        while ext_len > 0 && own.contains(&occ.value[ext_len - 1]) {
-            ext_len -= 1;
+    fn gather<'h>(cx: &AnalysisCtx<'h, ()>) -> (Self::Aux<'h>, FxHashMap<Key, Vec<ReadOcc<'h>>>) {
+        let mut appends: Self::Aux<'h> = FxHashMap::default();
+        let mut reads_by_key: FxHashMap<Key, Vec<ReadOcc<'h>>> = FxHashMap::default();
+        for t in cx.history.txns() {
+            for (i, m) in t.mops.iter().enumerate() {
+                match m {
+                    Mop::Append { key, elem } if cx.key_set.contains(key) => {
+                        appends.entry((t.id, *key)).or_default().push(*elem);
+                    }
+                    Mop::Read {
+                        key,
+                        value: Some(ReadValue::List(v)),
+                    } if cx.key_set.contains(key) && t.status == TxnStatus::Committed => {
+                        reads_by_key.entry(*key).or_default().push(ReadOcc {
+                            txn: t,
+                            mop: i,
+                            value: v,
+                        });
+                    }
+                    _ => {}
+                }
+            }
         }
-        let ext = &occ.value[..ext_len];
+        (appends, reads_by_key)
+    }
 
-        // wr: the version `ext` was produced by the append of its last
-        // element.
-        if let Some(last) = ext.last() {
-            let w = elems.writer(key, *last).expect("clean key");
-            out.deps.add(
-                w.txn,
-                reader,
-                Witness::WrList {
+    fn analyze_key<'h>(
+        cx: &AnalysisCtx<'h, ()>,
+        appends_of: &Self::Aux<'h>,
+        key: Key,
+        occs: &Vec<ReadOcc<'h>>,
+        mut poisoned: bool,
+        out: &mut KeySink,
+    ) {
+        let vocab = &Self::VOCAB;
+        let mut scan = ProvenanceScan::new();
+
+        // ── Pass A (always valid): duplicates within reads and garbage
+        //    elements. Both poison recoverability for this key. ─────────
+        for occ in occs {
+            let mut seen: FxHashSet<Elem> = FxHashSet::default();
+            for e in occ.value {
+                if !seen.insert(*e) {
+                    poisoned = true;
+                    out.anomaly(
+                        AnomalyType::DuplicateWrite,
+                        vec![occ.txn.id],
+                        key,
+                        format!(
+                            "{}\n  the read of key {key} contains element {e} more than once",
+                            occ.txn.to_notation()
+                        ),
+                    );
+                    break;
+                }
+            }
+            for e in occ.value {
+                if scan.garbage(cx, vocab, key, occ.txn.id, *e, out) {
+                    poisoned = true;
+                }
+            }
+        }
+
+        // ── Pass B: provenance checks (G1a, G1b, dirty updates). These
+        //    rely on recoverability — the element → writer map must be a
+        //    bijection — so they are skipped for poisoned keys (§4.2.3). ─
+        let mut dirty_reported: FxHashSet<Elem> = FxHashSet::default();
+        let mut g1b_reported: FxHashSet<(TxnId, Elem)> = FxHashSet::default();
+
+        for occ in occs.iter().filter(|_| !poisoned) {
+            let mut saw_aborted: Option<(usize, Elem, TxnId)> = None;
+            for (j, e) in occ.value.iter().enumerate() {
+                // G1a (and garbage dedup) via the shared scan.
+                let w = match scan.provenance(cx, vocab, key, occ.txn.id, *e, false, out) {
+                    Provenance::Ok(w) | Provenance::Aborted(w) => w,
+                    Provenance::Garbage | Provenance::Unusable => continue,
+                };
+
+                // Dirty update: committed data layered over an aborted write.
+                match (w.status, saw_aborted) {
+                    (TxnStatus::Aborted, None) => saw_aborted = Some((j, *e, w.txn)),
+                    (TxnStatus::Committed | TxnStatus::Indeterminate, Some((_, ae, awriter))) => {
+                        if dirty_reported.insert(ae) {
+                            out.anomaly(
+                                AnomalyType::DirtyUpdate,
+                                vec![awriter, w.txn],
+                                key,
+                                format!(
+                                    "the trace of key {key} contains element {ae} from aborted \
+                                     transaction {awriter}, later built upon by {}'s append of {e}",
+                                    w.txn
+                                ),
+                            );
+                        }
+                        saw_aborted = None;
+                    }
+                    _ => {}
+                }
+
+                // G1b: an intermediate write must be immediately followed by
+                // the same writer's next append, else the read exposed an
+                // intermediate version. Traceability makes this adjacency
+                // test possible — it has no register/set counterpart.
+                if w.txn != occ.txn.id && !w.final_for_key {
+                    let writer_appends = &appends_of[&(w.txn, key)];
+                    let pos = writer_appends
+                        .iter()
+                        .position(|x| x == e)
+                        .expect("writer index consistent");
+                    let expected_next = writer_appends.get(pos + 1);
+                    let actual_next = occ.value.get(j + 1);
+                    if expected_next != actual_next && g1b_reported.insert((occ.txn.id, *e)) {
+                        out.anomaly(
+                            AnomalyType::G1b,
+                            vec![occ.txn.id, w.txn],
+                            key,
+                            format!(
+                                "{}\n  observed element {e} of key {key}, an intermediate \
+                                 append of {} (its next append {} is not the following element)",
+                                occ.txn.to_notation(),
+                                cx.history.get(w.txn).to_notation(),
+                                expected_next.map_or("<none>".to_string(), |e| e.to_string()),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // ── Version order: the longest committed read is x_f. ─────────
+        let longest = occs
+            .iter()
+            .max_by_key(|o| o.value.len())
+            .expect("at least one read per key in map");
+        let longest_v = longest.value;
+
+        // Prefix compatibility of every other read.
+        let mut compatible: Vec<&ReadOcc<'_>> = Vec::with_capacity(occs.len());
+        for occ in occs {
+            if occ.value.len() <= longest_v.len() && occ.value[..] == longest_v[..occ.value.len()] {
+                compatible.push(occ);
+            } else {
+                out.anomaly(
+                    AnomalyType::IncompatibleOrder,
+                    vec![occ.txn.id, longest.txn.id],
                     key,
-                    elem: *last,
+                    format!(
+                        "{}\n{}\n  both committed reads of key {key} cannot lie on one \
+                         version order: {} is not a prefix of {}",
+                        occ.txn.to_notation(),
+                        longest.txn.to_notation(),
+                        show_list(occ.value),
+                        show_list(longest_v)
+                    ),
+                );
+            }
+        }
+
+        // ── Lost updates: distinct committed txns that read the same
+        //    version of `key` and then append to it. ────────────────────
+        let mut rmw_groups: FxHashMap<&[Elem], Vec<TxnId>> = FxHashMap::default();
+        for occ in occs {
+            // First read of the key in this txn, before any own append.
+            let first_touch = occ
+                .txn
+                .mops
+                .iter()
+                .position(|m| m.key() == key)
+                .expect("occ touches key");
+            if first_touch != occ.mop {
+                continue;
+            }
+            let appends_after = occ.txn.mops[occ.mop..]
+                .iter()
+                .any(|m| matches!(m, Mop::Append { key: k, .. } if *k == key));
+            if appends_after {
+                let group = rmw_groups.entry(occ.value).or_default();
+                if !group.contains(&occ.txn.id) {
+                    group.push(occ.txn.id);
+                }
+            }
+        }
+        let mut groups: Vec<(&[Elem], Vec<TxnId>)> = rmw_groups
+            .into_iter()
+            .filter(|(_, g)| g.len() >= 2)
+            .collect();
+        groups.sort_by_key(|(v, _)| v.len());
+        for (_, g) in &mut groups {
+            g.sort_unstable();
+        }
+        report_lost_updates(vocab, key, groups, |v| show_list(v), out);
+
+        if poisoned {
+            // Recoverability is broken for this key: skip dependency edges.
+            return;
+        }
+        out.version_order = Some(longest_v.to_vec());
+
+        // ── ww edges: consecutive elements of the version order. ──────
+        for pair in longest_v.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let (wa, wb) = (
+                cx.elems.writer(key, a).expect("no garbage in clean key"),
+                cx.elems.writer(key, b).expect("no garbage in clean key"),
+            );
+            out.edge(
+                wa.txn,
+                wb.txn,
+                Witness::WwList {
+                    key,
+                    prev: a,
+                    next: b,
                 },
             );
         }
 
-        // rw: the version directly after the one this read observed.
-        if occ.value.len() < longest_v.len() {
-            let next = longest_v[occ.value.len()];
-            let w = elems.writer(key, next).expect("clean key");
-            out.deps.add(
-                reader,
-                w.txn,
-                Witness::RwList {
-                    key,
-                    read_last: occ.value.last().copied(),
-                    next,
-                },
-            );
+        // ── wr and rw edges per compatible committed read. ─────────────
+        for occ in &compatible {
+            let reader = occ.txn.id;
+            // Strip trailing own appends: the externally-visible prefix.
+            let own: FxHashSet<Elem> = appends_of
+                .get(&(reader, key))
+                .map(|v| v.iter().copied().collect())
+                .unwrap_or_default();
+            let mut ext_len = occ.value.len();
+            while ext_len > 0 && own.contains(&occ.value[ext_len - 1]) {
+                ext_len -= 1;
+            }
+            let ext = &occ.value[..ext_len];
+
+            // wr: the version `ext` was produced by the append of its last
+            // element.
+            if let Some(last) = ext.last() {
+                let w = cx.elems.writer(key, *last).expect("clean key");
+                out.edge(w.txn, reader, Witness::WrList { key, elem: *last });
+            }
+
+            // rw: the version directly after the one this read observed.
+            if occ.value.len() < longest_v.len() {
+                let next = longest_v[occ.value.len()];
+                let w = cx.elems.writer(key, next).expect("clean key");
+                out.edge(
+                    reader,
+                    w.txn,
+                    Witness::RwList {
+                        key,
+                        read_last: occ.value.last().copied(),
+                        next,
+                    },
+                );
+            }
         }
     }
 }
@@ -536,12 +458,28 @@ mod tests {
         let t3 = b.txn(3).read_list(1, [1, 2]).commit(); // reads [1,2]
         let a = run(&b.build());
         // ww: t0 -> t1 (1 before 2)
-        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(elle_graph::EdgeClass::Ww));
+        assert!(a
+            .deps
+            .graph
+            .edge_mask(t0.0, t1.0)
+            .contains(elle_graph::EdgeClass::Ww));
         // wr: t0 -> t2 (t2 read version [1]); t1 -> t3.
-        assert!(a.deps.graph.edge_mask(t0.0, t2.0).contains(elle_graph::EdgeClass::Wr));
-        assert!(a.deps.graph.edge_mask(t1.0, t3.0).contains(elle_graph::EdgeClass::Wr));
+        assert!(a
+            .deps
+            .graph
+            .edge_mask(t0.0, t2.0)
+            .contains(elle_graph::EdgeClass::Wr));
+        assert!(a
+            .deps
+            .graph
+            .edge_mask(t1.0, t3.0)
+            .contains(elle_graph::EdgeClass::Wr));
         // rw: t2 -> t1 (t2 missed 2).
-        assert!(a.deps.graph.edge_mask(t2.0, t1.0).contains(elle_graph::EdgeClass::Rw));
+        assert!(a
+            .deps
+            .graph
+            .edge_mask(t2.0, t1.0)
+            .contains(elle_graph::EdgeClass::Rw));
         // No rw out of t3 (read the longest version).
         assert_eq!(
             a.deps
@@ -559,7 +497,11 @@ mod tests {
         let t1 = b.txn(1).append(1, 5).commit();
         b.txn(2).read_list(1, [5]).commit();
         let a = run(&b.build());
-        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(elle_graph::EdgeClass::Rw));
+        assert!(a
+            .deps
+            .graph
+            .edge_mask(t0.0, t1.0)
+            .contains(elle_graph::EdgeClass::Rw));
     }
 
     #[test]

@@ -18,9 +18,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// An isolation / consistency model.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ConsistencyModel {
     /// Adya PL-1: proscribes G0.
     ReadUncommitted,
@@ -192,10 +190,7 @@ where
         .collect();
     ok.iter()
         .copied()
-        .filter(|m| {
-            !ok.iter()
-                .any(|other| *other != *m && other.implies(*m))
-        })
+        .filter(|m| !ok.iter().any(|other| *other != *m && other.implies(*m)))
         .collect()
 }
 

@@ -46,14 +46,11 @@ impl KeyTypes {
     pub fn infer(history: &History) -> KeyTypes {
         use elle_history::ReadValue;
         let mut kt = KeyTypes::default();
-        let note = |key: Key, ty: DataType, kt: &mut KeyTypes| {
-            match kt.types.insert(key, ty) {
-                Some(prev) if prev != ty
-                    && !kt.conflicts.contains(&key) => {
-                        kt.conflicts.push(key);
-                    }
-                _ => {}
+        let note = |key: Key, ty: DataType, kt: &mut KeyTypes| match kt.types.insert(key, ty) {
+            Some(prev) if prev != ty && !kt.conflicts.contains(&key) => {
+                kt.conflicts.push(key);
             }
+            _ => {}
         };
         for t in history.txns() {
             for m in &t.mops {
@@ -236,7 +233,10 @@ mod tests {
         b.txn(1).append(1, 2).indeterminate();
         let h = b.build();
         let idx = ElemIndex::build(&h);
-        assert_eq!(idx.writer(Key(1), Elem(1)).unwrap().status, TxnStatus::Aborted);
+        assert_eq!(
+            idx.writer(Key(1), Elem(1)).unwrap().status,
+            TxnStatus::Aborted
+        );
         assert_eq!(
             idx.writer(Key(1), Elem(2)).unwrap().status,
             TxnStatus::Indeterminate

@@ -17,13 +17,7 @@ pub fn add_process_edges(deps: &mut DepGraph, history: &History) {
             continue;
         }
         if let Some(prev) = last_of.insert(t.process, t.id) {
-            deps.add(
-                prev,
-                t.id,
-                Witness::Process {
-                    process: t.process,
-                },
-            );
+            deps.add(prev, t.id, Witness::Process { process: t.process });
         }
     }
 }
@@ -159,16 +153,21 @@ mod tests {
     fn timestamp_edges_follow_commit_before_start() {
         let mut b = HistoryBuilder::new();
         // Concurrent in real time, ordered by database timestamps.
-        b.txn(0).append(1, 1).at(0, Some(10)).timestamps(1, 2).commit();
-        b.txn(1).append(1, 2).at(1, Some(9)).timestamps(3, 4).commit();
+        b.txn(0)
+            .append(1, 1)
+            .at(0, Some(10))
+            .timestamps(1, 2)
+            .commit();
+        b.txn(1)
+            .append(1, 2)
+            .at(1, Some(9))
+            .timestamps(3, 4)
+            .commit();
         b.txn(2).append(1, 3).at(2, Some(8)).commit(); // unstamped
         let h = b.build();
         let mut d = DepGraph::with_txns(h.len());
         add_timestamp_edges(&mut d, &h);
-        assert!(d
-            .graph
-            .edge_mask(0, 1)
-            .contains(EdgeClass::Timestamp));
+        assert!(d.graph.edge_mask(0, 1).contains(EdgeClass::Timestamp));
         assert_eq!(d.graph.edge_mask(1, 0), EdgeMask::NONE);
         // Unstamped transactions take no part.
         assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::NONE);

@@ -21,11 +21,19 @@
 //! dependencies. Edges derived from non-adjacent versions are transitive
 //! over the true order, so any cycle they witness implies a cycle of direct
 //! dependencies — soundness is preserved.
+//!
+//! The shared passes (duplicates, garbage, G1a, lost updates, internal
+//! consistency scaffolding) live in [`crate::datatype`]; this module
+//! contributes version-order inference and its cycle check.
 
 use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::datatype::{
+    self, internal_pass, report_lost_updates, AnalysisCtx, DatatypeAnalysis, InternalMismatch,
+    KeySink, Provenance, ProvenanceScan, Vocab,
+};
 use crate::deps::DepGraph;
-use crate::observation::ElemIndex;
-use elle_graph::{tarjan_scc, DiGraph, EdgeClass, EdgeMask, interval_order_reduction, Interval};
+use crate::observation::{DataType, ElemIndex};
+use elle_graph::{interval_order_reduction, tarjan_scc, DiGraph, EdgeClass, EdgeMask, Interval};
 use elle_history::{Elem, History, Key, Mop, ReadValue, Transaction, TxnId, TxnStatus};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -95,79 +103,11 @@ pub fn analyze(
     register_keys: &[Key],
     opts: RegisterOptions,
 ) -> RegisterAnalysis {
-    let mut out = RegisterAnalysis {
-        deps: DepGraph::with_txns(history.len()),
-        ..Default::default()
-    };
-    let key_set: FxHashSet<Key> = register_keys.iter().copied().collect();
-
-    check_internal(history, &key_set, &mut out);
-
-    // Report write-level duplicates (poisons recoverability for the key).
-    let mut poisoned: FxHashSet<Key> = FxHashSet::default();
-    for (k, e, txns) in &elems.duplicates {
-        if !key_set.contains(k) {
-            continue;
-        }
-        poisoned.insert(*k);
-        out.anomalies.push(Anomaly {
-            typ: AnomalyType::DuplicateWrite,
-            txns: txns.clone(),
-            key: Some(*k),
-            steps: vec![],
-            explanation: format!(
-                "value {e} was written to register {k} by more than one transaction; \
-                 versions of {k} are not recoverable"
-            ),
-        });
-    }
-
-    let mut keys: Vec<Key> = register_keys.to_vec();
-    keys.sort_unstable();
-    keys.dedup();
-    for key in keys {
-        analyze_key(history, elems, key, opts, poisoned.contains(&key), &mut out);
-    }
-    out
-}
-
-/// Internal consistency: within one transaction, a read must return the
-/// last value read-or-written to the key.
-fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut RegisterAnalysis) {
-    for t in history.txns() {
-        let mut cur: FxHashMap<Key, Version> = FxHashMap::default();
-        for m in &t.mops {
-            match m {
-                Mop::Write { key, elem } if key_set.contains(key) => {
-                    cur.insert(*key, Some(*elem));
-                }
-                Mop::Read {
-                    key,
-                    value: Some(ReadValue::Register(v)),
-                } if key_set.contains(key) => {
-                    if let Some(prev) = cur.get(key) {
-                        if prev != v {
-                            out.anomalies.push(Anomaly {
-                                typ: AnomalyType::Internal,
-                                txns: vec![t.id],
-                                key: Some(*key),
-                                steps: vec![],
-                                explanation: format!(
-                                    "{}\n  read of register {key} returned {}, but the \
-                                     transaction had just {} {}",
-                                    t.to_notation(),
-                                    show(*v),
-                                    "observed or written",
-                                    show(*prev),
-                                ),
-                            });
-                        }
-                    }
-                    cur.insert(*key, *v);
-                }
-                _ => {}
-            }
-        }
+    let out = datatype::run::<RwRegister>(history, elems, register_keys, opts);
+    RegisterAnalysis {
+        deps: out.deps,
+        anomalies: out.anomalies,
+        cyclic_keys: out.cyclic_keys,
     }
 }
 
@@ -202,343 +142,384 @@ fn first_last_versions(t: &Transaction, key: Key) -> Option<(Version, Version)> 
     first.map(|f| (f, last.expect("last set with first")))
 }
 
-#[allow(clippy::too_many_arguments)]
-fn analyze_key(
-    history: &History,
-    elems: &ElemIndex,
-    key: Key,
-    opts: RegisterOptions,
-    poisoned: bool,
-    out: &mut RegisterAnalysis,
-) {
-    // ── Gather committed reads and all versions. ───────────────────────
-    let mut readers_of: FxHashMap<Version, Vec<TxnId>> = FxHashMap::default();
-    let mut versions: FxHashSet<Version> = FxHashSet::default();
-    let mut touching: Vec<&Transaction> = Vec::new(); // committed, touch key
+/// Everything the per-key analysis needs about one register key.
+#[derive(Debug, Default)]
+pub struct RegKeyData<'h> {
+    /// Committed readers per observed version (consecutive duplicates
+    /// collapsed, like the event stream).
+    readers_of: FxHashMap<Version, Vec<TxnId>>,
+    /// Every version seen anywhere (writes of any status, observed reads).
+    versions: FxHashSet<Version>,
+    /// Committed transactions touching the key, in invocation order.
+    touching: Vec<&'h Transaction>,
+}
 
-    for t in history.txns() {
-        let mut touches = false;
-        for m in &t.mops {
-            match m {
-                Mop::Write { key: k, elem } if *k == key => {
-                    versions.insert(Some(*elem));
-                    touches = true;
-                }
-                Mop::Read {
-                    key: k,
-                    value: Some(ReadValue::Register(v)),
-                } if *k == key => {
-                    versions.insert(*v);
-                    touches = true;
-                    if t.status == TxnStatus::Committed {
-                        let rs = readers_of.entry(*v).or_default();
-                        if rs.last() != Some(&t.id) {
-                            rs.push(t.id);
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        if touches && t.status == TxnStatus::Committed {
-            touching.push(t);
-        }
-    }
-    if versions.is_empty() {
-        return;
-    }
+/// The read-write register [`DatatypeAnalysis`].
+pub struct RwRegister;
 
-    // ── Per-read provenance checks (garbage always; G1a / G1b only when
-    //    the key is recoverable, since they trust the writer map). ───────
-    for (v, readers) in &readers_of {
-        let Some(e) = v else { continue };
-        match elems.writer(key, *e) {
-            None => {
-                for r in readers {
-                    out.anomalies.push(Anomaly {
-                        typ: AnomalyType::GarbageRead,
-                        txns: vec![*r],
-                        key: Some(key),
-                        steps: vec![],
-                        explanation: format!(
-                            "{}\n  read value {e} of register {key}, which no transaction \
-                             ever wrote",
-                            history.get(*r).to_notation()
-                        ),
-                    });
-                }
-            }
-            Some(_) if poisoned => {}
-            Some(w) => {
-                for r in readers {
-                    if w.status == TxnStatus::Aborted {
-                        out.anomalies.push(Anomaly {
-                            typ: AnomalyType::G1a,
-                            txns: vec![*r, w.txn],
-                            key: Some(key),
-                            steps: vec![],
-                            explanation: format!(
-                                "{}\n  read value {e} of register {key}, which was written \
-                                 by aborted transaction {}",
-                                history.get(*r).to_notation(),
-                                w.txn
-                            ),
-                        });
-                    }
-                    if !w.final_for_key && w.txn != *r {
-                        out.anomalies.push(Anomaly {
-                            typ: AnomalyType::G1b,
-                            txns: vec![*r, w.txn],
-                            key: Some(key),
-                            steps: vec![],
-                            explanation: format!(
-                                "{}\n  read value {e} of register {key}, an intermediate \
-                                 write of {}",
-                                history.get(*r).to_notation(),
-                                w.txn
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-    }
+impl DatatypeAnalysis for RwRegister {
+    type Config = RegisterOptions;
+    type Aux<'h> = ();
+    type KeyData<'h> = RegKeyData<'h>;
 
-    // ── Lost updates: same version read, then written, by ≥ 2 txns. ───
-    let mut rmw: FxHashMap<Version, Vec<TxnId>> = FxHashMap::default();
-    for t in &touching {
-        let mut first_read: Option<(usize, Version)> = None;
-        let mut writes_after = false;
-        for (i, m) in t.mops.iter().enumerate() {
-            match m {
-                Mop::Read {
-                    key: k,
-                    value: Some(ReadValue::Register(v)),
-                } if *k == key && first_read.is_none() => first_read = Some((i, *v)),
-                Mop::Write { key: k, .. } if *k == key => {
-                    if first_read.is_some() {
-                        writes_after = true;
-                    } else {
-                        // Blind write before reading: not an RMW pattern.
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        if let (Some((_, v)), true) = (first_read, writes_after) {
-            let g = rmw.entry(v).or_default();
-            if !g.contains(&t.id) {
-                g.push(t.id);
-            }
-        }
-    }
-    for (v, mut group) in rmw {
-        if group.len() >= 2 {
-            group.sort_unstable();
-            out.anomalies.push(Anomaly {
-                typ: AnomalyType::LostUpdate,
-                txns: group.clone(),
-                key: Some(key),
-                steps: vec![],
-                explanation: format!(
-                    "transactions {} all read version {} of register {key} and then wrote \
-                     it; at most one write can directly follow that version",
-                    group
-                        .iter()
-                        .map(|t| t.to_string())
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                    show(v)
-                ),
-            });
-        }
-    }
-
-    if poisoned {
-        return;
-    }
-
-    // ── Version order edges. ───────────────────────────────────────────
-    let mut vids: FxHashMap<Version, u32> = FxHashMap::default();
-    let mut vlist: Vec<Version> = Vec::new();
-    let id_of = |v: Version, vids: &mut FxHashMap<Version, u32>, vlist: &mut Vec<Version>| {
-        *vids.entry(v).or_insert_with(|| {
-            vlist.push(v);
-            (vlist.len() - 1) as u32
-        })
+    const DATATYPE: DataType = DataType::Register;
+    const VOCAB: Vocab = Vocab {
+        object: "register",
+        item: "value",
+        wrote: "wrote",
+        written: "written",
+        wrote_to: "written to",
+        rmw: "wrote",
+        garbage_per_reader: true,
     };
-    let mut vedges: Vec<(u32, u32, VSource)> = Vec::new();
 
-    if opts.initial_state {
-        for v in &versions {
-            if v.is_some() {
-                let a = id_of(None, &mut vids, &mut vlist);
-                let b = id_of(*v, &mut vids, &mut vlist);
-                vedges.push((a, b, VSource::Initial));
+    /// Internal consistency: within one transaction, a read must return
+    /// the last value read-or-written to the key.
+    fn check_internal(cx: &AnalysisCtx<'_, RegisterOptions>, sink: &mut KeySink) {
+        internal_pass(cx, sink, |_t, m, key, cur: &mut Option<Version>| match m {
+            Mop::Write { elem, .. } => {
+                *cur = Some(Some(*elem));
+                None
             }
-        }
+            Mop::Read {
+                value: Some(ReadValue::Register(v)),
+                ..
+            } => {
+                let mismatch = match cur {
+                    Some(prev) if prev != v => Some(InternalMismatch {
+                        message: format!(
+                            "read of register {key} returned {}, but the transaction had \
+                             just observed or written {}",
+                            show(*v),
+                            show(*prev),
+                        ),
+                    }),
+                    _ => None,
+                };
+                *cur = Some(*v);
+                mismatch
+            }
+            _ => None,
+        });
     }
 
-    if opts.writes_follow_reads {
-        for t in &touching {
-            let mut cur: Option<Version> = None;
+    fn gather<'h>(cx: &AnalysisCtx<'h, RegisterOptions>) -> ((), FxHashMap<Key, RegKeyData<'h>>) {
+        let mut data: FxHashMap<Key, RegKeyData<'h>> = FxHashMap::default();
+        for t in cx.history.txns() {
+            let mut touched: Vec<Key> = Vec::new();
+            let touch = |k: Key, touched: &mut Vec<Key>| {
+                if !touched.contains(&k) {
+                    touched.push(k);
+                }
+            };
             for m in &t.mops {
                 match m {
-                    Mop::Write { key: k, elem } if *k == key => {
-                        if let Some(prev) = cur {
-                            if prev != Some(*elem) {
-                                let a = id_of(prev, &mut vids, &mut vlist);
-                                let b = id_of(Some(*elem), &mut vids, &mut vlist);
-                                vedges.push((a, b, VSource::Chain));
-                            }
-                        }
-                        cur = Some(Some(*elem));
+                    Mop::Write { key, elem } if cx.key_set.contains(key) => {
+                        data.entry(*key).or_default().versions.insert(Some(*elem));
+                        touch(*key, &mut touched);
                     }
                     Mop::Read {
-                        key: k,
+                        key,
                         value: Some(ReadValue::Register(v)),
-                    } if *k == key => {
-                        // Reads do not add edges; they update the cursor.
-                        // (A mismatched read was already reported as
-                        // internal; trust the read for ordering.)
-                        cur = Some(*v);
+                    } if cx.key_set.contains(key) => {
+                        let d = data.entry(*key).or_default();
+                        d.versions.insert(*v);
+                        touch(*key, &mut touched);
+                        if t.status == TxnStatus::Committed {
+                            let rs = d.readers_of.entry(*v).or_default();
+                            if rs.last() != Some(&t.id) {
+                                rs.push(t.id);
+                            }
+                        }
                     }
                     _ => {}
                 }
             }
-        }
-    }
-
-    if opts.sequential_keys {
-        let mut last_of: FxHashMap<elle_history::ProcessId, Version> = FxHashMap::default();
-        for t in &touching {
-            if let Some((first, last)) = first_last_versions(t, key) {
-                if let Some(prev_last) = last_of.get(&t.process) {
-                    if *prev_last != first {
-                        let a = id_of(*prev_last, &mut vids, &mut vlist);
-                        let b = id_of(first, &mut vids, &mut vlist);
-                        vedges.push((a, b, VSource::Process));
-                    }
+            if t.status == TxnStatus::Committed {
+                for k in touched {
+                    data.get_mut(&k)
+                        .expect("touched key gathered")
+                        .touching
+                        .push(t);
                 }
-                last_of.insert(t.process, last);
             }
         }
+        ((), data)
     }
 
-    if opts.linearizable_keys {
-        let intervals: Vec<Interval> = touching
-            .iter()
-            .map(|t| Interval {
-                invoke: t.invoke_index,
-                complete: t.complete_index,
-            })
-            .collect();
-        for (a, b) in interval_order_reduction(&intervals) {
-            let (ta, tb) = (touching[a as usize], touching[b as usize]);
-            let (_, last_a) = first_last_versions(ta, key).expect("touching");
-            let (first_b, _) = first_last_versions(tb, key).expect("touching");
-            if last_a != first_b {
-                let x = id_of(last_a, &mut vids, &mut vlist);
-                let y = id_of(first_b, &mut vids, &mut vlist);
-                vedges.push((x, y, VSource::Realtime));
-            }
+    fn analyze_key<'h>(
+        cx: &AnalysisCtx<'h, RegisterOptions>,
+        _aux: &(),
+        key: Key,
+        data: &RegKeyData<'h>,
+        poisoned: bool,
+        out: &mut KeySink,
+    ) {
+        let opts = cx.config;
+        let vocab = &Self::VOCAB;
+        let RegKeyData {
+            readers_of,
+            versions,
+            touching,
+        } = data;
+        if versions.is_empty() {
+            return;
         }
-    }
 
-    // ── Cycle check on the version graph. ──────────────────────────────
-    let mut vg = DiGraph::with_vertices(vlist.len());
-    for &(a, b, _) in &vedges {
-        vg.add_edge(a, b, EdgeClass::Version);
-    }
-    let sccs = tarjan_scc(&vg, EdgeMask::VERSION);
-    if !sccs.is_empty() {
-        let cyc_versions: Vec<String> = sccs[0].iter().map(|&i| show(vlist[i as usize])).collect();
-        let sources: FxHashSet<&'static str> = vedges
-            .iter()
-            .filter(|(a, b, _)| sccs[0].contains(a) && sccs[0].contains(b))
-            .map(|(_, _, s)| s.describe())
-            .collect();
-        let mut txns: Vec<TxnId> = sccs[0]
-            .iter()
-            .filter_map(|&i| vlist[i as usize].and_then(|e| elems.writer(key, e)).map(|w| w.txn))
-            .collect();
-        txns.sort_unstable();
-        txns.dedup();
-        out.cyclic_keys.push(key);
-        out.anomalies.push(Anomaly {
-            typ: AnomalyType::CyclicVersionOrder,
-            txns,
-            key: Some(key),
-            steps: vec![],
-            explanation: format!(
-                "the inferred version order of register {key} is cyclic over values \
-                 {{{}}} (sources: {}); discarding this key's dependencies",
-                cyc_versions.join(", "),
-                {
-                    let mut s: Vec<&str> = sources.into_iter().collect();
-                    s.sort_unstable();
-                    s.join(", ")
-                }
-            ),
-        });
-        return;
-    }
-
-    // ── wr edges from recoverable reads. ────────────────────────────────
-    for (v, readers) in &readers_of {
-        let Some(e) = v else { continue };
-        let Some(w) = elems.writer(key, *e) else { continue };
-        if w.status == TxnStatus::Aborted {
-            continue;
-        }
-        for r in readers {
-            out.deps.add(
-                w.txn,
-                *r,
-                Witness::WrReg { key, elem: *e },
-            );
-        }
-    }
-
-    // ── ww / rw edges from version-order edges. ─────────────────────────
-    let mut seen_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
-    for &(a, b, _) in &vedges {
-        if !seen_pairs.insert((a, b)) {
-            continue;
-        }
-        let (va, vb) = (vlist[a as usize], vlist[b as usize]);
-        let Some(eb) = vb else { continue };
-        let Some(wb) = elems.writer(key, eb) else { continue };
-        if wb.status == TxnStatus::Aborted {
-            continue;
-        }
-        if let Some(ea) = va {
-            if let Some(wa) = elems.writer(key, ea) {
-                if wa.status != TxnStatus::Aborted {
-                    out.deps.add(
-                        wa.txn,
-                        wb.txn,
-                        Witness::WwReg {
-                            key,
-                            prev: va,
-                            next: eb,
-                        },
+        // ── Per-read provenance (shared scan): garbage always; G1a and
+        //    G1b only when the key is recoverable. ──────────────────────
+        let mut scan = ProvenanceScan::new();
+        for (v, readers) in readers_of {
+            let Some(e) = v else { continue };
+            for r in readers {
+                let w = match scan.provenance(cx, vocab, key, *r, *e, poisoned, out) {
+                    Provenance::Ok(w) | Provenance::Aborted(w) => w,
+                    Provenance::Garbage | Provenance::Unusable => continue,
+                };
+                // G1b: the register counterpart needs no adjacency test —
+                // any observed non-final write is an intermediate read.
+                if !w.final_for_key && w.txn != *r {
+                    out.anomaly(
+                        AnomalyType::G1b,
+                        vec![*r, w.txn],
+                        key,
+                        format!(
+                            "{}\n  read value {e} of register {key}, an intermediate \
+                             write of {}",
+                            cx.history.get(*r).to_notation(),
+                            w.txn
+                        ),
                     );
                 }
             }
         }
-        if let Some(readers) = readers_of.get(&va) {
+
+        // ── Lost updates: same version read, then written, by ≥ 2 txns. ─
+        let mut rmw: FxHashMap<Version, Vec<TxnId>> = FxHashMap::default();
+        for t in touching {
+            let mut first_read: Option<(usize, Version)> = None;
+            let mut writes_after = false;
+            for (i, m) in t.mops.iter().enumerate() {
+                match m {
+                    Mop::Read {
+                        key: k,
+                        value: Some(ReadValue::Register(v)),
+                    } if *k == key && first_read.is_none() => first_read = Some((i, *v)),
+                    Mop::Write { key: k, .. } if *k == key => {
+                        if first_read.is_some() {
+                            writes_after = true;
+                        } else {
+                            // Blind write before reading: not an RMW pattern.
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let (Some((_, v)), true) = (first_read, writes_after) {
+                let g = rmw.entry(v).or_default();
+                if !g.contains(&t.id) {
+                    g.push(t.id);
+                }
+            }
+        }
+        let mut groups: Vec<(Version, Vec<TxnId>)> =
+            rmw.into_iter().filter(|(_, g)| g.len() >= 2).collect();
+        groups.sort_unstable_by_key(|(v, _)| *v);
+        for (_, g) in &mut groups {
+            g.sort_unstable();
+        }
+        report_lost_updates(vocab, key, groups, |v| show(*v), out);
+
+        if poisoned {
+            return;
+        }
+
+        // ── Version order edges. ───────────────────────────────────────
+        let mut vids: FxHashMap<Version, u32> = FxHashMap::default();
+        let mut vlist: Vec<Version> = Vec::new();
+        let id_of = |v: Version, vids: &mut FxHashMap<Version, u32>, vlist: &mut Vec<Version>| {
+            *vids.entry(v).or_insert_with(|| {
+                vlist.push(v);
+                (vlist.len() - 1) as u32
+            })
+        };
+        let mut vedges: Vec<(u32, u32, VSource)> = Vec::new();
+
+        if opts.initial_state {
+            for v in versions {
+                if v.is_some() {
+                    let a = id_of(None, &mut vids, &mut vlist);
+                    let b = id_of(*v, &mut vids, &mut vlist);
+                    vedges.push((a, b, VSource::Initial));
+                }
+            }
+        }
+
+        if opts.writes_follow_reads {
+            for t in touching {
+                let mut cur: Option<Version> = None;
+                for m in &t.mops {
+                    match m {
+                        Mop::Write { key: k, elem } if *k == key => {
+                            if let Some(prev) = cur {
+                                if prev != Some(*elem) {
+                                    let a = id_of(prev, &mut vids, &mut vlist);
+                                    let b = id_of(Some(*elem), &mut vids, &mut vlist);
+                                    vedges.push((a, b, VSource::Chain));
+                                }
+                            }
+                            cur = Some(Some(*elem));
+                        }
+                        Mop::Read {
+                            key: k,
+                            value: Some(ReadValue::Register(v)),
+                        } if *k == key => {
+                            // Reads do not add edges; they update the cursor.
+                            // (A mismatched read was already reported as
+                            // internal; trust the read for ordering.)
+                            cur = Some(*v);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        if opts.sequential_keys {
+            let mut last_of: FxHashMap<elle_history::ProcessId, Version> = FxHashMap::default();
+            for t in touching {
+                if let Some((first, last)) = first_last_versions(t, key) {
+                    if let Some(prev_last) = last_of.get(&t.process) {
+                        if *prev_last != first {
+                            let a = id_of(*prev_last, &mut vids, &mut vlist);
+                            let b = id_of(first, &mut vids, &mut vlist);
+                            vedges.push((a, b, VSource::Process));
+                        }
+                    }
+                    last_of.insert(t.process, last);
+                }
+            }
+        }
+
+        if opts.linearizable_keys {
+            let intervals: Vec<Interval> = touching
+                .iter()
+                .map(|t| Interval {
+                    invoke: t.invoke_index,
+                    complete: t.complete_index,
+                })
+                .collect();
+            for (a, b) in interval_order_reduction(&intervals) {
+                let (ta, tb) = (touching[a as usize], touching[b as usize]);
+                let (_, last_a) = first_last_versions(ta, key).expect("touching");
+                let (first_b, _) = first_last_versions(tb, key).expect("touching");
+                if last_a != first_b {
+                    let x = id_of(last_a, &mut vids, &mut vlist);
+                    let y = id_of(first_b, &mut vids, &mut vlist);
+                    vedges.push((x, y, VSource::Realtime));
+                }
+            }
+        }
+
+        // ── Cycle check on the version graph. ──────────────────────────
+        let mut vg = DiGraph::with_vertices(vlist.len());
+        for &(a, b, _) in &vedges {
+            vg.add_edge(a, b, EdgeClass::Version);
+        }
+        let sccs = tarjan_scc(&vg, EdgeMask::VERSION);
+        if !sccs.is_empty() {
+            let cyc_versions: Vec<String> =
+                sccs[0].iter().map(|&i| show(vlist[i as usize])).collect();
+            let sources: FxHashSet<&'static str> = vedges
+                .iter()
+                .filter(|(a, b, _)| sccs[0].contains(a) && sccs[0].contains(b))
+                .map(|(_, _, s)| s.describe())
+                .collect();
+            let mut txns: Vec<TxnId> = sccs[0]
+                .iter()
+                .filter_map(|&i| {
+                    vlist[i as usize]
+                        .and_then(|e| cx.elems.writer(key, e))
+                        .map(|w| w.txn)
+                })
+                .collect();
+            txns.sort_unstable();
+            txns.dedup();
+            out.cyclic = true;
+            out.anomaly(
+                AnomalyType::CyclicVersionOrder,
+                txns,
+                key,
+                format!(
+                    "the inferred version order of register {key} is cyclic over values \
+                     {{{}}} (sources: {}); discarding this key's dependencies",
+                    cyc_versions.join(", "),
+                    {
+                        let mut s: Vec<&str> = sources.into_iter().collect();
+                        s.sort_unstable();
+                        s.join(", ")
+                    }
+                ),
+            );
+            return;
+        }
+
+        // ── wr edges from recoverable reads. ───────────────────────────
+        for (v, readers) in readers_of {
+            let Some(e) = v else { continue };
+            let Some(w) = cx.elems.writer(key, *e) else {
+                continue;
+            };
+            if w.status == TxnStatus::Aborted {
+                continue;
+            }
             for r in readers {
-                out.deps.add(
-                    *r,
-                    wb.txn,
-                    Witness::RwReg {
-                        key,
-                        read: va,
-                        next: eb,
-                    },
-                );
+                out.edge(w.txn, *r, Witness::WrReg { key, elem: *e });
+            }
+        }
+
+        // ── ww / rw edges from version-order edges. ────────────────────
+        let mut seen_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for &(a, b, _) in &vedges {
+            if !seen_pairs.insert((a, b)) {
+                continue;
+            }
+            let (va, vb) = (vlist[a as usize], vlist[b as usize]);
+            let Some(eb) = vb else { continue };
+            let Some(wb) = cx.elems.writer(key, eb) else {
+                continue;
+            };
+            if wb.status == TxnStatus::Aborted {
+                continue;
+            }
+            if let Some(ea) = va {
+                if let Some(wa) = cx.elems.writer(key, ea) {
+                    if wa.status != TxnStatus::Aborted {
+                        out.edge(
+                            wa.txn,
+                            wb.txn,
+                            Witness::WwReg {
+                                key,
+                                prev: va,
+                                next: eb,
+                            },
+                        );
+                    }
+                }
+            }
+            if let Some(readers) = readers_of.get(&va) {
+                for r in readers {
+                    out.edge(
+                        *r,
+                        wb.txn,
+                        Witness::RwReg {
+                            key,
+                            read: va,
+                            next: eb,
+                        },
+                    );
+                }
             }
         }
     }

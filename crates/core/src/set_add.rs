@@ -10,12 +10,20 @@
 //! * `rw`: a reader that did *not* observe a committed add precedes the
 //!   adder (the add's version must follow the version read, because adds
 //!   only grow and versions of one key form a chain in clean histories).
+//!
+//! The shared passes (duplicates, garbage, G1a, internal consistency
+//! scaffolding) live in [`crate::datatype`]; this module contributes the
+//! subset-chain reasoning that order-free sets admit.
 
 use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::datatype::{
+    self, internal_pass, AnalysisCtx, DatatypeAnalysis, InternalMismatch, KeySink, Provenance,
+    ProvenanceScan, Vocab,
+};
 use crate::deps::DepGraph;
-use crate::observation::ElemIndex;
+use crate::observation::{DataType, ElemIndex};
 use elle_history::{Elem, History, Key, Mop, ReadValue, TxnId, TxnStatus};
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashMap;
 use std::collections::BTreeSet;
 
 /// Result of the set analysis.
@@ -29,176 +37,151 @@ pub struct SetAnalysis {
 
 /// Run the analysis over the set keys.
 pub fn analyze(history: &History, elems: &ElemIndex, set_keys: &[Key]) -> SetAnalysis {
-    let mut out = SetAnalysis {
-        deps: DepGraph::with_txns(history.len()),
-        ..Default::default()
+    let out = datatype::run::<SetAdd>(history, elems, set_keys, ());
+    SetAnalysis {
+        deps: out.deps,
+        anomalies: out.anomalies,
+    }
+}
+
+/// Everything the per-key analysis needs about one set key.
+#[derive(Debug, Default)]
+pub struct SetKeyData<'h> {
+    /// Committed reads, in invocation order.
+    reads: Vec<(TxnId, &'h BTreeSet<Elem>)>,
+    /// Committed adds, in invocation order.
+    adds: Vec<(TxnId, Elem)>,
+}
+
+/// The grow-only set [`DatatypeAnalysis`].
+pub struct SetAdd;
+
+impl DatatypeAnalysis for SetAdd {
+    type Config = ();
+    type Aux<'h> = ();
+    type KeyData<'h> = SetKeyData<'h>;
+
+    const DATATYPE: DataType = DataType::Set;
+    const VOCAB: Vocab = Vocab {
+        object: "set",
+        item: "element",
+        wrote: "added",
+        written: "added",
+        wrote_to: "added to",
+        rmw: "added to",
+        garbage_per_reader: true,
     };
-    let key_set: FxHashSet<Key> = set_keys.iter().copied().collect();
 
-    check_internal(history, &key_set, &mut out);
-
-    // Duplicate adds poison recoverability: the element → adder map is no
-    // longer a bijection, so provenance-based inferences are skipped.
-    let mut poisoned: FxHashSet<Key> = FxHashSet::default();
-    for (k, e, txns) in &elems.duplicates {
-        if !key_set.contains(k) {
-            continue;
-        }
-        poisoned.insert(*k);
-        out.anomalies.push(Anomaly {
-            typ: AnomalyType::DuplicateWrite,
-            txns: txns.clone(),
-            key: Some(*k),
-            steps: vec![],
-            explanation: format!(
-                "element {e} was added to set {k} by more than one transaction; \
-                 versions of {k} are not recoverable"
-            ),
+    /// Internal consistency: a read must contain everything the
+    /// transaction previously read plus its own adds.
+    fn check_internal(cx: &AnalysisCtx<'_, ()>, sink: &mut KeySink) {
+        internal_pass(cx, sink, |_t, m, key, exp: &mut BTreeSet<Elem>| match m {
+            Mop::AddToSet { elem, .. } => {
+                exp.insert(*elem);
+                None
+            }
+            Mop::Read {
+                value: Some(ReadValue::Set(s)),
+                ..
+            } => {
+                let mismatch = (!exp.is_subset(s)).then(|| {
+                    let missing: Vec<String> = exp.difference(s).map(|e| e.to_string()).collect();
+                    InternalMismatch {
+                        message: format!(
+                            "read of set {key} is missing {{{}}} which this transaction \
+                             itself added or observed",
+                            missing.join(", ")
+                        ),
+                    }
+                });
+                *exp = s.clone();
+                mismatch
+            }
+            _ => None,
         });
     }
 
-    // Committed reads per key, and committed adders per key.
-    let mut reads_by_key: FxHashMap<Key, Vec<(TxnId, &BTreeSet<Elem>)>> = FxHashMap::default();
-    let mut ok_adds: FxHashMap<Key, Vec<(TxnId, Elem)>> = FxHashMap::default();
-    for t in history.txns() {
-        for m in &t.mops {
-            match m {
-                Mop::AddToSet { key, elem }
-                    if key_set.contains(key) && t.status == TxnStatus::Committed =>
-                {
-                    ok_adds.entry(*key).or_default().push((t.id, *elem));
+    fn gather<'h>(cx: &AnalysisCtx<'h, ()>) -> ((), FxHashMap<Key, SetKeyData<'h>>) {
+        let mut data: FxHashMap<Key, SetKeyData<'h>> = FxHashMap::default();
+        for t in cx.history.txns() {
+            if t.status != TxnStatus::Committed {
+                continue;
+            }
+            for m in &t.mops {
+                match m {
+                    Mop::AddToSet { key, elem } if cx.key_set.contains(key) => {
+                        data.entry(*key).or_default().adds.push((t.id, *elem));
+                    }
+                    Mop::Read {
+                        key,
+                        value: Some(ReadValue::Set(s)),
+                    } if cx.key_set.contains(key) => {
+                        data.entry(*key).or_default().reads.push((t.id, s));
+                    }
+                    _ => {}
                 }
-                Mop::Read {
-                    key,
-                    value: Some(ReadValue::Set(s)),
-                } if key_set.contains(key) && t.status == TxnStatus::Committed => {
-                    reads_by_key.entry(*key).or_default().push((t.id, s));
-                }
-                _ => {}
             }
         }
+        ((), data)
     }
 
-    let mut keys: Vec<Key> = reads_by_key.keys().copied().collect();
-    keys.sort_unstable();
-    for key in keys {
-        let reads = &reads_by_key[&key];
-        let key_poisoned = poisoned.contains(&key);
+    fn analyze_key<'h>(
+        cx: &AnalysisCtx<'h, ()>,
+        _aux: &(),
+        key: Key,
+        data: &SetKeyData<'h>,
+        poisoned: bool,
+        out: &mut KeySink,
+    ) {
+        let vocab = &Self::VOCAB;
+        let SetKeyData { reads, adds } = data;
 
-        // Element provenance: garbage always; G1a / wr only when the
-        // element → adder map is trustworthy.
+        // ── Element provenance (shared scan): garbage always; G1a and
+        //    wr only when the element → adder map is trustworthy. ───────
+        let mut scan = ProvenanceScan::new();
         for (reader, s) in reads {
             for e in s.iter() {
-                match elems.writer(key, *e) {
-                    None => {
-                        out.anomalies.push(Anomaly {
-                            typ: AnomalyType::GarbageRead,
-                            txns: vec![*reader],
-                            key: Some(key),
-                            steps: vec![],
-                            explanation: format!(
-                                "{}\n  observed element {e} of set {key}, which no \
-                                 transaction ever added",
-                                history.get(*reader).to_notation()
-                            ),
-                        });
-                    }
-                    Some(_) if key_poisoned => {}
-                    Some(w) => {
-                        if w.status == TxnStatus::Aborted {
-                            out.anomalies.push(Anomaly {
-                                typ: AnomalyType::G1a,
-                                txns: vec![*reader, w.txn],
-                                key: Some(key),
-                                steps: vec![],
-                                explanation: format!(
-                                    "{}\n  observed element {e} of set {key}, added by \
-                                     aborted transaction {}",
-                                    history.get(*reader).to_notation(),
-                                    w.txn
-                                ),
-                            });
-                        } else {
-                            out.deps.add(w.txn, *reader, Witness::WrSet { key, elem: *e });
-                        }
-                    }
+                if let Provenance::Ok(w) =
+                    scan.provenance(cx, vocab, key, *reader, *e, poisoned, out)
+                {
+                    out.edge(w.txn, *reader, Witness::WrSet { key, elem: *e });
                 }
             }
         }
 
-        // rw edges: committed adds missing from a read.
-        if let Some(adds) = ok_adds.get(&key).filter(|_| !key_poisoned) {
+        // ── rw edges: committed adds missing from a read. ──────────────
+        if !poisoned {
             for (reader, s) in reads {
                 for (adder, e) in adds {
                     if !s.contains(e) {
-                        out.deps.add(*reader, *adder, Witness::RwSet { key, elem: *e });
+                        out.edge(*reader, *adder, Witness::RwSet { key, elem: *e });
                     }
                 }
             }
         }
 
-        // rr chain + compatibility: committed reads must form a ⊆-chain.
+        // ── rr chain + compatibility: committed reads must form a
+        //    ⊆-chain. ───────────────────────────────────────────────────
         let mut sorted: Vec<&(TxnId, &BTreeSet<Elem>)> = reads.iter().collect();
         sorted.sort_by_key(|(_, s)| s.len());
         for w in sorted.windows(2) {
             let ((ta, sa), (tb, sb)) = (w[0], w[1]);
             if sa.is_subset(sb) {
                 if sa.len() < sb.len() {
-                    out.deps.add(*ta, *tb, Witness::Rr { key });
+                    out.edge(*ta, *tb, Witness::Rr { key });
                 }
             } else {
-                out.anomalies.push(Anomaly {
-                    typ: AnomalyType::IncompatibleOrder,
-                    txns: vec![*ta, *tb],
-                    key: Some(key),
-                    steps: vec![],
-                    explanation: format!(
+                out.anomaly(
+                    AnomalyType::IncompatibleOrder,
+                    vec![*ta, *tb],
+                    key,
+                    format!(
                         "{}\n{}\n  committed reads of set {key} are incomparable \
                          ({sa:?} vs {sb:?}): they cannot lie on one version order",
-                        history.get(*ta).to_notation(),
-                        history.get(*tb).to_notation()
+                        cx.history.get(*ta).to_notation(),
+                        cx.history.get(*tb).to_notation()
                     ),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// Internal consistency: a read must contain everything the transaction
-/// previously read plus its own adds.
-fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut SetAnalysis) {
-    for t in history.txns() {
-        let mut expected: FxHashMap<Key, BTreeSet<Elem>> = FxHashMap::default();
-        for m in &t.mops {
-            match m {
-                Mop::AddToSet { key, elem } if key_set.contains(key) => {
-                    expected.entry(*key).or_default().insert(*elem);
-                }
-                Mop::Read {
-                    key,
-                    value: Some(ReadValue::Set(s)),
-                } if key_set.contains(key) => {
-                    let exp = expected.entry(*key).or_default();
-                    if !exp.is_subset(s) {
-                        let missing: Vec<String> =
-                            exp.difference(s).map(|e| e.to_string()).collect();
-                        out.anomalies.push(Anomaly {
-                            typ: AnomalyType::Internal,
-                            txns: vec![t.id],
-                            key: Some(*key),
-                            steps: vec![],
-                            explanation: format!(
-                                "{}\n  read of set {key} is missing {{{}}} which this \
-                                 transaction itself added or observed",
-                                t.to_notation(),
-                                missing.join(", ")
-                            ),
-                        });
-                    }
-                    *exp = s.clone();
-                }
-                _ => {}
+                );
             }
         }
     }
@@ -303,7 +286,11 @@ mod tests {
     fn clean_set_history() {
         let mut b = HistoryBuilder::new();
         b.txn(0).add_to_set(1, 1).commit();
-        b.txn(1).read_set(1, [1]).add_to_set(1, 2).read_set(1, [1, 2]).commit();
+        b.txn(1)
+            .read_set(1, [1])
+            .add_to_set(1, 2)
+            .read_set(1, [1, 2])
+            .commit();
         b.txn(2).read_set(1, [1, 2]).commit();
         let a = run(&b.build());
         assert!(a.anomalies.is_empty(), "{:?}", a.anomalies);

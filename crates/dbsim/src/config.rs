@@ -177,8 +177,8 @@ mod tests {
 
     #[test]
     fn processes_clamped_to_one() {
-        let c = DbConfig::new(IsolationLevel::ReadCommitted, ObjectKind::Register)
-            .with_processes(0);
+        let c =
+            DbConfig::new(IsolationLevel::ReadCommitted, ObjectKind::Register).with_processes(0);
         assert_eq!(c.processes, 1);
     }
 

@@ -467,15 +467,12 @@ mod tests {
 
     #[test]
     fn stale_read_timestamp_bug_reads_past() {
-        let cfg = DbConfig::new(
-            IsolationLevel::StrictSerializable,
-            ObjectKind::ListAppend,
-        )
-        .with_bug(Bug::StaleReadTimestamp {
-            period: 10,
-            window: 10,
-            lag: 100,
-        });
+        let cfg = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+            .with_bug(Bug::StaleReadTimestamp {
+                period: 10,
+                window: 10,
+                lag: 100,
+            });
         let mut e = Engine::new(cfg);
         let mut r = rng();
         run_txn(&mut e, vec![Mop::append(1, 1)], &mut r);
@@ -487,12 +484,13 @@ mod tests {
 
     #[test]
     fn fresh_shard_nil_reads() {
-        let cfg = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::Register)
-            .with_bug(Bug::FreshShardNilReads {
+        let cfg = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::Register).with_bug(
+            Bug::FreshShardNilReads {
                 period: 10,
                 window: 10,
                 shards: 1,
-            });
+            },
+        );
         let mut e = Engine::new(cfg);
         let mut r = rng();
         run_txn(&mut e, vec![Mop::write(1, 5)], &mut r);

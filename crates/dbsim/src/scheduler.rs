@@ -125,8 +125,8 @@ impl SimDb {
                             }
                             ok
                         };
-                        let lost_ack = cfg.faults.info_prob > 0.0
-                            && rng.gen_bool(cfg.faults.info_prob);
+                        let lost_ack =
+                            cfg.faults.info_prob > 0.0 && rng.gen_bool(cfg.faults.info_prob);
                         if lost_ack {
                             // Outcome stands server-side; client learns
                             // nothing.
@@ -224,12 +224,8 @@ mod tests {
             };
             expect.entry(k).or_default().push(e);
             match &t.mops[1] {
-                Mop::Read {
-                    value: Some(v),
-                    ..
-                } => {
-                    let got: Vec<u64> =
-                        v.as_list().unwrap().iter().map(|e| e.0).collect();
+                Mop::Read { value: Some(v), .. } => {
+                    let got: Vec<u64> = v.as_list().unwrap().iter().map(|e| e.0).collect();
                     assert_eq!(&got, expect.get(&k).unwrap());
                 }
                 other => panic!("unresolved read {other:?}"),

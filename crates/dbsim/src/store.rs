@@ -128,7 +128,8 @@ mod tests {
     #[test]
     fn current_state_is_separate() {
         let mut s = Store::new();
-        s.current_mut(K, KIND).apply(&elle_history::Mop::append(1, 7));
+        s.current_mut(K, KIND)
+            .apply(&elle_history::Mop::append(1, 7));
         assert_eq!(s.current(K, KIND), list(&[7]));
         // Committed chain untouched.
         assert_eq!(s.latest_ts(K), 0);

@@ -241,9 +241,7 @@ mod tests {
     fn respects_mask() {
         let g = g_from(&[(0, 1, EdgeClass::Ww), (1, 0, EdgeClass::Rw)]);
         assert!(shortest_cycle_through(&g, 0, EdgeMask::WW, None).is_none());
-        assert!(
-            shortest_cycle_through(&g, 0, EdgeMask::WW | EdgeMask::RW, None).is_some()
-        );
+        assert!(shortest_cycle_through(&g, 0, EdgeMask::WW | EdgeMask::RW, None).is_some());
     }
 
     #[test]
@@ -281,13 +279,8 @@ mod tests {
             (2, 0, EdgeClass::Wr),
         ]);
         let comp = vec![0, 1, 2];
-        let found = find_cycle_with_single(
-            &g,
-            &comp,
-            EdgeMask::RW,
-            EdgeMask::WW | EdgeMask::WR,
-            10,
-        );
+        let found =
+            find_cycle_with_single(&g, &comp, EdgeMask::RW, EdgeMask::WW | EdgeMask::WR, 10);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0], vec![0, 1, 2]);
     }
@@ -295,18 +288,10 @@ mod tests {
     #[test]
     fn single_edge_search_rejects_two_rw() {
         // Needs two rw edges to close: not G-single.
-        let g = g_from(&[
-            (0, 1, EdgeClass::Rw),
-            (1, 0, EdgeClass::Rw),
-        ]);
+        let g = g_from(&[(0, 1, EdgeClass::Rw), (1, 0, EdgeClass::Rw)]);
         let comp = vec![0, 1];
-        let found = find_cycle_with_single(
-            &g,
-            &comp,
-            EdgeMask::RW,
-            EdgeMask::WW | EdgeMask::WR,
-            10,
-        );
+        let found =
+            find_cycle_with_single(&g, &comp, EdgeMask::RW, EdgeMask::WW | EdgeMask::WR, 10);
         assert!(found.is_empty());
         // But allowing rw in the rest finds the G2 cycle.
         let g2 = find_cycle_with_single(
@@ -348,8 +333,7 @@ mod tests {
         }
         let g = g_from(&edges);
         let comp: Vec<u32> = (0..20).collect();
-        let found =
-            find_cycle_with_single(&g, &comp, EdgeMask::RW, EdgeMask::WW, 3);
+        let found = find_cycle_with_single(&g, &comp, EdgeMask::RW, EdgeMask::WW, 3);
         assert_eq!(found.len(), 3);
     }
 }

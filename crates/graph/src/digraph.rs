@@ -113,7 +113,9 @@ impl EdgeMask {
 
     /// Iterate over the classes present.
     pub fn iter(self) -> impl Iterator<Item = EdgeClass> {
-        EdgeClass::ALL.into_iter().filter(move |c| self.contains(*c))
+        EdgeClass::ALL
+            .into_iter()
+            .filter(move |c| self.contains(*c))
     }
 }
 

@@ -80,8 +80,7 @@ pub fn tarjan_scc(g: &DiGraph, allowed: EdgeMask) -> Vec<Vec<u32>> {
                         break;
                     }
                 }
-                let cyclic = comp.len() > 1
-                    || g.edge_mask(comp[0], comp[0]).intersects(allowed);
+                let cyclic = comp.len() > 1 || g.edge_mask(comp[0], comp[0]).intersects(allowed);
                 if cyclic {
                     comp.sort_unstable();
                     sccs.push(comp);

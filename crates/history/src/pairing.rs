@@ -91,12 +91,12 @@ impl EventLog {
                     }
                 }
                 EventKind::Ok | EventKind::Fail | EventKind::Info => {
-                    let inv = open.remove(&ev.process).ok_or(
-                        PairingError::CompletionWithoutInvoke {
-                            index: ev.index,
-                            process: ev.process,
-                        },
-                    )?;
+                    let inv =
+                        open.remove(&ev.process)
+                            .ok_or(PairingError::CompletionWithoutInvoke {
+                                index: ev.index,
+                                process: ev.process,
+                            })?;
                     if !mops_compatible(&inv.mops, &ev.mops) {
                         return Err(PairingError::MismatchedMops {
                             index: ev.index,
@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn pairs_simple_ok() {
         let mut l = log();
-        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::append(1, 1), Mop::read(1)]);
+        l.push(
+            ProcessId(0),
+            EventKind::Invoke,
+            vec![Mop::append(1, 1), Mop::read(1)],
+        );
         l.push(
             ProcessId(0),
             EventKind::Ok,

@@ -73,9 +73,10 @@ impl Transaction {
 
     /// Iterate over writes carrying an element: `(mop position, key, elem)`.
     pub fn elem_writes(&self) -> impl Iterator<Item = (usize, Key, Elem)> + '_ {
-        self.mops.iter().enumerate().filter_map(|(i, m)| {
-            m.written_elem().map(|e| (i, m.key(), e))
-        })
+        self.mops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.written_elem().map(|e| (i, m.key(), e)))
     }
 
     /// Does this transaction write (any flavour) to `key`?
@@ -184,10 +185,7 @@ mod tests {
     #[test]
     fn notation_matches_paper() {
         let mut b = HistoryBuilder::new();
-        b.txn(0)
-            .append(34, 5)
-            .read_list(34, [2, 1, 5, 4])
-            .commit();
+        b.txn(0).append(34, 5).read_list(34, [2, 1, 5, 4]).commit();
         let h = b.build();
         assert_eq!(
             h.get(TxnId(0)).to_notation(),

@@ -12,8 +12,7 @@ fn arb_read_value() -> impl Strategy<Value = ReadValue> {
         prop::collection::vec(0u64..50, 0..6).prop_map(ReadValue::list),
         prop::option::of(0u64..50).prop_map(|v| ReadValue::Register(v.map(elle_history::Elem))),
         (-20i64..20).prop_map(ReadValue::Counter),
-        prop::collection::btree_set(0u64..50, 0..6)
-            .prop_map(|s| ReadValue::set(s.into_iter())),
+        prop::collection::btree_set(0u64..50, 0..6).prop_map(|s| ReadValue::set(s.into_iter())),
     ]
 }
 

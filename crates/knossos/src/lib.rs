@@ -177,7 +177,8 @@ pub fn check(history: &History, opts: KnossosOptions) -> KnossosResult {
     let mut by_complete: Vec<(usize, usize)> = cands
         .iter()
         .enumerate()
-        .filter(|&(_i, c)| c.required).map(|(i, c)| (c.complete.expect("ok txns complete"), i))
+        .filter(|&(_i, c)| c.required)
+        .map(|(i, c)| (c.complete.expect("ok txns complete"), i))
         .collect();
     by_complete.sort_unstable();
     // preds[i] = number of required txns completing before cands[i].invoke.

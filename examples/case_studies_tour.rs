@@ -18,8 +18,8 @@ fn workload(kind: ObjectKind, seed: u64) -> GenParams {
         read_prob: 0.5,
         kind,
         seed,
-            final_reads: false,
-        }
+        final_reads: false,
+    }
 }
 
 fn main() {
@@ -49,7 +49,11 @@ fn main() {
     )
     .unwrap();
     let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
-    println!("YugaByte (StaleReadTimestamp): ok={} types={:?}", r.ok(), r.types());
+    println!(
+        "YugaByte (StaleReadTimestamp): ok={} types={:?}",
+        r.ok(),
+        r.types()
+    );
 
     // §7.3 FaunaDB: index reads missing tentative writes.
     let h = run_workload(
@@ -61,7 +65,11 @@ fn main() {
     )
     .unwrap();
     let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
-    println!("FaunaDB (IndexMissesOwnWrites): ok={} types={:?}", r.ok(), r.types());
+    println!(
+        "FaunaDB (IndexMissesOwnWrites): ok={} types={:?}",
+        r.ok(),
+        r.types()
+    );
 
     // §7.4 Dgraph: fresh-shard nil reads on registers.
     let h = run_workload(
@@ -86,5 +94,9 @@ fn main() {
             linearizable_keys: true,
         });
     let r = Checker::new(opts).check(&h);
-    println!("Dgraph (FreshShardNilReads): ok={} types={:?}", r.ok(), r.types());
+    println!(
+        "Dgraph (FreshShardNilReads): ok={} types={:?}",
+        r.ok(),
+        r.types()
+    );
 }

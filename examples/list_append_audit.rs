@@ -40,8 +40,8 @@ fn main() {
         read_prob: 0.5,
         kind: ObjectKind::ListAppend,
         seed: 42,
-            final_reads: false,
-        };
+        final_reads: false,
+    };
     let db = DbConfig::new(level, ObjectKind::ListAppend)
         .with_processes(10)
         .with_seed(42)

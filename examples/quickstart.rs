@@ -21,7 +21,10 @@ fn main() {
         .at(4, Some(20))
         .commit();
     b.txn(1).append(34, 5).at(5, Some(19)).commit();
-    b.txn(2).read_list(34, [2, 1, 5, 4]).at(21, Some(22)).commit();
+    b.txn(2)
+        .read_list(34, [2, 1, 5, 4])
+        .at(21, Some(22))
+        .commit();
     let history = b.build();
 
     // Check against the level TiDB claimed: snapshot isolation.

@@ -21,8 +21,8 @@ fn main() {
         read_prob: 0.5,
         kind: ObjectKind::Register,
         seed: 7,
-            final_reads: false,
-        };
+        final_reads: false,
+    };
     let db = DbConfig::new(IsolationLevel::SnapshotIsolation, ObjectKind::Register)
         .with_processes(8)
         .with_seed(7)
@@ -49,9 +49,7 @@ fn main() {
 
     // §7.4: "Elle automatically reports and discards these inconsistent
     // version orders, to avoid generating trivial cycles."
-    let cyclic = report
-        .of_type(AnomalyType::CyclicVersionOrder)
-        .count();
+    let cyclic = report.of_type(AnomalyType::CyclicVersionOrder).count();
     println!("cyclic version orders reported and discarded: {cyclic}");
 
     for a in report.anomalies.iter().filter(|a| a.typ.is_cycle()).take(1) {

@@ -17,11 +17,11 @@ fn main() {
         IsolationLevel::StrictSerializable,
     ];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &level in &levels {
             for seed in 0..4u64 {
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let params = GenParams {
                         n_txns: 800,
                         min_txn_len: 1,
@@ -31,8 +31,8 @@ fn main() {
                         read_prob: 0.5,
                         kind: ObjectKind::ListAppend,
                         seed,
-            final_reads: false,
-        };
+                        final_reads: false,
+                    };
                     let db = DbConfig::new(level, ObjectKind::ListAppend)
                         .with_processes(8)
                         .with_seed(seed);
@@ -46,6 +46,5 @@ fn main() {
             let (level, seed, ok, kinds) = h.join().expect("no panics");
             println!("{level:?} seed={seed}: strict-1SR ok={ok} ({kinds} anomaly types)");
         }
-    })
-    .expect("scope");
+    });
 }

@@ -15,13 +15,11 @@ use elle::prelude::*;
 use std::process::ExitCode;
 
 fn parse_model(s: &str) -> Option<ConsistencyModel> {
-    ConsistencyModel::ALL
-        .into_iter()
-        .find(|m| m.name() == s)
+    ConsistencyModel::ALL.into_iter().find(|m| m.name() == s)
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
+fn usage_text() -> String {
+    format!(
         "usage: elle-check <history.json> [options]\n\
          \n\
          options:\n\
@@ -38,8 +36,19 @@ fn usage() -> ExitCode {
         ConsistencyModel::ALL
             .map(|m| format!("                   {}", m.name()))
             .join("\n")
-    );
+    )
+}
+
+/// A usage *error*: help on stderr, exit 2.
+fn usage() -> ExitCode {
+    eprintln!("{}", usage_text());
     ExitCode::from(2)
+}
+
+/// An explicit help request: help on stdout, exit 0.
+fn help() -> ExitCode {
+    println!("{}", usage_text());
+    ExitCode::SUCCESS
 }
 
 fn demo_history() -> History {
@@ -54,7 +63,10 @@ fn demo_history() -> History {
         .at(4, Some(20))
         .commit();
     b.txn(1).append(34, 5).at(5, Some(19)).commit();
-    b.txn(2).read_list(34, [2, 1, 5, 4]).at(21, Some(22)).commit();
+    b.txn(2)
+        .read_list(34, [2, 1, 5, 4])
+        .at(21, Some(22))
+        .commit();
     b.build()
 }
 
@@ -76,7 +88,9 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--model" => {
-                let Some(name) = it.next() else { return usage() };
+                let Some(name) = it.next() else {
+                    return usage();
+                };
                 let Some(m) = parse_model(name) else {
                     eprintln!("unknown model {name:?}");
                     return usage();
@@ -96,7 +110,7 @@ fn main() -> ExitCode {
             }
             "--json" => as_json = true,
             "--demo" => demo = true,
-            "--help" | "-h" => return usage(),
+            "--help" | "-h" => return help(),
             other if path.is_none() && !other.starts_with('-') => {
                 path = Some(other.to_string());
             }

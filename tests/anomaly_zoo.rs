@@ -19,11 +19,19 @@ fn zoo_g0_write_cycle() {
     let mut b = HistoryBuilder::new();
     b.txn(0).append(1, 1).append(2, 2).at(0, Some(3)).commit();
     b.txn(1).append(1, 3).append(2, 4).at(1, Some(2)).commit();
-    b.txn(2).read_list(1, [1, 3]).read_list(2, [4, 2]).at(4, Some(5)).commit();
+    b.txn(2)
+        .read_list(1, [1, 3])
+        .read_list(2, [4, 2])
+        .at(4, Some(5))
+        .commit();
     let r = check(&b.build());
     assert!(has(&r, AnomalyType::G0), "{}", r.summary());
     let a = r.of_type(AnomalyType::G0).next().unwrap();
-    assert!(a.explanation.contains("a contradiction!"), "{}", a.explanation);
+    assert!(
+        a.explanation.contains("a contradiction!"),
+        "{}",
+        a.explanation
+    );
 }
 
 #[test]
@@ -50,7 +58,11 @@ fn zoo_g1c_circular_information_flow() {
     // Concurrent so no realtime contradiction confuses the picture.
     let mut b = HistoryBuilder::new();
     b.txn(0).append(1, 1).append(2, 1).at(0, Some(10)).commit();
-    b.txn(1).read_list(1, [1]).append(2, 2).at(1, Some(9)).commit();
+    b.txn(1)
+        .read_list(1, [1])
+        .append(2, 2)
+        .at(1, Some(9))
+        .commit();
     b.txn(2).read_list(2, [2, 1]).at(11, Some(12)).commit();
     let r = check(&b.build());
     assert!(has(&r, AnomalyType::G1c), "{}", r.summary());
@@ -70,13 +82,24 @@ fn zoo_g_single_read_skew() {
         .at(4, Some(8))
         .commit();
     b.txn(1).append(34, 5).at(5, Some(7)).commit();
-    b.txn(2).read_list(34, [2, 1, 5, 4]).at(9, Some(10)).commit();
+    b.txn(2)
+        .read_list(34, [2, 1, 5, 4])
+        .at(9, Some(10))
+        .commit();
     let r = check(&b.build());
     assert!(has(&r, AnomalyType::GSingle), "{}", r.summary());
     let a = r.of_type(AnomalyType::GSingle).next().unwrap();
     // Figure 2's phrasing.
-    assert!(a.explanation.contains("did not observe"), "{}", a.explanation);
-    assert!(a.explanation.contains("a contradiction!"), "{}", a.explanation);
+    assert!(
+        a.explanation.contains("did not observe"),
+        "{}",
+        a.explanation
+    );
+    assert!(
+        a.explanation.contains("a contradiction!"),
+        "{}",
+        a.explanation
+    );
 }
 
 #[test]
@@ -226,10 +249,9 @@ fn zoo_process_cycle() {
         .with_realtime_edges(false);
     let r = Checker::new(opts).check(&b.build());
     assert!(
-        r.types().iter().any(|t| matches!(
-            t,
-            AnomalyType::GSingleProcess | AnomalyType::G1cProcess
-        )),
+        r.types()
+            .iter()
+            .any(|t| matches!(t, AnomalyType::GSingleProcess | AnomalyType::G1cProcess)),
         "{}",
         r.summary()
     );
@@ -239,14 +261,24 @@ fn zoo_process_cycle() {
 fn zoo_clean_histories_stay_clean() {
     // A moderately rich, correct history across all four datatypes.
     let mut b = HistoryBuilder::new();
-    b.txn(0).append(1, 1).write(10, 1).increment(20, 2).add_to_set(30, 1).commit();
+    b.txn(0)
+        .append(1, 1)
+        .write(10, 1)
+        .increment(20, 2)
+        .add_to_set(30, 1)
+        .commit();
     b.txn(1)
         .read_list(1, [1])
         .read_register(10, Some(1))
         .read_counter(20, 2)
         .read_set(30, [1])
         .commit();
-    b.txn(2).append(1, 2).write(10, 2).increment(20, 3).add_to_set(30, 2).commit();
+    b.txn(2)
+        .append(1, 2)
+        .write(10, 2)
+        .increment(20, 3)
+        .add_to_set(30, 2)
+        .commit();
     b.txn(3)
         .read_list(1, [1, 2])
         .read_register(10, Some(2))

@@ -4,7 +4,10 @@
 
 use elle::prelude::*;
 
-fn seen_types(histories: &[History], opts: CheckOptions) -> std::collections::BTreeSet<AnomalyType> {
+fn seen_types(
+    histories: &[History],
+    opts: CheckOptions,
+) -> std::collections::BTreeSet<AnomalyType> {
     let mut seen = std::collections::BTreeSet::new();
     for h in histories {
         seen.extend(Checker::new(opts).check(h).types());
@@ -76,17 +79,14 @@ fn yugabyte_stale_read_timestamps() {
             seed,
             final_reads: false,
         };
-        let db = DbConfig::new(
-            IsolationLevel::StrictSerializable,
-            ObjectKind::ListAppend,
-        )
-        .with_processes(10)
-        .with_seed(seed)
-        .with_bug(Bug::StaleReadTimestamp {
-            period: 400,
-            window: 120,
-            lag: 0,
-        });
+        let db = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+            .with_processes(10)
+            .with_seed(seed)
+            .with_bug(Bug::StaleReadTimestamp {
+                period: 400,
+                window: 120,
+                lag: 0,
+            });
         let h = run_workload(params, db).unwrap();
         let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
         for t in r.types() {
@@ -135,13 +135,10 @@ fn fauna_index_misses_own_writes() {
             seed,
             final_reads: false,
         };
-        let db = DbConfig::new(
-            IsolationLevel::StrictSerializable,
-            ObjectKind::ListAppend,
-        )
-        .with_processes(6)
-        .with_seed(seed)
-        .with_bug(Bug::IndexMissesOwnWrites { prob: 0.25 });
+        let db = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+            .with_processes(6)
+            .with_seed(seed)
+            .with_bug(Bug::IndexMissesOwnWrites { prob: 0.25 });
         let h = run_workload(params, db).unwrap();
         let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
         seen.extend(r.types());

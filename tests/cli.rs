@@ -58,6 +58,63 @@ fn json_output_parses_as_report() {
     assert!(!report.anomalies.is_empty());
 }
 
+/// The checked-in fixture: the paper's §7.1 TiDB trio (a G-single
+/// violation under snapshot isolation), as `history_to_json` wire data.
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/tidb_g_single.json"
+);
+
+#[test]
+fn help_smoke() {
+    // An explicit help request is a success: help on stdout, exit 0.
+    let out = bin().arg("--help").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: elle-check"), "{stdout}");
+    for flag in [
+        "--model",
+        "--process",
+        "--realtime",
+        "--timestamps",
+        "--json",
+        "--demo",
+    ] {
+        assert!(stdout.contains(flag), "missing {flag} in usage:\n{stdout}");
+    }
+    assert!(stdout.contains("strict-serializable"), "{stdout}");
+    // A usage *error* still reports on stderr with exit 2.
+    let out = bin().arg("--no-such-flag").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: elle-check"));
+}
+
+#[test]
+fn fixture_round_trips_through_serde_io() {
+    let raw = std::fs::read_to_string(FIXTURE).expect("fixture readable");
+    let h = elle::history::history_from_json(&raw).expect("fixture parses");
+    assert_eq!(h.len(), 5);
+    // Byte-stable round trip: parse(serialize(parse(x))) == parse(x),
+    // and serialization itself is deterministic.
+    let json = elle::history::history_to_json(&h);
+    let h2 = elle::history::history_from_json(&json).expect("round trip parses");
+    assert_eq!(h, h2);
+    assert_eq!(json, elle::history::history_to_json(&h2));
+    // The checked-in fixture is exactly what we would write today.
+    assert_eq!(json, raw.trim_end());
+}
+
+#[test]
+fn fixture_flags_g_single_under_snapshot_isolation() {
+    let out = bin()
+        .args([FIXTURE, "--model", "snapshot-isolation"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("G-single"), "{stdout}");
+}
+
 #[test]
 fn bad_usage_exits_2() {
     let out = bin().output().expect("binary runs");

@@ -14,8 +14,8 @@ fn run(kind: ObjectKind, iso: IsolationLevel, seed: u64) -> History {
         read_prob: 0.5,
         kind,
         seed,
-            final_reads: false,
-        };
+        final_reads: false,
+    };
     let db = DbConfig::new(iso, kind).with_processes(8).with_seed(seed);
     run_workload(params, db).unwrap()
 }
@@ -54,7 +54,11 @@ fn set_workloads_under_read_committed_stay_monotone() {
 #[test]
 fn counter_workloads_clean_under_strict_serializability() {
     for seed in [1, 2] {
-        let h = run(ObjectKind::Counter, IsolationLevel::StrictSerializable, seed);
+        let h = run(
+            ObjectKind::Counter,
+            IsolationLevel::StrictSerializable,
+            seed,
+        );
         let r = Checker::new(CheckOptions::strict_serializable()).check(&h);
         assert!(r.ok(), "seed {seed}:\n{}", r.summary());
         assert!(r.anomalies.is_empty(), "seed {seed}:\n{}", r.summary());
@@ -129,8 +133,16 @@ fn mixed_datatype_history_checks_each_key_with_its_own_rules() {
 fn set_cycle_detection_via_rw_edges() {
     // Two transactions that each miss the other's add: G2-item on sets.
     let mut b = HistoryBuilder::new();
-    b.txn(0).read_set(1, []).add_to_set(2, 10).at(0, Some(10)).commit();
-    b.txn(1).read_set(2, []).add_to_set(1, 20).at(1, Some(9)).commit();
+    b.txn(0)
+        .read_set(1, [])
+        .add_to_set(2, 10)
+        .at(0, Some(10))
+        .commit();
+    b.txn(1)
+        .read_set(2, [])
+        .add_to_set(1, 20)
+        .at(1, Some(9))
+        .commit();
     let r = Checker::new(CheckOptions::serializable()).check(&b.build());
     assert!(
         r.types().iter().any(|t| t.base() == AnomalyType::G2Item),

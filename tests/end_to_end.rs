@@ -110,8 +110,8 @@ fn observed_write_coverage_improves_with_final_reads() {
     let db = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
         .with_processes(6)
         .with_seed(8);
-    let without = Checker::new(CheckOptions::strict_serializable())
-        .check(&run_workload(base, db).unwrap());
+    let without =
+        Checker::new(CheckOptions::strict_serializable()).check(&run_workload(base, db).unwrap());
     let with = Checker::new(CheckOptions::strict_serializable())
         .check(&run_workload(base.with_final_reads(true), db).unwrap());
     assert!(without.stats.committed_writes > 0);
@@ -136,7 +136,10 @@ fn dot_export_of_cycles() {
         .at(4, Some(20))
         .commit();
     b.txn(1).append(34, 5).at(5, Some(19)).commit();
-    b.txn(2).read_list(34, [2, 1, 5, 4]).at(21, Some(22)).commit();
+    b.txn(2)
+        .read_list(34, [2, 1, 5, 4])
+        .at(21, Some(22))
+        .commit();
     let r = Checker::new(CheckOptions::snapshot_isolation()).check(&b.build());
     let a = r.of_type(AnomalyType::GSingle).next().expect("read skew");
     let dot = elle::core::explain::cycle_dot(&a.steps);

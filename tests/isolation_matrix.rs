@@ -16,8 +16,8 @@ fn run(iso: IsolationLevel, seed: u64, n: usize) -> History {
         read_prob: 0.5,
         kind: ObjectKind::ListAppend,
         seed,
-            final_reads: false,
-        };
+        final_reads: false,
+    };
     let db = DbConfig::new(iso, ObjectKind::ListAppend)
         .with_processes(8)
         .with_seed(seed);
@@ -181,7 +181,10 @@ fn read_committed_passes_rc_shows_read_skew() {
         saw_lost_update |= r.anomaly_counts.contains_key(&AnomalyType::LostUpdate);
     }
     assert!(saw_skew, "read committed never produced skew");
-    assert!(saw_lost_update, "read committed never produced lost updates");
+    assert!(
+        saw_lost_update,
+        "read committed never produced lost updates"
+    );
 }
 
 #[test]
@@ -267,8 +270,8 @@ fn matrix_over_register_workloads() {
         read_prob: 0.5,
         kind: ObjectKind::Register,
         seed: 5,
-            final_reads: false,
-        };
+        final_reads: false,
+    };
     let strict = run_workload(
         params,
         DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::Register)

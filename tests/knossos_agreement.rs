@@ -15,7 +15,9 @@ fn knossos(h: &History) -> KnossosOutcome {
 }
 
 fn elle_ok(h: &History) -> bool {
-    Checker::new(CheckOptions::strict_serializable()).check(h).ok()
+    Checker::new(CheckOptions::strict_serializable())
+        .check(h)
+        .ok()
 }
 
 fn small_run(iso: IsolationLevel, seed: u64) -> History {
@@ -29,8 +31,8 @@ fn small_run(iso: IsolationLevel, seed: u64) -> History {
         read_prob: 0.5,
         kind: ObjectKind::ListAppend,
         seed,
-            final_reads: false,
-        };
+        final_reads: false,
+    };
     let db = DbConfig::new(iso, ObjectKind::ListAppend)
         .with_processes(3)
         .with_seed(seed);

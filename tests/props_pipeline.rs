@@ -25,8 +25,8 @@ fn arb_params() -> impl Strategy<Value = (GenParams, u64, usize)> {
                     read_prob: rp,
                     kind: ObjectKind::ListAppend,
                     seed,
-            final_reads: false,
-        },
+                    final_reads: false,
+                },
                 seed,
                 procs,
             )

@@ -32,7 +32,11 @@ fn gsi_cycle_detected_from_exposed_timestamps() {
     let opts = CheckOptions::snapshot_isolation().with_timestamp_edges(true);
     let r = Checker::new(opts).check(&h);
     assert!(!r.ok(), "{}", r.summary());
-    assert!(r.anomaly_counts.contains_key(&AnomalyType::GSI), "{}", r.summary());
+    assert!(
+        r.anomaly_counts.contains_key(&AnomalyType::GSI),
+        "{}",
+        r.summary()
+    );
     let a = r.of_type(AnomalyType::GSI).next().unwrap();
     assert!(
         a.explanation.contains("database timestamp"),

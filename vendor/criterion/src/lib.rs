@@ -1,0 +1,302 @@
+//! Vendored criterion shim: a wall-clock benchmark harness with the
+//! upstream API shape (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, throughput annotations) but none of the
+//! statistics machinery. Each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and reports median / mean / throughput
+//! on stdout.
+//!
+//! Set `CRITERION_JSON=<path>` to also write a machine-readable summary
+//! of every benchmark run by the process — used to record datapoints
+//! like `BENCH_checker.json`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured benchmark, as recorded for the JSON summary.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// `group/benchmark` path.
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median sample time.
+    pub median: Duration,
+    /// Mean sample time.
+    pub mean: Duration,
+    /// Per-iteration throughput, if annotated.
+    pub throughput: Option<Throughput>,
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    default_sample_size: usize,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            records: Vec::new(),
+        }
+    }
+}
+
+/// The per-iteration timing handle passed to benchmark closures.
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, keeping its result alive through a black box.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std_black_box(f());
+        self.sample = start.elapsed();
+        self.iters = 1;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let record = run_samples(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self.criterion.records.push(record);
+        self
+    }
+
+    /// Run a benchmark without an input.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let record = run_samples(&full, self.sample_size, self.throughput, |b| f(b));
+        self.criterion.records.push(record);
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let record = run_samples(name, self.default_sample_size, None, |b| f(b));
+        self.records.push(record);
+        self
+    }
+
+    /// Write the JSON summary when `CRITERION_JSON` is set. Called by
+    /// the `criterion_main!`-generated main after all groups ran.
+    pub fn final_summary(&self) {
+        let Some(path) = std::env::var_os("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let throughput = match r.throughput {
+                Some(Throughput::Elements(n)) => format!(
+                    ",\"elements_per_iter\":{n},\"elements_per_sec\":{:.1}",
+                    n as f64 / r.median.as_secs_f64()
+                ),
+                Some(Throughput::Bytes(n)) => format!(
+                    ",\"bytes_per_iter\":{n},\"bytes_per_sec\":{:.1}",
+                    n as f64 / r.median.as_secs_f64()
+                ),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {{\"id\":\"{}\",\"samples\":{},\"median_ns\":{},\"mean_ns\":{}{}}}",
+                r.id,
+                r.samples,
+                r.median.as_nanos(),
+                r.mean.as_nanos(),
+                throughput
+            ));
+        }
+        out.push_str("\n]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: cannot write {path:?}: {e}");
+        }
+    }
+}
+
+fn run_samples(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut run: impl FnMut(&mut Bencher),
+) -> Record {
+    let mut b = Bencher {
+        sample: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up (also catches closures that never call `iter`).
+    run(&mut b);
+    assert!(b.iters > 0, "benchmark {id} never called Bencher::iter");
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        run(&mut b);
+        samples.push(b.sample);
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:>11.1} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:>11.1} B/s", n as f64 / median.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!("{id:<40} time: [median {median:>10.3?}  mean {mean:>10.3?}]{thrpt}");
+
+    Record {
+        id: id.to_string(),
+        samples: sample_size,
+        median,
+        mean,
+        throughput,
+    }
+}
+
+/// Bundle benchmark functions into a group runner, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(100));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, x| {
+                b.iter(|| x * 2)
+            });
+            g.bench_function("plain", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        c.bench_function("solo", |b| b.iter(|| black_box(42)));
+        assert_eq!(c.records.len(), 3);
+        assert_eq!(c.records[0].id, "g/7");
+        assert!(c.records[0].throughput.is_some());
+        assert_eq!(c.records[1].id, "g/plain");
+        assert_eq!(c.records[2].id, "solo");
+    }
+}

@@ -1,0 +1,160 @@
+//! Vendored subset of `rayon`: `par_iter().map(..).collect()` over
+//! slices, backed by `std::thread::scope`. Order-preserving — chunk
+//! results are concatenated in input order, so a parallel map is
+//! observationally identical to its sequential counterpart.
+//!
+//! This is not a work-stealing pool; each `collect` spawns up to
+//! `available_parallelism` scoped threads over contiguous chunks. For
+//! the checker's per-key partitions (coarse, similarly-sized units of
+//! work) that is within noise of the real thing, and it keeps the
+//! build offline.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Rayon-style prelude: glob-import to get the parallel-iterator traits.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel operation will use at most.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Types offering a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type yielded.
+    type Item: Sync + 'a;
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The operations shared by this shim's parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Run the pipeline, producing items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Collect into a container (only `Vec<Item>` is supported).
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_slice(self.items, &self.f)
+    }
+}
+
+/// Containers constructible from an ordered parallel result.
+pub trait FromParallel<T> {
+    /// Build from items already in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Order-preserving parallel map over a slice: the workhorse behind the
+/// iterator facade, also usable directly.
+pub fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = none.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

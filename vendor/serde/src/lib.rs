@@ -1,0 +1,448 @@
+//! Vendored serde shim: a self-describing [`Value`] tree plus
+//! [`Serialize`] / [`Deserialize`] traits the `serde_derive` proc-macro
+//! targets. The data model mirrors serde_json's external representation
+//! (externally-tagged enums, transparent newtypes, null-for-`None`), so
+//! JSON written by this shim matches what upstream serde_json would
+//! produce for the same types.
+//!
+//! Only the surface this workspace uses is implemented; it is a build
+//! shim, not a serde replacement.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value: the intermediate form between typed data
+/// and a concrete wire format (serde_json renders it as JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// The error type shared by deserialization and the JSON front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerdeError {
+    msg: String,
+}
+
+impl SerdeError {
+    /// Construct from any displayable message.
+    pub fn new<T: fmt::Display>(msg: T) -> Self {
+        SerdeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+/// Deserialization support: the error-construction trait callers import
+/// as `serde::de::Error`.
+pub mod de {
+    use std::fmt;
+
+    /// Construct format-agnostic deserialization errors.
+    pub trait Error: Sized {
+        /// An error carrying a custom message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::SerdeError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            super::SerdeError::new(msg)
+        }
+    }
+}
+
+/// Types renderable to a [`Value`].
+pub trait Serialize {
+    /// Render to the self-describing value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the self-describing value tree.
+    fn deserialize(v: &Value) -> Result<Self, SerdeError>;
+}
+
+// ── Primitive impls ─────────────────────────────────────────────────────
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    _ => return Err(SerdeError::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| SerdeError::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| SerdeError::new(concat!(stringify!($t), " out of range")))?,
+                    _ => return Err(SerdeError::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| SerdeError::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            _ => Err(SerdeError::new("expected f64")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(SerdeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(SerdeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+// ── Containers ──────────────────────────────────────────────────────────
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(SerdeError::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(SerdeError::new("expected array")),
+        }
+    }
+}
+
+/// Render a map key. JSON keys are strings; like serde_json, string and
+/// integer keys are supported and anything else is a data-model error.
+fn key_to_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::UInt(n) => n.to_string(),
+        Value::Int(n) => n.to_string(),
+        other => panic!("map key must serialize to a string or integer, got {other:?}"),
+    }
+}
+
+/// Rebuild a key from its string form: try the string itself, then an
+/// integer reading — covering string-like and integer-like key types.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, SerdeError> {
+    if let Ok(k) = K::deserialize(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize(&Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    Err(SerdeError::new(format!(
+        "cannot reconstruct map key from {s:?}"
+    )))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize(v)?)))
+                .collect(),
+            _ => Err(SerdeError::new("expected map")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($( ($($n:tt $t:ident),+) )+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| SerdeError::new("expected tuple array"))?;
+                let expected = [$( $n, )+].len();
+                if items.len() != expected {
+                    return Err(SerdeError::new(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Support machinery for `serde_derive`-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{SerdeError, Value};
+
+    /// Look a field up in map entries.
+    pub fn get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Expect a map, with a type name for the error message.
+    pub fn expect_map<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], SerdeError> {
+        v.as_map()
+            .ok_or_else(|| SerdeError::new(format!("expected map for {ty}")))
+    }
+
+    /// Expect an array of exactly `n` elements.
+    pub fn expect_tuple<'a>(v: &'a Value, n: usize, ty: &str) -> Result<&'a [Value], SerdeError> {
+        match v.as_array() {
+            Some(items) if items.len() == n => Ok(items),
+            _ => Err(SerdeError::new(format!(
+                "expected {n}-element array for {ty}"
+            ))),
+        }
+    }
+
+    /// A missing-field error.
+    pub fn missing_field(ty: &str, field: &str) -> SerdeError {
+        SerdeError::new(format!("missing field `{field}` in {ty}"))
+    }
+
+    /// An unknown-variant error.
+    pub fn unknown_variant(ty: &str, variant: &str) -> SerdeError {
+        SerdeError::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// An unexpected-shape error for enums.
+    pub fn bad_enum_shape(ty: &str) -> SerdeError {
+        SerdeError::new(format!("expected string or single-key map for {ty}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u64>::deserialize(&Value::Null).unwrap(),
+            None::<u64>
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert(1u64, "a".to_string());
+        assert_eq!(
+            BTreeMap::<u64, String>::deserialize(&m.serialize()).unwrap(),
+            m
+        );
+        let t = (3u64, 9u64);
+        assert_eq!(<(u64, u64)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn signed_non_negative_serializes_as_uint() {
+        assert_eq!(5i64.serialize(), Value::UInt(5));
+        assert_eq!((-5i64).serialize(), Value::Int(-5));
+    }
+}

@@ -1,0 +1,511 @@
+//! Vendored `serde_derive` shim: `#[derive(Serialize, Deserialize)]`
+//! for the shapes this workspace uses, generating impls of the
+//! Value-tree traits in the vendored `serde` crate.
+//!
+//! Supported shapes (all that appear in the workspace):
+//! * named-field structs, with `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` field attributes;
+//! * tuple structs (arity 1 serializes transparently, like upstream
+//!   newtypes; `#[serde(transparent)]` is accepted and equivalent);
+//! * enums with unit, newtype, tuple, and struct variants, rendered in
+//!   upstream's externally-tagged representation;
+//! * explicit discriminants (`Variant = 0`) are skipped.
+//!
+//! Generics are intentionally unsupported — the derive panics rather
+//! than emitting wrong code.
+//!
+//! The implementation walks the raw `TokenTree`s (no syn/quote, so the
+//! shim stays dependency-free) and emits the impl source as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ── Parsed model ────────────────────────────────────────────────────────
+
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    skip_if: Option<String>,
+    #[allow(dead_code)]
+    transparent: bool,
+}
+
+// ── Entry points ────────────────────────────────────────────────────────
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ── Token-tree parsing ──────────────────────────────────────────────────
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility until `struct` / `enum`.
+    let mut is_enum = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _ = scan_attr(&tokens, &mut i);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: no struct/enum found"),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are unsupported ({name})");
+    }
+
+    let kind = if is_enum {
+        let body = expect_group(&tokens, i, Delimiter::Brace, &name);
+        Kind::Enum(parse_variants(&body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Struct(Shape::Named(parse_named_fields(&body)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Struct(Shape::Tuple(count_tuple_fields(&body)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            other => panic!("serde_derive shim: unexpected struct body for {name}: {other:?}"),
+        }
+    };
+
+    Item { name, kind }
+}
+
+fn expect_group(tokens: &[TokenTree], i: usize, delim: Delimiter, name: &str) -> Vec<TokenTree> {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => g.stream().into_iter().collect(),
+        other => panic!("serde_derive shim: expected body group for {name}, got {other:?}"),
+    }
+}
+
+/// Consume one `#[...]` attribute starting at `*i` (which points at the
+/// `#`), returning its parsed serde flags, if it is a serde attribute.
+fn scan_attr(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    *i += 1; // '#'
+    let group = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.clone(),
+        other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+    };
+    *i += 1;
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut out = SerdeAttrs::default();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return out,
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return out;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "default" => out.default = true,
+                "transparent" => out.transparent = true,
+                "skip_serializing_if" => {
+                    // skip_serializing_if = "path"
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (args.get(j + 1), args.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let text = lit.to_string();
+                            out.skip_if = Some(text.trim_matches('"').to_string());
+                            j += 2;
+                        }
+                    }
+                }
+                other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde_derive shim: unexpected serde attr token {other:?}"),
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Split on commas at angle-bracket depth zero (groups already nest).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    split_top_level(tokens).len()
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    split_top_level(tokens)
+        .iter()
+        .map(|element| {
+            let mut attrs = SerdeAttrs::default();
+            let mut i = 0;
+            loop {
+                match element.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        let a = scan_attr(element, &mut i);
+                        attrs.default |= a.default;
+                        if a.skip_if.is_some() {
+                            attrs.skip_if = a.skip_if;
+                        }
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        i += 1;
+                        if let Some(TokenTree::Group(g)) = element.get(i) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                i += 1;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let name = match element.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, got {other:?}"),
+            };
+            Field {
+                name,
+                default: attrs.default,
+                skip_if: attrs.skip_if,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(tokens)
+        .iter()
+        .map(|element| {
+            let mut i = 0;
+            while matches!(element.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                let _ = scan_attr(element, &mut i);
+            }
+            let name = match element.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let shape = match element.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Tuple(count_tuple_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Named(parse_named_fields(&inner))
+                }
+                // `Variant = disc` or end of element: a unit variant.
+                _ => Shape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ── Code generation ─────────────────────────────────────────────────────
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __m: Vec<(::std::string::String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                let push = format!(
+                    "__m.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::serialize(&self.{0})));",
+                    f.name
+                );
+                match &f.skip_if {
+                    Some(pred) => {
+                        s.push_str(&format!("if !({pred}(&self.{})) {{ {push} }}\n", f.name));
+                    }
+                    None => {
+                        s.push_str(&push);
+                        s.push('\n');
+                    }
+                }
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::serialize(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::serialize({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "const _: () = {{\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n\
+         }};"
+    )
+}
+
+fn gen_named_field_reads(ty_label: &str, map_expr: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::core::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::core::result::Result::Err(\
+                     ::serde::__private::missing_field(\"{ty_label}\", \"{}\"))",
+                    f.name
+                )
+            };
+            format!(
+                "{0}: match ::serde::__private::get({map_expr}, \"{0}\") {{\n\
+                 ::core::option::Option::Some(__x) => \
+                 ::serde::Deserialize::deserialize(__x)?,\n\
+                 ::core::option::Option::None => {missing},\n}},\n",
+                f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => format!("::core::result::Result::Ok({name})"),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::__private::expect_tuple(__v, {n}, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                reads.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let reads = gen_named_field_reads(name, "__m", fields);
+            format!(
+                "let __m = ::serde::__private::expect_map(__v, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{\n{reads}}})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(__val)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = ::serde::__private::expect_tuple(\
+                             __val, {n}, \"{name}::{vn}\")?;\n\
+                             ::core::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            reads.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let label = format!("{name}::{vn}");
+                        let reads = gen_named_field_reads(&label, "__vm", fields);
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __vm = ::serde::__private::expect_map(\
+                             __val, \"{label}\")?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n{reads}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(\
+                 ::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __val) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(\
+                 ::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err(\
+                 ::serde::__private::bad_enum_shape(\"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "const _: () = {{\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::SerdeError> {{\n{body}\n}}\n\
+         }}\n\
+         }};"
+    )
+}
