@@ -1,10 +1,12 @@
-//! Criterion microbenchmarks for the graph substrate: Tarjan SCC, cycle
-//! search, and the interval-order reduction.
+//! Criterion microbenchmarks for the graph substrate: Tarjan SCC and
+//! cycle search on the legacy `DiGraph` vs. the frozen CSR, plus the
+//! freeze cost, edge-mask lookups, and the interval-order reduction.
+//! `BENCH_graph.json` at the repo root records these series.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use elle_graph::{
     find_cycle_with_single, interval_order_reduction, tarjan_scc, DiGraph, EdgeClass, EdgeMask,
-    Interval,
+    Interval, Scratch,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -30,22 +32,89 @@ fn bench_tarjan(c: &mut Criterion) {
     let mut grp = c.benchmark_group("tarjan_scc");
     for n in [10_000u32, 100_000] {
         let g = random_graph(n, 3, 1);
+        let csr = g.freeze();
         grp.throughput(Throughput::Elements(n as u64));
-        grp.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+        grp.bench_with_input(BenchmarkId::new("digraph", n), &g, |b, g| {
             b.iter(|| tarjan_scc(g, EdgeMask::ALL))
+        });
+        grp.bench_with_input(BenchmarkId::new("csr", n), &csr, |b, csr| {
+            let mut scratch = Scratch::new();
+            b.iter(|| csr.tarjan_scc(EdgeMask::ALL, &mut scratch))
         });
     }
     grp.finish();
 }
 
+fn bench_freeze(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("freeze");
+    for n in [10_000u32, 100_000] {
+        let g = random_graph(n, 3, 1);
+        grp.throughput(Throughput::Elements(g.edge_count() as u64));
+        grp.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| g.freeze())
+        });
+    }
+    grp.finish();
+}
+
+fn bench_edge_mask(c: &mut Criterion) {
+    // The hot lookup removed from the Tarjan inner loop: hash-map probe
+    // (legacy) vs. sorted-row binary search (CSR).
+    let mut grp = c.benchmark_group("edge_mask_lookup");
+    let n = 10_000u32;
+    let g = random_graph(n, 3, 7);
+    let csr = g.freeze();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let probes: Vec<(u32, u32)> = (0..10_000)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    grp.throughput(Throughput::Elements(probes.len() as u64));
+    grp.bench_with_input(BenchmarkId::new("digraph", n), &probes, |b, probes| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(s, d) in probes {
+                acc += g.edge_mask(s, d).0 as u32;
+            }
+            black_box(acc)
+        })
+    });
+    grp.bench_with_input(BenchmarkId::new("csr", n), &probes, |b, probes| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(s, d) in probes {
+                acc += csr.edge_mask(s, d).0 as u32;
+            }
+            black_box(acc)
+        })
+    });
+    grp.finish();
+}
+
 fn bench_cycle_search(c: &mut Criterion) {
     let mut grp = c.benchmark_group("g_single_search");
-    let g = random_graph(10_000, 3, 2);
-    let sccs = tarjan_scc(&g, EdgeMask::ALL);
-    let comp = sccs.into_iter().max_by_key(Vec::len).unwrap_or_default();
-    grp.bench_function("largest_component", |b| {
-        b.iter(|| find_cycle_with_single(&g, &comp, EdgeMask::RW, EdgeMask::WW | EdgeMask::WR, 4))
-    });
+    for n in [10_000u32, 100_000] {
+        let g = random_graph(n, 3, 2);
+        let csr = g.freeze();
+        let sccs = tarjan_scc(&g, EdgeMask::ALL);
+        let comp = sccs.into_iter().max_by_key(Vec::len).unwrap_or_default();
+        grp.bench_with_input(BenchmarkId::new("digraph", n), &comp, |b, comp| {
+            b.iter(|| {
+                find_cycle_with_single(&g, comp, EdgeMask::RW, EdgeMask::WW | EdgeMask::WR, 4)
+            })
+        });
+        grp.bench_with_input(BenchmarkId::new("csr", n), &comp, |b, comp| {
+            let mut scratch = Scratch::new();
+            b.iter(|| {
+                csr.find_cycle_with_single(
+                    comp,
+                    EdgeMask::RW,
+                    EdgeMask::WW | EdgeMask::WR,
+                    4,
+                    &mut scratch,
+                )
+            })
+        });
+    }
     grp.finish();
 }
 
@@ -71,6 +140,8 @@ fn bench_interval_reduction(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tarjan,
+    bench_freeze,
+    bench_edge_mask,
     bench_cycle_search,
     bench_interval_reduction
 );

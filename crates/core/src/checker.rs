@@ -3,7 +3,7 @@
 
 use crate::anomaly::{Anomaly, AnomalyType};
 use crate::counter;
-use crate::cycle_search::{find_cycle_anomalies, CycleSearchOptions};
+use crate::cycle_search::{find_cycle_anomalies_frozen, CycleSearchOptions};
 use crate::deps::DepGraph;
 use crate::list_append;
 use crate::models::{strongest_satisfiable, violated_models, ConsistencyModel};
@@ -283,8 +283,12 @@ impl Checker {
             orders::add_timestamp_edges(&mut deps, history);
         }
 
-        let cycles = find_cycle_anomalies(
+        // Freeze the assembled IDSG once; every per-class search walks
+        // the same immutable CSR snapshot.
+        let frozen = deps.freeze();
+        let cycles = find_cycle_anomalies_frozen(
             &deps,
+            &frozen,
             history,
             CycleSearchOptions {
                 process_edges: opts.process_edges,

@@ -14,12 +14,31 @@
 //! preferring value dependencies (`ww` > `wr` > `rr`) over `rw`, and those
 //! over session/real-time orders, so a cycle is never classified stronger
 //! than its evidence.
+//!
+//! ## Execution
+//!
+//! All searches run on the frozen [`Csr`] snapshot of the IDSG — no
+//! per-anomaly-class subgraph copies. Work fans out in two phases,
+//! mirroring the per-key datatype pipeline:
+//!
+//! 1. one Tarjan SCC pass per *search* (augmentation level × anomaly
+//!    class), parallel across searches;
+//! 2. one *candidate* search per (search, SCC) work item, parallel across
+//!    work items with per-worker [`Scratch`] reuse.
+//!
+//! Candidate generation is a pure function of the frozen graph, so the
+//! fan-out is followed by a strictly sequential merge in (level, class,
+//! SCC index, discovery order) — reports are byte-identical whether the
+//! fan-out ran on one thread or many. `ELLE_SEQUENTIAL=1` pins the stage
+//! (and the datatype pipeline) to the sequential path.
 
 use crate::anomaly::{Anomaly, AnomalyType, CycleStep};
+use crate::datatype::Parallelism;
 use crate::deps::DepGraph;
 use crate::explain::explain_cycle;
-use elle_graph::{find_cycle, find_cycle_with_single, tarjan_scc, CycleSpec, EdgeClass, EdgeMask};
+use elle_graph::{Csr, CycleSpec, EdgeClass, EdgeMask, Scratch};
 use elle_history::{History, TxnId};
+use rayon::prelude::*;
 use rustc_hash::FxHashSet;
 
 /// Cycle-search configuration.
@@ -64,17 +83,22 @@ const PREFERENCE: [EdgeClass; 8] = [
 const INFO_FLOW: EdgeMask =
     EdgeMask(EdgeMask::WW.0 | EdgeMask::WR.0 | EdgeMask::RR.0 | EdgeMask::VERSION.0);
 
-/// Find and classify all cycle anomalies.
-pub fn find_cycle_anomalies(
-    deps: &DepGraph,
-    history: &History,
-    opts: CycleSearchOptions,
-) -> Vec<Anomaly> {
-    let mut out: Vec<Anomaly> = Vec::new();
-    let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+/// One per-class search within an augmentation level: the admitted edge
+/// mask plus the shape of cycle to hunt for.
+#[derive(Debug, Clone, Copy)]
+struct Search {
+    /// Edge classes admitted anywhere in the cycle.
+    allowed: EdgeMask,
+    /// `None` = any cycle (G0 shape); `Some((first, rest))` = first edge
+    /// from `first`, remainder from `rest` (G1c / G-single / G2 shapes).
+    single: Option<(EdgeMask, EdgeMask)>,
+}
 
-    // Augmentation levels, weakest evidence first so that base anomalies
-    // are discovered (and deduplicated) before augmented ones.
+/// The (level × class) search list, weakest evidence first so that base
+/// anomalies are discovered (and deduplicated) before augmented ones.
+/// The order of this list *is* the merge order — it must stay stable for
+/// reports to stay deterministic.
+fn search_plan(opts: CycleSearchOptions) -> Vec<Search> {
     let mut levels: Vec<EdgeMask> = vec![EdgeMask::NONE];
     let mut extras = EdgeMask::NONE;
     if opts.process_edges {
@@ -90,46 +114,179 @@ pub fn find_cycle_anomalies(
         levels.push(extras);
     }
 
+    let mut plan = Vec::with_capacity(levels.len() * 4);
     for extra in levels {
         // G0: write cycles.
-        collect(
-            deps,
-            history,
-            EdgeMask::WW.union(extra),
-            None,
-            opts,
-            &mut seen,
-            &mut out,
-        );
-        // G1c: information-flow cycles (≥ 1 wr / rr).
-        collect(
-            deps,
-            history,
-            INFO_FLOW.union(extra),
-            Some(EdgeMask::WR.union(EdgeMask::RR)),
-            opts,
-            &mut seen,
-            &mut out,
-        );
-        // G-single: exactly one rw among information flow.
-        collect(
-            deps,
-            history,
-            INFO_FLOW.union(EdgeMask::RW).union(extra),
-            Some(EdgeMask::RW),
-            opts,
-            &mut seen,
-            &mut out,
-        );
+        let g0 = EdgeMask::WW.union(extra);
+        plan.push(Search {
+            allowed: g0,
+            single: None,
+        });
+        // G1c: information-flow cycles (≥ 1 wr / rr). Repeating the
+        // first-edge class is harmless (G1c allows many wr).
+        let g1c = INFO_FLOW.union(extra);
+        plan.push(Search {
+            allowed: g1c,
+            single: Some((EdgeMask::WR.union(EdgeMask::RR), g1c)),
+        });
+        // G-single: exactly one rw among information flow — the remainder
+        // must avoid rw.
+        let gs = INFO_FLOW.union(EdgeMask::RW).union(extra);
+        plan.push(Search {
+            allowed: gs,
+            single: Some((EdgeMask::RW, EdgeMask(gs.0 & !EdgeMask::RW.0))),
+        });
         // G2-item: at least one rw, rw allowed everywhere.
-        collect_g2(
-            deps,
-            history,
-            INFO_FLOW.union(EdgeMask::RW).union(extra),
-            opts,
-            &mut seen,
-            &mut out,
-        );
+        plan.push(Search {
+            allowed: gs,
+            single: Some((EdgeMask::RW, gs)),
+        });
+    }
+    plan
+}
+
+/// Candidate cycles for one (search, SCC) work item — a pure function of
+/// the frozen graph, safe to fan out.
+fn candidates(
+    csr: &Csr,
+    search: Search,
+    scc: &[u32],
+    max: usize,
+    scratch: &mut Scratch,
+) -> Vec<Vec<u32>> {
+    match search.single {
+        None => csr
+            .find_cycle(scc, CycleSpec::uniform(search.allowed), scratch)
+            .into_iter()
+            .collect(),
+        Some((first, rest)) => csr.find_cycle_with_single(scc, first, rest, max, scratch),
+    }
+}
+
+/// Fan-out engages only when the item count can plausibly pay for the
+/// thread scope (mirrors the datatype pipeline's key threshold).
+const AUTO_PARALLEL_MIN_ITEMS: usize = 4;
+
+fn run_parallel(mode: Parallelism, items: usize) -> bool {
+    match mode {
+        Parallelism::Sequential => false,
+        Parallelism::Parallel => true,
+        Parallelism::Auto => {
+            !crate::datatype::auto_forced_sequential()
+                && items >= AUTO_PARALLEL_MIN_ITEMS
+                && rayon::current_num_threads() > 1
+        }
+    }
+}
+
+/// Find and classify all cycle anomalies. Freezes the IDSG internally;
+/// callers that already hold a [`Csr`] snapshot should use
+/// [`find_cycle_anomalies_frozen`].
+pub fn find_cycle_anomalies(
+    deps: &DepGraph,
+    history: &History,
+    opts: CycleSearchOptions,
+) -> Vec<Anomaly> {
+    let csr = deps.freeze();
+    find_cycle_anomalies_frozen(deps, &csr, history, opts)
+}
+
+/// Find and classify all cycle anomalies over a pre-frozen IDSG snapshot.
+pub fn find_cycle_anomalies_frozen(
+    deps: &DepGraph,
+    csr: &Csr,
+    history: &History,
+    opts: CycleSearchOptions,
+) -> Vec<Anomaly> {
+    find_cycle_anomalies_mode(deps, csr, history, opts, Parallelism::Auto)
+}
+
+/// [`find_cycle_anomalies_frozen`] with an explicit scheduling mode — the
+/// hook the parallel == sequential property tests drive. Output is
+/// byte-identical across modes by construction: candidate generation is
+/// pure and the merge is ordered.
+pub fn find_cycle_anomalies_mode(
+    deps: &DepGraph,
+    csr: &Csr,
+    history: &History,
+    opts: CycleSearchOptions,
+    mode: Parallelism,
+) -> Vec<Anomaly> {
+    let plan = search_plan(opts);
+
+    // ── Phase 1: SCCs per *distinct* admitted mask (parallel across
+    //    masks). Searches that admit the same classes — G-single and G2
+    //    within each level — share one Tarjan pass. ─────────────────────
+    let mut masks: Vec<EdgeMask> = Vec::new();
+    let mask_of: Vec<usize> = plan
+        .iter()
+        .map(|s| {
+            masks
+                .iter()
+                .position(|m| *m == s.allowed)
+                .unwrap_or_else(|| {
+                    masks.push(s.allowed);
+                    masks.len() - 1
+                })
+        })
+        .collect();
+    let sccs_per_mask: Vec<Vec<Vec<u32>>> = if run_parallel(mode, masks.len()) {
+        masks
+            .par_iter()
+            .map_init(Scratch::new, |scratch, m| csr.tarjan_scc(*m, scratch))
+            .collect()
+    } else {
+        let mut scratch = Scratch::new();
+        masks
+            .iter()
+            .map(|m| csr.tarjan_scc(*m, &mut scratch))
+            .collect()
+    };
+
+    // ── Phase 2: flatten to (search, SCC) work items in merge order. ──
+    let items: Vec<(u32, Vec<u32>)> = plan
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            sccs_per_mask[mask_of[i]]
+                .iter()
+                .map(move |scc| (i as u32, scc.clone()))
+        })
+        .collect();
+
+    // ── Phase 3: candidate cycles per work item (parallel fan-out with
+    //    per-worker scratch reuse). ─────────────────────────────────────
+    let found: Vec<Vec<Vec<u32>>> = if run_parallel(mode, items.len()) {
+        items
+            .par_iter()
+            .map_init(Scratch::new, |scratch, (i, scc)| {
+                candidates(csr, plan[*i as usize], scc, opts.max_per_type, scratch)
+            })
+            .collect()
+    } else {
+        let mut scratch = Scratch::new();
+        items
+            .iter()
+            .map(|(i, scc)| {
+                candidates(csr, plan[*i as usize], scc, opts.max_per_type, &mut scratch)
+            })
+            .collect()
+    };
+
+    // ── Phase 4: strictly ordered sequential merge. ───────────────────
+    let mut out: Vec<Anomaly> = Vec::new();
+    let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+    for ((i, _), cycles) in items.iter().zip(&found) {
+        for cyc in cycles {
+            push_classified(
+                deps,
+                history,
+                cyc,
+                plan[*i as usize].allowed,
+                &mut seen,
+                &mut out,
+            );
+        }
     }
 
     // Cap per type (keep shortest cycles — they make the best witnesses).
@@ -141,60 +298,6 @@ pub fn find_cycle_anomalies(
         *c <= opts.max_per_type
     });
     out
-}
-
-/// Search for cycles in the `allowed` subgraph. With `single = Some(m)`,
-/// cycles must traverse exactly one edge presented from `m` first
-/// (G1c / G-single shape); with `None`, any cycle (G0 shape).
-#[allow(clippy::too_many_arguments)]
-fn collect(
-    deps: &DepGraph,
-    history: &History,
-    allowed: EdgeMask,
-    single: Option<EdgeMask>,
-    opts: CycleSearchOptions,
-    seen: &mut FxHashSet<Vec<u32>>,
-    out: &mut Vec<Anomaly>,
-) {
-    for scc in tarjan_scc(&deps.graph, allowed) {
-        let cycles: Vec<Vec<u32>> = match single {
-            None => find_cycle(&deps.graph, &scc, CycleSpec::uniform(allowed))
-                .into_iter()
-                .collect(),
-            Some(m) => {
-                // Remaining edges must avoid the single class (for
-                // "exactly one"), except when the class is wr/rr where
-                // repetition is harmless (G1c allows many wr).
-                let rest = if m.intersects(EdgeMask::RW) {
-                    EdgeMask(allowed.0 & !EdgeMask::RW.0)
-                } else {
-                    allowed
-                };
-                find_cycle_with_single(&deps.graph, &scc, m, rest, opts.max_per_type)
-            }
-        };
-        for cyc in cycles {
-            push_classified(deps, history, &cyc, allowed, seen, out);
-        }
-    }
-}
-
-/// The G2 search: one forced rw first edge, rw permitted in the remainder.
-fn collect_g2(
-    deps: &DepGraph,
-    history: &History,
-    allowed: EdgeMask,
-    opts: CycleSearchOptions,
-    seen: &mut FxHashSet<Vec<u32>>,
-    out: &mut Vec<Anomaly>,
-) {
-    for scc in tarjan_scc(&deps.graph, allowed) {
-        for cyc in
-            find_cycle_with_single(&deps.graph, &scc, EdgeMask::RW, allowed, opts.max_per_type)
-        {
-            push_classified(deps, history, &cyc, allowed, seen, out);
-        }
-    }
 }
 
 /// Present, classify, deduplicate, and record one cycle.

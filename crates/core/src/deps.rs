@@ -1,7 +1,7 @@
 //! The inferred dependency graph (IDSG) with per-edge witnesses.
 
 use crate::anomaly::Witness;
-use elle_graph::{DiGraph, EdgeClass, EdgeMask};
+use elle_graph::{Csr, DiGraph, EdgeClass, EdgeMask};
 use elle_history::TxnId;
 use rustc_hash::FxHashMap;
 
@@ -82,6 +82,13 @@ impl DepGraph {
             }
         }
         counts
+    }
+
+    /// Freeze the adjacency into an immutable [`Csr`] snapshot — sorted
+    /// flat rows, forward and reverse — on which all cycle searches run.
+    /// Call once after the last edge is added; the builder is untouched.
+    pub fn freeze(&self) -> Csr {
+        self.graph.freeze()
     }
 
     /// Merge another dependency graph into this one (used to combine the
@@ -171,6 +178,26 @@ mod tests {
             )
             .unwrap();
         assert_eq!(w.class(), EdgeClass::Rw);
+    }
+
+    #[test]
+    fn freeze_snapshots_adjacency() {
+        let mut g = DepGraph::with_txns(3);
+        g.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        g.add(
+            TxnId(1),
+            TxnId(2),
+            Witness::WrList {
+                key: Key(1),
+                elem: Elem(2),
+            },
+        );
+        let csr = g.freeze();
+        assert_eq!(csr.vertex_count(), 3);
+        assert_eq!(csr.edge_count(), 2);
+        assert_eq!(csr.edge_mask(0, 1), EdgeMask::WW);
+        assert_eq!(csr.edge_mask(1, 2), EdgeMask::WR);
+        assert_eq!(csr.edge_mask(2, 0), EdgeMask::NONE);
     }
 
     #[test]

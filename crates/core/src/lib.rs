@@ -54,7 +54,10 @@ pub mod set_add;
 
 pub use anomaly::{Anomaly, AnomalyType, CycleStep, Witness};
 pub use checker::{CheckOptions, CheckStats, Checker, Report};
-pub use cycle_search::{find_cycle_anomalies, CycleSearchOptions};
+pub use cycle_search::{
+    find_cycle_anomalies, find_cycle_anomalies_frozen, find_cycle_anomalies_mode,
+    CycleSearchOptions,
+};
 pub use datatype::{DatatypeAnalysis, Parallelism, ProvenanceIndex};
 pub use deps::DepGraph;
 pub use models::{directly_violated, strongest_satisfiable, violated_models, ConsistencyModel};

@@ -1,0 +1,389 @@
+//! Frozen compressed-sparse-row (CSR) graph and reusable search scratch.
+//!
+//! The graph layer has a two-phase lifecycle:
+//!
+//! 1. **Build** — a mutable [`DiGraph`] accumulates edges (hash-indexed so
+//!    parallel edges merge into one mask);
+//! 2. **Freeze** — [`DiGraph::freeze`] compacts the adjacency into an
+//!    immutable [`Csr`]: flat `offsets` / `dsts` / `masks` arrays for both
+//!    forward and reverse traversal, with every row **sorted by neighbour
+//!    id**. Lookups binary-search a row instead of hashing, traversal is a
+//!    contiguous slice scan, and edge enumeration order is a deterministic
+//!    function of the edge *set* — never of insertion order.
+//!
+//! All cycle-search algorithms run on the frozen form, filtering by
+//! [`EdgeMask`] at traversal time, so no per-anomaly-class subgraph copy is
+//! ever materialized. Their working memory lives in a caller-provided
+//! [`Scratch`] and is reused across searches: bitsets are word-packed and
+//! cleared sparsely (only the words actually touched), queues and stacks
+//! keep their capacity, and the BFS parent array is never cleared at all —
+//! entries are only read for vertices marked visited in the *current*
+//! search.
+
+use crate::{DiGraph, EdgeMask};
+
+/// An immutable CSR snapshot of a [`DiGraph`].
+///
+/// Vertex ids are the same dense `u32`s as in the builder. Rows are sorted
+/// by neighbour id, so [`Csr::edge_mask`] is a binary search and
+/// [`Csr::edges`] yields edges in `(src, dst)` lexicographic order.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v + 1]` indexes `dsts` / `masks` — row `v`.
+    offsets: Vec<u32>,
+    /// Out-neighbours, sorted ascending within each row.
+    dsts: Vec<u32>,
+    /// Class mask per out-edge, parallel to `dsts`.
+    masks: Vec<EdgeMask>,
+    /// Reverse row offsets (into `r_srcs` / `r_masks`).
+    r_offsets: Vec<u32>,
+    /// In-neighbours, sorted ascending within each row.
+    r_srcs: Vec<u32>,
+    /// Class mask per in-edge, parallel to `r_srcs`.
+    r_masks: Vec<EdgeMask>,
+}
+
+impl DiGraph {
+    /// Freeze this builder into an immutable [`Csr`] snapshot.
+    ///
+    /// `O(V + E log d)` where `d` is the maximum out-degree. The builder is
+    /// untouched; freeze again after further mutation if needed.
+    pub fn freeze(&self) -> Csr {
+        Csr::from_digraph(self)
+    }
+}
+
+impl Csr {
+    /// Build a CSR from a [`DiGraph`] builder (see [`DiGraph::freeze`]).
+    pub fn from_digraph(g: &DiGraph) -> Csr {
+        let n = g.vertex_count();
+        let e = g.edge_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut dsts = Vec::with_capacity(e);
+        let mut masks = Vec::with_capacity(e);
+        offsets.push(0);
+        let mut row: Vec<(u32, EdgeMask)> = Vec::new();
+        for v in 0..n as u32 {
+            row.clear();
+            row.extend_from_slice(g.out_edges(v));
+            row.sort_unstable_by_key(|&(d, _)| d);
+            for &(d, m) in &row {
+                dsts.push(d);
+                masks.push(m);
+            }
+            offsets.push(dsts.len() as u32);
+        }
+
+        // Reverse adjacency by counting sort. Scanning sources in ascending
+        // order keeps each reverse row sorted without a second sort pass.
+        let mut r_offsets = vec![0u32; n + 1];
+        for &d in &dsts {
+            r_offsets[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            r_offsets[i + 1] += r_offsets[i];
+        }
+        let mut cursor: Vec<u32> = r_offsets[..n].to_vec();
+        let mut r_srcs = vec![0u32; dsts.len()];
+        let mut r_masks = vec![EdgeMask::NONE; dsts.len()];
+        for s in 0..n {
+            for i in offsets[s] as usize..offsets[s + 1] as usize {
+                let d = dsts[i] as usize;
+                let at = cursor[d] as usize;
+                r_srcs[at] = s as u32;
+                r_masks[at] = masks[i];
+                cursor[d] += 1;
+            }
+        }
+
+        Csr {
+            offsets,
+            dsts,
+            masks,
+            r_offsets,
+            r_srcs,
+            r_masks,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of distinct `(src, dst)` edges (classes merged).
+    pub fn edge_count(&self) -> usize {
+        self.dsts.len()
+    }
+
+    /// Row `v` of the forward adjacency: `(neighbours, masks)`, sorted by
+    /// neighbour id.
+    pub fn out_row(&self, v: u32) -> (&[u32], &[EdgeMask]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.dsts[lo..hi], &self.masks[lo..hi])
+    }
+
+    /// Row `v` of the reverse adjacency: `(in-neighbours, masks)`, sorted
+    /// by neighbour id.
+    ///
+    /// None of the shipped search algorithms traverse backwards yet — the
+    /// reverse arrays exist for in-edge queries (witness lookups, future
+    /// backward BFS) and cost one extra counting-sort pass at freeze
+    /// time, included in the `freeze` benchmark numbers.
+    pub fn in_row(&self, v: u32) -> (&[u32], &[EdgeMask]) {
+        let lo = self.r_offsets[v as usize] as usize;
+        let hi = self.r_offsets[v as usize + 1] as usize;
+        (&self.r_srcs[lo..hi], &self.r_masks[lo..hi])
+    }
+
+    /// Outgoing `(dst, mask)` pairs of `v`, in ascending `dst` order.
+    pub fn out_edges(&self, v: u32) -> impl Iterator<Item = (u32, EdgeMask)> + '_ {
+        let (ds, ms) = self.out_row(v);
+        ds.iter().copied().zip(ms.iter().copied())
+    }
+
+    /// Outgoing neighbours of `v` reachable via at least one class in
+    /// `allowed`.
+    pub fn out_neighbors_masked(
+        &self,
+        v: u32,
+        allowed: EdgeMask,
+    ) -> impl Iterator<Item = u32> + '_ {
+        self.out_edges(v)
+            .filter(move |(_, m)| m.intersects(allowed))
+            .map(|(d, _)| d)
+    }
+
+    /// The mask on edge `(src, dst)` — a binary search of `src`'s row — or
+    /// the empty mask if absent.
+    pub fn edge_mask(&self, src: u32, dst: u32) -> EdgeMask {
+        let (ds, ms) = self.out_row(src);
+        match ds.binary_search(&dst) {
+            Ok(i) => ms[i],
+            Err(_) => EdgeMask::NONE,
+        }
+    }
+
+    /// All edges as `(src, dst, mask)`, in `(src, dst)` lexicographic
+    /// order — a stable ordering independent of insertion history.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, EdgeMask)> + '_ {
+        (0..self.vertex_count() as u32)
+            .flat_map(move |v| self.out_edges(v).map(move |(d, m)| (v, d, m)))
+    }
+}
+
+/// A word-packed bitset over dense `u32` ids with sparse clearing.
+///
+/// [`BitSet::clear`] zeroes only the words a search actually touched, so a
+/// BFS over a 30-vertex component of a million-vertex graph pays for 30
+/// bits, not a megabit memset.
+#[derive(Debug, Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl BitSet {
+    /// An empty bitset; grows via [`BitSet::ensure`].
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// Make room for ids `0..n`.
+    pub fn ensure(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Set bit `i`; returns `true` if it was previously unset.
+    pub fn insert(&mut self, i: u32) -> bool {
+        let w = (i >> 6) as usize;
+        let bit = 1u64 << (i & 63);
+        let word = &mut self.words[w];
+        if *word == 0 {
+            self.touched.push(w as u32);
+        }
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Clear bit `i` (its word stays on the touched list).
+    pub fn remove(&mut self, i: u32) {
+        self.words[(i >> 6) as usize] &= !(1u64 << (i & 63));
+    }
+
+    /// Is bit `i` set?
+    pub fn contains(&self, i: u32) -> bool {
+        self.words[(i >> 6) as usize] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Reset to empty by zeroing only the touched words.
+    pub fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Reusable working memory for the CSR search algorithms.
+///
+/// Create one per thread (or per sequential pass) and hand it to every
+/// search: buffers grow to the largest graph seen and are then reused
+/// without reallocation. The invariant is **clear-at-entry**, not
+/// clear-at-exit: each algorithm resets the transient state it reads
+/// (`visited` and `queue` at the start of every BFS, the Tarjan discovery
+/// state at the start of every SCC pass) and may leave it populated when
+/// it returns. Only the shared `in_scope` set, which outlives the BFS
+/// calls within one per-component search, is cleared on exit. The BFS
+/// `parent` array and Tarjan `lowlink` are *never* cleared: entries are
+/// only read for vertices marked in `visited` / discovered during the
+/// same search. New algorithms must follow the same convention — never
+/// read transient scratch state without clearing it first.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// BFS visited set.
+    pub(crate) visited: BitSet,
+    /// Component membership during per-SCC searches.
+    pub(crate) in_scope: BitSet,
+    /// BFS predecessor per visited vertex (no-clear; see type docs).
+    pub(crate) parent: Vec<u32>,
+    /// BFS queue, drained by index rather than pop-front.
+    pub(crate) queue: Vec<u32>,
+    /// Tarjan: discovery index per vertex (`u32::MAX` = unvisited).
+    pub(crate) index_of: Vec<u32>,
+    /// Tarjan: lowlink per visited vertex (no-clear).
+    pub(crate) lowlink: Vec<u32>,
+    /// Tarjan: on-stack flags.
+    pub(crate) on_stack: BitSet,
+    /// Tarjan: the component stack.
+    pub(crate) stack: Vec<u32>,
+    /// Tarjan: explicit DFS frames `(vertex, row position)`.
+    pub(crate) frames: Vec<(u32, u32)>,
+}
+
+impl Scratch {
+    /// A fresh scratch; buffers are sized on first use.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Size every buffer for a graph of `n` vertices.
+    pub(crate) fn ensure_bfs(&mut self, n: usize) {
+        self.visited.ensure(n);
+        self.in_scope.ensure(n);
+        if self.parent.len() < n {
+            self.parent.resize(n, u32::MAX);
+        }
+    }
+
+    /// Size the Tarjan buffers and reset discovery state.
+    pub(crate) fn reset_tarjan(&mut self, n: usize) {
+        self.index_of.clear();
+        self.index_of.resize(n, u32::MAX);
+        if self.lowlink.len() < n {
+            self.lowlink.resize(n, 0);
+        }
+        self.on_stack.ensure(n);
+        self.on_stack.clear();
+        self.stack.clear();
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeClass;
+
+    #[test]
+    fn freeze_sorts_rows_and_preserves_masks() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 3, EdgeClass::Ww);
+        g.add_edge(0, 1, EdgeClass::Wr);
+        g.add_edge(0, 2, EdgeClass::Rw);
+        g.add_edge(0, 1, EdgeClass::Ww); // merges with the wr edge
+        let c = g.freeze();
+        assert_eq!(c.vertex_count(), 4);
+        assert_eq!(c.edge_count(), 3);
+        let (ds, _) = c.out_row(0);
+        assert_eq!(ds, &[1, 2, 3]);
+        assert_eq!(c.edge_mask(0, 1), EdgeMask::WW | EdgeMask::WR);
+        assert_eq!(c.edge_mask(0, 2), EdgeMask::RW);
+        assert_eq!(c.edge_mask(0, 3), EdgeMask::WW);
+        assert_eq!(c.edge_mask(1, 0), EdgeMask::NONE);
+        assert_eq!(c.edge_mask(3, 3), EdgeMask::NONE);
+    }
+
+    #[test]
+    fn freeze_order_independent_of_insertion() {
+        let mut a = DiGraph::with_vertices(3);
+        a.add_edge(0, 2, EdgeClass::Ww);
+        a.add_edge(0, 1, EdgeClass::Wr);
+        let mut b = DiGraph::with_vertices(3);
+        b.add_edge(0, 1, EdgeClass::Wr);
+        b.add_edge(0, 2, EdgeClass::Ww);
+        let (ca, cb) = (a.freeze(), b.freeze());
+        let ea: Vec<_> = ca.edges().collect();
+        let eb: Vec<_> = cb.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn reverse_rows_are_sorted_and_complete() {
+        let mut g = DiGraph::with_vertices(5);
+        for (s, d) in [(4, 1), (0, 1), (2, 1), (1, 0), (3, 1)] {
+            g.add_edge(s, d, EdgeClass::Ww);
+        }
+        let c = g.freeze();
+        let (srcs, _) = c.in_row(1);
+        assert_eq!(srcs, &[0, 2, 3, 4]);
+        let (srcs0, masks0) = c.in_row(0);
+        assert_eq!(srcs0, &[1]);
+        assert_eq!(masks0, &[EdgeMask::WW]);
+        assert!(c.in_row(2).0.is_empty());
+    }
+
+    #[test]
+    fn masked_neighbors_filter_at_traversal() {
+        let mut g = DiGraph::with_vertices(4);
+        g.add_edge(0, 1, EdgeClass::Ww);
+        g.add_edge(0, 2, EdgeClass::Rw);
+        g.add_edge(0, 3, EdgeClass::Wr);
+        let c = g.freeze();
+        let ww_rw: Vec<u32> = c
+            .out_neighbors_masked(0, EdgeMask::WW | EdgeMask::RW)
+            .collect();
+        assert_eq!(ww_rw, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let c = DiGraph::default().freeze();
+        assert_eq!(c.vertex_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+        assert_eq!(c.edges().count(), 0);
+    }
+
+    #[test]
+    fn bitset_sparse_clear() {
+        let mut b = BitSet::new();
+        b.ensure(1000);
+        assert!(b.insert(3));
+        assert!(!b.insert(3));
+        assert!(b.insert(900));
+        assert!(b.contains(3));
+        assert!(!b.contains(4));
+        b.remove(3);
+        assert!(!b.contains(3));
+        assert!(b.insert(3));
+        b.clear();
+        assert!(!b.contains(3));
+        assert!(!b.contains(900));
+        assert!(b.insert(900));
+    }
+}

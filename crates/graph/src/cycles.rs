@@ -13,6 +13,7 @@
 //!
 //! A cycle is a vertex list `v0, v1, …, vk` with edges `v0→v1, …, vk→v0`.
 
+use crate::csr::{BitSet, Csr, Scratch};
 use crate::{DiGraph, EdgeMask};
 
 /// Which cycles a search should accept.
@@ -110,6 +111,239 @@ fn bfs_path(
         }
     }
     None
+}
+
+/// BFS from `from` to `to` over `allowed` edges of the frozen CSR,
+/// confined to `scope` when given. Returns the full vertex path
+/// `from, …, to` (length ≥ 1).
+///
+/// Working memory comes from the caller: `visited` is sparsely cleared on
+/// entry, `queue` is drained by index (no pop-front shifting), and
+/// `parent` is *never* cleared — entries are only read for vertices
+/// inserted into `visited` during this call.
+#[allow(clippy::too_many_arguments)]
+fn bfs_path_csr(
+    g: &Csr,
+    from: u32,
+    to: u32,
+    allowed: EdgeMask,
+    scope: Option<&BitSet>,
+    visited: &mut BitSet,
+    parent: &mut [u32],
+    queue: &mut Vec<u32>,
+) -> Option<Vec<u32>> {
+    let ok = |v: u32| scope.is_none_or(|s| s.contains(v));
+    visited.clear();
+    queue.clear();
+
+    // Seed with from's successors so a path back to `from` itself works.
+    for (w, m) in g.out_edges(from) {
+        if !m.intersects(allowed) || !ok(w) {
+            continue;
+        }
+        if w == to {
+            return Some(vec![from, to]);
+        }
+        if visited.insert(w) {
+            parent[w as usize] = from;
+            queue.push(w);
+        }
+    }
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for (w, m) in g.out_edges(v) {
+            if !m.intersects(allowed) || !ok(w) {
+                continue;
+            }
+            if w == to {
+                // Reconstruct.
+                let mut path = vec![to, v];
+                let mut cur = v;
+                while parent[cur as usize] != from {
+                    cur = parent[cur as usize];
+                    path.push(cur);
+                }
+                path.push(from);
+                path.reverse();
+                return Some(path);
+            }
+            if w != from && visited.insert(w) {
+                parent[w as usize] = v;
+                queue.push(w);
+            }
+        }
+    }
+    None
+}
+
+impl Csr {
+    /// Shortest cycle through `start` over `allowed` edges, confined to
+    /// the vertices of `scope` when given. CSR port of
+    /// [`shortest_cycle_through`] with reusable `scratch`.
+    pub fn shortest_cycle_through(
+        &self,
+        start: u32,
+        allowed: EdgeMask,
+        scope: Option<&[u32]>,
+        scratch: &mut Scratch,
+    ) -> Option<Vec<u32>> {
+        scratch.ensure_bfs(self.vertex_count());
+        let Scratch {
+            visited,
+            in_scope,
+            parent,
+            queue,
+            ..
+        } = scratch;
+        let scoped = scope.map(|vs| {
+            for &v in vs {
+                in_scope.insert(v);
+            }
+            &*in_scope
+        });
+        let result = if scoped.is_some_and(|s| !s.contains(start)) {
+            None
+        } else if self.edge_mask(start, start).intersects(allowed) {
+            // Self-loop fast path.
+            Some(vec![start])
+        } else {
+            bfs_path_csr(self, start, start, allowed, scoped, visited, parent, queue).map(
+                |mut path| {
+                    // bfs returns start..=start; drop the trailing start.
+                    path.pop();
+                    path
+                },
+            )
+        };
+        in_scope.clear();
+        result
+    }
+
+    /// Find a short cycle within `component` under `spec`. CSR port of
+    /// [`find_cycle`] with reusable `scratch`.
+    pub fn find_cycle(
+        &self,
+        component: &[u32],
+        spec: CycleSpec,
+        scratch: &mut Scratch,
+    ) -> Option<Vec<u32>> {
+        scratch.ensure_bfs(self.vertex_count());
+        let Scratch {
+            visited,
+            in_scope,
+            parent,
+            queue,
+            ..
+        } = scratch;
+        for &v in component {
+            in_scope.insert(v);
+        }
+        let mut best: Option<Vec<u32>> = None;
+        'vertices: for &v in component {
+            // Try each first edge out of v.
+            for (w, m) in self.out_edges(v) {
+                if !m.intersects(spec.first) || !in_scope.contains(w) {
+                    continue;
+                }
+                let cand = if w == v {
+                    Some(vec![v])
+                } else {
+                    bfs_path_csr(
+                        self,
+                        w,
+                        v,
+                        spec.rest,
+                        Some(in_scope),
+                        visited,
+                        parent,
+                        queue,
+                    )
+                    .map(|mut rest| {
+                        // rest = w..=v ; cycle = v, w, ..., (v)
+                        rest.pop(); // drop trailing v
+                        let mut cyc = Vec::with_capacity(rest.len() + 1);
+                        cyc.push(v);
+                        cyc.extend(rest);
+                        cyc
+                    })
+                };
+                if let Some(c) = cand {
+                    if best.as_ref().is_none_or(|b| c.len() < b.len()) {
+                        best = Some(c);
+                    }
+                }
+            }
+            // A length-2 cycle is as short as non-self-loop cycles get;
+            // stop early.
+            if best.as_ref().is_some_and(|b| b.len() <= 2) {
+                break 'vertices;
+            }
+        }
+        in_scope.clear();
+        best
+    }
+
+    /// The G-single style search over the frozen CSR: cycles whose first
+    /// edge is drawn from `single` and whose remaining edges from `rest`.
+    /// CSR port of [`find_cycle_with_single`] with reusable `scratch`;
+    /// returns up to `limit` distinct cycles (keyed by vertex set).
+    pub fn find_cycle_with_single(
+        &self,
+        component: &[u32],
+        single: EdgeMask,
+        rest: EdgeMask,
+        limit: usize,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<u32>> {
+        scratch.ensure_bfs(self.vertex_count());
+        let Scratch {
+            visited,
+            in_scope,
+            parent,
+            queue,
+            ..
+        } = scratch;
+        for &v in component {
+            in_scope.insert(v);
+        }
+        let mut out = Vec::new();
+        let mut seen: rustc_hash::FxHashSet<Vec<u32>> = rustc_hash::FxHashSet::default();
+        'vertices: for &v in component {
+            for (w, m) in self.out_edges(v) {
+                if out.len() >= limit {
+                    break 'vertices;
+                }
+                if !m.intersects(single) || !in_scope.contains(w) {
+                    continue;
+                }
+                let cand = if w == v {
+                    // self-loop via the single edge: a 1-cycle
+                    Some(vec![v])
+                } else {
+                    bfs_path_csr(self, w, v, rest, Some(in_scope), visited, parent, queue).map(
+                        |mut path| {
+                            path.pop();
+                            let mut cyc = Vec::with_capacity(path.len() + 1);
+                            cyc.push(v);
+                            cyc.extend(path);
+                            cyc
+                        },
+                    )
+                };
+                if let Some(c) = cand {
+                    let mut key = c.clone();
+                    key.sort_unstable();
+                    if seen.insert(key) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        in_scope.clear();
+        out
+    }
 }
 
 /// Find a short cycle within `component` (a set of vertices) under `spec`.

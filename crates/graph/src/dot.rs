@@ -1,11 +1,16 @@
 //! Graphviz DOT export, for Figure-3-style cycle plots.
+//!
+//! Rendering reads the frozen [`Csr`], whose rows are sorted by neighbour
+//! id, so the emitted edge order is a deterministic function of the edge
+//! set — two graphs with the same edges produce byte-identical DOT no
+//! matter the order their edges were inserted in.
 
-use crate::{DiGraph, EdgeMask};
+use crate::{Csr, EdgeMask};
 
 /// Render the subgraph induced by `vertices` (or the whole graph if `None`)
 /// to DOT. `name_of` supplies vertex labels (e.g. `T1`).
 pub fn to_dot(
-    g: &DiGraph,
+    g: &Csr,
     vertices: Option<&[u32]>,
     allowed: EdgeMask,
     name_of: &dyn Fn(u32) -> String,
@@ -48,14 +53,14 @@ pub fn to_dot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::EdgeClass;
+    use crate::{DiGraph, EdgeClass};
 
     #[test]
     fn renders_edges_and_labels() {
         let mut g = DiGraph::with_vertices(2);
         g.add_edge(0, 1, EdgeClass::Wr);
         g.add_edge(1, 0, EdgeClass::Rw);
-        let dot = to_dot(&g, None, EdgeMask::ALL, &|v| format!("T{v}"));
+        let dot = to_dot(&g.freeze(), None, EdgeMask::ALL, &|v| format!("T{v}"));
         assert!(dot.contains("\"T0\" -> \"T1\" [label=\"wr\"]"));
         assert!(dot.contains("\"T1\" -> \"T0\" [label=\"rw\"]"));
         assert!(dot.starts_with("digraph"));
@@ -66,11 +71,29 @@ mod tests {
         let mut g = DiGraph::with_vertices(3);
         g.add_edge(0, 1, EdgeClass::Ww);
         g.add_edge(1, 2, EdgeClass::Rw);
-        let dot = to_dot(&g, Some(&[0, 1]), EdgeMask::WW, &|v| format!("T{v}"));
+        let csr = g.freeze();
+        let dot = to_dot(&csr, Some(&[0, 1]), EdgeMask::WW, &|v| format!("T{v}"));
         assert!(dot.contains("T0"));
         assert!(!dot.contains("T2"));
-        let dot2 = to_dot(&g, None, EdgeMask::RW, &|v| format!("T{v}"));
+        let dot2 = to_dot(&csr, None, EdgeMask::RW, &|v| format!("T{v}"));
         assert!(!dot2.contains("ww"));
         assert!(dot2.contains("rw"));
+    }
+
+    #[test]
+    fn output_independent_of_insertion_order() {
+        let mut a = DiGraph::with_vertices(3);
+        a.add_edge(2, 0, EdgeClass::Ww);
+        a.add_edge(0, 2, EdgeClass::Wr);
+        a.add_edge(0, 1, EdgeClass::Rw);
+        let mut b = DiGraph::with_vertices(3);
+        b.add_edge(0, 1, EdgeClass::Rw);
+        b.add_edge(0, 2, EdgeClass::Wr);
+        b.add_edge(2, 0, EdgeClass::Ww);
+        let name = |v: u32| format!("T{v}");
+        assert_eq!(
+            to_dot(&a.freeze(), None, EdgeMask::ALL, &name),
+            to_dot(&b.freeze(), None, EdgeMask::ALL, &name)
+        );
     }
 }

@@ -13,6 +13,12 @@
 //!   §5.1's `O(n · p)` construction),
 //! * DOT export for the Figure-3-style visualizations.
 //!
+//! The graph has a two-phase lifecycle: a mutable [`DiGraph`] builder
+//! accumulates edges, then [`DiGraph::freeze`] compacts it into an
+//! immutable [`Csr`] on which all searches run — flat sorted adjacency,
+//! no hash maps, mask filtering at traversal time, and reusable
+//! [`Scratch`] working memory (see [`csr`-module docs](Csr)).
+//!
 //! The crate is independent of Elle's domain types: vertices are dense
 //! `u32` indices; callers map transactions onto them.
 //!
@@ -21,16 +27,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod csr;
 mod cycles;
 mod digraph;
 mod dot;
 mod reduction;
 mod tarjan;
 
+pub use csr::{BitSet, Csr, Scratch};
 pub use cycles::{find_cycle, find_cycle_with_single, shortest_cycle_through, CycleSpec};
 pub use digraph::{DiGraph, EdgeClass, EdgeMask};
 pub use dot::to_dot;
 pub use reduction::{
-    interval_order_graph, interval_order_reduction, transitive_closure_reachable, Interval,
+    csr_reachable, interval_order_graph, interval_order_reduction, transitive_closure_reachable,
+    Interval,
 };
 pub use tarjan::{condensation, tarjan_scc};

@@ -74,6 +74,35 @@ pub fn interval_order_reduction(items: &[Interval]) -> Vec<(u32, u32)> {
     edges
 }
 
+/// All vertices reachable from `start` (inclusive) over `allowed` edges of
+/// a frozen [`Csr`], with reusable `scratch` (CSR port of
+/// [`transitive_closure_reachable`]).
+pub fn csr_reachable(
+    g: &crate::Csr,
+    start: u32,
+    allowed: EdgeMask,
+    scratch: &mut crate::Scratch,
+) -> Vec<u32> {
+    scratch.ensure_bfs(g.vertex_count());
+    let visited = &mut scratch.visited;
+    let stack = &mut scratch.queue;
+    visited.clear();
+    stack.clear();
+    stack.push(start);
+    visited.insert(start);
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for w in g.out_neighbors_masked(v, allowed) {
+            if visited.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 /// All vertices reachable from `start` (inclusive) over `allowed` edges.
 pub fn transitive_closure_reachable(g: &DiGraph, start: u32, allowed: EdgeMask) -> Vec<u32> {
     let n = g.vertex_count();
@@ -225,5 +254,25 @@ mod tests {
         g.add_edge(3, 0, EdgeClass::Ww);
         let r = transitive_closure_reachable(&g, 0, EdgeMask::ALL);
         assert_eq!(r, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn csr_reachable_matches_legacy() {
+        let mut g = DiGraph::with_vertices(6);
+        for (a, b) in [(0, 1), (1, 2), (3, 0), (2, 4), (5, 5)] {
+            g.add_edge(a, b, EdgeClass::Ww);
+        }
+        g.add_edge(1, 3, EdgeClass::Rw);
+        let csr = g.freeze();
+        let mut scratch = crate::Scratch::new();
+        for start in 0..6u32 {
+            for mask in [EdgeMask::ALL, EdgeMask::WW, EdgeMask::RW] {
+                assert_eq!(
+                    csr_reachable(&csr, start, mask, &mut scratch),
+                    transitive_closure_reachable(&g, start, mask),
+                    "start={start} mask={mask}"
+                );
+            }
+        }
     }
 }

@@ -4,8 +4,107 @@
 //! cycle detection `O(vertices + edges)`. We implement it iteratively: real
 //! histories produce graphs with 10⁵–10⁶ vertices and recursion would
 //! overflow the stack.
+//!
+//! The primary implementation is [`Csr::tarjan_scc`], which walks the
+//! frozen CSR rows with caller-provided [`Scratch`] buffers. The
+//! [`DiGraph`]-based [`tarjan_scc`] is retained as the reference
+//! implementation that differential property tests compare against.
 
+use crate::csr::{Csr, Scratch};
 use crate::{DiGraph, EdgeMask};
+
+impl Csr {
+    /// Strongly connected components of the subgraph restricted to
+    /// `allowed` edge classes, walking the frozen CSR with reusable
+    /// `scratch` buffers.
+    ///
+    /// Same contract as the [`tarjan_scc`] reference: components come back
+    /// in reverse topological order, each sorted ascending, and only
+    /// components that can contain a cycle (≥ 2 vertices, or a self-loop)
+    /// are returned.
+    pub fn tarjan_scc(&self, allowed: EdgeMask, scratch: &mut Scratch) -> Vec<Vec<u32>> {
+        let n = self.vertex_count();
+        const UNVISITED: u32 = u32::MAX;
+        scratch.reset_tarjan(n);
+        let Scratch {
+            index_of,
+            lowlink,
+            on_stack,
+            stack,
+            frames,
+            ..
+        } = scratch;
+
+        let mut next_index = 0u32;
+        let mut sccs = Vec::new();
+
+        for root in 0..n as u32 {
+            if index_of[root as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            index_of[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack.insert(root);
+
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                let (dsts, masks) = self.out_row(v);
+                let mut descended = false;
+                while (*pos as usize) < dsts.len() {
+                    let (w, m) = (dsts[*pos as usize], masks[*pos as usize]);
+                    *pos += 1;
+                    if !m.intersects(allowed) {
+                        continue;
+                    }
+                    let wi = index_of[w as usize];
+                    if wi == UNVISITED {
+                        // Descend.
+                        index_of[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack.insert(w);
+                        frames.push((w, 0));
+                        descended = true;
+                        break;
+                    } else if on_stack.contains(w) {
+                        lowlink[v as usize] = lowlink[v as usize].min(wi);
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                // v is finished.
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index_of[v as usize] {
+                    // v is an SCC root; pop its component.
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack.remove(w);
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic =
+                        comp.len() > 1 || self.edge_mask(comp[0], comp[0]).intersects(allowed);
+                    if cyclic {
+                        comp.sort_unstable();
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+        on_stack.clear();
+        sccs
+    }
+}
 
 /// Strongly connected components of the subgraph restricted to `allowed`
 /// edge classes. Components are returned in **reverse topological order**
@@ -251,5 +350,61 @@ mod tests {
         let sccs = tarjan_scc(&g, EdgeMask::ALL);
         assert_eq!(sccs.len(), 1);
         assert_eq!(sccs[0].len(), n as usize);
+    }
+
+    #[test]
+    fn csr_matches_reference_on_small_graphs() {
+        use crate::csr::Scratch;
+        let mut scratch = Scratch::new();
+        let cases: Vec<DiGraph> = vec![
+            ring(5),
+            {
+                let mut g = DiGraph::with_vertices(2);
+                g.add_edge(1, 1, EdgeClass::Ww);
+                g
+            },
+            {
+                let mut g = DiGraph::with_vertices(6);
+                for (a, b) in [(0, 1), (1, 0), (3, 4), (4, 5), (5, 3)] {
+                    g.add_edge(a, b, EdgeClass::Ww);
+                }
+                g
+            },
+        ];
+        for g in cases {
+            let csr = g.freeze();
+            let mut a = tarjan_scc(&g, EdgeMask::ALL);
+            let mut b = csr.tarjan_scc(EdgeMask::ALL, &mut scratch);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn csr_mask_restriction_breaks_cycle() {
+        use crate::csr::Scratch;
+        let mut g = DiGraph::with_vertices(2);
+        g.add_edge(0, 1, EdgeClass::Ww);
+        g.add_edge(1, 0, EdgeClass::Rw);
+        let csr = g.freeze();
+        let mut s = Scratch::new();
+        assert_eq!(csr.tarjan_scc(EdgeMask::ALL, &mut s).len(), 1);
+        assert!(csr.tarjan_scc(EdgeMask::WW, &mut s).is_empty());
+        assert!(csr.tarjan_scc(EdgeMask::RW, &mut s).is_empty());
+        assert_eq!(csr.tarjan_scc(EdgeMask::WW | EdgeMask::RW, &mut s).len(), 1);
+    }
+
+    #[test]
+    fn csr_scratch_reuse_across_sizes() {
+        use crate::csr::Scratch;
+        let mut s = Scratch::new();
+        let big = ring(100);
+        let sccs = big.freeze().tarjan_scc(EdgeMask::ALL, &mut s);
+        assert_eq!(sccs.len(), 1);
+        // A smaller graph with the same scratch must not see stale state.
+        let small = ring(3);
+        let sccs = small.freeze().tarjan_scc(EdgeMask::ALL, &mut s);
+        assert_eq!(sccs, vec![vec![0, 1, 2]]);
     }
 }

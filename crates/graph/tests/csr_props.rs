@@ -1,0 +1,180 @@
+//! Differential property tests for the frozen CSR substrate: on random
+//! multi-class graphs, the CSR ports of Tarjan and the BFS cycle searches
+//! must agree with the legacy `DiGraph` reference implementations.
+//!
+//! Two regimes:
+//!
+//! * **sorted insertion** — edges are inserted in `(src, dst)` order, so
+//!   the builder's adjacency order equals the CSR's sorted row order and
+//!   both implementations traverse identically: results must be *exactly*
+//!   equal, tie-breaking included;
+//! * **arbitrary insertion** — traversal orders may differ, so we compare
+//!   order-insensitive facts: the freeze round-trip, SCC partitions,
+//!   cycle existence and shortest lengths, and the validity of every
+//!   cycle the CSR search emits.
+
+use elle_graph::{
+    find_cycle, find_cycle_with_single, shortest_cycle_through, tarjan_scc, CycleSpec, DiGraph,
+    EdgeClass, EdgeMask, Scratch,
+};
+use proptest::prelude::*;
+
+const CLASSES: [EdgeClass; 4] = [
+    EdgeClass::Ww,
+    EdgeClass::Wr,
+    EdgeClass::Rw,
+    EdgeClass::Process,
+];
+
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32, u8)>> {
+    prop::collection::vec((0..n as u32, 0..n as u32, 0..4u8), 0..n * 4)
+}
+
+/// Merge duplicate `(src, dst)` pairs and sort lexicographically, so the
+/// builder's insertion order matches the CSR's row order.
+fn sorted_merged(edges: &[(u32, u32, u8)]) -> Vec<(u32, u32, EdgeMask)> {
+    let mut map: std::collections::BTreeMap<(u32, u32), EdgeMask> =
+        std::collections::BTreeMap::new();
+    for &(a, b, c) in edges {
+        let m = EdgeMask::of(CLASSES[c as usize]);
+        map.entry((a, b))
+            .and_modify(|e| *e = e.union(m))
+            .or_insert(m);
+    }
+    map.into_iter().map(|((a, b), m)| (a, b, m)).collect()
+}
+
+fn graph_from(n: usize, edges: &[(u32, u32, EdgeMask)]) -> DiGraph {
+    let mut g = DiGraph::with_vertices(n);
+    for &(a, b, m) in edges {
+        g.add_edge_mask(a, b, m);
+    }
+    g
+}
+
+const MASKS: [EdgeMask; 4] = [
+    EdgeMask::ALL,
+    EdgeMask::WW,
+    EdgeMask(EdgeMask::WW.0 | EdgeMask::WR.0),
+    EdgeMask(EdgeMask::WW.0 | EdgeMask::RW.0),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sorted insertion: every CSR algorithm equals its legacy
+    /// counterpart exactly — same components, same cycles, same
+    /// tie-breaking.
+    #[test]
+    fn csr_equals_legacy_under_sorted_insertion(raw in arb_edges(20)) {
+        let n = 20;
+        let edges = sorted_merged(&raw);
+        let g = graph_from(n, &edges);
+        let csr = g.freeze();
+        let mut scratch = Scratch::new();
+
+        for allowed in MASKS {
+            // Tarjan: identical component lists, in identical order.
+            let legacy = tarjan_scc(&g, allowed);
+            let ported = csr.tarjan_scc(allowed, &mut scratch);
+            prop_assert_eq!(&legacy, &ported, "tarjan mask={}", allowed);
+
+            // Whole-graph shortest cycle through every vertex.
+            for v in 0..n as u32 {
+                let a = shortest_cycle_through(&g, v, allowed, None);
+                let b = csr.shortest_cycle_through(v, allowed, None, &mut scratch);
+                prop_assert_eq!(&a, &b, "shortest v={} mask={}", v, allowed);
+            }
+
+            // Per-SCC searches.
+            for scc in &legacy {
+                let a = find_cycle(&g, scc, CycleSpec::uniform(allowed));
+                let b = csr.find_cycle(scc, CycleSpec::uniform(allowed), &mut scratch);
+                prop_assert_eq!(&a, &b, "find_cycle mask={}", allowed);
+
+                let rest = EdgeMask(allowed.0 & !EdgeMask::RW.0);
+                let a = find_cycle_with_single(&g, scc, EdgeMask::RW, rest, 8);
+                let b = csr.find_cycle_with_single(scc, EdgeMask::RW, rest, 8, &mut scratch);
+                prop_assert_eq!(&a, &b, "single mask={}", allowed);
+            }
+        }
+    }
+
+    /// Arbitrary insertion: the freeze round-trips the edge set, and the
+    /// algorithms agree on order-insensitive facts.
+    #[test]
+    fn csr_invariants_under_arbitrary_insertion(raw in arb_edges(16)) {
+        let n = 16;
+        let mut g = DiGraph::with_vertices(n);
+        for &(a, b, c) in &raw {
+            g.add_edge(a, b, CLASSES[c as usize]);
+        }
+        let csr = g.freeze();
+        let mut scratch = Scratch::new();
+
+        // Freeze round-trip: same edge set, same masks, rows sorted.
+        prop_assert_eq!(g.edge_count(), csr.edge_count());
+        let mut legacy_edges: Vec<_> = g.edges().collect();
+        legacy_edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        let csr_edges: Vec<_> = csr.edges().collect();
+        prop_assert_eq!(legacy_edges, csr_edges);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                prop_assert_eq!(g.edge_mask(a, b), csr.edge_mask(a, b), "mask {}->{}", a, b);
+            }
+            let (in_srcs, _) = csr.in_row(a);
+            for &s in in_srcs {
+                prop_assert!(csr.edge_mask(s, a) != EdgeMask::NONE);
+            }
+        }
+
+        for allowed in MASKS {
+            // Same SCC partition (as sets of sorted components).
+            let mut legacy = tarjan_scc(&g, allowed);
+            let mut ported = csr.tarjan_scc(allowed, &mut scratch);
+            legacy.sort();
+            ported.sort();
+            prop_assert_eq!(&legacy, &ported, "tarjan sets mask={}", allowed);
+
+            // Shortest-cycle existence and length agree per vertex.
+            for v in 0..n as u32 {
+                let a = shortest_cycle_through(&g, v, allowed, None);
+                let b = csr.shortest_cycle_through(v, allowed, None, &mut scratch);
+                prop_assert_eq!(
+                    a.as_ref().map(Vec::len),
+                    b.as_ref().map(Vec::len),
+                    "shortest length v={} mask={}", v, allowed
+                );
+            }
+
+            for scc in &ported {
+                // find_cycle: existence and minimality agree.
+                let a = find_cycle(&g, scc, CycleSpec::uniform(allowed));
+                let b = csr.find_cycle(scc, CycleSpec::uniform(allowed), &mut scratch);
+                prop_assert_eq!(
+                    a.as_ref().map(Vec::len),
+                    b.as_ref().map(Vec::len),
+                    "find_cycle length mask={}", allowed
+                );
+
+                // find_cycle_with_single: existence agrees, and every
+                // emitted cycle is genuinely a single-first-edge cycle.
+                let rest = EdgeMask(allowed.0 & !EdgeMask::RW.0);
+                let a = find_cycle_with_single(&g, scc, EdgeMask::RW, rest, usize::MAX);
+                let b = csr.find_cycle_with_single(scc, EdgeMask::RW, rest, usize::MAX, &mut scratch);
+                prop_assert_eq!(a.is_empty(), b.is_empty(), "single existence mask={}", allowed);
+                for cyc in &b {
+                    for (i, &from) in cyc.iter().enumerate() {
+                        let to = cyc[(i + 1) % cyc.len()];
+                        let need = if i == 0 { EdgeMask::RW } else { rest };
+                        prop_assert!(
+                            g.edge_mask(from, to).intersects(need),
+                            "invalid edge {}->{} in {:?}", from, to, cyc
+                        );
+                        prop_assert!(scc.contains(&from));
+                    }
+                }
+            }
+        }
+    }
+}

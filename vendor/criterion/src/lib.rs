@@ -7,7 +7,8 @@
 //!
 //! Set `CRITERION_JSON=<path>` to also write a machine-readable summary
 //! of every benchmark run by the process — used to record datapoints
-//! like `BENCH_checker.json`.
+//! like `BENCH_checker.json`. Set `CRITERION_QUICK=1` to take a single
+//! sample per benchmark (the CI smoke mode).
 
 #![forbid(unsafe_code)]
 
@@ -210,12 +211,21 @@ impl Criterion {
     }
 }
 
+/// `CRITERION_QUICK=1` caps every benchmark at a single timed sample —
+/// a smoke mode for CI, where the goal is "the harness still runs", not
+/// statistics.
+fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var_os("CRITERION_QUICK").is_some_and(|v| v == "1"))
+}
+
 fn run_samples(
     id: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
     mut run: impl FnMut(&mut Bencher),
 ) -> Record {
+    let sample_size = if quick_mode() { 1 } else { sample_size };
     let mut b = Bencher {
         sample: Duration::ZERO,
         iters: 0,

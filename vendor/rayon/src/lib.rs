@@ -58,6 +58,14 @@ pub struct ParMap<'a, T, F> {
     f: F,
 }
 
+/// A mapped parallel iterator with per-worker state (see
+/// [`ParIter::map_init`]).
+pub struct ParMapInit<'a, T, INIT, F> {
+    items: &'a [T],
+    init: INIT,
+    f: F,
+}
+
 /// The operations shared by this shim's parallel iterators.
 pub trait ParallelIterator: Sized {
     /// The item type produced.
@@ -84,6 +92,24 @@ impl<'a, T: Sync> ParIter<'a, T> {
             f,
         }
     }
+
+    /// Map each item through `f` in parallel, threading mutable state
+    /// created once per worker by `init` — upstream rayon's `map_init`.
+    /// Each worker processes a contiguous chunk, so the state (e.g. a
+    /// search scratch buffer) is reused across that chunk's items instead
+    /// of being reallocated per item.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'a, T, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
 }
 
 impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
@@ -96,6 +122,44 @@ where
 
     fn run(self) -> Vec<R> {
         par_map_slice(self.items, &self.f)
+    }
+}
+
+impl<'a, T, S, R, INIT, F> ParallelIterator for ParMapInit<'a, T, INIT, F>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.items;
+        let init = &self.init;
+        let f = &self.f;
+        let threads = current_num_threads().min(items.len());
+        if threads <= 1 {
+            let mut state = init();
+            return items.iter().map(|x| f(&mut state, x)).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut out: Vec<R> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        part.iter().map(|x| f(&mut state, x)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        out
     }
 }
 
@@ -146,6 +210,22 @@ mod tests {
         let xs: Vec<u64> = (0..10_000).collect();
         let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_preserves_order_and_reuses_state() {
+        let xs: Vec<u64> = (0..5_000).collect();
+        let out: Vec<u64> = xs
+            .par_iter()
+            .map_init(
+                || 0u64, // per-worker accumulator proves state is threaded
+                |acc, x| {
+                    *acc += 1;
+                    x * 3
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..5_000).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]
