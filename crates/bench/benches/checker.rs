@@ -18,7 +18,7 @@ fn history(n_txns: usize, processes: usize, iso: IsolationLevel) -> History {
 fn bench_length(c: &mut Criterion) {
     let mut g = c.benchmark_group("elle_check_length");
     g.sample_size(10);
-    for n in [1_000usize, 4_000, 10_000, 16_000] {
+    for n in [1_000usize, 4_000, 10_000, 16_000, 64_000] {
         let h = history(n, 20, IsolationLevel::Serializable);
         g.throughput(Throughput::Elements(h.mop_count() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {

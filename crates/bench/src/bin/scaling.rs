@@ -13,6 +13,7 @@ use std::time::Instant;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let timing = std::env::args().any(|a| a == "--timing");
     let lengths: Vec<usize> = if full {
         vec![10_000, 30_000, 100_000, 300_000, 1_000_000]
     } else {
@@ -22,27 +23,37 @@ fn main() {
     println!("txns,ops,concurrency,elle_s,ops_per_s");
     // Length sweep at fixed concurrency.
     for &n in &lengths {
-        row(n, 20);
+        row(n, 20, timing);
     }
     // Concurrency sweep at fixed length: "effectively constant".
     for c in [1, 5, 10, 20, 40, 100, 1000] {
-        row(if full { 100_000 } else { 30_000 }, c);
+        row(if full { 100_000 } else { 30_000 }, c, timing);
     }
 }
 
-fn row(n_txns: usize, c: usize) {
+fn row(n_txns: usize, c: usize, timing: bool) {
     let params = GenParams::paper_perf(n_txns).with_seed(n_txns as u64);
     let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
         .with_processes(c)
         .with_seed(n_txns as u64 + c as u64);
     let h = run_workload(params, db).expect("history pairs");
     let ops = h.mop_count();
+    let checker = Checker::new(CheckOptions::strict_serializable());
     let t0 = Instant::now();
-    let report = Checker::new(CheckOptions::strict_serializable()).check(&h);
+    let (report, stages) = if timing {
+        let (r, s) = checker.check_timed(&h);
+        (r, Some(s))
+    } else {
+        (checker.check(&h), None)
+    };
     let secs = t0.elapsed().as_secs_f64();
     assert!(report.ok(), "serializable engine must stay clean");
     println!(
         "{n_txns},{ops},{c},{secs:.3},{:.0}",
         ops as f64 / secs.max(1e-9)
     );
+    if let Some(stages) = stages {
+        eprintln!("# {n_txns} txns, {c} procs:");
+        eprint!("{}", stages.render());
+    }
 }

@@ -4,16 +4,19 @@
 use crate::anomaly::{Anomaly, AnomalyType};
 use crate::counter;
 use crate::cycle_search::{find_cycle_anomalies_frozen, CycleSearchOptions};
+use crate::datatype::{self, Parallelism};
 use crate::deps::DepGraph;
 use crate::list_append;
 use crate::models::{strongest_satisfiable, violated_models, ConsistencyModel};
 use crate::observation::{DataType, ElemIndex, KeyTypes};
 use crate::orders;
+use crate::reference;
 use crate::rw_register::{self, RegisterOptions};
 use crate::set_add;
 use elle_history::History;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Checker configuration.
 #[derive(Debug, Clone, Copy)]
@@ -220,6 +223,45 @@ impl Report {
     }
 }
 
+/// Per-stage wall-clock breakdown of one check, for `elle-check
+/// --timing` and perf-regression triage without a criterion run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// `(stage name, seconds)` in execution order.
+    pub stages: Vec<(String, f64)>,
+}
+
+impl StageTimings {
+    fn record(&mut self, name: &str, since: Instant) -> Instant {
+        self.stages
+            .push((name.to_string(), since.elapsed().as_secs_f64()));
+        Instant::now()
+    }
+
+    /// Total seconds across all recorded stages.
+    pub fn total(&self) -> f64 {
+        self.stages.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Render an aligned human-readable table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let width = self
+            .stages
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("total".len());
+        let mut s = String::new();
+        for (name, secs) in &self.stages {
+            let _ = writeln!(s, "  {name:<width$}  {:>9.3} ms", secs * 1e3);
+        }
+        let _ = writeln!(s, "  {:<width$}  {:>9.3} ms", "total", self.total() * 1e3);
+        s
+    }
+}
+
 /// The Elle checker.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Checker {
@@ -234,9 +276,41 @@ impl Checker {
 
     /// Check a history, producing a [`Report`].
     pub fn check(&self, history: &History) -> Report {
+        self.check_inner(history, false, None)
+    }
+
+    /// Check a history, also returning the per-stage wall-clock
+    /// breakdown (parse time is the caller's to measure).
+    pub fn check_timed(&self, history: &History) -> (Report, StageTimings) {
+        let mut t = StageTimings::default();
+        let report = self.check_inner(history, false, Some(&mut t));
+        (report, t)
+    }
+
+    /// Check a history through the preserved **seed per-read datatype
+    /// passes** ([`crate::reference`]) instead of the version-interned
+    /// ones. Differential-testing plumbing, not a supported API.
+    #[doc(hidden)]
+    pub fn check_seed_reference(&self, history: &History) -> Report {
+        self.check_inner(history, true, None)
+    }
+
+    fn check_inner(
+        &self,
+        history: &History,
+        seed_reference: bool,
+        mut timings: Option<&mut StageTimings>,
+    ) -> Report {
         let opts = self.opts;
+        let mut clock = Instant::now();
+        let mut lap = |name: &str, clock: &mut Instant| {
+            if let Some(t) = timings.as_deref_mut() {
+                *clock = t.record(name, *clock);
+            }
+        };
         let kt = KeyTypes::infer(history);
         let elems = ElemIndex::build(history);
+        lap("key typing + element index", &mut clock);
 
         let mut warnings = Vec::new();
         for k in &kt.conflicts {
@@ -247,31 +321,85 @@ impl Checker {
 
         let mut anomalies: Vec<Anomaly> = Vec::new();
         let mut deps = DepGraph::with_txns(history.len());
+        // The first datatype's graph is adopted wholesale; later ones
+        // merge into it (cheap: keys partition edges across datatypes).
+        let absorb = |deps: &mut DepGraph, other: DepGraph| {
+            if deps.graph.edge_count() == 0 {
+                *deps = other;
+            } else {
+                deps.merge(other);
+            }
+        };
 
         let list_keys = kt.keys_of(DataType::List);
         if !list_keys.is_empty() {
-            let a = list_append::analyze(history, &elems, &list_keys);
+            let a = if seed_reference {
+                let out = datatype::run_mode::<reference::ListAppendRef>(
+                    history,
+                    &elems,
+                    &list_keys,
+                    (),
+                    Parallelism::Auto,
+                );
+                list_append::ListAppendAnalysis {
+                    deps: out.deps,
+                    anomalies: out.anomalies,
+                    version_orders: out.version_orders,
+                }
+            } else {
+                list_append::analyze(history, &elems, &list_keys)
+            };
             anomalies.extend(a.anomalies);
-            deps.merge(a.deps);
+            absorb(&mut deps, a.deps);
         }
         let reg_keys = kt.keys_of(DataType::Register);
         if !reg_keys.is_empty() {
-            let a = rw_register::analyze(history, &elems, &reg_keys, opts.registers);
+            let a = if seed_reference {
+                let out = datatype::run_mode::<reference::RwRegisterRef>(
+                    history,
+                    &elems,
+                    &reg_keys,
+                    opts.registers,
+                    Parallelism::Auto,
+                );
+                rw_register::RegisterAnalysis {
+                    deps: out.deps,
+                    anomalies: out.anomalies,
+                    cyclic_keys: out.cyclic_keys,
+                }
+            } else {
+                rw_register::analyze(history, &elems, &reg_keys, opts.registers)
+            };
             anomalies.extend(a.anomalies);
-            deps.merge(a.deps);
+            absorb(&mut deps, a.deps);
         }
         let set_keys = kt.keys_of(DataType::Set);
         if !set_keys.is_empty() {
-            let a = set_add::analyze(history, &elems, &set_keys);
+            let a = if seed_reference {
+                let out = datatype::run_mode::<reference::SetAddRef>(
+                    history,
+                    &elems,
+                    &set_keys,
+                    (),
+                    Parallelism::Auto,
+                );
+                set_add::SetAnalysis {
+                    deps: out.deps,
+                    anomalies: out.anomalies,
+                }
+            } else {
+                set_add::analyze(history, &elems, &set_keys)
+            };
             anomalies.extend(a.anomalies);
-            deps.merge(a.deps);
+            absorb(&mut deps, a.deps);
         }
         let counter_keys = kt.keys_of(DataType::Counter);
         if !counter_keys.is_empty() {
             let a = counter::analyze(history, &counter_keys);
             anomalies.extend(a.anomalies);
-            deps.merge(a.deps);
+            absorb(&mut deps, a.deps);
         }
+        lap("datatype inference", &mut clock);
 
         if opts.process_edges {
             orders::add_process_edges(&mut deps, history);
@@ -282,10 +410,12 @@ impl Checker {
         if opts.timestamp_edges {
             orders::add_timestamp_edges(&mut deps, history);
         }
+        lap("derived orders", &mut clock);
 
         // Freeze the assembled IDSG once; every per-class search walks
         // the same immutable CSR snapshot.
         let frozen = deps.freeze();
+        lap("freeze", &mut clock);
         let cycles = find_cycle_anomalies_frozen(
             &deps,
             &frozen,
@@ -297,6 +427,7 @@ impl Checker {
                 max_per_type: opts.max_cycles_per_type,
             },
         );
+        lap("cycle search", &mut clock);
         anomalies.extend(cycles);
         anomalies.sort_by(|a, b| a.typ.cmp(&b.typ).then(a.txns.cmp(&b.txns)));
 
@@ -314,13 +445,33 @@ impl Checker {
         }
 
         // Observation coverage: which committed writes were ever read?
+        // (Capacity bounded by the number of indexed writes.) List reads
+        // exploit traceability: a read that is a prefix of the key's
+        // longest read contributes nothing new, so only each key's
+        // longest value (plus the rare incompatible read) is hashed —
+        // not every read's full payload.
         let mut observed: rustc_hash::FxHashSet<(elle_history::Key, elle_history::Elem)> =
-            rustc_hash::FxHashSet::default();
+            rustc_hash::FxHashSet::with_capacity_and_hasher(elems.len(), Default::default());
+        let mut longest_list: rustc_hash::FxHashMap<elle_history::Key, &[elle_history::Elem]> =
+            rustc_hash::FxHashMap::default();
+        for t in history.committed() {
+            for (_, key, v) in t.observed_reads() {
+                if let elle_history::ReadValue::List(es) = v {
+                    let slot = longest_list.entry(key).or_insert(&[]);
+                    if es.len() > slot.len() {
+                        *slot = es;
+                    }
+                }
+            }
+        }
         for t in history.committed() {
             for (_, key, v) in t.observed_reads() {
                 match v {
                     elle_history::ReadValue::List(es) => {
-                        observed.extend(es.iter().map(|e| (key, *e)));
+                        let longest = longest_list[&key];
+                        if !(es.len() <= longest.len() && es[..] == longest[..es.len()]) {
+                            observed.extend(es.iter().map(|e| (key, *e)));
+                        }
                     }
                     elle_history::ReadValue::Register(Some(e)) => {
                         observed.insert((key, *e));
@@ -331,6 +482,9 @@ impl Checker {
                     _ => {}
                 }
             }
+        }
+        for (key, longest) in longest_list {
+            observed.extend(longest.iter().map(|e| (key, *e)));
         }
         let mut committed_writes = 0usize;
         let mut observed_writes = 0usize;
@@ -369,6 +523,7 @@ impl Checker {
             observed_writes,
         };
 
+        lap("report assembly", &mut clock);
         Report {
             anomalies,
             anomaly_counts,

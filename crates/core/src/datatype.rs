@@ -271,6 +271,8 @@ pub fn run_mode<D: DatatypeAnalysis>(
     };
 
     // ── Deterministic merge: strictly in sorted key order. ────────────
+    out.deps
+        .reserve_edges(sinks.iter().map(|s| s.edges.len()).sum());
     for (key, mut sink) in keys_sorted.into_iter().zip(sinks) {
         out.anomalies.append(&mut sink.anomalies);
         for (from, to, witness) in sink.edges {
@@ -300,19 +302,32 @@ pub struct InternalMismatch {
 /// check: iterate transactions, thread per-key state of type `S`
 /// through each one's micro-ops in program order, and report any
 /// mismatch the datatype's `step` closure detects.
-pub fn internal_pass<C, S: Default>(
-    cx: &AnalysisCtx<'_, C>,
+///
+/// The step closure receives history-lifetime borrows so states can
+/// reference read values in place instead of cloning them; per-key
+/// states live in one reused vector with a reused key → slot index, so
+/// no per-transaction allocation and O(1) lookups even for arbitrarily
+/// wide transactions.
+pub fn internal_pass<'h, C, S: Default>(
+    cx: &AnalysisCtx<'h, C>,
     sink: &mut KeySink,
-    mut step: impl FnMut(&Transaction, &Mop, Key, &mut S) -> Option<InternalMismatch>,
+    mut step: impl FnMut(&'h Transaction, &'h Mop, Key, &mut S) -> Option<InternalMismatch>,
 ) {
+    let mut states: Vec<(Key, S)> = Vec::new();
+    let mut slot_of: FxHashMap<Key, u32> = FxHashMap::default();
     for t in cx.history.txns() {
-        let mut states: FxHashMap<Key, S> = FxHashMap::default();
+        states.clear();
+        slot_of.clear();
         for m in &t.mops {
             let key = m.key();
             if !cx.key_set.contains(&key) {
                 continue;
             }
-            let state = states.entry(key).or_default();
+            let slot = *slot_of.entry(key).or_insert_with(|| {
+                states.push((key, S::default()));
+                (states.len() - 1) as u32
+            });
+            let state = &mut states[slot as usize].1;
             if let Some(mismatch) = step(t, m, key, state) {
                 sink.anomaly(
                     AnomalyType::Internal,
@@ -391,6 +406,74 @@ impl ProvenanceScan {
             );
         }
         true
+    }
+
+    /// Report an element already known to be garbage (no writer exists),
+    /// applying the vocab's dedup policy — the fan-out half of
+    /// [`ProvenanceScan::garbage`] for version-interned passes that
+    /// classified the element once per distinct version.
+    pub fn garbage_classified<C>(
+        &mut self,
+        cx: &AnalysisCtx<'_, C>,
+        vocab: &Vocab,
+        key: Key,
+        reader: TxnId,
+        elem: Elem,
+        sink: &mut KeySink,
+    ) {
+        let fresh = if vocab.garbage_per_reader {
+            self.garbage_pairs.insert((reader, elem))
+        } else {
+            self.garbage_elems.insert(elem)
+        };
+        if fresh {
+            sink.anomaly(
+                AnomalyType::GarbageRead,
+                vec![reader],
+                key,
+                format!(
+                    "{}\n  observed {item} {elem} of {object} {key}, which no transaction \
+                     ever {wrote}",
+                    cx.history.get(reader).to_notation(),
+                    item = vocab.item,
+                    object = vocab.object,
+                    wrote = vocab.wrote,
+                ),
+            );
+        }
+    }
+
+    /// Report an element already known to be an aborted write, with the
+    /// once-per-`(reader, element)` dedup — the fan-out half of
+    /// [`ProvenanceScan::provenance`]'s G1a arm for version-interned
+    /// passes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn g1a_classified<C>(
+        &mut self,
+        cx: &AnalysisCtx<'_, C>,
+        vocab: &Vocab,
+        key: Key,
+        reader: TxnId,
+        elem: Elem,
+        writer: TxnId,
+        sink: &mut KeySink,
+    ) {
+        if self.g1a_seen.insert((reader, elem)) {
+            sink.anomaly(
+                AnomalyType::G1a,
+                vec![reader, writer],
+                key,
+                format!(
+                    "{}\n  observed {item} {elem} of {object} {key}, {written} by aborted \
+                     transaction {}",
+                    cx.history.get(reader).to_notation(),
+                    cx.history.get(writer).to_notation(),
+                    item = vocab.item,
+                    object = vocab.object,
+                    written = vocab.written,
+                ),
+            );
+        }
     }
 
     /// Fully classify one observed element, reporting garbage and G1a

@@ -5,13 +5,46 @@ use elle_graph::{Csr, DiGraph, EdgeClass, EdgeMask};
 use elle_history::TxnId;
 use rustc_hash::FxHashMap;
 
+/// Witnesses on one edge. Almost every edge carries exactly one, so the
+/// first is stored inline — no per-edge heap allocation on the
+/// million-edge derived-order paths.
+#[derive(Debug)]
+enum WitnessSlot {
+    /// The common case: a single witness.
+    One(Witness),
+    /// Parallel evidence of several classes / keys.
+    Many(Vec<Witness>),
+}
+
+impl WitnessSlot {
+    fn as_slice(&self) -> &[Witness] {
+        match self {
+            WitnessSlot::One(w) => std::slice::from_ref(w),
+            WitnessSlot::Many(v) => v.as_slice(),
+        }
+    }
+
+    fn push(&mut self, w: Witness) {
+        match self {
+            WitnessSlot::One(first) => *self = WitnessSlot::Many(vec![first.clone(), w]),
+            WitnessSlot::Many(v) => v.push(w),
+        }
+    }
+}
+
 /// The Inferred Direct Serialization Graph of §4.3.2, over observed
 /// transactions, each edge annotated with the evidence that produced it.
+///
+/// Witnesses live in per-vertex rows **parallel to the adjacency**,
+/// indexed by the stable edge positions [`DiGraph`] hands out — one
+/// hash probe per edge insertion, not two, and no separate
+/// `(src, dst)` → witness map to grow.
 #[derive(Debug, Default)]
 pub struct DepGraph {
     /// Vertex `i` is transaction `TxnId(i)`.
     pub graph: DiGraph,
-    witnesses: FxHashMap<(u32, u32), Vec<Witness>>,
+    /// `witnesses[src][pos]` annotates `graph.out_edges(src)[pos]`.
+    witnesses: Vec<Vec<WitnessSlot>>,
 }
 
 impl DepGraph {
@@ -19,8 +52,21 @@ impl DepGraph {
     pub fn with_txns(n: usize) -> Self {
         DepGraph {
             graph: DiGraph::with_vertices(n),
-            witnesses: FxHashMap::default(),
+            witnesses: Vec::new(),
         }
+    }
+
+    /// Pre-size the edge indexes for `n` additional edges, avoiding
+    /// rehash storms on bulk loads (derived orders, driver merges).
+    pub fn reserve_edges(&mut self, n: usize) {
+        self.graph.reserve_edges(n);
+    }
+
+    fn witness_row(&mut self, src: u32) -> &mut Vec<WitnessSlot> {
+        if self.witnesses.len() <= src as usize {
+            self.witnesses.resize_with(src as usize + 1, Vec::new);
+        }
+        &mut self.witnesses[src as usize]
     }
 
     /// Add a dependency `from < to` substantiated by `witness`.
@@ -32,15 +78,30 @@ impl DepGraph {
             return;
         }
         let (a, b) = (from.0, to.0);
-        self.graph.add_edge(a, b, witness.class());
-        self.witnesses.entry((a, b)).or_default().push(witness);
+        let (pos, new) = self
+            .graph
+            .add_edge_mask_pos(a, b, EdgeMask::of(witness.class()))
+            .expect("nonempty mask");
+        let row = self.witness_row(a);
+        if new {
+            debug_assert_eq!(pos as usize, row.len());
+            row.push(WitnessSlot::One(witness));
+        } else {
+            row[pos as usize].push(witness);
+        }
     }
 
     /// All witnesses on edge `(from, to)`.
     pub fn witnesses(&self, from: TxnId, to: TxnId) -> &[Witness] {
-        self.witnesses
-            .get(&(from.0, to.0))
-            .map_or(&[], |v| v.as_slice())
+        let (a, b) = (from.0, to.0);
+        match self.graph.edge_pos(a, b) {
+            Some(pos) => self
+                .witnesses
+                .get(a as usize)
+                .and_then(|row| row.get(pos as usize))
+                .map_or(&[], |slot| slot.as_slice()),
+            None => &[],
+        }
     }
 
     /// A witness on `(from, to)` of a specific class, if one exists.
@@ -73,12 +134,15 @@ impl DepGraph {
     /// Count of edges per class (for report statistics).
     pub fn class_counts(&self) -> FxHashMap<EdgeClass, usize> {
         let mut counts: FxHashMap<EdgeClass, usize> = FxHashMap::default();
-        for ws in self.witnesses.values() {
-            let mut classes: Vec<EdgeClass> = ws.iter().map(|w| w.class()).collect();
-            classes.sort_by_key(|c| *c as u8);
-            classes.dedup();
-            for c in classes {
-                *counts.entry(c).or_default() += 1;
+        for row in &self.witnesses {
+            for ws in row {
+                let mut mask = EdgeMask::NONE;
+                for w in ws.as_slice() {
+                    mask = mask.union(EdgeMask::of(w.class()));
+                }
+                for c in mask.iter() {
+                    *counts.entry(c).or_default() += 1;
+                }
             }
         }
         counts
@@ -92,12 +156,31 @@ impl DepGraph {
     }
 
     /// Merge another dependency graph into this one (used to combine the
-    /// per-datatype inferences into a single IDSG).
+    /// per-datatype inferences into a single IDSG). Whole witness slots
+    /// are moved when the edge is new here — the common case, since the
+    /// datatype analyses partition edges by key.
     pub fn merge(&mut self, other: DepGraph) {
-        for ((a, b), ws) in other.witnesses {
-            for w in ws {
-                self.graph.add_edge(a, b, w.class());
-                self.witnesses.entry((a, b)).or_default().push(w);
+        self.reserve_edges(other.graph.edge_count());
+        for (src, mut row) in other.witnesses.into_iter().enumerate() {
+            let src = src as u32;
+            for (pos, ws) in row.drain(..).enumerate() {
+                let (dst, mask) = other.graph.out_edges(src)[pos];
+                let (self_pos, new) = self
+                    .graph
+                    .add_edge_mask_pos(src, dst, mask)
+                    .expect("nonempty mask");
+                let self_row = self.witness_row(src);
+                if new {
+                    debug_assert_eq!(self_pos as usize, self_row.len());
+                    self_row.push(ws);
+                } else {
+                    for w in match ws {
+                        WitnessSlot::One(w) => vec![w],
+                        WitnessSlot::Many(v) => v,
+                    } {
+                        self_row[self_pos as usize].push(w);
+                    }
+                }
             }
         }
     }

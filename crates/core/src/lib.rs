@@ -49,11 +49,13 @@ pub mod list_append;
 mod models;
 mod observation;
 mod orders;
+pub mod reference;
 pub mod rw_register;
 pub mod set_add;
+pub mod versions;
 
 pub use anomaly::{Anomaly, AnomalyType, CycleStep, Witness};
-pub use checker::{CheckOptions, CheckStats, Checker, Report};
+pub use checker::{CheckOptions, CheckStats, Checker, Report, StageTimings};
 pub use cycle_search::{
     find_cycle_anomalies, find_cycle_anomalies_frozen, find_cycle_anomalies_mode,
     CycleSearchOptions,
@@ -64,3 +66,4 @@ pub use models::{directly_violated, strongest_satisfiable, violated_models, Cons
 pub use observation::{DataType, ElemIndex, KeyTypes, WriteRef};
 pub use orders::{add_process_edges, add_realtime_edges, add_timestamp_edges};
 pub use rw_register::RegisterOptions;
+pub use versions::{VersionId, VersionTable};

@@ -107,11 +107,15 @@ impl ElemIndex {
     /// Build the index over every element-carrying write in the history.
     pub fn build(history: &History) -> ElemIndex {
         let mut idx = ElemIndex::default();
+        idx.writers.reserve(history.mop_count());
         let mut dup_map: FxHashMap<(Key, Elem), Vec<TxnId>> = FxHashMap::default();
 
+        // Last write position per key, to mark final writes — one reused
+        // map cleared per transaction, so no per-transaction allocation
+        // and O(1) lookups even for arbitrarily wide transactions.
+        let mut last_write: FxHashMap<Key, usize> = FxHashMap::default();
         for t in history.txns() {
-            // Last write position per key, to mark final writes.
-            let mut last_write: FxHashMap<Key, usize> = FxHashMap::default();
+            last_write.clear();
             for (i, m) in t.mops.iter().enumerate() {
                 if m.is_write() {
                     last_write.insert(m.key(), i);

@@ -37,7 +37,11 @@ pub fn add_realtime_edges(deps: &mut DepGraph, history: &History) {
             complete: t.complete_index,
         })
         .collect();
-    for (a, b) in interval_order_reduction(&intervals) {
+    let reduced = interval_order_reduction(&intervals);
+    // ~p edges per transaction for p-way concurrency: reserve up front so
+    // the bulk load does not rehash the edge indexes repeatedly.
+    deps.reserve_edges(reduced.len());
+    for (a, b) in reduced {
         let (ta, tb) = (committed[a as usize], committed[b as usize]);
         deps.add(
             ta.id,
@@ -68,7 +72,9 @@ pub fn add_timestamp_edges(deps: &mut DepGraph, history: &History) {
             }
         })
         .collect();
-    for (a, b) in interval_order_reduction(&intervals) {
+    let reduced = interval_order_reduction(&intervals);
+    deps.reserve_edges(reduced.len());
+    for (a, b) in reduced {
         let (ta, tb) = (stamped[a as usize], stamped[b as usize]);
         deps.add(
             ta.id,

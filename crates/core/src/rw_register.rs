@@ -33,6 +33,7 @@ use crate::datatype::{
 };
 use crate::deps::DepGraph;
 use crate::observation::{DataType, ElemIndex};
+use crate::versions::VersionTable;
 use elle_graph::{interval_order_reduction, tarjan_scc, DiGraph, EdgeClass, EdgeMask, Interval};
 use elle_history::{Elem, History, Key, Mop, ReadValue, Transaction, TxnId, TxnStatus};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -78,7 +79,7 @@ pub struct RegisterAnalysis {
 
 /// Where a version-order edge came from (for cyclic-order reporting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VSource {
+pub(crate) enum VSource {
     Initial,
     Chain,
     Process,
@@ -86,7 +87,7 @@ enum VSource {
 }
 
 impl VSource {
-    fn describe(self) -> &'static str {
+    pub(crate) fn describe(self) -> &'static str {
         match self {
             VSource::Initial => "initial-state",
             VSource::Chain => "writes-follow-reads",
@@ -111,7 +112,7 @@ pub fn analyze(
     }
 }
 
-fn show(v: Version) -> String {
+pub(crate) fn show(v: Version) -> String {
     match v {
         Some(e) => e.to_string(),
         None => "nil".to_string(),
@@ -120,7 +121,7 @@ fn show(v: Version) -> String {
 
 /// The last version a committed transaction left a key at, and the first
 /// version it engaged with — for process/realtime version inference.
-fn first_last_versions(t: &Transaction, key: Key) -> Option<(Version, Version)> {
+pub(crate) fn first_last_versions(t: &Transaction, key: Key) -> Option<(Version, Version)> {
     let mut first: Option<Version> = None;
     let mut last: Option<Version> = None;
     for m in &t.mops {
@@ -147,11 +148,11 @@ fn first_last_versions(t: &Transaction, key: Key) -> Option<(Version, Version)> 
 pub struct RegKeyData<'h> {
     /// Committed readers per observed version (consecutive duplicates
     /// collapsed, like the event stream).
-    readers_of: FxHashMap<Version, Vec<TxnId>>,
+    pub(crate) readers_of: FxHashMap<Version, Vec<TxnId>>,
     /// Every version seen anywhere (writes of any status, observed reads).
-    versions: FxHashSet<Version>,
+    pub(crate) versions: FxHashSet<Version>,
     /// Committed transactions touching the key, in invocation order.
-    touching: Vec<&'h Transaction>,
+    pub(crate) touching: Vec<&'h Transaction>,
 }
 
 /// The read-write register [`DatatypeAnalysis`].
@@ -335,22 +336,20 @@ impl DatatypeAnalysis for RwRegister {
             return;
         }
 
-        // ── Version order edges. ───────────────────────────────────────
-        let mut vids: FxHashMap<Version, u32> = FxHashMap::default();
-        let mut vlist: Vec<Version> = Vec::new();
-        let id_of = |v: Version, vids: &mut FxHashMap<Version, u32>, vlist: &mut Vec<Version>| {
-            *vids.entry(v).or_insert_with(|| {
-                vlist.push(v);
-                (vlist.len() - 1) as u32
-            })
-        };
+        // ── Version order edges. Versions are interned into dense ids
+        //    through the shared [`VersionTable`] (first-seen order, so
+        //    the graph layout is deterministic and identical to the seed
+        //    pipeline's ad-hoc interning). ────────────────────────────────
+        let mut table: VersionTable<Version, ()> = VersionTable::new();
+        let id_of =
+            |v: Version, table: &mut VersionTable<Version, ()>| table.intern_with(v, |_| ()).0;
         let mut vedges: Vec<(u32, u32, VSource)> = Vec::new();
 
         if opts.initial_state {
             for v in versions {
                 if v.is_some() {
-                    let a = id_of(None, &mut vids, &mut vlist);
-                    let b = id_of(*v, &mut vids, &mut vlist);
+                    let a = id_of(None, &mut table);
+                    let b = id_of(*v, &mut table);
                     vedges.push((a, b, VSource::Initial));
                 }
             }
@@ -364,8 +363,8 @@ impl DatatypeAnalysis for RwRegister {
                         Mop::Write { key: k, elem } if *k == key => {
                             if let Some(prev) = cur {
                                 if prev != Some(*elem) {
-                                    let a = id_of(prev, &mut vids, &mut vlist);
-                                    let b = id_of(Some(*elem), &mut vids, &mut vlist);
+                                    let a = id_of(prev, &mut table);
+                                    let b = id_of(Some(*elem), &mut table);
                                     vedges.push((a, b, VSource::Chain));
                                 }
                             }
@@ -392,8 +391,8 @@ impl DatatypeAnalysis for RwRegister {
                 if let Some((first, last)) = first_last_versions(t, key) {
                     if let Some(prev_last) = last_of.get(&t.process) {
                         if *prev_last != first {
-                            let a = id_of(*prev_last, &mut vids, &mut vlist);
-                            let b = id_of(first, &mut vids, &mut vlist);
+                            let a = id_of(*prev_last, &mut table);
+                            let b = id_of(first, &mut table);
                             vedges.push((a, b, VSource::Process));
                         }
                     }
@@ -415,12 +414,13 @@ impl DatatypeAnalysis for RwRegister {
                 let (_, last_a) = first_last_versions(ta, key).expect("touching");
                 let (first_b, _) = first_last_versions(tb, key).expect("touching");
                 if last_a != first_b {
-                    let x = id_of(last_a, &mut vids, &mut vlist);
-                    let y = id_of(first_b, &mut vids, &mut vlist);
+                    let x = id_of(last_a, &mut table);
+                    let y = id_of(first_b, &mut table);
                     vedges.push((x, y, VSource::Realtime));
                 }
             }
         }
+        let vlist: Vec<Version> = table.iter().map(|(_, v, _)| v).collect();
 
         // ── Cycle check on the version graph. ──────────────────────────
         let mut vg = DiGraph::with_vertices(vlist.len());

@@ -14,14 +14,22 @@
 //! The shared passes (duplicates, garbage, G1a, internal consistency
 //! scaffolding) live in [`crate::datatype`]; this module contributes the
 //! subset-chain reasoning that order-free sets admit.
+//!
+//! Like the list analysis, the per-key pass is version-interned
+//! ([`crate::versions`]): each distinct read value is classified
+//! element-by-element once, missing-add sets are computed once per
+//! distinct value, adjacent same-version reads skip the ⊆-chain test,
+//! and per-read anomalies/edges fan out from version ids — byte-identical
+//! to the seed per-read pass preserved in [`crate::reference`].
 
 use crate::anomaly::{Anomaly, AnomalyType, Witness};
 use crate::datatype::{
-    self, internal_pass, AnalysisCtx, DatatypeAnalysis, InternalMismatch, KeySink, Provenance,
-    ProvenanceScan, Vocab,
+    self, internal_pass, AnalysisCtx, DatatypeAnalysis, InternalMismatch, KeySink, ProvenanceScan,
+    Vocab,
 };
 use crate::deps::DepGraph;
 use crate::observation::{DataType, ElemIndex};
+use crate::versions::{VersionId, VersionTable};
 use elle_history::{Elem, History, Key, Mop, ReadValue, TxnId, TxnStatus};
 use rustc_hash::FxHashMap;
 use std::collections::BTreeSet;
@@ -48,9 +56,9 @@ pub fn analyze(history: &History, elems: &ElemIndex, set_keys: &[Key]) -> SetAna
 #[derive(Debug, Default)]
 pub struct SetKeyData<'h> {
     /// Committed reads, in invocation order.
-    reads: Vec<(TxnId, &'h BTreeSet<Elem>)>,
+    pub(crate) reads: Vec<(TxnId, &'h BTreeSet<Elem>)>,
     /// Committed adds, in invocation order.
-    adds: Vec<(TxnId, Elem)>,
+    pub(crate) adds: Vec<(TxnId, Elem)>,
 }
 
 /// The grow-only set [`DatatypeAnalysis`].
@@ -73,18 +81,29 @@ impl DatatypeAnalysis for SetAdd {
     };
 
     /// Internal consistency: a read must contain everything the
-    /// transaction previously read plus its own adds.
-    fn check_internal(cx: &AnalysisCtx<'_, ()>, sink: &mut KeySink) {
-        internal_pass(cx, sink, |_t, m, key, exp: &mut BTreeSet<Elem>| match m {
+    /// transaction previously read plus its own adds. The previously
+    /// read set is borrowed in place — no per-read cloning.
+    fn check_internal<'h>(cx: &AnalysisCtx<'h, ()>, sink: &mut KeySink) {
+        #[derive(Default)]
+        struct St<'h> {
+            base: Option<&'h BTreeSet<Elem>>,
+            added: BTreeSet<Elem>,
+        }
+        internal_pass(cx, sink, |_t, m, key, st: &mut St<'h>| match m {
             Mop::AddToSet { elem, .. } => {
-                exp.insert(*elem);
+                st.added.insert(*elem);
                 None
             }
             Mop::Read {
                 value: Some(ReadValue::Set(s)),
                 ..
             } => {
-                let mismatch = (!exp.is_subset(s)).then(|| {
+                let ok = st.added.is_subset(s) && st.base.is_none_or(|b| b.is_subset(s));
+                let mismatch = (!ok).then(|| {
+                    let mut exp = st.added.clone();
+                    if let Some(b) = st.base {
+                        exp.extend(b.iter().copied());
+                    }
                     let missing: Vec<String> = exp.difference(s).map(|e| e.to_string()).collect();
                     InternalMismatch {
                         message: format!(
@@ -94,7 +113,8 @@ impl DatatypeAnalysis for SetAdd {
                         ),
                     }
                 });
-                *exp = s.clone();
+                st.base = Some(s);
+                st.added.clear();
                 mismatch
             }
             _ => None,
@@ -136,37 +156,111 @@ impl DatatypeAnalysis for SetAdd {
         let vocab = &Self::VOCAB;
         let SetKeyData { reads, adds } = data;
 
-        // ── Element provenance (shared scan): garbage always; G1a and
-        //    wr only when the element → adder map is trustworthy. ───────
+        /// What the one-time classification concluded about one element
+        /// of one distinct version.
+        enum ElemClass {
+            /// No transaction ever added it.
+            Garbage,
+            /// Added by an aborted transaction (G1a when recoverable).
+            Aborted(TxnId),
+            /// A trustworthy add — the source of a `wr` edge.
+            Ok(TxnId),
+        }
+
+        /// Per-distinct-version facts, computed once and fanned out to
+        /// every reader of the version.
+        #[derive(Default)]
+        struct SetVersion {
+            /// Elements in set order, classified once.
+            elems: Vec<(Elem, ElemClass)>,
+            /// Committed adds missing from this value, in add order.
+            missing: Vec<(TxnId, Elem)>,
+        }
+
+        // ── Intern: one hash + one equality check per read occurrence;
+        //    each distinct set value is classified element-by-element
+        //    exactly once. ────────────────────────────────────────────────
+        let mut table: VersionTable<&'h BTreeSet<Elem>, SetVersion> = VersionTable::new();
+        let mut vids: Vec<VersionId> = Vec::with_capacity(reads.len());
+        for (_, s) in reads {
+            vids.push(table.intern_with(s, |_| SetVersion::default()));
+        }
+        for idx in 0..table.len() {
+            let vid = VersionId(idx as u32);
+            let s = table.value(vid);
+            let elems = s
+                .iter()
+                .map(|e| {
+                    let class = match cx.elems.writer(key, *e) {
+                        None => ElemClass::Garbage,
+                        Some(w) if w.status == TxnStatus::Aborted => ElemClass::Aborted(w.txn),
+                        Some(w) => ElemClass::Ok(w.txn),
+                    };
+                    (*e, class)
+                })
+                .collect();
+            let missing = if poisoned {
+                Vec::new()
+            } else {
+                adds.iter()
+                    .filter(|(_, e)| !s.contains(e))
+                    .copied()
+                    .collect()
+            };
+            *table.meta_mut(vid) = SetVersion { elems, missing };
+        }
+
+        // ── Element provenance fan-out: garbage always; G1a and wr only
+        //    when the element → adder map is trustworthy (`poisoned`
+        //    mirrors the seed's `Provenance::Unusable` gate). ────────────
         let mut scan = ProvenanceScan::new();
-        for (reader, s) in reads {
-            for e in s.iter() {
-                if let Provenance::Ok(w) =
-                    scan.provenance(cx, vocab, key, *reader, *e, poisoned, out)
-                {
-                    out.edge(w.txn, *reader, Witness::WrSet { key, elem: *e });
+        for (i, (reader, _)) in reads.iter().enumerate() {
+            for (e, class) in &table.meta(vids[i]).elems {
+                match class {
+                    ElemClass::Garbage => {
+                        scan.garbage_classified(cx, vocab, key, *reader, *e, out);
+                    }
+                    ElemClass::Aborted(adder) if !poisoned => {
+                        scan.g1a_classified(cx, vocab, key, *reader, *e, *adder, out);
+                    }
+                    ElemClass::Ok(adder) if !poisoned => {
+                        out.edge(*adder, *reader, Witness::WrSet { key, elem: *e });
+                    }
+                    _ => {}
                 }
             }
         }
 
-        // ── rw edges: committed adds missing from a read. ──────────────
+        // ── rw edges: committed adds missing from a read, computed once
+        //    per distinct version and fanned out per reader. ─────────────
         if !poisoned {
-            for (reader, s) in reads {
-                for (adder, e) in adds {
-                    if !s.contains(e) {
-                        out.edge(*reader, *adder, Witness::RwSet { key, elem: *e });
-                    }
+            for (i, (reader, _)) in reads.iter().enumerate() {
+                for (adder, e) in &table.meta(vids[i]).missing {
+                    out.edge(*reader, *adder, Witness::RwSet { key, elem: *e });
                 }
             }
         }
 
         // ── rr chain + compatibility: committed reads must form a
-        //    ⊆-chain. ───────────────────────────────────────────────────
-        let mut sorted: Vec<&(TxnId, &BTreeSet<Elem>)> = reads.iter().collect();
-        sorted.sort_by_key(|(_, s)| s.len());
-        for w in sorted.windows(2) {
-            let ((ta, sa), (tb, sb)) = (w[0], w[1]);
-            if sa.is_subset(sb) {
+        //    ⊆-chain. Adjacent occurrences of the same version need no
+        //    check; each distinct adjacent version pair is compared once
+        //    and the verdict cached. ─────────────────────────────────────
+        let mut order: Vec<usize> = (0..reads.len()).collect();
+        order.sort_by_key(|&i| reads[i].1.len());
+        let mut subset_cache: FxHashMap<(VersionId, VersionId), bool> = FxHashMap::default();
+        for w in order.windows(2) {
+            let (ia, ib) = (w[0], w[1]);
+            let (va, vb) = (vids[ia], vids[ib]);
+            if va == vb {
+                // Equal values: a subset of equal size — no edge, no
+                // anomaly, exactly like the seed's per-pair check.
+                continue;
+            }
+            let ((ta, sa), (tb, sb)) = (&reads[ia], &reads[ib]);
+            let subset = *subset_cache
+                .entry((va, vb))
+                .or_insert_with(|| sa.is_subset(sb));
+            if subset {
                 if sa.len() < sb.len() {
                     out.edge(*ta, *tb, Witness::Rr { key });
                 }

@@ -1,0 +1,163 @@
+//! Version interning: the substrate that makes per-key analysis linear
+//! in *distinct versions* rather than in raw read payload.
+//!
+//! Elle's traceability (§4.3 of the paper) means the version structure
+//! of one key is tiny compared to the bytes clients observed: most
+//! committed reads are prefixes of the final version `x_f`, and many
+//! reads observe the *same* version. The seed pipeline nevertheless
+//! rescanned every read's full value in every element-level pass
+//! (duplicates, garbage, G1a, dirty updates, G1b adjacency, lost-update
+//! grouping, prefix compatibility), paying O(n·m) per key for a key
+//! with `n` writes and `m` reads.
+//!
+//! [`VersionTable`] dedups read values into dense [`VersionId`]s with
+//! exactly one hash pass and one equality check per read occurrence —
+//! the unavoidable single look at the payload — after which every
+//! element-level pass runs **once per distinct version** and fans its
+//! per-read anomalies and `wr`/`ww`/`rw` edges out from version ids in
+//! O(1) per occurrence. The datatype modules own the per-version
+//! passes (lists derive prefix versions from one scan of the spine
+//! `x_f`; sets classify each element once; registers intern
+//! `Option<Elem>` versions for their inferred version graphs); this
+//! module owns the table itself.
+
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+/// A dense per-key identifier for one distinct observed read value.
+///
+/// Ids are assigned in first-observation order, so they are
+/// deterministic for a fixed occurrence order and usable as grouping
+/// keys (e.g. lost-update groups key on `VersionId` instead of hashing
+/// whole `&[Elem]` slices again).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VersionId(pub u32);
+
+/// Interns read values of type `K` (e.g. `&[Elem]`, `&BTreeSet<Elem>`,
+/// `Option<Elem>`), associating per-version metadata `M` computed once
+/// at first observation.
+///
+/// Lifecycle: one table per `(key, datatype run)`. The analysis interns
+/// every committed read occurrence (phase 1), derives per-version facts
+/// — prefix compatibility, element classifications, anomaly events —
+/// once per distinct version (phase 2), then fans per-read reports out
+/// from the ids (phase 3). Tables are never reused across keys.
+#[derive(Debug)]
+pub struct VersionTable<K, M> {
+    by_value: FxHashMap<K, VersionId>,
+    versions: Vec<(K, M)>,
+}
+
+impl<K: Eq + Hash + Copy, M> Default for VersionTable<K, M> {
+    fn default() -> Self {
+        VersionTable {
+            by_value: FxHashMap::default(),
+            versions: Vec::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy, M> VersionTable<K, M> {
+    /// An empty table.
+    pub fn new() -> Self {
+        VersionTable::default()
+    }
+
+    /// Resolve `value` to its version id, creating a fresh id (with
+    /// metadata from `init`) on first observation.
+    ///
+    /// Cost per call: one hash of the value plus one equality check on
+    /// a hit — the single unavoidable pass over the payload. `init`
+    /// runs only for novel values.
+    pub fn intern_with(&mut self, value: K, init: impl FnOnce(VersionId) -> M) -> VersionId {
+        match self.by_value.entry(value) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = VersionId(self.versions.len() as u32);
+                e.insert(id);
+                let meta = init(id);
+                self.versions.push((value, meta));
+                id
+            }
+        }
+    }
+
+    /// The interned value of `id`.
+    pub fn value(&self, id: VersionId) -> K {
+        self.versions[id.0 as usize].0
+    }
+
+    /// The metadata of `id`.
+    pub fn meta(&self, id: VersionId) -> &M {
+        &self.versions[id.0 as usize].1
+    }
+
+    /// Mutable metadata of `id` (for lazily computed per-version facts).
+    pub fn meta_mut(&mut self, id: VersionId) -> &mut M {
+        &mut self.versions[id.0 as usize].1
+    }
+
+    /// Number of distinct versions observed.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Has anything been interned?
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// All `(id, value, meta)` triples in first-observation order.
+    pub fn iter(&self) -> impl Iterator<Item = (VersionId, K, &M)> + '_ {
+        self.versions
+            .iter()
+            .enumerate()
+            .map(|(i, (k, m))| (VersionId(i as u32), *k, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_history::Elem;
+
+    #[test]
+    fn interns_slices_with_dense_first_seen_ids() {
+        let a = [Elem(1), Elem(2)];
+        let b = [Elem(1)];
+        let mut t: VersionTable<&[Elem], usize> = VersionTable::new();
+        let mut inits = 0;
+        let va = t.intern_with(&a, |_| {
+            inits += 1;
+            a.len()
+        });
+        let vb = t.intern_with(&b, |_| {
+            inits += 1;
+            b.len()
+        });
+        let va2 = t.intern_with(&a[..], |_| {
+            inits += 1;
+            usize::MAX
+        });
+        assert_eq!(va, VersionId(0));
+        assert_eq!(vb, VersionId(1));
+        assert_eq!(va2, va, "equal content resolves to the same id");
+        assert_eq!(inits, 2, "init runs once per distinct value");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(va), &a[..]);
+        assert_eq!(*t.meta(va), 2);
+        let ids: Vec<VersionId> = t.iter().map(|(id, _, _)| id).collect();
+        assert_eq!(ids, vec![VersionId(0), VersionId(1)]);
+    }
+
+    #[test]
+    fn interns_copy_values() {
+        let mut t: VersionTable<Option<Elem>, ()> = VersionTable::new();
+        let n = t.intern_with(None, |_| ());
+        let s = t.intern_with(Some(Elem(7)), |_| ());
+        assert_ne!(n, s);
+        assert_eq!(t.intern_with(None, |_| ()), n);
+        *t.meta_mut(s) = ();
+        assert!(!t.is_empty());
+    }
+}

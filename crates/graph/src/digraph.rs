@@ -177,6 +177,11 @@ impl DiGraph {
         self.edge_count
     }
 
+    /// Pre-size the edge index for `n` additional edges.
+    pub fn reserve_edges(&mut self, n: usize) {
+        self.index.reserve(n);
+    }
+
     /// Ensure vertex `v` exists.
     pub fn ensure_vertex(&mut self, v: u32) {
         if v as usize >= self.adj.len() {
@@ -193,22 +198,37 @@ impl DiGraph {
 
     /// Add an edge carrying a whole mask.
     pub fn add_edge_mask(&mut self, src: u32, dst: u32, m: EdgeMask) {
+        self.add_edge_mask_pos(src, dst, m);
+    }
+
+    /// Add an edge carrying a whole mask, returning its position within
+    /// `src`'s adjacency row and whether the `(src, dst)` pair is new.
+    /// Positions are stable for the life of the graph, so callers can
+    /// maintain per-edge side tables without a second hash index.
+    pub fn add_edge_mask_pos(&mut self, src: u32, dst: u32, m: EdgeMask) -> Option<(u32, bool)> {
         if m.is_empty() {
-            return;
+            return None;
         }
         self.ensure_vertex(src.max(dst));
         match self.index.get(&(src, dst)) {
             Some(&pos) => {
                 let slot = &mut self.adj[src as usize][pos as usize];
                 slot.1 = slot.1.union(m);
+                Some((pos, false))
             }
             None => {
                 let pos = self.adj[src as usize].len() as u32;
                 self.adj[src as usize].push((dst, m));
                 self.index.insert((src, dst), pos);
                 self.edge_count += 1;
+                Some((pos, true))
             }
         }
+    }
+
+    /// The position of edge `(src, dst)` within `src`'s adjacency row.
+    pub fn edge_pos(&self, src: u32, dst: u32) -> Option<u32> {
+        self.index.get(&(src, dst)).copied()
     }
 
     /// The mask on edge `(src, dst)`, or the empty mask if absent.

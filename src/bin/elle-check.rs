@@ -32,6 +32,7 @@ fn usage_text() -> String {
          --sequential-keys    assume per-key sequential consistency\n\
          --max-cycles <n> cap reported cycles per anomaly type\n\
          --json           print the full report as JSON\n\
+         --timing         print a per-stage wall-clock breakdown on stderr\n\
          --demo           check a built-in anomalous example",
         ConsistencyModel::ALL
             .map(|m| format!("                   {}", m.name()))
@@ -82,6 +83,7 @@ fn main() -> ExitCode {
         .with_realtime_edges(false);
     let mut registers = RegisterOptions::default();
     let mut as_json = false;
+    let mut timing = false;
     let mut demo = false;
 
     let mut it = args.iter();
@@ -109,6 +111,7 @@ fn main() -> ExitCode {
                 opts = opts.with_max_cycles(n);
             }
             "--json" => as_json = true,
+            "--timing" => timing = true,
             "--demo" => demo = true,
             "--help" | "-h" => return help(),
             other if path.is_none() && !other.starts_with('-') => {
@@ -122,6 +125,7 @@ fn main() -> ExitCode {
     }
     opts = opts.with_registers(registers);
 
+    let parse_start = std::time::Instant::now();
     let history = if demo {
         demo_history()
     } else {
@@ -141,8 +145,18 @@ fn main() -> ExitCode {
             }
         }
     };
+    let parse_secs = parse_start.elapsed().as_secs_f64();
 
-    let report = Checker::new(opts).check(&history);
+    let checker = Checker::new(opts);
+    let report = if timing {
+        let (report, stages) = checker.check_timed(&history);
+        eprintln!("timing (wall clock):");
+        eprintln!("  {:<26}  {:>9.3} ms", "parse + pairing", parse_secs * 1e3);
+        eprint!("{}", stages.render());
+        report
+    } else {
+        checker.check(&history)
+    };
     if as_json {
         println!(
             "{}",

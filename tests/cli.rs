@@ -116,6 +116,32 @@ fn fixture_flags_g_single_under_snapshot_isolation() {
 }
 
 #[test]
+fn timing_prints_stage_breakdown_on_stderr() {
+    let out = bin()
+        .args([FIXTURE, "--model", "snapshot-isolation", "--timing"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for stage in [
+        "parse + pairing",
+        "key typing + element index",
+        "datatype inference",
+        "freeze",
+        "cycle search",
+        "total",
+    ] {
+        assert!(stderr.contains(stage), "missing {stage} in:\n{stderr}");
+    }
+    // The report itself still goes to stdout, untouched.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("G-single"), "{stdout}");
+    // --timing appears in the usage text.
+    let help = bin().arg("--help").output().expect("binary runs");
+    assert!(String::from_utf8_lossy(&help.stdout).contains("--timing"));
+}
+
+#[test]
 fn bad_usage_exits_2() {
     let out = bin().output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
