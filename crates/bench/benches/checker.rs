@@ -7,6 +7,12 @@ use elle_dbsim::{DbConfig, IsolationLevel, ObjectKind};
 use elle_gen::{run_workload, GenParams};
 use elle_history::History;
 
+/// `CRITERION_QUICK=1` (the CI smoke) skips the large points — one
+/// sample of a 64k-txn stream is still tens of seconds of generation.
+fn quick() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| v == "1")
+}
+
 fn history(n_txns: usize, processes: usize, iso: IsolationLevel) -> History {
     let params = GenParams::paper_perf(n_txns).with_seed(n_txns as u64);
     let db = DbConfig::new(iso, ObjectKind::ListAppend)
@@ -18,13 +24,134 @@ fn history(n_txns: usize, processes: usize, iso: IsolationLevel) -> History {
 fn bench_length(c: &mut Criterion) {
     let mut g = c.benchmark_group("elle_check_length");
     g.sample_size(10);
-    for n in [1_000usize, 4_000, 10_000, 16_000, 64_000] {
+    let sizes: &[usize] = if quick() {
+        &[1_000, 4_000]
+    } else {
+        &[1_000, 4_000, 10_000, 16_000, 64_000]
+    };
+    for &n in sizes {
         let h = history(n, 20, IsolationLevel::Serializable);
         g.throughput(Throughput::Elements(h.mop_count() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
             b.iter(|| Checker::new(CheckOptions::strict_serializable()).check(h))
         });
     }
+    g.finish();
+}
+
+/// The early-acyclic certificate on a clean history: one Tarjan pass
+/// under the full mask versus the per-class passes it skips.
+fn bench_acyclic_certificate(c: &mut Criterion) {
+    use elle_core::datatype::{run_mode, Parallelism};
+    use elle_core::{
+        add_process_edges, add_realtime_edges, find_cycle_anomalies_mode, CycleSearchOptions,
+        DataType, KeyTypes, ProvenanceIndex,
+    };
+    let n = if quick() { 2_000 } else { 16_000 };
+    let h = history(n, 20, IsolationLevel::Serializable);
+    let elems = ProvenanceIndex::build(&h);
+    let keys = KeyTypes::infer(&h).keys_of(DataType::List);
+    let out = run_mode::<elle_core::list_append::ListAppend>(
+        &h,
+        &elems,
+        &keys,
+        (),
+        Parallelism::Sequential,
+    );
+    let mut deps = out.deps;
+    add_process_edges(&mut deps, &h);
+    add_realtime_edges(&mut deps, &h);
+    let csr = deps.freeze();
+    let base = CycleSearchOptions::default();
+
+    let mut g = c.benchmark_group("elle_cycle_search_clean");
+    g.sample_size(10);
+    for (name, certificate) in [("certificate", true), ("all_class_passes", false)] {
+        g.bench_function(&format!("{name}_{n}"), |b| {
+            b.iter(|| {
+                find_cycle_anomalies_mode(
+                    &deps,
+                    &csr,
+                    &h,
+                    CycleSearchOptions {
+                        certificate,
+                        ..base
+                    },
+                    Parallelism::Sequential,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// One epoch's incremental seal versus re-running the batch checker on
+/// the same prefix: the streaming pitch in one number. The stream is
+/// pre-ingested up to the final epoch; the benchmark then measures the
+/// cost of analyzing the last epoch's delta (clone-reset per iteration
+/// is hoisted out by re-ingesting; see `stream_epochs` for the full
+/// per-epoch series).
+fn bench_stream_epoch(c: &mut Criterion) {
+    use elle_history::EventLog;
+    use elle_stream::StreamChecker;
+    let n = if quick() { 2_000 } else { 16_000 };
+    let epoch = n / 8;
+    let params = GenParams::paper_perf(n).with_seed(n as u64);
+    let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+        .with_processes(20)
+        .with_seed(n as u64 + 20);
+    let log = elle_gen::run_workload_log(params, db);
+    let events = log.events();
+
+    let mut g = c.benchmark_group("elle_stream_epoch");
+    g.sample_size(10);
+    // Incremental: ingest everything, sealing along the way; measure a
+    // fresh full run divided into epochs (amortized per-seal cost).
+    g.bench_function(&format!("incremental_all_epochs_{n}"), |b| {
+        b.iter(|| {
+            let mut s = StreamChecker::new(CheckOptions::strict_serializable());
+            let mut txns = 0usize;
+            let mut reports = 0usize;
+            for ev in events {
+                if ev.kind == elle_history::EventKind::Invoke {
+                    txns += 1;
+                }
+                s.ingest_event(ev).unwrap();
+                if txns == epoch {
+                    s.seal_epoch();
+                    reports += 1;
+                    txns = 0;
+                }
+            }
+            s.seal_epoch();
+            reports + 1
+        })
+    });
+    // Batch: re-check each prefix from scratch (what a non-incremental
+    // service pays for the same verdict cadence).
+    g.bench_function(&format!("batch_recheck_all_epochs_{n}"), |b| {
+        b.iter(|| {
+            let mut txns = 0usize;
+            let mut reports = 0usize;
+            let mut cut = 0usize;
+            for (i, ev) in events.iter().enumerate() {
+                if ev.kind == elle_history::EventKind::Invoke {
+                    txns += 1;
+                }
+                if txns == epoch || i + 1 == events.len() {
+                    cut = i + 1;
+                    let prefix = EventLog::from_events(events[..cut].to_vec())
+                        .unwrap()
+                        .pair()
+                        .unwrap();
+                    Checker::new(CheckOptions::strict_serializable()).check(&prefix);
+                    reports += 1;
+                    txns = 0;
+                }
+            }
+            (reports, cut)
+        })
+    });
     g.finish();
 }
 
@@ -51,5 +178,12 @@ fn bench_anomalous(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_length, bench_concurrency, bench_anomalous);
+criterion_group!(
+    benches,
+    bench_length,
+    bench_concurrency,
+    bench_anomalous,
+    bench_acyclic_certificate,
+    bench_stream_epoch
+);
 criterion_main!(benches);

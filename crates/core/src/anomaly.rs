@@ -146,7 +146,13 @@ impl fmt::Display for AnomalyType {
 ///
 /// Witnesses let [`crate::explain`] render Figure-2-style justifications
 /// ("T1 < T2, because T1 did not observe T2's append of 8 to 255").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The derived `Ord` (variant order, then fields) gives witnesses a
+/// canonical total order; [`crate::deps::DepGraph::present`] uses it to
+/// pick the *same* witness for an edge no matter what order evidence was
+/// inserted in — the property that lets an incrementally-maintained graph
+/// produce byte-identical reports to a batch-built one.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Witness {
     /// List ww: `from` appended `prev`, `to` appended `next` directly after.
     WwList {

@@ -320,6 +320,8 @@ impl Checker {
         }
 
         let mut anomalies: Vec<Anomaly> = Vec::new();
+        let mut observed: rustc_hash::FxHashSet<(elle_history::Key, elle_history::Elem)> =
+            rustc_hash::FxHashSet::with_capacity_and_hasher(elems.len(), Default::default());
         let mut deps = DepGraph::with_txns(history.len());
         // The first datatype's graph is adopted wholesale; later ones
         // merge into it (cheap: keys partition edges across datatypes).
@@ -333,65 +335,54 @@ impl Checker {
 
         let list_keys = kt.keys_of(DataType::List);
         if !list_keys.is_empty() {
-            let a = if seed_reference {
-                let out = datatype::run_mode::<reference::ListAppendRef>(
+            let out = if seed_reference {
+                datatype::run_mode::<reference::ListAppendRef>(
                     history,
                     &elems,
                     &list_keys,
                     (),
                     Parallelism::Auto,
-                );
-                list_append::ListAppendAnalysis {
-                    deps: out.deps,
-                    anomalies: out.anomalies,
-                    version_orders: out.version_orders,
-                }
+                )
             } else {
-                list_append::analyze(history, &elems, &list_keys)
+                datatype::run::<list_append::ListAppend>(history, &elems, &list_keys, ())
             };
-            anomalies.extend(a.anomalies);
-            absorb(&mut deps, a.deps);
+            anomalies.extend(out.anomalies);
+            observed.extend(out.observed);
+            absorb(&mut deps, out.deps);
         }
         let reg_keys = kt.keys_of(DataType::Register);
         if !reg_keys.is_empty() {
-            let a = if seed_reference {
-                let out = datatype::run_mode::<reference::RwRegisterRef>(
+            let out = if seed_reference {
+                datatype::run_mode::<reference::RwRegisterRef>(
                     history,
                     &elems,
                     &reg_keys,
                     opts.registers,
                     Parallelism::Auto,
-                );
-                rw_register::RegisterAnalysis {
-                    deps: out.deps,
-                    anomalies: out.anomalies,
-                    cyclic_keys: out.cyclic_keys,
-                }
+                )
             } else {
-                rw_register::analyze(history, &elems, &reg_keys, opts.registers)
+                datatype::run::<rw_register::RwRegister>(history, &elems, &reg_keys, opts.registers)
             };
-            anomalies.extend(a.anomalies);
-            absorb(&mut deps, a.deps);
+            anomalies.extend(out.anomalies);
+            observed.extend(out.observed);
+            absorb(&mut deps, out.deps);
         }
         let set_keys = kt.keys_of(DataType::Set);
         if !set_keys.is_empty() {
-            let a = if seed_reference {
-                let out = datatype::run_mode::<reference::SetAddRef>(
+            let out = if seed_reference {
+                datatype::run_mode::<reference::SetAddRef>(
                     history,
                     &elems,
                     &set_keys,
                     (),
                     Parallelism::Auto,
-                );
-                set_add::SetAnalysis {
-                    deps: out.deps,
-                    anomalies: out.anomalies,
-                }
+                )
             } else {
-                set_add::analyze(history, &elems, &set_keys)
+                datatype::run::<set_add::SetAdd>(history, &elems, &set_keys, ())
             };
-            anomalies.extend(a.anomalies);
-            absorb(&mut deps, a.deps);
+            anomalies.extend(out.anomalies);
+            observed.extend(out.observed);
+            absorb(&mut deps, out.deps);
         }
         let counter_keys = kt.keys_of(DataType::Counter);
         if !counter_keys.is_empty() {
@@ -425,67 +416,16 @@ impl Checker {
                 realtime_edges: opts.realtime_edges,
                 timestamp_edges: opts.timestamp_edges,
                 max_per_type: opts.max_cycles_per_type,
+                certificate: true,
             },
         );
         lap("cycle search", &mut clock);
         anomalies.extend(cycles);
-        anomalies.sort_by(|a, b| a.typ.cmp(&b.typ).then(a.txns.cmp(&b.txns)));
 
-        let mut anomaly_counts: BTreeMap<AnomalyType, usize> = BTreeMap::new();
-        for a in &anomalies {
-            *anomaly_counts.entry(a.typ).or_insert(0) += 1;
-        }
-        let typs: Vec<AnomalyType> = anomaly_counts.keys().copied().collect();
-        let violated = violated_models(typs.iter());
-        let strongest = strongest_satisfiable(typs.iter());
-
-        let mut edges: BTreeMap<String, usize> = BTreeMap::new();
-        for (c, n) in deps.class_counts() {
-            edges.insert(c.label().to_string(), n);
-        }
-
-        // Observation coverage: which committed writes were ever read?
-        // (Capacity bounded by the number of indexed writes.) List reads
-        // exploit traceability: a read that is a prefix of the key's
-        // longest read contributes nothing new, so only each key's
-        // longest value (plus the rare incompatible read) is hashed —
-        // not every read's full payload.
-        let mut observed: rustc_hash::FxHashSet<(elle_history::Key, elle_history::Elem)> =
-            rustc_hash::FxHashSet::with_capacity_and_hasher(elems.len(), Default::default());
-        let mut longest_list: rustc_hash::FxHashMap<elle_history::Key, &[elle_history::Elem]> =
-            rustc_hash::FxHashMap::default();
-        for t in history.committed() {
-            for (_, key, v) in t.observed_reads() {
-                if let elle_history::ReadValue::List(es) = v {
-                    let slot = longest_list.entry(key).or_insert(&[]);
-                    if es.len() > slot.len() {
-                        *slot = es;
-                    }
-                }
-            }
-        }
-        for t in history.committed() {
-            for (_, key, v) in t.observed_reads() {
-                match v {
-                    elle_history::ReadValue::List(es) => {
-                        let longest = longest_list[&key];
-                        if !(es.len() <= longest.len() && es[..] == longest[..es.len()]) {
-                            observed.extend(es.iter().map(|e| (key, *e)));
-                        }
-                    }
-                    elle_history::ReadValue::Register(Some(e)) => {
-                        observed.insert((key, *e));
-                    }
-                    elle_history::ReadValue::Set(es) => {
-                        observed.extend(es.iter().map(|e| (key, *e)));
-                    }
-                    _ => {}
-                }
-            }
-        }
-        for (key, longest) in longest_list {
-            observed.extend(longest.iter().map(|e| (key, *e)));
-        }
+        // Observation coverage (§3): which committed writes were ever
+        // read? The observed-pair sets were computed inside the datatype
+        // drivers' per-key passes (no second walk over read payloads);
+        // here we only count writes against them.
         let mut committed_writes = 0usize;
         let mut observed_writes = 0usize;
         for t in history.txns() {
@@ -518,21 +458,55 @@ impl Checker {
                 .iter()
                 .filter(|t| !t.status.is_committed() && !t.status.is_aborted())
                 .count(),
-            edges,
+            edges: BTreeMap::new(), // filled by assemble_report
             committed_writes,
             observed_writes,
         };
 
+        let report = assemble_report(opts.expected, anomalies, &deps, stats, warnings);
         lap("report assembly", &mut clock);
-        Report {
-            anomalies,
-            anomaly_counts,
-            violated,
-            strongest_satisfiable: strongest,
-            expected: opts.expected,
-            stats,
-            warnings,
-        }
+        report
+    }
+}
+
+/// Assemble a [`Report`] from independently produced parts: sort the
+/// anomalies the way [`Checker::check`] does, derive the per-type
+/// counts, the violated-model set and the tenable frontier, and fill
+/// the per-class edge statistics from the graph's counters.
+///
+/// Shared by the batch checker path above and by `elle_stream`'s
+/// epoch sealing, so a streamed prefix assembles its report through
+/// the *same* code — a precondition for the byte-for-byte streaming
+/// differential.
+#[doc(hidden)]
+pub fn assemble_report(
+    expected: ConsistencyModel,
+    mut anomalies: Vec<Anomaly>,
+    deps: &DepGraph,
+    stats: CheckStats,
+    warnings: Vec<String>,
+) -> Report {
+    anomalies.sort_by(|a, b| a.typ.cmp(&b.typ).then(a.txns.cmp(&b.txns)));
+    let mut anomaly_counts: BTreeMap<AnomalyType, usize> = BTreeMap::new();
+    for a in &anomalies {
+        *anomaly_counts.entry(a.typ).or_insert(0) += 1;
+    }
+    let typs: Vec<AnomalyType> = anomaly_counts.keys().copied().collect();
+    let violated = violated_models(typs.iter());
+    let strongest = strongest_satisfiable(typs.iter());
+    let mut edges: BTreeMap<String, usize> = BTreeMap::new();
+    for (c, n) in deps.class_counts() {
+        edges.insert(c.label().to_string(), n);
+    }
+    let stats = CheckStats { edges, ..stats };
+    Report {
+        anomalies,
+        anomaly_counts,
+        violated,
+        strongest_satisfiable: strongest,
+        expected,
+        stats,
+        warnings,
     }
 }
 

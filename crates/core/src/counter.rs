@@ -10,6 +10,12 @@
 //!   increments can never have been produced — a garbage read;
 //! * **internal consistency**: within one transaction, a read must equal
 //!   the previous read plus the transaction's own increments since.
+//!
+//! Like the recoverable datatypes, the analysis is split into a
+//! transaction-major internal pass, a **gather** phase partitioning the
+//! (scoped) transactions by key, and a per-key **finalize** — so the
+//! streaming checker can re-analyze only the keys an epoch touched and
+//! cache everything else.
 
 use crate::anomaly::{Anomaly, AnomalyType, Witness};
 use crate::deps::DepGraph;
@@ -25,6 +31,104 @@ pub struct CounterAnalysis {
     pub anomalies: Vec<Anomaly>,
 }
 
+/// Everything the per-key pass needs about one counter key.
+#[derive(Debug)]
+pub struct CounterKeyData {
+    /// Every increment so far was strictly positive.
+    all_positive: bool,
+    /// Sum of positive increments by may-have-committed transactions.
+    max_sum: i64,
+    /// Committed reads `(txn, value)`, in invocation order.
+    reads: Vec<(TxnId, i64)>,
+}
+
+impl Default for CounterKeyData {
+    fn default() -> Self {
+        CounterKeyData {
+            // Vacuously true until a non-positive increment shows up.
+            all_positive: true,
+            max_sum: 0,
+            reads: Vec::new(),
+        }
+    }
+}
+
+/// Partition the given transactions' counter operations by key. Only
+/// keys with at least one committed read get (and need) an entry —
+/// matching the batch pass, which only analyzes read keys.
+pub fn gather<'h>(
+    txns: impl Iterator<Item = &'h elle_history::Transaction>,
+    key_set: &FxHashSet<Key>,
+) -> FxHashMap<Key, CounterKeyData> {
+    let mut data: FxHashMap<Key, CounterKeyData> = FxHashMap::default();
+    for t in txns {
+        for m in &t.mops {
+            match m {
+                Mop::Increment { key, amount } if key_set.contains(key) => {
+                    let d = data.entry(*key).or_default();
+                    d.all_positive = d.all_positive && *amount > 0;
+                    if t.status.may_have_committed() && *amount > 0 {
+                        d.max_sum += amount;
+                    }
+                }
+                Mop::Read {
+                    key,
+                    value: Some(ReadValue::Counter(v)),
+                } if key_set.contains(key) && t.status == TxnStatus::Committed => {
+                    data.entry(*key).or_default().reads.push((t.id, *v));
+                }
+                _ => {}
+            }
+        }
+    }
+    data
+}
+
+/// Analyze one counter key: bounds-check its reads and derive the `rr`
+/// chain. Returns `(anomalies, edges)` in emission order.
+pub fn analyze_key(
+    history: &History,
+    key: Key,
+    data: &CounterKeyData,
+) -> (Vec<Anomaly>, Vec<(TxnId, TxnId, Witness)>) {
+    let mut anomalies = Vec::new();
+    let mut edges = Vec::new();
+    if data.reads.is_empty() {
+        return (anomalies, edges);
+    }
+    if !data.all_positive {
+        // Mixed-sign increments: no ordering or bounds inference.
+        return (anomalies, edges);
+    }
+    let bound = data.max_sum;
+    let mut reads = data.reads.clone();
+    for (t, v) in &reads {
+        if *v < 0 || *v > bound {
+            anomalies.push(Anomaly {
+                typ: AnomalyType::GarbageRead,
+                txns: vec![*t],
+                key: Some(key),
+                steps: vec![],
+                explanation: format!(
+                    "{}\n  read {v} of counter {key}, outside the reachable range \
+                     [0, {bound}]",
+                    history.get(*t).to_notation()
+                ),
+            });
+        }
+    }
+    // rr chain over distinct observed values.
+    reads.sort_by_key(|(_, v)| *v);
+    reads.dedup();
+    for w in reads.windows(2) {
+        let ((ta, va), (tb, vb)) = (w[0], w[1]);
+        if va < vb && ta != tb {
+            edges.push((ta, tb, Witness::Rr { key }));
+        }
+    }
+    (anomalies, edges)
+}
+
 /// Run the analysis over the counter keys.
 pub fn analyze(history: &History, counter_keys: &[Key]) -> CounterAnalysis {
     let mut out = CounterAnalysis {
@@ -33,74 +137,31 @@ pub fn analyze(history: &History, counter_keys: &[Key]) -> CounterAnalysis {
     };
     let key_set: FxHashSet<Key> = counter_keys.iter().copied().collect();
 
-    check_internal(history, &key_set, &mut out);
+    out.anomalies
+        .append(&mut internal_anomalies(history.txns().iter(), &key_set));
 
-    // Sum of positive increments and positivity per key (over txns that may
-    // have committed — aborted increments can't contribute to versions).
-    let mut all_positive: FxHashMap<Key, bool> = FxHashMap::default();
-    let mut max_sum: FxHashMap<Key, i64> = FxHashMap::default();
-    let mut reads_by_key: FxHashMap<Key, Vec<(TxnId, i64)>> = FxHashMap::default();
-    for t in history.txns() {
-        for m in &t.mops {
-            match m {
-                Mop::Increment { key, amount } if key_set.contains(key) => {
-                    let pos = all_positive.entry(*key).or_insert(true);
-                    *pos = *pos && *amount > 0;
-                    if t.status.may_have_committed() && *amount > 0 {
-                        *max_sum.entry(*key).or_insert(0) += amount;
-                    }
-                }
-                Mop::Read {
-                    key,
-                    value: Some(ReadValue::Counter(v)),
-                } if key_set.contains(key) && t.status == TxnStatus::Committed => {
-                    reads_by_key.entry(*key).or_default().push((t.id, *v));
-                }
-                _ => {}
-            }
-        }
-    }
-
-    let mut keys: Vec<Key> = reads_by_key.keys().copied().collect();
+    let data = gather(history.txns().iter(), &key_set);
+    let mut keys: Vec<Key> = data.keys().copied().collect();
     keys.sort_unstable();
     for key in keys {
-        if !all_positive.get(&key).copied().unwrap_or(true) {
-            // Mixed-sign increments: no ordering or bounds inference.
-            continue;
-        }
-        let bound = max_sum.get(&key).copied().unwrap_or(0);
-        let mut reads = reads_by_key[&key].clone();
-        for (t, v) in &reads {
-            if *v < 0 || *v > bound {
-                out.anomalies.push(Anomaly {
-                    typ: AnomalyType::GarbageRead,
-                    txns: vec![*t],
-                    key: Some(key),
-                    steps: vec![],
-                    explanation: format!(
-                        "{}\n  read {v} of counter {key}, outside the reachable range \
-                         [0, {bound}]",
-                        history.get(*t).to_notation()
-                    ),
-                });
-            }
-        }
-        // rr chain over distinct observed values.
-        reads.sort_by_key(|(_, v)| *v);
-        reads.dedup();
-        for w in reads.windows(2) {
-            let ((ta, va), (tb, vb)) = (w[0], w[1]);
-            if va < vb && ta != tb {
-                out.deps.add(ta, tb, Witness::Rr { key });
-            }
+        let (mut anomalies, edges) = analyze_key(history, key, &data[&key]);
+        out.anomalies.append(&mut anomalies);
+        for (a, b, w) in edges {
+            out.deps.add(a, b, w);
         }
     }
     out
 }
 
 /// Internal consistency: read = previous read + own increments since.
-fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut CounterAnalysis) {
-    for t in history.txns() {
+/// Transaction-major over the given scope, so the streaming checker can
+/// run it on just an epoch's new transactions.
+pub fn internal_anomalies<'h>(
+    txns: impl Iterator<Item = &'h elle_history::Transaction>,
+    key_set: &FxHashSet<Key>,
+) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    for t in txns {
         let mut base: FxHashMap<Key, i64> = FxHashMap::default(); // last read
         let mut delta: FxHashMap<Key, i64> = FxHashMap::default(); // own incs since
         for m in &t.mops {
@@ -115,7 +176,7 @@ fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut Counter
                     if let Some(prev) = base.get(key) {
                         let expected = prev + delta.get(key).copied().unwrap_or(0);
                         if *v != expected {
-                            out.anomalies.push(Anomaly {
+                            out.push(Anomaly {
                                 typ: AnomalyType::Internal,
                                 txns: vec![t.id],
                                 key: Some(*key),
@@ -135,6 +196,7 @@ fn check_internal(history: &History, key_set: &FxHashSet<Key>, out: &mut Counter
             }
         }
     }
+    out
 }
 
 #[cfg(test)]

@@ -53,6 +53,13 @@ pub struct CycleSearchOptions {
     pub timestamp_edges: bool,
     /// Cap on reported cycles per anomaly type.
     pub max_per_type: usize,
+    /// Run the early-acyclic certificate: one Tarjan pass under the
+    /// union of every admitted class first; when the graph is SCC-free
+    /// (the common clean-history case) every per-class search is
+    /// skipped, and otherwise the per-class passes are restricted to
+    /// the cyclic region it found. Disable only to benchmark the
+    /// certificate itself.
+    pub certificate: bool,
 }
 
 impl Default for CycleSearchOptions {
@@ -62,6 +69,7 @@ impl Default for CycleSearchOptions {
             realtime_edges: true,
             timestamp_edges: false,
             max_per_type: 4,
+            certificate: true,
         }
     }
 }
@@ -214,9 +222,13 @@ pub fn find_cycle_anomalies_mode(
 ) -> Vec<Anomaly> {
     let plan = search_plan(opts);
 
-    // ── Phase 1: SCCs per *distinct* admitted mask (parallel across
-    //    masks). Searches that admit the same classes — G-single and G2
-    //    within each level — share one Tarjan pass. ─────────────────────
+    // ── Phase 0: the early-acyclic certificate. One Tarjan pass under
+    //    the union of every admitted class: if the graph is SCC-free
+    //    there is nothing any per-class search could find — the common
+    //    clean-history case pays for exactly one linear pass. When the
+    //    graph *is* cyclic, the union of its cyclic SCCs bounds every
+    //    restricted-mask SCC (an m-cycle is a top-cycle), so the
+    //    per-class passes below run only over that region. ──────────────
     let mut masks: Vec<EdgeMask> = Vec::new();
     let mask_of: Vec<usize> = plan
         .iter()
@@ -230,17 +242,52 @@ pub fn find_cycle_anomalies_mode(
                 })
         })
         .collect();
+    let top: EdgeMask = masks.iter().fold(EdgeMask::NONE, |a, m| a.union(*m));
+
+    // SCC lists are canonically ordered (by smallest member; components
+    // themselves come back sorted), so the merge order — and therefore
+    // the report — is a function of the graph's edge *set*, independent
+    // of which Tarjan variant produced them. The streaming checker
+    // depends on this: it re-runs this function over an incrementally
+    // rebuilt graph and must reproduce the batch report byte-for-byte.
+    let canonical = |mut sccs: Vec<Vec<u32>>| {
+        sccs.sort_by(|a, b| a[0].cmp(&b[0]));
+        sccs
+    };
+    let cert: Option<(Vec<u32>, Vec<Vec<u32>>)> = if opts.certificate {
+        let mut scratch = Scratch::new();
+        let sccs = canonical(csr.tarjan_scc(top, &mut scratch));
+        if sccs.is_empty() {
+            // Certified acyclic under every admitted class: skip all
+            // per-class passes.
+            return Vec::new();
+        }
+        let mut region: Vec<u32> = sccs.iter().flatten().copied().collect();
+        region.sort_unstable();
+        Some((region, sccs))
+    } else {
+        None
+    };
+
+    // ── Phase 1: SCCs per *distinct* admitted mask (parallel across
+    //    masks). Searches that admit the same classes — G-single and G2
+    //    within each level — share one Tarjan pass; the top-level mask
+    //    reuses the certificate's. ──────────────────────────────────────
+    let sccs_for = |m: EdgeMask, scratch: &mut Scratch| -> Vec<Vec<u32>> {
+        match &cert {
+            Some((_, cert_sccs)) if m == top => cert_sccs.clone(),
+            Some((region, _)) => canonical(csr.tarjan_scc_within(m, region, scratch)),
+            None => canonical(csr.tarjan_scc(m, scratch)),
+        }
+    };
     let sccs_per_mask: Vec<Vec<Vec<u32>>> = if run_parallel(mode, masks.len()) {
         masks
             .par_iter()
-            .map_init(Scratch::new, |scratch, m| csr.tarjan_scc(*m, scratch))
+            .map_init(Scratch::new, |scratch, m| sccs_for(*m, scratch))
             .collect()
     } else {
         let mut scratch = Scratch::new();
-        masks
-            .iter()
-            .map(|m| csr.tarjan_scc(*m, &mut scratch))
-            .collect()
+        masks.iter().map(|m| sccs_for(*m, &mut scratch)).collect()
     };
 
     // ── Phase 2: flatten to (search, SCC) work items in merge order. ──

@@ -64,6 +64,26 @@ pub struct AnalysisCtx<'h, C> {
     pub key_set: FxHashSet<Key>,
     /// Datatype-specific configuration (e.g. register assumptions).
     pub config: C,
+    /// Transaction scope: `None` = the whole history (batch checking);
+    /// `Some(ids)` = only the listed transactions, in the given order
+    /// (the streaming checker's **gather-delta** phase passes the union
+    /// of the dirty keys' posting lists here, so gather pays for the
+    /// epoch's delta, not for history length). Every pass that walks
+    /// transactions must go through [`AnalysisCtx::scoped_txns`].
+    pub scope: Option<&'h [TxnId]>,
+}
+
+impl<'h, C> AnalysisCtx<'h, C> {
+    /// The transactions this run is allowed to look at, in history order
+    /// (or the scope's order, which streaming callers keep sorted).
+    pub fn scoped_txns(&self) -> impl Iterator<Item = &'h Transaction> + '_ {
+        let hist = self.history;
+        let ids = self.scope;
+        (0..ids.map_or(hist.len(), <[TxnId]>::len)).map(move |i| match ids {
+            None => &hist.txns()[i],
+            Some(ids) => hist.get(ids[i]),
+        })
+    }
 }
 
 /// Where one key's analysis deposits its findings. Sinks are merged by
@@ -80,6 +100,12 @@ pub struct KeySink {
     /// Set when the key's inferred version order was cyclic and the
     /// key's dependencies were discarded.
     pub cyclic: bool,
+    /// Elements of this key observed by at least one committed read —
+    /// the key's contribution to the §3 coverage statistic, computed
+    /// during the per-key pass instead of a second `observed_reads`
+    /// walk over the whole history. May contain repeats; consumers
+    /// union into a set.
+    pub observed_elems: Vec<Elem>,
 }
 
 impl KeySink {
@@ -111,6 +137,9 @@ pub struct DriverOutput {
     pub version_orders: FxHashMap<Key, Vec<Elem>>,
     /// Keys discarded for cyclic inferred version orders (registers).
     pub cyclic_keys: Vec<Key>,
+    /// `(key, element)` pairs observed by committed reads of this
+    /// datatype's keys (coverage statistic contribution; may repeat).
+    pub observed: Vec<(Key, Elem)>,
 }
 
 /// How the driver schedules per-key analysis.
@@ -161,10 +190,19 @@ pub trait DatatypeAnalysis {
     /// serial. Implementations usually delegate to [`internal_pass`].
     fn check_internal(cx: &AnalysisCtx<'_, Self::Config>, sink: &mut KeySink);
 
-    /// Single pass over the history partitioning reads/writes by key.
+    /// Single pass over the scoped transactions partitioning reads and
+    /// writes by key (use [`AnalysisCtx::scoped_txns`], never
+    /// `history.txns()` directly — the streaming driver narrows the
+    /// scope to the dirty keys' transactions).
     fn gather<'h>(
         cx: &AnalysisCtx<'h, Self::Config>,
     ) -> (Self::Aux<'h>, FxHashMap<Key, Self::KeyData<'h>>);
+
+    /// The key's observed-element contribution to the coverage
+    /// statistic, derived from the gathered data (shared between the
+    /// interned and the seed reference pipelines, so reports stay
+    /// byte-identical across them).
+    fn observed_elems<'h>(data: &Self::KeyData<'h>) -> Vec<Elem>;
 
     /// Analyze one key. Runs on a rayon worker; must only write into
     /// `sink`.
@@ -201,6 +239,7 @@ pub fn run_mode<D: DatatypeAnalysis>(
         elems,
         key_set: keys.iter().copied().collect(),
         config,
+        scope: None,
     };
     let mut out = DriverOutput {
         deps: DepGraph::with_txns(history.len()),
@@ -209,18 +248,53 @@ pub fn run_mode<D: DatatypeAnalysis>(
 
     // ── Serial prelude: internal consistency, then write-level
     //    duplicates (which poison recoverability per key). ─────────────
-    let mut prelude = KeySink::default();
-    D::check_internal(&cx, &mut prelude);
-    out.anomalies.append(&mut prelude.anomalies);
+    out.anomalies.append(&mut internal_anomalies::<D>(&cx));
+    let (mut dup_anomalies, poisoned) = duplicate_anomalies(&cx, &D::VOCAB);
+    out.anomalies.append(&mut dup_anomalies);
 
-    let v = &D::VOCAB;
+    // ── Partition by key, analyze, and merge deterministically. ───────
+    for (key, mut sink) in analyze_keys::<D>(&cx, &poisoned, mode) {
+        out.anomalies.append(&mut sink.anomalies);
+        out.deps.reserve_edges(sink.edges.len());
+        for (from, to, witness) in sink.edges {
+            out.deps.add(from, to, witness);
+        }
+        if let Some(order) = sink.version_order {
+            out.version_orders.insert(key, order);
+        }
+        if sink.cyclic {
+            out.cyclic_keys.push(key);
+        }
+        out.observed
+            .extend(sink.observed_elems.into_iter().map(|e| (key, e)));
+    }
+    out
+}
+
+/// Phase 1 of a datatype run: the transaction-major internal-consistency
+/// pass over the context's scope. Streaming callers pass only the
+/// epoch's new/changed transactions and cache results per transaction.
+pub fn internal_anomalies<D: DatatypeAnalysis>(cx: &AnalysisCtx<'_, D::Config>) -> Vec<Anomaly> {
+    let mut sink = KeySink::default();
+    D::check_internal(cx, &mut sink);
+    sink.anomalies
+}
+
+/// Phase 2: write-level duplicate anomalies for this datatype's keys,
+/// plus the poisoned-key set (recoverability broken). Cheap — it walks
+/// the element index's (sorted) duplicate list, not the history.
+pub fn duplicate_anomalies<C>(
+    cx: &AnalysisCtx<'_, C>,
+    v: &Vocab,
+) -> (Vec<Anomaly>, FxHashSet<Key>) {
+    let mut anomalies = Vec::new();
     let mut poisoned: FxHashSet<Key> = FxHashSet::default();
-    for (k, e, txns) in &elems.duplicates {
+    for (k, e, txns) in &cx.elems.duplicates {
         if !cx.key_set.contains(k) {
             continue;
         }
         poisoned.insert(*k);
-        out.anomalies.push(Anomaly {
+        anomalies.push(Anomaly {
             typ: AnomalyType::DuplicateWrite,
             txns: txns.clone(),
             key: Some(*k),
@@ -239,9 +313,21 @@ pub fn run_mode<D: DatatypeAnalysis>(
             ),
         });
     }
+    (anomalies, poisoned)
+}
 
-    // ── Partition by key. ──────────────────────────────────────────────
-    let (aux, data) = D::gather(&cx);
+/// Phase 3: gather the scoped transactions by key and analyze each key,
+/// returning `(key, sink)` pairs in sorted key order. This is the
+/// **finalize** half of the streaming split: batch runs it over every
+/// key with an unbounded scope; the streaming checker runs it over the
+/// epoch's dirty keys with the scope narrowed to their transactions and
+/// caches the sinks.
+pub fn analyze_keys<D: DatatypeAnalysis>(
+    cx: &AnalysisCtx<'_, D::Config>,
+    poisoned: &FxHashSet<Key>,
+    mode: Parallelism,
+) -> Vec<(Key, KeySink)> {
+    let (aux, data) = D::gather(cx);
     let mut keys_sorted: Vec<Key> = data.keys().copied().collect();
     keys_sorted.sort_unstable();
 
@@ -253,9 +339,12 @@ pub fn run_mode<D: DatatypeAnalysis>(
         }
     };
     let analyze_one = |key: &Key| {
-        let mut sink = KeySink::default();
+        let mut sink = KeySink {
+            observed_elems: D::observed_elems(&data[key]),
+            ..KeySink::default()
+        };
         D::analyze_key(
-            &cx,
+            cx,
             &aux,
             *key,
             &data[key],
@@ -269,23 +358,7 @@ pub fn run_mode<D: DatatypeAnalysis>(
     } else {
         keys_sorted.iter().map(analyze_one).collect()
     };
-
-    // ── Deterministic merge: strictly in sorted key order. ────────────
-    out.deps
-        .reserve_edges(sinks.iter().map(|s| s.edges.len()).sum());
-    for (key, mut sink) in keys_sorted.into_iter().zip(sinks) {
-        out.anomalies.append(&mut sink.anomalies);
-        for (from, to, witness) in sink.edges {
-            out.deps.add(from, to, witness);
-        }
-        if let Some(order) = sink.version_order {
-            out.version_orders.insert(key, order);
-        }
-        if sink.cyclic {
-            out.cyclic_keys.push(key);
-        }
-    }
-    out
+    keys_sorted.into_iter().zip(sinks).collect()
 }
 
 // ── Shared passes ───────────────────────────────────────────────────────
@@ -315,7 +388,7 @@ pub fn internal_pass<'h, C, S: Default>(
 ) {
     let mut states: Vec<(Key, S)> = Vec::new();
     let mut slot_of: FxHashMap<Key, u32> = FxHashMap::default();
-    for t in cx.history.txns() {
+    for t in cx.scoped_txns() {
         states.clear();
         slot_of.clear();
         for m in &t.mops {
@@ -576,6 +649,7 @@ mod tests {
             elems: &elems,
             key_set: [Key(1)].into_iter().collect(),
             config: (),
+            scope: None,
         };
         let per_elem = crate::list_append::ListAppend::VOCAB;
         let mut scan = ProvenanceScan::new();
@@ -607,6 +681,7 @@ mod tests {
             elems: &elems,
             key_set: [Key(1)].into_iter().collect(),
             config: (),
+            scope: None,
         };
         let vocab = crate::list_append::ListAppend::VOCAB;
         let mut scan = ProvenanceScan::new();

@@ -45,6 +45,12 @@ pub struct DepGraph {
     pub graph: DiGraph,
     /// `witnesses[src][pos]` annotates `graph.out_edges(src)[pos]`.
     witnesses: Vec<Vec<WitnessSlot>>,
+    /// Distinct edges per class, maintained on every insertion (indexed
+    /// by `EdgeClass` discriminant) — [`DepGraph::class_counts`] reads
+    /// these instead of re-walking every witness row, so report assembly
+    /// is O(classes), not O(edges). Incremental and batch construction
+    /// agree because counters only depend on the per-edge class masks.
+    counts: [usize; 8],
 }
 
 impl DepGraph {
@@ -53,6 +59,23 @@ impl DepGraph {
         DepGraph {
             graph: DiGraph::with_vertices(n),
             witnesses: Vec::new(),
+            counts: [0; 8],
+        }
+    }
+
+    /// Grow the vertex set to hold transactions `0..n` (used by the
+    /// streaming checker as the history extends; vertices without edges
+    /// are harmless but keep frozen snapshots aligned with batch runs).
+    pub fn ensure_txns(&mut self, n: usize) {
+        if n > 0 {
+            self.graph.ensure_vertex(n as u32 - 1);
+        }
+    }
+
+    fn count_new_classes(&mut self, prev: EdgeMask, added: EdgeMask) {
+        let fresh = EdgeMask(added.0 & !prev.0);
+        for c in fresh.iter() {
+            self.counts[c as usize] += 1;
         }
     }
 
@@ -78,12 +101,14 @@ impl DepGraph {
             return;
         }
         let (a, b) = (from.0, to.0);
-        let (pos, new) = self
+        let mask = EdgeMask::of(witness.class());
+        let (pos, prev) = self
             .graph
-            .add_edge_mask_pos(a, b, EdgeMask::of(witness.class()))
+            .add_edge_mask_pos_prev(a, b, mask)
             .expect("nonempty mask");
+        self.count_new_classes(prev, mask);
         let row = self.witness_row(a);
-        if new {
+        if prev.is_empty() {
             debug_assert_eq!(pos as usize, row.len());
             row.push(WitnessSlot::One(witness));
         } else {
@@ -104,13 +129,21 @@ impl DepGraph {
         }
     }
 
-    /// A witness on `(from, to)` of a specific class, if one exists.
+    /// A witness on `(from, to)` of a specific class, if one exists —
+    /// the [`Ord`]-least such witness, so the answer is a function of the
+    /// edge's witness *set*, not of insertion order.
     pub fn witness_of_class(&self, from: TxnId, to: TxnId, class: EdgeClass) -> Option<&Witness> {
-        self.witnesses(from, to).iter().find(|w| w.class() == class)
+        self.witnesses(from, to)
+            .iter()
+            .filter(|w| w.class() == class)
+            .min()
     }
 
     /// Pick a witness for presenting edge `(from, to)`, preferring classes
-    /// earlier in `preference` (restricted to `allowed`).
+    /// earlier in `preference` (restricted to `allowed`). Within a class
+    /// the [`Ord`]-least witness wins, so presentation is canonical: an
+    /// incrementally-grown graph presents exactly like a batch-built one
+    /// regardless of the order evidence arrived in.
     pub fn present(
         &self,
         from: TxnId,
@@ -123,26 +156,22 @@ impl DepGraph {
             if !allowed.contains(c) {
                 continue;
             }
-            if let Some(w) = ws.iter().find(|w| w.class() == c) {
+            if let Some(w) = ws.iter().filter(|w| w.class() == c).min() {
                 return Some(w);
             }
         }
-        // Fall back to any allowed witness.
-        ws.iter().find(|w| allowed.contains(w.class()))
+        // Fall back to the least allowed witness.
+        ws.iter().filter(|w| allowed.contains(w.class())).min()
     }
 
-    /// Count of edges per class (for report statistics).
+    /// Count of distinct edges per class (for report statistics), read
+    /// from counters maintained at insertion time.
     pub fn class_counts(&self) -> FxHashMap<EdgeClass, usize> {
         let mut counts: FxHashMap<EdgeClass, usize> = FxHashMap::default();
-        for row in &self.witnesses {
-            for ws in row {
-                let mut mask = EdgeMask::NONE;
-                for w in ws.as_slice() {
-                    mask = mask.union(EdgeMask::of(w.class()));
-                }
-                for c in mask.iter() {
-                    *counts.entry(c).or_default() += 1;
-                }
+        for c in EdgeClass::ALL {
+            let n = self.counts[c as usize];
+            if n > 0 {
+                counts.insert(c, n);
             }
         }
         counts
@@ -165,12 +194,13 @@ impl DepGraph {
             let src = src as u32;
             for (pos, ws) in row.drain(..).enumerate() {
                 let (dst, mask) = other.graph.out_edges(src)[pos];
-                let (self_pos, new) = self
+                let (self_pos, prev) = self
                     .graph
-                    .add_edge_mask_pos(src, dst, mask)
+                    .add_edge_mask_pos_prev(src, dst, mask)
                     .expect("nonempty mask");
+                self.count_new_classes(prev, mask);
                 let self_row = self.witness_row(src);
-                if new {
+                if prev.is_empty() {
                     debug_assert_eq!(self_pos as usize, self_row.len());
                     self_row.push(ws);
                 } else {

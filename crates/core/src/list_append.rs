@@ -366,7 +366,7 @@ impl DatatypeAnalysis for ListAppend {
         let mut appends: Self::Aux<'h> =
             FxHashMap::with_capacity_and_hasher(cx.history.mop_count() / 2, Default::default());
         let mut reads_by_key: FxHashMap<Key, Vec<ReadOcc<'h>>> = FxHashMap::default();
-        for t in cx.history.txns() {
+        for t in cx.scoped_txns() {
             for (i, m) in t.mops.iter().enumerate() {
                 match m {
                     Mop::Append { key, elem } if cx.key_set.contains(key) => {
@@ -387,6 +387,27 @@ impl DatatypeAnalysis for ListAppend {
             }
         }
         (appends, reads_by_key)
+    }
+
+    /// Coverage: a compatible read contributes nothing beyond the spine,
+    /// so only the longest value (plus the rare incompatible read) is
+    /// walked — not every read's full payload.
+    fn observed_elems<'h>(occs: &Vec<ReadOcc<'h>>) -> Vec<Elem> {
+        let mut longest: &[Elem] = &[];
+        for occ in occs {
+            if occ.value.len() >= longest.len() {
+                longest = occ.value;
+            }
+        }
+        let mut out: Vec<Elem> = Vec::new();
+        for occ in occs {
+            let l = occ.value.len();
+            if !(l <= longest.len() && occ.value[..] == longest[..l]) {
+                out.extend_from_slice(occ.value);
+            }
+        }
+        out.extend_from_slice(longest);
+        out
     }
 
     fn analyze_key<'h>(

@@ -34,55 +34,97 @@ pub struct WriteRef {
 }
 
 /// How each key is used, with conflicts detected.
+///
+/// Buildable in one shot ([`KeyTypes::infer`]) or incrementally
+/// ([`KeyTypes::note_txn`]) — the streaming checker feeds transactions
+/// as they arrive. `conflicts` is kept sorted by key, so batch and
+/// incremental construction agree byte-for-byte no matter the order
+/// evidence arrived in.
 #[derive(Debug, Default)]
 pub struct KeyTypes {
-    types: FxHashMap<Key, DataType>,
-    /// Keys used as more than one datatype (malformed workloads).
+    /// Bitmask of noted [`DataType`]s per key (bit = discriminant).
+    /// A set, not a last-writer slot, so the inferred type of a
+    /// conflicted key is a function of *what* touched it, never of the
+    /// order evidence arrived in.
+    types: FxHashMap<Key, u8>,
+    /// Keys used as more than one datatype (malformed workloads),
+    /// sorted ascending.
     pub conflicts: Vec<Key>,
 }
 
+const DATATYPES: [DataType; 4] = [
+    DataType::List,
+    DataType::Register,
+    DataType::Counter,
+    DataType::Set,
+];
+
+fn type_bit(ty: DataType) -> u8 {
+    1 << DATATYPES.iter().position(|t| *t == ty).expect("listed")
+}
+
 impl KeyTypes {
+    /// An empty typing (for incremental construction).
+    pub fn new() -> KeyTypes {
+        KeyTypes::default()
+    }
+
     /// Infer key types from write and observed-read shapes.
     pub fn infer(history: &History) -> KeyTypes {
-        use elle_history::ReadValue;
         let mut kt = KeyTypes::default();
-        let note = |key: Key, ty: DataType, kt: &mut KeyTypes| match kt.types.insert(key, ty) {
-            Some(prev) if prev != ty && !kt.conflicts.contains(&key) => {
-                kt.conflicts.push(key);
-            }
-            _ => {}
-        };
         for t in history.txns() {
-            for m in &t.mops {
-                match m {
-                    Mop::Append { key, .. } => note(*key, DataType::List, &mut kt),
-                    Mop::Write { key, .. } => note(*key, DataType::Register, &mut kt),
-                    Mop::Increment { key, .. } => note(*key, DataType::Counter, &mut kt),
-                    Mop::AddToSet { key, .. } => note(*key, DataType::Set, &mut kt),
-                    Mop::Read { key, value } => match value {
-                        Some(ReadValue::List(_)) => note(*key, DataType::List, &mut kt),
-                        Some(ReadValue::Register(_)) => note(*key, DataType::Register, &mut kt),
-                        Some(ReadValue::Counter(_)) => note(*key, DataType::Counter, &mut kt),
-                        Some(ReadValue::Set(_)) => note(*key, DataType::Set, &mut kt),
-                        None => {}
-                    },
-                }
-            }
+            kt.note_txn(t);
         }
         kt
     }
 
-    /// The inferred type of `key`, if any operation touched it decisively.
+    /// Fold one transaction's operations into the typing. Idempotent:
+    /// re-noting a transaction (e.g. at completion, after its invocation
+    /// was already noted) changes nothing.
+    pub fn note_txn(&mut self, t: &elle_history::Transaction) {
+        use elle_history::ReadValue;
+        let note = |key: Key, ty: DataType, kt: &mut KeyTypes| {
+            let mask = kt.types.entry(key).or_insert(0);
+            *mask |= type_bit(ty);
+            if mask.count_ones() > 1 {
+                if let Err(at) = kt.conflicts.binary_search(&key) {
+                    kt.conflicts.insert(at, key);
+                }
+            }
+        };
+        for m in &t.mops {
+            match m {
+                Mop::Append { key, .. } => note(*key, DataType::List, self),
+                Mop::Write { key, .. } => note(*key, DataType::Register, self),
+                Mop::Increment { key, .. } => note(*key, DataType::Counter, self),
+                Mop::AddToSet { key, .. } => note(*key, DataType::Set, self),
+                Mop::Read { key, value } => match value {
+                    Some(ReadValue::List(_)) => note(*key, DataType::List, self),
+                    Some(ReadValue::Register(_)) => note(*key, DataType::Register, self),
+                    Some(ReadValue::Counter(_)) => note(*key, DataType::Counter, self),
+                    Some(ReadValue::Set(_)) => note(*key, DataType::Set, self),
+                    None => {}
+                },
+            }
+        }
+    }
+
+    /// The inferred type of `key`, if any operation touched it
+    /// decisively. Conflicted keys resolve to the first noted type in
+    /// [`DataType`] declaration order (their inferences are unreliable
+    /// either way; the checker warns about them).
     pub fn get(&self, key: Key) -> Option<DataType> {
-        self.types.get(&key).copied()
+        let mask = *self.types.get(&key)?;
+        DATATYPES.iter().copied().find(|t| mask & type_bit(*t) != 0)
     }
 
     /// All keys of a given type.
     pub fn keys_of(&self, ty: DataType) -> Vec<Key> {
         let mut ks: Vec<Key> = self
             .types
-            .iter()
-            .filter_map(|(k, t)| (*t == ty).then_some(*k))
+            .keys()
+            .copied()
+            .filter(|k| self.get(*k) == Some(ty))
             .collect();
         ks.sort_unstable();
         ks
@@ -104,48 +146,75 @@ pub struct ElemIndex {
 }
 
 impl ElemIndex {
+    /// An empty index (for incremental construction).
+    pub fn new() -> ElemIndex {
+        ElemIndex::default()
+    }
+
     /// Build the index over every element-carrying write in the history.
     pub fn build(history: &History) -> ElemIndex {
         let mut idx = ElemIndex::default();
         idx.writers.reserve(history.mop_count());
-        let mut dup_map: FxHashMap<(Key, Elem), Vec<TxnId>> = FxHashMap::default();
-
-        // Last write position per key, to mark final writes — one reused
-        // map cleared per transaction, so no per-transaction allocation
-        // and O(1) lookups even for arbitrarily wide transactions.
+        // One reused last-write map cleared per transaction, so the
+        // bulk build does no per-transaction allocation.
         let mut last_write: FxHashMap<Key, usize> = FxHashMap::default();
         for t in history.txns() {
-            last_write.clear();
-            for (i, m) in t.mops.iter().enumerate() {
-                if m.is_write() {
-                    last_write.insert(m.key(), i);
-                }
+            idx.index_txn_with(t, &mut last_write);
+        }
+        idx
+    }
+
+    /// Index one transaction's element-carrying writes. Feed
+    /// transactions in id order for duplicate writer lists to match a
+    /// batch [`ElemIndex::build`] (the `duplicates` vector is kept
+    /// sorted by `(key, elem)` either way).
+    pub fn index_txn(&mut self, t: &elle_history::Transaction) {
+        self.index_txn_with(t, &mut FxHashMap::default());
+    }
+
+    fn index_txn_with(
+        &mut self,
+        t: &elle_history::Transaction,
+        last_write: &mut FxHashMap<Key, usize>,
+    ) {
+        // Last write position per key, to mark final writes.
+        last_write.clear();
+        for (i, m) in t.mops.iter().enumerate() {
+            if m.is_write() {
+                last_write.insert(m.key(), i);
             }
-            for (i, k, e) in t.elem_writes() {
-                let wref = WriteRef {
-                    txn: t.id,
-                    mop: i,
-                    final_for_key: last_write.get(&k) == Some(&i),
-                    status: t.status,
-                };
-                match idx.writers.insert((k, e), wref) {
-                    None => {}
-                    Some(prev) => {
-                        dup_map
-                            .entry((k, e))
-                            .or_insert_with(|| vec![prev.txn])
-                            .push(t.id);
-                    }
+        }
+        for (i, k, e) in t.elem_writes() {
+            let wref = WriteRef {
+                txn: t.id,
+                mop: i,
+                final_for_key: last_write.get(&k) == Some(&i),
+                status: t.status,
+            };
+            match self.writers.insert((k, e), wref) {
+                None => {}
+                Some(prev) => match self
+                    .duplicates
+                    .binary_search_by_key(&(k, e), |d| (d.0, d.1))
+                {
+                    Ok(at) => self.duplicates[at].2.push(t.id),
+                    Err(at) => self.duplicates.insert(at, (k, e, vec![prev.txn, t.id])),
+                },
+            }
+        }
+    }
+
+    /// Update the recorded status of `t`'s writes after its outcome
+    /// became known (streaming: a completion resolving an open
+    /// invocation). Only entries still owned by `t` are touched.
+    pub fn update_status(&mut self, t: &elle_history::Transaction) {
+        for (_, k, e) in t.elem_writes() {
+            if let Some(w) = self.writers.get_mut(&(k, e)) {
+                if w.txn == t.id {
+                    w.status = t.status;
                 }
             }
         }
-        let mut dups: Vec<(Key, Elem, Vec<TxnId>)> = dup_map
-            .into_iter()
-            .map(|((k, e), txns)| (k, e, txns))
-            .collect();
-        dups.sort_unstable_by_key(|(k, e, _)| (*k, *e));
-        idx.duplicates = dups;
-        idx
     }
 
     /// The unique writer of `(key, elem)`, if recorded.

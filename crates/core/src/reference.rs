@@ -55,6 +55,10 @@ impl DatatypeAnalysis for ListAppendRef {
         ListAppend::gather(cx)
     }
 
+    fn observed_elems<'h>(data: &Vec<ReadOcc<'h>>) -> Vec<Elem> {
+        ListAppend::observed_elems(data)
+    }
+
     fn analyze_key<'h>(
         cx: &AnalysisCtx<'h, ()>,
         appends_of: &Self::Aux<'h>,
@@ -302,6 +306,10 @@ impl DatatypeAnalysis for SetAddRef {
         SetAdd::gather(cx)
     }
 
+    fn observed_elems<'h>(data: &SetKeyData<'h>) -> Vec<Elem> {
+        SetAdd::observed_elems(data)
+    }
+
     fn analyze_key<'h>(
         cx: &AnalysisCtx<'h, ()>,
         _aux: &(),
@@ -382,6 +390,10 @@ impl DatatypeAnalysis for RwRegisterRef {
 
     fn gather<'h>(cx: &AnalysisCtx<'h, RegisterOptions>) -> ((), FxHashMap<Key, RegKeyData<'h>>) {
         RwRegister::gather(cx)
+    }
+
+    fn observed_elems<'h>(data: &RegKeyData<'h>) -> Vec<Elem> {
+        RwRegister::observed_elems(data)
     }
 
     fn analyze_key<'h>(

@@ -206,7 +206,7 @@ impl DatatypeAnalysis for RwRegister {
 
     fn gather<'h>(cx: &AnalysisCtx<'h, RegisterOptions>) -> ((), FxHashMap<Key, RegKeyData<'h>>) {
         let mut data: FxHashMap<Key, RegKeyData<'h>> = FxHashMap::default();
-        for t in cx.history.txns() {
+        for t in cx.scoped_txns() {
             let mut touched: Vec<Key> = Vec::new();
             let touch = |k: Key, touched: &mut Vec<Key>| {
                 if !touched.contains(&k) {
@@ -246,6 +246,10 @@ impl DatatypeAnalysis for RwRegister {
             }
         }
         ((), data)
+    }
+
+    fn observed_elems<'h>(data: &RegKeyData<'h>) -> Vec<Elem> {
+        data.readers_of.keys().filter_map(|v| *v).collect()
     }
 
     fn analyze_key<'h>(

@@ -123,7 +123,7 @@ impl DatatypeAnalysis for SetAdd {
 
     fn gather<'h>(cx: &AnalysisCtx<'h, ()>) -> ((), FxHashMap<Key, SetKeyData<'h>>) {
         let mut data: FxHashMap<Key, SetKeyData<'h>> = FxHashMap::default();
-        for t in cx.history.txns() {
+        for t in cx.scoped_txns() {
             if t.status != TxnStatus::Committed {
                 continue;
             }
@@ -143,6 +143,13 @@ impl DatatypeAnalysis for SetAdd {
             }
         }
         ((), data)
+    }
+
+    fn observed_elems<'h>(data: &SetKeyData<'h>) -> Vec<Elem> {
+        data.reads
+            .iter()
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect()
     }
 
     fn analyze_key<'h>(

@@ -109,3 +109,31 @@ proptest! {
         prop_assert_eq!(seq, par);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The early-acyclic certificate (and the region-restricted
+    /// per-class passes it enables) must not change what is found:
+    /// reports with and without it are byte-identical.
+    #[test]
+    fn certificate_is_invisible_in_reports(h in arb_history()) {
+        let deps = idsg(&h);
+        let csr = deps.freeze();
+        let base = CycleSearchOptions::default();
+        let with = find_cycle_anomalies_mode(
+            &deps, &csr, &h,
+            CycleSearchOptions { certificate: true, ..base },
+            Parallelism::Sequential,
+        );
+        let without = find_cycle_anomalies_mode(
+            &deps, &csr, &h,
+            CycleSearchOptions { certificate: false, ..base },
+            Parallelism::Sequential,
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&with).unwrap(),
+            serde_json::to_string(&without).unwrap()
+        );
+    }
+}

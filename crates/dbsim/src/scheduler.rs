@@ -52,6 +52,19 @@ impl SimDb {
 
     /// Run the workload to completion, producing the raw event log.
     pub fn run<S: TxnSource>(&self, source: &mut S) -> EventLog {
+        self.run_with(source, |_| {})
+    }
+
+    /// Run the workload, invoking `on_event` with each event the moment
+    /// the simulated client records it — the **live mode** hook: an
+    /// incremental checker subscribes here and sees the history exactly
+    /// as it grows, without waiting for the run to finish. The complete
+    /// log is still returned (the callback borrows each event).
+    pub fn run_with<S: TxnSource>(
+        &self,
+        source: &mut S,
+        mut on_event: impl FnMut(&elle_history::Event),
+    ) -> EventLog {
         let cfg = self.cfg;
         let mut engine = Engine::new(cfg);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -66,6 +79,10 @@ impl SimDb {
         let mut next_pid = cfg.processes as u32;
         let mut exhausted = false;
         let mut step: u64 = 0;
+        // Events already handed to `on_event`; drained at the end of
+        // every scheduler step so subscribers see each event as soon as
+        // the client records it.
+        let mut reported = 0usize;
 
         loop {
             // Actionable slots: running, or idle while work remains.
@@ -149,6 +166,14 @@ impl SimDb {
                 }
             }
             step += 1;
+            while reported < log.len() {
+                on_event(&log.events()[reported]);
+                reported += 1;
+            }
+        }
+        while reported < log.len() {
+            on_event(&log.events()[reported]);
+            reported += 1;
         }
         log
     }

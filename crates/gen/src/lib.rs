@@ -202,6 +202,14 @@ pub fn run_workload(params: GenParams, db: DbConfig) -> Result<History, PairingE
     SimDb::new(db).run_history(&mut w)
 }
 
+/// Generate a workload and run it, returning the raw event log — the
+/// stream-shaped output (`EventLog` → NDJSON, or fed event-by-event to
+/// an incremental checker).
+pub fn run_workload_log(params: GenParams, db: DbConfig) -> elle_history::EventLog {
+    let mut w = Workload::new(params);
+    SimDb::new(db).run(&mut w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,6 +51,23 @@ impl DiGraph {
     pub fn freeze(&self) -> Csr {
         Csr::from_digraph(self)
     }
+
+    /// Re-freeze after incremental mutation, reusing the rows of a
+    /// previous snapshot.
+    ///
+    /// `dirty_rows` must contain (at least) every vertex whose out-row
+    /// changed since `prev` was frozen — new out-edges *or* mask updates
+    /// on existing edges. Vertices at or beyond `prev`'s vertex count are
+    /// implicitly dirty. Unchanged rows are block-copied from `prev`
+    /// without re-sorting; only dirty rows pay the per-row sort. The
+    /// reverse adjacency is rebuilt by the same counting sort as a full
+    /// freeze (linear, no sorts).
+    ///
+    /// Produces a snapshot byte-identical to [`DiGraph::freeze`] — checked
+    /// by `refreeze_matches_full_freeze` in `crates/graph/tests/props.rs`.
+    pub fn refreeze(&self, prev: &Csr, dirty_rows: &BitSet) -> Csr {
+        Csr::refreeze_digraph(self, prev, dirty_rows)
+    }
 }
 
 impl Csr {
@@ -104,6 +121,80 @@ impl Csr {
             r_srcs,
             r_masks,
         }
+    }
+
+    /// Incremental freeze: see [`DiGraph::refreeze`].
+    fn refreeze_digraph(g: &DiGraph, prev: &Csr, dirty_rows: &BitSet) -> Csr {
+        let n = g.vertex_count();
+        let prev_n = prev.vertex_count();
+        let e = g.edge_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut dsts = Vec::with_capacity(e);
+        let mut masks = Vec::with_capacity(e);
+        offsets.push(0);
+        let mut row: Vec<(u32, EdgeMask)> = Vec::new();
+        let mut v = 0u32;
+        while (v as usize) < n {
+            let dirty = v as usize >= prev_n || dirty_rows.contains(v);
+            if !dirty {
+                // Copy a maximal run of clean rows from the previous
+                // snapshot in one extend each.
+                let run_start = v;
+                while (v as usize) < n && (v as usize) < prev_n && !dirty_rows.contains(v) {
+                    offsets.push(offsets[v as usize] + prev.row_len(v));
+                    v += 1;
+                }
+                let lo = prev.offsets[run_start as usize] as usize;
+                let hi = prev.offsets[v as usize] as usize;
+                dsts.extend_from_slice(&prev.dsts[lo..hi]);
+                masks.extend_from_slice(&prev.masks[lo..hi]);
+                continue;
+            }
+            row.clear();
+            row.extend_from_slice(g.out_edges(v));
+            row.sort_unstable_by_key(|&(d, _)| d);
+            for &(d, m) in &row {
+                dsts.push(d);
+                masks.push(m);
+            }
+            offsets.push(dsts.len() as u32);
+            v += 1;
+        }
+
+        // Reverse adjacency: same counting sort as the full freeze.
+        let mut r_offsets = vec![0u32; n + 1];
+        for &d in &dsts {
+            r_offsets[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            r_offsets[i + 1] += r_offsets[i];
+        }
+        let mut cursor: Vec<u32> = r_offsets[..n].to_vec();
+        let mut r_srcs = vec![0u32; dsts.len()];
+        let mut r_masks = vec![EdgeMask::NONE; dsts.len()];
+        for s in 0..n {
+            for i in offsets[s] as usize..offsets[s + 1] as usize {
+                let d = dsts[i] as usize;
+                let at = cursor[d] as usize;
+                r_srcs[at] = s as u32;
+                r_masks[at] = masks[i];
+                cursor[d] += 1;
+            }
+        }
+
+        Csr {
+            offsets,
+            dsts,
+            masks,
+            r_offsets,
+            r_srcs,
+            r_masks,
+        }
+    }
+
+    /// Number of out-edges of `v`.
+    fn row_len(&self, v: u32) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
     }
 
     /// Number of vertices.
@@ -264,6 +355,9 @@ pub struct Scratch {
     pub(crate) stack: Vec<u32>,
     /// Tarjan: explicit DFS frames `(vertex, row position)`.
     pub(crate) frames: Vec<(u32, u32)>,
+    /// Region membership for restricted SCC passes (cleared on exit by
+    /// its user, like `in_scope`).
+    pub(crate) region: BitSet,
 }
 
 impl Scratch {

@@ -206,6 +206,20 @@ impl DiGraph {
     /// Positions are stable for the life of the graph, so callers can
     /// maintain per-edge side tables without a second hash index.
     pub fn add_edge_mask_pos(&mut self, src: u32, dst: u32, m: EdgeMask) -> Option<(u32, bool)> {
+        self.add_edge_mask_pos_prev(src, dst, m)
+            .map(|(pos, prev)| (pos, prev.is_empty()))
+    }
+
+    /// Like [`DiGraph::add_edge_mask_pos`], but returns the edge's mask
+    /// *before* this addition (empty = the pair is new) — callers that
+    /// maintain per-class counters learn which classes this call
+    /// introduced without a second probe.
+    pub fn add_edge_mask_pos_prev(
+        &mut self,
+        src: u32,
+        dst: u32,
+        m: EdgeMask,
+    ) -> Option<(u32, EdgeMask)> {
         if m.is_empty() {
             return None;
         }
@@ -213,15 +227,16 @@ impl DiGraph {
         match self.index.get(&(src, dst)) {
             Some(&pos) => {
                 let slot = &mut self.adj[src as usize][pos as usize];
+                let prev = slot.1;
                 slot.1 = slot.1.union(m);
-                Some((pos, false))
+                Some((pos, prev))
             }
             None => {
                 let pos = self.adj[src as usize].len() as u32;
                 self.adj[src as usize].push((dst, m));
                 self.index.insert((src, dst), pos);
                 self.edge_count += 1;
-                Some((pos, true))
+                Some((pos, EdgeMask::NONE))
             }
         }
     }

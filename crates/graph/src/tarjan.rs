@@ -23,6 +23,35 @@ impl Csr {
     /// components that can contain a cycle (≥ 2 vertices, or a self-loop)
     /// are returned.
     pub fn tarjan_scc(&self, allowed: EdgeMask, scratch: &mut Scratch) -> Vec<Vec<u32>> {
+        self.tarjan_scc_impl(allowed, None, scratch)
+    }
+
+    /// [`Csr::tarjan_scc`] restricted to the vertices of `region`: DFS
+    /// roots are drawn from `region` (in the given order) and traversal
+    /// never leaves it.
+    ///
+    /// **Soundness contract:** this returns the same components as an
+    /// unrestricted pass *only when* every `allowed`-cycle of the graph
+    /// lies entirely inside `region` — e.g. when `region` is the union of
+    /// the cyclic SCCs of a superset mask. Vertices outside such a region
+    /// are singletons under `allowed` and can be skipped wholesale, which
+    /// is what makes the early-acyclic certificate pay: one Tarjan over
+    /// the full graph, then per-class passes over just the cyclic core.
+    pub fn tarjan_scc_within(
+        &self,
+        allowed: EdgeMask,
+        region: &[u32],
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<u32>> {
+        self.tarjan_scc_impl(allowed, Some(region), scratch)
+    }
+
+    fn tarjan_scc_impl(
+        &self,
+        allowed: EdgeMask,
+        region: Option<&[u32]>,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<u32>> {
         let n = self.vertex_count();
         const UNVISITED: u32 = u32::MAX;
         scratch.reset_tarjan(n);
@@ -32,13 +61,28 @@ impl Csr {
             on_stack,
             stack,
             frames,
+            region: in_region,
             ..
         } = scratch;
+        if let Some(vs) = region {
+            in_region.ensure(n);
+            for &v in vs {
+                in_region.insert(v);
+            }
+        }
+        let member = |in_region: &crate::csr::BitSet, v: u32| match region {
+            Some(_) => in_region.contains(v),
+            None => true,
+        };
 
         let mut next_index = 0u32;
         let mut sccs = Vec::new();
 
-        for root in 0..n as u32 {
+        let roots: Box<dyn Iterator<Item = u32>> = match region {
+            Some(vs) => Box::new(vs.iter().copied()),
+            None => Box::new(0..n as u32),
+        };
+        for root in roots {
             if index_of[root as usize] != UNVISITED {
                 continue;
             }
@@ -55,7 +99,7 @@ impl Csr {
                 while (*pos as usize) < dsts.len() {
                     let (w, m) = (dsts[*pos as usize], masks[*pos as usize]);
                     *pos += 1;
-                    if !m.intersects(allowed) {
+                    if !m.intersects(allowed) || !member(in_region, w) {
                         continue;
                     }
                     let wi = index_of[w as usize];
@@ -102,6 +146,7 @@ impl Csr {
             }
         }
         on_stack.clear();
+        in_region.clear();
         sccs
     }
 }

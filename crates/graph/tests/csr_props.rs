@@ -178,3 +178,71 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Incremental refreeze must be byte-identical to a full freeze, for
+    /// any split of the edge stream into a frozen prefix and a dirty
+    /// suffix.
+    #[test]
+    fn refreeze_matches_full_freeze(
+        n in 1usize..24,
+        edges in arb_edges(24),
+        split_num in 0u32..=100,
+    ) {
+        let split = edges.len() * split_num as usize / 100;
+        let mut g = DiGraph::with_vertices(n);
+        for &(a, b, c) in &edges[..split] {
+            g.add_edge(a % n as u32, b % n as u32, CLASSES[c as usize]);
+        }
+        let prev = g.freeze();
+        let mut dirty = elle_graph::BitSet::new();
+        dirty.ensure(n.max(24));
+        for &(a, b, c) in &edges[split..] {
+            g.add_edge(a % n as u32, b % n as u32, CLASSES[c as usize]);
+            dirty.insert(a % n as u32);
+        }
+        let inc = g.refreeze(&prev, &dirty);
+        let full = g.freeze();
+        prop_assert_eq!(inc.vertex_count(), full.vertex_count());
+        prop_assert_eq!(inc.edge_count(), full.edge_count());
+        let ei: Vec<_> = inc.edges().collect();
+        let ef: Vec<_> = full.edges().collect();
+        prop_assert_eq!(ei, ef);
+        for v in 0..full.vertex_count() as u32 {
+            prop_assert_eq!(inc.in_row(v), full.in_row(v), "in_row {}", v);
+            prop_assert_eq!(inc.out_row(v), full.out_row(v), "out_row {}", v);
+        }
+    }
+
+    /// A Tarjan pass restricted to the cyclic region of a superset mask
+    /// must find exactly the components of an unrestricted pass.
+    #[test]
+    fn region_restricted_tarjan_matches_full(
+        n in 1usize..24,
+        edges in arb_edges(24),
+    ) {
+        let merged = sorted_merged(&edges);
+        let g = graph_from(n.max(24), &merged);
+        let csr = g.freeze();
+        let mut scratch = Scratch::new();
+        // Certificate region: union of ALL-mask cyclic SCCs.
+        let cert = csr.tarjan_scc(EdgeMask::ALL, &mut scratch);
+        let mut region: Vec<u32> = cert.iter().flatten().copied().collect();
+        region.sort_unstable();
+        for mask in MASKS {
+            let mut full = csr.tarjan_scc(mask, &mut scratch);
+            let mut within = csr.tarjan_scc_within(mask, &region, &mut scratch);
+            full.sort();
+            within.sort();
+            prop_assert_eq!(full, within, "mask={}", mask);
+        }
+        if cert.is_empty() {
+            // Empty region: nothing to find under any sub-mask.
+            for mask in MASKS {
+                prop_assert!(csr.tarjan_scc(mask, &mut scratch).is_empty());
+            }
+        }
+    }
+}

@@ -75,6 +75,21 @@ impl EventLog {
         index
     }
 
+    /// Build a log from pre-indexed events (e.g. parsed from NDJSON).
+    ///
+    /// Indices must be strictly increasing — they double as the
+    /// real-time order — but need not be contiguous, so a log exported
+    /// from a history with sparse indices round-trips. Returns the
+    /// position of the first offending event on failure.
+    pub fn from_events(events: Vec<Event>) -> Result<EventLog, usize> {
+        for (i, w) in events.windows(2).enumerate() {
+            if w[1].index <= w[0].index {
+                return Err(i + 1);
+            }
+        }
+        Ok(EventLog { events })
+    }
+
     /// All events, in order.
     pub fn events(&self) -> &[Event] {
         &self.events

@@ -42,6 +42,9 @@ pub use builder::{duplicate_written_elems, HistoryBuilder, TxnBuilder};
 pub use event::{Event, EventKind, EventLog};
 pub use ids::{Elem, Key, ProcessId, TxnId};
 pub use mop::{Mop, ReadValue};
-pub use pairing::PairingError;
-pub use serde_io::{history_from_json, history_to_json};
+pub use pairing::{Ingest, PairingError, StreamingPairer};
+pub use serde_io::{
+    events_from_ndjson, events_to_ndjson, history_from_json, history_to_json, history_to_ndjson,
+    NdjsonError,
+};
 pub use txn::{History, Transaction, TxnStatus};

@@ -12,6 +12,12 @@ use std::fmt;
 /// Why an event log failed to pair into a history.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PairingError {
+    /// An event arrived with an index not greater than its predecessor's
+    /// (streaming ingestion requires the real-time order up front).
+    NonMonotonicIndex {
+        /// Index of the offending event.
+        index: usize,
+    },
     /// A completion arrived for a process with no outstanding invocation.
     CompletionWithoutInvoke {
         /// Index of the offending event.
@@ -39,6 +45,10 @@ pub enum PairingError {
 impl fmt::Display for PairingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PairingError::NonMonotonicIndex { index } => write!(
+                f,
+                "event {index}: index is not greater than the previous event's"
+            ),
             PairingError::CompletionWithoutInvoke { index, process } => write!(
                 f,
                 "event {index}: completion on {process} without an outstanding invocation"
@@ -142,6 +152,116 @@ impl EventLog {
 
         txns.sort_by_key(|t| t.invoke_index);
         Ok(History::from_txns(txns))
+    }
+}
+
+/// What one fed event did to the paired history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// A new (still open, hence indeterminate) transaction was appended.
+    Invoked(TxnId),
+    /// An open transaction was resolved in place: its micro-ops gained
+    /// observed read values and its status/completion were recorded.
+    Completed(TxnId),
+}
+
+/// Incremental pairing: the streaming counterpart of [`EventLog::pair`].
+///
+/// Feed events in real-time order; after any prefix, [`StreamingPairer::history`]
+/// equals `EventLog::pair` run on that prefix — same transactions, same
+/// ids, byte for byte. This holds because transaction ids are assigned
+/// by invocation rank: events arrive in index order, so an open
+/// invocation's rank (and therefore its id) never changes when later
+/// events arrive, and a completion only mutates its own transaction in
+/// place.
+///
+/// This is the frontier the `elle-stream` checker carries: the only
+/// state besides the paired history itself is the open-invocation table,
+/// so raw events can be dropped as soon as they are fed.
+#[derive(Debug, Default)]
+pub struct StreamingPairer {
+    history: History,
+    /// Open invocation per process: transaction id + invoke timestamp.
+    open: FxHashMap<ProcessId, (TxnId, Option<u64>)>,
+    last_index: Option<usize>,
+}
+
+impl StreamingPairer {
+    /// An empty pairer.
+    pub fn new() -> StreamingPairer {
+        StreamingPairer::default()
+    }
+
+    /// The paired history so far. Open invocations appear as
+    /// indeterminate transactions with no completion index — exactly as
+    /// [`EventLog::pair`] renders them at history end.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Number of invocations currently awaiting completion.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feed the next event.
+    pub fn feed(&mut self, ev: &Event) -> Result<Ingest, PairingError> {
+        if self.last_index.is_some_and(|last| ev.index <= last) {
+            return Err(PairingError::NonMonotonicIndex { index: ev.index });
+        }
+        self.last_index = Some(ev.index);
+        match ev.kind {
+            EventKind::Invoke => {
+                let id = TxnId(self.history.len() as u32);
+                if self.open.contains_key(&ev.process) {
+                    return Err(PairingError::OverlappingInvoke {
+                        index: ev.index,
+                        process: ev.process,
+                    });
+                }
+                self.open.insert(ev.process, (id, ev.time_ns));
+                self.history.txns_mut().push(Transaction {
+                    id,
+                    process: ev.process,
+                    mops: ev.mops.clone(),
+                    status: TxnStatus::Indeterminate,
+                    invoke_index: ev.index,
+                    complete_index: None,
+                    timestamps: None,
+                });
+                Ok(Ingest::Invoked(id))
+            }
+            EventKind::Ok | EventKind::Fail | EventKind::Info => {
+                let (id, invoke_ts) =
+                    self.open
+                        .remove(&ev.process)
+                        .ok_or(PairingError::CompletionWithoutInvoke {
+                            index: ev.index,
+                            process: ev.process,
+                        })?;
+                let txn = &mut self.history.txns_mut()[id.idx()];
+                if !mops_compatible(&txn.mops, &ev.mops) {
+                    // Restore the open entry: the caller may recover.
+                    self.open.insert(ev.process, (id, invoke_ts));
+                    return Err(PairingError::MismatchedMops {
+                        index: ev.index,
+                        process: ev.process,
+                    });
+                }
+                txn.status = match ev.kind {
+                    EventKind::Ok => TxnStatus::Committed,
+                    EventKind::Fail => TxnStatus::Aborted,
+                    _ => TxnStatus::Indeterminate,
+                };
+                txn.mops = ev.mops.clone();
+                txn.complete_index = Some(ev.index);
+                txn.timestamps = match (invoke_ts, ev.time_ns, ev.kind) {
+                    (Some(s), Some(c), EventKind::Ok) => Some((s, c)),
+                    _ => None,
+                };
+                Ok(Ingest::Completed(id))
+            }
+        }
     }
 }
 
@@ -279,5 +399,106 @@ mod tests {
             process: ProcessId(1),
         };
         assert!(e.to_string().contains("event 3"));
+        let e = PairingError::NonMonotonicIndex { index: 4 };
+        assert!(e.to_string().contains("event 4"));
+    }
+
+    /// The streaming-pairer contract: after feeding any prefix of an
+    /// event log, `history()` equals `pair()` run on that prefix.
+    #[test]
+    fn streaming_pairer_matches_batch_on_every_prefix() {
+        let mut l = log();
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::append(1, 1)]);
+        l.push(ProcessId(1), EventKind::Invoke, vec![Mop::read(1)]);
+        l.push(ProcessId(1), EventKind::Ok, vec![Mop::read_list(1, [1])]);
+        l.push(ProcessId(0), EventKind::Fail, vec![Mop::append(1, 1)]);
+        l.push(ProcessId(2), EventKind::Invoke, vec![Mop::append(1, 2)]);
+        l.push(ProcessId(2), EventKind::Info, vec![Mop::append(1, 2)]);
+        l.push(ProcessId(0), EventKind::Invoke, vec![Mop::read(1)]);
+
+        let mut p = StreamingPairer::new();
+        for (k, ev) in l.events().iter().enumerate() {
+            p.feed(ev).expect("well-formed log");
+            let prefix = EventLog::from_events(l.events()[..=k].to_vec()).unwrap();
+            assert_eq!(p.history(), &prefix.pair().unwrap(), "prefix {k}");
+        }
+        assert_eq!(p.open_count(), 1);
+    }
+
+    #[test]
+    fn streaming_pairer_rejects_what_batch_rejects() {
+        let mut p = StreamingPairer::new();
+        // Completion without invoke.
+        let ev = Event {
+            index: 0,
+            process: ProcessId(0),
+            kind: EventKind::Ok,
+            mops: vec![],
+            time_ns: None,
+        };
+        assert!(matches!(
+            p.feed(&ev),
+            Err(PairingError::CompletionWithoutInvoke { .. })
+        ));
+        // Overlapping invoke.
+        let inv = Event {
+            index: 1,
+            process: ProcessId(0),
+            kind: EventKind::Invoke,
+            mops: vec![Mop::append(1, 1)],
+            time_ns: None,
+        };
+        p.feed(&inv).unwrap();
+        let inv2 = Event {
+            index: 2,
+            ..inv.clone()
+        };
+        assert!(matches!(
+            p.feed(&inv2),
+            Err(PairingError::OverlappingInvoke { .. })
+        ));
+        // Mismatched mops leaves the invocation open.
+        let bad_ok = Event {
+            index: 3,
+            process: ProcessId(0),
+            kind: EventKind::Ok,
+            mops: vec![Mop::append(1, 9)],
+            time_ns: None,
+        };
+        assert!(matches!(
+            p.feed(&bad_ok),
+            Err(PairingError::MismatchedMops { .. })
+        ));
+        assert_eq!(p.open_count(), 1);
+        // Non-monotonic index.
+        let stale = Event {
+            index: 3,
+            process: ProcessId(1),
+            kind: EventKind::Invoke,
+            mops: vec![],
+            time_ns: None,
+        };
+        assert!(matches!(
+            p.feed(&stale),
+            Err(PairingError::NonMonotonicIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_pairer_carries_timestamps() {
+        let mut p = StreamingPairer::new();
+        let mut push = |index, kind, time_ns| {
+            p.feed(&Event {
+                index,
+                process: ProcessId(0),
+                kind,
+                mops: vec![Mop::append(1, 1)],
+                time_ns,
+            })
+            .unwrap()
+        };
+        push(0, EventKind::Invoke, Some(11));
+        push(1, EventKind::Ok, Some(13));
+        assert_eq!(p.history().get(TxnId(0)).timestamps, Some((11, 13)));
     }
 }

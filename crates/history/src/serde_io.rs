@@ -1,12 +1,22 @@
-//! JSON import/export of histories.
+//! JSON import/export of histories, and the NDJSON event-per-line
+//! wire format consumed by `elle-stream`.
 //!
-//! The wire format is the serde representation of [`History`]. It is stable
-//! enough to move histories between the generator, the checker binaries, and
-//! EXPERIMENTS.md artifacts. (Jepsen itself uses EDN; JSON is the closest
-//! widely-supported equivalent and round-trips all our types.)
+//! The whole-history format is the serde representation of [`History`].
+//! It is stable enough to move histories between the generator, the
+//! checker binaries, and EXPERIMENTS.md artifacts. (Jepsen itself uses
+//! EDN; JSON is the closest widely-supported equivalent and round-trips
+//! all our types.)
+//!
+//! The **NDJSON** format is one [`Event`] per line, in real-time order —
+//! the shape a live harness naturally emits and an incremental checker
+//! naturally consumes: each line is self-contained, a truncated file is
+//! a valid prefix, and `tail -f` composes. Indices must be strictly
+//! increasing but may be sparse (so exporting a hand-built history and
+//! re-pairing reproduces it exactly).
 
-use crate::History;
+use crate::{Event, EventLog, History, Mop, TxnStatus};
 use serde::de::Error as _;
+use std::fmt;
 
 /// Serialize a history to a JSON string.
 pub fn history_to_json(h: &History) -> String {
@@ -27,6 +37,112 @@ pub fn history_from_json(s: &str) -> Result<History, serde_json::Error> {
         }
     }
     Ok(h)
+}
+
+/// A malformed NDJSON event stream, with the 1-based line it died on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdjsonError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for NdjsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NdjsonError {}
+
+/// Serialize an event log as NDJSON: one JSON event per line, in order.
+pub fn events_to_ndjson(log: &EventLog) -> String {
+    let mut s = String::new();
+    for ev in log.events() {
+        s.push_str(&serde_json::to_string(ev).expect("event serialization is infallible"));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse an NDJSON event stream. Blank lines are skipped; any other
+/// malformed line (bad JSON, non-increasing index) reports its 1-based
+/// position so a producer can find it in a multi-gigabyte log.
+pub fn events_from_ndjson(s: &str) -> Result<EventLog, NdjsonError> {
+    let mut events: Vec<Event> = Vec::new();
+    let mut last_index: Option<usize> = None;
+    for (i, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev: Event = serde_json::from_str(line).map_err(|e| NdjsonError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        if last_index.is_some_and(|last| ev.index <= last) {
+            return Err(NdjsonError {
+                line: i + 1,
+                message: format!(
+                    "event index {} is not greater than the previous line's",
+                    ev.index
+                ),
+            });
+        }
+        last_index = Some(ev.index);
+        events.push(ev);
+    }
+    Ok(EventLog::from_events(events).expect("indices validated above"))
+}
+
+/// Export a history as an NDJSON event stream: each transaction becomes
+/// an invoke line (reads unresolved) and, when it completed, an
+/// `ok`/`fail`/`info` line, all sorted by event index.
+///
+/// Round-trip contract: for histories whose transaction order matches
+/// their invocation order and whose event indices are distinct (every
+/// paired or simulator-produced history; `HistoryBuilder` histories
+/// unless `at()` was used to break ties), `events_from_ndjson(...)
+/// .pair()` reproduces the history exactly. Database timestamps travel
+/// as `time_ns` on the invoke and ok lines, like a live harness would
+/// record them.
+pub fn history_to_ndjson(h: &History) -> String {
+    let mut events: Vec<Event> = Vec::new();
+    for t in h.txns() {
+        let invocation: Vec<Mop> = t.mops.iter().map(Mop::to_invocation).collect();
+        events.push(Event {
+            index: t.invoke_index,
+            process: t.process,
+            kind: crate::EventKind::Invoke,
+            mops: invocation,
+            time_ns: t.timestamps.map(|(s, _)| s),
+        });
+        if let Some(ci) = t.complete_index {
+            let kind = match t.status {
+                TxnStatus::Committed => crate::EventKind::Ok,
+                TxnStatus::Aborted => crate::EventKind::Fail,
+                TxnStatus::Indeterminate => crate::EventKind::Info,
+            };
+            events.push(Event {
+                index: ci,
+                process: t.process,
+                kind,
+                mops: t.mops.clone(),
+                time_ns: match t.status {
+                    TxnStatus::Committed => t.timestamps.map(|(_, c)| c),
+                    _ => None,
+                },
+            });
+        }
+    }
+    events.sort_by_key(|e| e.index);
+    let mut s = String::new();
+    for ev in &events {
+        s.push_str(&serde_json::to_string(ev).expect("event serialization is infallible"));
+        s.push('\n');
+    }
+    s
 }
 
 #[cfg(test)]
@@ -59,5 +175,75 @@ mod tests {
         let h = b.build();
         let json = history_to_json(&h).replace("\"id\":0", "\"id\":5");
         assert!(history_from_json(&json).is_err());
+    }
+
+    #[test]
+    fn ndjson_round_trips_a_history() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0)
+            .append(1, 1)
+            .read_list(1, [1])
+            .read_register(2, None)
+            .read_counter(3, 9)
+            .read_set(4, [1, 2])
+            .commit();
+        b.txn(1).append(1, 2).abort();
+        b.txn(2).append(1, 3).indeterminate();
+        b.txn(3).append(5, 4).at(100, None).indeterminate(); // never completed
+        let h = b.build();
+        let nd = history_to_ndjson(&h);
+        // One line per event: 4 invokes + 3 completions.
+        assert_eq!(nd.lines().count(), 7);
+        let log = events_from_ndjson(&nd).expect("parses");
+        let h2 = log.pair().expect("pairs");
+        assert_eq!(h, h2);
+        // And the event stream itself is stable.
+        assert_eq!(events_to_ndjson(&log), nd);
+    }
+
+    #[test]
+    fn ndjson_round_trips_timestamps() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).timestamps(7, 9).commit();
+        let h = b.build();
+        let h2 = events_from_ndjson(&history_to_ndjson(&h))
+            .unwrap()
+            .pair()
+            .unwrap();
+        assert_eq!(h2.get(crate::TxnId(0)).timestamps, Some((7, 9)));
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn ndjson_reports_malformed_line_position() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 2).commit();
+        let nd = history_to_ndjson(&b.build());
+        let mut lines: Vec<&str> = nd.lines().collect();
+        lines.insert(2, "{not json");
+        let err = events_from_ndjson(&lines.join("\n")).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
+    }
+
+    #[test]
+    fn ndjson_rejects_non_increasing_indices() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        let nd = history_to_ndjson(&b.build());
+        let doubled = format!("{nd}{nd}");
+        let err = events_from_ndjson(&doubled).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("not greater"), "{err}");
+    }
+
+    #[test]
+    fn ndjson_skips_blank_lines() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        let nd = history_to_ndjson(&b.build()).replace('\n', "\n\n");
+        let log = events_from_ndjson(&nd).unwrap();
+        assert_eq!(log.len(), 2);
     }
 }

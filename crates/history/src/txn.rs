@@ -130,6 +130,13 @@ impl History {
         &self.txns
     }
 
+    /// Crate-internal mutable access for the streaming pairer, which
+    /// appends transactions in invocation order and resolves open ones
+    /// in place.
+    pub(crate) fn txns_mut(&mut self) -> &mut Vec<Transaction> {
+        &mut self.txns
+    }
+
     /// Transaction count.
     pub fn len(&self) -> usize {
         self.txns.len()

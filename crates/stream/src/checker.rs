@@ -1,0 +1,850 @@
+//! The incremental epoch-based stream checker.
+//!
+//! [`StreamChecker`] ingests events continuously and, at each epoch
+//! seal, produces a [`Report`] **byte-identical** to running the batch
+//! [`Checker`](elle_core::Checker) over the full prefix ingested so far
+//! — while paying, per epoch, for the epoch's *delta* rather than for
+//! the history's length. See the module docs in [`crate`] for the
+//! frontier-state contract.
+//!
+//! ## How incrementality works
+//!
+//! * **Pairing** — a [`StreamingPairer`] resolves invocations in place;
+//!   raw events are dropped at ingest.
+//! * **Indexes** — [`KeyTypes`] and [`ElemIndex`] are folded forward
+//!   per event.
+//! * **Datatype analysis** — per-key results ([`KeySink`]s) are cached.
+//!   A key is *dirty* in an epoch iff a new or changed transaction
+//!   touched it; only dirty keys are re-analyzed, with the gather pass
+//!   scoped to their posting lists (the **gather-delta** phase), through
+//!   exactly the same [`analyze_keys`] driver the batch checker uses
+//!   (the **finalize** phase).
+//! * **Graph** — the accumulated [`DepGraph`] is carried across epochs.
+//!   A dirty key's new edge multiset is diffed against its cached one:
+//!   pure growth (the overwhelmingly common case for traceable
+//!   workloads) appends just the delta; any retraction (new duplicate
+//!   poisoning a key, a register version order changing shape, a
+//!   counter's `rr` chain re-linking) falls back to rebuilding the
+//!   graph from the cached sinks — still never re-running per-key
+//!   analysis for clean keys. Canonical witness presentation
+//!   ([`DepGraph::present`]) makes the carried graph report exactly
+//!   like a batch-built one.
+//! * **Freeze** — the CSR snapshot is re-frozen incrementally
+//!   ([`elle_graph::DiGraph::refreeze`]), re-sorting only rows new
+//!   edges touched.
+//! * **Cycle search** — the same certificate-gated search as batch:
+//!   one Tarjan pass under the full mask; per-class passes only over
+//!   the cyclic region.
+//!
+//! Derived orders append incrementally too: process chains extend at
+//! the frontier, and the real-time interval-order reduction is computed
+//! per newly-committed transaction from the completion frontier —
+//! event indices are monotone, so earlier edges never change.
+//! Database-timestamp edges are appended likewise while commit
+//! timestamps arrive in order, and trigger a rebuild when they do not.
+
+use elle_core::counter;
+use elle_core::datatype::{
+    self, analyze_keys, duplicate_anomalies, AnalysisCtx, DatatypeAnalysis, KeySink, Parallelism,
+};
+use elle_core::{
+    assemble_report, find_cycle_anomalies_frozen, Anomaly, CheckOptions, CheckStats,
+    CycleSearchOptions, DataType, DepGraph, ElemIndex, KeyTypes, Report, StageTimings, Witness,
+};
+use elle_graph::{BitSet, Csr};
+use elle_history::{
+    Elem, Event, History, Ingest, Key, PairingError, ProcessId, StreamingPairer, TxnId, TxnStatus,
+};
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+type Edge = (TxnId, TxnId, Witness);
+
+/// Per-datatype cached analysis state.
+#[derive(Debug, Default)]
+struct DtCache {
+    /// Internal-consistency anomalies per transaction (only transactions
+    /// that produced any).
+    internal: BTreeMap<TxnId, Vec<Anomaly>>,
+    /// The latest per-key sink, keyed and iterated in sorted key order.
+    sinks: BTreeMap<Key, KeySink>,
+}
+
+/// Counter analysis cache (the counter pipeline is not trait-driven).
+#[derive(Debug, Default)]
+struct CounterCache {
+    internal: BTreeMap<TxnId, Vec<Anomaly>>,
+    sinks: BTreeMap<Key, (Vec<Anomaly>, Vec<Edge>)>,
+}
+
+/// Incremental coverage statistics (§3): which committed writes were
+/// ever observed. `observed` only grows (observation contributions are
+/// monotone in the read set), so counts update in O(delta).
+#[derive(Debug, Default)]
+struct Coverage {
+    observed: FxHashSet<(Key, Elem)>,
+    /// Multiplicity of element-carrying writes by may-have-committed
+    /// transactions, per `(key, elem)`.
+    pairs: FxHashMap<(Key, Elem), u32>,
+    committed_writes: usize,
+    observed_writes: usize,
+}
+
+impl Coverage {
+    fn add_write(&mut self, key: Key, e: Elem) {
+        self.committed_writes += 1;
+        *self.pairs.entry((key, e)).or_insert(0) += 1;
+        if self.observed.contains(&(key, e)) {
+            self.observed_writes += 1;
+        }
+    }
+
+    fn retract_write(&mut self, key: Key, e: Elem) {
+        self.committed_writes -= 1;
+        *self.pairs.get_mut(&(key, e)).expect("write was counted") -= 1;
+        if self.observed.contains(&(key, e)) {
+            self.observed_writes -= 1;
+        }
+    }
+
+    fn observe(&mut self, key: Key, e: Elem) {
+        if self.observed.insert((key, e)) {
+            self.observed_writes += *self.pairs.get(&(key, e)).unwrap_or(&0) as usize;
+        }
+    }
+}
+
+/// The frontier sizes a deployment watches: memory tracks these, not
+/// the epoch count.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FrontierStats {
+    /// Invocations awaiting completion.
+    pub open_txns: usize,
+    /// Keys with cached per-key analysis state.
+    pub cached_keys: usize,
+    /// Keys dirtied (re-analyzed) this epoch.
+    pub dirty_keys: usize,
+    /// Transactions the gather-delta phase walked this epoch.
+    pub scoped_txns: usize,
+}
+
+/// One sealed epoch's outcome.
+#[derive(Debug)]
+pub struct EpochReport {
+    /// Epoch ordinal (0-based).
+    pub epoch: usize,
+    /// Events ingested since the previous seal.
+    pub events: usize,
+    /// Transactions in the prefix (open ones included).
+    pub txns: usize,
+    /// The verdict — byte-identical to `Checker::check` on the prefix.
+    pub report: Report,
+    /// Whether this seal took the graph-rebuild fallback (a per-key
+    /// retraction, reassigned key datatype, or out-of-order commit
+    /// timestamps) instead of the delta-append fast path.
+    pub rebuilt: bool,
+    /// Frontier sizes at seal time.
+    pub frontier: FrontierStats,
+    /// Per-stage wall-clock breakdown of the seal.
+    pub timings: StageTimings,
+}
+
+/// The incremental checker. Feed events with
+/// [`StreamChecker::ingest_event`]; seal epochs with
+/// [`StreamChecker::seal_epoch`] whenever a watermark fires.
+#[derive(Debug)]
+pub struct StreamChecker {
+    opts: CheckOptions,
+    pairer: StreamingPairer,
+    kt: KeyTypes,
+    elems: ElemIndex,
+    /// Transactions touching each key, in id order, deduplicated —
+    /// the gather-delta scope for dirty keys.
+    postings: FxHashMap<Key, Vec<TxnId>>,
+    list: DtCache,
+    reg: DtCache,
+    set: DtCache,
+    counter: CounterCache,
+    /// Datatype each cached key was last analyzed under, to detect
+    /// (rare, conflict-driven) reassignment.
+    assigned: FxHashMap<Key, DataType>,
+    coverage: Coverage,
+
+    // ── Carried graph. ────────────────────────────────────────────────
+    deps: DepGraph,
+    prev_csr: Option<Csr>,
+    /// Rows whose out-edges changed since `prev_csr` was frozen.
+    dirty_rows: BitSet,
+
+    // ── Derived-order frontiers. ──────────────────────────────────────
+    proc_last: FxHashMap<ProcessId, TxnId>,
+    /// Committed transactions by completion index (arrival order keeps
+    /// this sorted).
+    rt_completes: Vec<(usize, TxnId)>,
+    /// Running max of invoke indices over `rt_completes` prefixes.
+    rt_prefix_max_invoke: Vec<usize>,
+    /// Stamped committed transactions sorted by commit timestamp.
+    ts_commits: Vec<(u64, TxnId)>,
+    ts_prefix_max_start: Vec<u64>,
+    /// Max commit/start timestamp seen; a new commit below this voids
+    /// the timestamp fast path for the epoch.
+    ts_max_seen: u64,
+
+    // ── Running statistics. ───────────────────────────────────────────
+    mops: usize,
+    n_committed: usize,
+    n_aborted: usize,
+
+    // ── Epoch delta. ──────────────────────────────────────────────────
+    delta_txns: Vec<TxnId>,
+    newly_committed: Vec<TxnId>,
+    events_this_epoch: usize,
+    needs_rebuild: bool,
+    key_types_changed: bool,
+    epoch: usize,
+}
+
+impl StreamChecker {
+    /// A stream checker judging against the given options.
+    pub fn new(opts: CheckOptions) -> StreamChecker {
+        StreamChecker {
+            opts,
+            pairer: StreamingPairer::new(),
+            kt: KeyTypes::new(),
+            elems: ElemIndex::new(),
+            postings: FxHashMap::default(),
+            list: DtCache::default(),
+            reg: DtCache::default(),
+            set: DtCache::default(),
+            counter: CounterCache::default(),
+            assigned: FxHashMap::default(),
+            coverage: Coverage::default(),
+            deps: DepGraph::with_txns(0),
+            prev_csr: None,
+            dirty_rows: BitSet::new(),
+            proc_last: FxHashMap::default(),
+            rt_completes: Vec::new(),
+            rt_prefix_max_invoke: Vec::new(),
+            ts_commits: Vec::new(),
+            ts_prefix_max_start: Vec::new(),
+            ts_max_seen: 0,
+            mops: 0,
+            n_committed: 0,
+            n_aborted: 0,
+            delta_txns: Vec::new(),
+            newly_committed: Vec::new(),
+            events_this_epoch: 0,
+            needs_rebuild: false,
+            key_types_changed: false,
+            epoch: 0,
+        }
+    }
+
+    /// The paired prefix ingested so far.
+    pub fn history(&self) -> &History {
+        self.pairer.history()
+    }
+
+    /// Transactions ingested so far (open invocations included).
+    pub fn txn_count(&self) -> usize {
+        self.pairer.history().len()
+    }
+
+    /// Epochs sealed so far.
+    pub fn epochs_sealed(&self) -> usize {
+        self.epoch
+    }
+
+    /// Ingest one event. The event is *not* retained: the pairer's open
+    /// table plus the paired history are the only pairing state.
+    pub fn ingest_event(&mut self, ev: &Event) -> Result<(), PairingError> {
+        match self.pairer.feed(ev)? {
+            Ingest::Invoked(id) => {
+                let t = self.pairer.history().get(id);
+                self.kt.note_txn(t);
+                self.elems.index_txn(t);
+                self.mops += t.mops.len();
+                for m in &t.mops {
+                    let posting = self.postings.entry(m.key()).or_default();
+                    if posting.last() != Some(&id) {
+                        posting.push(id);
+                    }
+                }
+                // Open transactions may have committed: their writes
+                // count until an abort proves otherwise (batch counts
+                // indeterminate writers the same way).
+                for (_, k, e) in t.elem_writes() {
+                    self.coverage.add_write(k, e);
+                }
+                self.delta_txns.push(id);
+            }
+            Ingest::Completed(id) => {
+                let t = self.pairer.history().get(id);
+                self.kt.note_txn(t);
+                self.elems.update_status(t);
+                self.delta_txns.push(id);
+                match t.status {
+                    TxnStatus::Committed => {
+                        self.n_committed += 1;
+                        self.newly_committed.push(id);
+                    }
+                    TxnStatus::Aborted => {
+                        self.n_aborted += 1;
+                        let writes: Vec<(Key, Elem)> =
+                            t.elem_writes().map(|(_, k, e)| (k, e)).collect();
+                        for (k, e) in writes {
+                            self.coverage.retract_write(k, e);
+                        }
+                    }
+                    TxnStatus::Indeterminate => {}
+                }
+            }
+        }
+        self.events_this_epoch += 1;
+        Ok(())
+    }
+
+    /// Ingest every event of a log in order.
+    pub fn ingest_log(&mut self, log: &elle_history::EventLog) -> Result<(), PairingError> {
+        for ev in log.events() {
+            self.ingest_event(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Seal the current epoch: run the incremental analysis over the
+    /// epoch's delta and report on the entire prefix ingested so far.
+    pub fn seal_epoch(&mut self) -> EpochReport {
+        let mut timings = StageTimings::default();
+        let mut clock = Instant::now();
+        let mut lap = |name: &str, clock: &mut Instant| {
+            timings
+                .stages
+                .push((name.to_string(), clock.elapsed().as_secs_f64()));
+            *clock = Instant::now();
+        };
+
+        // ── Delta sets. ───────────────────────────────────────────────
+        self.delta_txns.sort_unstable();
+        self.delta_txns.dedup();
+        let history = self.pairer.history();
+        let mut dirty: FxHashSet<Key> = FxHashSet::default();
+        for &id in &self.delta_txns {
+            for m in &history.get(id).mops {
+                dirty.insert(m.key());
+            }
+        }
+        // Datatype reassignment (conflicted keys): evict stale sinks and
+        // force the rebuild path — internal caches keyed on the old
+        // partition are stale too.
+        for &k in &dirty {
+            let now = self.kt.get(k);
+            match self.assigned.get(&k) {
+                Some(prev) if Some(*prev) != now => {
+                    self.key_types_changed = true;
+                    self.needs_rebuild = true;
+                    for cache in [&mut self.list, &mut self.reg, &mut self.set] {
+                        cache.sinks.remove(&k);
+                    }
+                    self.counter.sinks.remove(&k);
+                }
+                _ => {}
+            }
+            if let Some(ty) = now {
+                self.assigned.insert(k, ty);
+            }
+        }
+        lap("delta bookkeeping", &mut clock);
+
+        // ── Datatype refresh: internal passes over the delta txns,
+        //    per-key re-analysis of dirty keys with gather scoped to
+        //    their postings. ───────────────────────────────────────────
+        let history = self.pairer.history();
+        let full_internal = self.key_types_changed;
+        let mut scoped_txn_count = 0usize;
+        let mut dirty_count = 0usize;
+        let mut dt_delta_edges: Vec<Vec<Edge>> = Vec::with_capacity(4);
+        {
+            let list_keys = self.kt.keys_of(DataType::List);
+            let (r, edges) = refresh_dt::<elle_core::list_append::ListAppend>(
+                history,
+                &self.elems,
+                &list_keys,
+                (),
+                &dirty,
+                &self.postings,
+                &self.delta_txns,
+                full_internal,
+                &mut self.list,
+                &mut self.coverage,
+                &mut scoped_txn_count,
+                &mut dirty_count,
+            );
+            self.needs_rebuild |= r;
+            dt_delta_edges.push(edges);
+            let reg_keys = self.kt.keys_of(DataType::Register);
+            let (r, edges) = refresh_dt::<elle_core::rw_register::RwRegister>(
+                history,
+                &self.elems,
+                &reg_keys,
+                self.opts.registers,
+                &dirty,
+                &self.postings,
+                &self.delta_txns,
+                full_internal,
+                &mut self.reg,
+                &mut self.coverage,
+                &mut scoped_txn_count,
+                &mut dirty_count,
+            );
+            self.needs_rebuild |= r;
+            dt_delta_edges.push(edges);
+            let set_keys = self.kt.keys_of(DataType::Set);
+            let (r, edges) = refresh_dt::<elle_core::set_add::SetAdd>(
+                history,
+                &self.elems,
+                &set_keys,
+                (),
+                &dirty,
+                &self.postings,
+                &self.delta_txns,
+                full_internal,
+                &mut self.set,
+                &mut self.coverage,
+                &mut scoped_txn_count,
+                &mut dirty_count,
+            );
+            self.needs_rebuild |= r;
+            dt_delta_edges.push(edges);
+        }
+        // Counter refresh (not trait-driven, same shape).
+        {
+            let counter_keys: FxHashSet<Key> =
+                self.kt.keys_of(DataType::Counter).into_iter().collect();
+            let cache = &mut self.counter;
+            if full_internal {
+                cache.internal.clear();
+                for a in counter::internal_anomalies(history.txns().iter(), &counter_keys) {
+                    cache.internal.entry(a.txns[0]).or_default().push(a);
+                }
+            } else {
+                for &id in &self.delta_txns {
+                    cache.internal.remove(&id);
+                }
+                let delta_iter = self.delta_txns.iter().map(|id| history.get(*id));
+                for a in counter::internal_anomalies(delta_iter, &counter_keys) {
+                    cache.internal.entry(a.txns[0]).or_default().push(a);
+                }
+            }
+            let mut dirty_counter: Vec<Key> = dirty
+                .iter()
+                .copied()
+                .filter(|k| counter_keys.contains(k))
+                .collect();
+            dirty_counter.sort_unstable();
+            dirty_count += dirty_counter.len();
+            let scope = scope_of(&self.postings, &dirty_counter);
+            scoped_txn_count += scope.len();
+            let dirty_set: FxHashSet<Key> = dirty_counter.iter().copied().collect();
+            let data = counter::gather(scope.iter().map(|id| history.get(*id)), &dirty_set);
+            let mut delta_edges: Vec<Edge> = Vec::new();
+            let mut keys: Vec<Key> = data.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let (anomalies, edges) = counter::analyze_key(history, key, &data[&key]);
+                let old = cache.sinks.get(&key).map_or(&[][..], |(_, e)| e.as_slice());
+                match edge_delta(old, &edges) {
+                    Some(mut delta) => delta_edges.append(&mut delta),
+                    None => self.needs_rebuild = true,
+                }
+                cache.sinks.insert(key, (anomalies, edges));
+            }
+            dt_delta_edges.push(delta_edges);
+        }
+        if self.key_types_changed {
+            // A key changed datatype: its old contribution to the
+            // observed-pair set is stale (the new datatype may observe
+            // different pairs, or none). Rebuild coverage from the
+            // refreshed sinks — only on this rare, conflict-driven path.
+            self.coverage = Coverage::default();
+            for cache in [&self.list, &self.reg, &self.set] {
+                for (key, sink) in &cache.sinks {
+                    for &e in &sink.observed_elems {
+                        self.coverage.observed.insert((*key, e));
+                    }
+                }
+            }
+            for t in history.txns() {
+                if !t.status.may_have_committed() {
+                    continue;
+                }
+                for (_, k, e) in t.elem_writes() {
+                    self.coverage.add_write(k, e);
+                }
+            }
+        }
+        lap("datatype delta analysis", &mut clock);
+
+        // ── Derived orders for newly committed transactions. ──────────
+        let history = self.pairer.history();
+        let mut order_edges: Vec<Edge> = Vec::new();
+        for &id in &self.newly_committed {
+            let t = history.get(id);
+            if self.opts.process_edges {
+                if let Some(prev) = self.proc_last.insert(t.process, id) {
+                    order_edges.push((prev, id, Witness::Process { process: t.process }));
+                }
+            }
+            if self.opts.realtime_edges {
+                let complete = t.complete_index.expect("committed txns completed");
+                let k = self
+                    .rt_completes
+                    .partition_point(|(c, _)| *c < t.invoke_index);
+                if k > 0 {
+                    let s = self.rt_prefix_max_invoke[k - 1];
+                    let lo = self.rt_completes.partition_point(|(c, _)| *c < s);
+                    for &(c, a) in &self.rt_completes[lo..k] {
+                        order_edges.push((
+                            a,
+                            id,
+                            Witness::Realtime {
+                                complete: c,
+                                invoke: t.invoke_index,
+                            },
+                        ));
+                    }
+                }
+                let prev_max = self.rt_prefix_max_invoke.last().copied().unwrap_or(0);
+                self.rt_completes.push((complete, id));
+                self.rt_prefix_max_invoke.push(prev_max.max(t.invoke_index));
+            }
+            if self.opts.timestamp_edges {
+                if let Some((start, commit)) = t.timestamps {
+                    if commit < self.ts_max_seen {
+                        // Out-of-order logical clocks: earlier epochs'
+                        // timestamp edges may be stale — rebuild.
+                        self.needs_rebuild = true;
+                        let at = self.ts_commits.partition_point(|(c, _)| *c < commit);
+                        self.ts_commits.insert(at, (commit, id));
+                        recompute_prefix_max(
+                            history,
+                            &self.ts_commits,
+                            &mut self.ts_prefix_max_start,
+                        );
+                    } else {
+                        let k = self.ts_commits.partition_point(|(c, _)| *c < start);
+                        if k > 0 {
+                            let s = self.ts_prefix_max_start[k - 1];
+                            let lo = self.ts_commits.partition_point(|(c, _)| *c < s);
+                            for &(c, a) in &self.ts_commits[lo..k] {
+                                order_edges.push((a, id, Witness::Timestamp { commit: c, start }));
+                            }
+                        }
+                        let prev_max = self.ts_prefix_max_start.last().copied().unwrap_or(0);
+                        self.ts_commits.push((commit, id));
+                        self.ts_prefix_max_start.push(prev_max.max(start));
+                    }
+                    self.ts_max_seen = self.ts_max_seen.max(commit).max(start);
+                }
+            }
+        }
+        lap("derived orders", &mut clock);
+
+        // ── Apply to the carried graph (or rebuild it). ───────────────
+        let rebuilt = self.needs_rebuild;
+        let n = history.len();
+        if self.needs_rebuild {
+            let mut deps = DepGraph::with_txns(n);
+            for cache in [&self.list, &self.reg, &self.set] {
+                for sink in cache.sinks.values() {
+                    for (a, b, w) in &sink.edges {
+                        deps.add(*a, *b, w.clone());
+                    }
+                }
+            }
+            for (_, edges) in self.counter.sinks.values() {
+                for (a, b, w) in edges {
+                    deps.add(*a, *b, w.clone());
+                }
+            }
+            if self.opts.process_edges {
+                elle_core::add_process_edges(&mut deps, history);
+            }
+            if self.opts.realtime_edges {
+                elle_core::add_realtime_edges(&mut deps, history);
+            }
+            if self.opts.timestamp_edges {
+                elle_core::add_timestamp_edges(&mut deps, history);
+            }
+            self.deps = deps;
+            self.prev_csr = None;
+        } else {
+            self.dirty_rows.ensure(n.max(1));
+            for part in &dt_delta_edges {
+                for (a, b, w) in part {
+                    self.deps.add(*a, *b, w.clone());
+                    self.dirty_rows.insert(a.0);
+                }
+            }
+            for (a, b, w) in &order_edges {
+                self.deps.add(*a, *b, w.clone());
+                self.dirty_rows.insert(a.0);
+            }
+        }
+        self.deps.ensure_txns(n);
+        lap("graph delta", &mut clock);
+
+        // ── Freeze (incrementally when possible) and search. ──────────
+        let csr = match self.prev_csr.take() {
+            Some(prev) => self.deps.graph.refreeze(&prev, &self.dirty_rows),
+            None => self.deps.freeze(),
+        };
+        self.dirty_rows.clear();
+        lap("freeze", &mut clock);
+        let history = self.pairer.history();
+        let cycles = find_cycle_anomalies_frozen(
+            &self.deps,
+            &csr,
+            history,
+            CycleSearchOptions {
+                process_edges: self.opts.process_edges,
+                realtime_edges: self.opts.realtime_edges,
+                timestamp_edges: self.opts.timestamp_edges,
+                max_per_type: self.opts.max_cycles_per_type,
+                certificate: true,
+            },
+        );
+        self.prev_csr = Some(csr);
+        lap("cycle search", &mut clock);
+
+        // ── Assemble the report in batch order. ───────────────────────
+        use datatype::Vocab;
+        let mut anomalies: Vec<Anomaly> = Vec::new();
+        let parts: [(&DtCache, &Vocab, DataType); 3] = [
+            (
+                &self.list,
+                &<elle_core::list_append::ListAppend as DatatypeAnalysis>::VOCAB,
+                DataType::List,
+            ),
+            (
+                &self.reg,
+                &<elle_core::rw_register::RwRegister as DatatypeAnalysis>::VOCAB,
+                DataType::Register,
+            ),
+            (
+                &self.set,
+                &<elle_core::set_add::SetAdd as DatatypeAnalysis>::VOCAB,
+                DataType::Set,
+            ),
+        ];
+        for (cache, vocab, dt) in parts {
+            let key_set: FxHashSet<Key> = self.kt.keys_of(dt).into_iter().collect();
+            if key_set.is_empty() {
+                continue;
+            }
+            for list in cache.internal.values() {
+                anomalies.extend(list.iter().cloned());
+            }
+            let cx = AnalysisCtx {
+                history,
+                elems: &self.elems,
+                key_set,
+                config: (),
+                scope: None,
+            };
+            let (dups, _) = duplicate_anomalies(&cx, vocab);
+            anomalies.extend(dups);
+            for sink in cache.sinks.values() {
+                anomalies.extend(sink.anomalies.iter().cloned());
+            }
+        }
+        if !self.kt.keys_of(DataType::Counter).is_empty() {
+            for list in self.counter.internal.values() {
+                anomalies.extend(list.iter().cloned());
+            }
+            for (anoms, _) in self.counter.sinks.values() {
+                anomalies.extend(anoms.iter().cloned());
+            }
+        }
+        anomalies.extend(cycles);
+
+        let warnings: Vec<String> = self
+            .kt
+            .conflicts
+            .iter()
+            .map(|k| {
+                format!("key {k} is used as more than one datatype; its inferences are unreliable")
+            })
+            .collect();
+        let stats = CheckStats {
+            txns: n,
+            mops: self.mops,
+            committed: self.n_committed,
+            aborted: self.n_aborted,
+            indeterminate: n - self.n_committed - self.n_aborted,
+            edges: BTreeMap::new(), // filled by assemble_report
+            committed_writes: self.coverage.committed_writes,
+            observed_writes: self.coverage.observed_writes,
+        };
+        let report = assemble_report(self.opts.expected, anomalies, &self.deps, stats, warnings);
+        lap("report assembly", &mut clock);
+
+        let out = EpochReport {
+            epoch: self.epoch,
+            events: self.events_this_epoch,
+            txns: n,
+            report,
+            rebuilt,
+            frontier: FrontierStats {
+                open_txns: self.pairer.open_count(),
+                cached_keys: self.list.sinks.len()
+                    + self.reg.sinks.len()
+                    + self.set.sinks.len()
+                    + self.counter.sinks.len(),
+                dirty_keys: dirty_count,
+                scoped_txns: scoped_txn_count,
+            },
+            timings,
+        };
+        // ── Reclaim epoch-delta state: memory tracks the frontier. ────
+        self.delta_txns = Vec::new();
+        self.newly_committed = Vec::new();
+        self.events_this_epoch = 0;
+        self.needs_rebuild = false;
+        self.key_types_changed = false;
+        self.epoch += 1;
+        out
+    }
+}
+
+/// The union of the dirty keys' posting lists, sorted and deduplicated
+/// — the gather-delta transaction scope.
+fn scope_of(postings: &FxHashMap<Key, Vec<TxnId>>, dirty_sorted: &[Key]) -> Vec<TxnId> {
+    let mut scope: Vec<TxnId> = Vec::new();
+    for k in dirty_sorted {
+        if let Some(p) = postings.get(k) {
+            scope.extend_from_slice(p);
+        }
+    }
+    scope.sort_unstable();
+    scope.dedup();
+    scope
+}
+
+/// Multiset difference `new − old`, or `None` when `old ⊄ new` (a
+/// retraction, which voids the delta-append fast path).
+fn edge_delta(old: &[Edge], new: &[Edge]) -> Option<Vec<Edge>> {
+    // Common case: the old list is a prefix of the new one.
+    if new.len() >= old.len() && new[..old.len()] == *old {
+        return Some(new[old.len()..].to_vec());
+    }
+    let mut counts: FxHashMap<&Edge, i64> = FxHashMap::default();
+    for e in old {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    let mut delta: Vec<Edge> = Vec::new();
+    for e in new {
+        match counts.get_mut(e) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => delta.push(e.clone()),
+        }
+    }
+    if counts.values().any(|c| *c > 0) {
+        return None;
+    }
+    Some(delta)
+}
+
+/// Recompute the timestamp prefix-max array after a middle insertion.
+fn recompute_prefix_max(history: &History, commits: &[(u64, TxnId)], out: &mut Vec<u64>) {
+    out.clear();
+    let mut running = 0u64;
+    for &(_, id) in commits {
+        let (start, _) = history.get(id).timestamps.expect("stamped");
+        running = running.max(start);
+        out.push(running);
+    }
+}
+
+/// Refresh one trait-driven datatype: internal pass over the delta
+/// transactions, per-key re-analysis of the dirty keys. Returns
+/// `(retraction, delta edges)`.
+#[allow(clippy::too_many_arguments)]
+fn refresh_dt<D: DatatypeAnalysis>(
+    history: &History,
+    elems: &ElemIndex,
+    keys_full: &[Key],
+    config: D::Config,
+    dirty: &FxHashSet<Key>,
+    postings: &FxHashMap<Key, Vec<TxnId>>,
+    delta_txns: &[TxnId],
+    full_internal: bool,
+    cache: &mut DtCache,
+    coverage: &mut Coverage,
+    scoped_txn_count: &mut usize,
+    dirty_count: &mut usize,
+) -> (bool, Vec<Edge>) {
+    let key_set_full: FxHashSet<Key> = keys_full.iter().copied().collect();
+
+    // Internal pass, scoped to the delta (or everything after a key
+    // reassignment invalidated the partition).
+    let cx_internal = AnalysisCtx {
+        history,
+        elems,
+        key_set: key_set_full.clone(),
+        config,
+        scope: if full_internal {
+            None
+        } else {
+            Some(delta_txns)
+        },
+    };
+    if full_internal {
+        cache.internal.clear();
+    } else {
+        for id in delta_txns {
+            cache.internal.remove(id);
+        }
+    }
+    for a in datatype::internal_anomalies::<D>(&cx_internal) {
+        cache.internal.entry(a.txns[0]).or_default().push(a);
+    }
+
+    // Poison set over the full key partition (cheap: walks the sorted
+    // duplicate list).
+    let (_, poisoned) = duplicate_anomalies(&cx_internal, &D::VOCAB);
+
+    // Gather-delta + finalize over the dirty keys.
+    let mut dirty_sorted: Vec<Key> = dirty
+        .iter()
+        .copied()
+        .filter(|k| key_set_full.contains(k))
+        .collect();
+    dirty_sorted.sort_unstable();
+    *dirty_count += dirty_sorted.len();
+    let scope = scope_of(postings, &dirty_sorted);
+    *scoped_txn_count += scope.len();
+    let cx = AnalysisCtx {
+        history,
+        elems,
+        key_set: dirty_sorted.iter().copied().collect(),
+        config,
+        scope: Some(&scope),
+    };
+    let mut retraction = false;
+    let mut delta_edges: Vec<Edge> = Vec::new();
+    for (key, sink) in analyze_keys::<D>(&cx, &poisoned, Parallelism::Auto) {
+        for &e in &sink.observed_elems {
+            coverage.observe(key, e);
+        }
+        let old = cache.sinks.get(&key).map(|s| s.edges.as_slice());
+        match edge_delta(old.unwrap_or(&[]), &sink.edges) {
+            Some(mut delta) => delta_edges.append(&mut delta),
+            None => retraction = true,
+        }
+        cache.sinks.insert(key, sink);
+    }
+    (retraction, delta_edges)
+}

@@ -1,0 +1,88 @@
+//! Live mode: check a simulated workload while it runs.
+//!
+//! [`run_live`] wires `elle_gen`'s workload generator and
+//! `elle_dbsim`'s scheduler straight into a [`StreamChecker`]: every
+//! event is ingested the moment the simulated client records it, epochs
+//! seal by transaction-count watermark, and the caller observes each
+//! verdict as it lands — no complete history ever materializes outside
+//! the checker's own frontier.
+
+use crate::{EpochPolicy, EpochReport, StreamChecker};
+use elle_core::CheckOptions;
+use elle_dbsim::{DbConfig, SimDb};
+use elle_gen::{GenParams, Workload};
+use elle_history::EventKind;
+use std::time::Instant;
+
+/// Generate and run a workload against the simulator, checking it live.
+/// `on_epoch` fires at every seal (including the final, end-of-stream
+/// seal). Returns the final epoch's report.
+pub fn run_live(
+    params: GenParams,
+    db: DbConfig,
+    policy: EpochPolicy,
+    opts: CheckOptions,
+    mut on_epoch: impl FnMut(&EpochReport),
+) -> EpochReport {
+    let mut checker = StreamChecker::new(opts);
+    let mut workload = Workload::new(params);
+    let mut txns_since = 0usize;
+    let mut events_since = 0usize;
+    let mut since_seal = Instant::now();
+    SimDb::new(db).run_with(&mut workload, |ev| {
+        checker
+            .ingest_event(ev)
+            .expect("simulator emits well-formed event streams");
+        events_since += 1;
+        if ev.kind == EventKind::Invoke {
+            txns_since += 1;
+        }
+        if policy.should_seal(txns_since, events_since, since_seal) {
+            let report = checker.seal_epoch();
+            on_epoch(&report);
+            txns_since = 0;
+            events_since = 0;
+            since_seal = Instant::now();
+        }
+    });
+    let last = checker.seal_epoch();
+    on_epoch(&last);
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elle_dbsim::{IsolationLevel, ObjectKind};
+
+    #[test]
+    fn live_run_seals_multiple_epochs_and_matches_batch() {
+        let params = GenParams::contended(120, ObjectKind::ListAppend).with_seed(7);
+        let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+            .with_processes(4)
+            .with_seed(7);
+        let mut n = 0usize;
+        let last = run_live(
+            params,
+            db,
+            EpochPolicy::every_txns(25),
+            CheckOptions::strict_serializable(),
+            |_| n += 1,
+        );
+        assert!(n >= 4, "expected several epochs, got {n}");
+        assert_eq!(last.txns, 120);
+        // The final verdict equals a batch check of the same workload.
+        let h = elle_gen::run_workload(
+            GenParams::contended(120, ObjectKind::ListAppend).with_seed(7),
+            DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+                .with_processes(4)
+                .with_seed(7),
+        )
+        .unwrap();
+        let batch = elle_core::Checker::new(CheckOptions::strict_serializable()).check(&h);
+        assert_eq!(
+            serde_json::to_string(&last.report).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Streaming command-line checker: ingest an NDJSON event stream (file
+//! or stdin, optionally tailed as it grows), seal epochs on txn-count /
+//! event-count / wall-clock watermarks, and emit one verdict per epoch
+//! — each byte-identical to what `elle-check` would report on the
+//! prefix ingested so far.
+//!
+//! ```sh
+//! elle-gen … | elle-stream - --epoch-txns 1000 --json
+//! elle-stream events.ndjson --model snapshot-isolation --process --realtime
+//! elle-stream --gen 5000                # live simulated workload (demo)
+//! elle-stream events.ndjson --follow --epoch-ms 500
+//! ```
+//!
+//! Exit status: 0 when the final epoch satisfies the expected model,
+//! 1 when violated, 2 on usage or input errors.
+
+use elle::prelude::*;
+use elle::stream::{EpochPolicy, EpochReport, StreamChecker};
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn parse_model(s: &str) -> Option<ConsistencyModel> {
+    ConsistencyModel::ALL.into_iter().find(|m| m.name() == s)
+}
+
+fn usage_text() -> String {
+    format!(
+        "usage: elle-stream [<events.ndjson> | -] [options]\n\
+         \n\
+         Ingest an NDJSON event stream (one invoke/ok/fail/info event per line),\n\
+         sealing an epoch — and printing a full-prefix verdict — at each watermark.\n\
+         \n\
+         options:\n\
+         --epoch-txns <n>   seal every n transactions (default 1000)\n\
+         --epoch-events <n> seal every n events\n\
+         --epoch-ms <ms>    also seal when this much wall time has passed\n\
+         --follow           keep reading as the file grows (tail -f)\n\
+         --gen <n>          check a generated n-txn live workload instead of a file\n\
+         --model <name>     expected model (default strict-serializable):\n\
+         {}\n\
+         --process          derive session-order edges\n\
+         --realtime         derive real-time edges\n\
+         --timestamps       derive start-ordered (database timestamp) edges\n\
+         --linearizable-keys  assume per-key linearizability (registers)\n\
+         --sequential-keys    assume per-key sequential consistency\n\
+         --max-cycles <n>   cap reported cycles per anomaly type\n\
+         --json             one JSON object per epoch on stdout\n\
+         --timing           per-epoch stage breakdown on stderr",
+        ConsistencyModel::ALL
+            .map(|m| format!("                   {}", m.name()))
+            .join("\n")
+    )
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{}", usage_text());
+    ExitCode::from(2)
+}
+
+fn help() -> ExitCode {
+    println!("{}", usage_text());
+    ExitCode::SUCCESS
+}
+
+fn emit(epoch: &EpochReport, as_json: bool, timing: bool) {
+    if as_json {
+        // One self-contained JSON line per epoch; `report` is the full
+        // batch-identical report object.
+        println!(
+            "{{\"epoch\":{},\"txns\":{},\"events\":{},\"ok\":{},\"rebuilt\":{},\"open_txns\":{},\"report\":{}}}",
+            epoch.epoch,
+            epoch.txns,
+            epoch.events,
+            epoch.report.ok(),
+            epoch.rebuilt,
+            epoch.frontier.open_txns,
+            serde_json::to_string(&epoch.report).expect("report serializes"),
+        );
+    } else {
+        let r = &epoch.report;
+        println!(
+            "epoch {:>4}: {:>7} txns ({:>5} new events), {} anomalies, {} — {}",
+            epoch.epoch,
+            epoch.txns,
+            epoch.events,
+            r.anomalies.len(),
+            if r.ok() { "ok" } else { "VIOLATED" },
+            if epoch.rebuilt {
+                "rebuilt"
+            } else {
+                "incremental"
+            },
+        );
+        for (t, n) in &r.anomaly_counts {
+            println!("    {t}: {n}");
+        }
+    }
+    if timing {
+        eprintln!("epoch {} timing:", epoch.epoch);
+        eprint!("{}", epoch.timings.render());
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_reader(
+    reader: &mut dyn BufRead,
+    follow: bool,
+    policy: EpochPolicy,
+    opts: CheckOptions,
+    as_json: bool,
+    timing: bool,
+) -> Result<EpochReport, String> {
+    let mut checker = StreamChecker::new(opts);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    let mut txns_since = 0usize;
+    let mut events_since = 0usize;
+    let mut since_seal = Instant::now();
+    loop {
+        // `read_line` appends, so a partially-written line left over
+        // from the previous pass (follow mode) is completed in place.
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read error: {e}"))?;
+        if n == 0 {
+            if follow {
+                if policy.should_seal(txns_since, events_since, since_seal)
+                    && (txns_since > 0 || events_since > 0)
+                {
+                    emit(&checker.seal_epoch(), as_json, timing);
+                    txns_since = 0;
+                    events_since = 0;
+                    since_seal = Instant::now();
+                }
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+            break;
+        }
+        if follow && !line.ends_with('\n') {
+            // A producer is mid-write on this line; wait for the rest
+            // rather than mis-parsing a truncated event.
+            continue;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            let ev: elle::history::Event =
+                serde_json::from_str(trimmed).map_err(|e| format!("line {lineno}: {e}"))?;
+            let is_invoke = ev.kind == EventKind::Invoke;
+            checker
+                .ingest_event(&ev)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            events_since += 1;
+            if is_invoke {
+                txns_since += 1;
+            }
+            if policy.should_seal(txns_since, events_since, since_seal) {
+                emit(&checker.seal_epoch(), as_json, timing);
+                txns_since = 0;
+                events_since = 0;
+                since_seal = Instant::now();
+            }
+        }
+        line.clear();
+    }
+    // Final seal at end of stream.
+    let last = checker.seal_epoch();
+    emit(&last, as_json, timing);
+    Ok(last)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let mut path: Option<String> = None;
+    let mut opts = CheckOptions::strict_serializable()
+        .with_process_edges(false)
+        .with_realtime_edges(false);
+    let mut registers = RegisterOptions::default();
+    let mut as_json = false;
+    let mut timing = false;
+    let mut follow = false;
+    let mut gen_txns: Option<usize> = None;
+    let mut epoch_txns: Option<usize> = None;
+    let mut epoch_events: Option<usize> = None;
+    let mut epoch_ms: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => {
+                let Some(name) = it.next() else {
+                    return usage();
+                };
+                let Some(m) = parse_model(name) else {
+                    eprintln!("unknown model {name:?}");
+                    return usage();
+                };
+                opts.expected = m;
+            }
+            "--process" => opts = opts.with_process_edges(true),
+            "--realtime" => opts = opts.with_realtime_edges(true),
+            "--timestamps" => opts = opts.with_timestamp_edges(true),
+            "--linearizable-keys" => registers.linearizable_keys = true,
+            "--sequential-keys" => registers.sequential_keys = true,
+            "--max-cycles" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                opts = opts.with_max_cycles(n);
+            }
+            "--epoch-txns" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                epoch_txns = Some(n);
+            }
+            "--epoch-events" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                epoch_events = Some(n);
+            }
+            "--epoch-ms" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                epoch_ms = Some(n);
+            }
+            "--gen" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                gen_txns = Some(n);
+            }
+            "--follow" => follow = true,
+            "--json" => as_json = true,
+            "--timing" => timing = true,
+            "--help" | "-h" => return help(),
+            other if path.is_none() && (other == "-" || !other.starts_with('-')) => {
+                path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unrecognized argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    opts = opts.with_registers(registers);
+
+    // Watermarks compose with *or*; default to a 1000-txn epoch when
+    // none was given.
+    let mut policy = EpochPolicy {
+        txns: epoch_txns.map(|n| n.max(1)),
+        events: epoch_events.map(|n| n.max(1)),
+        wall: epoch_ms.map(Duration::from_millis),
+    };
+    if policy.txns.is_none() && policy.events.is_none() && policy.wall.is_none() {
+        policy = EpochPolicy::every_txns(1000);
+    }
+
+    if let Some(n) = gen_txns {
+        // Live mode: generate a workload against the simulator and
+        // check it as it runs.
+        let params = GenParams::paper_perf(n).with_seed(0xE11E);
+        let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+            .with_processes(8)
+            .with_seed(0xE11E);
+        let last = elle::stream::run_live(params, db, policy, opts, |epoch| {
+            emit(epoch, as_json, timing)
+        });
+        return if last.report.ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    let Some(path) = path else { return usage() };
+    let mut reader: Box<dyn BufRead> = if path == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        match std::fs::File::open(&path) {
+            Ok(f) => Box::new(BufReader::new(f)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    match run_reader(&mut *reader, follow, policy, opts, as_json, timing) {
+        Ok(last) => {
+            if last.report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -11,7 +11,8 @@
 //! * [`core`] — the checker itself,
 //! * [`dbsim`] — the MVCC database simulator used for evaluation,
 //! * [`gen`] — workload generators,
-//! * [`knossos`] — the baseline strict-serializability checker.
+//! * [`knossos`] — the baseline strict-serializability checker,
+//! * [`stream`] — the incremental epoch-based checker for live histories.
 //!
 //! ```
 //! use elle::prelude::*;
@@ -33,6 +34,7 @@ pub use elle_gen as gen;
 pub use elle_graph as graph;
 pub use elle_history as history;
 pub use elle_knossos as knossos;
+pub use elle_stream as stream;
 
 /// Commonly used items, for glob import.
 pub mod prelude {

@@ -1,0 +1,151 @@
+//! The `elle-stream` command-line interface, end to end — including the
+//! gen → NDJSON → `elle-stream` vs `elle-check` differential on the
+//! checked-in fixture.
+
+use elle::prelude::*;
+use std::process::Command;
+
+fn stream_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elle-stream"))
+}
+
+fn check_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elle-check"))
+}
+
+/// The paper's §7.1 TiDB trio fixture (`history_to_json` wire data).
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/tidb_g_single.json"
+);
+
+/// The `report` field of the last epoch line of `--json` output.
+/// `elle-stream` always emits `"report":{…}` as the final field of the
+/// epoch object, so the report is the slice from the marker to the
+/// object's closing brace.
+fn last_epoch_report(stdout: &str) -> Report {
+    let line = stdout.lines().last().expect("at least one epoch line");
+    let marker = "\"report\":";
+    let at = line.find(marker).expect("epoch line carries a report");
+    let json = &line[at + marker.len()..line.len() - 1];
+    serde_json::from_str(json).expect("report field parses")
+}
+
+#[test]
+fn help_smoke() {
+    let out = stream_bin().arg("--help").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--epoch-txns", "--follow", "--json", "--gen", "--model"] {
+        assert!(stdout.contains(flag), "missing {flag} in usage:\n{stdout}");
+    }
+    // A usage error reports on stderr with exit 2.
+    let out = stream_bin().arg("--nope").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: elle-stream"));
+}
+
+#[test]
+fn fixture_stream_diffs_clean_against_elle_check() {
+    // gen → elle-stream → diff vs elle-check: export the fixture as
+    // NDJSON, stream it with a tiny epoch size, and require the final
+    // epoch's report to be byte-identical to the batch CLI's.
+    let raw = std::fs::read_to_string(FIXTURE).expect("fixture readable");
+    let h = elle::history::history_from_json(&raw).expect("fixture parses");
+    let nd_path = std::env::temp_dir().join("elle_stream_cli_fixture.ndjson");
+    std::fs::write(&nd_path, elle::history::history_to_ndjson(&h)).unwrap();
+
+    let stream_out = stream_bin()
+        .args([
+            nd_path.to_str().unwrap(),
+            "--model",
+            "snapshot-isolation",
+            "--epoch-txns",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(stream_out.status.code(), Some(1), "{stream_out:?}");
+    let stream_report = last_epoch_report(&String::from_utf8_lossy(&stream_out.stdout));
+
+    let check_out = check_bin()
+        .args([FIXTURE, "--model", "snapshot-isolation", "--json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(check_out.status.code(), Some(1), "{check_out:?}");
+    let check_report: Report =
+        serde_json::from_str(&String::from_utf8_lossy(&check_out.stdout)).unwrap();
+
+    assert_eq!(
+        serde_json::to_string(&stream_report).unwrap(),
+        serde_json::to_string(&check_report).unwrap(),
+        "stream and batch CLI reports differ on the fixture"
+    );
+    let _ = std::fs::remove_file(&nd_path);
+}
+
+#[test]
+fn generated_workload_streams_from_stdin() {
+    use std::io::Write as _;
+    let params = GenParams::contended(80, ObjectKind::ListAppend).with_seed(5);
+    let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+        .with_processes(4)
+        .with_seed(5);
+    let log = elle::gen::run_workload_log(params, db);
+    let nd = elle::history::events_to_ndjson(&log);
+
+    let mut child = stream_bin()
+        .args(["-", "--epoch-txns", "20", "--process", "--realtime"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(nd.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let epochs = stdout.lines().filter(|l| l.starts_with("epoch")).count();
+    assert!(epochs >= 4, "expected several epoch lines:\n{stdout}");
+    assert!(stdout.contains("ok"), "{stdout}");
+}
+
+#[test]
+fn live_gen_mode_smokes() {
+    let out = stream_bin()
+        .args([
+            "--gen",
+            "300",
+            "--epoch-txns",
+            "100",
+            "--process",
+            "--realtime",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.lines().count() >= 3, "{stdout}");
+    let report = last_epoch_report(&stdout);
+    assert!(report.ok());
+    assert_eq!(report.stats.txns, 300);
+}
+
+#[test]
+fn malformed_line_reports_position_and_exit_2() {
+    let nd_path = std::env::temp_dir().join("elle_stream_cli_bad.ndjson");
+    std::fs::write(&nd_path, "{\"oops\"\n").unwrap();
+    let out = stream_bin()
+        .arg(nd_path.to_str().unwrap())
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    let _ = std::fs::remove_file(&nd_path);
+}

@@ -193,6 +193,8 @@ impl_tuple_strategy! {
     (A, B, C, D, E, F)
     (A, B, C, D, E, F, G)
     (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
 }
 
 // ── any / Arbitrary ─────────────────────────────────────────────────────
