@@ -27,7 +27,7 @@ fn bench_length(c: &mut Criterion) {
     let sizes: &[usize] = if quick() {
         &[1_000, 4_000]
     } else {
-        &[1_000, 4_000, 10_000, 16_000, 64_000]
+        &[1_000, 4_000, 10_000, 16_000, 64_000, 256_000]
     };
     for &n in sizes {
         let h = history(n, 20, IsolationLevel::Serializable);

@@ -118,6 +118,56 @@ fn bench_cycle_search(c: &mut Criterion) {
     grp.finish();
 }
 
+/// Edge construction: the legacy hash-indexed `DiGraph` build + freeze
+/// versus the sort-based `EdgeBuf` bulk build — the hot path this
+/// substrate exists for (dependency-graph assembly from flat edge
+/// emissions).
+fn bench_edge_construction(c: &mut Criterion) {
+    use elle_graph::EdgeBuf;
+    let mut grp = c.benchmark_group("edge_construction");
+    for n in [10_000u32, 100_000] {
+        let epv = 5u32;
+        // Pre-generate the raw edge tuples once so both legs measure
+        // construction only.
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let tuples: Vec<(u32, u32, EdgeClass)> = (0..n)
+            .flat_map(|v| {
+                let mut out = Vec::with_capacity(epv as usize);
+                for _ in 0..epv {
+                    let w = rng.gen_range(0..n);
+                    let class = match rng.gen_range(0..3) {
+                        0 => EdgeClass::Ww,
+                        1 => EdgeClass::Wr,
+                        _ => EdgeClass::Rw,
+                    };
+                    out.push((v, w, class));
+                }
+                out
+            })
+            .collect();
+        grp.throughput(Throughput::Elements(tuples.len() as u64));
+        grp.bench_with_input(BenchmarkId::new("hash_digraph", n), &tuples, |b, tuples| {
+            b.iter(|| {
+                let mut g = DiGraph::with_vertices(n as usize);
+                for &(s, d, c) in tuples {
+                    g.add_edge(s, d, c);
+                }
+                g.freeze()
+            })
+        });
+        grp.bench_with_input(BenchmarkId::new("sort_edgebuf", n), &tuples, |b, tuples| {
+            b.iter(|| {
+                let mut buf = EdgeBuf::with_capacity(tuples.len());
+                for &(s, d, c) in tuples {
+                    buf.push(s, d, EdgeMask::of(c));
+                }
+                buf.build(n as usize)
+            })
+        });
+    }
+    grp.finish();
+}
+
 fn bench_interval_reduction(c: &mut Criterion) {
     let mut grp = c.benchmark_group("interval_order_reduction");
     for n in [10_000usize, 100_000] {
@@ -143,6 +193,7 @@ criterion_group!(
     bench_freeze,
     bench_edge_mask,
     bench_cycle_search,
+    bench_edge_construction,
     bench_interval_reduction
 );
 criterion_main!(benches);

@@ -112,6 +112,7 @@ fn main() {
     // Reduced edges (what the checker materializes):
     let mut reduced = DepGraph::with_txns(h.len());
     elle_core::add_realtime_edges(&mut reduced, &h);
+    reduced.build();
     // Full order for comparison:
     let mut full = 0usize;
     for a in &committed {
@@ -127,7 +128,7 @@ fn main() {
         "  committed txns: {}, full realtime order: {} edges, reduction: {} edges",
         committed.len(),
         full,
-        reduced.graph.edge_count()
+        reduced.edge_count()
     );
     println!("  (the reduction preserves all cycles at a fraction of the edges)");
 }

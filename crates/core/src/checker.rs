@@ -16,6 +16,7 @@ use crate::set_add;
 use elle_history::History;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Checker configuration.
@@ -146,8 +147,11 @@ pub struct CheckStats {
 /// The result of checking a history.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
-    /// Everything found, ordered by type then size.
-    pub anomalies: Vec<Anomaly>,
+    /// Everything found, ordered by type then size. Interned behind
+    /// [`Arc`] so the streaming checker's per-epoch report assembly
+    /// clones pointers, not explanation strings; serializes exactly
+    /// like a plain `Vec<Anomaly>`.
+    pub anomalies: Vec<Arc<Anomaly>>,
     /// Count per anomaly type.
     pub anomaly_counts: BTreeMap<AnomalyType, usize>,
     /// Models ruled out by the anomalies.
@@ -170,7 +174,10 @@ impl Report {
 
     /// Anomalies of a given type.
     pub fn of_type(&self, t: AnomalyType) -> impl Iterator<Item = &Anomaly> + '_ {
-        self.anomalies.iter().filter(move |a| a.typ == t)
+        self.anomalies
+            .iter()
+            .map(|a| a.as_ref())
+            .filter(move |a| a.typ == t)
     }
 
     /// The distinct anomaly types found.
@@ -229,6 +236,10 @@ impl Report {
 pub struct StageTimings {
     /// `(stage name, seconds)` in execution order.
     pub stages: Vec<(String, f64)>,
+    /// Peak length the flat edge buffer reached before its sort-based
+    /// build (0 when no edges were buffered) — the observability hook
+    /// for the hash-free EdgeBuf → CSR pipeline.
+    pub edge_buf_peak: usize,
 }
 
 impl StageTimings {
@@ -258,6 +269,13 @@ impl StageTimings {
             let _ = writeln!(s, "  {name:<width$}  {:>9.3} ms", secs * 1e3);
         }
         let _ = writeln!(s, "  {:<width$}  {:>9.3} ms", "total", self.total() * 1e3);
+        if self.edge_buf_peak > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<width$}  {:>9} edges",
+                "edge buf peak", self.edge_buf_peak
+            );
+        }
         s
     }
 }
@@ -303,14 +321,14 @@ impl Checker {
     ) -> Report {
         let opts = self.opts;
         let mut clock = Instant::now();
-        let mut lap = |name: &str, clock: &mut Instant| {
+        fn lap(timings: &mut Option<&mut StageTimings>, name: &str, clock: &mut Instant) {
             if let Some(t) = timings.as_deref_mut() {
                 *clock = t.record(name, *clock);
             }
-        };
+        }
         let kt = KeyTypes::infer(history);
         let elems = ElemIndex::build(history);
-        lap("key typing + element index", &mut clock);
+        lap(&mut timings, "key typing + element index", &mut clock);
 
         let mut warnings = Vec::new();
         for k in &kt.conflicts {
@@ -324,10 +342,12 @@ impl Checker {
             rustc_hash::FxHashSet::with_capacity_and_hasher(elems.len(), Default::default());
         let mut deps = DepGraph::with_txns(history.len());
         // The first datatype's graph is adopted wholesale; later ones
-        // merge into it (cheap: keys partition edges across datatypes).
+        // merge into it via a sorted spine merge (cheap: keys partition
+        // edges across datatypes).
         let absorb = |deps: &mut DepGraph, other: DepGraph| {
-            if deps.graph.edge_count() == 0 {
-                *deps = other;
+            if deps.edge_count() == 0 {
+                let floor = std::mem::replace(deps, other);
+                deps.ensure_txns(floor.txns_floor());
             } else {
                 deps.merge(other);
             }
@@ -390,7 +410,7 @@ impl Checker {
             anomalies.extend(a.anomalies);
             absorb(&mut deps, a.deps);
         }
-        lap("datatype inference", &mut clock);
+        lap(&mut timings, "datatype inference", &mut clock);
 
         if opts.process_edges {
             orders::add_process_edges(&mut deps, history);
@@ -401,12 +421,20 @@ impl Checker {
         if opts.timestamp_edges {
             orders::add_timestamp_edges(&mut deps, history);
         }
-        lap("derived orders", &mut clock);
+        lap(&mut timings, "derived orders", &mut clock);
+
+        // Seal the flat edge buffer: one sort-based dedup merge instead
+        // of a hash probe per edge.
+        deps.build();
+        if let Some(t) = timings.as_deref_mut() {
+            t.edge_buf_peak = deps.edge_buf_peak();
+        }
+        lap(&mut timings, "edge build", &mut clock);
 
         // Freeze the assembled IDSG once; every per-class search walks
         // the same immutable CSR snapshot.
         let frozen = deps.freeze();
-        lap("freeze", &mut clock);
+        lap(&mut timings, "freeze", &mut clock);
         let cycles = find_cycle_anomalies_frozen(
             &deps,
             &frozen,
@@ -419,7 +447,7 @@ impl Checker {
                 certificate: true,
             },
         );
-        lap("cycle search", &mut clock);
+        lap(&mut timings, "cycle search", &mut clock);
         anomalies.extend(cycles);
 
         // Observation coverage (§3): which committed writes were ever
@@ -463,8 +491,14 @@ impl Checker {
             observed_writes,
         };
 
-        let report = assemble_report(opts.expected, anomalies, &deps, stats, warnings);
-        lap("report assembly", &mut clock);
+        let report = assemble_report(
+            opts.expected,
+            anomalies.into_iter().map(Arc::new).collect(),
+            &deps,
+            stats,
+            warnings,
+        );
+        lap(&mut timings, "report assembly", &mut clock);
         report
     }
 }
@@ -481,7 +515,7 @@ impl Checker {
 #[doc(hidden)]
 pub fn assemble_report(
     expected: ConsistencyModel,
-    mut anomalies: Vec<Anomaly>,
+    mut anomalies: Vec<Arc<Anomaly>>,
     deps: &DepGraph,
     stats: CheckStats,
     warnings: Vec<String>,

@@ -150,6 +150,7 @@ pub fn analyze(history: &History, counter_keys: &[Key]) -> CounterAnalysis {
             out.deps.add(a, b, w);
         }
     }
+    out.deps.build();
     out
 }
 
@@ -226,8 +227,8 @@ mod tests {
         let t2 = b.txn(2).read_counter(1, 1).commit();
         let t3 = b.txn(3).read_counter(1, 2).commit();
         let a = run(&b.build());
-        assert!(a.deps.graph.edge_mask(t2.0, t3.0).contains(EdgeClass::Rr));
-        assert!(!a.deps.graph.edge_mask(t3.0, t2.0).contains(EdgeClass::Rr));
+        assert!(a.deps.edge_mask(t2.0, t3.0).contains(EdgeClass::Rr));
+        assert!(!a.deps.edge_mask(t3.0, t2.0).contains(EdgeClass::Rr));
     }
 
     #[test]
@@ -264,7 +265,7 @@ mod tests {
         b.txn(2).read_counter(1, 99).commit();
         let a = run(&b.build());
         assert!(a.anomalies.is_empty());
-        assert_eq!(a.deps.graph.edge_count(), 0);
+        assert_eq!(a.deps.edge_count(), 0);
     }
 
     #[test]

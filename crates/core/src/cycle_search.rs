@@ -187,11 +187,11 @@ fn run_parallel(mode: Parallelism, items: usize) -> bool {
     }
 }
 
-/// Find and classify all cycle anomalies. Freezes the IDSG internally;
-/// callers that already hold a [`Csr`] snapshot should use
-/// [`find_cycle_anomalies_frozen`].
+/// Find and classify all cycle anomalies. Seals and freezes the IDSG
+/// internally (hence `&mut`); callers that already hold a built graph
+/// and its [`Csr`] snapshot should use [`find_cycle_anomalies_frozen`].
 pub fn find_cycle_anomalies(
-    deps: &DepGraph,
+    deps: &mut DepGraph,
     history: &History,
     opts: CycleSearchOptions,
 ) -> Vec<Anomaly> {
@@ -503,7 +503,7 @@ mod tests {
         let mut d = DepGraph::with_txns(2);
         d.add(TxnId(0), TxnId(1), ww(1, 1, 2));
         d.add(TxnId(1), TxnId(0), ww(1, 2, 1));
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::G0);
         assert_eq!(found[0].steps.len(), 2);
@@ -523,7 +523,7 @@ mod tests {
                 elem: Elem(2),
             },
         );
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::G1c);
     }
@@ -542,7 +542,7 @@ mod tests {
                 next: Elem(2),
             },
         );
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::GSingle);
     }
@@ -569,7 +569,7 @@ mod tests {
                 next: Elem(1),
             },
         );
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::G2Item);
     }
@@ -591,7 +591,7 @@ mod tests {
             },
         );
         d.add(TxnId(1), TxnId(0), ww(1, 2, 1));
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found[0].typ, AnomalyType::G0);
     }
 
@@ -616,7 +616,7 @@ mod tests {
                 invoke: 1,
             },
         );
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::GSingleRealtime);
     }
@@ -641,7 +641,7 @@ mod tests {
                 process: ProcessId(0),
             },
         );
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::GSingleProcess);
     }
@@ -671,7 +671,7 @@ mod tests {
             realtime_edges: false,
             ..Default::default()
         };
-        assert!(find_cycle_anomalies(&d, &h, opts).is_empty());
+        assert!(find_cycle_anomalies(&mut d, &h, opts).is_empty());
     }
 
     #[test]
@@ -688,7 +688,7 @@ mod tests {
             max_per_type: 2,
             ..Default::default()
         };
-        let found = find_cycle_anomalies(&d, &h, opts);
+        let found = find_cycle_anomalies(&mut d, &h, opts);
         assert_eq!(found.len(), 2);
     }
 
@@ -706,7 +706,7 @@ mod tests {
             },
         );
         d.add(TxnId(1), TxnId(0), Witness::Rr { key: Key(1) });
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::G1c);
     }
@@ -741,7 +741,7 @@ mod tests {
                 invoke: 2,
             },
         );
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::GSingleRealtime);
     }
@@ -761,7 +761,7 @@ mod tests {
                 },
             );
         }
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].typ, AnomalyType::G2Item);
         assert_eq!(found[0].steps.len(), 3);
@@ -783,7 +783,7 @@ mod tests {
             },
         );
         d.add(TxnId(3), TxnId(2), ww(2, 1, 2));
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         let mut types: Vec<AnomalyType> = found.iter().map(|a| a.typ).collect();
         types.sort_unstable();
         assert_eq!(types, vec![AnomalyType::G0, AnomalyType::GSingle]);
@@ -795,7 +795,7 @@ mod tests {
         let mut d = DepGraph::with_txns(2);
         d.add(TxnId(0), TxnId(1), ww(7, 1, 2));
         d.add(TxnId(1), TxnId(0), ww(7, 2, 1));
-        let found = find_cycle_anomalies(&d, &h, CycleSearchOptions::default());
+        let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found[0].key, Some(Key(7)));
     }
 

@@ -268,6 +268,9 @@ pub fn run_mode<D: DatatypeAnalysis>(
         out.observed
             .extend(sink.observed_elems.into_iter().map(|e| (key, e)));
     }
+    // One sort-based build seals every per-key buffer into the sorted
+    // spine — the datatype's whole edge set pays zero hash probes.
+    out.deps.build();
     out
 }
 
@@ -729,9 +732,9 @@ mod tests {
         );
         assert_eq!(seq.anomalies, par.anomalies);
         assert_eq!(seq.version_orders, par.version_orders);
-        assert_eq!(seq.deps.graph.edge_count(), par.deps.graph.edge_count());
-        for (a, b, m) in seq.deps.graph.edges() {
-            assert_eq!(par.deps.graph.edge_mask(a, b), m);
+        assert_eq!(seq.deps.edge_count(), par.deps.edge_count());
+        for (a, b, m) in seq.deps.edges() {
+            assert_eq!(par.deps.edge_mask(a, b), m);
         }
     }
 }

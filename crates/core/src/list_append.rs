@@ -187,8 +187,7 @@ struct ListVersion {
 /// duplicated element and the garbage elements in first-occurrence
 /// order. Prefix versions derive both from the single spine scan.
 fn scan_value_facts(
-    cx: &AnalysisCtx<'_, ()>,
-    key: Key,
+    kw: &crate::observation::KeyWriters<'_>,
     value: &[Elem],
 ) -> (Option<Elem>, Vec<Elem>) {
     let mut seen: FxHashSet<Elem> = FxHashSet::default();
@@ -199,7 +198,7 @@ fn scan_value_facts(
             if first_dup.is_none() {
                 first_dup = Some(*e);
             }
-        } else if cx.elems.writer(key, *e).is_none() {
+        } else if kw.writer(*e).is_none() {
             garbage.push(*e);
         }
     }
@@ -211,7 +210,7 @@ fn scan_value_facts(
 /// whose key is clean (no duplicates, no garbage), so every element has
 /// a unique writer.
 fn scan_value_events(
-    cx: &AnalysisCtx<'_, ()>,
+    kw: &crate::observation::KeyWriters<'_>,
     aux: &FxHashMap<(TxnId, Key), AppendSeq>,
     key: Key,
     value: &[Elem],
@@ -219,7 +218,7 @@ fn scan_value_events(
     let mut events = Vec::new();
     let mut saw_aborted: Option<(Elem, TxnId)> = None;
     for (j, e) in value.iter().enumerate() {
-        let w = cx.elems.writer(key, *e).expect("no garbage in clean key");
+        let w = kw.writer(*e).expect("no garbage in clean key");
         push_element_events(
             &mut events,
             &mut saw_aborted,
@@ -435,11 +434,14 @@ impl DatatypeAnalysis for ListAppend {
         let longest = &occs[longest_idx];
         let longest_v = longest.value;
 
-        // ── Spine scan: every element of x_f is resolved to its writer,
-        //    checked for duplication, and checked for garbage exactly
-        //    once. All prefix versions reuse these tables.
+        // ── Spine scan: every element of x_f is resolved to its writer
+        //    inside the key's own posting slab (one key → slab probe for
+        //    the whole scan), checked for duplication, and checked for
+        //    garbage exactly once. All prefix versions reuse these
+        //    tables.
+        let kw = cx.elems.key_writers(key);
         let spine_writers: Vec<Option<WriteRef>> =
-            longest_v.iter().map(|e| cx.elems.writer(key, *e)).collect();
+            longest_v.iter().map(|e| kw.writer(*e)).collect();
         let mut spine_seen: FxHashSet<Elem> = FxHashSet::default();
         let mut spine_first_dup: Option<(usize, Elem)> = None;
         let mut spine_garbage: Vec<(usize, Elem)> = Vec::new();
@@ -472,7 +474,7 @@ impl DatatypeAnalysis for ListAppend {
                         .collect(),
                 )
             } else {
-                scan_value_facts(cx, key, v)
+                scan_value_facts(&kw, v)
             };
             poisoned |= first_dup.is_some() || !garbage.is_empty();
             let meta = table.meta_mut(vid);
@@ -574,7 +576,7 @@ impl DatatypeAnalysis for ListAppend {
                         evs
                     }
                 } else {
-                    scan_value_events(cx, appends_of, key, table.value(vid))
+                    scan_value_events(&kw, appends_of, key, table.value(vid))
                 };
                 table.meta_mut(vid).events = events;
             }
@@ -814,34 +816,24 @@ mod tests {
         // ww: t0 -> t1 (1 before 2)
         assert!(a
             .deps
-            .graph
             .edge_mask(t0.0, t1.0)
             .contains(elle_graph::EdgeClass::Ww));
         // wr: t0 -> t2 (t2 read version [1]); t1 -> t3.
         assert!(a
             .deps
-            .graph
             .edge_mask(t0.0, t2.0)
             .contains(elle_graph::EdgeClass::Wr));
         assert!(a
             .deps
-            .graph
             .edge_mask(t1.0, t3.0)
             .contains(elle_graph::EdgeClass::Wr));
         // rw: t2 -> t1 (t2 missed 2).
         assert!(a
             .deps
-            .graph
             .edge_mask(t2.0, t1.0)
             .contains(elle_graph::EdgeClass::Rw));
         // No rw out of t3 (read the longest version).
-        assert_eq!(
-            a.deps
-                .graph
-                .out_neighbors_masked(t3.0, EdgeMask::RW)
-                .count(),
-            0
-        );
+        assert_eq!(a.deps.out_neighbors_masked(t3.0, EdgeMask::RW).count(), 0);
     }
 
     #[test]
@@ -853,7 +845,6 @@ mod tests {
         let a = run(&b.build());
         assert!(a
             .deps
-            .graph
             .edge_mask(t0.0, t1.0)
             .contains(elle_graph::EdgeClass::Rw));
     }
@@ -997,7 +988,7 @@ mod tests {
         let mut b = HistoryBuilder::new();
         let t0 = b.txn(0).append(1, 1).read_list(1, [1]).commit();
         let a = run(&b.build());
-        assert_eq!(a.deps.graph.out_edges(t0.0).len(), 0);
+        assert_eq!(a.deps.out_edges(t0.0).count(), 0);
         assert!(a.anomalies.is_empty(), "{:?}", a.anomalies);
     }
 
@@ -1010,7 +1001,6 @@ mod tests {
         let a = run(&b.build());
         assert!(a
             .deps
-            .graph
             .edge_mask(t0.0, t1.0)
             .contains(elle_graph::EdgeClass::Wr));
     }
@@ -1044,7 +1034,6 @@ mod tests {
         // The info txn's append was observed: wr edge exists, no G1a.
         assert!(a
             .deps
-            .graph
             .edge_mask(t0.0, t1.0)
             .contains(elle_graph::EdgeClass::Wr));
         assert!(a.anomalies.is_empty());
@@ -1066,7 +1055,7 @@ mod tests {
         let t2 = b.txn(1).append(34, 5).commit();
         let t3 = b.txn(2).read_list(34, [2, 1, 5, 4]).commit();
         let a = run(&b.build());
-        let g = &a.deps.graph;
+        let g = &a.deps;
         // T2 rw-depends on T1 (T1 did not observe 5).
         assert!(g.edge_mask(t1.0, t2.0).contains(elle_graph::EdgeClass::Rw));
         // T1 ww-depends on T2 (4 follows 5).

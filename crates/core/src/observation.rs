@@ -138,11 +138,77 @@ impl KeyTypes {
 /// observed write could have produced it. Duplicate `(key, element)` writes
 /// destroy recoverability for that key; they are recorded and the affected
 /// keys excluded from dependency inference.
+///
+/// **Key-partitioned**: instead of one global `(Key, Elem)` hash map
+/// (whose probes go cold once the map outgrows L2), writers live in
+/// per-key slabs — sorted `(Elem, WriteRef)` arrays reached through a
+/// small key → slab map. The per-key spine scans of the datatype
+/// drivers then resolve each element inside the key's own contiguous
+/// postings, which stay L1/L2-resident for the duration of the scan.
+/// Batch builds bulk-load each slab and sort it once; streaming ingest
+/// appends to a bounded unsorted tail that is merged into the sorted
+/// run when it fills.
 #[derive(Debug, Default)]
 pub struct ElemIndex {
-    writers: FxHashMap<(Key, Elem), WriteRef>,
+    /// key → index into `slabs`.
+    keys: FxHashMap<Key, u32>,
+    slabs: Vec<KeySlab>,
     /// `(key, elem)` pairs written more than once, with all writers.
     pub duplicates: Vec<(Key, Elem, Vec<TxnId>)>,
+    /// Distinct `(key, elem)` entries across all slabs.
+    len: usize,
+}
+
+/// One key's element → writer postings: a sorted run plus a small
+/// unsorted tail (streaming inserts land there; lookups scan it
+/// linearly, and it merges into the run at [`TAIL_MAX`]).
+#[derive(Debug, Default)]
+struct KeySlab {
+    sorted: Vec<(Elem, WriteRef)>,
+    tail: Vec<(Elem, WriteRef)>,
+}
+
+/// Tail length at which a slab merges its unsorted tail into the
+/// sorted run (amortizes streaming inserts without per-insert shifts).
+const TAIL_MAX: usize = 64;
+
+impl KeySlab {
+    fn find_mut(&mut self, elem: Elem) -> Option<&mut (Elem, WriteRef)> {
+        if let Ok(at) = self.sorted.binary_search_by_key(&elem, |&(e, _)| e) {
+            return Some(&mut self.sorted[at]);
+        }
+        self.tail.iter_mut().find(|(e, _)| *e == elem)
+    }
+
+    fn find(&self, elem: Elem) -> Option<&WriteRef> {
+        if let Ok(at) = self.sorted.binary_search_by_key(&elem, |&(e, _)| e) {
+            return Some(&self.sorted[at].1);
+        }
+        self.tail.iter().find(|(e, _)| *e == elem).map(|(_, w)| w)
+    }
+
+    /// Merge the (duplicate-free, disjoint) tail into the sorted run.
+    fn merge_tail(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.tail.sort_unstable_by_key(|&(e, _)| e);
+        let mut merged = Vec::with_capacity(self.sorted.len() + self.tail.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.sorted.len() && j < self.tail.len() {
+            if self.sorted[i].0 < self.tail[j].0 {
+                merged.push(self.sorted[i]);
+                i += 1;
+            } else {
+                merged.push(self.tail[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.sorted[i..]);
+        merged.extend_from_slice(&self.tail[j..]);
+        self.sorted = merged;
+        self.tail.clear();
+    }
 }
 
 impl ElemIndex {
@@ -151,17 +217,78 @@ impl ElemIndex {
         ElemIndex::default()
     }
 
-    /// Build the index over every element-carrying write in the history.
+    fn slab_mut(&mut self, key: Key) -> &mut KeySlab {
+        let next = self.slabs.len() as u32;
+        let slot = *self.keys.entry(key).or_insert(next);
+        if slot == next {
+            self.slabs.push(KeySlab::default());
+        }
+        &mut self.slabs[slot as usize]
+    }
+
+    /// Build the index over every element-carrying write in the history:
+    /// bulk-load each key's slab in write order, then sort and
+    /// duplicate-scan each slab once.
     pub fn build(history: &History) -> ElemIndex {
         let mut idx = ElemIndex::default();
-        idx.writers.reserve(history.mop_count());
         // One reused last-write map cleared per transaction, so the
         // bulk build does no per-transaction allocation.
         let mut last_write: FxHashMap<Key, usize> = FxHashMap::default();
         for t in history.txns() {
-            idx.index_txn_with(t, &mut last_write);
+            last_write.clear();
+            for (i, m) in t.mops.iter().enumerate() {
+                if m.is_write() {
+                    last_write.insert(m.key(), i);
+                }
+            }
+            for (i, k, e) in t.elem_writes() {
+                let wref = WriteRef {
+                    txn: t.id,
+                    mop: i,
+                    final_for_key: last_write.get(&k) == Some(&i),
+                    status: t.status,
+                };
+                // Raw append; duplicates are resolved in the finish pass.
+                idx.slab_mut(k).tail.push((e, wref));
+            }
         }
+        idx.finish_bulk();
         idx
+    }
+
+    /// Sort every bulk-loaded slab and resolve duplicates: within one
+    /// element's group (stable sort = write order) the last writer wins
+    /// the slot, and groups of two or more record a duplicates entry —
+    /// exactly the semantics of inserting one write at a time.
+    fn finish_bulk(&mut self) {
+        let mut keys: Vec<(Key, u32)> = self.keys.iter().map(|(k, s)| (*k, *s)).collect();
+        keys.sort_unstable();
+        for (key, slot) in keys {
+            let slab = &mut self.slabs[slot as usize];
+            let mut raw = std::mem::take(&mut slab.tail);
+            raw.sort_by_key(|&(e, _)| e); // stable: preserves write order
+            let mut i = 0usize;
+            while i < raw.len() {
+                let e = raw[i].0;
+                let mut j = i + 1;
+                while j < raw.len() && raw[j].0 == e {
+                    j += 1;
+                }
+                if j - i > 1 {
+                    self.duplicates
+                        .push((key, e, raw[i..j].iter().map(|(_, w)| w.txn).collect()));
+                }
+                slab.sorted.push(raw[j - 1]); // last writer wins the slot
+                self.len += 1;
+                i = j;
+            }
+        }
+        // Keys were visited in sorted order and elements ascend within
+        // a key, so `duplicates` is already sorted by `(key, elem)`.
+        debug_assert!(self
+            .duplicates
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
     }
 
     /// Index one transaction's element-carrying writes. Feed
@@ -169,16 +296,7 @@ impl ElemIndex {
     /// batch [`ElemIndex::build`] (the `duplicates` vector is kept
     /// sorted by `(key, elem)` either way).
     pub fn index_txn(&mut self, t: &elle_history::Transaction) {
-        self.index_txn_with(t, &mut FxHashMap::default());
-    }
-
-    fn index_txn_with(
-        &mut self,
-        t: &elle_history::Transaction,
-        last_write: &mut FxHashMap<Key, usize>,
-    ) {
-        // Last write position per key, to mark final writes.
-        last_write.clear();
+        let mut last_write: FxHashMap<Key, usize> = FxHashMap::default();
         for (i, m) in t.mops.iter().enumerate() {
             if m.is_write() {
                 last_write.insert(m.key(), i);
@@ -191,15 +309,33 @@ impl ElemIndex {
                 final_for_key: last_write.get(&k) == Some(&i),
                 status: t.status,
             };
-            match self.writers.insert((k, e), wref) {
-                None => {}
-                Some(prev) => match self
-                    .duplicates
-                    .binary_search_by_key(&(k, e), |d| (d.0, d.1))
-                {
-                    Ok(at) => self.duplicates[at].2.push(t.id),
-                    Err(at) => self.duplicates.insert(at, (k, e, vec![prev.txn, t.id])),
-                },
+            // Field-level borrows: the slab lives in `self.slabs`, the
+            // duplicate bookkeeping in `self.duplicates`.
+            let next = self.slabs.len() as u32;
+            let slot = *self.keys.entry(k).or_insert(next);
+            if slot == next {
+                self.slabs.push(KeySlab::default());
+            }
+            let slab = &mut self.slabs[slot as usize];
+            match slab.find_mut(e) {
+                Some(slot) => {
+                    let prev = slot.1;
+                    slot.1 = wref; // last writer wins
+                    match self
+                        .duplicates
+                        .binary_search_by_key(&(k, e), |d| (d.0, d.1))
+                    {
+                        Ok(at) => self.duplicates[at].2.push(t.id),
+                        Err(at) => self.duplicates.insert(at, (k, e, vec![prev.txn, t.id])),
+                    }
+                }
+                None => {
+                    slab.tail.push((e, wref));
+                    self.len += 1;
+                    if slab.tail.len() >= TAIL_MAX {
+                        slab.merge_tail();
+                    }
+                }
             }
         }
     }
@@ -209,21 +345,35 @@ impl ElemIndex {
     /// invocation). Only entries still owned by `t` are touched.
     pub fn update_status(&mut self, t: &elle_history::Transaction) {
         for (_, k, e) in t.elem_writes() {
-            if let Some(w) = self.writers.get_mut(&(k, e)) {
-                if w.txn == t.id {
-                    w.status = t.status;
+            if let Some(slot) = self.keys.get(&k).copied() {
+                if let Some((_, w)) = self.slabs[slot as usize].find_mut(e) {
+                    if w.txn == t.id {
+                        w.status = t.status;
+                    }
                 }
             }
         }
     }
 
-    /// The unique writer of `(key, elem)`, if recorded.
+    /// The unique writer of `(key, elem)`, if recorded — one small map
+    /// probe to the key's slab, then a binary search of its sorted
+    /// postings.
     ///
-    /// When duplicates exist the last writer won the map slot; callers must
+    /// When duplicates exist the last writer won the slot; callers must
     /// consult [`ElemIndex::duplicates`] / [`ElemIndex::key_is_recoverable`]
     /// before trusting this for inference.
     pub fn writer(&self, key: Key, elem: Elem) -> Option<WriteRef> {
-        self.writers.get(&(key, elem)).copied()
+        let slot = *self.keys.get(&key)?;
+        self.slabs[slot as usize].find(elem).copied()
+    }
+
+    /// A borrowed view of one key's postings: hoists the key → slab
+    /// probe out of per-element loops, so a spine scan resolves every
+    /// element inside the key's own (cache-resident) sorted array.
+    pub fn key_writers(&self, key: Key) -> KeyWriters<'_> {
+        KeyWriters {
+            slab: self.keys.get(&key).map(|slot| &self.slabs[*slot as usize]),
+        }
     }
 
     /// Is inference on `key` safe (no duplicate writes observed)?
@@ -233,12 +383,26 @@ impl ElemIndex {
 
     /// Number of indexed writes.
     pub fn len(&self) -> usize {
-        self.writers.len()
+        self.len
     }
 
     /// Is the index empty?
     pub fn is_empty(&self) -> bool {
-        self.writers.is_empty()
+        self.len == 0
+    }
+}
+
+/// A borrowed single-key view of an [`ElemIndex`] — see
+/// [`ElemIndex::key_writers`].
+#[derive(Debug, Clone, Copy)]
+pub struct KeyWriters<'a> {
+    slab: Option<&'a KeySlab>,
+}
+
+impl KeyWriters<'_> {
+    /// The unique writer of `elem` under this view's key, if recorded.
+    pub fn writer(&self, elem: Elem) -> Option<WriteRef> {
+        self.slab.and_then(|s| s.find(elem).copied())
     }
 }
 

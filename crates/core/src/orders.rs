@@ -102,9 +102,10 @@ mod tests {
         let h = b.build();
         let mut d = DepGraph::with_txns(h.len());
         add_process_edges(&mut d, &h);
-        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::PROCESS);
-        assert_eq!(d.graph.edge_mask(0, 1), EdgeMask::NONE);
-        assert_eq!(d.graph.edge_mask(1, 2), EdgeMask::NONE);
+        d.build();
+        assert_eq!(d.edge_mask(0, 2), EdgeMask::PROCESS);
+        assert_eq!(d.edge_mask(0, 1), EdgeMask::NONE);
+        assert_eq!(d.edge_mask(1, 2), EdgeMask::NONE);
     }
 
     #[test]
@@ -116,9 +117,10 @@ mod tests {
         let h = b.build();
         let mut d = DepGraph::with_txns(h.len());
         add_process_edges(&mut d, &h);
+        d.build();
         // Chain links committed txns 0 and 2, skipping the aborted 1.
-        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::PROCESS);
-        assert_eq!(d.graph.edge_mask(0, 1), EdgeMask::NONE);
+        assert_eq!(d.edge_mask(0, 2), EdgeMask::PROCESS);
+        assert_eq!(d.edge_mask(0, 1), EdgeMask::NONE);
     }
 
     #[test]
@@ -131,10 +133,11 @@ mod tests {
         let h = b.build();
         let mut d = DepGraph::with_txns(h.len());
         add_realtime_edges(&mut d, &h);
+        d.build();
         // Reduction keeps 0→1 and 1→2 but not 0→2.
-        assert_eq!(d.graph.edge_mask(0, 1), EdgeMask::REALTIME);
-        assert_eq!(d.graph.edge_mask(1, 2), EdgeMask::REALTIME);
-        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::NONE);
+        assert_eq!(d.edge_mask(0, 1), EdgeMask::REALTIME);
+        assert_eq!(d.edge_mask(1, 2), EdgeMask::REALTIME);
+        assert_eq!(d.edge_mask(0, 2), EdgeMask::NONE);
         // Witness carries the indices.
         match d.witness_of_class(TxnId(0), TxnId(1), EdgeClass::Realtime) {
             Some(Witness::Realtime { complete, invoke }) => {
@@ -152,7 +155,8 @@ mod tests {
         let h = b.build();
         let mut d = DepGraph::with_txns(h.len());
         add_realtime_edges(&mut d, &h);
-        assert_eq!(d.graph.edge_count(), 0);
+        d.build();
+        assert_eq!(d.edge_count(), 0);
     }
 
     #[test]
@@ -173,11 +177,12 @@ mod tests {
         let h = b.build();
         let mut d = DepGraph::with_txns(h.len());
         add_timestamp_edges(&mut d, &h);
-        assert!(d.graph.edge_mask(0, 1).contains(EdgeClass::Timestamp));
-        assert_eq!(d.graph.edge_mask(1, 0), EdgeMask::NONE);
+        d.build();
+        assert!(d.edge_mask(0, 1).contains(EdgeClass::Timestamp));
+        assert_eq!(d.edge_mask(1, 0), EdgeMask::NONE);
         // Unstamped transactions take no part.
-        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::NONE);
-        assert_eq!(d.graph.edge_mask(2, 1), EdgeMask::NONE);
+        assert_eq!(d.edge_mask(0, 2), EdgeMask::NONE);
+        assert_eq!(d.edge_mask(2, 1), EdgeMask::NONE);
     }
 
     #[test]
@@ -188,7 +193,8 @@ mod tests {
         let h = b.build();
         let mut d = DepGraph::with_txns(h.len());
         add_timestamp_edges(&mut d, &h);
-        assert_eq!(d.graph.edge_count(), 0);
+        d.build();
+        assert_eq!(d.edge_count(), 0);
     }
 
     #[test]
@@ -200,9 +206,10 @@ mod tests {
         let h = b.build();
         let mut d = DepGraph::with_txns(h.len());
         add_realtime_edges(&mut d, &h);
+        d.build();
         // 0 → 2 directly, since aborted 1 is not part of the order.
-        assert_eq!(d.graph.edge_mask(0, 2), EdgeMask::REALTIME);
-        assert_eq!(d.graph.edge_mask(0, 1), EdgeMask::NONE);
-        assert_eq!(d.graph.edge_mask(1, 2), EdgeMask::NONE);
+        assert_eq!(d.edge_mask(0, 2), EdgeMask::REALTIME);
+        assert_eq!(d.edge_mask(0, 1), EdgeMask::NONE);
+        assert_eq!(d.edge_mask(1, 2), EdgeMask::NONE);
     }
 }

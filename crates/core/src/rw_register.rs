@@ -564,7 +564,7 @@ mod tests {
         let t0 = b.txn(0).write(1, 5).commit();
         let t1 = b.txn(1).read_register(1, Some(5)).commit();
         let a = run(&b.build(), RegisterOptions::default());
-        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(EdgeClass::Wr));
+        assert!(a.deps.edge_mask(t0.0, t1.0).contains(EdgeClass::Wr));
     }
 
     #[test]
@@ -575,9 +575,9 @@ mod tests {
         let t2 = b.txn(2).read_register(1, Some(1)).commit();
         let a = run(&b.build(), RegisterOptions::default());
         // Chain: 1 < 2, so writer(1)=t0 ww→ writer(2)=t1.
-        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(EdgeClass::Ww));
+        assert!(a.deps.edge_mask(t0.0, t1.0).contains(EdgeClass::Ww));
         // Reader of 1 (t2) rw→ writer of 2 (t1).
-        assert!(a.deps.graph.edge_mask(t2.0, t1.0).contains(EdgeClass::Rw));
+        assert!(a.deps.edge_mask(t2.0, t1.0).contains(EdgeClass::Rw));
     }
 
     #[test]
@@ -586,7 +586,7 @@ mod tests {
         let t0 = b.txn(0).read_register(1, None).commit();
         let t1 = b.txn(1).write(1, 7).commit();
         let a = run(&b.build(), RegisterOptions::default());
-        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(EdgeClass::Rw));
+        assert!(a.deps.edge_mask(t0.0, t1.0).contains(EdgeClass::Rw));
     }
 
     #[test]
@@ -616,7 +616,7 @@ mod tests {
         };
         let a = run(&b.build(), opts);
         // p0's second txn's version follows its first: ww t0 → t1.
-        assert!(a.deps.graph.edge_mask(t0.0, t1.0).contains(EdgeClass::Ww));
+        assert!(a.deps.edge_mask(t0.0, t1.0).contains(EdgeClass::Ww));
     }
 
     #[test]
@@ -675,6 +675,6 @@ mod tests {
         let a = run(&b.build(), RegisterOptions::default());
         assert!(types(&a).contains(&AnomalyType::DuplicateWrite));
         // No wr edges inferred for the poisoned key.
-        assert_eq!(a.deps.graph.edge_count(), 0);
+        assert_eq!(a.deps.edge_count(), 0);
     }
 }

@@ -318,7 +318,7 @@ mod tests {
         let t2 = b.txn(2).add_to_set(1, 2).commit();
         let t3 = b.txn(3).read_set(1, [0, 1, 2]).commit();
         let a = run(&b.build());
-        let g = &a.deps.graph;
+        let g = &a.deps;
         // T0 <rr T3.
         assert!(g.edge_mask(t0.0, t3.0).contains(EdgeClass::Rr));
         // T1 <wr T3, T2 <wr T3.
@@ -380,7 +380,7 @@ mod tests {
         assert!(t.contains(&AnomalyType::DuplicateWrite), "{t:?}");
         assert!(!t.contains(&AnomalyType::G1a), "{t:?}");
         // No wr/rw edges for the poisoned key.
-        assert_eq!(a.deps.graph.edge_count(), 0);
+        assert_eq!(a.deps.edge_count(), 0);
     }
 
     #[test]

@@ -71,7 +71,7 @@ proptest! {
     /// serialize to the same JSON bytes.
     #[test]
     fn parallel_cycle_search_matches_sequential(h in arb_history()) {
-        let deps = idsg(&h);
+        let mut deps = idsg(&h);
         let csr = deps.freeze();
         let opts = CycleSearchOptions::default();
         let seq = find_cycle_anomalies_mode(&deps, &csr, &h, opts, Parallelism::Sequential);
@@ -86,10 +86,10 @@ proptest! {
     /// explicit sequential reference as well.
     #[test]
     fn auto_mode_matches_sequential(h in arb_history()) {
-        let deps = idsg(&h);
+        let mut deps = idsg(&h);
         let csr = deps.freeze();
         let opts = CycleSearchOptions::default();
-        let auto = find_cycle_anomalies(&deps, &h, opts);
+        let auto = find_cycle_anomalies(&mut deps, &h, opts);
         let seq = find_cycle_anomalies_mode(&deps, &csr, &h, opts, Parallelism::Sequential);
         prop_assert_eq!(auto, seq);
     }
@@ -118,7 +118,7 @@ proptest! {
     /// reports with and without it are byte-identical.
     #[test]
     fn certificate_is_invisible_in_reports(h in arb_history()) {
-        let deps = idsg(&h);
+        let mut deps = idsg(&h);
         let csr = deps.freeze();
         let base = CycleSearchOptions::default();
         let with = find_cycle_anomalies_mode(

@@ -76,12 +76,12 @@ fn assert_outputs_agree(seq: &DriverOutput, par: &DriverOutput) -> Result<(), St
     prop_assert_eq!(&seq.version_orders, &par.version_orders);
     prop_assert_eq!(&seq.cyclic_keys, &par.cyclic_keys);
     prop_assert_eq!(
-        seq.deps.graph.edge_count(),
-        par.deps.graph.edge_count(),
+        seq.deps.edge_count(),
+        par.deps.edge_count(),
         "edge counts diverge"
     );
-    for (a, b, m) in seq.deps.graph.edges() {
-        prop_assert_eq!(par.deps.graph.edge_mask(a, b), m, "edge {} -> {}", a, b);
+    for (a, b, m) in seq.deps.edges() {
+        prop_assert_eq!(par.deps.edge_mask(a, b), m, "edge {} -> {}", a, b);
     }
     Ok(())
 }

@@ -64,12 +64,12 @@ fn assert_byte_identical(new: &DriverOutput, seed: &DriverOutput) -> Result<(), 
     prop_assert_eq!(&new.version_orders, &seed.version_orders);
     prop_assert_eq!(&new.cyclic_keys, &seed.cyclic_keys);
     prop_assert_eq!(
-        new.deps.graph.edge_count(),
-        seed.deps.graph.edge_count(),
+        new.deps.edge_count(),
+        seed.deps.edge_count(),
         "edge counts diverge"
     );
-    for (a, b, m) in seed.deps.graph.edges() {
-        prop_assert_eq!(new.deps.graph.edge_mask(a, b), m, "edge {} -> {}", a, b);
+    for (a, b, m) in seed.deps.edges() {
+        prop_assert_eq!(new.deps.edge_mask(a, b), m, "edge {} -> {}", a, b);
         prop_assert_eq!(
             new.deps.witnesses(TxnId(a), TxnId(b)),
             seed.deps.witnesses(TxnId(a), TxnId(b)),

@@ -34,7 +34,7 @@ mod dot;
 mod reduction;
 mod tarjan;
 
-pub use csr::{BitSet, Csr, Scratch};
+pub use csr::{BitSet, Csr, EdgeBuf, Scratch};
 pub use cycles::{find_cycle, find_cycle_with_single, shortest_cycle_through, CycleSpec};
 pub use digraph::{DiGraph, EdgeClass, EdgeMask};
 pub use dot::to_dot;

@@ -15,7 +15,7 @@
 
 use elle_graph::{
     find_cycle, find_cycle_with_single, shortest_cycle_through, tarjan_scc, CycleSpec, DiGraph,
-    EdgeClass, EdgeMask, Scratch,
+    EdgeBuf, EdgeClass, EdgeMask, Scratch,
 };
 use proptest::prelude::*;
 
@@ -213,6 +213,35 @@ proptest! {
         for v in 0..full.vertex_count() as u32 {
             prop_assert_eq!(inc.in_row(v), full.in_row(v), "in_row {}", v);
             prop_assert_eq!(inc.out_row(v), full.out_row(v), "out_row {}", v);
+        }
+    }
+
+    /// The hash-free sort-based build must be byte-identical to the
+    /// legacy hash-indexed `DiGraph` + freeze over the same edge
+    /// multiset — rows, masks, reverse rows, vertex growth semantics.
+    #[test]
+    fn edgebuf_build_matches_digraph_freeze(
+        n in 0usize..24,
+        edges in arb_edges(24),
+    ) {
+        let mut g = DiGraph::with_vertices(n);
+        let mut buf = EdgeBuf::with_capacity(edges.len());
+        for &(a, b, c) in &edges {
+            g.add_edge(a, b, CLASSES[c as usize]);
+            buf.push(a, b, EdgeMask::of(CLASSES[c as usize]));
+        }
+        prop_assert_eq!(buf.len(), edges.len());
+        let hash_built = g.freeze();
+        let sort_built = buf.build(n);
+        prop_assert!(buf.is_empty(), "build consumes the buffer");
+        prop_assert_eq!(hash_built.vertex_count(), sort_built.vertex_count());
+        prop_assert_eq!(hash_built.edge_count(), sort_built.edge_count());
+        let eh: Vec<_> = hash_built.edges().collect();
+        let es: Vec<_> = sort_built.edges().collect();
+        prop_assert_eq!(eh, es);
+        for v in 0..hash_built.vertex_count() as u32 {
+            prop_assert_eq!(hash_built.out_row(v), sort_built.out_row(v), "out_row {}", v);
+            prop_assert_eq!(hash_built.in_row(v), sort_built.in_row(v), "in_row {}", v);
         }
     }
 

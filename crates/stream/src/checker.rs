@@ -19,19 +19,21 @@
 //!   scoped to their posting lists (the **gather-delta** phase), through
 //!   exactly the same [`analyze_keys`] driver the batch checker uses
 //!   (the **finalize** phase).
-//! * **Graph** — the accumulated [`DepGraph`] is carried across epochs.
-//!   A dirty key's new edge multiset is diffed against its cached one:
-//!   pure growth (the overwhelmingly common case for traceable
-//!   workloads) appends just the delta; any retraction (new duplicate
-//!   poisoning a key, a register version order changing shape, a
-//!   counter's `rr` chain re-linking) falls back to rebuilding the
-//!   graph from the cached sinks — still never re-running per-key
-//!   analysis for clean keys. Canonical witness presentation
-//!   ([`DepGraph::present`]) makes the carried graph report exactly
-//!   like a batch-built one.
-//! * **Freeze** — the CSR snapshot is re-frozen incrementally
-//!   ([`elle_graph::DiGraph::refreeze`]), re-sorting only rows new
-//!   edges touched.
+//! * **Graph** — the accumulated [`DepGraph`] spine is carried across
+//!   epochs. A dirty key's new edge multiset is diffed against its
+//!   cached one: pure growth (the overwhelmingly common case for
+//!   traceable workloads) pushes just the delta into the flat pending
+//!   buffer; any retraction (new duplicate poisoning a key, a register
+//!   version order changing shape, a counter's `rr` chain re-linking)
+//!   falls back to rebuilding the graph from the cached sinks — still
+//!   never re-running per-key analysis for clean keys. Canonical
+//!   witness presentation ([`DepGraph::present`]) makes the carried
+//!   graph report exactly like a batch-built one.
+//! * **Seal** — [`DepGraph::build`] sorts the epoch's delta and
+//!   two-way-merges it into the carried sorted spine (untouched runs
+//!   block-copied, witnesses carried by arena address — no hash
+//!   probes); the CSR snapshot is then re-frozen linearly from the
+//!   spine.
 //! * **Cycle search** — the same certificate-gated search as batch:
 //!   one Tarjan pass under the full mask; per-class passes only over
 //!   the cyclic region.
@@ -51,32 +53,57 @@ use elle_core::{
     assemble_report, find_cycle_anomalies_frozen, Anomaly, CheckOptions, CheckStats,
     CycleSearchOptions, DataType, DepGraph, ElemIndex, KeyTypes, Report, StageTimings, Witness,
 };
-use elle_graph::{BitSet, Csr};
 use elle_history::{
     Elem, Event, History, Ingest, Key, PairingError, ProcessId, StreamingPairer, TxnId, TxnStatus,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 type Edge = (TxnId, TxnId, Witness);
+
+/// A cached per-key analysis result with its anomalies **interned**
+/// behind [`Arc`]: epoch report assembly clones pointers, not
+/// explanation strings, so sealing no longer pays O(total anomalies)
+/// in string copies on anomaly-dense (e.g. read-uncommitted) streams.
+#[derive(Debug)]
+struct CachedSink {
+    anomalies: Vec<Arc<Anomaly>>,
+    edges: Vec<Edge>,
+    observed_elems: Vec<elle_history::Elem>,
+}
+
+impl From<KeySink> for CachedSink {
+    fn from(sink: KeySink) -> CachedSink {
+        CachedSink {
+            anomalies: sink.anomalies.into_iter().map(Arc::new).collect(),
+            edges: sink.edges,
+            observed_elems: sink.observed_elems,
+        }
+    }
+}
+
+fn intern(anomalies: Vec<Anomaly>) -> Vec<Arc<Anomaly>> {
+    anomalies.into_iter().map(Arc::new).collect()
+}
 
 /// Per-datatype cached analysis state.
 #[derive(Debug, Default)]
 struct DtCache {
     /// Internal-consistency anomalies per transaction (only transactions
     /// that produced any).
-    internal: BTreeMap<TxnId, Vec<Anomaly>>,
+    internal: BTreeMap<TxnId, Vec<Arc<Anomaly>>>,
     /// The latest per-key sink, keyed and iterated in sorted key order.
-    sinks: BTreeMap<Key, KeySink>,
+    sinks: BTreeMap<Key, CachedSink>,
 }
 
 /// Counter analysis cache (the counter pipeline is not trait-driven).
 #[derive(Debug, Default)]
 struct CounterCache {
-    internal: BTreeMap<TxnId, Vec<Anomaly>>,
-    sinks: BTreeMap<Key, (Vec<Anomaly>, Vec<Edge>)>,
+    internal: BTreeMap<TxnId, Vec<Arc<Anomaly>>>,
+    sinks: BTreeMap<Key, (Vec<Arc<Anomaly>>, Vec<Edge>)>,
 }
 
 /// Incremental coverage statistics (§3): which committed writes were
@@ -172,11 +199,10 @@ pub struct StreamChecker {
     assigned: FxHashMap<Key, DataType>,
     coverage: Coverage,
 
-    // ── Carried graph. ────────────────────────────────────────────────
+    // ── Carried graph: the sealed sorted spine plus the epoch's flat
+    //    pending delta; each seal two-way-merges the sorted delta into
+    //    the spine and re-freezes linearly. ──────────────────────────────
     deps: DepGraph,
-    prev_csr: Option<Csr>,
-    /// Rows whose out-edges changed since `prev_csr` was frozen.
-    dirty_rows: BitSet,
 
     // ── Derived-order frontiers. ──────────────────────────────────────
     proc_last: FxHashMap<ProcessId, TxnId>,
@@ -222,8 +248,6 @@ impl StreamChecker {
             assigned: FxHashMap::default(),
             coverage: Coverage::default(),
             deps: DepGraph::with_txns(0),
-            prev_csr: None,
-            dirty_rows: BitSet::new(),
             proc_last: FxHashMap::default(),
             rt_completes: Vec::new(),
             rt_prefix_max_invoke: Vec::new(),
@@ -319,12 +343,12 @@ impl StreamChecker {
     pub fn seal_epoch(&mut self) -> EpochReport {
         let mut timings = StageTimings::default();
         let mut clock = Instant::now();
-        let mut lap = |name: &str, clock: &mut Instant| {
+        fn lap(timings: &mut StageTimings, name: &str, clock: &mut Instant) {
             timings
                 .stages
                 .push((name.to_string(), clock.elapsed().as_secs_f64()));
             *clock = Instant::now();
-        };
+        }
 
         // ── Delta sets. ───────────────────────────────────────────────
         self.delta_txns.sort_unstable();
@@ -356,7 +380,7 @@ impl StreamChecker {
                 self.assigned.insert(k, ty);
             }
         }
-        lap("delta bookkeeping", &mut clock);
+        lap(&mut timings, "delta bookkeeping", &mut clock);
 
         // ── Datatype refresh: internal passes over the delta txns,
         //    per-key re-analysis of dirty keys with gather scoped to
@@ -427,7 +451,11 @@ impl StreamChecker {
             if full_internal {
                 cache.internal.clear();
                 for a in counter::internal_anomalies(history.txns().iter(), &counter_keys) {
-                    cache.internal.entry(a.txns[0]).or_default().push(a);
+                    cache
+                        .internal
+                        .entry(a.txns[0])
+                        .or_default()
+                        .push(Arc::new(a));
                 }
             } else {
                 for &id in &self.delta_txns {
@@ -435,7 +463,11 @@ impl StreamChecker {
                 }
                 let delta_iter = self.delta_txns.iter().map(|id| history.get(*id));
                 for a in counter::internal_anomalies(delta_iter, &counter_keys) {
-                    cache.internal.entry(a.txns[0]).or_default().push(a);
+                    cache
+                        .internal
+                        .entry(a.txns[0])
+                        .or_default()
+                        .push(Arc::new(a));
                 }
             }
             let mut dirty_counter: Vec<Key> = dirty
@@ -459,7 +491,7 @@ impl StreamChecker {
                     Some(mut delta) => delta_edges.append(&mut delta),
                     None => self.needs_rebuild = true,
                 }
-                cache.sinks.insert(key, (anomalies, edges));
+                cache.sinks.insert(key, (intern(anomalies), edges));
             }
             dt_delta_edges.push(delta_edges);
         }
@@ -485,7 +517,7 @@ impl StreamChecker {
                 }
             }
         }
-        lap("datatype delta analysis", &mut clock);
+        lap(&mut timings, "datatype delta analysis", &mut clock);
 
         // ── Derived orders for newly committed transactions. ──────────
         let history = self.pairer.history();
@@ -550,7 +582,7 @@ impl StreamChecker {
                 }
             }
         }
-        lap("derived orders", &mut clock);
+        lap(&mut timings, "derived orders", &mut clock);
 
         // ── Apply to the carried graph (or rebuild it). ───────────────
         let rebuilt = self.needs_rebuild;
@@ -579,30 +611,29 @@ impl StreamChecker {
                 elle_core::add_timestamp_edges(&mut deps, history);
             }
             self.deps = deps;
-            self.prev_csr = None;
         } else {
-            self.dirty_rows.ensure(n.max(1));
-            for part in &dt_delta_edges {
+            for part in dt_delta_edges {
+                self.deps.reserve_edges(part.len());
                 for (a, b, w) in part {
-                    self.deps.add(*a, *b, w.clone());
-                    self.dirty_rows.insert(a.0);
+                    self.deps.add(a, b, w);
                 }
             }
-            for (a, b, w) in &order_edges {
-                self.deps.add(*a, *b, w.clone());
-                self.dirty_rows.insert(a.0);
+            for (a, b, w) in order_edges {
+                self.deps.add(a, b, w);
             }
         }
         self.deps.ensure_txns(n);
-        lap("graph delta", &mut clock);
+        lap(&mut timings, "graph delta", &mut clock);
 
-        // ── Freeze (incrementally when possible) and search. ──────────
-        let csr = match self.prev_csr.take() {
-            Some(prev) => self.deps.graph.refreeze(&prev, &self.dirty_rows),
-            None => self.deps.freeze(),
-        };
-        self.dirty_rows.clear();
-        lap("freeze", &mut clock);
+        // ── Seal: two-way merge of the epoch's sorted edge delta into
+        //    the carried sorted spine (block-copying untouched runs). ──
+        self.deps.build();
+        timings.edge_buf_peak = self.deps.take_edge_buf_peak();
+        lap(&mut timings, "edge build", &mut clock);
+
+        // ── Freeze (linear — the spine is already sorted) and search. ─
+        let csr = self.deps.freeze();
+        lap(&mut timings, "freeze", &mut clock);
         let history = self.pairer.history();
         let cycles = find_cycle_anomalies_frozen(
             &self.deps,
@@ -616,12 +647,12 @@ impl StreamChecker {
                 certificate: true,
             },
         );
-        self.prev_csr = Some(csr);
-        lap("cycle search", &mut clock);
+        drop(csr);
+        lap(&mut timings, "cycle search", &mut clock);
 
         // ── Assemble the report in batch order. ───────────────────────
         use datatype::Vocab;
-        let mut anomalies: Vec<Anomaly> = Vec::new();
+        let mut anomalies: Vec<Arc<Anomaly>> = Vec::new();
         let parts: [(&DtCache, &Vocab, DataType); 3] = [
             (
                 &self.list,
@@ -655,7 +686,7 @@ impl StreamChecker {
                 scope: None,
             };
             let (dups, _) = duplicate_anomalies(&cx, vocab);
-            anomalies.extend(dups);
+            anomalies.extend(intern(dups));
             for sink in cache.sinks.values() {
                 anomalies.extend(sink.anomalies.iter().cloned());
             }
@@ -668,7 +699,7 @@ impl StreamChecker {
                 anomalies.extend(anoms.iter().cloned());
             }
         }
-        anomalies.extend(cycles);
+        anomalies.extend(intern(cycles));
 
         let warnings: Vec<String> = self
             .kt
@@ -689,7 +720,7 @@ impl StreamChecker {
             observed_writes: self.coverage.observed_writes,
         };
         let report = assemble_report(self.opts.expected, anomalies, &self.deps, stats, warnings);
-        lap("report assembly", &mut clock);
+        lap(&mut timings, "report assembly", &mut clock);
 
         let out = EpochReport {
             epoch: self.epoch,
@@ -809,7 +840,11 @@ fn refresh_dt<D: DatatypeAnalysis>(
         }
     }
     for a in datatype::internal_anomalies::<D>(&cx_internal) {
-        cache.internal.entry(a.txns[0]).or_default().push(a);
+        cache
+            .internal
+            .entry(a.txns[0])
+            .or_default()
+            .push(Arc::new(a));
     }
 
     // Poison set over the full key partition (cheap: walks the sorted
@@ -844,7 +879,7 @@ fn refresh_dt<D: DatatypeAnalysis>(
             Some(mut delta) => delta_edges.append(&mut delta),
             None => retraction = true,
         }
-        cache.sinks.insert(key, sink);
+        cache.sinks.insert(key, sink.into());
     }
     (retraction, delta_edges)
 }

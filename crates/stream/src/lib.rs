@@ -11,11 +11,12 @@
 //! ## The epoch lifecycle
 //!
 //! ```text
-//! ingest ─▶ seal ─▶ delta-analyze ─▶ re-freeze ─▶ search ─▶ report
-//!   │                   │               │                     │
-//!   │   only dirty keys re-analyzed     │     same report as batch
-//!   │   (gather scoped to their txns)   │     on the whole prefix
-//!   └── events dropped after pairing    └── unchanged CSR rows reused
+//! ingest ─▶ seal ─▶ delta-analyze ─▶ merge+freeze ─▶ search ─▶ report
+//!   │                   │                │                      │
+//!   │   only dirty keys re-analyzed      │      same report as batch
+//!   │   (gather scoped to their txns)    │      on the whole prefix
+//!   └── events dropped after pairing     └── sorted edge delta merged
+//!                                            into the carried spine
 //! ```
 //!
 //! ## The correctness anchor
@@ -34,8 +35,10 @@
 //!   transaction) and the open-invocation table — raw events are
 //!   dropped at ingest;
 //! * the incremental key-typing and element→writer indexes;
-//! * per-key posting lists and the latest per-key analysis sinks;
-//! * the accumulated dependency graph plus its last frozen snapshot;
+//! * per-key posting lists and the latest per-key analysis sinks
+//!   (anomalies interned behind `Arc`, so report assembly clones
+//!   pointers);
+//! * the accumulated dependency graph's sorted spine;
 //! * per-process / completion-order frontiers for the derived orders;
 //! * monotone coverage counters.
 //!

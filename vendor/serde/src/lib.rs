@@ -223,6 +223,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        T::deserialize(v).map(std::sync::Arc::new)
+    }
+}
+
 // ── Containers ──────────────────────────────────────────────────────────
 
 impl<T: Serialize> Serialize for Option<T> {
