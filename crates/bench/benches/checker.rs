@@ -7,8 +7,10 @@ use elle_dbsim::{DbConfig, IsolationLevel, ObjectKind};
 use elle_gen::{run_workload, GenParams};
 use elle_history::History;
 
-/// `CRITERION_QUICK=1` (the CI smoke) skips the large points — one
-/// sample of a 64k-txn stream is still tens of seconds of generation.
+/// `CRITERION_QUICK=1` (the CI smoke) truncates the length series —
+/// still a multi-point sweep so the extended-series path is exercised,
+/// but without the 512k/1M points whose generation alone is minutes
+/// (those are recorded offline into `BENCH_checker.json`).
 fn quick() -> bool {
     std::env::var_os("CRITERION_QUICK").is_some_and(|v| v == "1")
 }
@@ -25,9 +27,11 @@ fn bench_length(c: &mut Criterion) {
     let mut g = c.benchmark_group("elle_check_length");
     g.sample_size(10);
     let sizes: &[usize] = if quick() {
-        &[1_000, 4_000]
+        &[1_000, 4_000, 16_000]
     } else {
-        &[1_000, 4_000, 10_000, 16_000, 64_000, 256_000]
+        &[
+            1_000, 4_000, 10_000, 16_000, 64_000, 256_000, 512_000, 1_000_000,
+        ]
     };
     for &n in sizes {
         let h = history(n, 20, IsolationLevel::Serializable);

@@ -240,6 +240,13 @@ pub struct StageTimings {
     /// build (0 when no edges were buffered) — the observability hook
     /// for the hash-free EdgeBuf → CSR pipeline.
     pub edge_buf_peak: usize,
+    /// Peak flat gather-buffer footprint in bytes across the datatype
+    /// passes (0 when nothing was gathered) — the counterpart gauge for
+    /// the sort-based gather pipeline.
+    pub gather_buf_peak: usize,
+    /// Peak bytes parked in the thread-local scratch-buffer pool, i.e.
+    /// how much pre-faulted memory later runs get to recycle.
+    pub pool_peak: usize,
 }
 
 impl StageTimings {
@@ -275,6 +282,16 @@ impl StageTimings {
                 "  {:<width$}  {:>9} edges",
                 "edge buf peak", self.edge_buf_peak
             );
+        }
+        if self.gather_buf_peak > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<width$}  {:>9} bytes",
+                "gather buf peak", self.gather_buf_peak
+            );
+        }
+        if self.pool_peak > 0 {
+            let _ = writeln!(s, "  {:<width$}  {:>9} bytes", "pool peak", self.pool_peak);
         }
         s
     }
@@ -340,6 +357,7 @@ impl Checker {
         let mut anomalies: Vec<Anomaly> = Vec::new();
         let mut observed: rustc_hash::FxHashSet<(elle_history::Key, elle_history::Elem)> =
             rustc_hash::FxHashSet::with_capacity_and_hasher(elems.len(), Default::default());
+        let mut gather = datatype::GatherStats::default();
         let mut deps = DepGraph::with_txns(history.len());
         // The first datatype's graph is adopted wholesale; later ones
         // merge into it via a sorted spine merge (cheap: keys partition
@@ -368,6 +386,7 @@ impl Checker {
             };
             anomalies.extend(out.anomalies);
             observed.extend(out.observed);
+            gather.absorb(out.gather);
             absorb(&mut deps, out.deps);
         }
         let reg_keys = kt.keys_of(DataType::Register);
@@ -385,6 +404,7 @@ impl Checker {
             };
             anomalies.extend(out.anomalies);
             observed.extend(out.observed);
+            gather.absorb(out.gather);
             absorb(&mut deps, out.deps);
         }
         let set_keys = kt.keys_of(DataType::Set);
@@ -402,15 +422,27 @@ impl Checker {
             };
             anomalies.extend(out.anomalies);
             observed.extend(out.observed);
+            gather.absorb(out.gather);
             absorb(&mut deps, out.deps);
         }
         let counter_keys = kt.keys_of(DataType::Counter);
         if !counter_keys.is_empty() {
             let a = counter::analyze(history, &counter_keys);
             anomalies.extend(a.anomalies);
+            gather.absorb(a.gather);
             absorb(&mut deps, a.deps);
         }
-        lap(&mut timings, "datatype inference", &mut clock);
+        // The gather scans ran inside the datatype drivers; split their
+        // share out of the inference lap so both stages read true.
+        if let Some(t) = timings.as_deref_mut() {
+            t.stages.push(("gather".to_string(), gather.secs));
+            t.stages.push((
+                "datatype inference".to_string(),
+                (clock.elapsed().as_secs_f64() - gather.secs).max(0.0),
+            ));
+            t.gather_buf_peak = gather.buf_bytes;
+            clock = Instant::now();
+        }
 
         if opts.process_edges {
             orders::add_process_edges(&mut deps, history);
@@ -499,6 +531,9 @@ impl Checker {
             warnings,
         );
         lap(&mut timings, "report assembly", &mut clock);
+        if let Some(t) = timings {
+            t.pool_peak = crate::pool::take_peak_bytes();
+        }
         report
     }
 }

@@ -18,9 +18,12 @@
 //! cache everything else.
 
 use crate::anomaly::{Anomaly, AnomalyType, Witness};
+use crate::datatype::GatherStats;
 use crate::deps::DepGraph;
+use crate::gather::{GatherBuf, KeySlots};
 use elle_history::{History, Key, Mop, ReadValue, TxnId, TxnStatus};
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashMap;
+use std::time::Instant;
 
 /// Result of the counter analysis.
 #[derive(Debug, Default)]
@@ -29,6 +32,23 @@ pub struct CounterAnalysis {
     pub deps: DepGraph,
     /// Non-cycle anomalies.
     pub anomalies: Vec<Anomaly>,
+    /// Gather-phase cost (time + peak flat-buffer bytes).
+    pub gather: GatherStats,
+}
+
+/// One counter-key event from the flat gather scan.
+#[derive(Debug, Clone, Copy)]
+pub enum CounterOcc {
+    /// An increment (any status); `may_commit` mirrors
+    /// `TxnStatus::may_have_committed` for the bound computation.
+    Inc {
+        /// The increment amount.
+        amount: i64,
+        /// Whether the incrementing transaction may have committed.
+        may_commit: bool,
+    },
+    /// A committed read `(txn, value)`.
+    Read(TxnId, i64),
 }
 
 /// Everything the per-key pass needs about one counter key.
@@ -53,35 +73,59 @@ impl Default for CounterKeyData {
     }
 }
 
-/// Partition the given transactions' counter operations by key. Only
-/// keys with at least one committed read get (and need) an entry —
-/// matching the batch pass, which only analyzes read keys.
+impl CounterKeyData {
+    /// Fold one key's occurrence run into the per-key aggregate —
+    /// byte-identical to what the retained hash-map gather accumulated.
+    pub fn from_occs(occs: &[CounterOcc]) -> Self {
+        let mut d = CounterKeyData::default();
+        for occ in occs {
+            match occ {
+                CounterOcc::Inc { amount, may_commit } => {
+                    d.all_positive = d.all_positive && *amount > 0;
+                    if *may_commit && *amount > 0 {
+                        d.max_sum += amount;
+                    }
+                }
+                CounterOcc::Read(t, v) => d.reads.push((*t, *v)),
+            }
+        }
+        d
+    }
+}
+
+/// Scan the given transactions' counter operations into the flat gather
+/// buffer, one `(slot, occurrence)` tuple per relevant micro-op.
 pub fn gather<'h>(
     txns: impl Iterator<Item = &'h elle_history::Transaction>,
-    key_set: &FxHashSet<Key>,
-) -> FxHashMap<Key, CounterKeyData> {
-    let mut data: FxHashMap<Key, CounterKeyData> = FxHashMap::default();
+    keys: &KeySlots,
+    buf: &mut GatherBuf<CounterOcc>,
+) {
     for t in txns {
         for m in &t.mops {
             match m {
-                Mop::Increment { key, amount } if key_set.contains(key) => {
-                    let d = data.entry(*key).or_default();
-                    d.all_positive = d.all_positive && *amount > 0;
-                    if t.status.may_have_committed() && *amount > 0 {
-                        d.max_sum += amount;
+                Mop::Increment { key, amount } => {
+                    if let Some(slot) = keys.slot_of(*key) {
+                        buf.push(
+                            slot,
+                            CounterOcc::Inc {
+                                amount: *amount,
+                                may_commit: t.status.may_have_committed(),
+                            },
+                        );
                     }
                 }
                 Mop::Read {
                     key,
                     value: Some(ReadValue::Counter(v)),
-                } if key_set.contains(key) && t.status == TxnStatus::Committed => {
-                    data.entry(*key).or_default().reads.push((t.id, *v));
+                } if t.status == TxnStatus::Committed => {
+                    if let Some(slot) = keys.slot_of(*key) {
+                        buf.push(slot, CounterOcc::Read(t.id, *v));
+                    }
                 }
                 _ => {}
             }
         }
     }
-    data
 }
 
 /// Analyze one counter key: bounds-check its reads and derive the `rr`
@@ -135,16 +179,24 @@ pub fn analyze(history: &History, counter_keys: &[Key]) -> CounterAnalysis {
         deps: DepGraph::with_txns(history.len()),
         ..Default::default()
     };
-    let key_set: FxHashSet<Key> = counter_keys.iter().copied().collect();
+    let keys: KeySlots = counter_keys.iter().copied().collect();
 
     out.anomalies
-        .append(&mut internal_anomalies(history.txns().iter(), &key_set));
+        .append(&mut internal_anomalies(history.txns().iter(), &keys));
 
-    let data = gather(history.txns().iter(), &key_set);
-    let mut keys: Vec<Key> = data.keys().copied().collect();
-    keys.sort_unstable();
-    for key in keys {
-        let (mut anomalies, edges) = analyze_key(history, key, &data[&key]);
+    let start = Instant::now();
+    let mut buf = GatherBuf::new();
+    gather(history.txns().iter(), &keys, &mut buf);
+    let buf_bytes = buf.footprint_bytes();
+    let grouped = buf.group(keys.len());
+    out.gather = GatherStats {
+        secs: start.elapsed().as_secs_f64(),
+        buf_bytes: buf_bytes.max(grouped.footprint_bytes()),
+    };
+    for slot in grouped.occupied() {
+        let key = keys.key(slot);
+        let data = CounterKeyData::from_occs(grouped.run(slot));
+        let (mut anomalies, edges) = analyze_key(history, key, &data);
         out.anomalies.append(&mut anomalies);
         for (a, b, w) in edges {
             out.deps.add(a, b, w);
@@ -159,7 +211,7 @@ pub fn analyze(history: &History, counter_keys: &[Key]) -> CounterAnalysis {
 /// run it on just an epoch's new transactions.
 pub fn internal_anomalies<'h>(
     txns: impl Iterator<Item = &'h elle_history::Transaction>,
-    key_set: &FxHashSet<Key>,
+    keys: &KeySlots,
 ) -> Vec<Anomaly> {
     let mut out = Vec::new();
     for t in txns {
@@ -167,13 +219,13 @@ pub fn internal_anomalies<'h>(
         let mut delta: FxHashMap<Key, i64> = FxHashMap::default(); // own incs since
         for m in &t.mops {
             match m {
-                Mop::Increment { key, amount } if key_set.contains(key) => {
+                Mop::Increment { key, amount } if keys.contains(*key) => {
                     *delta.entry(*key).or_insert(0) += amount;
                 }
                 Mop::Read {
                     key,
                     value: Some(ReadValue::Counter(v)),
-                } if key_set.contains(key) => {
+                } if keys.contains(*key) => {
                     if let Some(prev) = base.get(key) {
                         let expected = prev + delta.get(key).copied().unwrap_or(0);
                         if *v != expected {

@@ -21,10 +21,12 @@
 
 use crate::anomaly::{Anomaly, AnomalyType, Witness};
 use crate::deps::DepGraph;
+use crate::gather::{GatherBuf, KeySlots};
 use crate::observation::{DataType, ElemIndex, WriteRef};
 use elle_history::{Elem, History, Key, Mop, Transaction, TxnId, TxnStatus};
 use rayon::prelude::*;
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::time::Instant;
 
 /// The provenance index the shared passes consult — the element →
 /// writer mapping whose injectivity is exactly the paper's
@@ -60,8 +62,9 @@ pub struct AnalysisCtx<'h, C> {
     pub history: &'h History,
     /// Element → writer provenance.
     pub elems: &'h ProvenanceIndex,
-    /// The keys this datatype owns, as a set.
-    pub key_set: FxHashSet<Key>,
+    /// The keys this datatype owns, interned into dense slot ids for
+    /// the flat gather pipeline.
+    pub keys: KeySlots,
     /// Datatype-specific configuration (e.g. register assumptions).
     pub config: C,
     /// Transaction scope: `None` = the whole history (batch checking);
@@ -126,6 +129,27 @@ impl KeySink {
     }
 }
 
+/// What the flat gather pass cost — surfaced as the `gather` stage and
+/// the peak-gather-buffer gauge in `--timing` output.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GatherStats {
+    /// Wall-clock seconds spent scanning and grouping.
+    pub secs: f64,
+    /// Peak gather-buffer footprint in bytes (slots + occurrences +
+    /// offset table).
+    pub buf_bytes: usize,
+}
+
+impl GatherStats {
+    /// Fold another datatype's gather cost into this one: times add,
+    /// peak footprints max (the buffers are sequential, not live
+    /// simultaneously).
+    pub fn absorb(&mut self, other: GatherStats) {
+        self.secs += other.secs;
+        self.buf_bytes = self.buf_bytes.max(other.buf_bytes);
+    }
+}
+
 /// The merged result of one datatype's run, consumed by the checker.
 #[derive(Debug, Default)]
 pub struct DriverOutput {
@@ -140,6 +164,8 @@ pub struct DriverOutput {
     /// `(key, element)` pairs observed by committed reads of this
     /// datatype's keys (coverage statistic contribution; may repeat).
     pub observed: Vec<(Key, Elem)>,
+    /// Cost of the flat gather pass.
+    pub gather: GatherStats,
 }
 
 /// How the driver schedules per-key analysis.
@@ -178,8 +204,12 @@ pub trait DatatypeAnalysis {
     /// Cross-key immutable auxiliary data built once per run (e.g. the
     /// per-transaction append index lists use for G1b).
     type Aux<'h>: Sync;
-    /// Per-key data gathered in one pass over the history.
-    type KeyData<'h>: Send + Sync;
+    /// One per-key occurrence emitted during the gather scan. A key's
+    /// occurrences arrive at [`DatatypeAnalysis::analyze_key`] as a
+    /// contiguous slice in scan order — exactly the sequence the old
+    /// per-key `Vec` pushes produced, so per-key folds are unchanged.
+    /// `Copy` because grouping gathers occurrences out of place.
+    type Occ<'h>: Send + Sync + Copy;
 
     /// Which [`DataType`] this analysis owns.
     const DATATYPE: DataType;
@@ -190,27 +220,29 @@ pub trait DatatypeAnalysis {
     /// serial. Implementations usually delegate to [`internal_pass`].
     fn check_internal(cx: &AnalysisCtx<'_, Self::Config>, sink: &mut KeySink);
 
-    /// Single pass over the scoped transactions partitioning reads and
-    /// writes by key (use [`AnalysisCtx::scoped_txns`], never
-    /// `history.txns()` directly — the streaming driver narrows the
-    /// scope to the dirty keys' transactions).
+    /// Single pass over the scoped transactions appending flat
+    /// `(key slot, occurrence)` tuples to `buf` (use
+    /// [`AnalysisCtx::scoped_txns`], never `history.txns()` directly —
+    /// the streaming driver narrows the scope to the dirty keys'
+    /// transactions). Slot ids come from `cx.keys`.
     fn gather<'h>(
         cx: &AnalysisCtx<'h, Self::Config>,
-    ) -> (Self::Aux<'h>, FxHashMap<Key, Self::KeyData<'h>>);
+        buf: &mut GatherBuf<Self::Occ<'h>>,
+    ) -> Self::Aux<'h>;
 
     /// The key's observed-element contribution to the coverage
-    /// statistic, derived from the gathered data (shared between the
-    /// interned and the seed reference pipelines, so reports stay
+    /// statistic, derived from the gathered occurrences (shared between
+    /// the interned and the seed reference pipelines, so reports stay
     /// byte-identical across them).
-    fn observed_elems<'h>(data: &Self::KeyData<'h>) -> Vec<Elem>;
+    fn observed_elems(occs: &[Self::Occ<'_>]) -> Vec<Elem>;
 
-    /// Analyze one key. Runs on a rayon worker; must only write into
-    /// `sink`.
+    /// Analyze one key from its gathered occurrence run. Runs on a
+    /// rayon worker; must only write into `sink`.
     fn analyze_key<'h>(
         cx: &AnalysisCtx<'h, Self::Config>,
         aux: &Self::Aux<'h>,
         key: Key,
-        data: &Self::KeyData<'h>,
+        occs: &[Self::Occ<'h>],
         poisoned: bool,
         sink: &mut KeySink,
     );
@@ -237,7 +269,7 @@ pub fn run_mode<D: DatatypeAnalysis>(
     let cx = AnalysisCtx {
         history,
         elems,
-        key_set: keys.iter().copied().collect(),
+        keys: keys.iter().copied().collect(),
         config,
         scope: None,
     };
@@ -253,7 +285,9 @@ pub fn run_mode<D: DatatypeAnalysis>(
     out.anomalies.append(&mut dup_anomalies);
 
     // ── Partition by key, analyze, and merge deterministically. ───────
-    for (key, mut sink) in analyze_keys::<D>(&cx, &poisoned, mode) {
+    let (pairs, gather) = analyze_keys::<D>(&cx, &poisoned, mode);
+    out.gather = gather;
+    for (key, mut sink) in pairs {
         out.anomalies.append(&mut sink.anomalies);
         out.deps.reserve_edges(sink.edges.len());
         for (from, to, witness) in sink.edges {
@@ -293,7 +327,7 @@ pub fn duplicate_anomalies<C>(
     let mut anomalies = Vec::new();
     let mut poisoned: FxHashSet<Key> = FxHashSet::default();
     for (k, e, txns) in &cx.elems.duplicates {
-        if !cx.key_set.contains(k) {
+        if !cx.keys.contains(*k) {
             continue;
         }
         poisoned.insert(*k);
@@ -319,18 +353,75 @@ pub fn duplicate_anomalies<C>(
     (anomalies, poisoned)
 }
 
-/// Phase 3: gather the scoped transactions by key and analyze each key,
-/// returning `(key, sink)` pairs in sorted key order. This is the
-/// **finalize** half of the streaming split: batch runs it over every
-/// key with an unbounded scope; the streaming checker runs it over the
-/// epoch's dirty keys with the scope narrowed to their transactions and
-/// caches the sinks.
+/// Phase 3: gather the scoped transactions into flat per-key occurrence
+/// runs and analyze each occupied key, returning `(key, sink)` pairs in
+/// sorted key order (slot order *is* key order, so no separate key sort
+/// remains). This is the **finalize** half of the streaming split:
+/// batch runs it over every key with an unbounded scope; the streaming
+/// checker runs it over the epoch's dirty keys with the scope narrowed
+/// to their transactions and caches the sinks.
 pub fn analyze_keys<D: DatatypeAnalysis>(
     cx: &AnalysisCtx<'_, D::Config>,
     poisoned: &FxHashSet<Key>,
     mode: Parallelism,
+) -> (Vec<(Key, KeySink)>, GatherStats) {
+    let start = Instant::now();
+    let mut buf = GatherBuf::new();
+    let aux = D::gather(cx, &mut buf);
+    let buf_bytes = buf.footprint_bytes();
+    let grouped = buf.group(cx.keys.len());
+    let gather = GatherStats {
+        secs: start.elapsed().as_secs_f64(),
+        buf_bytes: buf_bytes.max(grouped.footprint_bytes()),
+    };
+    let slots: Vec<u32> = grouped.occupied().collect();
+
+    let parallel = match mode {
+        Parallelism::Sequential => false,
+        Parallelism::Parallel => true,
+        Parallelism::Auto => slots.len() >= AUTO_PARALLEL_MIN_KEYS && !auto_forced_sequential(),
+    };
+    let analyze_one = |&slot: &u32| {
+        let key = cx.keys.key(slot);
+        let occs = grouped.run(slot);
+        let mut sink = KeySink {
+            observed_elems: D::observed_elems(occs),
+            ..KeySink::default()
+        };
+        D::analyze_key(cx, &aux, key, occs, poisoned.contains(&key), &mut sink);
+        sink
+    };
+    let sinks: Vec<KeySink> = if parallel {
+        slots.par_iter().map(analyze_one).collect()
+    } else {
+        slots.iter().map(analyze_one).collect()
+    };
+    let pairs = slots
+        .into_iter()
+        .map(|s| cx.keys.key(s))
+        .zip(sinks)
+        .collect();
+    (pairs, gather)
+}
+
+/// The retained hash-map grouping the flat pipeline replaced, kept as a
+/// differential reference: identical `Occ` stream, but bucketed through
+/// `FxHashMap<Key, Vec<Occ>>` with an explicit key sort — the shape of
+/// the pre-flat gather. Property tests assert [`analyze_keys`] is
+/// byte-identical to this for every datatype and scheduling mode.
+#[doc(hidden)]
+pub fn analyze_keys_ref<D: DatatypeAnalysis>(
+    cx: &AnalysisCtx<'_, D::Config>,
+    poisoned: &FxHashSet<Key>,
+    mode: Parallelism,
 ) -> Vec<(Key, KeySink)> {
-    let (aux, data) = D::gather(cx);
+    let mut buf = GatherBuf::new();
+    let aux = D::gather(cx, &mut buf);
+    let (slots, items) = buf.into_parts();
+    let mut data: FxHashMap<Key, Vec<D::Occ<'_>>> = FxHashMap::default();
+    for (slot, occ) in slots.iter().zip(items) {
+        data.entry(cx.keys.key(*slot)).or_default().push(occ);
+    }
     let mut keys_sorted: Vec<Key> = data.keys().copied().collect();
     keys_sorted.sort_unstable();
 
@@ -342,18 +433,12 @@ pub fn analyze_keys<D: DatatypeAnalysis>(
         }
     };
     let analyze_one = |key: &Key| {
+        let occs: &[D::Occ<'_>] = &data[key];
         let mut sink = KeySink {
-            observed_elems: D::observed_elems(&data[key]),
+            observed_elems: D::observed_elems(occs),
             ..KeySink::default()
         };
-        D::analyze_key(
-            cx,
-            &aux,
-            *key,
-            &data[key],
-            poisoned.contains(key),
-            &mut sink,
-        );
+        D::analyze_key(cx, &aux, *key, occs, poisoned.contains(key), &mut sink);
         sink
     };
     let sinks: Vec<KeySink> = if parallel {
@@ -396,7 +481,7 @@ pub fn internal_pass<'h, C, S: Default>(
         slot_of.clear();
         for m in &t.mops {
             let key = m.key();
-            if !cx.key_set.contains(&key) {
+            if !cx.keys.contains(key) {
                 continue;
             }
             let slot = *slot_of.entry(key).or_insert_with(|| {
@@ -650,7 +735,7 @@ mod tests {
         let cx = AnalysisCtx {
             history: &h,
             elems: &elems,
-            key_set: [Key(1)].into_iter().collect(),
+            keys: [Key(1)].into_iter().collect(),
             config: (),
             scope: None,
         };
@@ -682,7 +767,7 @@ mod tests {
         let cx = AnalysisCtx {
             history: &h,
             elems: &elems,
-            key_set: [Key(1)].into_iter().collect(),
+            keys: [Key(1)].into_iter().collect(),
             config: (),
             scope: None,
         };

@@ -342,22 +342,24 @@ impl DepGraph {
         for &(p, _) in &pending {
             rows = rows.max((p >> 32) as usize + 1);
         }
-        let mut counts = vec![0u32; rows + 1];
+        let mut counts = crate::pool::take_u32(rows + 1);
         for &(p, _) in &pending {
             counts[(p >> 32) as usize + 1] += 1;
         }
         for i in 0..rows {
             counts[i + 1] += counts[i];
         }
-        let mut slots: Vec<u64> = vec![0; pending.len()];
+        let mut slots: Vec<u64> = crate::pool::take_u64(pending.len());
         {
-            let mut cursor = counts.clone();
+            let mut cursor = crate::pool::take_u32_empty();
+            cursor.extend_from_slice(&counts[..rows]);
             for (idx, (p, w)) in pending.iter().enumerate() {
                 let s = (p >> 32) as usize;
                 let slot = (p & 0xffff_ffff) << 32 | (w.class() as u64) << 29 | idx as u64;
                 slots[cursor[s] as usize] = slot;
                 cursor[s] += 1;
             }
+            crate::pool::put_u32(cursor);
         }
 
         // ── Per-row sorts + dedup sweep into a sorted delta spine:
@@ -408,6 +410,8 @@ impl DepGraph {
         if let Some(p) = cur {
             delta.push_tail_row(p, mask, row_start);
         }
+        crate::pool::put_u32(counts);
+        crate::pool::put_u64(slots);
 
         // ── Two-way merge into the carried spine. ─────────────────────
         let prev = std::mem::take(&mut self.spine);

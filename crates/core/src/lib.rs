@@ -45,10 +45,12 @@ mod cycle_search;
 pub mod datatype;
 mod deps;
 pub mod explain;
+pub mod gather;
 pub mod list_append;
 mod models;
 mod observation;
 mod orders;
+pub mod pool;
 pub mod reference;
 pub mod rw_register;
 pub mod set_add;
@@ -60,8 +62,9 @@ pub use cycle_search::{
     find_cycle_anomalies, find_cycle_anomalies_frozen, find_cycle_anomalies_mode,
     CycleSearchOptions,
 };
-pub use datatype::{DatatypeAnalysis, Parallelism, ProvenanceIndex};
+pub use datatype::{DatatypeAnalysis, GatherStats, Parallelism, ProvenanceIndex};
 pub use deps::DepGraph;
+pub use gather::{GatherBuf, Grouped, KeySlots};
 pub use models::{directly_violated, strongest_satisfiable, violated_models, ConsistencyModel};
 pub use observation::{DataType, ElemIndex, KeyTypes, WriteRef};
 pub use orders::{add_process_edges, add_realtime_edges, add_timestamp_edges};

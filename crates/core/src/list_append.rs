@@ -39,6 +39,7 @@ use crate::datatype::{
     KeySink, ProvenanceScan, Vocab,
 };
 use crate::deps::DepGraph;
+use crate::gather::GatherBuf;
 use crate::observation::{DataType, ElemIndex, WriteRef};
 use crate::versions::{VersionId, VersionTable};
 use elle_history::{Elem, History, Key, Mop, ReadValue, Transaction, TxnId, TxnStatus};
@@ -58,7 +59,7 @@ pub struct ListAppendAnalysis {
 }
 
 /// One committed read occurrence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct ReadOcc<'h> {
     /// The reading transaction.
     pub txn: &'h Transaction,
@@ -279,9 +280,12 @@ pub struct ListAppend;
 impl DatatypeAnalysis for ListAppend {
     type Config = ();
     /// Ordered appends per `(txn, key)` — used for G1b adjacency and for
-    /// stripping a reader's own trailing appends.
+    /// stripping a reader's own trailing appends. (Keyed by `(txn, key)`
+    /// pairs for random access during per-key analysis; the per-key
+    /// occurrence stream itself flows through the flat gather buffer.)
     type Aux<'h> = FxHashMap<(TxnId, Key), AppendSeq>;
-    type KeyData<'h> = Vec<ReadOcc<'h>>;
+    /// One committed read of a list key.
+    type Occ<'h> = ReadOcc<'h>;
 
     const DATATYPE: DataType = DataType::List;
     const VOCAB: Vocab = Vocab {
@@ -359,46 +363,50 @@ impl DatatypeAnalysis for ListAppend {
         });
     }
 
-    fn gather<'h>(cx: &AnalysisCtx<'h, ()>) -> (Self::Aux<'h>, FxHashMap<Key, Vec<ReadOcc<'h>>>) {
+    fn gather<'h>(cx: &AnalysisCtx<'h, ()>, buf: &mut GatherBuf<ReadOcc<'h>>) -> Self::Aux<'h> {
         // Roughly one append group per (txn, key) append — reserve on the
         // mop count so the bulk load never rehashes.
         let mut appends: Self::Aux<'h> =
             FxHashMap::with_capacity_and_hasher(cx.history.mop_count() / 2, Default::default());
-        let mut reads_by_key: FxHashMap<Key, Vec<ReadOcc<'h>>> = FxHashMap::default();
         for t in cx.scoped_txns() {
             for (i, m) in t.mops.iter().enumerate() {
                 match m {
-                    Mop::Append { key, elem } if cx.key_set.contains(key) => {
+                    Mop::Append { key, elem } if cx.keys.contains(*key) => {
                         appends.entry((t.id, *key)).or_default().push(*elem);
                     }
                     Mop::Read {
                         key,
                         value: Some(ReadValue::List(v)),
-                    } if cx.key_set.contains(key) && t.status == TxnStatus::Committed => {
-                        reads_by_key.entry(*key).or_default().push(ReadOcc {
-                            txn: t,
-                            mop: i,
-                            value: v,
-                        });
+                    } if t.status == TxnStatus::Committed => {
+                        if let Some(slot) = cx.keys.slot_of(*key) {
+                            buf.push(
+                                slot,
+                                ReadOcc {
+                                    txn: t,
+                                    mop: i,
+                                    value: v,
+                                },
+                            );
+                        }
                     }
                     _ => {}
                 }
             }
         }
-        (appends, reads_by_key)
+        appends
     }
 
     /// Coverage: a compatible read contributes nothing beyond the spine,
     /// so only the longest value (plus the rare incompatible read) is
     /// walked — not every read's full payload.
-    fn observed_elems<'h>(occs: &Vec<ReadOcc<'h>>) -> Vec<Elem> {
+    fn observed_elems(occs: &[ReadOcc<'_>]) -> Vec<Elem> {
         let mut longest: &[Elem] = &[];
         for occ in occs {
             if occ.value.len() >= longest.len() {
                 longest = occ.value;
             }
         }
-        let mut out: Vec<Elem> = Vec::new();
+        let mut out: Vec<Elem> = Vec::with_capacity(longest.len());
         for occ in occs {
             let l = occ.value.len();
             if !(l <= longest.len() && occ.value[..] == longest[..l]) {
@@ -413,7 +421,7 @@ impl DatatypeAnalysis for ListAppend {
         cx: &AnalysisCtx<'h, ()>,
         appends_of: &Self::Aux<'h>,
         key: Key,
-        occs: &Vec<ReadOcc<'h>>,
+        occs: &[ReadOcc<'h>],
         mut poisoned: bool,
         out: &mut KeySink,
     ) {

@@ -25,12 +25,13 @@
 use crate::anomaly::{AnomalyType, Witness};
 use crate::datatype::report_lost_updates;
 use crate::datatype::{AnalysisCtx, DatatypeAnalysis, KeySink, Provenance, ProvenanceScan};
+use crate::gather::GatherBuf;
 use crate::list_append::{show_list, ListAppend, ReadOcc};
 use crate::observation::DataType;
 use crate::rw_register::{
-    first_last_versions, show, RegKeyData, RegisterOptions, RwRegister, VSource, Version,
+    first_last_versions, show, RegKeyData, RegOcc, RegisterOptions, RwRegister, VSource, Version,
 };
-use crate::set_add::{SetAdd, SetKeyData};
+use crate::set_add::{SetAdd, SetKeyData, SetOcc};
 use elle_graph::{interval_order_reduction, tarjan_scc, DiGraph, EdgeClass, EdgeMask, Interval};
 use elle_history::{Elem, Key, Mop, ReadValue, TxnId, TxnStatus};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -42,7 +43,7 @@ pub struct ListAppendRef;
 impl DatatypeAnalysis for ListAppendRef {
     type Config = ();
     type Aux<'h> = <ListAppend as DatatypeAnalysis>::Aux<'h>;
-    type KeyData<'h> = Vec<ReadOcc<'h>>;
+    type Occ<'h> = ReadOcc<'h>;
 
     const DATATYPE: DataType = DataType::List;
     const VOCAB: crate::datatype::Vocab = ListAppend::VOCAB;
@@ -51,19 +52,19 @@ impl DatatypeAnalysis for ListAppendRef {
         ListAppend::check_internal(cx, sink);
     }
 
-    fn gather<'h>(cx: &AnalysisCtx<'h, ()>) -> (Self::Aux<'h>, FxHashMap<Key, Vec<ReadOcc<'h>>>) {
-        ListAppend::gather(cx)
+    fn gather<'h>(cx: &AnalysisCtx<'h, ()>, buf: &mut GatherBuf<ReadOcc<'h>>) -> Self::Aux<'h> {
+        ListAppend::gather(cx, buf)
     }
 
-    fn observed_elems<'h>(data: &Vec<ReadOcc<'h>>) -> Vec<Elem> {
-        ListAppend::observed_elems(data)
+    fn observed_elems(occs: &[ReadOcc<'_>]) -> Vec<Elem> {
+        ListAppend::observed_elems(occs)
     }
 
     fn analyze_key<'h>(
         cx: &AnalysisCtx<'h, ()>,
         appends_of: &Self::Aux<'h>,
         key: Key,
-        occs: &Vec<ReadOcc<'h>>,
+        occs: &[ReadOcc<'h>],
         mut poisoned: bool,
         out: &mut KeySink,
     ) {
@@ -293,7 +294,7 @@ pub struct SetAddRef;
 impl DatatypeAnalysis for SetAddRef {
     type Config = ();
     type Aux<'h> = ();
-    type KeyData<'h> = SetKeyData<'h>;
+    type Occ<'h> = SetOcc<'h>;
 
     const DATATYPE: DataType = DataType::Set;
     const VOCAB: crate::datatype::Vocab = SetAdd::VOCAB;
@@ -302,24 +303,24 @@ impl DatatypeAnalysis for SetAddRef {
         SetAdd::check_internal(cx, sink);
     }
 
-    fn gather<'h>(cx: &AnalysisCtx<'h, ()>) -> ((), FxHashMap<Key, SetKeyData<'h>>) {
-        SetAdd::gather(cx)
+    fn gather<'h>(cx: &AnalysisCtx<'h, ()>, buf: &mut GatherBuf<SetOcc<'h>>) {
+        SetAdd::gather(cx, buf);
     }
 
-    fn observed_elems<'h>(data: &SetKeyData<'h>) -> Vec<Elem> {
-        SetAdd::observed_elems(data)
+    fn observed_elems(occs: &[SetOcc<'_>]) -> Vec<Elem> {
+        SetAdd::observed_elems(occs)
     }
 
     fn analyze_key<'h>(
         cx: &AnalysisCtx<'h, ()>,
         _aux: &(),
         key: Key,
-        data: &SetKeyData<'h>,
+        occs: &[SetOcc<'h>],
         poisoned: bool,
         out: &mut KeySink,
     ) {
         let vocab = &Self::VOCAB;
-        let SetKeyData { reads, adds } = data;
+        let SetKeyData { reads, adds } = &SetKeyData::from_occs(occs);
 
         // ── Element provenance (shared scan): garbage always; G1a and
         //    wr only when the element → adder map is trustworthy. ───────
@@ -379,7 +380,7 @@ pub struct RwRegisterRef;
 impl DatatypeAnalysis for RwRegisterRef {
     type Config = RegisterOptions;
     type Aux<'h> = ();
-    type KeyData<'h> = RegKeyData<'h>;
+    type Occ<'h> = RegOcc<'h>;
 
     const DATATYPE: DataType = DataType::Register;
     const VOCAB: crate::datatype::Vocab = RwRegister::VOCAB;
@@ -388,19 +389,19 @@ impl DatatypeAnalysis for RwRegisterRef {
         RwRegister::check_internal(cx, sink);
     }
 
-    fn gather<'h>(cx: &AnalysisCtx<'h, RegisterOptions>) -> ((), FxHashMap<Key, RegKeyData<'h>>) {
-        RwRegister::gather(cx)
+    fn gather<'h>(cx: &AnalysisCtx<'h, RegisterOptions>, buf: &mut GatherBuf<RegOcc<'h>>) {
+        RwRegister::gather(cx, buf);
     }
 
-    fn observed_elems<'h>(data: &RegKeyData<'h>) -> Vec<Elem> {
-        RwRegister::observed_elems(data)
+    fn observed_elems(occs: &[RegOcc<'_>]) -> Vec<Elem> {
+        RwRegister::observed_elems(occs)
     }
 
     fn analyze_key<'h>(
         cx: &AnalysisCtx<'h, RegisterOptions>,
         _aux: &(),
         key: Key,
-        data: &RegKeyData<'h>,
+        occs: &[RegOcc<'h>],
         poisoned: bool,
         out: &mut KeySink,
     ) {
@@ -410,7 +411,7 @@ impl DatatypeAnalysis for RwRegisterRef {
             readers_of,
             versions,
             touching,
-        } = data;
+        } = &RegKeyData::from_occs(occs);
         if versions.is_empty() {
             return;
         }

@@ -32,6 +32,7 @@ use crate::datatype::{
     KeySink, Provenance, ProvenanceScan, Vocab,
 };
 use crate::deps::DepGraph;
+use crate::gather::GatherBuf;
 use crate::observation::{DataType, ElemIndex};
 use crate::versions::VersionTable;
 use elle_graph::{interval_order_reduction, tarjan_scc, DiGraph, EdgeClass, EdgeMask, Interval};
@@ -143,7 +144,31 @@ pub(crate) fn first_last_versions(t: &Transaction, key: Key) -> Option<(Version,
     first.map(|f| (f, last.expect("last set with first")))
 }
 
-/// Everything the per-key analysis needs about one register key.
+/// One register-key event from the flat gather scan.
+#[derive(Debug, Clone, Copy)]
+pub enum RegOcc<'h> {
+    /// A write's version (any transaction status).
+    Version(Version),
+    /// An observed read: the version always enters the seen-version
+    /// set; the reader is recorded only when `committed`.
+    Read {
+        /// The observed version.
+        v: Version,
+        /// The reading transaction.
+        txn: TxnId,
+        /// Whether the reader committed.
+        committed: bool,
+    },
+    /// End-of-transaction marker for a committed transaction that
+    /// touched this key.
+    Touch(&'h Transaction),
+}
+
+/// Everything the per-key analysis needs about one register key, folded
+/// from the key's occurrence run. The fold replays the exact insertion
+/// sequence the retained per-key gather performed, so the hash-map and
+/// hash-set iteration orders — which downstream passes depend on for
+/// deterministic output — are bit-identical.
 #[derive(Debug, Default)]
 pub struct RegKeyData<'h> {
     /// Committed readers per observed version (consecutive duplicates
@@ -155,13 +180,37 @@ pub struct RegKeyData<'h> {
     pub(crate) touching: Vec<&'h Transaction>,
 }
 
+impl<'h> RegKeyData<'h> {
+    pub(crate) fn from_occs(occs: &[RegOcc<'h>]) -> Self {
+        let mut d = RegKeyData::default();
+        for occ in occs {
+            match occ {
+                RegOcc::Version(v) => {
+                    d.versions.insert(*v);
+                }
+                RegOcc::Read { v, txn, committed } => {
+                    d.versions.insert(*v);
+                    if *committed {
+                        let rs = d.readers_of.entry(*v).or_default();
+                        if rs.last() != Some(txn) {
+                            rs.push(*txn);
+                        }
+                    }
+                }
+                RegOcc::Touch(t) => d.touching.push(t),
+            }
+        }
+        d
+    }
+}
+
 /// The read-write register [`DatatypeAnalysis`].
 pub struct RwRegister;
 
 impl DatatypeAnalysis for RwRegister {
     type Config = RegisterOptions;
     type Aux<'h> = ();
-    type KeyData<'h> = RegKeyData<'h>;
+    type Occ<'h> = RegOcc<'h>;
 
     const DATATYPE: DataType = DataType::Register;
     const VOCAB: Vocab = Vocab {
@@ -204,59 +253,63 @@ impl DatatypeAnalysis for RwRegister {
         });
     }
 
-    fn gather<'h>(cx: &AnalysisCtx<'h, RegisterOptions>) -> ((), FxHashMap<Key, RegKeyData<'h>>) {
-        let mut data: FxHashMap<Key, RegKeyData<'h>> = FxHashMap::default();
+    fn gather<'h>(cx: &AnalysisCtx<'h, RegisterOptions>, buf: &mut GatherBuf<RegOcc<'h>>) {
+        let mut touched: Vec<u32> = Vec::new();
         for t in cx.scoped_txns() {
-            let mut touched: Vec<Key> = Vec::new();
-            let touch = |k: Key, touched: &mut Vec<Key>| {
-                if !touched.contains(&k) {
-                    touched.push(k);
+            touched.clear();
+            let touch = |s: u32, touched: &mut Vec<u32>| {
+                if !touched.contains(&s) {
+                    touched.push(s);
                 }
             };
             for m in &t.mops {
                 match m {
-                    Mop::Write { key, elem } if cx.key_set.contains(key) => {
-                        data.entry(*key).or_default().versions.insert(Some(*elem));
-                        touch(*key, &mut touched);
+                    Mop::Write { key, elem } => {
+                        if let Some(slot) = cx.keys.slot_of(*key) {
+                            buf.push(slot, RegOcc::Version(Some(*elem)));
+                            touch(slot, &mut touched);
+                        }
                     }
                     Mop::Read {
                         key,
                         value: Some(ReadValue::Register(v)),
-                    } if cx.key_set.contains(key) => {
-                        let d = data.entry(*key).or_default();
-                        d.versions.insert(*v);
-                        touch(*key, &mut touched);
-                        if t.status == TxnStatus::Committed {
-                            let rs = d.readers_of.entry(*v).or_default();
-                            if rs.last() != Some(&t.id) {
-                                rs.push(t.id);
-                            }
+                    } => {
+                        if let Some(slot) = cx.keys.slot_of(*key) {
+                            buf.push(
+                                slot,
+                                RegOcc::Read {
+                                    v: *v,
+                                    txn: t.id,
+                                    committed: t.status == TxnStatus::Committed,
+                                },
+                            );
+                            touch(slot, &mut touched);
                         }
                     }
                     _ => {}
                 }
             }
             if t.status == TxnStatus::Committed {
-                for k in touched {
-                    data.get_mut(&k)
-                        .expect("touched key gathered")
-                        .touching
-                        .push(t);
+                for &s in &touched {
+                    buf.push(s, RegOcc::Touch(t));
                 }
             }
         }
-        ((), data)
     }
 
-    fn observed_elems<'h>(data: &RegKeyData<'h>) -> Vec<Elem> {
-        data.readers_of.keys().filter_map(|v| *v).collect()
+    fn observed_elems(occs: &[RegOcc<'_>]) -> Vec<Elem> {
+        RegKeyData::from_occs(occs)
+            .readers_of
+            .keys()
+            .filter_map(|v| *v)
+            .collect()
     }
 
     fn analyze_key<'h>(
         cx: &AnalysisCtx<'h, RegisterOptions>,
         _aux: &(),
         key: Key,
-        data: &RegKeyData<'h>,
+        occs: &[RegOcc<'h>],
         poisoned: bool,
         out: &mut KeySink,
     ) {
@@ -266,7 +319,7 @@ impl DatatypeAnalysis for RwRegister {
             readers_of,
             versions,
             touching,
-        } = data;
+        } = &RegKeyData::from_occs(occs);
         if versions.is_empty() {
             return;
         }

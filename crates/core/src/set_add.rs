@@ -28,6 +28,7 @@ use crate::datatype::{
     Vocab,
 };
 use crate::deps::DepGraph;
+use crate::gather::GatherBuf;
 use crate::observation::{DataType, ElemIndex};
 use crate::versions::{VersionId, VersionTable};
 use elle_history::{Elem, History, Key, Mop, ReadValue, TxnId, TxnStatus};
@@ -52,7 +53,18 @@ pub fn analyze(history: &History, elems: &ElemIndex, set_keys: &[Key]) -> SetAna
     }
 }
 
-/// Everything the per-key analysis needs about one set key.
+/// One committed micro-op on a set key, as emitted by the flat gather
+/// scan.
+#[derive(Debug, Clone, Copy)]
+pub enum SetOcc<'h> {
+    /// A committed read observing the given value.
+    Read(TxnId, &'h BTreeSet<Elem>),
+    /// A committed add of one element.
+    Add(TxnId, Elem),
+}
+
+/// Everything the per-key analysis needs about one set key, folded from
+/// the key's occurrence run.
 #[derive(Debug, Default)]
 pub struct SetKeyData<'h> {
     /// Committed reads, in invocation order.
@@ -61,13 +73,29 @@ pub struct SetKeyData<'h> {
     pub(crate) adds: Vec<(TxnId, Elem)>,
 }
 
+impl<'h> SetKeyData<'h> {
+    /// Split one key's occurrence run back into the read and add
+    /// sequences the retained per-key gather produced (relative order
+    /// within each sequence is the scan order, unchanged).
+    pub(crate) fn from_occs(occs: &[SetOcc<'h>]) -> Self {
+        let mut data = SetKeyData::default();
+        for occ in occs {
+            match occ {
+                SetOcc::Read(t, s) => data.reads.push((*t, s)),
+                SetOcc::Add(t, e) => data.adds.push((*t, *e)),
+            }
+        }
+        data
+    }
+}
+
 /// The grow-only set [`DatatypeAnalysis`].
 pub struct SetAdd;
 
 impl DatatypeAnalysis for SetAdd {
     type Config = ();
     type Aux<'h> = ();
-    type KeyData<'h> = SetKeyData<'h>;
+    type Occ<'h> = SetOcc<'h>;
 
     const DATATYPE: DataType = DataType::Set;
     const VOCAB: Vocab = Vocab {
@@ -121,34 +149,39 @@ impl DatatypeAnalysis for SetAdd {
         });
     }
 
-    fn gather<'h>(cx: &AnalysisCtx<'h, ()>) -> ((), FxHashMap<Key, SetKeyData<'h>>) {
-        let mut data: FxHashMap<Key, SetKeyData<'h>> = FxHashMap::default();
+    fn gather<'h>(cx: &AnalysisCtx<'h, ()>, buf: &mut GatherBuf<SetOcc<'h>>) {
         for t in cx.scoped_txns() {
             if t.status != TxnStatus::Committed {
                 continue;
             }
             for m in &t.mops {
                 match m {
-                    Mop::AddToSet { key, elem } if cx.key_set.contains(key) => {
-                        data.entry(*key).or_default().adds.push((t.id, *elem));
+                    Mop::AddToSet { key, elem } => {
+                        if let Some(slot) = cx.keys.slot_of(*key) {
+                            buf.push(slot, SetOcc::Add(t.id, *elem));
+                        }
                     }
                     Mop::Read {
                         key,
                         value: Some(ReadValue::Set(s)),
-                    } if cx.key_set.contains(key) => {
-                        data.entry(*key).or_default().reads.push((t.id, s));
+                    } => {
+                        if let Some(slot) = cx.keys.slot_of(*key) {
+                            buf.push(slot, SetOcc::Read(t.id, s));
+                        }
                     }
                     _ => {}
                 }
             }
         }
-        ((), data)
     }
 
-    fn observed_elems<'h>(data: &SetKeyData<'h>) -> Vec<Elem> {
-        data.reads
-            .iter()
-            .flat_map(|(_, s)| s.iter().copied())
+    fn observed_elems(occs: &[SetOcc<'_>]) -> Vec<Elem> {
+        occs.iter()
+            .filter_map(|occ| match occ {
+                SetOcc::Read(_, s) => Some(s.iter().copied()),
+                SetOcc::Add(..) => None,
+            })
+            .flatten()
             .collect()
     }
 
@@ -156,12 +189,12 @@ impl DatatypeAnalysis for SetAdd {
         cx: &AnalysisCtx<'h, ()>,
         _aux: &(),
         key: Key,
-        data: &SetKeyData<'h>,
+        occs: &[SetOcc<'h>],
         poisoned: bool,
         out: &mut KeySink,
     ) {
         let vocab = &Self::VOCAB;
-        let SetKeyData { reads, adds } = data;
+        let SetKeyData { reads, adds } = &SetKeyData::from_occs(occs);
 
         /// What the one-time classification concluded about one element
         /// of one distinct version.

@@ -47,11 +47,13 @@
 
 use elle_core::counter;
 use elle_core::datatype::{
-    self, analyze_keys, duplicate_anomalies, AnalysisCtx, DatatypeAnalysis, KeySink, Parallelism,
+    self, analyze_keys, duplicate_anomalies, AnalysisCtx, DatatypeAnalysis, GatherStats, KeySink,
+    Parallelism,
 };
 use elle_core::{
     assemble_report, find_cycle_anomalies_frozen, Anomaly, CheckOptions, CheckStats,
-    CycleSearchOptions, DataType, DepGraph, ElemIndex, KeyTypes, Report, StageTimings, Witness,
+    CycleSearchOptions, DataType, DepGraph, ElemIndex, GatherBuf, KeySlots, KeyTypes, Report,
+    StageTimings, Witness,
 };
 use elle_history::{
     Elem, Event, History, Ingest, Key, PairingError, ProcessId, StreamingPairer, TxnId, TxnStatus,
@@ -143,6 +145,106 @@ impl Coverage {
     }
 }
 
+/// Flat posting lists: which transactions touch each key, as sorted
+/// `(key, txn)` pairs — the stream-side counterpart of the flat gather
+/// buffer. Ingest appends to an unsorted per-epoch `tail` (with a
+/// per-transaction linear dedup, mirroring the old per-key
+/// `last() != Some(&id)` check); each seal sorts the tail once and
+/// two-pointer-merges it into `sorted`. [`TxnPostings::scope_of`] then
+/// reads per-key runs straight out of the sorted pairs — no hash map,
+/// and no per-seal re-sort of the dirty keys' combined scope.
+#[derive(Debug, Default)]
+struct TxnPostings {
+    /// `(key, txn)` pairs, lexicographically sorted; each pair unique.
+    sorted: Vec<(Key, TxnId)>,
+    /// This epoch's unsorted appendix.
+    tail: Vec<(Key, TxnId)>,
+}
+
+impl TxnPostings {
+    /// Append one transaction's touched keys. `tail_start` is the tail
+    /// length when this transaction's first mop arrived; the linear
+    /// rescan from it deduplicates keys within the transaction (mop
+    /// counts are small).
+    fn note(&mut self, key: Key, id: TxnId, tail_start: usize) {
+        if !self.tail[tail_start..].iter().any(|&(k, _)| k == key) {
+            self.tail.push((key, id));
+        }
+    }
+
+    fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Merge the epoch tail into the sorted run (one sort of the tail,
+    /// one linear merge — pairs are unique, so no dedup pass).
+    fn seal(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.tail.sort_unstable();
+        let old = std::mem::take(&mut self.sorted);
+        let mut merged: Vec<(Key, TxnId)> = Vec::with_capacity(old.len() + self.tail.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < self.tail.len() {
+            if old[i] <= self.tail[j] {
+                merged.push(old[i]);
+                i += 1;
+            } else {
+                merged.push(self.tail[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&old[i..]);
+        merged.extend_from_slice(&self.tail[j..]);
+        self.sorted = merged;
+        self.tail.clear();
+    }
+
+    /// The run of transactions touching `key`, ascending.
+    fn run(&self, key: Key) -> &[(Key, TxnId)] {
+        let lo = self.sorted.partition_point(|&(k, _)| k < key);
+        let hi = self.sorted.partition_point(|&(k, _)| k <= key);
+        &self.sorted[lo..hi]
+    }
+
+    /// The union of the dirty keys' posting runs, sorted and
+    /// deduplicated — the gather-delta transaction scope. A k-way merge
+    /// over already-sorted runs; must be called after [`seal`].
+    fn scope_of(&self, dirty_sorted: &[Key]) -> Vec<TxnId> {
+        debug_assert!(self.tail.is_empty(), "scope_of before seal");
+        let runs: Vec<&[(Key, TxnId)]> = dirty_sorted
+            .iter()
+            .map(|&k| self.run(k))
+            .filter(|r| !r.is_empty())
+            .collect();
+        match runs.len() {
+            0 => Vec::new(),
+            1 => runs[0].iter().map(|&(_, t)| t).collect(),
+            _ => {
+                use std::cmp::Reverse;
+                use std::collections::BinaryHeap;
+                let total: usize = runs.iter().map(|r| r.len()).sum();
+                let mut scope: Vec<TxnId> = Vec::with_capacity(total);
+                let mut heap: BinaryHeap<Reverse<(TxnId, usize, usize)>> = runs
+                    .iter()
+                    .enumerate()
+                    .map(|(r, run)| Reverse((run[0].1, r, 0)))
+                    .collect();
+                while let Some(Reverse((t, r, i))) = heap.pop() {
+                    if scope.last() != Some(&t) {
+                        scope.push(t);
+                    }
+                    if let Some(&(_, next)) = runs[r].get(i + 1) {
+                        heap.push(Reverse((next, r, i + 1)));
+                    }
+                }
+                scope
+            }
+        }
+    }
+}
+
 /// The frontier sizes a deployment watches: memory tracks these, not
 /// the epoch count.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -187,9 +289,9 @@ pub struct StreamChecker {
     pairer: StreamingPairer,
     kt: KeyTypes,
     elems: ElemIndex,
-    /// Transactions touching each key, in id order, deduplicated —
-    /// the gather-delta scope for dirty keys.
-    postings: FxHashMap<Key, Vec<TxnId>>,
+    /// Transactions touching each key, as flat sorted `(key, txn)`
+    /// pairs — the gather-delta scope for dirty keys.
+    postings: TxnPostings,
     list: DtCache,
     reg: DtCache,
     set: DtCache,
@@ -240,7 +342,7 @@ impl StreamChecker {
             pairer: StreamingPairer::new(),
             kt: KeyTypes::new(),
             elems: ElemIndex::new(),
-            postings: FxHashMap::default(),
+            postings: TxnPostings::default(),
             list: DtCache::default(),
             reg: DtCache::default(),
             set: DtCache::default(),
@@ -290,11 +392,9 @@ impl StreamChecker {
                 self.kt.note_txn(t);
                 self.elems.index_txn(t);
                 self.mops += t.mops.len();
+                let tail_start = self.postings.tail_len();
                 for m in &t.mops {
-                    let posting = self.postings.entry(m.key()).or_default();
-                    if posting.last() != Some(&id) {
-                        posting.push(id);
-                    }
+                    self.postings.note(m.key(), id, tail_start);
                 }
                 // Open transactions may have committed: their writes
                 // count until an abort proves otherwise (batch counts
@@ -353,6 +453,7 @@ impl StreamChecker {
         // ── Delta sets. ───────────────────────────────────────────────
         self.delta_txns.sort_unstable();
         self.delta_txns.dedup();
+        self.postings.seal();
         let history = self.pairer.history();
         let mut dirty: FxHashSet<Key> = FxHashSet::default();
         for &id in &self.delta_txns {
@@ -389,6 +490,7 @@ impl StreamChecker {
         let full_internal = self.key_types_changed;
         let mut scoped_txn_count = 0usize;
         let mut dirty_count = 0usize;
+        let mut gather = GatherStats::default();
         let mut dt_delta_edges: Vec<Vec<Edge>> = Vec::with_capacity(4);
         {
             let list_keys = self.kt.keys_of(DataType::List);
@@ -405,6 +507,7 @@ impl StreamChecker {
                 &mut self.coverage,
                 &mut scoped_txn_count,
                 &mut dirty_count,
+                &mut gather,
             );
             self.needs_rebuild |= r;
             dt_delta_edges.push(edges);
@@ -422,6 +525,7 @@ impl StreamChecker {
                 &mut self.coverage,
                 &mut scoped_txn_count,
                 &mut dirty_count,
+                &mut gather,
             );
             self.needs_rebuild |= r;
             dt_delta_edges.push(edges);
@@ -439,14 +543,14 @@ impl StreamChecker {
                 &mut self.coverage,
                 &mut scoped_txn_count,
                 &mut dirty_count,
+                &mut gather,
             );
             self.needs_rebuild |= r;
             dt_delta_edges.push(edges);
         }
         // Counter refresh (not trait-driven, same shape).
         {
-            let counter_keys: FxHashSet<Key> =
-                self.kt.keys_of(DataType::Counter).into_iter().collect();
+            let counter_keys = KeySlots::new(self.kt.keys_of(DataType::Counter));
             let cache = &mut self.counter;
             if full_internal {
                 cache.internal.clear();
@@ -473,19 +577,31 @@ impl StreamChecker {
             let mut dirty_counter: Vec<Key> = dirty
                 .iter()
                 .copied()
-                .filter(|k| counter_keys.contains(k))
+                .filter(|k| counter_keys.contains(*k))
                 .collect();
             dirty_counter.sort_unstable();
             dirty_count += dirty_counter.len();
-            let scope = scope_of(&self.postings, &dirty_counter);
+            let scope = self.postings.scope_of(&dirty_counter);
             scoped_txn_count += scope.len();
-            let dirty_set: FxHashSet<Key> = dirty_counter.iter().copied().collect();
-            let data = counter::gather(scope.iter().map(|id| history.get(*id)), &dirty_set);
+            let dirty_slots = KeySlots::from_sorted(dirty_counter);
+            let start = Instant::now();
+            let mut buf = GatherBuf::new();
+            counter::gather(
+                scope.iter().map(|id| history.get(*id)),
+                &dirty_slots,
+                &mut buf,
+            );
+            let buf_bytes = buf.footprint_bytes();
+            let grouped = buf.group(dirty_slots.len());
+            gather.absorb(GatherStats {
+                secs: start.elapsed().as_secs_f64(),
+                buf_bytes: buf_bytes.max(grouped.footprint_bytes()),
+            });
             let mut delta_edges: Vec<Edge> = Vec::new();
-            let mut keys: Vec<Key> = data.keys().copied().collect();
-            keys.sort_unstable();
-            for key in keys {
-                let (anomalies, edges) = counter::analyze_key(history, key, &data[&key]);
+            for slot in grouped.occupied() {
+                let key = dirty_slots.key(slot);
+                let data = counter::CounterKeyData::from_occs(grouped.run(slot));
+                let (anomalies, edges) = counter::analyze_key(history, key, &data);
                 let old = cache.sinks.get(&key).map_or(&[][..], |(_, e)| e.as_slice());
                 match edge_delta(old, &edges) {
                     Some(mut delta) => delta_edges.append(&mut delta),
@@ -517,7 +633,15 @@ impl StreamChecker {
                 }
             }
         }
-        lap(&mut timings, "datatype delta analysis", &mut clock);
+        // The gather scans ran inside the refresh drivers; split their
+        // share out of the delta-analysis lap so both stages read true.
+        timings.stages.push(("gather".to_string(), gather.secs));
+        timings.stages.push((
+            "datatype delta analysis".to_string(),
+            (clock.elapsed().as_secs_f64() - gather.secs).max(0.0),
+        ));
+        timings.gather_buf_peak = gather.buf_bytes;
+        clock = Instant::now();
 
         // ── Derived orders for newly committed transactions. ──────────
         let history = self.pairer.history();
@@ -671,8 +795,8 @@ impl StreamChecker {
             ),
         ];
         for (cache, vocab, dt) in parts {
-            let key_set: FxHashSet<Key> = self.kt.keys_of(dt).into_iter().collect();
-            if key_set.is_empty() {
+            let keys = KeySlots::new(self.kt.keys_of(dt));
+            if keys.is_empty() {
                 continue;
             }
             for list in cache.internal.values() {
@@ -681,7 +805,7 @@ impl StreamChecker {
             let cx = AnalysisCtx {
                 history,
                 elems: &self.elems,
-                key_set,
+                keys,
                 config: (),
                 scope: None,
             };
@@ -721,6 +845,7 @@ impl StreamChecker {
         };
         let report = assemble_report(self.opts.expected, anomalies, &self.deps, stats, warnings);
         lap(&mut timings, "report assembly", &mut clock);
+        timings.pool_peak = elle_core::pool::take_peak_bytes();
 
         let out = EpochReport {
             epoch: self.epoch,
@@ -748,20 +873,6 @@ impl StreamChecker {
         self.epoch += 1;
         out
     }
-}
-
-/// The union of the dirty keys' posting lists, sorted and deduplicated
-/// — the gather-delta transaction scope.
-fn scope_of(postings: &FxHashMap<Key, Vec<TxnId>>, dirty_sorted: &[Key]) -> Vec<TxnId> {
-    let mut scope: Vec<TxnId> = Vec::new();
-    for k in dirty_sorted {
-        if let Some(p) = postings.get(k) {
-            scope.extend_from_slice(p);
-        }
-    }
-    scope.sort_unstable();
-    scope.dedup();
-    scope
 }
 
 /// Multiset difference `new − old`, or `None` when `old ⊄ new` (a
@@ -809,22 +920,23 @@ fn refresh_dt<D: DatatypeAnalysis>(
     keys_full: &[Key],
     config: D::Config,
     dirty: &FxHashSet<Key>,
-    postings: &FxHashMap<Key, Vec<TxnId>>,
+    postings: &TxnPostings,
     delta_txns: &[TxnId],
     full_internal: bool,
     cache: &mut DtCache,
     coverage: &mut Coverage,
     scoped_txn_count: &mut usize,
     dirty_count: &mut usize,
+    gather: &mut GatherStats,
 ) -> (bool, Vec<Edge>) {
-    let key_set_full: FxHashSet<Key> = keys_full.iter().copied().collect();
+    let keys_full = KeySlots::new(keys_full.to_vec());
 
     // Internal pass, scoped to the delta (or everything after a key
     // reassignment invalidated the partition).
     let cx_internal = AnalysisCtx {
         history,
         elems,
-        key_set: key_set_full.clone(),
+        keys: keys_full,
         config,
         scope: if full_internal {
             None
@@ -855,22 +967,24 @@ fn refresh_dt<D: DatatypeAnalysis>(
     let mut dirty_sorted: Vec<Key> = dirty
         .iter()
         .copied()
-        .filter(|k| key_set_full.contains(k))
+        .filter(|k| cx_internal.keys.contains(*k))
         .collect();
     dirty_sorted.sort_unstable();
     *dirty_count += dirty_sorted.len();
-    let scope = scope_of(postings, &dirty_sorted);
+    let scope = postings.scope_of(&dirty_sorted);
     *scoped_txn_count += scope.len();
     let cx = AnalysisCtx {
         history,
         elems,
-        key_set: dirty_sorted.iter().copied().collect(),
+        keys: KeySlots::from_sorted(dirty_sorted),
         config,
         scope: Some(&scope),
     };
     let mut retraction = false;
     let mut delta_edges: Vec<Edge> = Vec::new();
-    for (key, sink) in analyze_keys::<D>(&cx, &poisoned, Parallelism::Auto) {
+    let (pairs, gather_stats) = analyze_keys::<D>(&cx, &poisoned, Parallelism::Auto);
+    gather.absorb(gather_stats);
+    for (key, sink) in pairs {
         for &e in &sink.observed_elems {
             coverage.observe(key, e);
         }
