@@ -247,6 +247,14 @@ pub struct StageTimings {
     /// Peak bytes parked in the thread-local scratch-buffer pool, i.e.
     /// how much pre-faulted memory later runs get to recycle.
     pub pool_peak: usize,
+    /// Events quarantined by the ingest recovery policy so far (0 in
+    /// strict runs and on clean streams).
+    #[serde(default)]
+    pub quarantined_events: usize,
+    /// Epoch seals forced by a resource budget (`--max-epoch-ms`)
+    /// rather than a watermark (0 in batch runs and unbudgeted streams).
+    #[serde(default)]
+    pub forced_seals: usize,
 }
 
 impl StageTimings {
@@ -293,7 +301,50 @@ impl StageTimings {
         if self.pool_peak > 0 {
             let _ = writeln!(s, "  {:<width$}  {:>9} bytes", "pool peak", self.pool_peak);
         }
+        if self.quarantined_events > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<width$}  {:>9} events",
+                "quarantined", self.quarantined_events
+            );
+        }
+        if self.forced_seals > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<width$}  {:>9} seals",
+                "forced seals", self.forced_seals
+            );
+        }
         s
+    }
+}
+
+/// An internal checker failure: a panic captured on the check path.
+///
+/// Distinct from ingest errors (the *input* was bad) — this means the
+/// checker itself failed; CLIs map it to exit code 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalError {
+    /// The captured panic payload, if it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for InternalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "internal checker error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InternalError {}
+
+/// Extract a human-readable message from a captured panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -312,6 +363,20 @@ impl Checker {
     /// Check a history, producing a [`Report`].
     pub fn check(&self, history: &History) -> Report {
         self.check_inner(history, false, None)
+    }
+
+    /// Check a history with panic isolation: a panic anywhere on the
+    /// check path (a checker bug, a pathological history) is caught and
+    /// returned as a typed [`InternalError`] instead of unwinding into
+    /// the caller — one bad tenant history must not take down a process
+    /// checking many.
+    pub fn try_check(&self, history: &History) -> Result<Report, InternalError> {
+        let me = *self;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || me.check(history))).map_err(
+            |payload| InternalError {
+                message: panic_message(payload.as_ref()),
+            },
+        )
     }
 
     /// Check a history, also returning the per-stage wall-clock

@@ -57,7 +57,10 @@ pub mod set_add;
 pub mod versions;
 
 pub use anomaly::{Anomaly, AnomalyType, CycleStep, Witness};
-pub use checker::{assemble_report, CheckOptions, CheckStats, Checker, Report, StageTimings};
+pub use checker::{
+    assemble_report, panic_message, CheckOptions, CheckStats, Checker, InternalError, Report,
+    StageTimings,
+};
 pub use cycle_search::{
     find_cycle_anomalies, find_cycle_anomalies_frozen, find_cycle_anomalies_mode,
     CycleSearchOptions,

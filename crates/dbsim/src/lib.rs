@@ -36,12 +36,14 @@
 mod bugs;
 mod config;
 mod engine;
+mod faults;
 mod scheduler;
 mod store;
 mod value;
 
 pub use bugs::Bug;
 pub use config::{DbConfig, FaultPlan, IsolationLevel, ObjectKind};
+pub use faults::{FaultKind, FaultLog, FaultSchedule, InjectedFault};
 pub use scheduler::{SimDb, TxnSource};
 pub use store::Store;
 pub use value::StoredValue;

@@ -90,6 +90,15 @@ impl EventLog {
         Ok(EventLog { events })
     }
 
+    /// Build a log from events already validated to be in strictly
+    /// increasing index order (e.g. by an ingestor that checked each
+    /// line as it arrived). Cheaper than [`EventLog::from_events`] and
+    /// cannot fail; debug builds still assert the invariant.
+    pub(crate) fn from_ordered(events: Vec<Event>) -> EventLog {
+        debug_assert!(events.windows(2).all(|w| w[0].index < w[1].index));
+        EventLog { events }
+    }
+
     /// All events, in order.
     pub fn events(&self) -> &[Event] {
         &self.events

@@ -33,6 +33,7 @@
 mod builder;
 mod event;
 mod ids;
+pub mod ingest;
 mod mop;
 mod pairing;
 mod serde_io;
@@ -41,10 +42,13 @@ mod txn;
 pub use builder::{duplicate_written_elems, HistoryBuilder, TxnBuilder};
 pub use event::{Event, EventKind, EventLog};
 pub use ids::{Elem, Key, ProcessId, TxnId};
+pub use ingest::{
+    events_from_ndjson_with, Diagnostic, IngestCause, IngestError, NdjsonIngestor, Recovered,
+    RecoveryAction, RecoveryPolicy, SourcePos,
+};
 pub use mop::{Mop, ReadValue};
 pub use pairing::{Ingest, PairingError, StreamingPairer};
 pub use serde_io::{
     events_from_ndjson, events_to_ndjson, history_from_json, history_to_json, history_to_ndjson,
-    NdjsonError,
 };
 pub use txn::{History, Transaction, TxnStatus};

@@ -5,6 +5,7 @@
 //! an open invocation at the end of the log yields an indeterminate
 //! transaction (we never saw its outcome).
 
+use crate::ingest::{Diagnostic, IngestError, Recovered, RecoveryPolicy, SourcePos};
 use crate::{Event, EventKind, EventLog, History, Mop, ProcessId, Transaction, TxnId, TxnStatus};
 use rustc_hash::FxHashMap;
 use std::fmt;
@@ -153,6 +154,36 @@ impl EventLog {
         txns.sort_by_key(|t| t.invoke_index);
         Ok(History::from_txns(txns))
     }
+
+    /// Pair under a [`RecoveryPolicy`]. `Strict` behaves like
+    /// [`EventLog::pair`] but returns a positioned [`IngestError`];
+    /// `Quarantine` repairs pairing violations per the ladder documented
+    /// on [`crate::ingest`] and records one [`Diagnostic`] each.
+    ///
+    /// For in-memory logs the diagnostic position is the 1-based event
+    /// position in the log (byte 0): there is no wire to point into.
+    pub fn pair_with(
+        &self,
+        policy: RecoveryPolicy,
+    ) -> Result<(History, Vec<Diagnostic>), IngestError> {
+        let mut pairer = StreamingPairer::new();
+        let mut diagnostics = Vec::new();
+        for (i, ev) in self.events().iter().enumerate() {
+            let pos = SourcePos {
+                line: i + 1,
+                byte: 0,
+            };
+            match pairer.feed_with(ev, policy) {
+                Ok(recovered) => {
+                    if let Some(d) = recovered.diagnostic(pos) {
+                        diagnostics.push(d);
+                    }
+                }
+                Err(e) => return Err(IngestError::from_pairing(pos, e)),
+            }
+        }
+        Ok((pairer.into_history(), diagnostics))
+    }
 }
 
 /// What one fed event did to the paired history.
@@ -202,6 +233,20 @@ impl StreamingPairer {
     /// Number of invocations currently awaiting completion.
     pub fn open_count(&self) -> usize {
         self.open.len()
+    }
+
+    /// The open invocations: `(process, txn, invoke timestamp)` — the
+    /// extra state a crash-recovery path needs to reconstruct a pairer
+    /// from its paired history (open transactions don't carry their
+    /// invoke timestamp until they commit).
+    pub fn open_entries(&self) -> Vec<(ProcessId, TxnId, Option<u64>)> {
+        let mut entries: Vec<(ProcessId, TxnId, Option<u64>)> = self
+            .open
+            .iter()
+            .map(|(&p, &(id, ts))| (p, id, ts))
+            .collect();
+        entries.sort_by_key(|&(_, id, _)| id);
+        entries
     }
 
     /// Feed the next event.
@@ -262,6 +307,96 @@ impl StreamingPairer {
                 Ok(Ingest::Completed(id))
             }
         }
+    }
+
+    /// Feed the next event under a [`RecoveryPolicy`].
+    ///
+    /// `Strict` is exactly [`StreamingPairer::feed`]. `Quarantine` turns
+    /// each pairing violation into a repair (see [`crate::ingest`] for
+    /// the soundness ladder) and reports what it did via [`Recovered`]:
+    ///
+    /// * late/duplicate event → [`Recovered::Skipped`]
+    /// * orphan completion → [`Recovered::Adopted`] point-interval txn
+    /// * overlapping invocation → [`Recovered::Abandoned`]: the open
+    ///   txn stays indeterminate, the new invocation is admitted
+    /// * mismatched completion → [`Recovered::Skipped`], invocation
+    ///   stays open
+    pub fn feed_with(
+        &mut self,
+        ev: &Event,
+        policy: RecoveryPolicy,
+    ) -> Result<Recovered, PairingError> {
+        let err = match self.feed(ev) {
+            Ok(i) => return Ok(Recovered::Ingested(i)),
+            Err(e) => e,
+        };
+        if policy == RecoveryPolicy::Strict {
+            return Err(err);
+        }
+        match err {
+            // The event is from the past: a duplicate delivery (already
+            // ingested — dropping it is exact) or a reordered one
+            // (degrades to loss of this event).
+            PairingError::NonMonotonicIndex { .. } => Ok(Recovered::Skipped(err)),
+            // The completion can't be matched to what this process
+            // invoked; drop it and let the invocation end indeterminate.
+            PairingError::MismatchedMops { .. } => Ok(Recovered::Skipped(err)),
+            // The invocation was lost. Adopt the completion as a
+            // point-interval transaction: every micro-op it carries was
+            // observed by the client, so data flow is exact — only the
+            // real-time interval collapses.
+            PairingError::CompletionWithoutInvoke { .. } => {
+                // `feed` advanced `last_index` before failing, so the
+                // event must be admitted inline, not re-fed.
+                let id = TxnId(self.history.len() as u32);
+                self.history.txns_mut().push(Transaction {
+                    id,
+                    process: ev.process,
+                    mops: ev.mops.clone(),
+                    status: match ev.kind {
+                        EventKind::Ok => TxnStatus::Committed,
+                        EventKind::Fail => TxnStatus::Aborted,
+                        _ => TxnStatus::Indeterminate,
+                    },
+                    invoke_index: ev.index,
+                    complete_index: Some(ev.index),
+                    timestamps: None,
+                });
+                Ok(Recovered::Adopted(id, err))
+            }
+            // The open invocation's completion was lost. Its history
+            // record already says Indeterminate with no completion —
+            // exactly right — so abandon it and admit the new one.
+            PairingError::OverlappingInvoke { .. } => {
+                // An overlap error implies an open entry; if it is ever
+                // absent, degrade to dropping the event rather than
+                // panicking on an ingest path.
+                let Some((abandoned, _)) = self.open.remove(&ev.process) else {
+                    return Ok(Recovered::Skipped(err));
+                };
+                let admitted = TxnId(self.history.len() as u32);
+                self.open.insert(ev.process, (admitted, ev.time_ns));
+                self.history.txns_mut().push(Transaction {
+                    id: admitted,
+                    process: ev.process,
+                    mops: ev.mops.clone(),
+                    status: TxnStatus::Indeterminate,
+                    invoke_index: ev.index,
+                    complete_index: None,
+                    timestamps: None,
+                });
+                Ok(Recovered::Abandoned {
+                    abandoned,
+                    admitted,
+                    cause: err,
+                })
+            }
+        }
+    }
+
+    /// Consume the pairer, yielding the paired history.
+    pub fn into_history(self) -> History {
+        self.history
     }
 }
 

@@ -14,9 +14,9 @@
 //! increasing but may be sparse (so exporting a hand-built history and
 //! re-pairing reproduces it exactly).
 
+use crate::ingest::{events_from_ndjson_with, IngestError, RecoveryPolicy};
 use crate::{Event, EventLog, History, Mop, TxnStatus};
 use serde::de::Error as _;
-use std::fmt;
 
 /// Serialize a history to a JSON string.
 pub fn history_to_json(h: &History) -> String {
@@ -39,23 +39,6 @@ pub fn history_from_json(s: &str) -> Result<History, serde_json::Error> {
     Ok(h)
 }
 
-/// A malformed NDJSON event stream, with the 1-based line it died on.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NdjsonError {
-    /// 1-based line number of the offending line.
-    pub line: usize,
-    /// What was wrong with it.
-    pub message: String,
-}
-
-impl fmt::Display for NdjsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for NdjsonError {}
-
 /// Serialize an event log as NDJSON: one JSON event per line, in order.
 pub fn events_to_ndjson(log: &EventLog) -> String {
     let mut s = String::new();
@@ -66,34 +49,14 @@ pub fn events_to_ndjson(log: &EventLog) -> String {
     s
 }
 
-/// Parse an NDJSON event stream. Blank lines are skipped; any other
-/// malformed line (bad JSON, non-increasing index) reports its 1-based
-/// position so a producer can find it in a multi-gigabyte log.
-pub fn events_from_ndjson(s: &str) -> Result<EventLog, NdjsonError> {
-    let mut events: Vec<Event> = Vec::new();
-    let mut last_index: Option<usize> = None;
-    for (i, line) in s.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let ev: Event = serde_json::from_str(line).map_err(|e| NdjsonError {
-            line: i + 1,
-            message: e.to_string(),
-        })?;
-        if last_index.is_some_and(|last| ev.index <= last) {
-            return Err(NdjsonError {
-                line: i + 1,
-                message: format!(
-                    "event index {} is not greater than the previous line's",
-                    ev.index
-                ),
-            });
-        }
-        last_index = Some(ev.index);
-        events.push(ev);
-    }
-    Ok(EventLog::from_events(events).expect("indices validated above"))
+/// Parse an NDJSON event stream strictly. Blank lines are skipped; any
+/// other malformed line (bad JSON, non-increasing index) aborts with a
+/// typed [`IngestError`] carrying its exact 1-based line and byte
+/// position, so a producer can find it in a multi-gigabyte log. For
+/// fault-tolerant parsing see
+/// [`events_from_ndjson_with`](crate::events_from_ndjson_with).
+pub fn events_from_ndjson(s: &str) -> Result<EventLog, IngestError> {
+    events_from_ndjson_with(s, RecoveryPolicy::Strict).map(|(log, _)| log)
 }
 
 /// Export a history as an NDJSON event stream: each transaction becomes
@@ -223,8 +186,9 @@ mod tests {
         let mut lines: Vec<&str> = nd.lines().collect();
         lines.insert(2, "{not json");
         let err = events_from_ndjson(&lines.join("\n")).unwrap_err();
-        assert_eq!(err.line, 3);
-        assert!(err.to_string().starts_with("line 3:"), "{err}");
+        assert_eq!(err.pos.line, 3);
+        assert!(matches!(err.cause, crate::IngestCause::Decode { .. }));
+        assert!(err.to_string().starts_with("line 3 (byte "), "{err}");
     }
 
     #[test]
@@ -234,8 +198,9 @@ mod tests {
         let nd = history_to_ndjson(&b.build());
         let doubled = format!("{nd}{nd}");
         let err = events_from_ndjson(&doubled).unwrap_err();
-        assert_eq!(err.line, 3);
-        assert!(err.message.contains("not greater"), "{err}");
+        assert_eq!(err.pos.line, 3);
+        assert!(matches!(err.cause, crate::IngestCause::Ordering { .. }));
+        assert!(err.to_string().contains("not greater"), "{err}");
     }
 
     #[test]

@@ -56,11 +56,13 @@ use elle_core::{
     StageTimings, Witness,
 };
 use elle_history::{
-    Elem, Event, History, Ingest, Key, PairingError, ProcessId, StreamingPairer, TxnId, TxnStatus,
+    Elem, Event, EventKind, History, Ingest, Key, Mop, PairingError, ProcessId, Recovered,
+    RecoveryPolicy, StreamingPairer, TxnId, TxnStatus,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -257,6 +259,9 @@ pub struct FrontierStats {
     pub dirty_keys: usize,
     /// Transactions the gather-delta phase walked this epoch.
     pub scoped_txns: usize,
+    /// Events quarantined by the recovery policy since stream start.
+    #[serde(default)]
+    pub quarantined_events: usize,
 }
 
 /// One sealed epoch's outcome.
@@ -278,6 +283,12 @@ pub struct EpochReport {
     pub frontier: FrontierStats,
     /// Per-stage wall-clock breakdown of the seal.
     pub timings: StageTimings,
+    /// `Some(panic message)` when the seal panicked and was isolated:
+    /// the verdict for this epoch is **indeterminate** (the embedded
+    /// report is a placeholder with a warning), the checker's state was
+    /// rebuilt from the paired history, and subsequent epochs keep
+    /// sealing. Only [`StreamChecker::seal_epoch_guarded`] sets this.
+    pub poisoned: Option<String>,
 }
 
 /// The incremental checker. Feed events with
@@ -332,6 +343,13 @@ pub struct StreamChecker {
     needs_rebuild: bool,
     key_types_changed: bool,
     epoch: usize,
+
+    // ── Robustness. ───────────────────────────────────────────────────
+    /// Events quarantined by the recovery policy since stream start.
+    quarantined: usize,
+    /// Test hook: panic at the start of sealing this epoch ordinal, to
+    /// exercise the poisoned-epoch recovery path deterministically.
+    panic_at_epoch: Option<usize>,
 }
 
 impl StreamChecker {
@@ -365,6 +383,8 @@ impl StreamChecker {
             needs_rebuild: false,
             key_types_changed: false,
             epoch: 0,
+            quarantined: 0,
+            panic_at_epoch: None,
         }
     }
 
@@ -386,48 +406,116 @@ impl StreamChecker {
     /// Ingest one event. The event is *not* retained: the pairer's open
     /// table plus the paired history are the only pairing state.
     pub fn ingest_event(&mut self, ev: &Event) -> Result<(), PairingError> {
-        match self.pairer.feed(ev)? {
-            Ingest::Invoked(id) => {
-                let t = self.pairer.history().get(id);
-                self.kt.note_txn(t);
-                self.elems.index_txn(t);
-                self.mops += t.mops.len();
-                let tail_start = self.postings.tail_len();
-                for m in &t.mops {
-                    self.postings.note(m.key(), id, tail_start);
-                }
-                // Open transactions may have committed: their writes
-                // count until an abort proves otherwise (batch counts
-                // indeterminate writers the same way).
-                for (_, k, e) in t.elem_writes() {
-                    self.coverage.add_write(k, e);
-                }
-                self.delta_txns.push(id);
+        self.ingest_event_with(ev, RecoveryPolicy::Strict)
+            .map(|_| ())
+    }
+
+    /// Ingest one event under a [`RecoveryPolicy`]. `Strict` is exactly
+    /// [`StreamChecker::ingest_event`]; `Quarantine` repairs pairing
+    /// violations (skip / adopt orphan / abandon open — see
+    /// [`elle_history::ingest`]) and folds the repaired transaction into
+    /// the incremental state. Returns what recovery did, so callers can
+    /// attach source positions to diagnostics.
+    pub fn ingest_event_with(
+        &mut self,
+        ev: &Event,
+        policy: RecoveryPolicy,
+    ) -> Result<Recovered, PairingError> {
+        let recovered = self.pairer.feed_with(ev, policy)?;
+        match &recovered {
+            Recovered::Ingested(Ingest::Invoked(id)) => self.note_invoked(*id),
+            Recovered::Ingested(Ingest::Completed(id)) => self.note_completed(*id),
+            Recovered::Skipped(_) => self.quarantined += 1,
+            Recovered::Adopted(id, _) => {
+                self.note_adopted(*id);
+                self.quarantined += 1;
             }
-            Ingest::Completed(id) => {
-                let t = self.pairer.history().get(id);
-                self.kt.note_txn(t);
-                self.elems.update_status(t);
-                self.delta_txns.push(id);
-                match t.status {
-                    TxnStatus::Committed => {
-                        self.n_committed += 1;
-                        self.newly_committed.push(id);
-                    }
-                    TxnStatus::Aborted => {
-                        self.n_aborted += 1;
-                        let writes: Vec<(Key, Elem)> =
-                            t.elem_writes().map(|(_, k, e)| (k, e)).collect();
-                        for (k, e) in writes {
-                            self.coverage.retract_write(k, e);
-                        }
-                    }
-                    TxnStatus::Indeterminate => {}
-                }
+            Recovered::Abandoned { admitted, .. } => {
+                // The abandoned transaction's indexed state is already
+                // exactly right: an open invocation that will never
+                // complete. Only the admitted invocation is new.
+                self.note_invoked(*admitted);
+                self.quarantined += 1;
             }
         }
         self.events_this_epoch += 1;
-        Ok(())
+        Ok(recovered)
+    }
+
+    /// Events quarantined by the recovery policy since stream start.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    fn note_invoked(&mut self, id: TxnId) {
+        let t = self.pairer.history().get(id);
+        self.kt.note_txn(t);
+        self.elems.index_txn(t);
+        self.mops += t.mops.len();
+        let tail_start = self.postings.tail_len();
+        for m in &t.mops {
+            self.postings.note(m.key(), id, tail_start);
+        }
+        // Open transactions may have committed: their writes count
+        // until an abort proves otherwise (batch counts indeterminate
+        // writers the same way).
+        for (_, k, e) in t.elem_writes() {
+            self.coverage.add_write(k, e);
+        }
+        self.delta_txns.push(id);
+    }
+
+    fn note_completed(&mut self, id: TxnId) {
+        let t = self.pairer.history().get(id);
+        self.kt.note_txn(t);
+        self.elems.update_status(t);
+        self.delta_txns.push(id);
+        match t.status {
+            TxnStatus::Committed => {
+                self.n_committed += 1;
+                self.newly_committed.push(id);
+            }
+            TxnStatus::Aborted => {
+                self.n_aborted += 1;
+                let writes: Vec<(Key, Elem)> = t.elem_writes().map(|(_, k, e)| (k, e)).collect();
+                for (k, e) in writes {
+                    self.coverage.retract_write(k, e);
+                }
+            }
+            TxnStatus::Indeterminate => {}
+        }
+    }
+
+    /// Fold an adopted orphan — born already completed — into the
+    /// incremental state: the invoke-side bookkeeping with the final
+    /// mops and status, plus the completion-side counters.
+    fn note_adopted(&mut self, id: TxnId) {
+        let t = self.pairer.history().get(id);
+        self.kt.note_txn(t);
+        // `index_txn` stamps each write with the transaction's *current*
+        // status — final for an adopted orphan, so no `update_status`.
+        self.elems.index_txn(t);
+        self.mops += t.mops.len();
+        let tail_start = self.postings.tail_len();
+        for m in &t.mops {
+            self.postings.note(m.key(), id, tail_start);
+        }
+        match t.status {
+            TxnStatus::Committed => {
+                self.n_committed += 1;
+                self.newly_committed.push(id);
+            }
+            TxnStatus::Aborted => {
+                self.n_aborted += 1;
+            }
+            TxnStatus::Indeterminate => {}
+        }
+        if t.status.may_have_committed() {
+            for (_, k, e) in t.elem_writes() {
+                self.coverage.add_write(k, e);
+            }
+        }
+        self.delta_txns.push(id);
     }
 
     /// Ingest every event of a log in order.
@@ -441,6 +529,9 @@ impl StreamChecker {
     /// Seal the current epoch: run the incremental analysis over the
     /// epoch's delta and report on the entire prefix ingested so far.
     pub fn seal_epoch(&mut self) -> EpochReport {
+        if self.panic_at_epoch == Some(self.epoch) {
+            panic!("injected seal panic (epoch {})", self.epoch);
+        }
         let mut timings = StageTimings::default();
         let mut clock = Instant::now();
         fn lap(timings: &mut StageTimings, name: &str, clock: &mut Instant) {
@@ -846,6 +937,7 @@ impl StreamChecker {
         let report = assemble_report(self.opts.expected, anomalies, &self.deps, stats, warnings);
         lap(&mut timings, "report assembly", &mut clock);
         timings.pool_peak = elle_core::pool::take_peak_bytes();
+        timings.quarantined_events = self.quarantined;
 
         let out = EpochReport {
             epoch: self.epoch,
@@ -861,8 +953,10 @@ impl StreamChecker {
                     + self.counter.sinks.len(),
                 dirty_keys: dirty_count,
                 scoped_txns: scoped_txn_count,
+                quarantined_events: self.quarantined,
             },
             timings,
+            poisoned: None,
         };
         // ── Reclaim epoch-delta state: memory tracks the frontier. ────
         self.delta_txns = Vec::new();
@@ -872,6 +966,151 @@ impl StreamChecker {
         self.key_types_changed = false;
         self.epoch += 1;
         out
+    }
+
+    /// Seal with panic isolation: a panic anywhere in the seal is
+    /// caught, the epoch is reported as **poisoned** (indeterminate
+    /// verdict carrying the panic message), the checker's incremental
+    /// state is rebuilt from the paired history — which sealing never
+    /// mutates, so it survives a mid-seal panic intact — and subsequent
+    /// epochs keep sealing normally (the rebuilt state takes the full
+    /// batch-equivalent path on its next seal).
+    pub fn seal_epoch_guarded(&mut self) -> EpochReport {
+        match catch_unwind(AssertUnwindSafe(|| self.seal_epoch())) {
+            Ok(out) => out,
+            Err(payload) => {
+                let message = elle_core::panic_message(payload.as_ref());
+                self.recover_from_history();
+                let n = self.txn_count();
+                let stats = CheckStats {
+                    txns: n,
+                    mops: self.mops,
+                    committed: self.n_committed,
+                    aborted: self.n_aborted,
+                    indeterminate: n - self.n_committed - self.n_aborted,
+                    edges: BTreeMap::new(),
+                    committed_writes: self.coverage.committed_writes,
+                    observed_writes: self.coverage.observed_writes,
+                };
+                let warnings = vec![format!(
+                    "epoch {} poisoned by a checker panic: {message}; \
+                     state rebuilt from the paired history",
+                    self.epoch
+                )];
+                let report = assemble_report(
+                    self.opts.expected,
+                    Vec::new(),
+                    &DepGraph::with_txns(0),
+                    stats,
+                    warnings,
+                );
+                let timings = StageTimings {
+                    quarantined_events: self.quarantined,
+                    ..StageTimings::default()
+                };
+                let events = self.events_this_epoch;
+                // The poisoned epoch is consumed: its delta is folded
+                // into the rebuilt (all-delta) state and the ordinal
+                // advances so the stream keeps its epoch numbering.
+                self.events_this_epoch = 0;
+                let out = EpochReport {
+                    epoch: self.epoch,
+                    events,
+                    txns: n,
+                    report,
+                    rebuilt: true,
+                    frontier: FrontierStats {
+                        open_txns: self.pairer.open_count(),
+                        cached_keys: 0,
+                        dirty_keys: 0,
+                        scoped_txns: 0,
+                        quarantined_events: self.quarantined,
+                    },
+                    timings,
+                    poisoned: Some(message),
+                };
+                self.epoch += 1;
+                out
+            }
+        }
+    }
+
+    /// Rebuild every piece of incremental state from the paired history
+    /// (the one structure sealing never mutates): synthesize the
+    /// accepted event sequence the history encodes, feed it through a
+    /// fresh checker, and carry the epoch ordinal and quarantine
+    /// counter over. Transaction ids are reproduced exactly — ids are
+    /// assigned in accepted-event index order, and synthesis emits
+    /// events in that same order (adopted orphans re-enter as bare
+    /// completions and re-adopt; abandoned opens re-abandon).
+    fn recover_from_history(&mut self) {
+        let mut fresh = StreamChecker::new(self.opts);
+        let open_ts: FxHashMap<TxnId, Option<u64>> = self
+            .pairer
+            .open_entries()
+            .into_iter()
+            .map(|(_, id, ts)| (id, ts))
+            .collect();
+        let history = self.pairer.history();
+        let mut events: Vec<Event> = Vec::with_capacity(history.len() * 2);
+        for t in history.txns() {
+            let kind = match t.status {
+                TxnStatus::Committed => EventKind::Ok,
+                TxnStatus::Aborted => EventKind::Fail,
+                TxnStatus::Indeterminate => EventKind::Info,
+            };
+            match t.complete_index {
+                // Adopted orphan: one completion event, re-adopted below.
+                Some(ci) if ci == t.invoke_index => events.push(Event {
+                    index: ci,
+                    process: t.process,
+                    kind,
+                    mops: t.mops.clone(),
+                    time_ns: None,
+                }),
+                complete => {
+                    events.push(Event {
+                        index: t.invoke_index,
+                        process: t.process,
+                        kind: EventKind::Invoke,
+                        mops: t.mops.iter().map(Mop::to_invocation).collect(),
+                        time_ns: t
+                            .timestamps
+                            .map(|(s, _)| s)
+                            .or_else(|| open_ts.get(&t.id).copied().flatten()),
+                    });
+                    if let Some(ci) = complete {
+                        events.push(Event {
+                            index: ci,
+                            process: t.process,
+                            kind,
+                            mops: t.mops.clone(),
+                            time_ns: t.timestamps.map(|(_, c)| c),
+                        });
+                    }
+                }
+            }
+        }
+        events.sort_unstable_by_key(|e| e.index);
+        for ev in &events {
+            // Synthesized events can only trip the violations recovery
+            // repairs (orphan adoption, open abandonment); Quarantine
+            // absorbs them and reproduces the same transactions.
+            let _ = fresh.ingest_event_with(ev, RecoveryPolicy::Quarantine);
+        }
+        debug_assert_eq!(fresh.pairer.history(), self.pairer.history());
+        fresh.epoch = self.epoch;
+        fresh.quarantined = self.quarantined;
+        fresh.events_this_epoch = self.events_this_epoch;
+        fresh.panic_at_epoch = self.panic_at_epoch;
+        *self = fresh;
+    }
+
+    /// Test hook: make the seal of epoch ordinal `epoch` panic, to
+    /// exercise poisoned-epoch isolation deterministically.
+    #[doc(hidden)]
+    pub fn inject_seal_panic(&mut self, epoch: usize) {
+        self.panic_at_epoch = Some(epoch);
     }
 }
 

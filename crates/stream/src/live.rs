@@ -11,7 +11,7 @@ use crate::{EpochPolicy, EpochReport, StreamChecker};
 use elle_core::CheckOptions;
 use elle_dbsim::{DbConfig, SimDb};
 use elle_gen::{GenParams, Workload};
-use elle_history::EventKind;
+use elle_history::{EventKind, RecoveryPolicy};
 use std::time::Instant;
 
 /// Generate and run a workload against the simulator, checking it live.
@@ -30,22 +30,23 @@ pub fn run_live(
     let mut events_since = 0usize;
     let mut since_seal = Instant::now();
     SimDb::new(db).run_with(&mut workload, |ev| {
-        checker
-            .ingest_event(ev)
-            .expect("simulator emits well-formed event streams");
+        // The simulator emits well-formed streams, but a pairing slip
+        // must not take the whole live run down: quarantine it and let
+        // the diagnostic surface in the epoch's frontier stats.
+        let _ = checker.ingest_event_with(ev, RecoveryPolicy::Quarantine);
         events_since += 1;
         if ev.kind == EventKind::Invoke {
             txns_since += 1;
         }
         if policy.should_seal(txns_since, events_since, since_seal) {
-            let report = checker.seal_epoch();
+            let report = checker.seal_epoch_guarded();
             on_epoch(&report);
             txns_since = 0;
             events_since = 0;
             since_seal = Instant::now();
         }
     });
-    let last = checker.seal_epoch();
+    let last = checker.seal_epoch_guarded();
     on_epoch(&last);
     last
 }

@@ -1,16 +1,18 @@
 //! Command-line checker: read a JSON history (as produced by
-//! `elle_history::history_to_json` or any compatible harness), run Elle,
-//! and print the report.
+//! `elle_history::history_to_json` or any compatible harness) or an
+//! NDJSON event stream (`*.ndjson`), run Elle, and print the report.
 //!
 //! ```sh
 //! elle-check history.json --model snapshot-isolation --realtime --process
+//! elle-check events.ndjson --quarantine     # salvage a damaged stream
 //! elle-check history.json --json            # machine-readable report
 //! elle-check --demo                         # check a built-in example
 //! ```
 //!
 //! Exit status: 0 when the expected model holds, 1 when violated, 2 on
-//! usage or input errors.
+//! usage or input errors, 3 on an internal checker error.
 
+use elle::history::{NdjsonIngestor, RecoveryPolicy};
 use elle::prelude::*;
 use std::process::ExitCode;
 
@@ -20,7 +22,10 @@ fn parse_model(s: &str) -> Option<ConsistencyModel> {
 
 fn usage_text() -> String {
     format!(
-        "usage: elle-check <history.json> [options]\n\
+        "usage: elle-check <history.json | events.ndjson> [options]\n\
+         \n\
+         A *.ndjson input is parsed as an event stream (one invoke/ok/fail/info\n\
+         event per line) and paired; anything else as a JSON history.\n\
          \n\
          options:\n\
          --model <name>   expected model (default strict-serializable):\n\
@@ -31,9 +36,18 @@ fn usage_text() -> String {
          --linearizable-keys  assume per-key linearizability (registers)\n\
          --sequential-keys    assume per-key sequential consistency\n\
          --max-cycles <n> cap reported cycles per anomaly type\n\
+         --quarantine     salvage damaged .ndjson input: skip undecodable or\n\
+         \u{20}                misordered lines, adopt orphan completions, abandon\n\
+         \u{20}                overlapping invocations (one stderr diagnostic each)\n\
          --json           print the full report as JSON\n\
          --timing         print a per-stage wall-clock breakdown on stderr\n\
-         --demo           check a built-in anomalous example",
+         --demo           check a built-in anomalous example\n\
+         \n\
+         exit status:\n\
+         0  the expected model holds\n\
+         1  the expected model is violated\n\
+         2  usage or input error (strict-mode ingest failures included)\n\
+         3  internal checker error (a bug in elle, not in your database)",
         ConsistencyModel::ALL
             .map(|m| format!("                   {}", m.name()))
             .join("\n")
@@ -85,6 +99,7 @@ fn main() -> ExitCode {
     let mut as_json = false;
     let mut timing = false;
     let mut demo = false;
+    let mut quarantine = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -113,6 +128,7 @@ fn main() -> ExitCode {
             "--json" => as_json = true,
             "--timing" => timing = true,
             "--demo" => demo = true,
+            "--quarantine" => quarantine = true,
             "--help" | "-h" => return help(),
             other if path.is_none() && !other.starts_with('-') => {
                 path = Some(other.to_string());
@@ -126,6 +142,7 @@ fn main() -> ExitCode {
     opts = opts.with_registers(registers);
 
     let parse_start = std::time::Instant::now();
+    let mut quarantined = 0usize;
     let history = if demo {
         demo_history()
     } else {
@@ -137,11 +154,30 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match elle::history::history_from_json(&raw) {
-            Ok(h) => h,
-            Err(e) => {
-                eprintln!("cannot parse {path}: {e}");
+        if path.ends_with(".ndjson") {
+            let policy = if quarantine {
+                RecoveryPolicy::Quarantine
+            } else {
+                RecoveryPolicy::Strict
+            };
+            let mut ingestor = NdjsonIngestor::new(policy);
+            if let Err(e) = ingestor.feed_str(&raw) {
+                eprintln!("cannot ingest {path}: {e}");
                 return ExitCode::from(2);
+            }
+            let (h, diags) = ingestor.finish();
+            for d in &diags {
+                eprintln!("quarantined: {d}");
+            }
+            quarantined = diags.len();
+            h
+        } else {
+            match elle::history::history_from_json(&raw) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::from(2);
+                }
             }
         }
     };
@@ -149,13 +185,32 @@ fn main() -> ExitCode {
 
     let checker = Checker::new(opts);
     let report = if timing {
-        let (report, stages) = checker.check_timed(&history);
+        let guarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            checker.check_timed(&history)
+        }));
+        let (report, mut stages) = match guarded {
+            Ok(out) => out,
+            Err(p) => {
+                eprintln!(
+                    "internal checker error: {}",
+                    elle::core::panic_message(p.as_ref())
+                );
+                return ExitCode::from(3);
+            }
+        };
+        stages.quarantined_events = quarantined;
         eprintln!("timing (wall clock):");
         eprintln!("  {:<26}  {:>9.3} ms", "parse + pairing", parse_secs * 1e3);
         eprint!("{}", stages.render());
         report
     } else {
-        checker.check(&history)
+        match checker.try_check(&history) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(3);
+            }
+        }
     };
     if as_json {
         println!(

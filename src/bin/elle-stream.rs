@@ -8,17 +8,29 @@
 //! elle-gen … | elle-stream - --epoch-txns 1000 --json
 //! elle-stream events.ndjson --model snapshot-isolation --process --realtime
 //! elle-stream --gen 5000                # live simulated workload (demo)
-//! elle-stream events.ndjson --follow --epoch-ms 500
+//! elle-stream events.ndjson --follow --epoch-ms 500 --max-epoch-ms 2000
+//! elle-stream damaged.ndjson --quarantine  # salvage what can be salvaged
 //! ```
 //!
 //! Exit status: 0 when the final epoch satisfies the expected model,
-//! 1 when violated, 2 on usage or input errors.
+//! 1 when violated, 2 on usage or input errors, 3 when the final epoch
+//! was poisoned by an internal checker error.
 
+use elle::history::{IngestCause, IngestError, RecoveryPolicy, SourcePos};
 use elle::prelude::*;
 use elle::stream::{EpochPolicy, EpochReport, StreamChecker};
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
+
+/// Deterministic backoff jitter (SplitMix64 finalizer): no RNG state,
+/// just a hash of the attempt counter.
+fn jitter_ms(attempt: u32, cap: u64) -> u64 {
+    let mut z = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(attempt) + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % cap.max(1)
+}
 
 fn parse_model(s: &str) -> Option<ConsistencyModel> {
     ConsistencyModel::ALL.into_iter().find(|m| m.name() == s)
@@ -35,7 +47,16 @@ fn usage_text() -> String {
          --epoch-txns <n>   seal every n transactions (default 1000)\n\
          --epoch-events <n> seal every n events\n\
          --epoch-ms <ms>    also seal when this much wall time has passed\n\
+         --max-epoch-ms <ms>  force a seal when an epoch stays open this long,\n\
+         \u{20}                   even mid-watermark (a stalled producer cannot\n\
+         \u{20}                   leave buffered events unreported)\n\
          --follow           keep reading as the file grows (tail -f)\n\
+         --retries <n>      bounded retries (exponential backoff + jitter) on\n\
+         \u{20}                  read errors in --follow mode (default 5)\n\
+         --max-buffered-bytes <n>  abandon any single line larger than this\n\
+         --quarantine       salvage damaged input: skip undecodable or misordered\n\
+         \u{20}                  lines, adopt orphan completions, abandon overlapping\n\
+         \u{20}                  invocations (one stderr diagnostic each)\n\
          --gen <n>          check a generated n-txn live workload instead of a file\n\
          --model <name>     expected model (default strict-serializable):\n\
          {}\n\
@@ -46,7 +67,13 @@ fn usage_text() -> String {
          --sequential-keys    assume per-key sequential consistency\n\
          --max-cycles <n>   cap reported cycles per anomaly type\n\
          --json             one JSON object per epoch on stdout\n\
-         --timing           per-epoch stage breakdown on stderr",
+         --timing           per-epoch stage breakdown on stderr\n\
+         \n\
+         exit status:\n\
+         0  the final epoch satisfies the expected model\n\
+         1  the expected model is violated\n\
+         2  usage or input error (strict-mode ingest failures included)\n\
+         3  the final epoch was poisoned by an internal checker error",
         ConsistencyModel::ALL
             .map(|m| format!("                   {}", m.name()))
             .join("\n")
@@ -66,32 +93,52 @@ fn help() -> ExitCode {
 fn emit(epoch: &EpochReport, as_json: bool, timing: bool) {
     if as_json {
         // One self-contained JSON line per epoch; `report` is the full
-        // batch-identical report object.
+        // batch-identical report object. A poisoned epoch's verdict is
+        // indeterminate: `ok` becomes null and `poisoned` carries the
+        // panic payload (the field is absent on healthy epochs, keeping
+        // the default output byte-stable).
+        let ok = match &epoch.poisoned {
+            None => epoch.report.ok().to_string(),
+            Some(_) => "null".to_string(),
+        };
+        let poisoned = match &epoch.poisoned {
+            None => String::new(),
+            Some(m) => format!(
+                ",\"poisoned\":{}",
+                serde_json::to_string(m).expect("string serializes")
+            ),
+        };
         println!(
-            "{{\"epoch\":{},\"txns\":{},\"events\":{},\"ok\":{},\"rebuilt\":{},\"open_txns\":{},\"report\":{}}}",
+            "{{\"epoch\":{},\"txns\":{},\"events\":{},\"ok\":{ok},\"rebuilt\":{},\"open_txns\":{}{poisoned},\"report\":{}}}",
             epoch.epoch,
             epoch.txns,
             epoch.events,
-            epoch.report.ok(),
             epoch.rebuilt,
             epoch.frontier.open_txns,
             serde_json::to_string(&epoch.report).expect("report serializes"),
         );
     } else {
         let r = &epoch.report;
-        println!(
-            "epoch {:>4}: {:>7} txns ({:>5} new events), {} anomalies, {} — {}",
-            epoch.epoch,
-            epoch.txns,
-            epoch.events,
-            r.anomalies.len(),
-            if r.ok() { "ok" } else { "VIOLATED" },
-            if epoch.rebuilt {
-                "rebuilt"
-            } else {
-                "incremental"
-            },
-        );
+        if let Some(msg) = &epoch.poisoned {
+            println!(
+                "epoch {:>4}: {:>7} txns ({:>5} new events), POISONED — {msg}",
+                epoch.epoch, epoch.txns, epoch.events,
+            );
+        } else {
+            println!(
+                "epoch {:>4}: {:>7} txns ({:>5} new events), {} anomalies, {} — {}",
+                epoch.epoch,
+                epoch.txns,
+                epoch.events,
+                r.anomalies.len(),
+                if r.ok() { "ok" } else { "VIOLATED" },
+                if epoch.rebuilt {
+                    "rebuilt"
+                } else {
+                    "incremental"
+                },
+            );
+        }
         for (t, n) in &r.anomaly_counts {
             println!("    {t}: {n}");
         }
@@ -102,33 +149,91 @@ fn emit(epoch: &EpochReport, as_json: bool, timing: bool) {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_reader(
-    reader: &mut dyn BufRead,
+/// Everything `run_reader` needs beyond the reader itself.
+struct ReaderConfig {
     follow: bool,
     policy: EpochPolicy,
     opts: CheckOptions,
     as_json: bool,
     timing: bool,
-) -> Result<EpochReport, String> {
-    let mut checker = StreamChecker::new(opts);
+    recovery: RecoveryPolicy,
+    /// Force a seal when an epoch has stayed open this long.
+    max_epoch: Option<Duration>,
+    /// Abandon any single line that grows past this many bytes.
+    max_line_bytes: Option<usize>,
+    /// Bounded retries on read errors in follow mode.
+    retries: u32,
+    /// Test hook: panic inside the seal of this epoch ordinal.
+    inject_seal_panic: Option<usize>,
+}
+
+/// Seal (guarded), surface the CLI-level gauges on the report, emit.
+fn seal_and_emit(
+    checker: &mut StreamChecker,
+    cfg: &ReaderConfig,
+    forced_seals: usize,
+    cli_quarantined: usize,
+) -> EpochReport {
+    let mut epoch = checker.seal_epoch_guarded();
+    epoch.timings.forced_seals = forced_seals;
+    epoch.timings.quarantined_events += cli_quarantined;
+    epoch.frontier.quarantined_events += cli_quarantined;
+    emit(&epoch, cfg.as_json, cfg.timing);
+    epoch
+}
+
+fn run_reader(reader: &mut dyn BufRead, cfg: &ReaderConfig) -> Result<EpochReport, String> {
+    let mut checker = StreamChecker::new(cfg.opts);
+    if let Some(e) = cfg.inject_seal_panic {
+        checker.inject_seal_panic(e);
+    }
+    let quarantine = matches!(cfg.recovery, RecoveryPolicy::Quarantine);
     let mut line = String::new();
     let mut lineno = 0usize;
+    let mut consumed = 0usize; // bytes read so far
+    let mut line_start = 0usize; // byte offset where the current line began
+    let mut discarding = false; // inside an over-budget line, skipping to '\n'
     let mut txns_since = 0usize;
     let mut events_since = 0usize;
     let mut since_seal = Instant::now();
+    let mut attempts = 0u32;
+    let mut forced_seals = 0usize;
+    let mut cli_quarantined = 0usize;
     loop {
         // `read_line` appends, so a partially-written line left over
         // from the previous pass (follow mode) is completed in place.
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read error: {e}"))?;
+        if line.is_empty() {
+            line_start = consumed;
+        }
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => {
+                attempts = 0;
+                n
+            }
+            Err(e) if cfg.follow && attempts < cfg.retries => {
+                // Transient source errors (rotating file, flaky mount):
+                // bounded exponential backoff with deterministic jitter.
+                attempts += 1;
+                let base = 50u64 << attempts.min(6);
+                let wait = base + jitter_ms(attempts, base / 2);
+                eprintln!(
+                    "read error: {e}; retry {attempts}/{} in {wait} ms",
+                    cfg.retries
+                );
+                std::thread::sleep(Duration::from_millis(wait));
+                continue;
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        };
         if n == 0 {
-            if follow {
-                if policy.should_seal(txns_since, events_since, since_seal)
-                    && (txns_since > 0 || events_since > 0)
-                {
-                    emit(&checker.seal_epoch(), as_json, timing);
+            if cfg.follow {
+                let due = cfg.policy.should_seal(txns_since, events_since, since_seal);
+                let forced = cfg.max_epoch.is_some_and(|m| since_seal.elapsed() >= m);
+                if (due || forced) && (txns_since > 0 || events_since > 0) {
+                    if forced && !due {
+                        forced_seals += 1;
+                    }
+                    seal_and_emit(&mut checker, cfg, forced_seals, cli_quarantined);
                     txns_since = 0;
                     events_since = 0;
                     since_seal = Instant::now();
@@ -138,7 +243,41 @@ fn run_reader(
             }
             break;
         }
-        if follow && !line.ends_with('\n') {
+        consumed += n;
+        if discarding {
+            // Still inside a line already reported as over budget.
+            let done = line.ends_with('\n');
+            line.clear();
+            if done {
+                discarding = false;
+                lineno += 1;
+            }
+            continue;
+        }
+        if let Some(cap) = cfg.max_line_bytes {
+            if line.len() > cap {
+                let err = IngestError {
+                    pos: SourcePos {
+                        line: lineno + 1,
+                        byte: line_start,
+                    },
+                    cause: IngestCause::Oversized { limit: cap },
+                };
+                if !quarantine {
+                    return Err(err.to_string());
+                }
+                eprintln!("quarantined: {err} — line skipped");
+                cli_quarantined += 1;
+                if line.ends_with('\n') {
+                    lineno += 1;
+                } else {
+                    discarding = true;
+                }
+                line.clear();
+                continue;
+            }
+        }
+        if cfg.follow && !line.ends_with('\n') {
             // A producer is mid-write on this line; wait for the rest
             // rather than mis-parsing a truncated event.
             continue;
@@ -146,18 +285,48 @@ fn run_reader(
         lineno += 1;
         let trimmed = line.trim();
         if !trimmed.is_empty() {
-            let ev: elle::history::Event =
-                serde_json::from_str(trimmed).map_err(|e| format!("line {lineno}: {e}"))?;
-            let is_invoke = ev.kind == EventKind::Invoke;
-            checker
-                .ingest_event(&ev)
-                .map_err(|e| format!("line {lineno}: {e}"))?;
-            events_since += 1;
-            if is_invoke {
-                txns_since += 1;
+            let pos = SourcePos {
+                line: lineno,
+                byte: line_start,
+            };
+            match serde_json::from_str::<elle::history::Event>(trimmed) {
+                Err(e) => {
+                    let err = IngestError {
+                        pos,
+                        cause: IngestCause::Decode {
+                            message: e.to_string(),
+                        },
+                    };
+                    if !quarantine {
+                        return Err(err.to_string());
+                    }
+                    eprintln!("quarantined: {err} — line skipped");
+                    cli_quarantined += 1;
+                }
+                Ok(ev) => {
+                    let is_invoke = ev.kind == EventKind::Invoke;
+                    match checker.ingest_event_with(&ev, cfg.recovery) {
+                        Err(e) => return Err(IngestError::from_pairing(pos, e).to_string()),
+                        Ok(recovered) => {
+                            if let Some(d) = recovered.diagnostic(pos) {
+                                eprintln!("quarantined: {d}");
+                            }
+                        }
+                    }
+                    events_since += 1;
+                    if is_invoke {
+                        txns_since += 1;
+                    }
+                }
             }
-            if policy.should_seal(txns_since, events_since, since_seal) {
-                emit(&checker.seal_epoch(), as_json, timing);
+            let due = cfg.policy.should_seal(txns_since, events_since, since_seal);
+            let forced =
+                cfg.max_epoch.is_some_and(|m| since_seal.elapsed() >= m) && events_since > 0;
+            if due || forced {
+                if forced && !due {
+                    forced_seals += 1;
+                }
+                seal_and_emit(&mut checker, cfg, forced_seals, cli_quarantined);
                 txns_since = 0;
                 events_since = 0;
                 since_seal = Instant::now();
@@ -166,9 +335,12 @@ fn run_reader(
         line.clear();
     }
     // Final seal at end of stream.
-    let last = checker.seal_epoch();
-    emit(&last, as_json, timing);
-    Ok(last)
+    Ok(seal_and_emit(
+        &mut checker,
+        cfg,
+        forced_seals,
+        cli_quarantined,
+    ))
 }
 
 fn main() -> ExitCode {
@@ -185,10 +357,15 @@ fn main() -> ExitCode {
     let mut as_json = false;
     let mut timing = false;
     let mut follow = false;
+    let mut quarantine = false;
     let mut gen_txns: Option<usize> = None;
     let mut epoch_txns: Option<usize> = None;
     let mut epoch_events: Option<usize> = None;
     let mut epoch_ms: Option<u64> = None;
+    let mut max_epoch_ms: Option<u64> = None;
+    let mut max_buffered_bytes: Option<usize> = None;
+    let mut retries = 5u32;
+    let mut inject_seal_panic: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -238,7 +415,34 @@ fn main() -> ExitCode {
                 };
                 gen_txns = Some(n);
             }
+            "--max-epoch-ms" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_epoch_ms = Some(n);
+            }
+            "--max-buffered-bytes" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_buffered_bytes = Some(n);
+            }
+            "--retries" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                retries = n;
+            }
+            // Undocumented test hook: panic inside the seal of epoch N,
+            // to exercise poisoned-epoch isolation end to end.
+            "--inject-seal-panic" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                inject_seal_panic = Some(n);
+            }
             "--follow" => follow = true,
+            "--quarantine" => quarantine = true,
             "--json" => as_json = true,
             "--timing" => timing = true,
             "--help" | "-h" => return help(),
@@ -274,11 +478,7 @@ fn main() -> ExitCode {
         let last = elle::stream::run_live(params, db, policy, opts, |epoch| {
             emit(epoch, as_json, timing)
         });
-        return if last.report.ok() {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::from(1)
-        };
+        return verdict_exit(&last);
     }
 
     let Some(path) = path else { return usage() };
@@ -294,17 +494,39 @@ fn main() -> ExitCode {
         }
     };
 
-    match run_reader(&mut *reader, follow, policy, opts, as_json, timing) {
-        Ok(last) => {
-            if last.report.ok() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    let cfg = ReaderConfig {
+        follow,
+        policy,
+        opts,
+        as_json,
+        timing,
+        recovery: if quarantine {
+            RecoveryPolicy::Quarantine
+        } else {
+            RecoveryPolicy::Strict
+        },
+        max_epoch: max_epoch_ms.map(Duration::from_millis),
+        max_line_bytes: max_buffered_bytes,
+        retries,
+        inject_seal_panic,
+    };
+    match run_reader(&mut *reader, &cfg) {
+        Ok(last) => verdict_exit(&last),
         Err(e) => {
             eprintln!("{e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Map the final epoch to the process exit status: a poisoned final
+/// epoch means the checker — not the database — failed, exit 3.
+fn verdict_exit(last: &EpochReport) -> ExitCode {
+    if last.poisoned.is_some() {
+        ExitCode::from(3)
+    } else if last.report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

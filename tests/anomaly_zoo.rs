@@ -289,3 +289,92 @@ fn zoo_clean_histories_stay_clean() {
     assert!(r.ok(), "{}", r.summary());
     assert!(r.anomalies.is_empty(), "{}", r.summary());
 }
+
+// ── Damaged-stream fixtures, end to end through both CLIs ───────────────
+//
+// Two pinned NDJSON streams model real operational failures:
+//
+// * `crash_recovery.ndjson` — a client crashes mid-transaction and its
+//   replacement reuses the process id, so a second invocation arrives
+//   while the first is still outstanding;
+// * `lost_ack.ndjson` — an invocation line is lost in transit, so its
+//   completion arrives orphaned.
+//
+// Strict mode must refuse each (exit 2, position on stderr); quarantine
+// mode must salvage each into a *clean* verdict (exit 0) with exactly
+// one diagnostic.
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run(bin: &str, args: &[&str]) -> (i32, String, String) {
+    let out = std::process::Command::new(bin)
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn zoo_fixture_streams_through_both_clis() {
+    let check = env!("CARGO_BIN_EXE_elle-check");
+    let stream = env!("CARGO_BIN_EXE_elle-stream");
+    for (name, bad_line, action) in [
+        (
+            "crash_recovery.ndjson",
+            "line 4",
+            "abandoned as indeterminate",
+        ),
+        ("lost_ack.ndjson", "line 3", "orphan completion adopted"),
+    ] {
+        let path = fixture(name);
+        for bin in [check, stream] {
+            // Strict: refused, positioned, exit 2.
+            let (code, _, err) = run(bin, &[&path]);
+            assert_eq!(code, 2, "{name} via {bin} must be refused strictly");
+            assert!(err.contains(bad_line), "{name} via {bin}: {err}");
+
+            // Quarantine: salvaged to a clean verdict, one diagnostic.
+            let (code, _, err) = run(bin, &[&path, "--quarantine"]);
+            assert_eq!(code, 0, "{name} via {bin} must salvage cleanly: {err}");
+            assert_eq!(
+                err.matches("quarantined:").count(),
+                1,
+                "{name} via {bin}: {err}"
+            );
+            assert!(err.contains(action), "{name} via {bin}: {err}");
+        }
+    }
+}
+
+#[test]
+fn zoo_fixture_verdicts_match_between_clis() {
+    // The salvaged history is the same through either entry point: the
+    // batch CLI's report equals the final epoch report of the stream CLI.
+    let check = env!("CARGO_BIN_EXE_elle-check");
+    let stream = env!("CARGO_BIN_EXE_elle-stream");
+    for name in ["crash_recovery.ndjson", "lost_ack.ndjson"] {
+        let path = fixture(name);
+        let (_, batch, _) = run(check, &[&path, "--quarantine", "--json"]);
+        let batch: Report = serde_json::from_str(&batch).expect("batch report parses");
+        let (_, epochs, _) = run(stream, &[&path, "--quarantine", "--json"]);
+        let last = epochs.lines().last().expect("at least one epoch");
+        // The epoch line is `{...,"report":{...}}`; the report object is
+        // its final member.
+        let report_json = last
+            .split_once("\"report\":")
+            .map(|(_, rest)| &rest[..rest.len() - 1])
+            .expect("epoch line carries a report");
+        let streamed: Report = serde_json::from_str(report_json).expect("epoch report parses");
+        assert_eq!(
+            serde_json::to_string(&batch).unwrap(),
+            serde_json::to_string(&streamed).unwrap(),
+            "{name}: batch and stream disagree"
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Soundness under faults: the differential suite for the failure-
+//! handling pipeline. For every datatype, hundreds of seeded runs
+//! inject wire-level faults (duplicates, reorders, torn writes, bit
+//! flips, crash recovery) into a clean simulated history and assert:
+//!
+//! * **no panics** — quarantine ingest plus checking always completes;
+//! * **no fabrication** — with corruption disabled, every accepted
+//!   event existed in the clean stream;
+//! * **explained loss** — every clean event missing after recovery is
+//!   accounted for by a recorded injected fault;
+//! * **no false anomalies** — the faulted verdict reports no anomaly
+//!   class the clean history doesn't, except garbage reads when whole
+//!   transactions were lost (their writes become unattributable, which
+//!   is precisely what GarbageRead means);
+//! * **identity** — `FaultSchedule::none()` is byte-identical to the
+//!   clean wire and strict ingest reproduces the clean history exactly.
+//!
+//! Checks run without real-time or timestamp edges: fault injection
+//! deliberately breaks wall-clock assumptions (skew, reordering), and
+//! a sound checker must not let those leak into logical anomalies.
+
+use elle::prelude::*;
+use elle_dbsim::FaultSchedule;
+use elle_history::{events_from_ndjson_with, events_to_ndjson, NdjsonIngestor, RecoveryPolicy};
+use std::collections::BTreeSet;
+
+const KINDS: [ObjectKind; 4] = [
+    ObjectKind::ListAppend,
+    ObjectKind::Register,
+    ObjectKind::Counter,
+    ObjectKind::Set,
+];
+
+fn clean_log(kind: ObjectKind, seed: u64, n: usize) -> (elle_history::EventLog, CheckOptions) {
+    let params = GenParams::contended(n, kind).with_seed(seed);
+    let db = DbConfig::new(IsolationLevel::Serializable, kind)
+        .with_processes(4)
+        .with_seed(seed);
+    let log = elle::gen::run_workload_log(params, db);
+    // Logical edges only: fault injection invalidates wall-clock and
+    // session assumptions by design, so a sound check must not use them.
+    let opts = CheckOptions::serializable();
+    (log, opts)
+}
+
+fn anomaly_types(r: &Report) -> BTreeSet<AnomalyType> {
+    r.anomaly_counts.keys().copied().collect()
+}
+
+/// One faulted run: ingest the damaged wire under quarantine, check,
+/// and enforce the fabrication / loss / false-anomaly invariants.
+fn run_case(kind: ObjectKind, seed: u64, sched: &FaultSchedule) {
+    let (clean, opts) = clean_log(kind, seed, 120);
+    let (wire, faults) = sched.apply(&clean);
+
+    // Full quarantine pipeline: decode + pair. Must never error.
+    let mut ing = NdjsonIngestor::new(RecoveryPolicy::Quarantine);
+    ing.feed_str(&wire)
+        .unwrap_or_else(|e| panic!("{kind:?}/{seed}: quarantine errored: {e}"));
+    let (history, diags) = ing.finish();
+
+    // Event-index accounting. Accepted = what survived decode-level
+    // recovery; explained = indices a recorded fault touched.
+    let (accepted_log, _) = events_from_ndjson_with(&wire, RecoveryPolicy::Quarantine).unwrap();
+    let accepted: BTreeSet<usize> = accepted_log.events().iter().map(|e| e.index).collect();
+    let clean_idx: BTreeSet<usize> = clean.events().iter().map(|e| e.index).collect();
+    let explained: BTreeSet<usize> = faults.faults.iter().map(|f| f.event_index).collect();
+
+    let corrupting = sched.corrupt_prob > 0.0;
+    if !corrupting {
+        // Nothing fabricated: every accepted index existed cleanly.
+        let fabricated: Vec<usize> = accepted.difference(&clean_idx).copied().collect();
+        assert!(
+            fabricated.is_empty(),
+            "{kind:?}/{seed}: fabricated indices {fabricated:?}"
+        );
+    }
+    // Every loss is explained by an injected fault.
+    let unexplained: Vec<usize> = clean_idx
+        .difference(&accepted)
+        .filter(|i| !explained.contains(i))
+        .copied()
+        .collect();
+    assert!(
+        unexplained.is_empty(),
+        "{kind:?}/{seed}: lost events {unexplained:?} with no recorded fault \
+         ({} faults, {} diagnostics)",
+        faults.len(),
+        diags.len()
+    );
+
+    // Verdict soundness. Bit flips may alter payloads (values, keys)
+    // undetectably, so corrupting schedules assert no-panic only.
+    let faulted = Checker::new(opts)
+        .try_check(&history)
+        .unwrap_or_else(|e| panic!("{kind:?}/{seed}: {e}"));
+    if corrupting {
+        return;
+    }
+    let clean_report = Checker::new(opts).check(&clean.pair().unwrap());
+    let clean_types = anomaly_types(&clean_report);
+    // Delayed events arrive with regressed indices and are skipped, so
+    // delays degrade to loss just like drops, torn writes, and crashes.
+    let lossy = sched.drop_prob > 0.0
+        || sched.torn_prob > 0.0
+        || sched.crash_prob > 0.0
+        || sched.delay_prob > 0.0;
+    for t in anomaly_types(&faulted).difference(&clean_types) {
+        // Losing a writer's events entirely makes its elements
+        // unattributable: reads of them are garbage reads, by
+        // definition. Nothing else may appear out of thin air.
+        assert!(
+            lossy && matches!(t, AnomalyType::GarbageRead),
+            "{kind:?}/{seed}: false anomaly {t:?} (clean run has {clean_types:?})"
+        );
+    }
+}
+
+/// ≥200 seeded cases per datatype, mixing schedule shapes.
+#[test]
+fn soundness_under_faults_all_datatypes() {
+    for kind in KINDS {
+        for seed in 0..50u64 {
+            // Light damage: duplicates are absorbed exactly; delays
+            // degrade to (diagnosed) skips.
+            run_case(
+                kind,
+                seed,
+                &FaultSchedule {
+                    duplicate_prob: 0.08,
+                    delay_prob: 0.08,
+                    delay_window: 4,
+                    ..FaultSchedule::none()
+                },
+            );
+            // The operational mix: everything but corruption.
+            run_case(kind, seed, &FaultSchedule::typical(seed));
+            // Heavy loss: drops, torn writes, crash recovery.
+            run_case(
+                kind,
+                seed,
+                &FaultSchedule {
+                    drop_prob: 0.1,
+                    torn_prob: 0.08,
+                    crash_prob: 0.05,
+                    clock_skew_ns: 50_000,
+                    ..FaultSchedule::none()
+                },
+            );
+            // Byzantine: bit flips on top — no-panic guarantee only.
+            run_case(
+                kind,
+                seed,
+                &FaultSchedule {
+                    corrupt_prob: 0.05,
+                    torn_prob: 0.05,
+                    duplicate_prob: 0.05,
+                    ..FaultSchedule::none()
+                },
+            );
+        }
+    }
+}
+
+/// `FaultSchedule::none()` is the identity, end to end: same bytes,
+/// same history, zero diagnostics, even under the strict policy.
+#[test]
+fn none_schedule_is_the_identity() {
+    for kind in KINDS {
+        for seed in [1u64, 7, 42] {
+            let (clean, _) = clean_log(kind, seed, 150);
+            let sched = FaultSchedule::none();
+            assert!(sched.is_none());
+            let (wire, faults) = sched.apply(&clean);
+            assert!(faults.is_empty(), "{kind:?}/{seed}: phantom faults");
+            assert_eq!(
+                wire,
+                events_to_ndjson(&clean),
+                "{kind:?}/{seed}: wire not byte-identical"
+            );
+            let mut ing = NdjsonIngestor::new(RecoveryPolicy::Strict);
+            ing.feed_str(&wire).unwrap();
+            let (h, diags) = ing.finish();
+            assert!(diags.is_empty());
+            assert_eq!(h, clean.pair().unwrap(), "{kind:?}/{seed}: history drifted");
+        }
+    }
+}
+
+/// A duplicates-only schedule is *fully* recovered: the salvaged
+/// history — and therefore the verdict — is identical to the clean one.
+#[test]
+fn duplicates_are_recovered_exactly() {
+    for kind in KINDS {
+        for seed in 0..10u64 {
+            let (clean, opts) = clean_log(kind, seed, 100);
+            let sched = FaultSchedule {
+                duplicate_prob: 0.25,
+                ..FaultSchedule::none()
+            };
+            let (wire, faults) = sched.apply(&clean);
+            let mut ing = NdjsonIngestor::new(RecoveryPolicy::Quarantine);
+            ing.feed_str(&wire).unwrap();
+            let (h, diags) = ing.finish();
+            assert_eq!(
+                diags.len(),
+                faults.len(),
+                "{kind:?}/{seed}: every duplicate diagnosed exactly once"
+            );
+            assert_eq!(h, clean.pair().unwrap(), "{kind:?}/{seed}");
+            let a = Checker::new(opts).check(&h);
+            let b = Checker::new(opts).check(&clean.pair().unwrap());
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap()
+            );
+        }
+    }
+}

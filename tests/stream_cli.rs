@@ -149,3 +149,108 @@ fn malformed_line_reports_position_and_exit_2() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
     let _ = std::fs::remove_file(&nd_path);
 }
+
+/// A temp NDJSON file with a clean little generated workload.
+fn write_workload(name: &str, n: usize) -> std::path::PathBuf {
+    let params = GenParams::contended(n, ObjectKind::ListAppend).with_seed(9);
+    let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+        .with_processes(4)
+        .with_seed(9);
+    let log = elle::gen::run_workload_log(params, db);
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, elle::history::events_to_ndjson(&log)).unwrap();
+    path
+}
+
+#[test]
+fn injected_seal_panic_poisons_one_epoch_and_recovers() {
+    let nd_path = write_workload("elle_stream_cli_poison.ndjson", 120);
+    let out = stream_bin()
+        .args([nd_path.to_str().unwrap(), "--epoch-txns", "30", "--json"])
+        .args(["--inject-seal-panic", "1"])
+        .output()
+        .expect("binary runs");
+    // The stream keeps sealing past the poisoned epoch and the *final*
+    // verdict is healthy, so the exit code is 0.
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let poisoned: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains("\"poisoned\""))
+        .collect();
+    assert_eq!(poisoned.len(), 1, "{stdout}");
+    assert!(poisoned[0].contains("\"epoch\":1,"));
+    assert!(poisoned[0].contains("\"ok\":null"));
+    assert!(poisoned[0].contains("injected seal panic"));
+    // Healthy epochs are untouched by the new field.
+    assert!(stdout.lines().last().unwrap().contains("\"ok\":true"));
+    let report = last_epoch_report(&stdout);
+    assert!(report.ok());
+    assert_eq!(report.stats.txns, 120);
+
+    // Poisoning the *final* (end-of-stream) seal exits 3 instead.
+    let n_epochs = stdout.lines().count();
+    let out = stream_bin()
+        .args([nd_path.to_str().unwrap(), "--epoch-txns", "30", "--json"])
+        .args(["--inject-seal-panic", &(n_epochs - 1).to_string()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let _ = std::fs::remove_file(&nd_path);
+}
+
+#[test]
+fn quarantine_gauges_reach_the_timing_output() {
+    // Duplicate one line mid-stream: strict refuses (exit 2), while
+    // --quarantine skips it, reports the gauge, and stays clean.
+    let nd_path = write_workload("elle_stream_cli_gauge.ndjson", 60);
+    let wire = std::fs::read_to_string(&nd_path).unwrap();
+    let dup: String = wire
+        .lines()
+        .enumerate()
+        .flat_map(|(i, l)| if i == 10 { vec![l, l] } else { vec![l] })
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&nd_path, dup).unwrap();
+
+    let out = stream_bin()
+        .arg(nd_path.to_str().unwrap())
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 12"));
+
+    let out = stream_bin()
+        .args([nd_path.to_str().unwrap(), "--quarantine", "--timing"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quarantined: line 12"), "{stderr}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+    assert!(stderr.contains("1 events"), "{stderr}");
+    let _ = std::fs::remove_file(&nd_path);
+}
+
+#[test]
+fn oversized_lines_are_capped() {
+    let nd_path = write_workload("elle_stream_cli_oversize.ndjson", 40);
+    let mut wire = std::fs::read_to_string(&nd_path).unwrap();
+    wire.push_str(&format!("{{\"pad\":\"{}\"}}\n", "x".repeat(5000)));
+    std::fs::write(&nd_path, wire).unwrap();
+
+    let out = stream_bin()
+        .args([nd_path.to_str().unwrap(), "--max-buffered-bytes", "4096"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("4096-byte buffer budget"));
+
+    let out = stream_bin()
+        .args([nd_path.to_str().unwrap(), "--max-buffered-bytes", "4096"])
+        .arg("--quarantine")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = std::fs::remove_file(&nd_path);
+}
