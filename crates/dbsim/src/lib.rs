@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 mod bugs;
+mod chaos;
 mod config;
 mod engine;
 mod faults;
@@ -42,6 +43,7 @@ mod store;
 mod value;
 
 pub use bugs::Bug;
+pub use chaos::{chaos_session, delivered_lines, drive, ChaosSession, Cut};
 pub use config::{DbConfig, FaultPlan, IsolationLevel, ObjectKind};
 pub use faults::{FaultKind, FaultLog, FaultSchedule, InjectedFault};
 pub use scheduler::{SimDb, TxnSource};

@@ -104,6 +104,11 @@ impl EventLog {
         &self.events
     }
 
+    /// Consume the log, yielding its events in order.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -37,6 +37,7 @@ pub mod ingest;
 mod mop;
 mod pairing;
 mod serde_io;
+mod snapshot;
 mod txn;
 
 pub use builder::{duplicate_written_elems, HistoryBuilder, TxnBuilder};
@@ -51,4 +52,5 @@ pub use pairing::{Ingest, PairingError, StreamingPairer};
 pub use serde_io::{
     events_from_ndjson, events_to_ndjson, history_from_json, history_to_json, history_to_ndjson,
 };
+pub use snapshot::{snapshot_from_str, snapshot_to_string, SnapshotMeta, SNAPSHOT_VERSION};
 pub use txn::{History, Transaction, TxnStatus};

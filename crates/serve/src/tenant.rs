@@ -1,0 +1,427 @@
+//! One tenant: a [`StreamChecker`] plus its durability, watermark
+//! counters, and degradation state.
+//!
+//! The degradation ladder, mildest first:
+//!
+//! 1. **quarantined** — a damaged line was skipped or repaired under
+//!    [`RecoveryPolicy::Quarantine`]; the tenant keeps checking with
+//!    weaker inferences and the verdict envelope grows a `quarantined`
+//!    gauge.
+//! 2. **forced-seal** — the watchdog sealed an epoch that stayed open
+//!    too long; numbering shifts but every verdict is still exact for
+//!    its prefix (`forced_seals` gauge).
+//! 3. **poisoned** — a seal panicked; that one epoch's verdict is
+//!    indeterminate (`"ok":null`) and the checker rebuilds itself from
+//!    its own paired history.
+//! 4. **failed** — under [`RecoveryPolicy::Strict`] the first damaged
+//!    line fails the tenant; subsequent requests are rejected with a
+//!    `422`. No rung of the ladder ever touches another tenant.
+
+use crate::config::ServeConfig;
+use crate::store::{Restored, TenantStore};
+use elle_history::{Event, Recovered, RecoveryPolicy, SnapshotMeta};
+use elle_stream::{CheckerSnapshot, EpochReport, StreamChecker};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Journal form of a line whose event body did not decode: it fails
+/// event decoding again on replay, so the quarantine gauge reproduces.
+const UNDECODABLE_SENTINEL: &str = "{\"undecodable\":true}";
+
+/// What one ingested event produced, beyond mutating the tenant.
+#[derive(Debug, Default)]
+pub struct IngestReply {
+    /// A quarantine diagnostic to send back, if recovery repaired
+    /// something.
+    pub warning: Option<String>,
+    /// A verdict envelope, if the event crossed an epoch watermark.
+    pub sealed: Option<String>,
+    /// The tenant just failed (strict mode); the message explains why.
+    pub failed: Option<String>,
+}
+
+/// A tenant's final verdict, reported by a graceful drain.
+#[derive(Debug, Clone)]
+pub struct TenantFinal {
+    /// The tenant id.
+    pub tenant: String,
+    /// The final verdict: `None` when the closing epoch was poisoned
+    /// or the tenant had failed.
+    pub ok: Option<bool>,
+    /// Whether the closing seal was poisoned.
+    pub poisoned: bool,
+    /// The full final envelope line (or a `422` reject for a failed
+    /// tenant).
+    pub verdict: String,
+}
+
+/// One tenant's full state: checker, store, counters, degradation.
+pub struct Tenant {
+    name: String,
+    checker: StreamChecker,
+    store: Option<TenantStore>,
+    recovery: RecoveryPolicy,
+    txns_since_seal: usize,
+    events_since_seal: usize,
+    events_since_snapshot: usize,
+    cli_quarantined: usize,
+    forced_seals: usize,
+    failed: Option<String>,
+    epoch_opened: Option<Instant>,
+}
+
+impl Tenant {
+    /// Open a tenant: restore snapshot + journal from the config's data
+    /// directory (if any) and replay them through the normal ingest
+    /// path. Returns the verdict envelopes produced by replayed
+    /// watermark seals — already persisted at-least-once, so callers
+    /// normally discard them.
+    pub fn open(name: &str, cfg: &ServeConfig) -> io::Result<(Tenant, Vec<String>)> {
+        let mut store = None;
+        let mut restored = Restored::default();
+        if let Some(root) = &cfg.data_dir {
+            let (s, r) = TenantStore::open(root.join("tenants").join(name))?;
+            store = Some(s);
+            restored = r;
+        }
+        let Restored {
+            snapshot,
+            journal_lines,
+        } = restored;
+        let (checker, txns_since_seal, events_since_seal) = match snapshot {
+            Some((meta, events)) => {
+                let snap = CheckerSnapshot {
+                    epoch: meta.epoch,
+                    quarantined: meta.quarantined,
+                    events_this_epoch: meta.events_this_epoch,
+                    events,
+                };
+                (
+                    StreamChecker::restore(cfg.opts, &snap),
+                    meta.txns_since_seal,
+                    meta.events_this_epoch,
+                )
+            }
+            None => (StreamChecker::new(cfg.opts), 0, 0),
+        };
+        let mut t = Tenant {
+            name: name.to_string(),
+            checker,
+            store,
+            recovery: cfg.recovery,
+            txns_since_seal,
+            events_since_seal,
+            events_since_snapshot: 0,
+            cli_quarantined: 0,
+            forced_seals: 0,
+            failed: None,
+            epoch_opened: None,
+        };
+        if let Some((tenant, epoch)) = &cfg.inject_seal_panic {
+            if tenant == name {
+                t.checker.inject_seal_panic(*epoch);
+            }
+        }
+        // Replay the journal through the same path live ingest takes —
+        // seals fire at the same watermarks, so epoch numbering (and
+        // with it every later verdict) reproduces exactly. Journaling
+        // and snapshot rotation are suppressed: the lines are already
+        // on disk, and rotating mid-replay would delete lines not yet
+        // replayed.
+        let mut replayed = Vec::new();
+        for line in &journal_lines {
+            match serde_json::from_str::<serde::Value>(line)
+                .map_err(|e| e.to_string())
+                .and_then(|v| {
+                    <Event as serde::Deserialize>::deserialize(&v).map_err(|e| e.to_string())
+                }) {
+                Ok(ev) => {
+                    let reply = t.apply_event(cfg, &ev, false)?;
+                    replayed.extend(reply.sealed);
+                }
+                Err(msg) => {
+                    t.cli_quarantined += 1;
+                    if t.recovery == RecoveryPolicy::Strict && t.failed.is_none() {
+                        t.failed = Some(msg);
+                    }
+                }
+            }
+        }
+        t.events_since_snapshot = journal_lines.len();
+        Ok((t, replayed))
+    }
+
+    /// The tenant id.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `Some(reason)` once the tenant has failed (strict mode); the
+    /// server rejects its requests with a `422`.
+    pub fn failed(&self) -> Option<&str> {
+        self.failed.as_deref()
+    }
+
+    /// Ingest one decoded event: journal it, feed the checker, seal if
+    /// a watermark is due, rotate the snapshot if one is due.
+    pub fn ingest(&mut self, cfg: &ServeConfig, ev: &Event) -> io::Result<IngestReply> {
+        self.apply_event(cfg, ev, true)
+    }
+
+    /// Ingest a line whose event body did not decode. Under quarantine
+    /// it bumps the gauge; under strict it fails the tenant.
+    pub fn ingest_bad(&mut self, cfg: &ServeConfig, message: &str) -> io::Result<IngestReply> {
+        if let Some(store) = &mut self.store {
+            store.append_event(UNDECODABLE_SENTINEL)?;
+        }
+        self.events_since_snapshot += 1;
+        self.cli_quarantined += 1;
+        let mut reply = IngestReply::default();
+        match self.recovery {
+            RecoveryPolicy::Strict => {
+                self.failed = Some(message.to_string());
+                reply.failed = Some(message.to_string());
+            }
+            RecoveryPolicy::Quarantine => {
+                reply.warning = Some(format!("quarantined: {message} — line skipped"));
+            }
+        }
+        self.maybe_rotate(cfg)?;
+        Ok(reply)
+    }
+
+    fn apply_event(
+        &mut self,
+        cfg: &ServeConfig,
+        ev: &Event,
+        live: bool,
+    ) -> io::Result<IngestReply> {
+        let mut reply = IngestReply::default();
+        if live {
+            if let Some(store) = &mut self.store {
+                store.append_event(
+                    &serde_json::to_string(ev).expect("event serialization is infallible"),
+                )?;
+            }
+            self.events_since_snapshot += 1;
+        }
+        match self.checker.ingest_event_with(ev, self.recovery) {
+            Ok(recovered) => {
+                match &recovered {
+                    Recovered::Ingested(_) => {}
+                    Recovered::Skipped(e) => {
+                        reply.warning = Some(format!("quarantined: {e} — event skipped"));
+                    }
+                    Recovered::Adopted(_, e) => {
+                        reply.warning = Some(format!("quarantined: {e} — orphan adopted"));
+                    }
+                    Recovered::Abandoned { cause, .. } => {
+                        reply.warning =
+                            Some(format!("quarantined: {cause} — open invocation abandoned"));
+                    }
+                }
+                if invokes_txn(&recovered) {
+                    self.txns_since_seal += 1;
+                }
+            }
+            Err(e) => {
+                // Strict mode: the first pairing violation fails the
+                // tenant. The event never reached the checker.
+                let msg = e.to_string();
+                self.failed = Some(msg.clone());
+                reply.failed = Some(msg);
+                return Ok(reply);
+            }
+        }
+        self.events_since_seal += 1;
+        if self.epoch_opened.is_none() {
+            self.epoch_opened = Some(Instant::now());
+        }
+        if cfg.watermark_due(self.txns_since_seal, self.events_since_seal) {
+            reply.sealed = Some(self.seal(live)?);
+        }
+        if live {
+            self.maybe_rotate(cfg)?;
+        }
+        Ok(reply)
+    }
+
+    /// Seal the current epoch and return the verdict envelope line.
+    pub fn seal(&mut self, rotate_after: bool) -> io::Result<String> {
+        let epoch = self.checker.seal_epoch_guarded();
+        self.txns_since_seal = 0;
+        self.events_since_seal = 0;
+        self.epoch_opened = None;
+        let line = self.envelope(&epoch);
+        if let Some(store) = &mut self.store {
+            store.append_verdict(&line)?;
+            // A seal is a natural consistency point: fold it into the
+            // snapshot so a restart replays as little as possible.
+            if rotate_after && self.events_since_snapshot > 0 {
+                self.rotate()?;
+            }
+        }
+        Ok(line)
+    }
+
+    /// Watchdog hook: force a seal when the open epoch is older than
+    /// `max` and has events buffered.
+    pub fn maybe_force_seal(&mut self, max: Duration) -> io::Result<Option<String>> {
+        match self.epoch_opened {
+            Some(t0) if t0.elapsed() >= max => {
+                self.forced_seals += 1;
+                self.seal(true).map(Some)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Final-seal the tenant (graceful drain or `close` op).
+    pub fn close(mut self) -> TenantFinal {
+        if let Some(reason) = &self.failed {
+            return TenantFinal {
+                tenant: self.name.clone(),
+                ok: None,
+                poisoned: false,
+                verdict: crate::wire::reject(
+                    Some(&self.name),
+                    422,
+                    &format!("tenant failed: {reason}"),
+                ),
+            };
+        }
+        let epoch = self.checker.seal_epoch_guarded();
+        let line = self.envelope(&epoch);
+        if let Some(store) = &mut self.store {
+            let _ = store.append_verdict(&line);
+            let _ = self.rotate();
+        }
+        TenantFinal {
+            tenant: self.name,
+            ok: match &epoch.poisoned {
+                None => Some(epoch.report.ok()),
+                Some(_) => None,
+            },
+            poisoned: epoch.poisoned.is_some(),
+            verdict: line,
+        }
+    }
+
+    /// One-line status summary.
+    pub fn status_line(&self) -> String {
+        format!(
+            "{{\"tenant\":\"{}\",\"status\":{{\"epochs\":{},\"txns\":{},\"events_this_epoch\":{},\"quarantined\":{},\"forced_seals\":{},\"failed\":{}}}}}",
+            self.name,
+            self.checker.epochs_sealed(),
+            self.checker.txn_count(),
+            self.events_since_seal,
+            self.quarantined_total(),
+            self.forced_seals,
+            self.failed.is_some(),
+        )
+    }
+
+    fn quarantined_total(&self) -> usize {
+        // After a restore the checker's counter already carries the
+        // pre-snapshot decode-level count (folded in at rotation), so
+        // the sum equals an uninterrupted run's.
+        self.checker.quarantined() + self.cli_quarantined
+    }
+
+    fn maybe_rotate(&mut self, cfg: &ServeConfig) -> io::Result<()> {
+        if self.store.is_some() && self.events_since_snapshot >= cfg.snapshot_events.max(1) {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        let snap = self.checker.snapshot();
+        let meta = SnapshotMeta::new(
+            0, // overwritten by TenantStore::rotate
+            snap.epoch,
+            snap.quarantined + self.cli_quarantined,
+            snap.events_this_epoch,
+            self.txns_since_seal,
+        );
+        let store = self.store.as_mut().expect("rotate requires a store");
+        store.rotate(meta, &snap.events)?;
+        self.cli_quarantined = 0;
+        self.events_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// The per-seal verdict envelope. Deliberately omits `rebuilt`
+    /// (elle-stream reports it): the first seal after a restore always
+    /// rebuilds, so including it would break the byte-identity the
+    /// crash-recovery contract promises. Gauges appear only when
+    /// nonzero, keeping healthy tenants' envelopes byte-stable.
+    fn envelope(&self, epoch: &EpochReport) -> String {
+        let ok = match &epoch.poisoned {
+            None => epoch.report.ok().to_string(),
+            Some(_) => "null".to_string(),
+        };
+        let mut extra = String::new();
+        if let Some(m) = &epoch.poisoned {
+            extra.push_str(&format!(
+                ",\"poisoned\":{}",
+                serde_json::to_string(m).expect("string serializes")
+            ));
+        }
+        let q = self.quarantined_total();
+        if q > 0 {
+            extra.push_str(&format!(",\"quarantined\":{q}"));
+        }
+        if self.forced_seals > 0 {
+            extra.push_str(&format!(",\"forced_seals\":{}", self.forced_seals));
+        }
+        format!(
+            "{{\"tenant\":\"{}\",\"epoch\":{},\"txns\":{},\"events\":{},\"ok\":{ok},\"open_txns\":{}{extra},\"report\":{}}}",
+            self.name,
+            epoch.epoch,
+            epoch.txns,
+            epoch.events,
+            epoch.frontier.open_txns,
+            serde_json::to_string(&epoch.report).expect("report serializes"),
+        )
+    }
+}
+
+/// Reference oracle for differential tests and the `--chaos` self
+/// check: process `lines` exactly as one worker thread would for a
+/// single *ephemeral* tenant (no journaling) and return the final
+/// close verdict. Because one tenant's processing is serial and
+/// independent of every other tenant, a served tenant's verdict must
+/// equal this, byte for byte, whatever else the service survived.
+pub fn solo_verdict(cfg: &ServeConfig, tenant: &str, lines: &[String]) -> String {
+    let mut cfg = cfg.clone();
+    cfg.data_dir = None;
+    let (mut t, _) = Tenant::open(tenant, &cfg).expect("ephemeral tenants cannot fail to open");
+    for line in lines {
+        if line.trim().is_empty() || line.len() > cfg.max_line_bytes || t.failed().is_some() {
+            continue;
+        }
+        match crate::wire::parse_request(line) {
+            Ok(crate::wire::Request::Event { event, .. }) => {
+                let _ = t.ingest(&cfg, &event);
+            }
+            Ok(crate::wire::Request::BadEvent { message, .. }) => {
+                let _ = t.ingest_bad(&cfg, &message);
+            }
+            _ => {} // rejected at the wire, never reaches a tenant
+        }
+    }
+    t.close().verdict
+}
+
+/// Did this recovery outcome admit a *new* transaction invocation?
+/// Drives the transaction-count epoch watermark.
+fn invokes_txn(r: &Recovered) -> bool {
+    use elle_history::Ingest;
+    matches!(
+        r,
+        Recovered::Ingested(Ingest::Invoked(_))
+            | Recovered::Adopted(..)
+            | Recovered::Abandoned { .. }
+    )
+}

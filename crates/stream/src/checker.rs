@@ -291,6 +291,26 @@ pub struct EpochReport {
     pub poisoned: Option<String>,
 }
 
+/// A portable capture of a [`StreamChecker`]'s rebuildable state: the
+/// synthesized accepted-event sequence (derived from the paired history
+/// and the open-invocation table) plus the counters replay cannot
+/// recompute. Produced by [`StreamChecker::snapshot`], consumed by
+/// [`StreamChecker::restore`] — the crash-consistency primitive behind
+/// `elle-serve`'s per-tenant snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckerSnapshot {
+    /// Epoch ordinal at capture time (the next seal's number).
+    pub epoch: usize,
+    /// Events quarantined by the recovery policy since stream start.
+    pub quarantined: usize,
+    /// Events ingested since the last seal (the partial epoch).
+    pub events_this_epoch: usize,
+    /// The accepted event sequence, sorted by index. Replaying it under
+    /// [`RecoveryPolicy::Quarantine`] reproduces the paired history and
+    /// its transaction ids exactly.
+    pub events: Vec<Event>,
+}
+
 /// The incremental checker. Feed events with
 /// [`StreamChecker::ingest_event`]; seal epochs with
 /// [`StreamChecker::seal_epoch`] whenever a watermark fires.
@@ -1035,16 +1055,54 @@ impl StreamChecker {
         }
     }
 
-    /// Rebuild every piece of incremental state from the paired history
-    /// (the one structure sealing never mutates): synthesize the
-    /// accepted event sequence the history encodes, feed it through a
-    /// fresh checker, and carry the epoch ordinal and quarantine
-    /// counter over. Transaction ids are reproduced exactly — ids are
-    /// assigned in accepted-event index order, and synthesis emits
-    /// events in that same order (adopted orphans re-enter as bare
-    /// completions and re-adopt; abandoned opens re-abandon).
-    fn recover_from_history(&mut self) {
-        let mut fresh = StreamChecker::new(self.opts);
+    /// Capture everything needed to reconstruct this checker in
+    /// another process: the synthesized accepted-event sequence (the
+    /// same replay path [`StreamChecker::seal_epoch_guarded`]'s
+    /// in-process recovery uses) plus the carried counters — the epoch
+    /// ordinal, the quarantine gauge, and the partial epoch's event
+    /// count — so a [`StreamChecker::restore`]d checker's next
+    /// [`EpochReport`] is byte-stable with the pre-crash numbering.
+    pub fn snapshot(&self) -> CheckerSnapshot {
+        CheckerSnapshot {
+            epoch: self.epoch,
+            quarantined: self.quarantined,
+            events_this_epoch: self.events_this_epoch,
+            events: self.synthesize_events(),
+        }
+    }
+
+    /// Rebuild a checker from a [`CheckerSnapshot`]: feed the
+    /// synthesized events through a fresh checker under
+    /// [`RecoveryPolicy::Quarantine`] (adopted orphans re-enter as bare
+    /// completions and re-adopt; abandoned opens re-abandon), then
+    /// restore the epoch ordinal and quarantine gauge the replay itself
+    /// cannot know. The restored checker's next seal takes the full
+    /// batch-equivalent path, so its report is byte-identical to an
+    /// uninterrupted run's.
+    pub fn restore(opts: CheckOptions, snap: &CheckerSnapshot) -> StreamChecker {
+        let mut fresh = StreamChecker::new(opts);
+        for ev in &snap.events {
+            // Synthesized events can only trip the violations recovery
+            // repairs (orphan adoption, open abandonment); Quarantine
+            // absorbs them and reproduces the same transactions.
+            let _ = fresh.ingest_event_with(ev, RecoveryPolicy::Quarantine);
+        }
+        fresh.epoch = snap.epoch;
+        fresh.quarantined = snap.quarantined;
+        fresh.events_this_epoch = snap.events_this_epoch;
+        fresh
+    }
+
+    /// The check options this checker judges against.
+    pub fn options(&self) -> CheckOptions {
+        self.opts
+    }
+
+    /// Synthesize the accepted event sequence the paired history
+    /// encodes, sorted by index. Transaction ids are reproduced exactly
+    /// on replay — ids are assigned in accepted-event index order, and
+    /// synthesis emits events in that same order.
+    fn synthesize_events(&self) -> Vec<Event> {
         let open_ts: FxHashMap<TxnId, Option<u64>> = self
             .pairer
             .open_entries()
@@ -1060,7 +1118,8 @@ impl StreamChecker {
                 TxnStatus::Indeterminate => EventKind::Info,
             };
             match t.complete_index {
-                // Adopted orphan: one completion event, re-adopted below.
+                // Adopted orphan: one completion event, re-adopted on
+                // replay.
                 Some(ci) if ci == t.invoke_index => events.push(Event {
                     index: ci,
                     process: t.process,
@@ -1092,18 +1151,19 @@ impl StreamChecker {
             }
         }
         events.sort_unstable_by_key(|e| e.index);
-        for ev in &events {
-            // Synthesized events can only trip the violations recovery
-            // repairs (orphan adoption, open abandonment); Quarantine
-            // absorbs them and reproduces the same transactions.
-            let _ = fresh.ingest_event_with(ev, RecoveryPolicy::Quarantine);
-        }
+        events
+    }
+
+    /// Rebuild every piece of incremental state from the paired history
+    /// (the one structure sealing never mutates), via the same
+    /// snapshot → restore path service restarts use, carrying the test
+    /// panic hook over.
+    fn recover_from_history(&mut self) {
+        let fresh = StreamChecker::restore(self.opts, &self.snapshot());
         debug_assert_eq!(fresh.pairer.history(), self.pairer.history());
-        fresh.epoch = self.epoch;
-        fresh.quarantined = self.quarantined;
-        fresh.events_this_epoch = self.events_this_epoch;
-        fresh.panic_at_epoch = self.panic_at_epoch;
+        let panic_at = self.panic_at_epoch;
         *self = fresh;
+        self.panic_at_epoch = panic_at;
     }
 
     /// Test hook: make the seal of epoch ordinal `epoch` panic, to

@@ -54,6 +54,6 @@ mod checker;
 mod epoch;
 mod live;
 
-pub use checker::{EpochReport, FrontierStats, StreamChecker};
+pub use checker::{CheckerSnapshot, EpochReport, FrontierStats, StreamChecker};
 pub use epoch::EpochPolicy;
 pub use live::run_live;

@@ -214,6 +214,59 @@ fn typical_fault_schedule_streams_without_panicking() {
 }
 
 #[test]
+fn snapshot_restore_mid_stream_is_byte_identical() {
+    // Damage a generated wire, stream half of it (sealing once), then
+    // fork: one checker continues live, the other is rebuilt from a
+    // snapshot. Both must produce byte-identical epoch reports — same
+    // epoch ordinal, same carried quarantine gauge, same verdict.
+    let params = GenParams::contended(140, ObjectKind::ListAppend).with_seed(21);
+    let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+        .with_processes(4)
+        .with_seed(21);
+    let clean = elle_gen::run_workload_log(params, db);
+    let (wire, _) = FaultSchedule::typical(21).apply(&clean);
+    let (log, _) = events_from_ndjson_with(&wire, RecoveryPolicy::Quarantine).unwrap();
+    let events = log.events();
+    let opts = CheckOptions::strict_serializable();
+
+    let mut live = StreamChecker::new(opts);
+    for e in &events[..events.len() / 2] {
+        live.ingest_event_with(e, RecoveryPolicy::Quarantine)
+            .unwrap();
+    }
+    live.seal_epoch_guarded();
+    for e in &events[events.len() / 2..3 * events.len() / 4] {
+        live.ingest_event_with(e, RecoveryPolicy::Quarantine)
+            .unwrap();
+    }
+
+    let snap = live.snapshot();
+    let mut restored = StreamChecker::restore(opts, &snap);
+    assert_eq!(restored.snapshot(), snap, "snapshot must be a fixpoint");
+
+    for e in &events[3 * events.len() / 4..] {
+        live.ingest_event_with(e, RecoveryPolicy::Quarantine)
+            .unwrap();
+        restored
+            .ingest_event_with(e, RecoveryPolicy::Quarantine)
+            .unwrap();
+    }
+    let a = live.seal_epoch_guarded();
+    let b = restored.seal_epoch_guarded();
+    assert_eq!(a.epoch, b.epoch, "epoch ordinal must survive restore");
+    assert_eq!(
+        a.frontier.quarantined_events, b.frontier.quarantined_events,
+        "quarantine gauge must survive restore"
+    );
+    assert_eq!(a.events, b.events);
+    assert_eq!(
+        serde_json::to_string(&a.report).unwrap(),
+        serde_json::to_string(&b.report).unwrap(),
+        "restored checker diverged from the live one"
+    );
+}
+
+#[test]
 fn round_trip_ndjson_under_strict_policy_is_lossless() {
     let params = GenParams::contended(80, ObjectKind::ListAppend).with_seed(5);
     let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)

@@ -213,9 +213,21 @@ fn main() -> ExitCode {
         }
     };
     if as_json {
+        // The report object itself is checker output (kept byte-stable);
+        // ingest-level degradation rides alongside as a top-level gauge,
+        // present only when something was actually quarantined.
+        let mut v = serde::Serialize::serialize(&report);
+        if quarantined > 0 {
+            if let serde::Value::Map(entries) = &mut v {
+                entries.push((
+                    "quarantined".to_string(),
+                    serde::Value::UInt(quarantined as u64),
+                ));
+            }
+        }
         println!(
             "{}",
-            serde_json::to_string_pretty(&report).expect("report serializes")
+            serde_json::to_string_pretty(&v).expect("report serializes")
         );
     } else {
         print!("{}", report.summary());

@@ -1,0 +1,576 @@
+//! Resident multi-tenant checking service: many independent streaming
+//! checkers — one per tenant history — behind one process, with
+//! admission control, per-tenant fault isolation, watchdog seals,
+//! graceful drain, and crash-consistent recovery from a data directory.
+//!
+//! ```sh
+//! elle-serve --data-dir /var/lib/elle < tagged-events.ndjson
+//! elle-serve --listen 127.0.0.1:7199 --data-dir /var/lib/elle
+//! elle-serve --chaos 4 --seeds 8       # self-test: chaos vs oracle
+//! ```
+//!
+//! The wire protocol is NDJSON both ways; every request line is either
+//! a tenant-tagged event (`{"tenant":"t1","event":{…}}`) or an op
+//! (`seal`, `status`, `close`, `shutdown`). See the README's "Service
+//! mode" section.
+//!
+//! Exit status: 0 when every tenant's final verdict satisfies the
+//! expected model, 1 when any is violated, 2 on usage errors or failed
+//! (strict-mode) tenants, 3 when any final epoch was poisoned.
+
+use elle::prelude::*;
+use elle::serve::{signal, solo_verdict, ServeConfig, Server, Sink, Submitted, TenantFinal};
+use elle_history::RecoveryPolicy;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn parse_model(s: &str) -> Option<ConsistencyModel> {
+    ConsistencyModel::ALL.into_iter().find(|m| m.name() == s)
+}
+
+fn usage_text() -> String {
+    format!(
+        "usage: elle-serve [options]\n\
+         \n\
+         Serve many independent checker streams (one per tenant) from one resident\n\
+         process. Requests are NDJSON: {{\"tenant\":\"t1\",\"event\":{{…}}}} ingests one\n\
+         event; {{\"tenant\":\"t1\",\"op\":\"seal\"|\"status\"|\"close\"}} and {{\"op\":\"status\"|\n\
+         \"shutdown\"}} control. Responses (verdicts, warnings, rejects) are NDJSON too.\n\
+         Reads stdin by default; EOF, a shutdown op, or SIGTERM/SIGINT drain\n\
+         gracefully: every tenant is final-sealed and its verdict printed.\n\
+         \n\
+         options:\n\
+         --listen <addr>    accept TCP connections speaking the same protocol\n\
+         \u{20}                  (responses go to the requesting connection)\n\
+         --data-dir <path>  durability root: per-tenant write-ahead journals and\n\
+         \u{20}                  snapshots; on restart every tenant recovers and\n\
+         \u{20}                  converges to the uninterrupted run's verdicts\n\
+         --workers <n>      worker threads; tenants are sharded by id (default 4)\n\
+         --epoch-txns <n>   per-tenant: seal every n transactions (default 1000)\n\
+         --epoch-events <n> per-tenant: seal every n events\n\
+         --max-epoch-ms <ms>  watchdog: force-seal any tenant whose epoch stays\n\
+         \u{20}                  open this long with events buffered\n\
+         --snapshot-events <n>  rotate a tenant's snapshot after n accepted\n\
+         \u{20}                  events (default 4096)\n\
+         --max-line-bytes <n>   reject request lines larger than this (default 1 MiB)\n\
+         --max-tenant-bytes <n> per-tenant buffered-byte budget (default 4 MiB)\n\
+         --max-total-bytes <n>  global buffered-byte budget (default 64 MiB)\n\
+         --max-tenants <n>      live-tenant cap (default 1024)\n\
+         --strict           fail a tenant on its first damaged line instead of\n\
+         \u{20}                  quarantining (other tenants unaffected)\n\
+         --model <name>     expected model (default strict-serializable):\n\
+         {}\n\
+         --process          derive session-order edges\n\
+         --realtime         derive real-time edges\n\
+         --timestamps       derive start-ordered (database timestamp) edges\n\
+         --linearizable-keys  assume per-key linearizability (registers)\n\
+         --sequential-keys    assume per-key sequential consistency\n\
+         --max-cycles <n>   cap reported cycles per anomaly type\n\
+         --chaos <n>        self-test: n concurrent chaos tenants (kills,\n\
+         \u{20}                  reconnects, damaged wires) against the in-process\n\
+         \u{20}                  engine, each verdict checked against a solo oracle\n\
+         --seeds <n>        chaos schedules to run (default 4)\n\
+         --chaos-txns <n>   transactions per chaos tenant (default 120)\n\
+         \n\
+         exit status:\n\
+         0  every tenant's final verdict satisfies the expected model\n\
+         1  some tenant's expected model is violated\n\
+         2  usage error, or a strict-mode tenant failed on damaged input\n\
+         3  some tenant's final epoch was poisoned by an internal error",
+        ConsistencyModel::ALL
+            .map(|m| format!("                   {}", m.name()))
+            .join("\n")
+    )
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{}", usage_text());
+    ExitCode::from(2)
+}
+
+fn help() -> ExitCode {
+    println!("{}", usage_text());
+    ExitCode::SUCCESS
+}
+
+/// Severity-ordered exit code over all final verdicts.
+fn verdict_exit(finals: &[TenantFinal]) -> ExitCode {
+    let mut code = 0u8;
+    for f in finals {
+        let c = if f.poisoned {
+            3
+        } else if f.ok.is_none() {
+            2
+        } else if f.ok == Some(false) {
+            1
+        } else {
+            0
+        };
+        code = code.max(c);
+    }
+    ExitCode::from(code)
+}
+
+enum LineRead {
+    Eof,
+    Line,
+    /// The line exceeded the cap; it was discarded up to its newline.
+    /// Carries the number of bytes seen.
+    Oversized(usize),
+}
+
+/// Read one newline-terminated line into `buf` without ever buffering
+/// more than `cap` bytes of it — an oversized line is *discarded* as it
+/// streams past, so a hostile or broken client cannot balloon memory.
+/// A final unterminated fragment (torn connection) is surfaced as a
+/// line, like `read_line` would.
+fn read_line_capped(r: &mut impl BufRead, buf: &mut Vec<u8>, cap: usize) -> io::Result<LineRead> {
+    buf.clear();
+    let mut over = 0usize;
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(if over > 0 {
+                LineRead::Oversized(over)
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        let nl = chunk.iter().position(|&b| b == b'\n');
+        let take = nl.unwrap_or(chunk.len());
+        if over == 0 && buf.len() + take <= cap {
+            buf.extend_from_slice(&chunk[..take]);
+        } else {
+            over += buf.len() + take;
+            buf.clear();
+        }
+        let consumed = nl.map_or(chunk.len(), |i| i + 1);
+        r.consume(consumed);
+        if nl.is_some() {
+            return Ok(if over > 0 {
+                LineRead::Oversized(over)
+            } else {
+                LineRead::Line
+            });
+        }
+    }
+}
+
+/// Feed one NDJSON source into the server. Returns true if a shutdown
+/// was requested (op, or the signal latch between lines).
+fn pump(server: &Server, reader: &mut impl BufRead, sink: &Sink, cap: usize) -> io::Result<bool> {
+    let mut buf = Vec::new();
+    loop {
+        if signal::shutdown_requested() {
+            return Ok(true);
+        }
+        match read_line_capped(reader, &mut buf, cap)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::Oversized(n) => {
+                sink(&elle::serve::reject(
+                    None,
+                    400,
+                    &format!("line of {n} bytes exceeds the {cap}-byte limit — discarded"),
+                ));
+            }
+            LineRead::Line => {
+                let line = String::from_utf8_lossy(&buf);
+                if let Submitted::Shutdown = server.submit(&line, sink) {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+}
+
+fn stdout_sink() -> Sink {
+    let out = Arc::new(Mutex::new(io::stdout()));
+    Arc::new(move |line: &str| {
+        let mut out = out.lock().expect("stdout lock");
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    })
+}
+
+fn emit_finals(finals: &[TenantFinal]) {
+    let mut out = io::stdout().lock();
+    for f in finals {
+        let _ = writeln!(out, "{}", f.verdict);
+    }
+    let _ = out.flush();
+}
+
+fn run_stdin(cfg: ServeConfig) -> ExitCode {
+    let sink = stdout_sink();
+    let cap = cfg.max_line_bytes;
+    let server = match Server::start(cfg, Arc::clone(&sink)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("elle-serve: cannot start: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut reader = BufReader::new(io::stdin());
+    if let Err(e) = pump(&server, &mut reader, &sink, cap) {
+        eprintln!("elle-serve: stdin read failed: {e}");
+    }
+    let finals = server.drain();
+    emit_finals(&finals);
+    verdict_exit(&finals)
+}
+
+fn run_listen(cfg: ServeConfig, addr: &str) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("elle-serve: cannot bind {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("elle-serve: cannot poll {addr}: {e}");
+        return ExitCode::from(2);
+    }
+    let cap = cfg.max_line_bytes;
+    let default_sink = stdout_sink();
+    let server = match Server::start(cfg, Arc::clone(&default_sink)) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("elle-serve: cannot start: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let drain_requested = Arc::new(AtomicBool::new(false));
+    eprintln!("elle-serve: listening on {addr}");
+    loop {
+        if signal::shutdown_requested() || drain_requested.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = Arc::clone(&server);
+                let drain_requested = Arc::clone(&drain_requested);
+                std::thread::spawn(move || serve_conn(&server, stream, cap, &drain_requested));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("elle-serve: accept failed: {e}");
+                break;
+            }
+        }
+    }
+    let server = Arc::into_inner(server);
+    // Client threads hold no Server clones (they borrow through Arc);
+    // any still alive see 503s once draining starts and die with the
+    // process. A held Arc just means a client is mid-submit: wait.
+    let finals = match server {
+        Some(s) => s.drain(),
+        None => {
+            std::thread::sleep(Duration::from_millis(100));
+            Vec::new()
+        }
+    };
+    emit_finals(&finals);
+    verdict_exit(&finals)
+}
+
+fn serve_conn(server: &Server, stream: TcpStream, cap: usize, drain_requested: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let sink: Sink = Arc::new(move |line: &str| {
+        let mut w = writer.lock().expect("conn lock");
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    });
+    let mut reader = BufReader::new(stream);
+    if let Ok(true) = pump(server, &mut reader, &sink, cap) {
+        drain_requested.store(true, Ordering::SeqCst);
+    }
+}
+
+/// `--chaos`: concurrent seeded chaos tenants against the in-process
+/// engine, every final verdict byte-checked against the solo oracle.
+fn run_chaos(mut cfg: ServeConfig, tenants: usize, seeds: u64, txns: usize) -> ExitCode {
+    use elle::dbsim::{chaos_session, delivered_lines, drive, FaultSchedule};
+
+    cfg.data_dir = None;
+    // Chaos wants convergence pressure, not admission pressure: roomy
+    // budgets so no line is ever 429'd (a reject would desync the
+    // oracle), small epochs so seals interleave with kills.
+    cfg.max_tenant_bytes = cfg.max_tenant_bytes.max(64 << 20);
+    cfg.max_total_bytes = cfg.max_total_bytes.max(256 << 20);
+    if cfg.epoch_txns == Some(1000) {
+        cfg.epoch_txns = Some(25);
+    }
+    let mut bad = 0usize;
+    for seed in 0..seeds {
+        let sessions: Vec<_> = (0..tenants)
+            .map(|t| {
+                let name = format!("chaos-{t}");
+                let params = GenParams::contended(txns, ObjectKind::ListAppend)
+                    .with_seed(seed * 1009 + t as u64);
+                let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+                    .with_processes(4)
+                    .with_seed(seed * 2003 + t as u64);
+                let log = elle::gen::run_workload_log(params, db);
+                // Tenant 0 gets a damaged wire; the rest stay clean, so
+                // the run also demonstrates isolation under chaos.
+                let schedule = if t == 0 {
+                    FaultSchedule::typical(seed + 11)
+                } else {
+                    FaultSchedule::none()
+                };
+                chaos_session(&name, &log, &schedule, 2, seed * 31 + t as u64)
+            })
+            .collect();
+        let discard: Sink = Arc::new(|_| {});
+        let server = match Server::start(cfg.clone(), Arc::clone(&discard)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("elle-serve: chaos start failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        std::thread::scope(|scope| {
+            for session in &sessions {
+                let server = &server;
+                let discard = Arc::clone(&discard);
+                scope.spawn(move || {
+                    drive(session, |_attempt| {
+                        Ok(SubmitWriter {
+                            server,
+                            sink: Arc::clone(&discard),
+                            buf: Vec::new(),
+                        })
+                    })
+                    .expect("in-process transport cannot fail")
+                });
+            }
+        });
+        let finals = server.drain();
+        for session in &sessions {
+            let want = solo_verdict(&cfg, &session.tenant, &delivered_lines(session));
+            let got = finals
+                .iter()
+                .find(|f| f.tenant == session.tenant)
+                .map(|f| f.verdict.clone())
+                .unwrap_or_default();
+            if got == want {
+                eprintln!("chaos seed {seed} {}: converged", session.tenant);
+            } else {
+                bad += 1;
+                eprintln!(
+                    "chaos seed {seed} {}: DIVERGED\n  served: {got}\n  oracle: {want}",
+                    session.tenant
+                );
+            }
+        }
+    }
+    if bad == 0 {
+        println!("chaos: all {} verdicts converged", seeds as usize * tenants);
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos: {bad} verdicts diverged");
+        ExitCode::FAILURE
+    }
+}
+
+/// An in-process "connection": buffers written bytes, submits each
+/// completed line; a final unterminated fragment is submitted on drop,
+/// exactly as the TCP reader surfaces a torn line at EOF.
+struct SubmitWriter<'a> {
+    server: &'a Server,
+    sink: Sink,
+    buf: Vec<u8>,
+}
+
+impl Write for SubmitWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        while let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
+            let rest = self.buf.split_off(i + 1);
+            let line = std::mem::replace(&mut self.buf, rest);
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            self.server.submit(&line, &self.sink);
+        }
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for SubmitWriter<'_> {
+    fn drop(&mut self) {
+        if !self.buf.is_empty() {
+            let line = String::from_utf8_lossy(&self.buf).into_owned();
+            self.server.submit(&line, &self.sink);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut registers = RegisterOptions::default();
+    let mut listen: Option<String> = None;
+    let mut chaos: Option<usize> = None;
+    let mut seeds = 4u64;
+    let mut chaos_txns = 120usize;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => {
+                let Some(addr) = it.next() else {
+                    return usage();
+                };
+                listen = Some(addr.clone());
+            }
+            "--data-dir" => {
+                let Some(p) = it.next() else {
+                    return usage();
+                };
+                cfg.data_dir = Some(p.into());
+            }
+            "--workers" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.workers = n;
+            }
+            "--epoch-txns" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.epoch_txns = Some(n);
+            }
+            "--epoch-events" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.epoch_events = Some(n);
+            }
+            "--max-epoch-ms" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_epoch = Some(Duration::from_millis(n));
+            }
+            "--snapshot-events" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.snapshot_events = n;
+            }
+            "--max-line-bytes" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_line_bytes = n;
+            }
+            "--max-tenant-bytes" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_tenant_bytes = n;
+            }
+            "--max-total-bytes" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_total_bytes = n;
+            }
+            "--max-tenants" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_tenants = n;
+            }
+            "--strict" => cfg.recovery = RecoveryPolicy::Strict,
+            "--model" => {
+                let Some(name) = it.next() else {
+                    return usage();
+                };
+                let Some(m) = parse_model(name) else {
+                    eprintln!("unknown model {name:?}");
+                    return usage();
+                };
+                cfg.opts.expected = m;
+            }
+            "--process" => cfg.opts = cfg.opts.with_process_edges(true),
+            "--realtime" => cfg.opts = cfg.opts.with_realtime_edges(true),
+            "--timestamps" => cfg.opts = cfg.opts.with_timestamp_edges(true),
+            "--linearizable-keys" => registers.linearizable_keys = true,
+            "--sequential-keys" => registers.sequential_keys = true,
+            "--max-cycles" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.opts = cfg.opts.with_max_cycles(n);
+            }
+            // Undocumented test hook: panic inside the named tenant's
+            // seal of epoch N ("tenant:N"), to exercise poisoned-epoch
+            // isolation across tenants end to end.
+            "--inject-seal-panic" => {
+                let Some(spec) = it.next() else {
+                    return usage();
+                };
+                let Some((tenant, epoch)) = spec.rsplit_once(':') else {
+                    return usage();
+                };
+                let Ok(epoch) = epoch.parse() else {
+                    return usage();
+                };
+                cfg.inject_seal_panic = Some((tenant.to_string(), epoch));
+            }
+            "--chaos" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                chaos = Some(n);
+            }
+            "--seeds" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                seeds = n;
+            }
+            "--chaos-txns" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                chaos_txns = n;
+            }
+            "--help" | "-h" => return help(),
+            other => {
+                eprintln!("unrecognized argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    cfg.opts = cfg.opts.with_registers(registers);
+
+    signal::install();
+    match (chaos, listen) {
+        (Some(n), _) => run_chaos(cfg, n.max(1), seeds, chaos_txns),
+        (None, Some(addr)) => run_listen(cfg, &addr),
+        (None, None) => run_stdin(cfg),
+    }
+}

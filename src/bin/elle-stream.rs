@@ -101,13 +101,25 @@ fn emit(epoch: &EpochReport, as_json: bool, timing: bool) {
             None => epoch.report.ok().to_string(),
             Some(_) => "null".to_string(),
         };
-        let poisoned = match &epoch.poisoned {
+        let mut poisoned = match &epoch.poisoned {
             None => String::new(),
             Some(m) => format!(
                 ",\"poisoned\":{}",
                 serde_json::to_string(m).expect("string serializes")
             ),
         };
+        // Degradation gauges, only when nonzero: healthy streams keep
+        // byte-stable envelopes, degraded ones say so in the verdict
+        // itself instead of only under --timing.
+        if epoch.frontier.quarantined_events > 0 {
+            poisoned.push_str(&format!(
+                ",\"quarantined\":{}",
+                epoch.frontier.quarantined_events
+            ));
+        }
+        if epoch.timings.forced_seals > 0 {
+            poisoned.push_str(&format!(",\"forced_seals\":{}", epoch.timings.forced_seals));
+        }
         println!(
             "{{\"epoch\":{},\"txns\":{},\"events\":{},\"ok\":{ok},\"rebuilt\":{},\"open_txns\":{}{poisoned},\"report\":{}}}",
             epoch.epoch,

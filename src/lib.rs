@@ -12,7 +12,8 @@
 //! * [`dbsim`] — the MVCC database simulator used for evaluation,
 //! * [`gen`] — workload generators,
 //! * [`knossos`] — the baseline strict-serializability checker,
-//! * [`stream`] — the incremental epoch-based checker for live histories.
+//! * [`stream`] — the incremental epoch-based checker for live histories,
+//! * [`serve`] — the fault-isolated multi-tenant checking service.
 //!
 //! ```
 //! use elle::prelude::*;
@@ -34,6 +35,7 @@ pub use elle_gen as gen;
 pub use elle_graph as graph;
 pub use elle_history as history;
 pub use elle_knossos as knossos;
+pub use elle_serve as serve;
 pub use elle_stream as stream;
 
 /// Commonly used items, for glob import.

@@ -116,6 +116,22 @@ pub trait Deserialize: Sized {
     fn deserialize(v: &Value) -> Result<Self, SerdeError>;
 }
 
+// A `Value` is its own wire form: identity impls let callers parse a
+// document into the self-describing tree (staged decoding of envelope
+// formats) and re-serialize a tree they have edited (e.g. a report with
+// injected top-level gauge fields).
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        Ok(v.clone())
+    }
+}
+
 // ── Primitive impls ─────────────────────────────────────────────────────
 
 macro_rules! impl_unsigned {
