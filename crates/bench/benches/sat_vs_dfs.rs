@@ -1,0 +1,100 @@
+//! `sat_vs_dfs`: the dbcop-style engine comparison (`npc_vs_sat` in
+//! their repo). Three verdict engines on the same histories:
+//!
+//! * `cycle` — Elle's sound-but-incomplete cycle search (linear-ish),
+//! * `sat`   — the complete CEGAR order solver (`elle-sat`),
+//! * `dfs`   — the WGL-style linearization search (`elle-knossos`),
+//!   exponential in concurrency (Figure 4's blow-up).
+//!
+//! Two sweeps: history length at fixed concurrency (where `sat` should
+//! track `cycle` within a constant factor), and concurrency at fixed
+//! length (where `dfs` departs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elle_core::{CheckOptions, Checker};
+use elle_dbsim::{DbConfig, IsolationLevel, ObjectKind};
+use elle_gen::{run_workload, GenParams};
+use elle_history::History;
+use elle_knossos::KnossosOptions;
+use elle_sat::{SatModel, SatOptions};
+use std::time::Duration;
+
+/// `CRITERION_QUICK=1` (the CI smoke) truncates both sweeps.
+fn quick() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| v == "1")
+}
+
+/// A serializable list-append run the DFS can also digest: low
+/// concurrency, list objects only.
+fn history(n_txns: usize, processes: usize) -> History {
+    let params = GenParams {
+        n_txns,
+        min_txn_len: 1,
+        max_txn_len: 4,
+        active_keys: 4,
+        writes_per_key: 32,
+        read_prob: 0.5,
+        kind: ObjectKind::ListAppend,
+        seed: (n_txns as u64) ^ ((processes as u64) << 32),
+        final_reads: false,
+    };
+    let db = DbConfig::new(IsolationLevel::StrictSerializable, ObjectKind::ListAppend)
+        .with_processes(processes)
+        .with_seed(n_txns as u64 + processes as u64);
+    run_workload(params, db).expect("history pairs")
+}
+
+fn bench_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_vs_dfs_length");
+    g.sample_size(10);
+    let sizes: &[usize] = if quick() {
+        &[50, 100]
+    } else {
+        &[50, 100, 200, 400, 800]
+    };
+    for &n in sizes {
+        let h = history(n, 3);
+        g.bench_with_input(BenchmarkId::new("cycle", n), &h, |b, h| {
+            b.iter(|| Checker::new(CheckOptions::serializable()).check(h))
+        });
+        g.bench_with_input(BenchmarkId::new("sat", n), &h, |b, h| {
+            b.iter(|| elle_sat::check(h, SatModel::Serializable, &SatOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("dfs", n), &h, |b, h| {
+            b.iter(|| {
+                elle_knossos::check(
+                    h,
+                    KnossosOptions::default().with_budget(Duration::from_secs(10)),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_vs_dfs_concurrency");
+    g.sample_size(10);
+    let procs: &[usize] = if quick() { &[2, 4] } else { &[2, 4, 6, 8] };
+    for &p in procs {
+        let h = history(120, p);
+        g.bench_with_input(BenchmarkId::new("cycle", p), &h, |b, h| {
+            b.iter(|| Checker::new(CheckOptions::serializable()).check(h))
+        });
+        g.bench_with_input(BenchmarkId::new("sat", p), &h, |b, h| {
+            b.iter(|| elle_sat::check(h, SatModel::Serializable, &SatOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("dfs", p), &h, |b, h| {
+            b.iter(|| {
+                elle_knossos::check(
+                    h,
+                    KnossosOptions::default().with_budget(Duration::from_secs(10)),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_length, bench_concurrency);
+criterion_main!(benches);

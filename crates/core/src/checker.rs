@@ -354,6 +354,15 @@ pub struct Checker {
     opts: CheckOptions,
 }
 
+/// Output of the shared inference front half (datatype passes merged
+/// into one graph, plus everything the report path needs from them).
+struct InferredDeps {
+    anomalies: Vec<Anomaly>,
+    observed: rustc_hash::FxHashSet<(elle_history::Key, elle_history::Elem)>,
+    deps: DepGraph,
+    warnings: Vec<String>,
+}
+
 impl Checker {
     /// A checker with the given options.
     pub fn new(opts: CheckOptions) -> Self {
@@ -395,22 +404,52 @@ impl Checker {
         self.check_inner(history, true, None)
     }
 
-    fn check_inner(
+    /// Run only the inference half of [`Checker::check`]: the
+    /// per-datatype analyses plus the configured derived-order passes,
+    /// returning the assembled IDSG sealed with [`DepGraph::build`] —
+    /// no cycle search, no report. This is the export hook external
+    /// engines (the `elle-sat` cross-checker) encode from: every edge
+    /// in the returned graph is a sound inference about the history,
+    /// so a solver may assert each as a unit ordering constraint.
+    pub fn infer_idsg(&self, history: &History) -> DepGraph {
+        let mut timings = None;
+        let mut clock = Instant::now();
+        let inferred = self.infer_deps(history, false, &mut timings, &mut clock);
+        let mut deps = inferred.deps;
+        if self.opts.process_edges {
+            orders::add_process_edges(&mut deps, history);
+        }
+        if self.opts.realtime_edges {
+            orders::add_realtime_edges(&mut deps, history);
+        }
+        if self.opts.timestamp_edges {
+            orders::add_timestamp_edges(&mut deps, history);
+        }
+        deps.build();
+        // The datatype drivers charged their scratch to the shared
+        // pool gauge; an inference-only caller must not leak that into
+        // the next `check()`'s peak reading.
+        let _ = crate::pool::take_peak_bytes();
+        deps
+    }
+
+    /// The shared inference front half: key typing, element index, and
+    /// the per-datatype analysis passes, merged into one [`DepGraph`]
+    /// (not yet sealed, no derived-order edges). Both [`Checker::check`]
+    /// and [`Checker::infer_idsg`] build on this.
+    fn infer_deps(
         &self,
         history: &History,
         seed_reference: bool,
-        mut timings: Option<&mut StageTimings>,
-    ) -> Report {
+        timings: &mut Option<&mut StageTimings>,
+        clock: &mut Instant,
+    ) -> InferredDeps {
         let opts = self.opts;
-        let mut clock = Instant::now();
-        fn lap(timings: &mut Option<&mut StageTimings>, name: &str, clock: &mut Instant) {
-            if let Some(t) = timings.as_deref_mut() {
-                *clock = t.record(name, *clock);
-            }
-        }
         let kt = KeyTypes::infer(history);
         let elems = ElemIndex::build(history);
-        lap(&mut timings, "key typing + element index", &mut clock);
+        if let Some(t) = timings.as_deref_mut() {
+            *clock = t.record("key typing + element index", *clock);
+        }
 
         let mut warnings = Vec::new();
         for k in &kt.conflicts {
@@ -506,7 +545,36 @@ impl Checker {
                 (clock.elapsed().as_secs_f64() - gather.secs).max(0.0),
             ));
             t.gather_buf_peak = gather.buf_bytes;
-            clock = Instant::now();
+            *clock = Instant::now();
+        }
+
+        InferredDeps {
+            anomalies,
+            observed,
+            deps,
+            warnings,
+        }
+    }
+
+    fn check_inner(
+        &self,
+        history: &History,
+        seed_reference: bool,
+        mut timings: Option<&mut StageTimings>,
+    ) -> Report {
+        let opts = self.opts;
+        let mut clock = Instant::now();
+        let inferred = self.infer_deps(history, seed_reference, &mut timings, &mut clock);
+        let InferredDeps {
+            mut anomalies,
+            observed,
+            mut deps,
+            warnings,
+        } = inferred;
+        fn lap(timings: &mut Option<&mut StageTimings>, name: &str, clock: &mut Instant) {
+            if let Some(t) = timings.as_deref_mut() {
+                *clock = t.record(name, *clock);
+            }
         }
 
         if opts.process_edges {

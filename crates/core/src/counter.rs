@@ -185,10 +185,12 @@ pub fn analyze(history: &History, counter_keys: &[Key]) -> CounterAnalysis {
         .append(&mut internal_anomalies(history.txns().iter(), &keys));
 
     let start = Instant::now();
-    let mut buf = GatherBuf::new();
+    // `CounterOcc` is `'static` (it carries no history references), so
+    // the items side recycles through the typed buffer pool.
+    let mut buf = GatherBuf::new_pooled();
     gather(history.txns().iter(), &keys, &mut buf);
     let buf_bytes = buf.footprint_bytes();
-    let grouped = buf.group(keys.len());
+    let grouped = buf.group_pooled(keys.len());
     out.gather = GatherStats {
         secs: start.elapsed().as_secs_f64(),
         buf_bytes: buf_bytes.max(grouped.footprint_bytes()),
@@ -202,6 +204,7 @@ pub fn analyze(history: &History, counter_keys: &[Key]) -> CounterAnalysis {
             out.deps.add(a, b, w);
         }
     }
+    grouped.recycle();
     out.deps.build();
     out
 }

@@ -419,7 +419,14 @@ fn classify(steps: &[CycleStep]) -> Option<AnomalyType> {
     for s in steps {
         match s.class {
             EdgeClass::Rw => rw += 1,
-            EdgeClass::Wr | EdgeClass::Rr | EdgeClass::Version => wr += 1,
+            // An rr edge is the composition rw∘wr — the earlier reader
+            // *missed* a write the later reader observed — so it carries
+            // exactly one anti-dependency. Counting it as information
+            // flow would let two-anti-dependency write-skew cycles
+            // masquerade as G-single (and rr-closed cycles as G1c),
+            // flagging snapshot-legal histories.
+            EdgeClass::Rr => rw += 1,
+            EdgeClass::Wr | EdgeClass::Version => wr += 1,
             EdgeClass::Process => proc += 1,
             EdgeClass::Realtime => rt += 1,
             EdgeClass::Timestamp => ts += 1,
@@ -693,8 +700,10 @@ mod tests {
     }
 
     #[test]
-    fn rr_edges_participate_at_g1c_tier() {
-        // A set-style rr edge closing an information-flow cycle.
+    fn rr_edges_carry_an_anti_dependency() {
+        // A set-style rr edge closing a wr cycle. The rr edge is the
+        // composition rw∘wr (T1 missed a write T0 observed), so the
+        // cycle holds one anti-dependency: G-single, not G1c.
         let h = history(2);
         let mut d = DepGraph::with_txns(2);
         d.add(
@@ -708,7 +717,7 @@ mod tests {
         d.add(TxnId(1), TxnId(0), Witness::Rr { key: Key(1) });
         let found = find_cycle_anomalies(&mut d, &h, CycleSearchOptions::default());
         assert_eq!(found.len(), 1);
-        assert_eq!(found[0].typ, AnomalyType::G1c);
+        assert_eq!(found[0].typ, AnomalyType::GSingle);
     }
 
     #[test]

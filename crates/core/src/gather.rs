@@ -15,7 +15,13 @@
 //! The counting-sort scratch comes from the thread-local buffer pool
 //! ([`crate::pool`]), so repeated runs — streaming epochs, benchmark
 //! sweeps — recycle pre-faulted pages instead of paying first-touch
-//! faults on every build.
+//! faults on every build. The items side recycles too where the type
+//! system allows it: occurrence types without history references
+//! (`'static`, like the counter's) go through [`GatherBuf::new_pooled`]
+//! / [`GatherBuf::group_pooled`] / [`Grouped::recycle`], while the
+//! lifetime-carrying ones can't be type-erased into the pool and
+//! instead fold their transient items bytes into the pool's peak gauge
+//! at group time.
 
 use crate::pool;
 use elle_history::Key;
@@ -102,6 +108,32 @@ impl<T> Default for GatherBuf<T> {
     }
 }
 
+impl<T: 'static> GatherBuf<T> {
+    /// A fresh buffer with *both* sides recycled from the buffer pool.
+    /// Only `'static` occurrence types can pool their items side (the
+    /// pool's type erasure requires it); lifetime-carrying occurrence
+    /// types use [`GatherBuf::new`], whose items allocation is folded
+    /// into the pool's peak gauge instead.
+    pub fn new_pooled() -> Self {
+        GatherBuf {
+            slots: pool::take_u32_empty(),
+            items: pool::take_typed(),
+        }
+    }
+
+    /// [`GatherBuf::group`], recycling the scan-order items allocation
+    /// through the typed pool and drawing the grouped allocation from
+    /// it. Pair with [`Grouped::recycle`] to close the loop.
+    pub fn group_pooled(self, n_slots: usize) -> Grouped<T>
+    where
+        T: Copy,
+    {
+        let (grouped, items) = self.group_core(n_slots, pool::take_typed());
+        pool::put_typed(items);
+        grouped
+    }
+}
+
 impl<T> GatherBuf<T> {
     /// A fresh buffer (slot storage recycled from the buffer pool).
     pub fn new() -> Self {
@@ -154,7 +186,20 @@ impl<T> GatherBuf<T> {
     where
         T: Copy,
     {
-        let GatherBuf { slots, items } = self;
+        // The scan-order items and the grouped copy are both live at
+        // the gather step below; neither can be pooled for
+        // non-`'static` `T`, so fold them into the peak gauge here.
+        pool::note_transient(2 * self.items.len() * std::mem::size_of::<T>());
+        let (grouped, items) = self.group_core(n_slots, Vec::new());
+        drop(items);
+        grouped
+    }
+
+    fn group_core(self, n_slots: usize, mut grouped: Vec<T>) -> (Grouped<T>, Vec<T>)
+    where
+        T: Copy,
+    {
+        let GatherBuf { slots, mut items } = self;
         let n = items.len();
         debug_assert!(n < u32::MAX as usize);
 
@@ -187,15 +232,18 @@ impl<T> GatherBuf<T> {
         // in-place cycle-chasing permutation at 512k+ histories (swap
         // chains serialize on cache misses), at the cost of a second,
         // transient items allocation.
-        let mut grouped: Vec<T> = Vec::with_capacity(n);
+        grouped.reserve(n);
         grouped.extend(idx[..n].iter().map(|&i| items[i as usize]));
         pool::put_u32(idx);
-        drop(items);
+        items.clear();
 
-        Grouped {
-            items: grouped,
-            offsets,
-        }
+        (
+            Grouped {
+                items: grouped,
+                offsets,
+            },
+            items,
+        )
     }
 }
 
@@ -237,6 +285,14 @@ impl<T> Grouped<T> {
     /// Footprint in bytes (items + offset table).
     pub fn footprint_bytes(&self) -> usize {
         self.offsets.len() * 4 + self.items.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: 'static> Grouped<T> {
+    /// Return the items allocation to the typed pool (the offset table
+    /// goes back through `Drop` regardless).
+    pub fn recycle(mut self) {
+        pool::put_typed(std::mem::take(&mut self.items));
     }
 }
 
@@ -306,6 +362,30 @@ mod tests {
                 assert_eq!(g.run(slot as u32), expect.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn pooled_path_groups_identically_and_recycles() {
+        let fill = |buf: &mut GatherBuf<u64>| {
+            for (slot, item) in [(2, 20), (0, 1), (2, 21), (1, 10), (0, 2)] {
+                buf.push(slot, item);
+            }
+        };
+        let mut plain: GatherBuf<u64> = GatherBuf::new();
+        let mut pooled: GatherBuf<u64> = GatherBuf::new_pooled();
+        fill(&mut plain);
+        fill(&mut pooled);
+        let gp = plain.group(3);
+        let gq = pooled.group_pooled(3);
+        for s in 0..3 {
+            assert_eq!(gp.run(s), gq.run(s));
+        }
+        drop(gp);
+        gq.recycle();
+
+        // The recycled items capacity comes back on the next pooled buffer.
+        let back: GatherBuf<u64> = GatherBuf::new_pooled();
+        assert!(back.items.capacity() >= 5, "items allocation recycled");
     }
 
     #[test]

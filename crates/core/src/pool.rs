@@ -12,25 +12,42 @@
 //! Buffers are plain `Vec<u32>` / `Vec<u64>`; a fresh allocation is
 //! pre-faulted by writing every element (`Vec::with_capacity` +
 //! `resize`, which memsets, rather than `vec![0; n]`, which gets lazily
-//! mapped zero pages from the allocator). The pool is instrumented with
-//! a peak-resident gauge (see [`peak_bytes`]) surfaced in `--timing`
-//! output alongside the edge-buffer peak.
+//! mapped zero pages from the allocator). Arbitrary `'static` element
+//! types recycle through [`take_typed`] / [`put_typed`] (the gather
+//! pipeline's items side). The pool is instrumented with a peak gauge
+//! (see [`peak_bytes`]) surfaced in `--timing` output alongside the
+//! edge-buffer peak; transient allocations that cannot be pooled are
+//! folded into the gauge via [`note_transient`].
 
+use std::any::{Any, TypeId};
 use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// How many buffers of each width the pool retains. The pipeline needs
 /// at most a handful live at once (counts + cursor + scatter slots);
 /// anything beyond this is released to the allocator on `put`.
 const MAX_POOLED: usize = 8;
 
+/// One retained buffer of arbitrary element type: the boxed `Vec<T>`
+/// plus its capacity in bytes, so the resident gauge never needs to
+/// downcast.
+struct TypedEntry {
+    vec: Box<dyn Any>,
+    bytes: usize,
+}
+
 #[derive(Default)]
 struct Pool {
     u32s: Vec<Vec<u32>>,
     u64s: Vec<Vec<u64>>,
+    /// Arbitrary `'static` element types, keyed by `TypeId` of the
+    /// `Vec<T>`.
+    typed: HashMap<TypeId, Vec<TypedEntry>>,
     /// Bytes currently resident in the pool (sum of retained
     /// capacities).
     resident: usize,
-    /// High-water mark of `resident`.
+    /// High-water mark of `resident` (plus any transient scratch folded
+    /// in via [`note_transient`]).
     peak: usize,
 }
 
@@ -114,6 +131,66 @@ pub(crate) fn put_u64(v: Vec<u64>) {
     });
 }
 
+/// Take an empty `Vec<T>` with whatever capacity a previous user of the
+/// same element type faulted in. Only `'static` element types can live
+/// in the pool — the `TypeId` erasure requires it — which is why the
+/// gather pipeline's lifetime-carrying occurrence types report through
+/// [`note_transient`] instead of recycling.
+pub(crate) fn take_typed<T: 'static>() -> Vec<T> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p
+            .typed
+            .get_mut(&TypeId::of::<Vec<T>>())
+            .and_then(|b| b.pop())
+        {
+            Some(entry) => {
+                p.resident -= entry.bytes;
+                let mut v = *entry
+                    .vec
+                    .downcast::<Vec<T>>()
+                    .expect("typed pool bucket holds Vec<T>");
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    })
+}
+
+/// Return a `Vec<T>` to the pool (contents are discarded; only the
+/// faulted-in capacity is worth keeping).
+pub(crate) fn put_typed<T: 'static>(mut v: Vec<T>) {
+    v.clear();
+    if v.capacity() == 0 {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let p = &mut *p;
+        let bucket = p.typed.entry(TypeId::of::<Vec<T>>()).or_default();
+        if bucket.len() < MAX_POOLED {
+            let bytes = v.capacity() * std::mem::size_of::<T>();
+            bucket.push(TypedEntry {
+                vec: Box::new(v),
+                bytes,
+            });
+            p.resident += bytes;
+            p.peak = p.peak.max(p.resident);
+        }
+    });
+}
+
+/// Fold a transient allocation that cannot be pooled (a non-`'static`
+/// element type) into the peak gauge, so the scratch high-water mark
+/// still covers it.
+pub(crate) fn note_transient(bytes: usize) {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.peak = p.peak.max(p.resident + bytes);
+    });
+}
+
 /// Peak bytes resident in this thread's pool since the last
 /// [`take_peak_bytes`] — the size of the scratch working set being
 /// recycled instead of re-faulted.
@@ -160,6 +237,53 @@ mod tests {
         let v = take_u32(10);
         assert_eq!(v[3], 0, "take zero-fills");
         put_u32(v);
+    }
+
+    #[test]
+    fn typed_buffers_recycle_by_element_type() {
+        // Drain anything earlier tests on this thread left behind.
+        while {
+            let v: Vec<(u64, u64)> = take_typed();
+            v.capacity() > 0
+        } {}
+        let _ = take_peak_bytes();
+
+        let mut v: Vec<(u64, u64)> = take_typed();
+        v.extend((0..512).map(|i| (i, i)));
+        let cap = v.capacity();
+        put_typed(v);
+        assert!(peak_bytes() >= cap * 16);
+
+        let v: Vec<(u64, u64)> = take_typed();
+        assert!(v.is_empty(), "take_typed clears contents");
+        assert!(v.capacity() >= cap, "capacity survives recycling");
+
+        // A different element type gets its own bucket, not this one.
+        let other: Vec<u128> = take_typed();
+        assert_eq!(other.capacity(), 0);
+        put_typed(v);
+        put_typed(other);
+    }
+
+    #[test]
+    fn typed_pool_is_bounded() {
+        for _ in 0..4 * MAX_POOLED {
+            put_typed::<i64>(Vec::with_capacity(16));
+        }
+        let held = POOL.with(|p| {
+            p.borrow()
+                .typed
+                .get(&TypeId::of::<Vec<i64>>())
+                .map_or(0, |b| b.len())
+        });
+        assert!(held <= MAX_POOLED);
+    }
+
+    #[test]
+    fn note_transient_raises_the_peak() {
+        let _ = take_peak_bytes();
+        note_transient(1 << 20);
+        assert!(peak_bytes() >= 1 << 20);
     }
 
     #[test]

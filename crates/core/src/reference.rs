@@ -35,7 +35,6 @@ use crate::set_add::{SetAdd, SetKeyData, SetOcc};
 use elle_graph::{interval_order_reduction, tarjan_scc, DiGraph, EdgeClass, EdgeMask, Interval};
 use elle_history::{Elem, Key, Mop, ReadValue, TxnId, TxnStatus};
 use rustc_hash::{FxHashMap, FxHashSet};
-use std::collections::BTreeSet;
 
 /// The seed list-append pass: per-read element scans throughout.
 pub struct ListAppendRef;
@@ -347,25 +346,31 @@ impl DatatypeAnalysis for SetAddRef {
         }
 
         // ── rr chain + compatibility: committed reads must form a
-        //    ⊆-chain. ───────────────────────────────────────────────────
-        let mut sorted: Vec<&(TxnId, &BTreeSet<Elem>)> = reads.iter().collect();
-        sorted.sort_by_key(|(_, s)| s.len());
-        for w in sorted.windows(2) {
-            let ((ta, sa), (tb, sb)) = (w[0], w[1]);
-            if sa.is_subset(sb) {
-                if sa.len() < sb.len() {
-                    out.edge(*ta, *tb, Witness::Rr { key });
-                }
+        //    ⊆-chain after discounting each reader's own adds (a read-back
+        //    of your own add observes no external version). ──────────────
+        let external = crate::set_add::external_views(reads, adds);
+        let mut order: Vec<usize> = (0..reads.len()).collect();
+        order.sort_by_key(|&i| external[i].len());
+        for w in order.windows(2) {
+            let (ia, ib) = (w[0], w[1]);
+            let (ea, eb) = (&external[ia], &external[ib]);
+            if ea == eb {
+                continue;
+            }
+            let (ta, tb) = (reads[ia].0, reads[ib].0);
+            if crate::set_add::is_subset_sorted(ea, eb) {
+                out.edge(ta, tb, Witness::Rr { key });
             } else {
                 out.anomaly(
                     AnomalyType::IncompatibleOrder,
-                    vec![*ta, *tb],
+                    vec![ta, tb],
                     key,
                     format!(
-                        "{}\n{}\n  committed reads of set {key} are incomparable \
-                         ({sa:?} vs {sb:?}): they cannot lie on one version order",
-                        cx.history.get(*ta).to_notation(),
-                        cx.history.get(*tb).to_notation()
+                        "{}\n{}\n  committed reads of set {key} observe incomparable \
+                         external states ({ea:?} vs {eb:?}): they cannot lie on one \
+                         version order",
+                        cx.history.get(ta).to_notation(),
+                        cx.history.get(tb).to_notation()
                     ),
                 );
             }

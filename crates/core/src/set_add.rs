@@ -5,7 +5,9 @@
 //! so write-write dependencies between adders cannot be determined. We
 //! infer, per the paper's `T0…T3` example:
 //!
-//! * `rr`: a read of a proper subset precedes a read of its superset;
+//! * `rr`: a read of a proper subset precedes a read of its superset —
+//!   compared on *external* states (the value minus the reader's own
+//!   adds), since reading back your own add observes no version;
 //! * `wr`: the adder of each observed element precedes the reader;
 //! * `rw`: a reader that did *not* observe a committed add precedes the
 //!   adder (the add's version must follow the version read, because adds
@@ -282,43 +284,80 @@ impl DatatypeAnalysis for SetAdd {
         }
 
         // ── rr chain + compatibility: committed reads must form a
-        //    ⊆-chain. Adjacent occurrences of the same version need no
-        //    check; each distinct adjacent version pair is compared once
-        //    and the verdict cached. ─────────────────────────────────────
+        //    ⊆-chain *after discounting each reader's own adds*. A
+        //    transaction that reads back its own add observes no external
+        //    version — under snapshot isolation the add is visible to its
+        //    writer long before anyone else — so own elements say nothing
+        //    about where the snapshot lies. Comparing raw values would
+        //    order two readers whose external snapshots are identical and
+        //    manufacture an `rr` edge no database run obligates. ─────────
+        let external = external_views(reads, adds);
         let mut order: Vec<usize> = (0..reads.len()).collect();
-        order.sort_by_key(|&i| reads[i].1.len());
-        let mut subset_cache: FxHashMap<(VersionId, VersionId), bool> = FxHashMap::default();
+        order.sort_by_key(|&i| external[i].len());
         for w in order.windows(2) {
             let (ia, ib) = (w[0], w[1]);
-            let (va, vb) = (vids[ia], vids[ib]);
-            if va == vb {
-                // Equal values: a subset of equal size — no edge, no
-                // anomaly, exactly like the seed's per-pair check.
+            let (ea, eb) = (&external[ia], &external[ib]);
+            if ea == eb {
+                // Equal external states — no edge, no anomaly.
                 continue;
             }
-            let ((ta, sa), (tb, sb)) = (&reads[ia], &reads[ib]);
-            let subset = *subset_cache
-                .entry((va, vb))
-                .or_insert_with(|| sa.is_subset(sb));
-            if subset {
-                if sa.len() < sb.len() {
-                    out.edge(*ta, *tb, Witness::Rr { key });
-                }
+            let (ta, tb) = (reads[ia].0, reads[ib].0);
+            if is_subset_sorted(ea, eb) {
+                // Distinct and `ea ⊆ eb` ⇒ strictly smaller.
+                out.edge(ta, tb, Witness::Rr { key });
             } else {
                 out.anomaly(
                     AnomalyType::IncompatibleOrder,
-                    vec![*ta, *tb],
+                    vec![ta, tb],
                     key,
                     format!(
-                        "{}\n{}\n  committed reads of set {key} are incomparable \
-                         ({sa:?} vs {sb:?}): they cannot lie on one version order",
-                        cx.history.get(*ta).to_notation(),
-                        cx.history.get(*tb).to_notation()
+                        "{}\n{}\n  committed reads of set {key} observe incomparable \
+                         external states ({ea:?} vs {eb:?}): they cannot lie on one \
+                         version order",
+                        cx.history.get(ta).to_notation(),
+                        cx.history.get(tb).to_notation()
                     ),
                 );
             }
         }
     }
+}
+
+/// The external state each committed read observed: the read value minus
+/// the reader's own adds to this key, as a sorted element list. Elements
+/// are unique per adder, so the subtraction is exact. Shared with the
+/// seed reference pass so both sides of the differential suite agree.
+pub(crate) fn external_views(
+    reads: &[(TxnId, &BTreeSet<Elem>)],
+    adds: &[(TxnId, Elem)],
+) -> Vec<Vec<Elem>> {
+    let mut own: FxHashMap<TxnId, Vec<Elem>> = FxHashMap::default();
+    for (t, e) in adds {
+        own.entry(*t).or_default().push(*e);
+    }
+    reads
+        .iter()
+        .map(|(t, s)| match own.get(t) {
+            None => s.iter().copied().collect(),
+            Some(mine) => s.iter().copied().filter(|e| !mine.contains(e)).collect(),
+        })
+        .collect()
+}
+
+/// `a ⊆ b` for sorted element slices, by a single merge walk.
+pub(crate) fn is_subset_sorted(a: &[Elem], b: &[Elem]) -> bool {
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 #[cfg(test)]

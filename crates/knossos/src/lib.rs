@@ -50,6 +50,12 @@ impl KnossosOptions {
         self.time_budget = d;
         self
     }
+
+    /// Set the explored-state cap.
+    pub fn with_max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
 }
 
 /// The verdict.

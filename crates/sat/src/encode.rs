@@ -1,0 +1,636 @@
+//! History → order-constraint encoding.
+//!
+//! This is the semantic half of the SAT engine. A history is compiled
+//! into a system of *ordering constraints* over abstract events:
+//!
+//! * **serializability** — one event per included transaction; a model
+//!   is a total order of transactions under which every observed read
+//!   is the exact serial state at that point;
+//! * **snapshot isolation** — two events per transaction, `begin(t)`
+//!   and `commit(t)`; reads must see precisely the commits before
+//!   `begin(t)`, and same-key writers must not interleave
+//!   (first-committer-wins).
+//!
+//! Constraints are disjunctions of `before(a, b)` event pairs; units
+//! are the common case. The solver half ([`crate::order`]) maps each
+//! unordered event pair to one SAT variable and discharges
+//! transitivity lazily, dbcop-style.
+//!
+//! Anything the observed reads *already* refute — aborted reads,
+//! intermediate reads, torn append blocks, internal inconsistency —
+//! short-circuits to [`Encoded::Refuted`] with the culprit
+//! transactions named directly; those refutations hold under every
+//! model this engine decides, so no solver call is needed.
+
+use elle_core::{DataType, DepGraph, KeyTypes};
+use elle_graph::EdgeClass;
+use elle_history::{Elem, History, Key, Mop, ReadValue, Transaction, TxnId, TxnStatus};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeSet;
+
+/// An isolation model the SAT engine decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatModel {
+    /// Adya PL-3 serializability (no session/real-time obligations).
+    Serializable,
+    /// Snapshot isolation: begin/commit split, snapshot reads,
+    /// first-committer-wins write conflicts.
+    SnapshotIsolation,
+}
+
+impl std::fmt::Display for SatModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SatModel::Serializable => write!(f, "serializable"),
+            SatModel::SnapshotIsolation => write!(f, "snapshot-isolation"),
+        }
+    }
+}
+
+/// One ordering constraint: at least one listed `(a, b)` event pair
+/// must satisfy `a before b`. Units (a single pair) are the common case.
+pub(crate) type OrderClause = Vec<(u32, u32)>;
+
+/// A compiled constraint system.
+pub(crate) struct System {
+    /// Included transactions, ascending by id. Event ids index into
+    /// this: under SER event `i` *is* transaction `txns[i]`; under SI
+    /// events `2i` / `2i + 1` are its begin / commit.
+    pub txns: Vec<TxnId>,
+    pub n_events: u32,
+    pub clauses: Vec<OrderClause>,
+    pub model: SatModel,
+}
+
+/// Result of compiling a history.
+pub(crate) enum Encoded {
+    /// Constraints to hand to the order solver.
+    System(System),
+    /// The reads alone refute the model; no solver run needed.
+    Refuted {
+        txns: Vec<TxnId>,
+        explanation: String,
+    },
+    /// The encoding does not cover this history.
+    Unsupported { reason: String },
+}
+
+/// What one committed transaction observed about one key, after its
+/// own in-transaction effects are peeled off: the *external* state its
+/// reads pin down.
+enum KeyObs {
+    /// The list state just before this transaction's own appends.
+    List(Vec<Elem>),
+    /// The register value before this transaction's own writes
+    /// (`None` = initial nil).
+    Register(Option<Elem>),
+    /// The set contents minus this transaction's own adds.
+    Set(BTreeSet<Elem>),
+}
+
+/// Per-key in-transaction simulation state for [`externalize`].
+#[derive(Default)]
+struct KeySim {
+    appended: Vec<Elem>,
+    written: Option<Elem>,
+    added: BTreeSet<Elem>,
+    ext_list: Option<Vec<Elem>>,
+    ext_reg: Option<Option<Elem>>,
+    ext_set: Option<BTreeSet<Elem>>,
+}
+
+fn fmt_txns(ids: &[TxnId]) -> String {
+    ids.iter()
+        .map(|t| format!("T{}", t.0))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Walk a transaction's mops in program order, checking internal
+/// consistency and extracting, per key, the external observation its
+/// reads establish. `Err` carries the internal-inconsistency
+/// explanation (a violation of every model we decide).
+fn externalize(t: &Transaction) -> Result<Vec<(Key, KeyObs)>, String> {
+    let mut sims: FxHashMap<Key, KeySim> = FxHashMap::default();
+    for m in &t.mops {
+        match m {
+            Mop::Append { key, elem } => sims.entry(*key).or_default().appended.push(*elem),
+            Mop::Write { key, elem } => sims.entry(*key).or_default().written = Some(*elem),
+            Mop::AddToSet { key, elem } => {
+                sims.entry(*key).or_default().added.insert(*elem);
+            }
+            Mop::Increment { .. } => unreachable!("counter keys are rejected before externalize"),
+            Mop::Read { value: None, .. } => {}
+            Mop::Read {
+                key,
+                value: Some(v),
+            } => {
+                let sim = sims.entry(*key).or_default();
+                match v {
+                    ReadValue::List(obs) => {
+                        let own = sim.appended.len();
+                        if obs.len() < own || obs[obs.len() - own..] != sim.appended[..] {
+                            return Err(format!(
+                                "T{} read {key} as {obs:?} which does not end with its own \
+                                 appends {:?} (internal inconsistency)",
+                                t.id.0, sim.appended
+                            ));
+                        }
+                        let prefix = obs[..obs.len() - own].to_vec();
+                        match &sim.ext_list {
+                            None => sim.ext_list = Some(prefix),
+                            Some(p) if *p != prefix => {
+                                return Err(format!(
+                                    "T{} read two incompatible external prefixes of {key} \
+                                     ({p:?} vs {prefix:?}) in one transaction",
+                                    t.id.0
+                                ));
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    ReadValue::Register(obs) => {
+                        if let Some(w) = sim.written {
+                            if *obs != Some(w) {
+                                return Err(format!(
+                                    "T{} wrote {w} to register {key} but then read {} \
+                                     (internal inconsistency)",
+                                    t.id.0,
+                                    obs.map_or("nil".to_string(), |e| e.to_string()),
+                                ));
+                            }
+                        } else {
+                            match sim.ext_reg {
+                                None => sim.ext_reg = Some(*obs),
+                                Some(p) if p != *obs => {
+                                    return Err(format!(
+                                        "T{} read register {key} twice with different external \
+                                         values in one transaction",
+                                        t.id.0
+                                    ));
+                                }
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                    ReadValue::Set(obs) => {
+                        if !sim.added.is_subset(obs) {
+                            return Err(format!(
+                                "T{} read set {key} missing its own adds (internal inconsistency)",
+                                t.id.0
+                            ));
+                        }
+                        let ext: BTreeSet<Elem> = obs.difference(&sim.added).copied().collect();
+                        match &sim.ext_set {
+                            None => sim.ext_set = Some(ext),
+                            Some(p) if *p != ext => {
+                                return Err(format!(
+                                    "T{} read two incompatible external set states of {key} \
+                                     in one transaction",
+                                    t.id.0
+                                ));
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    ReadValue::Counter(_) => {
+                        unreachable!("counter keys are rejected before externalize")
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (key, sim) in sims {
+        if let Some(p) = sim.ext_list {
+            out.push((key, KeyObs::List(p)));
+        }
+        if let Some(r) = sim.ext_reg {
+            out.push((key, KeyObs::Register(r)));
+        }
+        if let Some(s) = sim.ext_set {
+            out.push((key, KeyObs::Set(s)));
+        }
+    }
+    out.sort_by_key(|(k, _)| *k);
+    Ok(out)
+}
+
+/// Writer tables over the included transactions.
+struct Writers {
+    /// Program-order appends per (txn, key).
+    appends: FxHashMap<(TxnId, Key), Vec<Elem>>,
+    /// Appenders per key, ascending.
+    appenders: FxHashMap<Key, Vec<TxnId>>,
+    /// Final register write per (txn, key).
+    reg_last: FxHashMap<(TxnId, Key), Elem>,
+    /// Register writers per key, ascending.
+    reg_writers: FxHashMap<Key, Vec<TxnId>>,
+    /// Register values overwritten *within* their own transaction:
+    /// no serial order can expose them to another transaction.
+    reg_overwritten: FxHashMap<(Key, Elem), TxnId>,
+    /// Adds per (txn, key).
+    adds: FxHashMap<(TxnId, Key), BTreeSet<Elem>>,
+    /// Adders per key, ascending.
+    adders: FxHashMap<Key, Vec<TxnId>>,
+    /// (key, elem) → the one included transaction that durably wrote it.
+    writer_of: FxHashMap<(Key, Elem), TxnId>,
+    /// (key, elem) pairs durably written by two included transactions —
+    /// recoverability is lost; reads of these cannot be attributed.
+    ambiguous: FxHashSet<(Key, Elem)>,
+}
+
+fn build_writers(history: &History, included: &[TxnId]) -> Writers {
+    let mut w = Writers {
+        appends: FxHashMap::default(),
+        appenders: FxHashMap::default(),
+        reg_last: FxHashMap::default(),
+        reg_writers: FxHashMap::default(),
+        reg_overwritten: FxHashMap::default(),
+        adds: FxHashMap::default(),
+        adders: FxHashMap::default(),
+        writer_of: FxHashMap::default(),
+        ambiguous: FxHashSet::default(),
+    };
+    let claim = |map: &mut FxHashMap<(Key, Elem), TxnId>,
+                 amb: &mut FxHashSet<(Key, Elem)>,
+                 key: Key,
+                 elem: Elem,
+                 t: TxnId| {
+        if let Some(prev) = map.insert((key, elem), t) {
+            if prev != t {
+                amb.insert((key, elem));
+            }
+        }
+    };
+    for &id in included {
+        let t = history.get(id);
+        for m in &t.mops {
+            match m {
+                Mop::Append { key, elem } => {
+                    let v = w.appends.entry((id, *key)).or_default();
+                    if v.is_empty() {
+                        w.appenders.entry(*key).or_default().push(id);
+                    }
+                    v.push(*elem);
+                    claim(&mut w.writer_of, &mut w.ambiguous, *key, *elem, id);
+                }
+                Mop::Write { key, elem } => {
+                    if let Some(prev) = w.reg_last.insert((id, *key), *elem) {
+                        w.reg_overwritten.insert((*key, prev), id);
+                        if w.writer_of.get(&(*key, prev)) == Some(&id) {
+                            w.writer_of.remove(&(*key, prev));
+                        }
+                    } else {
+                        w.reg_writers.entry(*key).or_default().push(id);
+                    }
+                    claim(&mut w.writer_of, &mut w.ambiguous, *key, *elem, id);
+                }
+                Mop::AddToSet { key, elem } => {
+                    let s = w.adds.entry((id, *key)).or_default();
+                    if s.is_empty() {
+                        w.adders.entry(*key).or_default().push(id);
+                    }
+                    s.insert(*elem);
+                    claim(&mut w.writer_of, &mut w.ambiguous, *key, *elem, id);
+                }
+                _ => {}
+            }
+        }
+    }
+    w
+}
+
+/// Compile `history` into [`Encoded`]. `idsg` optionally supplies the
+/// cycle engine's inferred dependency graph, whose ww/wr/rw edges are
+/// asserted as unit ordering constraints (they are sound inferences,
+/// so this only prunes the solver's search — it cannot change the
+/// verdict).
+pub(crate) fn encode(history: &History, model: SatModel, idsg: Option<&DepGraph>) -> Encoded {
+    let kt = KeyTypes::infer(history);
+    if !kt.conflicts.is_empty() {
+        return Encoded::Unsupported {
+            reason: format!(
+                "key {} is used as more than one datatype; recoverability is lost",
+                kt.conflicts[0]
+            ),
+        };
+    }
+    if !kt.keys_of(DataType::Counter).is_empty() {
+        return Encoded::Unsupported {
+            reason: "counter keys observe only aggregates; reads cannot be attributed to \
+                     writers, so the order encoding is undefined"
+                .to_string(),
+        };
+    }
+
+    // ── Scope: which transactions exist in the admissible executions. ──
+    // Committed transactions always; indeterminate ones exactly when
+    // some write of theirs was observed (the observation proves the
+    // commit); aborted ones never — observing an aborted write is G1a,
+    // refuted below.
+    let mut aborted_writes: FxHashMap<(Key, Elem), TxnId> = FxHashMap::default();
+    for t in history.txns() {
+        if t.status == TxnStatus::Aborted {
+            for (_, key, e) in t.elem_writes() {
+                aborted_writes.entry((key, e)).or_insert(t.id);
+            }
+        }
+    }
+
+    let mut observations: Vec<(TxnId, Vec<(Key, KeyObs)>)> = Vec::new();
+    let mut observed: FxHashSet<(Key, Elem)> = FxHashSet::default();
+    for t in history.txns() {
+        if !t.status.is_committed() {
+            continue;
+        }
+        let obs = match externalize(t) {
+            Ok(o) => o,
+            Err(explanation) => {
+                return Encoded::Refuted {
+                    txns: vec![t.id],
+                    explanation,
+                }
+            }
+        };
+        for (key, ko) in &obs {
+            match ko {
+                KeyObs::List(p) => observed.extend(p.iter().map(|&e| (*key, e))),
+                KeyObs::Register(Some(e)) => {
+                    observed.insert((*key, *e));
+                }
+                KeyObs::Register(None) => {}
+                KeyObs::Set(s) => observed.extend(s.iter().map(|&e| (*key, e))),
+            }
+        }
+        observations.push((t.id, obs));
+    }
+
+    let mut included: Vec<TxnId> = Vec::new();
+    for t in history.txns() {
+        let include = match t.status {
+            TxnStatus::Committed => true,
+            TxnStatus::Aborted => false,
+            _ => t
+                .elem_writes()
+                .any(|(_, key, e)| observed.contains(&(key, e))),
+        };
+        if include {
+            included.push(t.id);
+        }
+    }
+    let event_of: FxHashMap<TxnId, u32> = included
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as u32))
+        .collect();
+
+    let w = build_writers(history, &included);
+    for &(key, e) in &observed {
+        if w.ambiguous.contains(&(key, e)) {
+            return Encoded::Unsupported {
+                reason: format!(
+                    "element {e} of {key} was durably written by two live transactions; \
+                     its reads cannot be attributed"
+                ),
+            };
+        }
+    }
+
+    let si = model == SatModel::SnapshotIsolation;
+    // Event ids: SER → one per txn; SI → begin = 2i, commit = 2i + 1.
+    let begin = |i: u32| if si { 2 * i } else { i };
+    let commit = |i: u32| if si { 2 * i + 1 } else { i };
+    // "w's effects are visible to t": SER w < t; SI commit(w) < begin(t).
+    let vis = |wi: u32, ti: u32| (commit(wi), begin(ti));
+    // "t's snapshot misses w": SER t < w; SI begin(t) < commit(w).
+    let miss = |ti: u32, wi: u32| (begin(ti), commit(wi));
+
+    let mut units: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut clauses: Vec<OrderClause> = Vec::new();
+
+    // Resolve an observed element to its live writer's event id, or
+    // refute (aborted read / garbage read / self-observation).
+    let resolve = |reader: &Transaction, key: Key, e: Elem| -> Result<u32, Encoded> {
+        if let Some(&a) = aborted_writes.get(&(key, e)) {
+            return Err(Encoded::Refuted {
+                txns: vec![a, reader.id],
+                explanation: format!(
+                    "T{} observed element {e} of {key}, written by aborted T{} (G1a)",
+                    reader.id.0, a.0
+                ),
+            });
+        }
+        if let Some(&wo) = w.reg_overwritten.get(&(key, e)) {
+            return Err(Encoded::Refuted {
+                txns: vec![wo, reader.id],
+                explanation: format!(
+                    "T{} observed register {key} = {e}, a value T{} overwrote within its own \
+                     transaction (intermediate read, G1b)",
+                    reader.id.0, wo.0
+                ),
+            });
+        }
+        let Some(&writer) = w.writer_of.get(&(key, e)) else {
+            return Err(Encoded::Refuted {
+                txns: vec![reader.id],
+                explanation: format!(
+                    "T{} observed element {e} of {key}, which no live transaction wrote \
+                     (garbage read)",
+                    reader.id.0
+                ),
+            });
+        };
+        if writer == reader.id {
+            return Err(Encoded::Refuted {
+                txns: vec![reader.id],
+                explanation: format!(
+                    "T{} observed its own write of {e} to {key} in the external state \
+                     (impossible under any serial placement)",
+                    reader.id.0
+                ),
+            });
+        }
+        Ok(event_of[&writer])
+    };
+
+    for (reader_id, obs) in &observations {
+        let reader = history.get(*reader_id);
+        let ti = event_of[reader_id];
+        for (key, ko) in obs {
+            match ko {
+                KeyObs::List(p) => {
+                    // Decompose the observed prefix into consecutive,
+                    // complete writer blocks.
+                    let mut chain: Vec<TxnId> = Vec::new();
+                    let mut chain_set: FxHashSet<TxnId> = FxHashSet::default();
+                    let mut i = 0;
+                    while i < p.len() {
+                        let wi = match resolve(reader, *key, p[i]) {
+                            Ok(wi) => wi,
+                            Err(e) => return e,
+                        };
+                        let writer = included[wi as usize];
+                        let block = &w.appends[&(writer, *key)];
+                        if p.len() - i < block.len() || p[i..i + block.len()] != block[..] {
+                            return Encoded::Refuted {
+                                txns: vec![writer, *reader_id],
+                                explanation: format!(
+                                    "T{} observed {key} as {p:?}, a torn or reordered view of \
+                                     T{}'s atomic appends {block:?} (G1b)",
+                                    reader_id.0, writer.0
+                                ),
+                            };
+                        }
+                        if !chain_set.insert(writer) {
+                            return Encoded::Refuted {
+                                txns: vec![writer, *reader_id],
+                                explanation: format!(
+                                    "T{} observed T{}'s appends to {key} twice (duplicate read)",
+                                    reader_id.0, writer.0
+                                ),
+                            };
+                        }
+                        chain.push(writer);
+                        i += block.len();
+                    }
+                    for pair in chain.windows(2) {
+                        units.insert(vis(event_of[&pair[0]], event_of[&pair[1]]));
+                    }
+                    for wtx in &chain {
+                        units.insert(vis(event_of[wtx], ti));
+                    }
+                    if let Some(appenders) = w.appenders.get(key) {
+                        for a in appenders {
+                            if *a != *reader_id && !chain_set.contains(a) {
+                                units.insert(miss(ti, event_of[a]));
+                            }
+                        }
+                    }
+                }
+                KeyObs::Register(Some(e)) => {
+                    let wi = match resolve(reader, *key, *e) {
+                        Ok(wi) => wi,
+                        Err(enc) => return enc,
+                    };
+                    units.insert(vis(wi, ti));
+                    // No other writer may interpose between the observed
+                    // writer and the read: it committed earlier, or the
+                    // reader's snapshot misses it.
+                    if let Some(writers) = w.reg_writers.get(key) {
+                        for o in writers {
+                            let oi = event_of[o];
+                            if oi == wi || *o == *reader_id {
+                                continue;
+                            }
+                            clauses.push(vec![(commit(oi), commit(wi)), miss(ti, oi)]);
+                        }
+                    }
+                }
+                KeyObs::Register(None) => {
+                    if let Some(writers) = w.reg_writers.get(key) {
+                        for o in writers {
+                            if *o != *reader_id {
+                                units.insert(miss(ti, event_of[o]));
+                            }
+                        }
+                    }
+                }
+                KeyObs::Set(s) => {
+                    for &e in s {
+                        if let Err(enc) = resolve(reader, *key, e) {
+                            return enc;
+                        }
+                    }
+                    if let Some(adders) = w.adders.get(key) {
+                        for a in adders {
+                            if *a == *reader_id {
+                                continue;
+                            }
+                            let adds = &w.adds[&(*a, *key)];
+                            let seen = adds.intersection(s).count();
+                            if seen == adds.len() {
+                                units.insert(vis(event_of[a], ti));
+                            } else if seen == 0 {
+                                units.insert(miss(ti, event_of[a]));
+                            } else {
+                                return Encoded::Refuted {
+                                    txns: vec![*a, *reader_id],
+                                    explanation: format!(
+                                        "T{} observed only part of T{}'s atomic adds to set \
+                                         {key} (G1b)",
+                                        reader_id.0, a.0
+                                    ),
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if si {
+        // begin(t) < commit(t), and first-committer-wins: same-key
+        // writers must not interleave.
+        for i in 0..included.len() as u32 {
+            units.insert((begin(i), commit(i)));
+        }
+        let mut conflict_keys: Vec<(&Key, &Vec<TxnId>)> = w
+            .appenders
+            .iter()
+            .chain(w.reg_writers.iter())
+            .chain(w.adders.iter())
+            .collect();
+        conflict_keys.sort_by_key(|(k, _)| **k);
+        for (_, writers) in conflict_keys {
+            for (x, &a) in writers.iter().enumerate() {
+                for &b in &writers[x + 1..] {
+                    let (ai, bi) = (event_of[&a], event_of[&b]);
+                    clauses.push(vec![(commit(ai), begin(bi)), (commit(bi), begin(ai))]);
+                }
+            }
+        }
+    }
+
+    // ── Cycle-engine edges as unit constraints. ────────────────────────
+    if let Some(deps) = idsg {
+        for (u, v, mask) in deps.edges() {
+            let (Some(&ui), Some(&vi)) = (event_of.get(&TxnId(u)), event_of.get(&TxnId(v))) else {
+                continue;
+            };
+            if ui == vi {
+                continue;
+            }
+            // ww / wr: u's effects precede v's view or install; rw: u's
+            // snapshot misses v's install. Derived orders (process,
+            // real-time, timestamp, version heuristics, rr) are *not*
+            // obligations of these models and are skipped.
+            if mask.contains(EdgeClass::Ww) || mask.contains(EdgeClass::Wr) {
+                units.insert(vis(ui, vi));
+            }
+            if mask.contains(EdgeClass::Rw) {
+                units.insert(miss(ui, vi));
+            }
+        }
+    }
+
+    let mut all: Vec<OrderClause> = units.into_iter().map(|p| vec![p]).collect();
+    all.sort();
+    all.extend(clauses);
+    Encoded::System(System {
+        n_events: if si {
+            2 * included.len() as u32
+        } else {
+            included.len() as u32
+        },
+        txns: included,
+        clauses: all,
+        model,
+    })
+}
+
+/// Human-readable list for explanations (`T3, T7, T9`).
+pub(crate) fn txn_list(ids: &[TxnId]) -> String {
+    fmt_txns(ids)
+}

@@ -10,14 +10,39 @@
 //! ```
 //!
 //! Exit status: 0 when the expected model holds, 1 when violated, 2 on
-//! usage or input errors, 3 on an internal checker error.
+//! usage or input errors, 3 on an internal checker error, an exhausted
+//! engine budget (verdict unknown), or an `--engine both` disagreement.
 
 use elle::history::{NdjsonIngestor, RecoveryPolicy};
 use elle::prelude::*;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn parse_model(s: &str) -> Option<ConsistencyModel> {
     ConsistencyModel::ALL.into_iter().find(|m| m.name() == s)
+}
+
+/// Which verdict engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Elle's sound cycle search over the inferred dependency graph.
+    Cycle,
+    /// The complete SAT cross-checker (`elle::sat`).
+    Sat,
+    /// The WGL-style DFS linearization search (`elle::knossos`).
+    Dfs,
+    /// Cycle and SAT, diffed; disagreement is exit 3.
+    Both,
+}
+
+fn parse_engine(s: &str) -> Option<Engine> {
+    match s {
+        "cycle" => Some(Engine::Cycle),
+        "sat" => Some(Engine::Sat),
+        "dfs" => Some(Engine::Dfs),
+        "both" => Some(Engine::Both),
+        _ => None,
+    }
 }
 
 fn usage_text() -> String {
@@ -30,6 +55,18 @@ fn usage_text() -> String {
          options:\n\
          --model <name>   expected model (default strict-serializable):\n\
          {}\n\
+         --engine <name>  verdict engine (default cycle):\n\
+         \u{20}                  cycle  Elle's sound cycle search over the inferred IDSG\n\
+         \u{20}                  sat    complete SAT check; requires --model serializable\n\
+         \u{20}                         or snapshot-isolation, decodes a witness order or\n\
+         \u{20}                         a minimal counterexample\n\
+         \u{20}                  dfs    WGL-style DFS linearization search; only for the\n\
+         \u{20}                         default strict-serializable model on list/register\n\
+         \u{20}                         histories\n\
+         \u{20}                  both   run cycle and sat on the same history and diff\n\
+         \u{20}                         the verdicts (disagreement is exit 3)\n\
+         --time-budget-ms <n>  dfs: wall-clock budget (default 100000)\n\
+         --max-states <n>      dfs: explored-state cap\n\
          --process        derive session-order edges\n\
          --realtime       derive real-time edges\n\
          --timestamps     derive start-ordered (database timestamp) edges\n\
@@ -46,8 +83,10 @@ fn usage_text() -> String {
          exit status:\n\
          0  the expected model holds\n\
          1  the expected model is violated\n\
-         2  usage or input error (strict-mode ingest failures included)\n\
-         3  internal checker error (a bug in elle, not in your database)",
+         2  usage or input error (strict-mode ingest failures included,\n\
+         \u{20}   histories the chosen engine cannot model)\n\
+         3  internal checker error, an engine budget exhausted (verdict\n\
+         \u{20}   unknown), or an --engine both disagreement",
         ConsistencyModel::ALL
             .map(|m| format!("                   {}", m.name()))
             .join("\n")
@@ -100,10 +139,31 @@ fn main() -> ExitCode {
     let mut timing = false;
     let mut demo = false;
     let mut quarantine = false;
+    let mut engine = Engine::Cycle;
+    let mut time_budget_ms: u64 = 100_000;
+    let mut max_states: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--engine" => {
+                let Some(e) = it.next().and_then(|s| parse_engine(s)) else {
+                    return usage();
+                };
+                engine = e;
+            }
+            "--time-budget-ms" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                time_budget_ms = n;
+            }
+            "--max-states" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_states = Some(n);
+            }
             "--model" => {
                 let Some(name) = it.next() else {
                     return usage();
@@ -183,6 +243,15 @@ fn main() -> ExitCode {
     };
     let parse_secs = parse_start.elapsed().as_secs_f64();
 
+    match engine {
+        Engine::Cycle => {}
+        Engine::Sat => return run_sat(&history, opts.expected, as_json, timing),
+        Engine::Dfs => {
+            return run_dfs(&history, opts.expected, time_budget_ms, max_states, as_json)
+        }
+        Engine::Both => return run_both(&history, opts, as_json, timing),
+    }
+
     let checker = Checker::new(opts);
     let report = if timing {
         let guarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -242,5 +311,311 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+/// The SAT engine's model universe: the two isolation levels the
+/// encoding covers.
+fn sat_model_of(m: ConsistencyModel) -> Option<SatModel> {
+    match m {
+        ConsistencyModel::Serializable => Some(SatModel::Serializable),
+        ConsistencyModel::SnapshotIsolation => Some(SatModel::SnapshotIsolation),
+        _ => None,
+    }
+}
+
+fn sat_verdict_word(v: &SatVerdict) -> &'static str {
+    match v {
+        SatVerdict::Satisfiable { .. } => "satisfiable",
+        SatVerdict::Violated { .. } => "violated",
+        SatVerdict::Unknown { .. } => "unknown",
+        SatVerdict::Unsupported { .. } => "unsupported",
+    }
+}
+
+fn sat_exit(v: &SatVerdict) -> ExitCode {
+    match v {
+        SatVerdict::Satisfiable { .. } => ExitCode::SUCCESS,
+        SatVerdict::Violated { .. } => ExitCode::from(1),
+        SatVerdict::Unsupported { .. } => ExitCode::from(2),
+        SatVerdict::Unknown { .. } => ExitCode::from(3),
+    }
+}
+
+/// The SAT report as JSON: an `engine` discriminator plus
+/// verdict-specific fields (witness array, decoded order). Only the new
+/// engines emit this shape — default cycle output stays byte-identical.
+fn sat_json(model: SatModel, report: &SatReport) -> serde::Value {
+    use serde::Value;
+    let ids = |ts: &[TxnId]| Value::Array(ts.iter().map(|t| Value::UInt(t.0 as u64)).collect());
+    let mut m: Vec<(String, Value)> = vec![
+        ("engine".into(), Value::Str("sat".into())),
+        ("model".into(), Value::Str(model.to_string())),
+        (
+            "verdict".into(),
+            Value::Str(sat_verdict_word(&report.verdict).into()),
+        ),
+    ];
+    match &report.verdict {
+        SatVerdict::Satisfiable { order } => m.push(("order".into(), ids(order))),
+        SatVerdict::Violated {
+            witness,
+            minimized,
+            explanation,
+        } => {
+            m.push(("witness".into(), ids(witness)));
+            m.push(("minimized".into(), Value::Bool(*minimized)));
+            m.push(("explanation".into(), Value::Str(explanation.clone())));
+        }
+        SatVerdict::Unknown { reason } | SatVerdict::Unsupported { reason } => {
+            m.push(("reason".into(), Value::Str(reason.clone())));
+        }
+    }
+    let s = &report.stats;
+    m.push((
+        "stats".into(),
+        Value::Map(vec![
+            ("included".into(), Value::UInt(s.included as u64)),
+            ("events".into(), Value::UInt(s.events as u64)),
+            ("vars".into(), Value::UInt(s.vars as u64)),
+            ("clauses".into(), Value::UInt(s.clauses as u64)),
+            ("rounds".into(), Value::UInt(s.rounds as u64)),
+            ("conflicts".into(), Value::UInt(s.conflicts)),
+            ("decisions".into(), Value::UInt(s.decisions)),
+            ("propagations".into(), Value::UInt(s.propagations)),
+            (
+                "minimize_solves".into(),
+                Value::UInt(s.minimize_solves as u64),
+            ),
+            (
+                "elapsed_ms".into(),
+                Value::Float(s.elapsed.as_secs_f64() * 1e3),
+            ),
+        ]),
+    ));
+    Value::Map(m)
+}
+
+fn print_sat_human(model: SatModel, report: &SatReport) {
+    match &report.verdict {
+        SatVerdict::Satisfiable { order } => {
+            println!("sat: {model} satisfiable");
+            const SHOW: usize = 24;
+            let shown: Vec<String> = order.iter().take(SHOW).map(|t| t.to_string()).collect();
+            let more = order.len().saturating_sub(SHOW);
+            if more > 0 {
+                println!("  order: {} … (+{more} more)", shown.join(" < "));
+            } else if !shown.is_empty() {
+                println!("  order: {}", shown.join(" < "));
+            }
+        }
+        SatVerdict::Violated {
+            witness,
+            minimized,
+            explanation,
+        } => {
+            println!("sat: {model} violated");
+            let w: Vec<String> = witness.iter().map(|t| t.to_string()).collect();
+            println!(
+                "  witness{}: {}",
+                if *minimized { " (minimal)" } else { "" },
+                w.join(", ")
+            );
+            println!("  {explanation}");
+        }
+        SatVerdict::Unknown { reason } => println!("sat: {model} unknown ({reason})"),
+        SatVerdict::Unsupported { reason } => println!("sat: {model} unsupported ({reason})"),
+    }
+}
+
+fn sat_timing_line(report: &SatReport) {
+    let s = &report.stats;
+    eprintln!(
+        "sat: {} included txns, {} events, {} vars, {} clauses, {} rounds, \
+         {} conflicts, {} minimize solves, {:.3} ms",
+        s.included,
+        s.events,
+        s.vars,
+        s.clauses,
+        s.rounds,
+        s.conflicts,
+        s.minimize_solves,
+        s.elapsed.as_secs_f64() * 1e3
+    );
+}
+
+fn run_sat(history: &History, expected: ConsistencyModel, as_json: bool, timing: bool) -> ExitCode {
+    let Some(model) = sat_model_of(expected) else {
+        eprintln!(
+            "--engine sat checks --model serializable or snapshot-isolation \
+             (expected model is {expected})"
+        );
+        return ExitCode::from(2);
+    };
+    let report = elle::sat::check(history, model, &SatOptions::default());
+    if timing {
+        sat_timing_line(&report);
+    }
+    if as_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&sat_json(model, &report)).expect("report serializes")
+        );
+    } else {
+        print_sat_human(model, &report);
+    }
+    sat_exit(&report.verdict)
+}
+
+fn run_dfs(
+    history: &History,
+    expected: ConsistencyModel,
+    time_budget_ms: u64,
+    max_states: Option<usize>,
+    as_json: bool,
+) -> ExitCode {
+    if expected != ConsistencyModel::StrictSerializable {
+        eprintln!("--engine dfs checks strict-serializable only (expected model is {expected})");
+        return ExitCode::from(2);
+    }
+    let unsupported = history.txns().iter().flat_map(|t| t.mops.iter()).any(|m| {
+        matches!(m, Mop::Increment { .. } | Mop::AddToSet { .. })
+            || matches!(
+                m,
+                Mop::Read {
+                    value: Some(ReadValue::Counter(_) | ReadValue::Set(_)),
+                    ..
+                }
+            )
+    });
+    if unsupported {
+        eprintln!(
+            "--engine dfs models list/register histories only \
+             (found counter/set operations)"
+        );
+        return ExitCode::from(2);
+    }
+    let mut k = KnossosOptions::default().with_budget(Duration::from_millis(time_budget_ms));
+    if let Some(n) = max_states {
+        k = k.with_max_states(n);
+    }
+    let res = elle::knossos::check(history, k);
+    if as_json {
+        use serde::Value;
+        let word = match res.outcome {
+            KnossosOutcome::Ok => "ok",
+            KnossosOutcome::Violation => "violation",
+            KnossosOutcome::Unknown => "unknown",
+        };
+        let v = Value::Map(vec![
+            ("engine".into(), Value::Str("dfs".into())),
+            ("model".into(), Value::Str(expected.name().into())),
+            ("verdict".into(), Value::Str(word.into())),
+            (
+                "states_explored".into(),
+                Value::UInt(res.states_explored as u64),
+            ),
+            (
+                "elapsed_ms".into(),
+                Value::Float(res.elapsed.as_secs_f64() * 1e3),
+            ),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&v).expect("report serializes")
+        );
+    } else {
+        let word = match res.outcome {
+            KnossosOutcome::Ok => "ok",
+            KnossosOutcome::Violation => "violation",
+            KnossosOutcome::Unknown => "unknown (budget exhausted)",
+        };
+        println!(
+            "dfs: strict-serializable {word} ({} states, {:.3} ms)",
+            res.states_explored,
+            res.elapsed.as_secs_f64() * 1e3
+        );
+    }
+    match res.outcome {
+        KnossosOutcome::Ok => ExitCode::SUCCESS,
+        KnossosOutcome::Violation => ExitCode::from(1),
+        KnossosOutcome::Unknown => ExitCode::from(3),
+    }
+}
+
+fn run_both(history: &History, opts: CheckOptions, as_json: bool, timing: bool) -> ExitCode {
+    let Some(model) = sat_model_of(opts.expected) else {
+        eprintln!(
+            "--engine both checks --model serializable or snapshot-isolation \
+             (expected model is {})",
+            opts.expected
+        );
+        return ExitCode::from(2);
+    };
+    if opts.process_edges || opts.realtime_edges || opts.timestamp_edges {
+        // Derived-order obligations (session/real-time/timestamp) are
+        // cycle-engine-only; diffing against a SAT encoding that does
+        // not model them would manufacture disagreements.
+        eprintln!("--engine both does not combine with --process/--realtime/--timestamps");
+        return ExitCode::from(2);
+    }
+    let cycle = match Checker::new(opts).try_check(history) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(3);
+        }
+    };
+    let sat = elle::sat::check(history, model, &SatOptions::default());
+    if timing {
+        sat_timing_line(&sat);
+    }
+    // The cycle engine is sound: any anomaly it reports must make the
+    // SAT encoding unsatisfiable. The converse does not hold — SAT is
+    // complete where the cycle search is not — so a SAT-only violation
+    // is the documented completeness gap, not a disagreement.
+    let disagreement = !cycle.ok() && sat.verdict.is_satisfiable();
+    if as_json {
+        use serde::Value;
+        let v = Value::Map(vec![
+            ("engine".into(), Value::Str("both".into())),
+            ("disagreement".into(), Value::Bool(disagreement)),
+            ("cycle".into(), serde::Serialize::serialize(&cycle)),
+            ("sat".into(), sat_json(model, &sat)),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&v).expect("report serializes")
+        );
+    } else {
+        if cycle.ok() {
+            println!("cycle: {} ok", opts.expected);
+        } else {
+            println!(
+                "cycle: {} violated ({} anomalies)",
+                opts.expected,
+                cycle.anomalies.len()
+            );
+        }
+        print_sat_human(model, &sat);
+        if disagreement {
+            println!(
+                "DISAGREEMENT: the cycle engine found an anomaly but the SAT \
+                 engine found a legal {model} order — one of them is wrong"
+            );
+        } else if !cycle.ok() && sat.verdict.is_violated() {
+            println!("engines agree: {model} is violated");
+        } else if cycle.ok() && sat.verdict.is_satisfiable() {
+            println!("engines agree: no {model} violation");
+        }
+    }
+    if disagreement {
+        return ExitCode::from(3);
+    }
+    match &sat.verdict {
+        SatVerdict::Unsupported { .. } => ExitCode::from(2),
+        SatVerdict::Unknown { .. } => ExitCode::from(3),
+        _ if !cycle.ok() || sat.verdict.is_violated() => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
     }
 }

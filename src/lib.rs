@@ -12,6 +12,7 @@
 //! * [`dbsim`] — the MVCC database simulator used for evaluation,
 //! * [`gen`] — workload generators,
 //! * [`knossos`] — the baseline strict-serializability checker,
+//! * [`sat`] — the SAT-backed complete cross-checker,
 //! * [`stream`] — the incremental epoch-based checker for live histories,
 //! * [`serve`] — the fault-isolated multi-tenant checking service.
 //!
@@ -35,6 +36,7 @@ pub use elle_gen as gen;
 pub use elle_graph as graph;
 pub use elle_history as history;
 pub use elle_knossos as knossos;
+pub use elle_sat as sat;
 pub use elle_serve as serve;
 pub use elle_stream as stream;
 
@@ -50,4 +52,5 @@ pub mod prelude {
         Transaction, TxnId, TxnStatus,
     };
     pub use elle_knossos::{KnossosOptions, KnossosOutcome, KnossosResult};
+    pub use elle_sat::{SatModel, SatOptions, SatReport, SatVerdict};
 }

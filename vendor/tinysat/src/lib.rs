@@ -1,0 +1,858 @@
+//! # tinysat
+//!
+//! A small, self-contained CDCL SAT solver in the MiniSat lineage —
+//! vendored like the other offline shims so the workspace builds with no
+//! network access. Features: two-watched-literal propagation, VSIDS-lite
+//! activity branching (binary heap with lazy deletion), first-UIP conflict
+//! analysis with clause learning, Luby-sequence restarts, and phase
+//! saving. No clause-database reduction and no preprocessing: the
+//! workloads this serves (order-variable encodings of isolation models
+//! over a few thousand variables) never grow a clause database large
+//! enough for GC to matter, and keeping every learned clause makes the
+//! incremental add-clause / re-solve loop the encoder's lazy-transitivity
+//! refinement uses trivially sound.
+//!
+//! Clauses may be added at any time while the solver is at decision level
+//! 0 (fresh, or after any `solve*` call returns — they always backtrack
+//! fully), so a caller can interleave `solve` and `add_clause` to refine
+//! an abstraction, keeping everything learned so far.
+
+#![forbid(unsafe_code)]
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: a variable with a sign. Encoded as `2·var + sign` where
+/// sign 1 is negation, so a literal's complement is one XOR away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether this is the negated polarity.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[inline]
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Truth value of a variable in the partial assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Undef,
+    True,
+    False,
+}
+
+/// The value of literal `l` under the variable assignment `assign`.
+/// A free function (not a method) so propagation can read values while
+/// holding disjoint mutable borrows of other solver fields.
+#[inline]
+fn lit_val(assign: &[Val], l: Lit) -> Val {
+    match assign[l.var() as usize] {
+        Val::Undef => Val::Undef,
+        Val::True => {
+            if l.is_neg() {
+                Val::False
+            } else {
+                Val::True
+            }
+        }
+        Val::False => {
+            if l.is_neg() {
+                Val::True
+            } else {
+                Val::False
+            }
+        }
+    }
+}
+
+/// Result of a `solve` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (readable via [`Solver::model_value`]).
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Solver statistics, cumulative across `solve` calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Clauses learned.
+    pub learned: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+const INVALID: u32 = u32::MAX;
+
+/// The solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[lit]`: clause indices watching `lit` among their first two.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Val>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause that implied each variable (`INVALID` for decisions).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Max-activity heap with position tracking.
+    heap: Vec<Var>,
+    heap_pos: Vec<u32>,
+    /// Saved polarity per variable (phase saving).
+    phase: Vec<bool>,
+    /// Model from the last Sat answer.
+    model: Vec<bool>,
+    /// Set when the clause set is unsatisfiable at level 0.
+    unsat: bool,
+    /// Literals of the clause that closed the refutation: the original
+    /// literals of the last clause found conflicting at decision level 0
+    /// (or of an `add_clause` that reduced to the empty clause). Not an
+    /// unsatisfiable core, but every variable in it participates in the
+    /// final contradiction — enough to seed witness mapping.
+    final_conflict: Vec<Lit>,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Statistics.
+    pub stats: Stats,
+}
+
+impl Solver {
+    /// A fresh, empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Allocate a new variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as Var;
+        self.assign.push(Val::Undef);
+        self.level.push(0);
+        self.reason.push(INVALID);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.heap_pos.push(INVALID);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (problem + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The value of `v` in the last satisfying model. Panics unless the
+    /// previous `solve` returned [`SolveResult::Sat`].
+    pub fn model_value(&self, v: Var) -> bool {
+        self.model[v as usize]
+    }
+
+    /// The literals of the clause that closed the refutation, once a
+    /// solve has returned [`SolveResult::Unsat`]. Empty before that.
+    pub fn final_conflict(&self) -> &[Lit] {
+        &self.final_conflict
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause. Returns `false` if the clause set is now known
+    /// unsatisfiable (empty clause, or a level-0 contradiction). Must be
+    /// called at decision level 0 (always true between `solve` calls).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "add_clause above level 0");
+        if self.unsat {
+            return false;
+        }
+        // Normalize: drop satisfied clauses and false literals, sort,
+        // dedup, drop tautologies.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!((l.var() as usize) < self.assign.len(), "unknown var");
+            match lit_val(&self.assign, l) {
+                Val::True => return true, // already satisfied at level 0
+                Val::False => continue,   // can never help
+                Val::Undef => c.push(l),
+            }
+        }
+        c.sort_unstable();
+        c.dedup();
+        // Same-variable literals sort adjacently (pos(v) = 2v, neg(v) = 2v+1).
+        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true; // tautology: x ∨ ¬x
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                self.final_conflict = lits.to_vec();
+                false
+            }
+            1 => {
+                self.enqueue(c[0], INVALID);
+                if let Some(confl) = self.propagate() {
+                    self.unsat = true;
+                    self.final_conflict = self.clauses[confl as usize].lits.clone();
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[c[0].idx()].push(ci);
+                self.watches[c[1].idx()].push(ci);
+                self.clauses.push(Clause { lits: c });
+                true
+            }
+        }
+    }
+
+    /// Solve with an effectively unlimited conflict budget.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(u64::MAX)
+    }
+
+    /// Solve, giving up with [`SolveResult::Unknown`] after
+    /// `max_conflicts` further conflicts. Always returns at decision
+    /// level 0, so more clauses may be added afterwards.
+    pub fn solve_limited(&mut self, max_conflicts: u64) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        let budget = self.stats.conflicts.saturating_add(max_conflicts);
+        let mut restart_idx: u64 = 0;
+        let mut until_restart = luby(restart_idx) * 64;
+        let result = loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                until_restart = until_restart.saturating_sub(1);
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    self.final_conflict = self.clauses[confl as usize].lits.clone();
+                    break SolveResult::Unsat;
+                }
+                let (learnt, back_level) = self.analyze(confl);
+                self.backtrack(back_level);
+                self.learn(learnt);
+                self.var_inc *= 1.0 / 0.95;
+                if self.var_inc > 1e100 {
+                    for a in &mut self.activity {
+                        *a *= 1e-100;
+                    }
+                    self.var_inc *= 1e-100;
+                }
+                if self.stats.conflicts >= budget {
+                    break SolveResult::Unknown;
+                }
+            } else if until_restart == 0 {
+                self.stats.restarts += 1;
+                restart_idx += 1;
+                until_restart = luby(restart_idx) * 64;
+                self.backtrack(0);
+            } else {
+                match self.pick_branch_var() {
+                    None => {
+                        self.model = self.assign.iter().map(|v| matches!(v, Val::True)).collect();
+                        break SolveResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let l = if self.phase[v as usize] {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        };
+                        self.enqueue(l, INVALID);
+                    }
+                }
+            }
+        };
+        self.backtrack(0);
+        result
+    }
+
+    #[inline]
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(lit_val(&self.assign, l), Val::Undef);
+        let v = l.var() as usize;
+        self.assign[v] = if l.is_neg() { Val::False } else { Val::True };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = p.negate();
+            // Clauses watching ¬p must find a new watch or become unit.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.idx()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let ci = ws[i] as usize;
+                // Normalize so the newly-false watch sits at position 1.
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if lit_val(&self.assign, first) == Val::True {
+                    i += 1;
+                    continue; // satisfied; keep watching
+                }
+                // Look for a non-false literal to watch instead.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
+                    if lit_val(&self.assign, lk) != Val::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk.idx()].push(ci as u32);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                // Unit or conflicting.
+                if lit_val(&self.assign, first) == Val::False {
+                    // Conflict: restore the remaining watches and bail.
+                    self.watches[false_lit.idx()].extend_from_slice(&ws);
+                    self.qhead = self.trail.len();
+                    return Some(ci as u32);
+                }
+                self.enqueue(first, ci as u32);
+                i += 1;
+            }
+            self.watches[false_lit.idx()] = ws;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first, watch partner second) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0: asserting literal
+        let mut counter = 0usize;
+        let mut index = self.trail.len();
+        let mut first_clause = true;
+
+        loop {
+            // For reason clauses, position 0 holds the implied literal
+            // itself — skip it; for the original conflict, use all.
+            let skip = if first_clause { 0 } else { 1 };
+            first_clause = false;
+            let mut bump: Vec<Var> = Vec::new();
+            {
+                let cl = &self.clauses[confl as usize];
+                for &q in &cl.lits[skip..] {
+                    let v = q.var() as usize;
+                    if !self.seen[v] && self.level[v] > 0 {
+                        self.seen[v] = true;
+                        bump.push(q.var());
+                        if self.level[v] >= current {
+                            counter += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            for v in bump {
+                self.bump_activity(v);
+            }
+            // Walk back to the most recent seen literal on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let q = self.trail[index];
+            self.seen[q.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = q.negate();
+                break;
+            }
+            confl = self.reason[q.var() as usize];
+            debug_assert_ne!(confl, INVALID, "implied literal must have a reason");
+        }
+        for &l in &learnt[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+        // Backtrack to the second-highest level in the clause, putting
+        // that literal in watch position 1.
+        let mut back_level = 0;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            back_level = self.level[learnt[1].var() as usize];
+        }
+        (learnt, back_level)
+    }
+
+    /// Install a learned clause (asserting literal first) and enqueue it.
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        self.stats.learned += 1;
+        let assert_lit = learnt[0];
+        if learnt.len() == 1 {
+            self.enqueue(assert_lit, INVALID);
+            return;
+        }
+        let ci = self.clauses.len() as u32;
+        self.watches[learnt[0].idx()].push(ci);
+        self.watches[learnt[1].idx()].push(ci);
+        self.clauses.push(Clause { lits: learnt });
+        self.enqueue(assert_lit, ci);
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        if self.decision_level() <= to_level {
+            return;
+        }
+        let bound = self.trail_lim[to_level as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var();
+            self.phase[v as usize] = !l.is_neg();
+            self.assign[v as usize] = Val::Undef;
+            self.reason[v as usize] = INVALID;
+            self.heap_insert(v);
+        }
+        self.trail_lim.truncate(to_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v as usize] == Val::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.heap_pos[v as usize] != INVALID {
+            self.heap_up(self.heap_pos[v as usize] as usize);
+        }
+    }
+
+    // --- max-heap on activity, with position tracking ---
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_pos[v as usize] != INVALID {
+            return;
+        }
+        self.heap_pos[v as usize] = self.heap.len() as u32;
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        let top = *self.heap.first()?;
+        self.heap_pos[top as usize] = INVALID;
+        let last = self.heap.pop().expect("heap non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i] as usize] <= self.activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l] as usize] > self.activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r] as usize] > self.activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i] as usize] = i as u32;
+        self.heap_pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+/// The Luby restart sequence (0-based): 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, …
+fn luby(x: u64) -> u64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Check a model against a clause list.
+    fn satisfies(model: &[bool], clauses: &[Vec<Lit>]) -> bool {
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|l| model[l.var() as usize] != l.is_neg()))
+    }
+
+    /// A naive DPLL reference solver for differential testing.
+    fn dpll(clauses: &[Vec<Lit>], n_vars: usize) -> bool {
+        fn go(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
+            // Unit propagation.
+            loop {
+                let mut unit: Option<Lit> = None;
+                for c in clauses {
+                    let mut satisfied = false;
+                    let mut unassigned: Option<Lit> = None;
+                    let mut n_unassigned = 0;
+                    for &l in c {
+                        match assign[l.var() as usize] {
+                            None => {
+                                n_unassigned += 1;
+                                unassigned = Some(l);
+                            }
+                            Some(b) => {
+                                if b != l.is_neg() {
+                                    satisfied = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if satisfied {
+                        continue;
+                    }
+                    match n_unassigned {
+                        0 => return false, // falsified clause
+                        1 => {
+                            unit = unassigned;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                match unit {
+                    Some(l) => assign[l.var() as usize] = Some(!l.is_neg()),
+                    None => break,
+                }
+            }
+            let all_sat = clauses.iter().all(|c| {
+                c.iter()
+                    .any(|&l| assign[l.var() as usize] == Some(!l.is_neg()))
+            });
+            if all_sat {
+                return true;
+            }
+            let Some(v) = assign.iter().position(|a| a.is_none()) else {
+                return false; // fully assigned but not satisfied
+            };
+            for b in [true, false] {
+                let saved = assign.clone();
+                assign[v] = Some(b);
+                if go(clauses, assign) {
+                    return true;
+                }
+                *assign = saved;
+            }
+            false
+        }
+        let mut assign = vec![None; n_vars];
+        go(clauses, &mut assign)
+    }
+
+    fn solver_with(n_vars: usize, clauses: &[Vec<Lit>]) -> (Solver, bool) {
+        let mut s = Solver::new();
+        for _ in 0..n_vars {
+            s.new_var();
+        }
+        let mut ok = true;
+        for c in clauses {
+            ok &= s.add_clause(c);
+        }
+        (s, ok)
+    }
+
+    /// Pigeonhole principle: `pigeons` into `holes`. UNSAT iff pigeons > holes.
+    fn pigeonhole(pigeons: usize, holes: usize) -> (usize, Vec<Vec<Lit>>) {
+        let var = |p: usize, h: usize| (p * holes + h) as Var;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for p in 0..pigeons {
+            clauses.push((0..holes).map(|h| Lit::pos(var(p, h))).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    clauses.push(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        (pigeons * holes, clauses)
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat); // empty problem
+
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(v)]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v));
+
+        assert!(!s.add_clause(&[Lit::neg(v)]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(v), Lit::neg(v)]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) … forces all true.
+        let n = 50;
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        s.add_clause(&[Lit::pos(vars[0])]);
+        for w in vars.windows(2) {
+            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(vars.iter().all(|&v| s.model_value(v)));
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let (n, clauses) = pigeonhole(4, 4);
+        let (mut s, ok) = solver_with(n, &clauses);
+        assert!(ok);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model: Vec<bool> = (0..n as Var).map(|v| s.model_value(v)).collect();
+        assert!(satisfies(&model, &clauses));
+    }
+
+    #[test]
+    fn pigeonhole_unsat_when_overfull() {
+        for holes in 2..=5 {
+            let (n, clauses) = pigeonhole(holes + 1, holes);
+            let (mut s, _) = solver_with(n, &clauses);
+            assert_eq!(
+                s.solve(),
+                SolveResult::Unsat,
+                "PHP({},{})",
+                holes + 1,
+                holes
+            );
+        }
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        let (n, clauses) = pigeonhole(8, 7);
+        let (mut s, _) = solver_with(n, &clauses);
+        assert_eq!(s.solve_limited(5), SolveResult::Unknown);
+        // And the solver remains usable afterwards.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_clause_addition_after_solve() {
+        // Solve, strengthen, solve again: the CEGAR usage pattern.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[Lit::neg(a), Lit::pos(c)]);
+        s.add_clause(&[Lit::neg(c)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!s.model_value(c));
+        assert!(s.model_value(a) || s.model_value(b));
+        s.add_clause(&[Lit::neg(b)]);
+        s.add_clause(&[Lit::pos(a)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_matches_dpll_reference() {
+        // Deterministic xorshift stream; near the phase-transition ratio.
+        let mut state = 0xD1CEB00Cu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n_vars = 24;
+        let n_clauses = 102; // ratio ≈ 4.26
+        let mut sat_seen = 0;
+        let mut unsat_seen = 0;
+        for _round in 0..40 {
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..n_clauses {
+                let mut c: Vec<Lit> = Vec::new();
+                while c.len() < 3 {
+                    let v = (next() % n_vars as u64) as Var;
+                    if c.iter().any(|l| l.var() == v) {
+                        continue;
+                    }
+                    c.push(if next() % 2 == 0 {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    });
+                }
+                clauses.push(c);
+            }
+            let expected = dpll(&clauses, n_vars);
+            let (mut s, ok) = solver_with(n_vars, &clauses);
+            let got = if !ok { SolveResult::Unsat } else { s.solve() };
+            match (expected, got) {
+                (true, SolveResult::Sat) => {
+                    sat_seen += 1;
+                    let model: Vec<bool> = (0..n_vars as Var).map(|v| s.model_value(v)).collect();
+                    assert!(satisfies(&model, &clauses), "model fails a clause");
+                }
+                (false, SolveResult::Unsat) => unsat_seen += 1,
+                (e, g) => panic!("reference {e:?} vs cdcl {g:?}"),
+            }
+        }
+        assert!(sat_seen > 0 && unsat_seen > 0, "want both outcomes covered");
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (n, clauses) = pigeonhole(5, 4);
+        let (mut s, _) = solver_with(n, &clauses);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats.conflicts > 0);
+        assert!(s.stats.decisions > 0);
+        assert!(s.stats.propagations > 0);
+    }
+}
