@@ -6,20 +6,23 @@
 //! * `dfs`   — the WGL-style linearization search (`elle-knossos`),
 //!   exponential in concurrency (Figure 4's blow-up).
 //!
-//! Two sweeps: history length at fixed concurrency (where `sat` should
-//! track `cycle` within a constant factor), and concurrency at fixed
-//! length (where `dfs` departs).
+//! Three sweeps: history length at fixed concurrency (where `sat`
+//! should track `cycle` within a constant factor), concurrency at fixed
+//! length (where `dfs` departs), and a *hostile* sweep of adversarial
+//! register histories built to detonate the DFS — the blow-up the
+//! simulator's valid histories never trigger because their real-time
+//! order guides the search straight to a linearization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elle_core::{CheckOptions, Checker};
 use elle_dbsim::{DbConfig, IsolationLevel, ObjectKind};
 use elle_gen::{run_workload, GenParams};
-use elle_history::History;
+use elle_history::{History, HistoryBuilder};
 use elle_knossos::KnossosOptions;
 use elle_sat::{SatModel, SatOptions};
 use std::time::Duration;
 
-/// `CRITERION_QUICK=1` (the CI smoke) truncates both sweeps.
+/// `CRITERION_QUICK=1` (the CI smoke) truncates all three sweeps.
 fn quick() -> bool {
     std::env::var_os("CRITERION_QUICK").is_some_and(|v| v == "1")
 }
@@ -96,5 +99,76 @@ fn bench_concurrency(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_length, bench_concurrency);
+/// A hostile register history for the WGL search (duplicated as a
+/// correctness pin in `crates/bench/tests/hostile_generators.rs`):
+/// writer 0 is fenced in real time before `writers - 1` mutually
+/// concurrent overwrites of the same register, and a trailing read
+/// observes a stale value.
+///
+/// * `valid = true` — the **needle**: the read observes writer 1, so a
+///   linearization exists but only with writer 1 ordered *last* in the
+///   concurrent block. The completion-order-guided DFS tries it first
+///   and backtracks through most of the block before finding it.
+/// * `valid = false` — the **refutation**: the read observes the fenced
+///   writer 0, which real-time order makes impossible. Proving that
+///   requires exhausting every interleaving of the block: states and
+///   time grow as `~writers · 2^writers` (Figure 4's blow-up), where
+///   the valid sweeps above stay near-linear.
+///
+/// The refutation is also an incompleteness witness for the other two
+/// engines: the cycle search's register version inference cannot order
+/// the concurrent unread overwrites (no cycle, verdict stays ok), and
+/// the SAT engine's PL-3 model carries no real-time obligations — only
+/// the exponential DFS refutes this history.
+fn hostile_register(writers: usize, valid: bool) -> History {
+    let mut b = HistoryBuilder::new();
+    // The fence: completes before every other writer invokes.
+    b.txn(0).write(0, 0).at(0, Some(1)).commit();
+    let base = 2;
+    for i in 1..writers {
+        b.txn(i as u32)
+            .write(0, i as u64)
+            .at(base + i, Some(base + writers + i))
+            .commit();
+    }
+    let tail = base + 2 * writers + 2;
+    let target = if valid { 1 } else { 0 };
+    b.txn(writers as u32)
+        .read_register(0, Some(target))
+        .at(tail, Some(tail + 1))
+        .commit();
+    b.build()
+}
+
+fn bench_hostile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_vs_dfs_hostile");
+    g.sample_size(10);
+    let writers: &[usize] = if quick() {
+        &[8, 10]
+    } else {
+        &[8, 10, 12, 14, 16]
+    };
+    for &n in writers {
+        for (tag, valid) in [("needle", true), ("refute", false)] {
+            let h = hostile_register(n, valid);
+            g.bench_with_input(BenchmarkId::new(&format!("cycle_{tag}"), n), &h, |b, h| {
+                b.iter(|| Checker::new(CheckOptions::strict_serializable()).check(h))
+            });
+            g.bench_with_input(BenchmarkId::new(&format!("sat_{tag}"), n), &h, |b, h| {
+                b.iter(|| elle_sat::check(h, SatModel::Serializable, &SatOptions::default()))
+            });
+            g.bench_with_input(BenchmarkId::new(&format!("dfs_{tag}"), n), &h, |b, h| {
+                b.iter(|| {
+                    elle_knossos::check(
+                        h,
+                        KnossosOptions::default().with_budget(Duration::from_secs(60)),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_length, bench_concurrency, bench_hostile);
 criterion_main!(benches);

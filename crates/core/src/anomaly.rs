@@ -75,6 +75,14 @@ pub enum AnomalyType {
     /// Adya's G-SI family). Only inferred when the system exposes
     /// transaction timestamps and claims they define its snapshot order.
     GSI,
+
+    /// Windowed streaming only: a key's evidence was retired from the
+    /// window and the key was touched again afterwards, so anomalies
+    /// whose witness would need a retired transaction can no longer be
+    /// confirmed or refuted. This is an explicit *indeterminate* marker
+    /// — it violates no isolation model and never appears in batch
+    /// (unbounded) checking.
+    WindowEvicted,
 }
 
 impl AnomalyType {
@@ -91,6 +99,7 @@ impl AnomalyType {
                 | Internal
                 | IncompatibleOrder
                 | CyclicVersionOrder
+                | WindowEvicted
         )
     }
 
@@ -132,6 +141,7 @@ impl AnomalyType {
             GSingleRealtime => "G-single-realtime",
             G2ItemRealtime => "G2-item-realtime",
             GSI => "G-SI (start-ordered cycle)",
+            WindowEvicted => "indeterminate (window-evicted)",
         }
     }
 }

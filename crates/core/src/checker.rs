@@ -255,6 +255,14 @@ pub struct StageTimings {
     /// rather than a watermark (0 in batch runs and unbudgeted streams).
     #[serde(default)]
     pub forced_seals: usize,
+    /// Bytes resident in the carried checker state after the seal (0 in
+    /// batch runs and unwindowed streams, which don't meter residency).
+    #[serde(default)]
+    pub resident_bytes: usize,
+    /// Transactions retired from the window so far (0 outside windowed
+    /// streaming).
+    #[serde(default)]
+    pub retired_txns: usize,
 }
 
 impl StageTimings {
@@ -314,6 +322,16 @@ impl StageTimings {
                 "  {:<width$}  {:>9} seals",
                 "forced seals", self.forced_seals
             );
+        }
+        if self.resident_bytes > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<width$}  {:>9} bytes",
+                "resident", self.resident_bytes
+            );
+        }
+        if self.retired_txns > 0 {
+            let _ = writeln!(s, "  {:<width$}  {:>9} txns", "retired", self.retired_txns);
         }
         s
     }

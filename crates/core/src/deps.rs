@@ -261,6 +261,10 @@ pub struct DepGraph {
     peak_pending: usize,
     /// Recycled merge-output buffers (see [`SpineBufs`]).
     spare: SpineBufs,
+    /// Per-class counts of edges retired from the spine (windowed
+    /// streaming), folded into [`DepGraph::class_counts`] so report
+    /// statistics keep covering the whole prefix.
+    extra: [usize; 8],
 }
 
 impl DepGraph {
@@ -518,12 +522,81 @@ impl DepGraph {
         debug_assert!(self.pending.is_empty(), "build() before querying");
         let mut counts: FxHashMap<EdgeClass, usize> = FxHashMap::default();
         for c in EdgeClass::ALL {
-            let n = self.spine.counts[c as usize];
+            let n = self.spine.counts[c as usize] + self.extra[c as usize];
             if n > 0 {
                 counts.insert(c, n);
             }
         }
         counts
+    }
+
+    /// Replace the retired-edge counts folded into
+    /// [`DepGraph::class_counts`]. The windowed stream checker owns the
+    /// authoritative tally (it survives full graph rebuilds) and
+    /// re-applies it here before assembling each report.
+    pub fn set_extra_counts(&mut self, extra: [usize; 8]) {
+        self.extra = extra;
+    }
+
+    /// Retire every sealed edge whose *source* is below `r`, compacting
+    /// the spine (and its witness arena) in place. Returns the
+    /// per-class counts of the dropped edges so the caller can fold
+    /// them into [`DepGraph::set_extra_counts`].
+    ///
+    /// Precondition (maintained by the windowed checker's cycle-safety
+    /// proof): no retained edge points backward into the retired range,
+    /// so dropping sources below `r` removes the retired vertices'
+    /// entire adjacency. Since the spine is sorted by `(src, dst)`, the
+    /// retired edges are exactly a prefix.
+    pub fn retire_below(&mut self, r: u32) -> [usize; 8] {
+        self.build();
+        let cut = self.spine.packed.partition_point(|&p| p < (r as u64) << 32);
+        if cut == 0 {
+            return [0; 8];
+        }
+        let before = self.spine.counts;
+        drop(self.spine.packed.drain(..cut));
+        drop(self.spine.masks.drain(..cut));
+        drop(self.spine.rows.drain(..cut));
+        debug_assert!(
+            self.spine
+                .packed
+                .iter()
+                .all(|&p| (p & 0xffff_ffff) >= r as u64),
+            "retained edge points into the retired range"
+        );
+        self.spine.recount();
+
+        // Compact the witness arena: copy the retained rows into a
+        // fresh arena in row order, rewriting addresses, so retired
+        // witnesses are actually released rather than leaking until the
+        // next full rebuild.
+        let mut arena: Vec<Witness> =
+            Vec::with_capacity(self.spine.rows.iter().map(|&(_, len)| len as usize).sum());
+        for row in &mut self.spine.rows {
+            let (off, len) = *row;
+            let start = arena.len();
+            arena.extend_from_slice(&self.spine.arena[off as usize..off as usize + len as usize]);
+            *row = (start as u32, len);
+        }
+        self.spine.arena = arena;
+
+        let mut dropped = [0usize; 8];
+        for (c, d) in dropped.iter_mut().enumerate() {
+            *d = before[c] - self.spine.counts[c];
+        }
+        dropped
+    }
+
+    /// Bytes resident in the sealed spine (edges, masks, witness rows
+    /// and arena) — the dominant carried-graph footprint a windowed
+    /// checker meters against its byte budget.
+    pub fn resident_bytes(&self) -> usize {
+        self.spine.packed.len() * 8
+            + self.spine.masks.len()
+            + self.spine.rows.len() * std::mem::size_of::<(u32, u8)>()
+            + self.spine.arena.len() * std::mem::size_of::<Witness>()
+            + self.pending.len() * std::mem::size_of::<(u64, Witness)>()
     }
 
     /// Seal any pending edges and freeze the spine into an immutable
@@ -542,6 +615,9 @@ impl DepGraph {
     pub fn merge(&mut self, other: DepGraph) {
         self.txns = self.txns.max(other.txns);
         self.peak_pending = self.peak_pending.max(other.peak_pending);
+        for (c, n) in other.extra.iter().enumerate() {
+            self.extra[c] += n;
+        }
         self.pending.extend(other.pending);
         if !other.spine.packed.is_empty() {
             let prev = std::mem::take(&mut self.spine);
@@ -561,6 +637,41 @@ mod tests {
             prev: Elem(p),
             next: Elem(n),
         }
+    }
+
+    #[test]
+    fn retire_below_drops_a_source_prefix_and_keeps_counts_whole() {
+        let mut g = DepGraph::with_txns(5);
+        g.add(TxnId(0), TxnId(1), ww(1, 1, 2));
+        g.add(TxnId(1), TxnId(2), ww(1, 2, 3));
+        g.add(
+            TxnId(1),
+            TxnId(3),
+            Witness::WrList {
+                key: Key(1),
+                elem: Elem(3),
+            },
+        );
+        g.add(TxnId(2), TxnId(3), ww(2, 1, 2));
+        g.add(TxnId(3), TxnId(4), ww(2, 2, 3));
+        g.build();
+        let full = g.class_counts();
+
+        let dropped = g.retire_below(2);
+        assert_eq!(dropped[EdgeClass::Ww as usize], 2);
+        assert_eq!(dropped[EdgeClass::Wr as usize], 1);
+        assert_eq!(g.edge_count(), 2, "only retained-source edges remain");
+        assert!(g.witnesses(TxnId(0), TxnId(1)).is_empty());
+        assert_eq!(g.witnesses(TxnId(2), TxnId(3)), &[ww(2, 1, 2)]);
+        assert_eq!(g.witnesses(TxnId(3), TxnId(4)), &[ww(2, 2, 3)]);
+
+        // Folding the dropped counts back via extra keeps class_counts
+        // identical to the unretired graph.
+        g.set_extra_counts(dropped);
+        assert_eq!(g.class_counts(), full);
+
+        // Retiring below an untouched watermark is a no-op.
+        assert_eq!(g.retire_below(1), [0; 8]);
     }
 
     #[test]

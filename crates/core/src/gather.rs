@@ -15,13 +15,14 @@
 //! The counting-sort scratch comes from the thread-local buffer pool
 //! ([`crate::pool`]), so repeated runs — streaming epochs, benchmark
 //! sweeps — recycle pre-faulted pages instead of paying first-touch
-//! faults on every build. The items side recycles too where the type
-//! system allows it: occurrence types without history references
-//! (`'static`, like the counter's) go through [`GatherBuf::new_pooled`]
-//! / [`GatherBuf::group_pooled`] / [`Grouped::recycle`], while the
-//! lifetime-carrying ones can't be type-erased into the pool and
-//! instead fold their transient items bytes into the pool's peak gauge
-//! at group time.
+//! faults on every build. The items side recycles unconditionally
+//! through the pool's layout-keyed arena (`pool::take_layout` /
+//! `put_layout`): history-borrowing occurrence types can't be
+//! type-erased behind a `TypeId`, but their raw backing storage only
+//! has a `(size, align)`, so the scan-order buffer and the grouped copy
+//! both come back on later runs regardless of lifetimes. The
+//! `_pooled`/`recycle` entry points survive as aliases from the era
+//! when only `'static` occurrence types could recycle.
 
 use crate::pool;
 use elle_history::Key;
@@ -109,37 +110,30 @@ impl<T> Default for GatherBuf<T> {
 }
 
 impl<T: 'static> GatherBuf<T> {
-    /// A fresh buffer with *both* sides recycled from the buffer pool.
-    /// Only `'static` occurrence types can pool their items side (the
-    /// pool's type erasure requires it); lifetime-carrying occurrence
-    /// types use [`GatherBuf::new`], whose items allocation is folded
-    /// into the pool's peak gauge instead.
+    /// Alias of [`GatherBuf::new`], kept from when only `'static`
+    /// occurrence types could recycle their items side; the layout
+    /// arena now pools every element type.
     pub fn new_pooled() -> Self {
-        GatherBuf {
-            slots: pool::take_u32_empty(),
-            items: pool::take_typed(),
-        }
+        GatherBuf::new()
     }
 
-    /// [`GatherBuf::group`], recycling the scan-order items allocation
-    /// through the typed pool and drawing the grouped allocation from
-    /// it. Pair with [`Grouped::recycle`] to close the loop.
+    /// Alias of [`GatherBuf::group`] (see [`GatherBuf::new_pooled`]).
     pub fn group_pooled(self, n_slots: usize) -> Grouped<T>
     where
         T: Copy,
     {
-        let (grouped, items) = self.group_core(n_slots, pool::take_typed());
-        pool::put_typed(items);
-        grouped
+        self.group(n_slots)
     }
 }
 
 impl<T> GatherBuf<T> {
-    /// A fresh buffer (slot storage recycled from the buffer pool).
+    /// A fresh buffer with both sides recycled from the buffer pool:
+    /// slot storage from the `u32` pool, items from the layout-keyed
+    /// arena (which serves history-borrowing occurrence types too).
     pub fn new() -> Self {
         GatherBuf {
             slots: pool::take_u32_empty(),
-            items: Vec::new(),
+            items: pool::take_layout(),
         }
     }
 
@@ -186,12 +180,11 @@ impl<T> GatherBuf<T> {
     where
         T: Copy,
     {
-        // The scan-order items and the grouped copy are both live at
-        // the gather step below; neither can be pooled for
-        // non-`'static` `T`, so fold them into the peak gauge here.
-        pool::note_transient(2 * self.items.len() * std::mem::size_of::<T>());
-        let (grouped, items) = self.group_core(n_slots, Vec::new());
-        drop(items);
+        // Both the scan-order items and the grouped copy cycle through
+        // the layout arena, which folds them into the pool's peak gauge
+        // as they are stashed.
+        let (grouped, items) = self.group_core(n_slots, pool::take_layout());
+        pool::put_layout(items);
         grouped
     }
 
@@ -289,16 +282,15 @@ impl<T> Grouped<T> {
 }
 
 impl<T: 'static> Grouped<T> {
-    /// Return the items allocation to the typed pool (the offset table
-    /// goes back through `Drop` regardless).
-    pub fn recycle(mut self) {
-        pool::put_typed(std::mem::take(&mut self.items));
-    }
+    /// Alias of dropping: `Drop` now returns the items allocation to
+    /// the layout arena for every element type.
+    pub fn recycle(self) {}
 }
 
 impl<T> Drop for Grouped<T> {
     fn drop(&mut self) {
         pool::put_u32(std::mem::take(&mut self.offsets));
+        pool::put_layout(std::mem::take(&mut self.items));
     }
 }
 

@@ -158,6 +158,9 @@ pub fn directly_violated(a: AnomalyType) -> &'static [ConsistencyModel] {
         // database's claim that its exposed timestamps define a snapshot
         // order — Adya's G-SI, proscribed by snapshot isolation.
         GSI => &[SnapshotIsolation],
+        // An explicit indeterminate marker (windowed streaming evicted
+        // the evidence): rules nothing out.
+        WindowEvicted => &[],
     }
 }
 

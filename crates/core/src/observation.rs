@@ -118,6 +118,29 @@ impl KeyTypes {
         DATATYPES.iter().copied().find(|t| mask & type_bit(*t) != 0)
     }
 
+    /// The raw type bitmask noted for `key` (0 if nothing touched it).
+    pub fn mask_of(&self, key: Key) -> u8 {
+        self.types.get(&key).copied().unwrap_or(0)
+    }
+
+    /// OR a previously observed bitmask back into the typing. Windowed
+    /// checkers restore retired keys' masks this way: the evidence that
+    /// established a key's type may be gone from the history, but the
+    /// inferred type (and any conflict) must survive so partitions and
+    /// warnings stay byte-identical to an uninterrupted run.
+    pub fn preload_mask(&mut self, key: Key, mask: u8) {
+        if mask == 0 {
+            return;
+        }
+        let slot = self.types.entry(key).or_insert(0);
+        *slot |= mask;
+        if slot.count_ones() > 1 {
+            if let Err(at) = self.conflicts.binary_search(&key) {
+                self.conflicts.insert(at, key);
+            }
+        }
+    }
+
     /// All keys of a given type.
     pub fn keys_of(&self, ty: DataType) -> Vec<Key> {
         let mut ks: Vec<Key> = self
@@ -289,6 +312,48 @@ impl ElemIndex {
             .duplicates
             .windows(2)
             .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+
+    /// Drop the slabs of `retired` keys (sorted, deduplicated) — the
+    /// windowed stream checker's retirement of keys that have gone
+    /// quiescent. Their `(key, elem)` entries leave [`ElemIndex::len`]
+    /// and their duplicate records are dropped; the caller must first
+    /// fold any anomalies those records witnessed into its own
+    /// retired-prefix stash.
+    pub fn retire_keys(&mut self, retired: &[Key]) {
+        debug_assert!(retired.windows(2).all(|w| w[0] < w[1]));
+        if retired.is_empty() {
+            return;
+        }
+        let mut slabs = std::mem::take(&mut self.slabs);
+        let mut keys: Vec<(Key, u32)> = self.keys.drain().collect();
+        keys.sort_unstable();
+        let mut kept = Vec::with_capacity(slabs.len().saturating_sub(retired.len()));
+        for (key, slot) in keys {
+            let slab = std::mem::take(&mut slabs[slot as usize]);
+            if retired.binary_search(&key).is_ok() {
+                self.len -= slab.sorted.len() + slab.tail.len();
+            } else {
+                self.keys.insert(key, kept.len() as u32);
+                kept.push(slab);
+            }
+        }
+        self.slabs = kept;
+        self.duplicates
+            .retain(|(k, _, _)| retired.binary_search(k).is_err());
+    }
+
+    /// Bytes resident in the index's postings — deterministic (based on
+    /// entry counts, not allocator capacities) so windowed residency
+    /// metering reproduces across runs.
+    pub fn resident_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(Elem, WriteRef)>();
+        let postings: usize = self
+            .slabs
+            .iter()
+            .map(|s| (s.sorted.len() + s.tail.len()) * entry)
+            .sum();
+        postings + self.keys.len() * (std::mem::size_of::<Key>() + std::mem::size_of::<u32>())
     }
 
     /// Index one transaction's element-carrying writes. Feed
@@ -493,6 +558,30 @@ mod tests {
         assert_eq!(idx.duplicates.len(), 1);
         assert_eq!(idx.duplicates[0].0, Key(1));
         assert_eq!(idx.duplicates[0].2, vec![TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn retire_keys_drops_slabs_duplicates_and_len() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).append(2, 2).commit();
+        b.txn(1).append(1, 1).append(3, 3).commit(); // duplicate (1, 1)
+        let h = b.build();
+        let mut idx = ElemIndex::build(&h);
+        assert_eq!(idx.len(), 3, "duplicate writers share one slot");
+        assert_eq!(idx.duplicates.len(), 1);
+        let before = idx.resident_bytes();
+
+        idx.retire_keys(&[Key(1)]);
+        assert_eq!(idx.len(), 2, "key 1's entry left the count");
+        assert!(idx.duplicates.is_empty(), "retired keys drop duplicates");
+        assert!(idx.writer(Key(1), Elem(1)).is_none());
+        assert!(idx.writer(Key(2), Elem(2)).is_some(), "slab remap intact");
+        assert!(idx.writer(Key(3), Elem(3)).is_some());
+        assert!(idx.resident_bytes() < before);
+
+        // Retiring nothing is a no-op.
+        idx.retire_keys(&[]);
+        assert_eq!(idx.len(), 2);
     }
 
     #[test]

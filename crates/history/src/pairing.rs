@@ -223,6 +223,26 @@ impl StreamingPairer {
         StreamingPairer::default()
     }
 
+    /// An empty pairer whose history starts at retirement watermark
+    /// `base`: the first invocation fed gets `TxnId(base)`. This is the
+    /// recovery entry point for a windowed checker replaying only its
+    /// retained suffix.
+    pub fn with_base(base: u32) -> StreamingPairer {
+        StreamingPairer {
+            history: History::with_base(base),
+            ..StreamingPairer::default()
+        }
+    }
+
+    /// Retire every transaction with id below `r` from the paired
+    /// history (see [`History::retire_prefix`]). Open invocations are
+    /// never retired — the windowed checker clamps its watermark below
+    /// the oldest open id — so the open table is untouched.
+    pub fn retire_prefix(&mut self, r: u32) {
+        debug_assert!(self.open.values().all(|&(id, _)| id.0 >= r));
+        self.history.retire_prefix(r);
+    }
+
     /// The paired history so far. Open invocations appear as
     /// indeterminate transactions with no completion index — exactly as
     /// [`EventLog::pair`] renders them at history end.
@@ -284,7 +304,7 @@ impl StreamingPairer {
                             index: ev.index,
                             process: ev.process,
                         })?;
-                let txn = &mut self.history.txns_mut()[id.idx()];
+                let txn = self.history.get_mut(id);
                 if !mops_compatible(&txn.mops, &ev.mops) {
                     // Restore the open entry: the caller may recover.
                     self.open.insert(ev.process, (id, invoke_ts));

@@ -32,7 +32,7 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// The header line of a snapshot file: everything a restart needs
 /// beyond the event sequence itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SnapshotMeta {
     /// Format version ([`SNAPSHOT_VERSION`]).
     pub version: u32,
@@ -51,6 +51,13 @@ pub struct SnapshotMeta {
     /// epoch numbering — reproduce exactly.
     #[serde(default)]
     pub txns_since_seal: usize,
+    /// Windowed-retirement carry: the bounded-memory checker state a
+    /// plain event replay cannot recompute. Opaque at this layer —
+    /// `elle-stream` defines the schema — and absent for unbounded
+    /// checkers, so non-windowed headers stay byte-identical to
+    /// version-1 files.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub window: Option<serde::Value>,
 }
 
 impl SnapshotMeta {
@@ -69,6 +76,7 @@ impl SnapshotMeta {
             quarantined,
             events_this_epoch,
             txns_since_seal,
+            window: None,
         }
     }
 }

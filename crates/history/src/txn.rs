@@ -111,9 +111,23 @@ impl fmt::Display for Transaction {
 
 /// A complete observation: every transaction executed against the database
 /// (§4.2.1 assumes observations include all transactions).
+///
+/// A *windowed* history may have retired a prefix of its transactions
+/// (see [`History::retire_prefix`]): ids keep their invoke-rank meaning
+/// — [`History::len`] counts retired + retained, so the next assigned id
+/// is unchanged — but only ids at or above [`History::base`] can still
+/// be looked up.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct History {
     txns: Vec<Transaction>,
+    /// Number of retired transactions preceding `txns[0]`; 0 for every
+    /// batch history.
+    #[serde(default, skip_serializing_if = "u32_is_zero")]
+    base: u32,
+}
+
+fn u32_is_zero(v: &u32) -> bool {
+    *v == 0
 }
 
 impl History {
@@ -122,10 +136,21 @@ impl History {
         for (i, t) in txns.iter_mut().enumerate() {
             t.id = TxnId(i as u32);
         }
-        History { txns }
+        History { txns, base: 0 }
     }
 
-    /// All transactions, in invocation order.
+    /// An empty history whose next id is `TxnId(base)` — the recovery
+    /// entry point for replaying a windowed checker's retained suffix.
+    pub(crate) fn with_base(base: u32) -> Self {
+        History {
+            txns: Vec::new(),
+            base,
+        }
+    }
+
+    /// The retained transactions, in invocation order. In a windowed
+    /// history this is the suffix from [`History::base`] up; the first
+    /// entry's id is `TxnId(base)`, not `TxnId(0)`.
     pub fn txns(&self) -> &[Transaction] {
         &self.txns
     }
@@ -137,22 +162,58 @@ impl History {
         &mut self.txns
     }
 
-    /// Transaction count.
+    /// Transaction count, *including* any retired prefix — so ids keep
+    /// being assigned by invoke rank after retirement.
     pub fn len(&self) -> usize {
-        self.txns.len()
+        self.base as usize + self.txns.len()
     }
 
-    /// Is the history empty?
+    /// Is the history empty (no transaction ever recorded)?
     pub fn is_empty(&self) -> bool {
-        self.txns.is_empty()
+        self.len() == 0
     }
 
-    /// Look a transaction up by id.
+    /// The retirement watermark: ids below this have been retired and
+    /// can no longer be looked up. 0 for every batch history.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Retire every transaction with id below `r`: drop their records
+    /// and advance [`History::base`]. `r` at or below the current base
+    /// is a no-op; `r` beyond the end is clamped. The caller is
+    /// responsible for only retiring transactions nothing will look up
+    /// again (the windowed stream checker's cycle-safety proof).
+    pub fn retire_prefix(&mut self, r: u32) {
+        let r = (r as usize).min(self.len()) as u32;
+        if r <= self.base {
+            return;
+        }
+        let n = (r - self.base) as usize;
+        drop(self.txns.drain(..n));
+        self.base = r;
+    }
+
+    /// Look a transaction up by id. Panics on a retired id.
     pub fn get(&self, id: TxnId) -> &Transaction {
-        &self.txns[id.idx()]
+        let i = id
+            .idx()
+            .checked_sub(self.base as usize)
+            .expect("transaction id was retired from this windowed history");
+        &self.txns[i]
     }
 
-    /// Total number of micro-operations across all transactions.
+    /// Mutable lookup for the streaming pairer's in-place completion.
+    pub(crate) fn get_mut(&mut self, id: TxnId) -> &mut Transaction {
+        let i = id
+            .idx()
+            .checked_sub(self.base as usize)
+            .expect("transaction id was retired from this windowed history");
+        &mut self.txns[i]
+    }
+
+    /// Total number of micro-operations across the *retained*
+    /// transactions.
     pub fn mop_count(&self) -> usize {
         self.txns.iter().map(|t| t.mops.len()).sum()
     }
@@ -188,6 +249,65 @@ impl fmt::Display for History {
 mod tests {
     use super::*;
     use crate::HistoryBuilder;
+
+    #[test]
+    fn retire_prefix_advances_base_and_keeps_ids_stable() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..5 {
+            b.txn(i).append(1, i as u64).commit();
+        }
+        let mut h = b.build();
+        assert_eq!(h.base(), 0);
+
+        h.retire_prefix(2);
+        assert_eq!(h.base(), 2);
+        assert_eq!(h.len(), 5, "len still counts the retired prefix");
+        assert!(!h.is_empty());
+        assert_eq!(h.txns().len(), 3, "only the suffix is retained");
+        assert_eq!(h.txns()[0].id, TxnId(2), "ids are not renumbered");
+        assert_eq!(h.get(TxnId(4)).id, TxnId(4));
+        assert_eq!(h.mop_count(), 3, "mop_count covers retained only");
+
+        // Re-retiring at or below the watermark is a no-op; beyond the
+        // end clamps.
+        h.retire_prefix(1);
+        assert_eq!(h.base(), 2);
+        h.retire_prefix(99);
+        assert_eq!(h.base(), 5);
+        assert!(h.txns().is_empty());
+        assert!(!h.is_empty(), "a fully retired history is not empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn retired_ids_cannot_be_looked_up() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 2).commit();
+        let mut h = b.build();
+        h.retire_prefix(1);
+        let _ = h.get(TxnId(0));
+    }
+
+    #[test]
+    fn windowed_history_serde_round_trips_and_batch_stays_stable() {
+        let mut b = HistoryBuilder::new();
+        b.txn(0).append(1, 1).commit();
+        b.txn(1).append(1, 2).commit();
+        let mut h = b.build();
+
+        let batch_json = serde_json::to_string(&h).unwrap();
+        assert!(
+            !batch_json.contains("base"),
+            "base is omitted at 0 so batch serialization is unchanged"
+        );
+
+        h.retire_prefix(1);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: History = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.base(), 1);
+    }
 
     #[test]
     fn notation_matches_paper() {

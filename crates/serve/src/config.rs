@@ -2,6 +2,7 @@
 
 use elle_core::CheckOptions;
 use elle_history::RecoveryPolicy;
+use elle_stream::WindowPolicy;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -45,6 +46,20 @@ pub struct ServeConfig {
     pub max_total_bytes: usize,
     /// Maximum number of live tenants.
     pub max_tenants: usize,
+    /// Retirement window every tenant's checker starts under.
+    /// `Unbounded` keeps the full prefix resident (the pre-windowing
+    /// behavior). A tenant whose snapshot carries a tighter policy —
+    /// e.g. one forced by the budget ladder — keeps that policy across
+    /// restarts.
+    pub window: WindowPolicy,
+    /// Per-tenant **resident**-byte budget: the checker's carried state
+    /// (paired prefix, version tables, dependency spine), as opposed to
+    /// [`max_tenant_bytes`](ServeConfig::max_tenant_bytes), which caps
+    /// buffered-but-unprocessed lines. Soft rung at 3/4 of the budget:
+    /// a forced retirement seal. Hard rung at the budget: the
+    /// `forced-window` degradation — tighten the tenant's window and
+    /// keep serving — before any reject.
+    pub max_tenant_resident_bytes: Option<usize>,
     /// Durability root. `None` runs ephemeral (no snapshots, no
     /// journals, no recovery on restart).
     pub data_dir: Option<PathBuf>,
@@ -69,6 +84,8 @@ impl Default for ServeConfig {
             max_tenant_bytes: 4 << 20,
             max_total_bytes: 64 << 20,
             max_tenants: 1024,
+            window: WindowPolicy::Unbounded,
+            max_tenant_resident_bytes: None,
             data_dir: None,
             inject_seal_panic: None,
         }

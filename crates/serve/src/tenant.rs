@@ -13,14 +13,19 @@
 //! 3. **poisoned** — a seal panicked; that one epoch's verdict is
 //!    indeterminate (`"ok":null`) and the checker rebuilds itself from
 //!    its own paired history.
-//! 4. **failed** — under [`RecoveryPolicy::Strict`] the first damaged
+//! 4. **forced-window** — the tenant's checker state breached its
+//!    resident-byte budget; its retirement window is tightened and it
+//!    keeps serving with bounded memory (`forced_window` gauge). The
+//!    soft rung (3/4 of the budget) forces a retirement seal first.
+//! 5. **failed** — under [`RecoveryPolicy::Strict`] the first damaged
 //!    line fails the tenant; subsequent requests are rejected with a
 //!    `422`. No rung of the ladder ever touches another tenant.
 
 use crate::config::ServeConfig;
 use crate::store::{Restored, TenantStore};
 use elle_history::{Event, Recovered, RecoveryPolicy, SnapshotMeta};
-use elle_stream::{CheckerSnapshot, EpochReport, StreamChecker};
+use elle_stream::{CheckerSnapshot, EpochReport, StreamChecker, WindowCarry, WindowPolicy};
+use serde::{Deserialize, Serialize};
 use std::io;
 use std::time::{Duration, Instant};
 
@@ -55,6 +60,24 @@ pub struct TenantFinal {
     pub verdict: String,
 }
 
+/// Serve-layer budget state persisted in the snapshot beside the
+/// checker's own window carry. The ladder gauges and the soft-rung
+/// latch must survive restart, or a recovered tenant's envelopes drift
+/// from an uninterrupted run's by exactly the forgotten rungs (a reset
+/// latch re-fires the soft seal the live run already took).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BudgetCarry {
+    /// The checker's retired-prefix carry. `None` when the policy is
+    /// unbounded and nothing retired — only the gauges needed saving.
+    window: Option<WindowCarry>,
+    /// Soft-rung forced-seal count at snapshot time.
+    budget_seals: usize,
+    /// Hard-rung tightening count at snapshot time.
+    forced_window: usize,
+    /// Soft-rung edge-trigger latch at snapshot time.
+    over_soft: bool,
+}
+
 /// One tenant's full state: checker, store, counters, degradation.
 pub struct Tenant {
     name: String,
@@ -66,6 +89,13 @@ pub struct Tenant {
     events_since_snapshot: usize,
     cli_quarantined: usize,
     forced_seals: usize,
+    /// Retirement seals forced by the soft resident-byte rung.
+    budget_seals: usize,
+    /// Times the hard rung tightened this tenant's window.
+    forced_window: usize,
+    /// Edge-trigger latch for the soft rung: one forced seal per
+    /// crossing, re-armed when retirement brings residency back under.
+    over_soft: bool,
     failed: Option<String>,
     epoch_opened: Option<Instant>,
 }
@@ -88,21 +118,52 @@ impl Tenant {
             snapshot,
             journal_lines,
         } = restored;
-        let (checker, txns_since_seal, events_since_seal) = match snapshot {
+        let (checker, txns_since_seal, events_since_seal, budget) = match snapshot {
             Some((meta, events)) => {
+                // The carried window policy wins over the config: a
+                // budget-forced tightening must survive restart, or a
+                // crash loop would reset the tenant to the very policy
+                // that blew the budget.
+                let carry = match &meta.window {
+                    Some(v) => Some(<BudgetCarry as serde::Deserialize>::deserialize(v).map_err(
+                        |e| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("snapshot window carry: {e}"),
+                            )
+                        },
+                    )?),
+                    None => None,
+                };
+                let (window, budget) = match carry {
+                    Some(c) => (c.window, (c.budget_seals, c.forced_window, c.over_soft)),
+                    None => (None, (0, 0, false)),
+                };
+                let carried_policy = window.is_some();
                 let snap = CheckerSnapshot {
                     epoch: meta.epoch,
                     quarantined: meta.quarantined,
                     events_this_epoch: meta.events_this_epoch,
                     events,
+                    window,
                 };
+                let mut checker = StreamChecker::restore(cfg.opts, &snap);
+                if !carried_policy {
+                    checker.set_window_policy(cfg.window);
+                }
                 (
-                    StreamChecker::restore(cfg.opts, &snap),
+                    checker,
                     meta.txns_since_seal,
                     meta.events_this_epoch,
+                    budget,
                 )
             }
-            None => (StreamChecker::new(cfg.opts), 0, 0),
+            None => (
+                StreamChecker::with_window(cfg.opts, cfg.window),
+                0,
+                0,
+                (0, 0, false),
+            ),
         };
         let mut t = Tenant {
             name: name.to_string(),
@@ -114,6 +175,9 @@ impl Tenant {
             events_since_snapshot: 0,
             cli_quarantined: 0,
             forced_seals: 0,
+            budget_seals: budget.0,
+            forced_window: budget.1,
+            over_soft: budget.2,
             failed: None,
             epoch_opened: None,
         };
@@ -240,10 +304,55 @@ impl Tenant {
         if cfg.watermark_due(self.txns_since_seal, self.events_since_seal) {
             reply.sealed = Some(self.seal(live)?);
         }
+        if reply.sealed.is_none() {
+            if let Some(line) = self.enforce_resident_budget(cfg, live)? {
+                reply.sealed = Some(line);
+            }
+        }
         if live {
             self.maybe_rotate(cfg)?;
         }
         Ok(reply)
+    }
+
+    /// The resident-byte ladder, checked after every ingested event.
+    /// Soft rung (3/4 of the budget): one forced retirement seal per
+    /// crossing. Hard rung (the budget): tighten the window —
+    /// `forced-window` — and seal, so the tenant keeps serving with
+    /// bounded memory instead of being rejected or killed. Residency is
+    /// a deterministic function of the ingested prefix, so journal
+    /// replay reproduces every rung (and with it epoch numbering).
+    fn enforce_resident_budget(
+        &mut self,
+        cfg: &ServeConfig,
+        live: bool,
+    ) -> io::Result<Option<String>> {
+        let Some(hard) = cfg.max_tenant_resident_bytes else {
+            return Ok(None);
+        };
+        let resident = self.checker.resident_bytes();
+        let soft = hard - hard / 4;
+        if resident <= soft {
+            self.over_soft = false;
+            return Ok(None);
+        }
+        if resident > hard {
+            self.forced_window += 1;
+            let tightened = match self.checker.window_policy() {
+                WindowPolicy::Bytes(b) => WindowPolicy::Bytes((b / 2).max(1)),
+                WindowPolicy::TxnCount(w) => WindowPolicy::TxnCount((w / 2).max(1)),
+                WindowPolicy::Unbounded => WindowPolicy::Bytes(soft),
+            };
+            self.checker.set_window_policy(tightened);
+            self.over_soft = false;
+            return self.seal(live).map(Some);
+        }
+        if self.over_soft {
+            return Ok(None);
+        }
+        self.over_soft = true;
+        self.budget_seals += 1;
+        self.seal(live).map(Some)
     }
 
     /// Seal the current epoch and return the verdict envelope line.
@@ -307,10 +416,26 @@ impl Tenant {
         }
     }
 
-    /// One-line status summary.
+    /// One-line status summary. Window gauges appear only when the
+    /// tenant runs windowed (or the budget ladder fired), so unbounded
+    /// tenants' status lines stay byte-stable.
     pub fn status_line(&self) -> String {
+        let mut extra = String::new();
+        if self.checker.window_policy() != WindowPolicy::Unbounded {
+            extra.push_str(&format!(
+                ",\"resident_bytes\":{},\"retired_txns\":{}",
+                self.checker.resident_bytes(),
+                self.checker.retired_txns(),
+            ));
+        }
+        if self.budget_seals > 0 {
+            extra.push_str(&format!(",\"budget_seals\":{}", self.budget_seals));
+        }
+        if self.forced_window > 0 {
+            extra.push_str(&format!(",\"forced_window\":{}", self.forced_window));
+        }
         format!(
-            "{{\"tenant\":\"{}\",\"status\":{{\"epochs\":{},\"txns\":{},\"events_this_epoch\":{},\"quarantined\":{},\"forced_seals\":{},\"failed\":{}}}}}",
+            "{{\"tenant\":\"{}\",\"status\":{{\"epochs\":{},\"txns\":{},\"events_this_epoch\":{},\"quarantined\":{},\"forced_seals\":{}{extra},\"failed\":{}}}}}",
             self.name,
             self.checker.epochs_sealed(),
             self.checker.txn_count(),
@@ -337,13 +462,23 @@ impl Tenant {
 
     fn rotate(&mut self) -> io::Result<()> {
         let snap = self.checker.snapshot();
-        let meta = SnapshotMeta::new(
+        let mut meta = SnapshotMeta::new(
             0, // overwritten by TenantStore::rotate
             snap.epoch,
             snap.quarantined + self.cli_quarantined,
             snap.events_this_epoch,
             self.txns_since_seal,
         );
+        let budgeted = self.budget_seals > 0 || self.forced_window > 0 || self.over_soft;
+        if snap.window.is_some() || budgeted {
+            let carry = BudgetCarry {
+                window: snap.window.clone(),
+                budget_seals: self.budget_seals,
+                forced_window: self.forced_window,
+                over_soft: self.over_soft,
+            };
+            meta.window = Some(serde::Serialize::serialize(&carry));
+        }
         let store = self.store.as_mut().expect("rotate requires a store");
         store.rotate(meta, &snap.events)?;
         self.cli_quarantined = 0;
@@ -374,6 +509,18 @@ impl Tenant {
         }
         if self.forced_seals > 0 {
             extra.push_str(&format!(",\"forced_seals\":{}", self.forced_seals));
+        }
+        if self.budget_seals > 0 {
+            extra.push_str(&format!(",\"budget_seals\":{}", self.budget_seals));
+        }
+        if self.forced_window > 0 {
+            extra.push_str(&format!(",\"forced_window\":{}", self.forced_window));
+        }
+        if let Some(w) = &epoch.window {
+            extra.push_str(&format!(
+                ",\"window\":{{\"retired_txns\":{},\"retained_txns\":{},\"resident_bytes\":{},\"exact\":{}}}",
+                w.retired_txns, w.retained_txns, w.resident_bytes, w.exact,
+            ));
         }
         format!(
             "{{\"tenant\":\"{}\",\"epoch\":{},\"txns\":{},\"events\":{},\"ok\":{ok},\"open_txns\":{}{extra},\"report\":{}}}",

@@ -50,14 +50,16 @@ use elle_core::datatype::{
     self, analyze_keys, duplicate_anomalies, AnalysisCtx, DatatypeAnalysis, GatherStats, KeySink,
     Parallelism,
 };
+use elle_core::AnomalyType;
 use elle_core::{
     assemble_report, find_cycle_anomalies_frozen, Anomaly, CheckOptions, CheckStats,
     CycleSearchOptions, DataType, DepGraph, ElemIndex, GatherBuf, KeySlots, KeyTypes, Report,
     StageTimings, Witness,
 };
+use elle_graph::{EdgeMask, Scratch};
 use elle_history::{
     Elem, Event, EventKind, History, Ingest, Key, Mop, PairingError, ProcessId, Recovered,
-    RecoveryPolicy, StreamingPairer, TxnId, TxnStatus,
+    RecoveryPolicy, StreamingPairer, Transaction, TxnId, TxnStatus,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
@@ -67,6 +69,45 @@ use std::sync::Arc;
 use std::time::Instant;
 
 type Edge = (TxnId, TxnId, Witness);
+
+/// How the checker bounds its resident state (§bounded-memory
+/// streaming). Retirement is *provably cycle-safe*: only closed
+/// transactions outside every live SCC whose keys are fully quiescent
+/// are retired, so every verdict over the retained window remains
+/// byte-identical to the unbounded run as long as no needed witness
+/// crossed the retirement boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WindowPolicy {
+    /// Never retire (the classic unbounded checker).
+    #[default]
+    Unbounded,
+    /// After each seal, retire down to at most this many retained
+    /// transactions (subject to the safety clamps).
+    TxnCount(usize),
+    /// Retire (geometrically) whenever
+    /// [`StreamChecker::resident_bytes`] exceeds this budget.
+    Bytes(usize),
+}
+
+/// Per-epoch window gauges, reported when a [`WindowPolicy`] other
+/// than [`WindowPolicy::Unbounded`] is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Transactions retired from the window since stream start.
+    pub retired_txns: usize,
+    /// Transactions still resident (open ones included).
+    pub retained_txns: usize,
+    /// Deterministic resident-state estimate, in bytes.
+    pub resident_bytes: usize,
+    /// `false` once any retired key was re-touched: anomalies needing
+    /// the evicted evidence are indeterminate (marked
+    /// [`AnomalyType::WindowEvicted`]), never fabricated.
+    pub exact: bool,
+}
+
+/// The smallest retained suffix a byte-budget retirement will keep;
+/// prevents a tiny budget from thrashing the window down to nothing.
+const MIN_RETAIN_TXNS: usize = 16;
 
 /// A cached per-key analysis result with its anomalies **interned**
 /// behind [`Arc`]: epoch report assembly clones pointers, not
@@ -101,6 +142,24 @@ struct DtCache {
     internal: BTreeMap<TxnId, Vec<Arc<Anomaly>>>,
     /// The latest per-key sink, keyed and iterated in sorted key order.
     sinks: BTreeMap<Key, CachedSink>,
+    /// Retired-prefix summaries (windowed mode): anomalies whose
+    /// evidence left the window are kept as finished facts, so
+    /// cumulative reports never lose them. Internal anomalies of
+    /// retired transactions, in id order.
+    retired_internal: Vec<Arc<Anomaly>>,
+    /// Duplicate-write anomalies of retired keys.
+    retired_dups: BTreeMap<Key, Vec<Arc<Anomaly>>>,
+    /// Sink anomalies of retired keys (their edges were folded into the
+    /// retired edge counts).
+    retired_sinks: BTreeMap<Key, Vec<Arc<Anomaly>>>,
+}
+
+impl DtCache {
+    fn has_retired(&self) -> bool {
+        !self.retired_internal.is_empty()
+            || !self.retired_dups.is_empty()
+            || !self.retired_sinks.is_empty()
+    }
 }
 
 /// Counter analysis cache (the counter pipeline is not trait-driven).
@@ -108,6 +167,8 @@ struct DtCache {
 struct CounterCache {
     internal: BTreeMap<TxnId, Vec<Arc<Anomaly>>>,
     sinks: BTreeMap<Key, (Vec<Arc<Anomaly>>, Vec<Edge>)>,
+    retired_internal: Vec<Arc<Anomaly>>,
+    retired_sinks: BTreeMap<Key, Vec<Arc<Anomaly>>>,
 }
 
 /// Incremental coverage statistics (§3): which committed writes were
@@ -289,6 +350,8 @@ pub struct EpochReport {
     /// rebuilt from the paired history, and subsequent epochs keep
     /// sealing. Only [`StreamChecker::seal_epoch_guarded`] sets this.
     pub poisoned: Option<String>,
+    /// Window gauges, `Some` iff a bounded [`WindowPolicy`] is active.
+    pub window: Option<WindowStats>,
 }
 
 /// A portable capture of a [`StreamChecker`]'s rebuildable state: the
@@ -309,6 +372,68 @@ pub struct CheckerSnapshot {
     /// [`RecoveryPolicy::Quarantine`] reproduces the paired history and
     /// its transaction ids exactly.
     pub events: Vec<Event>,
+    /// Windowed-mode carry: everything retirement folded out of the
+    /// replayable state. `None` for unbounded checkers that never
+    /// retired, so their snapshots are unchanged.
+    pub window: Option<WindowCarry>,
+}
+
+/// The retired-prefix facts a [`CheckerSnapshot`] must carry beside the
+/// replayable events: replay rebuilds the retained window, and this
+/// struct restores what the window no longer contains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowCarry {
+    /// Transactions retired (the restored pairer's id base).
+    pub base: u32,
+    /// The active retirement policy.
+    pub policy: WindowPolicy,
+    /// Distinct IDSG edges per class folded out of the graph spine,
+    /// indexed by `EdgeClass` discriminant (always 8 entries).
+    pub retired_edge_counts: Vec<usize>,
+    /// Total micro-ops across retired transactions.
+    pub retired_mops: usize,
+    /// Committed transactions among the retired prefix.
+    pub retired_committed: usize,
+    /// Aborted transactions among the retired prefix.
+    pub retired_aborted: usize,
+    /// Committed element writes folded out of the retired prefix.
+    pub retired_committed_writes: usize,
+    /// Observed `(key, element)` write pairs folded out of the retired
+    /// prefix.
+    pub retired_observed_writes: usize,
+    /// Max invoke index folded out of the pruned realtime-completion
+    /// prefix.
+    pub rt_seed_max: usize,
+    /// The realtime completion frontier, `(complete index, txn id)` —
+    /// carried whole because retired entries can still bound retained
+    /// transactions' interval-order windows.
+    pub rt_completes: Vec<(usize, u32)>,
+    /// Running max of invoke indices over `rt_completes` prefixes
+    /// (seeded: includes pruned entries' contributions).
+    pub rt_prefix_max_invoke: Vec<usize>,
+    /// Per-process last committed transaction where that transaction is
+    /// retired (retained ones are rebuilt by replay).
+    pub proc_last_retired: Vec<(u32, u32)>,
+    /// Keys wholly retired from the window, sorted.
+    pub retired_keys: Vec<Key>,
+    /// Type bitmasks of retired keys (their evidence is gone from the
+    /// history, but partitions and conflict warnings must not change).
+    pub retired_key_masks: Vec<(Key, u8)>,
+    /// Sticky `WindowEvicted` markers for compromised keys.
+    pub evicted: Vec<(Key, Anomaly)>,
+    /// Retired anomaly stashes: list, register, set, counter.
+    pub stashes: Vec<DtStashCarry>,
+}
+
+/// One datatype's retired anomaly stash in portable form.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DtStashCarry {
+    /// Internal (single-transaction) anomalies among retired txns.
+    pub internal: Vec<Anomaly>,
+    /// Per-key duplicate-write anomalies over retired keys.
+    pub dups: Vec<(Key, Vec<Anomaly>)>,
+    /// Per-key analysis anomalies for retired keys' final sinks.
+    pub sinks: Vec<(Key, Vec<Anomaly>)>,
 }
 
 /// The incremental checker. Feed events with
@@ -370,6 +495,33 @@ pub struct StreamChecker {
     /// Test hook: panic at the start of sealing this epoch ordinal, to
     /// exercise the poisoned-epoch recovery path deterministically.
     panic_at_epoch: Option<usize>,
+
+    // ── Windowed retirement (bounded-memory streaming). ──────────────
+    window: WindowPolicy,
+    /// Distinct IDSG edges per class whose source was retired, indexed
+    /// by `EdgeClass` discriminant; folded into the reported edge
+    /// counts via [`DepGraph::set_extra_counts`].
+    retired_edge_counts: [usize; 8],
+    /// Scalars of retired transactions, kept only so snapshots can
+    /// restore the full-prefix statistics.
+    retired_mops: usize,
+    retired_committed: usize,
+    retired_aborted: usize,
+    /// Coverage contributions of retired keys, re-applied when the
+    /// conflict-driven coverage rebuild recomputes from the retained
+    /// history.
+    retired_committed_writes: usize,
+    retired_observed_writes: usize,
+    /// Max invoke index over pruned `rt_completes` prefix entries; the
+    /// seed for the running prefix-max when the array drains.
+    rt_seed_max: usize,
+    /// Keys wholly retired from the window, sorted ascending. A later
+    /// touch makes the key *compromised*: it is excluded from per-key
+    /// analysis (its version evidence is gone) and gets a sticky
+    /// [`AnomalyType::WindowEvicted`] marker instead.
+    retired_keys: Vec<Key>,
+    /// One marker per compromised key.
+    evicted: BTreeMap<Key, Arc<Anomaly>>,
 }
 
 impl StreamChecker {
@@ -405,6 +557,365 @@ impl StreamChecker {
             epoch: 0,
             quarantined: 0,
             panic_at_epoch: None,
+            window: WindowPolicy::Unbounded,
+            retired_edge_counts: [0; 8],
+            retired_mops: 0,
+            retired_committed: 0,
+            retired_aborted: 0,
+            retired_committed_writes: 0,
+            retired_observed_writes: 0,
+            rt_seed_max: 0,
+            retired_keys: Vec::new(),
+            evicted: BTreeMap::new(),
+        }
+    }
+
+    /// A stream checker with a bounded-memory [`WindowPolicy`].
+    pub fn with_window(opts: CheckOptions, window: WindowPolicy) -> StreamChecker {
+        StreamChecker {
+            window,
+            ..StreamChecker::new(opts)
+        }
+    }
+
+    /// The active retirement policy.
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// Change the retirement policy (takes effect at the next seal).
+    /// `elle-serve` tightens the window this way when a tenant crosses
+    /// its hard resident-byte limit.
+    pub fn set_window_policy(&mut self, window: WindowPolicy) {
+        self.window = window;
+    }
+
+    /// Transactions retired from the window since stream start.
+    pub fn retired_txns(&self) -> usize {
+        self.pairer.history().base() as usize
+    }
+
+    /// A deterministic estimate of resident incremental state, in
+    /// bytes. Length-based (never capacity-based) so identical streams
+    /// report identical gauges; element payloads (list read values) are
+    /// charged at their header size only.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let history = self.pairer.history();
+        let mut total = 0usize;
+        for t in history.txns() {
+            total += size_of::<Transaction>() + t.mops.len() * size_of::<Mop>();
+        }
+        total += self.postings.sorted.len() * size_of::<(Key, TxnId)>();
+        total += self.elems.resident_bytes();
+        total += self.deps.resident_bytes();
+        for cache in [&self.list, &self.reg, &self.set] {
+            for sink in cache.sinks.values() {
+                total += sink.edges.len() * size_of::<Edge>()
+                    + sink.observed_elems.len() * size_of::<Elem>()
+                    + sink.anomalies.len() * size_of::<Arc<Anomaly>>();
+            }
+        }
+        for (anoms, edges) in self.counter.sinks.values() {
+            total += edges.len() * size_of::<Edge>() + anoms.len() * size_of::<Arc<Anomaly>>();
+        }
+        total +=
+            (self.coverage.pairs.len() + self.coverage.observed.len()) * size_of::<(Key, Elem)>();
+        total += self.rt_completes.len() * size_of::<(usize, TxnId)>()
+            + self.rt_prefix_max_invoke.len() * size_of::<usize>();
+        total += self.ts_commits.len() * size_of::<(u64, TxnId)>()
+            + self.ts_prefix_max_start.len() * size_of::<u64>();
+        total
+    }
+
+    /// Window gauges, `Some` iff a bounded policy is active.
+    fn window_stats(&self) -> Option<WindowStats> {
+        (self.window != WindowPolicy::Unbounded).then(|| {
+            let history = self.pairer.history();
+            let base = history.base() as usize;
+            WindowStats {
+                retired_txns: base,
+                retained_txns: history.len() - base,
+                resident_bytes: self.resident_bytes(),
+                exact: self.evicted.is_empty(),
+            }
+        })
+    }
+
+    /// The policy's unclamped retirement watermark for this seal, or
+    /// `None` when nothing should retire. Timestamp edges disable
+    /// retirement outright: they are not id-forward, so a retired
+    /// prefix could still gain incoming edges.
+    fn retire_target(&self) -> Option<u32> {
+        if self.opts.timestamp_edges {
+            return None;
+        }
+        let history = self.pairer.history();
+        let base = history.base() as usize;
+        let n = history.len();
+        let target = match self.window {
+            WindowPolicy::Unbounded => return None,
+            WindowPolicy::TxnCount(w) => n.saturating_sub(w),
+            WindowPolicy::Bytes(budget) => {
+                if self.resident_bytes() <= budget {
+                    return None;
+                }
+                // Geometric: retire half the retained suffix per seal
+                // until the budget holds or the clamps stop us.
+                let retained = n - base;
+                let keep = (retained / 2).max(MIN_RETAIN_TXNS.min(retained));
+                n - keep
+            }
+        };
+        (target > base).then_some(target as u32)
+    }
+
+    /// Lower `r` until every key's touchers are wholly on one side of
+    /// it. Datatype edges live within a key, so key quiescence is what
+    /// makes prefix retirement edge-complete: a retained key never
+    /// holds an edge into the retired prefix.
+    fn clamp_quiescent(&self, mut r: u32) -> u32 {
+        let s = &self.postings.sorted;
+        debug_assert!(self.postings.tail.is_empty(), "clamp before seal");
+        loop {
+            let mut changed = false;
+            let mut i = 0;
+            while i < s.len() {
+                let key = s[i].0;
+                let mut j = i + 1;
+                while j < s.len() && s[j].0 == key {
+                    j += 1;
+                }
+                let (min_t, max_t) = (s[i].1 .0, s[j - 1].1 .0);
+                if min_t < r && max_t >= r {
+                    r = min_t;
+                    changed = true;
+                }
+                i = j;
+            }
+            if !changed {
+                return r;
+            }
+        }
+    }
+
+    /// Retire the prefix `[base, r)`: fold its facts into summaries,
+    /// drop its state from every index, and advance the window base.
+    /// Callers must have clamped `r` (open invocations, live SCCs, key
+    /// quiescence).
+    fn retire_to(&mut self, r: u32) {
+        let history = self.pairer.history();
+        let old_base = history.base();
+        debug_assert!(r > old_base);
+
+        // Scalars of the retiring transactions (snapshot carry only —
+        // the live running stats already include them).
+        for t in &history.txns()[..(r - old_base) as usize] {
+            self.retired_mops += t.mops.len();
+            match t.status {
+                TxnStatus::Committed => self.retired_committed += 1,
+                TxnStatus::Aborted => self.retired_aborted += 1,
+                TxnStatus::Indeterminate => {}
+            }
+        }
+
+        // Keys wholly on the retired side (quiescence guarantees no
+        // straddlers); ascending because postings are sorted.
+        let mut retiring: Vec<Key> = Vec::new();
+        {
+            let s = &self.postings.sorted;
+            let mut i = 0;
+            while i < s.len() {
+                let key = s[i].0;
+                let mut j = i + 1;
+                while j < s.len() && s[j].0 == key {
+                    j += 1;
+                }
+                if s[j - 1].1 .0 < r {
+                    retiring.push(key);
+                } else {
+                    debug_assert!(s[i].1 .0 >= r, "key {key} straddles watermark {r}");
+                }
+                i = j;
+            }
+        }
+
+        // Stash finished facts before the indexes forget them: internal
+        // anomalies of retired transactions, and the retiring keys'
+        // duplicate-write and sink anomalies.
+        {
+            let list_keys = self.kt.keys_of(DataType::List);
+            stash_retired_dt::<elle_core::list_append::ListAppend>(
+                &mut self.list,
+                &list_keys,
+                &retiring,
+                history,
+                &self.elems,
+                r,
+            );
+            let reg_keys = self.kt.keys_of(DataType::Register);
+            stash_retired_dt::<elle_core::rw_register::RwRegister>(
+                &mut self.reg,
+                &reg_keys,
+                &retiring,
+                history,
+                &self.elems,
+                r,
+            );
+            let set_keys = self.kt.keys_of(DataType::Set);
+            stash_retired_dt::<elle_core::set_add::SetAdd>(
+                &mut self.set,
+                &set_keys,
+                &retiring,
+                history,
+                &self.elems,
+                r,
+            );
+            let counter_keys = self.kt.keys_of(DataType::Counter);
+            let live = self.counter.internal.split_off(&TxnId(r));
+            let retired_part = std::mem::replace(&mut self.counter.internal, live);
+            for (_, list) in retired_part {
+                self.counter.retired_internal.extend(list);
+            }
+            for &k in retiring
+                .iter()
+                .filter(|k| counter_keys.binary_search(k).is_ok())
+            {
+                if let Some((anoms, _)) = self.counter.sinks.remove(&k) {
+                    if !anoms.is_empty() {
+                        self.counter
+                            .retired_sinks
+                            .entry(k)
+                            .or_default()
+                            .extend(anoms);
+                    }
+                }
+            }
+        }
+
+        // Fold the retiring keys' coverage contributions into scalars;
+        // their (key, elem) entries leave the maps. The live totals are
+        // unchanged — only the conflict-driven coverage rebuild (which
+        // recomputes from the retained history) needs the fold.
+        let mut folded_committed = 0usize;
+        let mut folded_observed = 0usize;
+        {
+            let observed = &self.coverage.observed;
+            self.coverage.pairs.retain(|&(k, e), c| {
+                if retiring.binary_search(&k).is_ok() {
+                    folded_committed += *c as usize;
+                    if observed.contains(&(k, e)) {
+                        folded_observed += *c as usize;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.coverage
+            .observed
+            .retain(|&(k, _)| retiring.binary_search(&k).is_err());
+        self.retired_committed_writes += folded_committed;
+        self.retired_observed_writes += folded_observed;
+
+        // Drop the retiring keys from every per-key index.
+        self.elems.retire_keys(&retiring);
+        self.postings
+            .sorted
+            .retain(|&(k, _)| retiring.binary_search(&k).is_err());
+        for &k in &retiring {
+            self.assigned.remove(&k);
+        }
+
+        // Compact the graph spine: the retired prefix's edges fold into
+        // the per-class extra counts the report keeps quoting.
+        let dropped = self.deps.retire_below(r);
+        for (c, d) in dropped.into_iter().enumerate() {
+            self.retired_edge_counts[c] += d;
+        }
+
+        // Prune the realtime completion frontier: the prefix that no
+        // future (or replayed) interval-order window can reach, and
+        // whose entries are retired. Surviving prefix-max values are
+        // running maxes over the *full* original array, so draining in
+        // parallel keeps them exact; the seed covers the drained part.
+        if self.opts.realtime_edges && !self.rt_completes.is_empty() {
+            let min_open_invoke = self
+                .pairer
+                .open_entries()
+                .first()
+                .map(|&(_, id, _)| history.get(id).invoke_index)
+                .unwrap_or(usize::MAX);
+            let j = self
+                .rt_completes
+                .partition_point(|&(c, _)| c < min_open_invoke);
+            let s_star = if j > 0 {
+                self.rt_prefix_max_invoke[j - 1]
+            } else {
+                0
+            };
+            let mut p = 0;
+            while p < self.rt_completes.len() {
+                let (c, id) = self.rt_completes[p];
+                if c < s_star && id.0 < r {
+                    p += 1;
+                } else {
+                    break;
+                }
+            }
+            if p > 0 {
+                self.rt_seed_max = self.rt_seed_max.max(self.rt_prefix_max_invoke[p - 1]);
+                self.rt_completes.drain(..p);
+                self.rt_prefix_max_invoke.drain(..p);
+            }
+        }
+
+        // Advance the window base (drops the retired transactions).
+        self.pairer.retire_prefix(r);
+
+        // Remember the retired keys: a later touch compromises them.
+        if self.retired_keys.is_empty() {
+            self.retired_keys = retiring;
+        } else {
+            self.retired_keys.extend(retiring);
+            self.retired_keys.sort_unstable();
+            self.retired_keys.dedup();
+        }
+    }
+
+    /// Re-derive every retained committed transaction's realtime edges
+    /// from the carried completion frontier — the windowed rebuild
+    /// path. Per-transaction windows over the final array equal the
+    /// incremental per-commit computation (completion indices are
+    /// monotone, so later entries never enter an earlier window), and
+    /// retired sources are skipped without recounting: their edges were
+    /// folded into the retired edge counts when first derived.
+    fn replay_realtime_edges(&self, deps: &mut DepGraph, history: &History, base: u32) {
+        for t in history.txns() {
+            if t.status != TxnStatus::Committed {
+                continue;
+            }
+            let k = self
+                .rt_completes
+                .partition_point(|&(c, _)| c < t.invoke_index);
+            if k == 0 {
+                continue;
+            }
+            let s = self.rt_prefix_max_invoke[k - 1];
+            let lo = self.rt_completes.partition_point(|&(c, _)| c < s);
+            for &(c, a) in &self.rt_completes[lo..k] {
+                if a.0 >= base {
+                    deps.add(
+                        a,
+                        t.id,
+                        Witness::Realtime {
+                            complete: c,
+                            invoke: t.invoke_index,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -570,6 +1081,24 @@ impl StreamChecker {
         for &id in &self.delta_txns {
             for m in &history.get(id).mops {
                 dirty.insert(m.key());
+            }
+        }
+        // Compromised keys: a retired key re-touched by the live stream.
+        // Its version evidence left the window, so re-analysis could
+        // fabricate anomalies (every old writer looks missing) — exclude
+        // it from per-key analysis and pin a sticky indeterminacy
+        // marker instead.
+        if !self.retired_keys.is_empty() {
+            let compromised: Vec<Key> = dirty
+                .iter()
+                .copied()
+                .filter(|k| self.retired_keys.binary_search(k).is_ok())
+                .collect();
+            for k in compromised {
+                dirty.remove(&k);
+                self.evicted
+                    .entry(k)
+                    .or_insert_with(|| Arc::new(window_evicted_anomaly(k)));
             }
         }
         // Datatype reassignment (conflicted keys): evict stale sinks and
@@ -743,6 +1272,11 @@ impl StreamChecker {
                     self.coverage.add_write(k, e);
                 }
             }
+            // Retired transactions are gone from the history; re-apply
+            // their folded write/observation scalars so the full-prefix
+            // coverage counts survive the rebuild.
+            self.coverage.committed_writes += self.retired_committed_writes;
+            self.coverage.observed_writes += self.retired_observed_writes;
         }
         // The gather scans ran inside the refresh drivers; split their
         // share out of the delta-analysis lap so both stages read true.
@@ -756,36 +1290,74 @@ impl StreamChecker {
 
         // ── Derived orders for newly committed transactions. ──────────
         let history = self.pairer.history();
+        let base = history.base();
+        // An order edge whose source was retired crosses the window
+        // boundary: the batch checker counts it, but adding it to the
+        // carried graph would resurrect a retired vertex — fold it into
+        // the retired edge counts at creation instead. (Boundary edges
+        // are always id-forward and freshly targeted, hence distinct.)
+        let mut boundary_counts = [0usize; 8];
+        let emit = |edges: &mut Vec<Edge>, counts: &mut [usize; 8], a: TxnId, b, w: Witness| {
+            if a.0 < base {
+                counts[w.class() as usize] += 1;
+            } else {
+                edges.push((a, b, w));
+            }
+        };
         let mut order_edges: Vec<Edge> = Vec::new();
         for &id in &self.newly_committed {
             let t = history.get(id);
             if self.opts.process_edges {
                 if let Some(prev) = self.proc_last.insert(t.process, id) {
-                    order_edges.push((prev, id, Witness::Process { process: t.process }));
+                    emit(
+                        &mut order_edges,
+                        &mut boundary_counts,
+                        prev,
+                        id,
+                        Witness::Process { process: t.process },
+                    );
                 }
             }
             if self.opts.realtime_edges {
                 let complete = t.complete_index.expect("committed txns completed");
-                let k = self
+                // A restored windowed checker pre-loads the carried
+                // completion frontier whole; replayed commits find
+                // their entry already present (completion indices are
+                // strictly monotone otherwise) and must neither re-push
+                // nor re-emit — the restore-forced rebuild re-derives
+                // their edges from the carried frontier.
+                let preloaded = self
                     .rt_completes
-                    .partition_point(|(c, _)| *c < t.invoke_index);
-                if k > 0 {
-                    let s = self.rt_prefix_max_invoke[k - 1];
-                    let lo = self.rt_completes.partition_point(|(c, _)| *c < s);
-                    for &(c, a) in &self.rt_completes[lo..k] {
-                        order_edges.push((
-                            a,
-                            id,
-                            Witness::Realtime {
-                                complete: c,
-                                invoke: t.invoke_index,
-                            },
-                        ));
+                    .last()
+                    .is_some_and(|&(c, _)| c >= complete);
+                if !preloaded {
+                    let k = self
+                        .rt_completes
+                        .partition_point(|(c, _)| *c < t.invoke_index);
+                    if k > 0 {
+                        let s = self.rt_prefix_max_invoke[k - 1];
+                        let lo = self.rt_completes.partition_point(|(c, _)| *c < s);
+                        for &(c, a) in &self.rt_completes[lo..k] {
+                            emit(
+                                &mut order_edges,
+                                &mut boundary_counts,
+                                a,
+                                id,
+                                Witness::Realtime {
+                                    complete: c,
+                                    invoke: t.invoke_index,
+                                },
+                            );
+                        }
                     }
+                    let prev_max = self
+                        .rt_prefix_max_invoke
+                        .last()
+                        .copied()
+                        .unwrap_or(self.rt_seed_max);
+                    self.rt_completes.push((complete, id));
+                    self.rt_prefix_max_invoke.push(prev_max.max(t.invoke_index));
                 }
-                let prev_max = self.rt_prefix_max_invoke.last().copied().unwrap_or(0);
-                self.rt_completes.push((complete, id));
-                self.rt_prefix_max_invoke.push(prev_max.max(t.invoke_index));
             }
             if self.opts.timestamp_edges {
                 if let Some((start, commit)) = t.timestamps {
@@ -817,6 +1389,9 @@ impl StreamChecker {
                 }
             }
         }
+        for (c, n) in boundary_counts.into_iter().enumerate() {
+            self.retired_edge_counts[c] += n;
+        }
         lap(&mut timings, "derived orders", &mut clock);
 
         // ── Apply to the carried graph (or rebuild it). ───────────────
@@ -840,7 +1415,17 @@ impl StreamChecker {
                 elle_core::add_process_edges(&mut deps, history);
             }
             if self.opts.realtime_edges {
-                elle_core::add_realtime_edges(&mut deps, history);
+                if base == 0 {
+                    elle_core::add_realtime_edges(&mut deps, history);
+                } else {
+                    // Retained-only recomputation would mis-bound the
+                    // interval-order windows (a retired completer can
+                    // still define a retained transaction's frontier):
+                    // re-derive from the carried completion arrays,
+                    // skipping retired sources — those edges are
+                    // already folded into the retired edge counts.
+                    self.replay_realtime_edges(&mut deps, history, base);
+                }
             }
             if self.opts.timestamp_edges {
                 elle_core::add_timestamp_edges(&mut deps, history);
@@ -882,8 +1467,38 @@ impl StreamChecker {
                 certificate: true,
             },
         );
-        drop(csr);
         lap(&mut timings, "cycle search", &mut clock);
+
+        // ── Windowed retirement: drop the provably cycle-safe prefix. ─
+        if let Some(target) = self.retire_target() {
+            let mut r = target;
+            // Clamp 1: every multi-vertex SCC stays whole and resident —
+            // reported cycles must keep reporting, so their members are
+            // pinned for the stream's lifetime.
+            let mut scratch = Scratch::default();
+            for scc in csr.tarjan_scc(EdgeMask::ALL, &mut scratch) {
+                if let Some(&m) = scc.iter().min() {
+                    r = r.min(m);
+                }
+            }
+            drop(csr);
+            // Clamp 2: open invocations (and everything after them) stay.
+            if let Some(&(_, min_open, _)) = self.pairer.open_entries().first() {
+                r = r.min(min_open.0);
+            }
+            // Clamp 3: key quiescence — every key wholly retired or
+            // wholly retained, iterated to a fixpoint (lowering the
+            // watermark can make another key straddle it).
+            r = self.clamp_quiescent(r);
+            if r > self.pairer.history().base() {
+                self.retire_to(r);
+            }
+            lap(&mut timings, "retirement", &mut clock);
+        } else {
+            drop(csr);
+        }
+        self.deps.set_extra_counts(self.retired_edge_counts);
+        let history = self.pairer.history();
 
         // ── Assemble the report in batch order. ───────────────────────
         use datatype::Vocab;
@@ -907,33 +1522,54 @@ impl StreamChecker {
         ];
         for (cache, vocab, dt) in parts {
             let keys = KeySlots::new(self.kt.keys_of(dt));
-            if keys.is_empty() {
+            if keys.is_empty() && !cache.has_retired() {
                 continue;
             }
+            // Retired-prefix facts first; `assemble_report`'s stable
+            // sort on (type, txns) canonicalizes the final order, and
+            // retired/live anomalies never tie (their txn ids live on
+            // opposite sides of the watermark).
+            anomalies.extend(cache.retired_internal.iter().cloned());
             for list in cache.internal.values() {
                 anomalies.extend(list.iter().cloned());
             }
-            let cx = AnalysisCtx {
-                history,
-                elems: &self.elems,
-                keys,
-                config: (),
-                scope: None,
-            };
-            let (dups, _) = duplicate_anomalies(&cx, vocab);
-            anomalies.extend(intern(dups));
+            for list in cache.retired_dups.values() {
+                anomalies.extend(list.iter().cloned());
+            }
+            if !keys.is_empty() {
+                let cx = AnalysisCtx {
+                    history,
+                    elems: &self.elems,
+                    keys,
+                    config: (),
+                    scope: None,
+                };
+                let (dups, _) = duplicate_anomalies(&cx, vocab);
+                anomalies.extend(intern(dups));
+            }
+            for list in cache.retired_sinks.values() {
+                anomalies.extend(list.iter().cloned());
+            }
             for sink in cache.sinks.values() {
                 anomalies.extend(sink.anomalies.iter().cloned());
             }
         }
-        if !self.kt.keys_of(DataType::Counter).is_empty() {
+        if !self.kt.keys_of(DataType::Counter).is_empty()
+            || !self.counter.retired_internal.is_empty()
+            || !self.counter.retired_sinks.is_empty()
+        {
+            anomalies.extend(self.counter.retired_internal.iter().cloned());
             for list in self.counter.internal.values() {
+                anomalies.extend(list.iter().cloned());
+            }
+            for list in self.counter.retired_sinks.values() {
                 anomalies.extend(list.iter().cloned());
             }
             for (anoms, _) in self.counter.sinks.values() {
                 anomalies.extend(anoms.iter().cloned());
             }
         }
+        anomalies.extend(self.evicted.values().cloned());
         anomalies.extend(intern(cycles));
 
         let warnings: Vec<String> = self
@@ -958,6 +1594,11 @@ impl StreamChecker {
         lap(&mut timings, "report assembly", &mut clock);
         timings.pool_peak = elle_core::pool::take_peak_bytes();
         timings.quarantined_events = self.quarantined;
+        let window = self.window_stats();
+        if let Some(w) = &window {
+            timings.resident_bytes = w.resident_bytes;
+            timings.retired_txns = w.retired_txns;
+        }
 
         let out = EpochReport {
             epoch: self.epoch,
@@ -977,6 +1618,7 @@ impl StreamChecker {
             },
             timings,
             poisoned: None,
+            window,
         };
         // ── Reclaim epoch-delta state: memory tracks the frontier. ────
         self.delta_txns = Vec::new();
@@ -1048,6 +1690,7 @@ impl StreamChecker {
                     },
                     timings,
                     poisoned: Some(message),
+                    window: self.window_stats(),
                 };
                 self.epoch += 1;
                 out
@@ -1068,7 +1711,70 @@ impl StreamChecker {
             quarantined: self.quarantined,
             events_this_epoch: self.events_this_epoch,
             events: self.synthesize_events(),
+            window: self.window_carry(),
         }
+    }
+
+    /// The retired-prefix carry for [`StreamChecker::snapshot`]:
+    /// `Some` iff a bounded policy is active or anything has retired.
+    fn window_carry(&self) -> Option<WindowCarry> {
+        let base = self.pairer.history().base();
+        if self.window == WindowPolicy::Unbounded && base == 0 {
+            return None;
+        }
+        let unpack = |list: &[Arc<Anomaly>]| -> Vec<Anomaly> {
+            list.iter().map(|a| (**a).clone()).collect()
+        };
+        let unpack_map = |m: &BTreeMap<Key, Vec<Arc<Anomaly>>>| -> Vec<(Key, Vec<Anomaly>)> {
+            m.iter().map(|(k, v)| (*k, unpack(v))).collect()
+        };
+        let stash_of = |cache: &DtCache| DtStashCarry {
+            internal: unpack(&cache.retired_internal),
+            dups: unpack_map(&cache.retired_dups),
+            sinks: unpack_map(&cache.retired_sinks),
+        };
+        let mut proc_last_retired: Vec<(u32, u32)> = self
+            .proc_last
+            .iter()
+            .filter(|&(_, id)| id.0 < base)
+            .map(|(&p, &id)| (p.0, id.0))
+            .collect();
+        proc_last_retired.sort_unstable();
+        Some(WindowCarry {
+            base,
+            policy: self.window,
+            retired_edge_counts: self.retired_edge_counts.to_vec(),
+            retired_mops: self.retired_mops,
+            retired_committed: self.retired_committed,
+            retired_aborted: self.retired_aborted,
+            retired_committed_writes: self.retired_committed_writes,
+            retired_observed_writes: self.retired_observed_writes,
+            rt_seed_max: self.rt_seed_max,
+            rt_completes: self.rt_completes.iter().map(|&(c, id)| (c, id.0)).collect(),
+            rt_prefix_max_invoke: self.rt_prefix_max_invoke.clone(),
+            proc_last_retired,
+            retired_keys: self.retired_keys.clone(),
+            retired_key_masks: self
+                .retired_keys
+                .iter()
+                .map(|&k| (k, self.kt.mask_of(k)))
+                .collect(),
+            evicted: self
+                .evicted
+                .iter()
+                .map(|(k, a)| (*k, (**a).clone()))
+                .collect(),
+            stashes: vec![
+                stash_of(&self.list),
+                stash_of(&self.reg),
+                stash_of(&self.set),
+                DtStashCarry {
+                    internal: unpack(&self.counter.retired_internal),
+                    dups: Vec::new(),
+                    sinks: unpack_map(&self.counter.retired_sinks),
+                },
+            ],
+        })
     }
 
     /// Rebuild a checker from a [`CheckerSnapshot`]: feed the
@@ -1081,11 +1787,73 @@ impl StreamChecker {
     /// uninterrupted run's.
     pub fn restore(opts: CheckOptions, snap: &CheckerSnapshot) -> StreamChecker {
         let mut fresh = StreamChecker::new(opts);
+        if let Some(c) = &snap.window {
+            // Pre-replay: the id base (so replayed transactions keep
+            // their original ids), the carried realtime frontier, the
+            // retired processes' chain tails, and the retired keys'
+            // type masks.
+            fresh.window = c.policy;
+            fresh.pairer = StreamingPairer::with_base(c.base);
+            fresh.rt_seed_max = c.rt_seed_max;
+            fresh.rt_completes = c
+                .rt_completes
+                .iter()
+                .map(|&(i, id)| (i, TxnId(id)))
+                .collect();
+            fresh.rt_prefix_max_invoke = c.rt_prefix_max_invoke.clone();
+            for &(p, id) in &c.proc_last_retired {
+                fresh.proc_last.insert(ProcessId(p), TxnId(id));
+            }
+            for &(k, mask) in &c.retired_key_masks {
+                fresh.kt.preload_mask(k, mask);
+            }
+        }
         for ev in &snap.events {
             // Synthesized events can only trip the violations recovery
             // repairs (orphan adoption, open abandonment); Quarantine
             // absorbs them and reproduces the same transactions.
             let _ = fresh.ingest_event_with(ev, RecoveryPolicy::Quarantine);
+        }
+        if let Some(c) = &snap.window {
+            for (slot, &v) in fresh
+                .retired_edge_counts
+                .iter_mut()
+                .zip(c.retired_edge_counts.iter())
+            {
+                *slot = v;
+            }
+            fresh.retired_mops = c.retired_mops;
+            fresh.mops += c.retired_mops;
+            fresh.retired_committed = c.retired_committed;
+            fresh.n_committed += c.retired_committed;
+            fresh.retired_aborted = c.retired_aborted;
+            fresh.n_aborted += c.retired_aborted;
+            fresh.retired_committed_writes = c.retired_committed_writes;
+            fresh.coverage.committed_writes += c.retired_committed_writes;
+            fresh.retired_observed_writes = c.retired_observed_writes;
+            fresh.coverage.observed_writes += c.retired_observed_writes;
+            fresh.retired_keys = c.retired_keys.clone();
+            fresh.evicted = c
+                .evicted
+                .iter()
+                .map(|(k, a)| (*k, Arc::new(a.clone())))
+                .collect();
+            if let [l, rg, st, ct] = c.stashes.as_slice() {
+                apply_stash(&mut fresh.list, l);
+                apply_stash(&mut fresh.reg, rg);
+                apply_stash(&mut fresh.set, st);
+                fresh.counter.retired_internal =
+                    ct.internal.iter().cloned().map(Arc::new).collect();
+                fresh.counter.retired_sinks = ct
+                    .sinks
+                    .iter()
+                    .map(|(k, v)| (*k, v.iter().cloned().map(Arc::new).collect()))
+                    .collect();
+            }
+            // The first seal must rebuild: replayed commits' realtime
+            // edges come from the carried frontier, not per-commit
+            // re-derivation (see the derived-orders preload guard).
+            fresh.needs_rebuild = true;
         }
         fresh.epoch = snap.epoch;
         fresh.quarantined = snap.quarantined;
@@ -1171,6 +1939,84 @@ impl StreamChecker {
     #[doc(hidden)]
     pub fn inject_seal_panic(&mut self, epoch: usize) {
         self.panic_at_epoch = Some(epoch);
+    }
+}
+
+/// Re-intern one datatype's carried stash on restore.
+fn apply_stash(cache: &mut DtCache, carry: &DtStashCarry) {
+    let pack = |v: &[Anomaly]| -> Vec<Arc<Anomaly>> { v.iter().cloned().map(Arc::new).collect() };
+    cache.retired_internal = pack(&carry.internal);
+    cache.retired_dups = carry.dups.iter().map(|(k, v)| (*k, pack(v))).collect();
+    cache.retired_sinks = carry.sinks.iter().map(|(k, v)| (*k, pack(v))).collect();
+}
+
+/// The sticky indeterminacy marker for a compromised key: evidence the
+/// live stream now needs was retired from the window. It violates no
+/// isolation model (the verdict stays whatever the retained evidence
+/// says) — it flags that anomalies needing the evicted history can
+/// neither be confirmed nor ruled out for this key.
+fn window_evicted_anomaly(k: Key) -> Anomaly {
+    Anomaly {
+        typ: AnomalyType::WindowEvicted,
+        txns: Vec::new(),
+        key: Some(k),
+        steps: Vec::new(),
+        explanation: format!(
+            "key {k} was touched after its version evidence was retired from the \
+             window; anomalies that would need the evicted history are \
+             indeterminate for this key"
+        ),
+    }
+}
+
+/// Move one datatype's retired facts into its stash: internal anomalies
+/// of transactions below the watermark, and the retiring keys'
+/// duplicate-write and sink anomalies. Runs *before* the element index
+/// forgets the keys, so the duplicate anomalies render exactly as the
+/// batch checker would have rendered them.
+fn stash_retired_dt<D: DatatypeAnalysis>(
+    cache: &mut DtCache,
+    dt_keys: &[Key],
+    retiring: &[Key],
+    history: &History,
+    elems: &ElemIndex,
+    r: u32,
+) {
+    let live = cache.internal.split_off(&TxnId(r));
+    let retired_part = std::mem::replace(&mut cache.internal, live);
+    for (_, list) in retired_part {
+        cache.retired_internal.extend(list);
+    }
+    let mine: Vec<Key> = retiring
+        .iter()
+        .copied()
+        .filter(|k| dt_keys.binary_search(k).is_ok())
+        .collect();
+    if mine.is_empty() {
+        return;
+    }
+    let cx = AnalysisCtx {
+        history,
+        elems,
+        keys: KeySlots::from_sorted(mine.clone()),
+        config: (),
+        scope: None,
+    };
+    let (dups, _) = duplicate_anomalies(&cx, &D::VOCAB);
+    for d in dups {
+        let k = d.key.expect("duplicate-write anomalies carry their key");
+        cache.retired_dups.entry(k).or_default().push(Arc::new(d));
+    }
+    for &k in &mine {
+        if let Some(sink) = cache.sinks.remove(&k) {
+            if !sink.anomalies.is_empty() {
+                cache
+                    .retired_sinks
+                    .entry(k)
+                    .or_default()
+                    .extend(sink.anomalies);
+            }
+        }
     }
 }
 

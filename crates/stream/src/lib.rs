@@ -54,6 +54,9 @@ mod checker;
 mod epoch;
 mod live;
 
-pub use checker::{CheckerSnapshot, EpochReport, FrontierStats, StreamChecker};
+pub use checker::{
+    CheckerSnapshot, DtStashCarry, EpochReport, FrontierStats, StreamChecker, WindowCarry,
+    WindowPolicy, WindowStats,
+};
 pub use epoch::EpochPolicy;
-pub use live::run_live;
+pub use live::{run_live, run_live_windowed};

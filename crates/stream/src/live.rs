@@ -7,7 +7,7 @@
 //! verdict as it lands — no complete history ever materializes outside
 //! the checker's own frontier.
 
-use crate::{EpochPolicy, EpochReport, StreamChecker};
+use crate::{EpochPolicy, EpochReport, StreamChecker, WindowPolicy};
 use elle_core::CheckOptions;
 use elle_dbsim::{DbConfig, SimDb};
 use elle_gen::{GenParams, Workload};
@@ -22,9 +22,21 @@ pub fn run_live(
     db: DbConfig,
     policy: EpochPolicy,
     opts: CheckOptions,
+    on_epoch: impl FnMut(&EpochReport),
+) -> EpochReport {
+    run_live_windowed(params, db, policy, opts, WindowPolicy::Unbounded, on_epoch)
+}
+
+/// [`run_live`] under a bounded-memory retirement window.
+pub fn run_live_windowed(
+    params: GenParams,
+    db: DbConfig,
+    policy: EpochPolicy,
+    opts: CheckOptions,
+    window: WindowPolicy,
     mut on_epoch: impl FnMut(&EpochReport),
 ) -> EpochReport {
-    let mut checker = StreamChecker::new(opts);
+    let mut checker = StreamChecker::with_window(opts, window);
     let mut workload = Workload::new(params);
     let mut txns_since = 0usize;
     let mut events_since = 0usize;

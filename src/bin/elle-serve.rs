@@ -60,6 +60,11 @@ fn usage_text() -> String {
          --max-tenant-bytes <n> per-tenant buffered-byte budget (default 4 MiB)\n\
          --max-total-bytes <n>  global buffered-byte budget (default 64 MiB)\n\
          --max-tenants <n>      live-tenant cap (default 1024)\n\
+         --window-txns <n>      bounded memory per tenant: retire provably\n\
+         \u{20}                  cycle-safe transactions beyond the most recent n\n\
+         --max-tenant-resident-bytes <n>  per-tenant checker-state budget; at 3/4\n\
+         \u{20}                  force a retirement seal, at the budget tighten the\n\
+         \u{20}                  tenant's window (forced-window) and keep serving\n\
          --strict           fail a tenant on its first damaged line instead of\n\
          \u{20}                  quarantining (other tenants unaffected)\n\
          --model <name>     expected model (default strict-serializable):\n\
@@ -502,6 +507,18 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 cfg.max_tenants = n;
+            }
+            "--window-txns" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.window = elle::stream::WindowPolicy::TxnCount(n);
+            }
+            "--max-tenant-resident-bytes" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.max_tenant_resident_bytes = Some(n);
             }
             "--strict" => cfg.recovery = RecoveryPolicy::Strict,
             "--model" => {

@@ -18,7 +18,7 @@
 
 use elle::history::{IngestCause, IngestError, RecoveryPolicy, SourcePos};
 use elle::prelude::*;
-use elle::stream::{EpochPolicy, EpochReport, StreamChecker};
+use elle::stream::{EpochPolicy, EpochReport, StreamChecker, WindowPolicy};
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -66,6 +66,10 @@ fn usage_text() -> String {
          --linearizable-keys  assume per-key linearizability (registers)\n\
          --sequential-keys    assume per-key sequential consistency\n\
          --max-cycles <n>   cap reported cycles per anomaly type\n\
+         --window-txns <n>  bounded memory: retire provably cycle-safe\n\
+         \u{20}                  transactions beyond the most recent n\n\
+         --window-bytes <n> bounded memory: retire down toward an n-byte\n\
+         \u{20}                  resident budget (checker state, not input)\n\
          --json             one JSON object per epoch on stdout\n\
          --timing           per-epoch stage breakdown on stderr\n\
          \n\
@@ -119,6 +123,14 @@ fn emit(epoch: &EpochReport, as_json: bool, timing: bool) {
         }
         if epoch.timings.forced_seals > 0 {
             poisoned.push_str(&format!(",\"forced_seals\":{}", epoch.timings.forced_seals));
+        }
+        // Window semantics, only when a retirement policy is active:
+        // unbounded runs keep byte-identical envelopes.
+        if let Some(w) = &epoch.window {
+            poisoned.push_str(&format!(
+                ",\"window\":{{\"retired_txns\":{},\"retained_txns\":{},\"resident_bytes\":{},\"exact\":{}}}",
+                w.retired_txns, w.retained_txns, w.resident_bytes, w.exact,
+            ));
         }
         println!(
             "{{\"epoch\":{},\"txns\":{},\"events\":{},\"ok\":{ok},\"rebuilt\":{},\"open_txns\":{}{poisoned},\"report\":{}}}",
@@ -177,6 +189,8 @@ struct ReaderConfig {
     retries: u32,
     /// Test hook: panic inside the seal of this epoch ordinal.
     inject_seal_panic: Option<usize>,
+    /// Bounded-memory retirement policy.
+    window: WindowPolicy,
 }
 
 /// Seal (guarded), surface the CLI-level gauges on the report, emit.
@@ -195,7 +209,7 @@ fn seal_and_emit(
 }
 
 fn run_reader(reader: &mut dyn BufRead, cfg: &ReaderConfig) -> Result<EpochReport, String> {
-    let mut checker = StreamChecker::new(cfg.opts);
+    let mut checker = StreamChecker::with_window(cfg.opts, cfg.window);
     if let Some(e) = cfg.inject_seal_panic {
         checker.inject_seal_panic(e);
     }
@@ -378,6 +392,7 @@ fn main() -> ExitCode {
     let mut max_buffered_bytes: Option<usize> = None;
     let mut retries = 5u32;
     let mut inject_seal_panic: Option<usize> = None;
+    let mut window = WindowPolicy::Unbounded;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -453,6 +468,18 @@ fn main() -> ExitCode {
                 };
                 inject_seal_panic = Some(n);
             }
+            "--window-txns" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                window = WindowPolicy::TxnCount(n);
+            }
+            "--window-bytes" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                window = WindowPolicy::Bytes(n);
+            }
             "--follow" => follow = true,
             "--quarantine" => quarantine = true,
             "--json" => as_json = true,
@@ -487,7 +514,7 @@ fn main() -> ExitCode {
         let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
             .with_processes(8)
             .with_seed(0xE11E);
-        let last = elle::stream::run_live(params, db, policy, opts, |epoch| {
+        let last = elle::stream::run_live_windowed(params, db, policy, opts, window, |epoch| {
             emit(epoch, as_json, timing)
         });
         return verdict_exit(&last);
@@ -521,6 +548,7 @@ fn main() -> ExitCode {
         max_line_bytes: max_buffered_bytes,
         retries,
         inject_seal_panic,
+        window,
     };
     match run_reader(&mut *reader, &cfg) {
         Ok(last) => verdict_exit(&last),

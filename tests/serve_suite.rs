@@ -490,3 +490,193 @@ fn tmp_dir(name: &str) -> std::path::PathBuf {
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
+
+/// A key-rotating workload (small per-key write budget) whose retired
+/// keys quiesce quickly — the shape windowed retirement is built for.
+fn rotating_log(seed: u64, txns: usize) -> elle::history::EventLog {
+    let params = GenParams {
+        n_txns: txns,
+        min_txn_len: 1,
+        max_txn_len: 3,
+        active_keys: 2,
+        writes_per_key: 4,
+        read_prob: 0.4,
+        kind: ObjectKind::ListAppend,
+        seed,
+        final_reads: false,
+    };
+    let db = DbConfig::new(IsolationLevel::Serializable, ObjectKind::ListAppend)
+        .with_processes(4)
+        .with_seed(seed ^ 0xabcd);
+    elle::gen::run_workload_log(params, db)
+}
+
+/// The resident-byte budget ladder: a tenant that outgrows its budget is
+/// degraded to `forced-window` — tightened retirement, kept serving, no
+/// rejects — while its neighbours' verdicts stay byte-identical to a run
+/// where the hog never existed.
+#[test]
+fn resident_budget_hog_degrades_to_forced_window_without_touching_neighbours() {
+    let mut cfg = small_cfg();
+    cfg.max_tenant_resident_bytes = Some(32 * 1024);
+    let hog_lines = {
+        let mut l = tagged_lines("hog", &rotating_log(810, 600));
+        l.push("{\"tenant\":\"hog\",\"op\":\"status\"}".to_string());
+        l
+    };
+    let neighbours: Vec<(String, Vec<String>)> = (0..2)
+        .map(|t| {
+            let name = format!("calm-{t}");
+            let lines = tagged_lines(&name, &tenant_log(820 + t, 40));
+            (name, lines)
+        })
+        .collect();
+
+    let run = |with_hog: bool| -> (Vec<TenantFinal>, Vec<String>) {
+        let (sink, lines) = collecting_sink();
+        let server = Server::start(cfg.clone(), Arc::clone(&sink)).unwrap();
+        std::thread::scope(|scope| {
+            if with_hog {
+                let server = &server;
+                let sink = Arc::clone(&sink);
+                let hog_lines = &hog_lines;
+                scope.spawn(move || {
+                    for line in hog_lines {
+                        assert_eq!(
+                            server.submit(line, &sink),
+                            elle::serve::Submitted::Ok,
+                            "hog must degrade to forced-window, never reject"
+                        );
+                    }
+                });
+            }
+            for (_, lines) in &neighbours {
+                let server = &server;
+                let sink = Arc::clone(&sink);
+                scope.spawn(move || {
+                    for line in lines {
+                        server.submit(line, &sink);
+                    }
+                });
+            }
+        });
+        let finals = server.drain();
+        let responses = lines.lock().unwrap().clone();
+        (finals, responses)
+    };
+
+    let (without, _) = run(false);
+    let (with, responses) = run(true);
+
+    // The hog hit the hard rung: its envelopes/status carry the
+    // forced_window gauge and windowed residency gauges.
+    let hog_resp: Vec<&String> = responses
+        .iter()
+        .filter(|l| l.contains("\"tenant\":\"hog\""))
+        .collect();
+    assert!(
+        hog_resp.iter().any(|l| l.contains("\"forced_window\":")),
+        "hog never reached the forced-window rung: {hog_resp:?}"
+    );
+    assert!(
+        hog_resp.iter().any(|l| l.contains("\"budget_seals\":")),
+        "hog never crossed the soft budget rung"
+    );
+    let status = hog_resp
+        .iter()
+        .find(|l| l.contains("\"resident_bytes\":"))
+        .expect("post-degradation status must expose residency gauges");
+    assert!(status.contains("\"retired_txns\":"));
+    assert!(
+        !hog_resp.iter().any(|l| l.contains("\"code\":429")),
+        "budget pressure must degrade, not reject"
+    );
+    // Degraded, not failed: the hog still produces a final verdict, and
+    // the whole ladder is deterministic — the solo oracle under the same
+    // config reproduces it byte-for-byte.
+    let f = final_for(&with, "hog");
+    assert!(f.ok.is_some(), "hog must keep serving under forced-window");
+    let want = solo_verdict(&cfg, "hog", &hog_lines);
+    assert_eq!(f.verdict, want, "budget ladder must be deterministic");
+
+    // Neighbours are byte-identical with and without the hog.
+    for (name, _) in &neighbours {
+        assert_eq!(
+            final_for(&with, name).verdict,
+            final_for(&without, name).verdict,
+            "neighbour {name} perturbed by another tenant's budget degradation"
+        );
+    }
+}
+
+/// Budget/window state is crash-durable: a windowed, budget-capped
+/// tenant killed mid-ingest (snapshot + journal on disk) and restarted
+/// must converge to the byte-identical final envelope of an
+/// uninterrupted run — including the carried (possibly tightened)
+/// window policy and retirement gauges.
+#[test]
+fn windowed_crash_recovery_preserves_budget_state() {
+    let mut cfg = small_cfg();
+    cfg.window = elle::stream::WindowPolicy::TxnCount(24);
+    cfg.max_tenant_resident_bytes = Some(24 * 1024);
+    let tenants: Vec<(String, Vec<String>)> = (0..2)
+        .map(|t| {
+            let name = format!("wcr-{t}");
+            let lines = tagged_lines(&name, &rotating_log(840 + t, 300));
+            (name, lines)
+        })
+        .collect();
+    let mut wire: Vec<&String> = Vec::new();
+    let longest = tenants.iter().map(|(_, l)| l.len()).max().unwrap();
+    for i in 0..longest {
+        for (_, lines) in &tenants {
+            if let Some(l) = lines.get(i) {
+                wire.push(l);
+            }
+        }
+    }
+    // Crash ~60% in, past the first forced retirements.
+    let split = wire.len() * 3 / 5;
+    let discard: Sink = Arc::new(|_| {});
+
+    let dir_a = tmp_dir("wcr_a");
+    let mut cfg_a = cfg.clone();
+    cfg_a.data_dir = Some(dir_a.clone());
+    let server = Server::start(cfg_a, Arc::clone(&discard)).unwrap();
+    for line in &wire {
+        server.submit(line, &discard);
+    }
+    let want = server.drain();
+
+    let dir_b = tmp_dir("wcr_b");
+    let mut cfg_b = cfg.clone();
+    cfg_b.data_dir = Some(dir_b.clone());
+    let server = Server::start(cfg_b.clone(), Arc::clone(&discard)).unwrap();
+    for line in &wire[..split] {
+        server.submit(line, &discard);
+    }
+    server.abort();
+    let server = Server::start(cfg_b, Arc::clone(&discard)).unwrap();
+    for line in &wire[split..] {
+        server.submit(line, &discard);
+    }
+    let got = server.drain();
+
+    for w in &want {
+        let g = final_for(&got, &w.tenant);
+        assert_eq!(
+            g.verdict, w.verdict,
+            "tenant {}: windowed crash recovery diverged",
+            w.tenant
+        );
+        // The windowed gauges themselves survived: the final envelope
+        // of a retiring tenant carries a window object.
+        assert!(
+            w.verdict.contains("\"window\":{"),
+            "tenant {}: expected windowed gauges in the final envelope",
+            w.tenant
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
